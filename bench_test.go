@@ -1,0 +1,174 @@
+// Benchmarks mapping one-to-one onto the paper's tables and figures
+// (DESIGN.md per-experiment index). Each benchmark regenerates (a cell of)
+// its artifact; `go test -bench . -benchmem` therefore doubles as a smoke
+// run of the whole experiment harness. The full sweeps live in
+// cmd/experiments.
+package cinnamon_test
+
+import (
+	"testing"
+
+	"cinnamon/internal/arch"
+	"cinnamon/internal/report"
+	"cinnamon/internal/workloads"
+)
+
+// BenchmarkFig01ModelGrowth renders the motivation figure.
+func BenchmarkFig01ModelGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(report.Fig1()) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig06CacheCell runs one cell of the cache/compute motivation
+// sweep (1 bootstrap, 256 MB, 4 clusters, single chip).
+func BenchmarkFig06CacheCell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := report.RunFig6([]int{1}, []float64{256}, []int{4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ps[0].Seconds <= 0 {
+			b.Fatal("nonpositive time")
+		}
+	}
+}
+
+// BenchmarkTable1AreaModel evaluates the per-component area model.
+func BenchmarkTable1AreaModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := arch.AreaOf(arch.Cinnamon())
+		if a.Total() < 200 || a.Total() > 250 {
+			b.Fatalf("area %f off Table 1", a.Total())
+		}
+	}
+}
+
+// BenchmarkTable2Bootstrap4 compiles and simulates the Table 2 bootstrap
+// row on Cinnamon-4 at paper parameters (N = 64K, 52-limb chain).
+func BenchmarkTable2Bootstrap4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4,
+			workloads.ModeCinnamonPass, workloads.DefaultSimConfig(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Seconds <= 0 {
+			b.Fatal("nonpositive time")
+		}
+	}
+}
+
+// BenchmarkFig11SpeedupRow computes one Fig 11 bar: the Cinnamon-8 BERT
+// composition relative to a 4-chip group.
+func BenchmarkFig11SpeedupRow(b *testing.B) {
+	kt, err := workloads.SimulateKernels(4, workloads.ModeCinnamonPass, workloads.DefaultSimConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bert workloads.App
+		for _, a := range workloads.Apps() {
+			if a.Name == "BERT" {
+				bert = a
+			}
+		}
+		if s := bert.Time(kt, 1) / bert.Time(kt, 2); s < 1.2 {
+			b.Fatalf("BERT 2-group speedup %f too small", s)
+		}
+	}
+}
+
+// BenchmarkTable3Fig12CostModel evaluates yield and perf-per-dollar.
+func BenchmarkTable3Fig12CostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := report.Table3Rows()
+		var cin, cl arch.Accelerator
+		for _, r := range rows {
+			switch r.Name {
+			case "Cinnamon":
+				cin = r
+			case "CraterLake":
+				cl = r
+			}
+		}
+		v := arch.PerfPerDollar(1.98e-3, 4*cin.YieldNormalizedCost(), 6.33e-3, cl.YieldNormalizedCost())
+		if v < 4 || v > 7 {
+			b.Fatalf("perf/$ %f off the paper's ~5x", v)
+		}
+	}
+}
+
+// BenchmarkFig13KeyswitchPoint runs one sweep point: CinnamonKS+Pass at
+// 512 GB/s on Cinnamon-4.
+func BenchmarkFig13KeyswitchPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := workloads.DefaultSimConfig(4)
+		cfg.LinkGBpsOverride = 512
+		r, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4,
+			workloads.ModeCinnamonPass, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r
+	}
+}
+
+// BenchmarkFig14Bootstrap21 runs Bootstrap-21 on Cinnamon-8 (the
+// configuration where the deeper bootstrap's extra parallelism pays).
+func BenchmarkFig14Bootstrap21(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.CompileAndSimulate(workloads.Bootstrap21().BuildProgram, 8,
+			workloads.ModeCinnamonPass, workloads.DefaultSimConfig(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r
+	}
+}
+
+// BenchmarkFig15Utilization extracts utilization from a bootstrap run.
+func BenchmarkFig15Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4,
+			workloads.ModeCinnamonPass, workloads.DefaultSimConfig(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Sim.ComputeUtil <= 0 || r.Sim.ComputeUtil > 1 {
+			b.Fatalf("compute utilization %f", r.Sim.ComputeUtil)
+		}
+	}
+}
+
+// BenchmarkAblationDigits runs the keyswitch digit-count ablation (A2 in
+// DESIGN.md).
+func BenchmarkAblationDigits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := report.RunDigitAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ps) != 4 {
+			b.Fatal("expected 4 sweep points")
+		}
+	}
+}
+
+// BenchmarkFig16SensitivityPoint runs the halve-vector-width point.
+func BenchmarkFig16SensitivityPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := workloads.DefaultSimConfig(4)
+		cfg.Chip.LanesPerCluster /= 2
+		cfg.Chip.BCULanesPerCluster /= 2
+		r, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4,
+			workloads.ModeCinnamonPass, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r
+	}
+}

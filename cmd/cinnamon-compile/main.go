@@ -1,0 +1,155 @@
+// Command cinnamon-compile compiles a built-in Cinnamon DSL workload for a
+// chip count and prints the compilation report: keyswitch-pass batches,
+// per-chip instruction mix, communication volume, and register pressure —
+// the developer-facing face of the compiler stack.
+//
+// Usage:
+//
+//	cinnamon-compile -workload bootstrap13 -chips 4
+//	cinnamon-compile -workload matmul -chips 8 -mode cifher
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cinnamon/internal/compiler"
+	"cinnamon/internal/dsl"
+	"cinnamon/internal/limbir"
+	"cinnamon/internal/polyir"
+	"cinnamon/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "bootstrap13", "bootstrap13, bootstrap21, matmul, rotsum")
+	chips := flag.Int("chips", 4, "number of chips")
+	mode := flag.String("mode", "cinnamon", "keyswitch mode: cinnamon, ibpass, ib, cifher, sequential")
+	regs := flag.Int("regs", 0, "registers per chip (0 = 56MB register file)")
+	flag.Parse()
+	if err := run(*workload, *chips, *mode, *regs); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, chips int, modeName string, regs int) error {
+	params, err := workloads.SimParams()
+	if err != nil {
+		return err
+	}
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: params.MaxLevel()})
+	switch workload {
+	case "bootstrap13":
+		workloads.Bootstrap13().BuildProgram(prog)
+	case "bootstrap21":
+		workloads.Bootstrap21().BuildProgram(prog)
+	case "matmul":
+		s := prog.Stream(0)
+		x := s.Input("x", 20)
+		s.Output("y", workloads.BSGSMatmul(s, x, 8, 8, "mm"))
+	case "rotsum":
+		s := prog.Stream(0)
+		x := s.Input("x", 20)
+		s.Output("y", x.SumRotations([]int{1, 2, 4, 8}))
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	g, err := prog.Finish()
+	if err != nil {
+		return err
+	}
+	gst := g.Stats()
+	fmt.Printf("polynomial IR: %d nodes, %d keyswitches\n", len(g.Nodes), gst.KeySwitches)
+
+	var mode workloads.KSMode
+	switch modeName {
+	case "cinnamon":
+		mode = workloads.ModeCinnamonPass
+	case "ibpass":
+		mode = workloads.ModeInputBroadcastPass
+	case "ib":
+		mode = workloads.ModeInputBroadcast
+	case "cifher":
+		mode = workloads.ModeCiFHER
+	case "sequential":
+		mode = workloads.ModeSequential
+		chips = 1
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	var groups []polyir.BatchGroup
+	switch mode {
+	case workloads.ModeSequential:
+		groups = (&polyir.KeyswitchPass{NChips: 1}).Run(g)
+	case workloads.ModeInputBroadcastPass:
+		groups = (&polyir.KeyswitchPass{NChips: chips, DisableAggregation: true}).Run(g)
+	case workloads.ModeCinnamonPass:
+		groups = (&polyir.KeyswitchPass{NChips: chips}).Run(g)
+	default:
+		// Per-keyswitch singleton groups for the baselines.
+		for _, n := range g.Nodes {
+			if n.NeedsKeySwitch() {
+				alg := polyir.KSInputBroadcast
+				if mode == workloads.ModeCiFHER {
+					alg = polyir.KSCiFHER
+				}
+				grp := polyir.BatchGroup{ID: len(groups), Algorithm: alg, Nodes: []*polyir.Node{n}}
+				n.KSAlgorithm = alg
+				n.KSBatch = grp.ID
+				groups = append(groups, grp)
+			}
+		}
+	}
+	byAlg := map[polyir.KSAlgorithm]int{}
+	for _, grp := range groups {
+		byAlg[grp.Algorithm]++
+	}
+	fmt.Printf("keyswitch pass (%s): %d batch groups (", mode, len(groups))
+	algs := make([]int, 0, len(byAlg))
+	for a := range byAlg {
+		algs = append(algs, int(a))
+	}
+	sort.Ints(algs)
+	for i, a := range algs {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%v: %d", polyir.KSAlgorithm(a), byAlg[polyir.KSAlgorithm(a)])
+	}
+	fmt.Println(")")
+	summary := polyir.Summarize(groups)
+	fmt.Printf("collectives after batching: %d broadcasts, %d aggregations\n", summary.Broadcasts, summary.Aggregations)
+
+	mod, err := compiler.Lower(g, params, chips, groups)
+	if err != nil {
+		return err
+	}
+	st := mod.Stats()
+	fmt.Printf("\nlimb IR (%d chips): longest stream %d instrs, %d limbs crossing chips\n",
+		chips, st.MaxInstrs, st.CommLimbs)
+	ops := make([]int, 0, len(st.Ops))
+	for op := range st.Ops {
+		ops = append(ops, int(op))
+	}
+	sort.Ints(ops)
+	for _, op := range ops {
+		fmt.Printf("  %-10v %8d\n", limbir.Op(op), st.Ops[limbir.Op(op)])
+	}
+
+	if regs == 0 {
+		regs = workloads.DefaultSimConfig(chips).Chip.RegFileLimbs(1 << workloads.SimLogN)
+	}
+	alloc, err := compiler.Allocate(mod, regs)
+	if err != nil {
+		return err
+	}
+	spills := 0
+	for _, p := range alloc.Chips {
+		spills += p.Spills
+	}
+	fmt.Printf("\nregister allocation (Belady, %d regs/chip): %d spill slots, %d memory ops total\n",
+		regs, spills, alloc.Stats().LoadStores)
+	return nil
+}

@@ -1,0 +1,75 @@
+// Command cinnamon-sim runs the cycle-level scale-out simulator on a
+// built-in workload under a configurable hardware configuration and prints
+// timing and utilization — the quickest way to explore the design space
+// without the full experiment harness.
+//
+// Usage:
+//
+//	cinnamon-sim -workload bootstrap13 -chips 8
+//	cinnamon-sim -workload bootstrap21 -chips 12 -linkbw 512 -membw 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cinnamon/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "bootstrap13", "bootstrap13, bootstrap21, matmul")
+	chips := flag.Int("chips", 4, "number of chips")
+	linkBW := flag.Float64("linkbw", 0, "per-link bandwidth GB/s (0 = default 256)")
+	memBW := flag.Float64("membw", 0, "HBM bandwidth GB/s (0 = default 2048)")
+	regMB := flag.Float64("regmb", 0, "register file MB (0 = default 56)")
+	flag.Parse()
+	if err := run(*workload, *chips, *linkBW, *memBW, *regMB); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, chips int, linkBW, memBW, regMB float64) error {
+	cfg := workloads.DefaultSimConfig(chips)
+	if linkBW > 0 {
+		cfg.Chip.LinkGBps = linkBW
+	}
+	if memBW > 0 {
+		cfg.Chip.HBMGBps = memBW
+	}
+	if regMB > 0 {
+		cfg.Chip.RegFileMB = regMB
+	}
+	mode := workloads.ModeCinnamonPass
+	if chips == 1 {
+		mode = workloads.ModeSequential
+	}
+	var res *workloads.KernelResult
+	var err error
+	switch workload {
+	case "bootstrap13":
+		res, err = workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, chips, mode, cfg)
+	case "bootstrap21":
+		res, err = workloads.CompileAndSimulate(workloads.Bootstrap21().BuildProgram, chips, mode, cfg)
+	case "matmul":
+		kt, kerr := workloads.SimulateKernels(chips, mode, cfg)
+		if kerr != nil {
+			return kerr
+		}
+		fmt.Printf("matmul kernel: %.3f ms\n", kt.Matmul*1e3)
+		return nil
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %d chip(s): %.3f ms (%.0f cycles at %g GHz)\n",
+		workload, chips, res.Seconds*1e3, res.Sim.Cycles, cfg.Chip.ClockGHz)
+	fmt.Printf("utilization: compute %.0f%%, memory %.0f%%, network %.0f%%\n",
+		res.Sim.ComputeUtil*100, res.Sim.MemUtil*100, res.Sim.NetUtil*100)
+	fmt.Printf("traffic: %.1f MB crossed chip boundaries\n", res.Sim.CommBytes/1e6)
+	fmt.Printf("longest instruction stream: %d instructions\n", res.Stats.MaxInstrs)
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command experiments regenerates the paper's tables and figures
+// (Appendix A workflow): every artifact of the evaluation section is
+// produced from the simulator, architecture model and workload
+// compositions in this repository.
+//
+// Usage:
+//
+//	experiments -exp all            # everything (several minutes)
+//	experiments -exp table2         # Table 2 + Figs 11/12/15
+//	experiments -exp fig13 -quick   # reduced sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cinnamon/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig1, table1, table3, table2, fig11, fig12, fig15, fig13, fig14, fig16, fig6")
+	quick := flag.Bool("quick", false, "reduced sweeps for faster runs")
+	flag.Parse()
+	if err := run(strings.ToLower(*exp), *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick bool) error {
+	want := func(names ...string) bool {
+		if exp == "all" {
+			return true
+		}
+		for _, n := range names {
+			if exp == n {
+				return true
+			}
+		}
+		return false
+	}
+	if want("fig1") {
+		fmt.Println(report.Fig1())
+	}
+	if want("table1") {
+		fmt.Println(report.Table1())
+	}
+	if want("table3") {
+		fmt.Println(report.Table3())
+	}
+	var pr *report.PerfResults
+	if want("table2", "fig11", "fig12", "fig15") {
+		var err error
+		fmt.Println("running performance simulations (Cinnamon-M/4/8/12)...")
+		if pr, err = report.RunPerformance(); err != nil {
+			return err
+		}
+		if want("table2") {
+			fmt.Println(report.Table2(pr))
+		}
+		if want("fig11") {
+			fmt.Println(report.Fig11(pr))
+		}
+		if want("fig12") {
+			fmt.Println(report.Fig12(pr))
+		}
+		if want("fig15") {
+			fmt.Println(report.Fig15(pr))
+		}
+	}
+	if want("fig13") {
+		bws := []float64{256, 512, 1024}
+		if quick {
+			bws = []float64{256, 1024}
+		}
+		fmt.Println("running keyswitch comparison sweep...")
+		rs, err := report.RunFig13(bws)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Fig13(rs))
+	}
+	if want("fig14") {
+		fmt.Println("running Bootstrap-13/21 scaling...")
+		rs, err := report.RunFig14()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Fig14(rs))
+	}
+	if want("fig16") {
+		fmt.Println("running sensitivity study...")
+		rs, err := report.RunFig16()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Fig16(rs))
+	}
+	if want("ablation-bcu") {
+		fmt.Println("running BCU sizing ablation...")
+		ps, err := report.RunBCUAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.BCUAblation(ps))
+	}
+	if want("ablation-digits") {
+		fmt.Println("running keyswitch digit-count ablation...")
+		ps, err := report.RunDigitAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.DigitAblation(ps))
+	}
+	if want("keyswitch-comparison") {
+		fmt.Println("running §7.4 keyswitch comparison (functional)...")
+		r, err := report.RunKSComparison(8)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.KSCompare(r))
+	}
+	if want("fig6") {
+		counts := []int{1, 2, 4, 8}
+		caches := []float64{64, 128, 256, 1024}
+		clusters := []int{4, 8}
+		if quick {
+			counts = []int{1, 4}
+			caches = []float64{256, 1024}
+			clusters = []int{4}
+		}
+		fmt.Println("running cache/compute motivation sweep...")
+		ps, err := report.RunFig6(counts, caches, clusters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Fig6(ps))
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+// Package cinnamon is a from-scratch Go reproduction of "Cinnamon: A
+// Framework for Scale-Out Encrypted AI" (ASPLOS 2025): a CKKS FHE library
+// with bootstrapping, the Cinnamon DSL/compiler stack with parallel
+// keyswitching algorithms, a functional multi-chip emulator, a cycle-level
+// scale-out simulator, and the experiment harness that regenerates the
+// paper's tables and figures. See README.md and DESIGN.md.
+package cinnamon

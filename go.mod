@@ -1,0 +1,3 @@
+module cinnamon
+
+go 1.22

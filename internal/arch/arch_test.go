@@ -1,0 +1,119 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCinnamonChipConfig(t *testing.T) {
+	c := Cinnamon()
+	if c.VectorLanes() != 1024 || c.BCULanes() != 512 {
+		t.Fatalf("lanes %d bcu %d", c.VectorLanes(), c.BCULanes())
+	}
+	// One limb at N=64K, 28-bit datapath: 224 KiB.
+	if got := c.LimbBytes(1 << 16); got != 64*1024*28/8 {
+		t.Fatalf("limb bytes %f", got)
+	}
+	// 56 MB register file holds 256 such limbs.
+	if got := c.RegFileLimbs(1 << 16); got != 256 {
+		t.Fatalf("regfile limbs %d", got)
+	}
+}
+
+func TestTimingAt(t *testing.T) {
+	c := Cinnamon()
+	tm := c.TimingAt(1 << 16)
+	if tm.VectorOp != 64 {
+		t.Fatalf("vector op %f cycles, want 64", tm.VectorOp)
+	}
+	if tm.NTTOp != 128 {
+		t.Fatalf("ntt %f cycles", tm.NTTOp)
+	}
+	if tm.BConvOut != 128 {
+		t.Fatalf("bconv %f cycles", tm.BConvOut)
+	}
+	// 224 KiB at 2048 bytes/cycle = 112 cycles.
+	if math.Abs(tm.LoadStore-112) > 1e-9 {
+		t.Fatalf("load/store %f cycles", tm.LoadStore)
+	}
+}
+
+func TestAreaMatchesTable1(t *testing.T) {
+	a := AreaOf(Cinnamon())
+	if math.Abs(a.FULogic-82.55) > 0.01 {
+		t.Fatalf("FU logic %f, want 82.55", a.FULogic)
+	}
+	if math.Abs(a.Total()-223.18) > 0.5 {
+		t.Fatalf("total %f, want ≈223.18 (paper Table 1)", a.Total())
+	}
+	// Cinnamon-M grows substantially but our component model sums less
+	// than the paper's 719.78 (extra routing); it must land in between.
+	m := AreaOf(CinnamonM())
+	if m.Total() < 1.5*a.Total() {
+		t.Fatalf("Cinnamon-M area %f should far exceed the base chip", m.Total())
+	}
+}
+
+func TestYieldMatchesTable3(t *testing.T) {
+	for _, tc := range []struct {
+		area  float64
+		yield float64
+	}{
+		{418.3, 0.48}, {47.08, 0.90}, {472, 0.44}, {719.78, 0.31}, {223.18, 0.66},
+	} {
+		if got := Yield(tc.area); math.Abs(got-tc.yield) > 0.02 {
+			t.Fatalf("yield(%f) = %f, want %f (paper Table 3)", tc.area, got, tc.yield)
+		}
+	}
+}
+
+func TestYieldNormalizedCostMatchesTable3(t *testing.T) {
+	for _, a := range Table3() {
+		cost := a.YieldNormalizedCost()
+		want := map[string]float64{
+			"ARK": 50e6, "CiFHER": 3.5e6, "CraterLake": 25e6,
+			"Cinnamon-M": 25e6, "Cinnamon": 3.5e6,
+		}[a.Name]
+		if cost < want*0.8 || cost > want*1.2 {
+			t.Fatalf("%s cost %.1fM, want ≈%.1fM", a.Name, cost/1e6, want/1e6)
+		}
+	}
+}
+
+func TestPerfPerDollarHeadline(t *testing.T) {
+	// Paper §7.2: Cinnamon-4 gives ~5x perf/$ vs CraterLake on bootstrap.
+	var craterlake, cinnamon Accelerator
+	for _, a := range Table3() {
+		switch a.Name {
+		case "CraterLake":
+			craterlake = a
+		case "Cinnamon":
+			cinnamon = a
+		}
+	}
+	v := PerfPerDollar(
+		1.98e-3, 4*cinnamon.YieldNormalizedCost(), // Cinnamon-4 (paper time)
+		6.33e-3, craterlake.YieldNormalizedCost(), // CraterLake
+	)
+	if v < 4 || v > 7 {
+		t.Fatalf("perf/$ vs CraterLake = %.2f, paper reports ≈5x", v)
+	}
+}
+
+func TestSystemCost(t *testing.T) {
+	a := Accelerator{AreaMM2: 100, PricePerMM2: 1000, ChipsPerSys: 4}
+	if a.SystemCost() != 4*a.YieldNormalizedCost() {
+		t.Fatal("system cost should multiply by chip count")
+	}
+	b := Accelerator{AreaMM2: 100, PricePerMM2: 1000}
+	if b.SystemCost() != b.YieldNormalizedCost() {
+		t.Fatal("zero chip count defaults to one")
+	}
+}
+
+func TestBCUComparison(t *testing.T) {
+	bc := BCUComparison()
+	if bc.MultipliersGeneral/bc.MultipliersCinnamon < 9 {
+		t.Fatal("BCU should shrink multipliers ~9x (15K -> 1.6K)")
+	}
+}

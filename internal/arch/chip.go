@@ -1,0 +1,103 @@
+// Package arch models the Cinnamon hardware (paper §4.5–§4.7, §5): chip
+// configurations, functional-unit timing at the paper's parameters, the
+// per-component area model calibrated to the Table 1 synthesis results, and
+// the yield/cost model of §7.2 (Table 3).
+package arch
+
+// ChipConfig describes one accelerator chip.
+type ChipConfig struct {
+	Name               string
+	Clusters           int     // compute clusters (paper: 4)
+	LanesPerCluster    int     // vector lanes per cluster (paper: 256)
+	BCULanesPerCluster int     // base-conversion lanes per cluster (paper: 128, §4.7)
+	BCUMaxInputs       int     // max input limbs per conversion (paper: 13)
+	RegFileMB          float64 // vector register file capacity (paper: 56 MB)
+	HBMGBps            float64 // total HBM bandwidth (paper: 4×512 = 2048 GB/s)
+	LinkGBps           float64 // per-network-PHY bandwidth (paper: 256 GB/s)
+	NetLinks           int     // network PHYs (paper: 2)
+	ClockGHz           float64 // paper: 1 GHz
+	DataPathBits       int     // paper: 28-bit datapath
+	// Unit counts per chip (Table 1 "2xAdd, 2xMul, 2xPRNG + 1x remaining").
+	NTTUnits, AutoUnits, AddUnits, MulUnits, BCUUnits, TransposeUnits int
+}
+
+// Cinnamon returns the paper's per-chip configuration (§5).
+func Cinnamon() ChipConfig {
+	return ChipConfig{
+		Name:               "Cinnamon",
+		Clusters:           4,
+		LanesPerCluster:    256,
+		BCULanesPerCluster: 128,
+		BCUMaxInputs:       13,
+		RegFileMB:          56,
+		HBMGBps:            2048,
+		LinkGBps:           256,
+		NetLinks:           2,
+		ClockGHz:           1,
+		DataPathBits:       28,
+		NTTUnits:           1, AutoUnits: 1, AddUnits: 2, MulUnits: 2, BCUUnits: 1, TransposeUnits: 1,
+	}
+}
+
+// CinnamonM returns the large monolithic comparison chip (§6.1): a Cinnamon
+// chip scaled to 224 MB register file, 8 clusters, doubled NTT/transpose/
+// BCU resources and 5 multiply/add units.
+func CinnamonM() ChipConfig {
+	c := Cinnamon()
+	c.Name = "Cinnamon-M"
+	c.Clusters = 8
+	c.RegFileMB = 224
+	c.NTTUnits = 2
+	c.TransposeUnits = 2
+	c.BCUUnits = 2
+	c.AddUnits = 5
+	c.MulUnits = 5
+	c.BCUMaxInputs = 32
+	return c
+}
+
+// VectorLanes returns the total vector width.
+func (c ChipConfig) VectorLanes() int { return c.Clusters * c.LanesPerCluster }
+
+// BCULanes returns the total base-conversion lanes.
+func (c ChipConfig) BCULanes() int { return c.Clusters * c.BCULanesPerCluster }
+
+// LimbBytes returns the size of one limb (N coefficients at the datapath
+// width) in bytes.
+func (c ChipConfig) LimbBytes(ringDim int) float64 {
+	return float64(ringDim) * float64(c.DataPathBits) / 8
+}
+
+// RegFileLimbs returns how many limbs the register file holds at ring
+// dimension ringDim.
+func (c ChipConfig) RegFileLimbs(ringDim int) int {
+	return int(c.RegFileMB * 1024 * 1024 / c.LimbBytes(ringDim))
+}
+
+// Timing returns per-limb functional-unit occupancies in cycles at ring
+// dimension ringDim. Vector units stream one coefficient per lane per
+// cycle; the four-step NTT makes two passes; a BCU produces one output
+// coefficient per BCU lane per cycle (§4.7).
+type Timing struct {
+	VectorOp  float64 // add/sub/mul/scalar per limb
+	NTTOp     float64 // forward or inverse NTT per limb
+	AutoOp    float64 // automorphism gather per limb
+	BConvOut  float64 // one base-conversion output limb
+	LoadStore float64 // one limb over HBM
+	PipeLat   float64 // pipeline fill latency added to dependent ops
+}
+
+// TimingAt computes the timing model for a ring dimension.
+func (c ChipConfig) TimingAt(ringDim int) Timing {
+	lanes := float64(c.VectorLanes())
+	n := float64(ringDim)
+	bytesPerCycle := c.HBMGBps / c.ClockGHz // GB/s at GHz ⇒ bytes/cycle
+	return Timing{
+		VectorOp:  n / lanes,
+		NTTOp:     2 * n / lanes,
+		AutoOp:    n / lanes,
+		BConvOut:  n / float64(c.BCULanes()),
+		LoadStore: c.LimbBytes(ringDim) / bytesPerCycle,
+		PipeLat:   40,
+	}
+}

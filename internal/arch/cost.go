@@ -1,0 +1,69 @@
+package arch
+
+import "math"
+
+// Yield and cost model (paper §7.2, Table 3): negative-binomial yield with
+// defect density D0 = 0.2 cm⁻² and clustering α = 3 on a 300 mm wafer, and
+// tape-out cost = area × process price per mm² ÷ yield.
+
+// Defaults from the paper.
+const (
+	DefectDensityPerCm2 = 0.2
+	DefectClustering    = 3.0
+)
+
+// Yield returns the negative-binomial die yield for a die area in mm².
+func Yield(areaMM2 float64) float64 {
+	aCm2 := areaMM2 / 100
+	return math.Pow(1+DefectDensityPerCm2*aCm2/DefectClustering, -DefectClustering)
+}
+
+// Accelerator is a die with its process cost inputs (Table 3 rows).
+type Accelerator struct {
+	Name        string
+	AreaMM2     float64
+	Process     string
+	PricePerMM2 float64 // $/mm² design cost at that node
+	ChipsPerSys int     // chips in a deployed system (Cinnamon-4 ⇒ 4)
+}
+
+// YieldNormalizedCost returns the Table 3 cost: area × price ÷ yield.
+func (a Accelerator) YieldNormalizedCost() float64 {
+	return a.AreaMM2 * a.PricePerMM2 / Yield(a.AreaMM2)
+}
+
+// SystemCost multiplies by the system chip count.
+func (a Accelerator) SystemCost() float64 {
+	n := a.ChipsPerSys
+	if n == 0 {
+		n = 1
+	}
+	return float64(n) * a.YieldNormalizedCost()
+}
+
+// Process price points used by the paper (EuroPractice/MuseSemi data).
+const (
+	Price7nm  = 57500.0
+	Price14nm = 23000.0
+	Price22nm = 10500.0
+)
+
+// Table3 returns the accelerators of the paper's Table 3 with our modeled
+// Cinnamon areas and the published comparator areas.
+func Table3() []Accelerator {
+	cinArea := AreaOf(Cinnamon()).Total()
+	cinMArea := 719.78 // paper's synthesized Cinnamon-M (extra routing beyond the component sum)
+	return []Accelerator{
+		{Name: "ARK", AreaMM2: 418.3, Process: "7nm", PricePerMM2: Price7nm, ChipsPerSys: 1},
+		{Name: "CiFHER", AreaMM2: 47.08, Process: "7nm", PricePerMM2: Price7nm, ChipsPerSys: 16},
+		{Name: "CraterLake", AreaMM2: 472, Process: "14nm", PricePerMM2: Price14nm, ChipsPerSys: 1},
+		{Name: "Cinnamon-M", AreaMM2: cinMArea, Process: "22nm", PricePerMM2: Price22nm, ChipsPerSys: 1},
+		{Name: "Cinnamon", AreaMM2: cinArea, Process: "22nm", PricePerMM2: Price22nm, ChipsPerSys: 1},
+	}
+}
+
+// PerfPerDollar returns performance-per-dollar relative to a baseline:
+// (1/timeA)/costA ÷ (1/timeB)/costB.
+func PerfPerDollar(timeA, costA, timeB, costB float64) float64 {
+	return (costB * timeB) / (costA * timeA)
+}

@@ -1,0 +1,349 @@
+package bootstrap
+
+import (
+	"fmt"
+	"math"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/ring"
+)
+
+// Config tunes the bootstrapping circuit.
+type Config struct {
+	// K bounds the modular-reduction interval: the EvalMod polynomial is
+	// accurate for |I| ≤ K wraps. Larger K needs a sparser secret or a
+	// higher degree.
+	K int
+	// DoubleAngle is the number of cosine double-angle foldings (r).
+	DoubleAngle int
+	// Degree of the Chebyshev approximation of the folded cosine.
+	Degree int
+	// HeadroomBits H sets the message-to-q0 ratio: the ciphertext is
+	// scaled up to ≈ q0/2^H before ModRaise. Larger H reduces the sine
+	// linearization distortion but costs message precision.
+	HeadroomBits int
+	// ArcsineCorrection applies θ ≈ s + s³/6 to each EvalMod output,
+	// cancelling the cubic sine distortion sin(θ) ≈ θ − θ³/6 at the cost
+	// of two more levels. Worth enabling when messages run close to the
+	// headroom bound (large |m|·2^-H), where the distortion dominates.
+	ArcsineCorrection bool
+}
+
+// DefaultConfig works with sparse secrets (Hamming weight ≲ 64).
+func DefaultConfig() Config {
+	return Config{K: 16, DoubleAngle: 3, Degree: 39, HeadroomBits: 4}
+}
+
+// Bootstrapper holds the precomputed matrices, polynomial approximation and
+// keys for bootstrapping ciphertexts with a fixed slot count.
+type Bootstrapper struct {
+	params *ckks.Parameters
+	enc    *ckks.Encoder
+	ev     *ckks.Evaluator
+	slots  int
+	cfg    Config
+
+	c2s, s2c *LinearTransform
+	cheb     *Chebyshev
+	scaleUp  uint64  // integer factor f bringing the scale to ≈ q0/2^H
+	rho      float64 // (f·Δ)/q0, the exact scale-to-q0 ratio after ScaleUp
+}
+
+// NewBootstrapper precomputes the CoeffToSlot/SlotToCoeff transforms for
+// full-slot (N/2) bootstrapping and generates the rotation, conjugation and
+// relinearization keys it needs from sk.
+func NewBootstrapper(params *ckks.Parameters, sk *ckks.SecretKey, cfg Config) (*Bootstrapper, error) {
+	if params.HammingWeight() == 0 || params.HammingWeight() > 192 {
+		return nil, fmt.Errorf("bootstrap: requires a sparse secret (HammingWeight in [1,192]), got %d", params.HammingWeight())
+	}
+	if cfg.K < 2 || cfg.Degree < 7 || cfg.DoubleAngle < 0 || cfg.HeadroomBits < 1 {
+		return nil, fmt.Errorf("bootstrap: invalid config %+v", cfg)
+	}
+	bs := &Bootstrapper{
+		params: params,
+		enc:    ckks.NewEncoder(params),
+		slots:  params.Slots(),
+		cfg:    cfg,
+	}
+	n := bs.slots
+	// Build the special-FFT matrix V (decode direction) and its inverse
+	// numerically from the encoder's own transform, so the homomorphic DFT
+	// matches the encoder exactly.
+	V := make([][]complex128, n)
+	Vinv := make([][]complex128, n)
+	for i := range V {
+		V[i] = make([]complex128, n)
+		Vinv[i] = make([]complex128, n)
+	}
+	col := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for i := range col {
+			col[i] = 0
+		}
+		col[k] = 1
+		bs.enc.SpecialFFT(col)
+		for i := 0; i < n; i++ {
+			V[i][k] = col[i]
+		}
+		for i := range col {
+			col[i] = 0
+		}
+		col[k] = 1
+		bs.enc.SpecialFFTInv(col)
+		for i := 0; i < n; i++ {
+			Vinv[i][k] = col[i]
+		}
+	}
+	q0 := float64(params.QBasis.Moduli[0])
+	delta := params.DefaultScale()
+	// Before ModRaise the ciphertext is scaled up by the integer
+	// f = round(q0/(2^H·Δ)), bringing its scale to S0 = f·Δ ≈ q0/2^H.
+	// Matrix entries then stay O(1) (no tiny factors that would be crushed
+	// by plaintext quantization).
+	bs.scaleUp = uint64(math.Round(q0 / (math.Exp2(float64(cfg.HeadroomBits)) * delta)))
+	if bs.scaleUp < 2 {
+		return nil, fmt.Errorf("bootstrap: q0/Δ ratio too small for %d headroom bits", cfg.HeadroomBits)
+	}
+	bs.rho = float64(bs.scaleUp) * delta / q0
+	// SlotToCoeff folds the EvalMod output normalization: the sine output
+	// is ≈ 2π·ρ·τ(v), so v = V·(1/(2πρ))·t'.
+	s2cFac := complex(1/(2*math.Pi*bs.rho), 0)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			V[i][k] *= s2cFac
+		}
+	}
+	var err error
+	if bs.c2s, err = NewLinearTransform(Vinv); err != nil {
+		return nil, err
+	}
+	if bs.s2c, err = NewLinearTransform(V); err != nil {
+		return nil, err
+	}
+	// EvalMod polynomial: CoeffToSlot leaves slot values u = 2x/ρ where
+	// x = coefficient/q0, so we fit h(u) = cos(π(ρ·u − 0.5)/2^r) over
+	// u ∈ ±(2K+1)/ρ; r double-angle steps then give
+	// cos(π·ρ·u − π/2) = sin(2π·x).
+	bound := float64(2*cfg.K+1) / bs.rho
+	r := cfg.DoubleAngle
+	rho := bs.rho
+	bs.cheb = FitChebyshev(func(u float64) float64 {
+		return math.Cos(math.Pi * (rho*u - 0.5) / math.Exp2(float64(r)))
+	}, -bound, bound, cfg.Degree)
+	// Keys: all rotations both transforms need, plus conjugation and
+	// relinearization.
+	kg := ckks.NewKeyGenerator(params)
+	rots := append(bs.c2s.Rotations(), bs.s2c.Rotations()...)
+	rtks, err := kg.GenRotationKeySet(sk, rots, true)
+	if err != nil {
+		return nil, err
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		return nil, err
+	}
+	bs.ev = ckks.NewEvaluator(params, rlk, rtks)
+	return bs, nil
+}
+
+// Evaluator exposes the internal evaluator (it holds every key the
+// bootstrap circuit needs, which examples often reuse).
+func (bs *Bootstrapper) Evaluator() *ckks.Evaluator { return bs.ev }
+
+// MinLevelBudget returns a safe lower bound on the number of levels the
+// bootstrap circuit consumes (C2S + EvalMod + S2C + normalization).
+func (bs *Bootstrapper) MinLevelBudget() int {
+	chebDepth := 1 // normalization
+	for d := 1; d < bs.cfg.Degree+1; d <<= 1 {
+		chebDepth++
+	}
+	budget := 1 + chebDepth + bs.cfg.DoubleAngle + 1 + 2
+	if bs.cfg.ArcsineCorrection {
+		budget += 2
+	}
+	return budget
+}
+
+// Bootstrap refreshes ct (which must be at level 0) back to a high level:
+// the returned ciphertext encrypts the same slot values with
+// params.MaxLevel() − consumed levels remaining.
+func (bs *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	if ct.Level() != 0 {
+		return nil, fmt.Errorf("bootstrap: input must be at level 0, got %d", ct.Level())
+	}
+	delta := bs.params.DefaultScale()
+	if !closeTo(ct.Scale, delta) {
+		return nil, fmt.Errorf("bootstrap: input scale %g must be the default scale %g", ct.Scale, delta)
+	}
+	// 1. ScaleUp to S0 = f·Δ ≈ q0/2^H (exact integer multiplication), then
+	// ModRaise: reinterpret the level-0 residues as integers in the full
+	// chain. Dec becomes S0·m + q0·I with small integer I.
+	up := bs.ev.ScaleUp(ct, bs.scaleUp)
+	raised, err := bs.modRaise(up)
+	if err != nil {
+		return nil, err
+	}
+	// 2. CoeffToSlot: slots now hold x_j = Δm_j/q0 + I_j (complex pairs).
+	t, err := bs.c2s.Evaluate(bs.ev, bs.enc, raised)
+	if err != nil {
+		return nil, err
+	}
+	if t, err = bs.ev.Rescale(t); err != nil {
+		return nil, err
+	}
+	// 3. Split into 2·Re(t) and 2·Im(t) with one conjugation.
+	tc, err := bs.ev.Conjugate(t)
+	if err != nil {
+		return nil, err
+	}
+	re2, err := bs.ev.Add(t, tc)
+	if err != nil {
+		return nil, err
+	}
+	imDiff, err := bs.ev.Sub(tc, t)
+	if err != nil {
+		return nil, err
+	}
+	im2, err := bs.ev.MulByI(imDiff) // (conj−t)·i = 2·Im(t)
+	if err != nil {
+		return nil, err
+	}
+	// 4. EvalMod on both halves: u = 2x ∈ [−2K, 2K] → sin(2πx).
+	reMod, err := bs.evalMod(re2)
+	if err != nil {
+		return nil, err
+	}
+	imMod, err := bs.evalMod(im2)
+	if err != nil {
+		return nil, err
+	}
+	// 5. Recombine t' = re' + i·im'.
+	imI, err := bs.ev.MulByI(imMod)
+	if err != nil {
+		return nil, err
+	}
+	a, b, err := alignLevels(bs.ev, reMod, imI)
+	if err != nil {
+		return nil, err
+	}
+	comb, err := bs.ev.Add(a, b)
+	if err != nil {
+		return nil, err
+	}
+	// 6. SlotToCoeff restores the original slot values.
+	out, err := bs.s2c.Evaluate(bs.ev, bs.enc, comb)
+	if err != nil {
+		return nil, err
+	}
+	if out, err = bs.ev.Rescale(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// closeTo reports approximate equality within 1e-6 relative tolerance.
+func closeTo(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// evalMod evaluates the Chebyshev cosine and applies the double-angle
+// foldings c ← 2c² − 1 (r times), then optionally the arcsine correction.
+func (bs *Bootstrapper) evalMod(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	c, err := EvalChebyshev(bs.ev, ct, bs.cheb)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < bs.cfg.DoubleAngle; i++ {
+		sq, err := bs.ev.MulRelin(c, c)
+		if err != nil {
+			return nil, err
+		}
+		if sq, err = bs.ev.Rescale(sq); err != nil {
+			return nil, err
+		}
+		if sq, err = bs.ev.Add(sq, sq); err != nil {
+			return nil, err
+		}
+		if c, err = bs.ev.AddConst(sq, -1); err != nil {
+			return nil, err
+		}
+	}
+	if !bs.cfg.ArcsineCorrection {
+		return c, nil
+	}
+	// θ = asin(s) ≈ s + s³/6: evaluate s·(1 + s²/6) in two levels so the
+	// downstream linear extraction sees θ = 2π·x instead of sin(2π·x).
+	s2, err := bs.ev.MulRelin(c, c)
+	if err != nil {
+		return nil, err
+	}
+	if s2, err = bs.ev.Rescale(s2); err != nil {
+		return nil, err
+	}
+	s2scaled, err := bs.ev.MulConstAtScale(s2, complex(1.0/6.0, 0), bs.ev.TopModulus(s2.Level()))
+	if err != nil {
+		return nil, err
+	}
+	if s2scaled, err = bs.ev.Rescale(s2scaled); err != nil {
+		return nil, err
+	}
+	if s2scaled, err = bs.ev.AddConst(s2scaled, 1); err != nil {
+		return nil, err
+	}
+	cAligned, s2a, err := alignLevels(bs.ev, c, s2scaled)
+	if err != nil {
+		return nil, err
+	}
+	out, err := bs.ev.MulRelin(cAligned, s2a)
+	if err != nil {
+		return nil, err
+	}
+	return bs.ev.Rescale(out)
+}
+
+// modRaise lifts a level-0 ciphertext to the full chain by re-expressing
+// each centered coefficient residue in every chain modulus.
+func (bs *Bootstrapper) modRaise(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	r := bs.params.Ring
+	topBasis, err := bs.params.BasisAtLevel(bs.params.MaxLevel())
+	if err != nil {
+		return nil, err
+	}
+	q0 := bs.params.QBasis.Moduli[0]
+	raise := func(p *ring.Poly) (*ring.Poly, error) {
+		cp := p.Copy()
+		if err := r.INTT(cp); err != nil {
+			return nil, err
+		}
+		out := r.NewPoly(topBasis)
+		src := cp.Limbs[0]
+		for i, c := range src {
+			v := int64(c)
+			if c > q0/2 {
+				v = int64(c) - int64(q0)
+			}
+			for j, q := range topBasis.Moduli {
+				if v >= 0 {
+					out.Limbs[j][i] = uint64(v) % q
+				} else if rem := uint64(-v) % q; rem == 0 {
+					out.Limbs[j][i] = 0
+				} else {
+					out.Limbs[j][i] = q - rem
+				}
+			}
+		}
+		if err := r.NTT(out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	c0, err := raise(ct.C0)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := raise(ct.C1)
+	if err != nil {
+		return nil, err
+	}
+	return &ckks.Ciphertext{C0: c0, C1: c1, Scale: ct.Scale}, nil
+}

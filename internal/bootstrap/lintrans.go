@@ -1,0 +1,172 @@
+// Package bootstrap implements CKKS bootstrapping (paper §2
+// "Bootstrapping"): raising an exhausted ciphertext back to a high level by
+// homomorphically evaluating the modular reduction. The pipeline is the
+// standard one — ModRaise, CoeffToSlot (a homomorphic DFT), EvalMod (a
+// Chebyshev sine approximation with double-angle folding), SlotToCoeff —
+// and is dominated by the rotations/keyswitches the Cinnamon paper
+// accelerates.
+package bootstrap
+
+import (
+	"fmt"
+
+	"cinnamon/internal/ckks"
+)
+
+// LinearTransform is a slot-space linear map represented by its nonzero
+// diagonals, evaluated homomorphically with the baby-step/giant-step (BSGS)
+// pattern: out = Σ_i rot_{i·n1}( Σ_j ptRot_{i,j} ⊙ rot_j(ct) ).
+//
+// This is exactly the "multiple rotations on a single ciphertext" pattern
+// the paper's keyswitch pass batches (§4.3.1).
+type LinearTransform struct {
+	Slots int
+	Diags map[int][]complex128
+	N1    int // baby-step width (power of two)
+}
+
+// NewLinearTransform builds the diagonal representation of the dense
+// matrix m (out = m · in over slot vectors).
+func NewLinearTransform(m [][]complex128) (*LinearTransform, error) {
+	n := len(m)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("bootstrap: matrix dimension %d must be a power of two", n)
+	}
+	for i := range m {
+		if len(m[i]) != n {
+			return nil, fmt.Errorf("bootstrap: matrix is not square")
+		}
+	}
+	lt := &LinearTransform{Slots: n, Diags: map[int][]complex128{}}
+	for d := 0; d < n; d++ {
+		diag := make([]complex128, n)
+		zero := true
+		for j := 0; j < n; j++ {
+			diag[j] = m[j][(j+d)%n]
+			if diag[j] != 0 {
+				zero = false
+			}
+		}
+		if !zero {
+			lt.Diags[d] = diag
+		}
+	}
+	n1 := 1
+	for n1*n1 < len(lt.Diags) {
+		n1 <<= 1
+	}
+	if n1 > n {
+		n1 = n
+	}
+	lt.N1 = n1
+	return lt, nil
+}
+
+// Rotations returns the slot offsets whose rotation keys Evaluate needs.
+func (lt *LinearTransform) Rotations() []int {
+	set := map[int]bool{}
+	for d := range lt.Diags {
+		i, j := d/lt.N1, d%lt.N1
+		if j != 0 {
+			set[j] = true
+		}
+		if i != 0 {
+			set[i*lt.N1] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Evaluate applies the transform to ct. The output scale is
+// ct.Scale · Δ; the caller rescales. enc must share the evaluator's
+// parameters.
+func (lt *LinearTransform) Evaluate(ev *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	level := ct.Level()
+	// Encode diagonals at exactly the modulus the following rescale will
+	// consume, so the caller's rescale preserves ct.Scale exactly.
+	scale := ev.TopModulus(level)
+	// Hoist the baby-step rotations: each rot_j(ct) is computed once and
+	// reused across all giant steps.
+	rotCache := map[int]*ckks.Ciphertext{0: ct}
+	rotated := func(j int) (*ckks.Ciphertext, error) {
+		if r, ok := rotCache[j]; ok {
+			return r, nil
+		}
+		r, err := ev.Rotate(ct, j)
+		if err != nil {
+			return nil, err
+		}
+		rotCache[j] = r
+		return r, nil
+	}
+	var acc *ckks.Ciphertext
+	for i := 0; i*lt.N1 < lt.Slots; i++ {
+		var inner *ckks.Ciphertext
+		for j := 0; j < lt.N1; j++ {
+			diag, ok := lt.Diags[i*lt.N1+j]
+			if !ok {
+				continue
+			}
+			// Pre-rotate the diagonal by −i·n1 so the outer rotation
+			// realigns it.
+			w := make([]complex128, lt.Slots)
+			for k := range w {
+				w[k] = diag[((k-i*lt.N1)%lt.Slots+lt.Slots)%lt.Slots]
+			}
+			pt, err := enc.Encode(w, level, scale)
+			if err != nil {
+				return nil, err
+			}
+			rj, err := rotated(j)
+			if err != nil {
+				return nil, err
+			}
+			term, err := ev.MulPlain(rj, pt)
+			if err != nil {
+				return nil, err
+			}
+			if inner == nil {
+				inner = term
+			} else if inner, err = ev.Add(inner, term); err != nil {
+				return nil, err
+			}
+		}
+		if inner == nil {
+			continue
+		}
+		if i != 0 {
+			var err error
+			if inner, err = ev.Rotate(inner, i*lt.N1); err != nil {
+				return nil, err
+			}
+		}
+		if acc == nil {
+			acc = inner
+		} else {
+			var err error
+			if acc, err = ev.Add(acc, inner); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("bootstrap: linear transform has no nonzero diagonal")
+	}
+	return acc, nil
+}
+
+// Apply evaluates the transform on a plaintext vector (reference path for
+// tests).
+func (lt *LinearTransform) Apply(v []complex128) []complex128 {
+	out := make([]complex128, lt.Slots)
+	for d, diag := range lt.Diags {
+		for j := 0; j < lt.Slots; j++ {
+			out[j] += diag[j] * v[(j+d)%lt.Slots]
+		}
+	}
+	return out
+}

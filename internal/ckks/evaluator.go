@@ -1,0 +1,471 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"cinnamon/internal/ring"
+	"cinnamon/internal/rns"
+)
+
+// Evaluator performs homomorphic operations on ciphertexts. It holds the
+// relinearization and rotation keys it may need; operations that lack the
+// required key fail with a descriptive error.
+type Evaluator struct {
+	params *Parameters
+	enc    *Encoder
+	rlk    *EvalKey
+	rtks   *RotationKeySet
+}
+
+// NewEvaluator returns an evaluator. rlk and rtks may be nil when only
+// linear operations are used.
+func NewEvaluator(params *Parameters, rlk *EvalKey, rtks *RotationKeySet) *Evaluator {
+	return &Evaluator{params: params, enc: NewEncoder(params), rlk: rlk, rtks: rtks}
+}
+
+// Params returns the evaluator's parameter set.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+// Add returns a + b. Operands must share level and scale.
+func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.checkBinary(a, b); err != nil {
+		return nil, err
+	}
+	r := ev.params.Ring
+	out := &Ciphertext{C0: r.NewPoly(a.C0.Basis), C1: r.NewPoly(a.C0.Basis), Scale: a.Scale}
+	if err := r.Add(a.C0, b.C0, out.C0); err != nil {
+		return nil, err
+	}
+	if err := r.Add(a.C1, b.C1, out.C1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sub returns a − b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.checkBinary(a, b); err != nil {
+		return nil, err
+	}
+	r := ev.params.Ring
+	out := &Ciphertext{C0: r.NewPoly(a.C0.Basis), C1: r.NewPoly(a.C0.Basis), Scale: a.Scale}
+	if err := r.Sub(a.C0, b.C0, out.C0); err != nil {
+		return nil, err
+	}
+	if err := r.Sub(a.C1, b.C1, out.C1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Neg returns −a.
+func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	r := ev.params.Ring
+	out := &Ciphertext{C0: r.NewPoly(a.C0.Basis), C1: r.NewPoly(a.C0.Basis), Scale: a.Scale}
+	r.Neg(a.C0, out.C0)
+	r.Neg(a.C1, out.C1)
+	return out
+}
+
+func (ev *Evaluator) checkBinary(a, b *Ciphertext) error {
+	if a.Level() != b.Level() {
+		return fmt.Errorf("ckks: level mismatch %d vs %d", a.Level(), b.Level())
+	}
+	if !sameScale(a.Scale, b.Scale) {
+		return fmt.Errorf("ckks: scale mismatch %g vs %g", a.Scale, b.Scale)
+	}
+	return nil
+}
+
+// AddPlain returns ct + pt (matching level and scale).
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if ct.Level() != pt.Level() {
+		return nil, fmt.Errorf("ckks: level mismatch ct %d vs pt %d", ct.Level(), pt.Level())
+	}
+	if !sameScale(ct.Scale, pt.Scale) {
+		return nil, fmt.Errorf("ckks: scale mismatch %g vs %g", ct.Scale, pt.Scale)
+	}
+	r := ev.params.Ring
+	out := ct.Copy()
+	if err := r.Add(out.C0, pt.Poly, out.C0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulPlain returns ct ⊙ pt; the output scale is the product of scales.
+// The caller typically rescales afterwards.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if ct.Level() != pt.Level() {
+		return nil, fmt.Errorf("ckks: level mismatch ct %d vs pt %d", ct.Level(), pt.Level())
+	}
+	r := ev.params.Ring
+	out := &Ciphertext{C0: r.NewPoly(ct.C0.Basis), C1: r.NewPoly(ct.C0.Basis), Scale: ct.Scale * pt.Scale}
+	if err := r.MulCoeffs(ct.C0, pt.Poly, out.C0); err != nil {
+		return nil, err
+	}
+	if err := r.MulCoeffs(ct.C1, pt.Poly, out.C1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulRelin returns a ⊗ b relinearized back to two components using the
+// relinearization key (paper Fig. 5, left). The output scale is the product
+// of the input scales; the caller typically rescales afterwards.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	if ev.rlk == nil {
+		return nil, fmt.Errorf("ckks: evaluator has no relinearization key")
+	}
+	if a.Level() != b.Level() {
+		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", a.Level(), b.Level())
+	}
+	r := ev.params.Ring
+	basis := a.C0.Basis
+	d0 := r.NewPoly(basis)
+	d1 := r.NewPoly(basis)
+	d2 := r.NewPoly(basis)
+	t := r.NewPoly(basis)
+	if err := r.MulCoeffs(a.C0, b.C0, d0); err != nil {
+		return nil, err
+	}
+	if err := r.MulCoeffs(a.C0, b.C1, d1); err != nil {
+		return nil, err
+	}
+	if err := r.MulCoeffs(a.C1, b.C0, t); err != nil {
+		return nil, err
+	}
+	if err := r.Add(d1, t, d1); err != nil {
+		return nil, err
+	}
+	if err := r.MulCoeffs(a.C1, b.C1, d2); err != nil {
+		return nil, err
+	}
+	f0, f1, err := ev.KeySwitch(d2, ev.rlk)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Add(d0, f0, d0); err != nil {
+		return nil, err
+	}
+	if err := r.Add(d1, f1, d1); err != nil {
+		return nil, err
+	}
+	return &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale}, nil
+}
+
+// Rescale divides the ciphertext by its last chain modulus, dropping one
+// level and dividing the scale accordingly.
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level() == 0 {
+		return nil, fmt.Errorf("ckks: cannot rescale at level 0")
+	}
+	r := ev.params.Ring
+	ql := ct.C0.Basis.Moduli[ct.Level()]
+	c0 := ct.C0.Copy()
+	c1 := ct.C1.Copy()
+	if err := r.INTT(c0); err != nil {
+		return nil, err
+	}
+	if err := r.INTT(c1); err != nil {
+		return nil, err
+	}
+	r0, err := r.Rescale(c0)
+	if err != nil {
+		return nil, err
+	}
+	r1, err := r.Rescale(c1)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.NTT(r0); err != nil {
+		return nil, err
+	}
+	if err := r.NTT(r1); err != nil {
+		return nil, err
+	}
+	return &Ciphertext{C0: r0, C1: r1, Scale: ct.Scale / float64(ql)}, nil
+}
+
+// DropLevel truncates the ciphertext to the given (lower) level without
+// changing the scale.
+func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) (*Ciphertext, error) {
+	if level > ct.Level() || level < 0 {
+		return nil, fmt.Errorf("ckks: cannot drop from level %d to %d", ct.Level(), level)
+	}
+	out := ct.Copy()
+	out.C0.DropLastLimbs(ct.Level() - level)
+	out.C1.DropLastLimbs(ct.Level() - level)
+	return out, nil
+}
+
+// Rotate rotates the slot vector by k positions using the matching rotation
+// key (paper Fig. 5, right: automorphism + keyswitch).
+func (ev *Evaluator) Rotate(ct *Ciphertext, k int) (*Ciphertext, error) {
+	if k == 0 {
+		return ct.Copy(), nil
+	}
+	if ev.rtks == nil || ev.rtks.Keys[k] == nil {
+		return nil, fmt.Errorf("ckks: no rotation key for offset %d", k)
+	}
+	g := ev.params.Ring.GaloisElementForRotation(k)
+	return ev.automorphismKS(ct, g, ev.rtks.Keys[k])
+}
+
+// Conjugate applies complex conjugation to the slots.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	if ev.rtks == nil || ev.rtks.Conj == nil {
+		return nil, fmt.Errorf("ckks: no conjugation key")
+	}
+	g := ev.params.Ring.GaloisElementForConjugation()
+	return ev.automorphismKS(ct, g, ev.rtks.Conj)
+}
+
+func (ev *Evaluator) automorphismKS(ct *Ciphertext, galEl uint64, key *EvalKey) (*Ciphertext, error) {
+	r := ev.params.Ring
+	basis := ct.C0.Basis
+	s0 := r.NewPoly(basis)
+	s1 := r.NewPoly(basis)
+	if err := r.Automorphism(ct.C0, galEl, s0); err != nil {
+		return nil, err
+	}
+	if err := r.Automorphism(ct.C1, galEl, s1); err != nil {
+		return nil, err
+	}
+	f0, f1, err := ev.KeySwitch(s1, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Add(s0, f0, s0); err != nil {
+		return nil, err
+	}
+	return &Ciphertext{C0: s0, C1: f1, Scale: ct.Scale}, nil
+}
+
+// KeySwitch runs the hybrid keyswitching kernel of paper Fig. 4 on a single
+// polynomial c (NTT domain, level-l chain basis): digit-decompose, mod-up
+// each digit to Q_l ∪ P, inner-product with the evaluation key, and
+// mod-down back to Q_l. Returns the two output polynomials in NTT domain.
+func (ev *Evaluator) KeySwitch(c *ring.Poly, evk *EvalKey) (f0, f1 *ring.Poly, err error) {
+	params, r := ev.params, ev.params.Ring
+	if !c.IsNTT {
+		return nil, nil, fmt.Errorf("ckks: KeySwitch input must be NTT")
+	}
+	l := c.Basis.Len() - 1
+	qlBasis := c.Basis
+	extBasis := params.PBasis
+	union, err := qlBasis.Union(extBasis)
+	if err != nil {
+		return nil, nil, err
+	}
+	cc := c.Copy()
+	if err := r.INTT(cc); err != nil {
+		return nil, nil, err
+	}
+	f0 = r.NewPoly(union)
+	f1 = r.NewPoly(union)
+	f0.IsNTT, f1.IsNTT = true, true
+	tmp := r.NewPoly(union)
+	for d := 0; d < evk.Digits(); d++ {
+		lo, hi, ok := params.DigitRange(d, l)
+		if !ok {
+			break
+		}
+		ext, err := ev.digitModUp(cc, lo, hi, union)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := r.NTT(ext); err != nil {
+			return nil, nil, err
+		}
+		bD, err := restrict(evk.B[d], union)
+		if err != nil {
+			return nil, nil, err
+		}
+		aD, err := restrict(evk.A[d], union)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := r.MulCoeffs(ext, bD, tmp); err != nil {
+			return nil, nil, err
+		}
+		if err := r.Add(f0, tmp, f0); err != nil {
+			return nil, nil, err
+		}
+		if err := r.MulCoeffs(ext, aD, tmp); err != nil {
+			return nil, nil, err
+		}
+		if err := r.Add(f1, tmp, f1); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := r.INTT(f0); err != nil {
+		return nil, nil, err
+	}
+	if err := r.INTT(f1); err != nil {
+		return nil, nil, err
+	}
+	if f0, err = r.ModDown(f0, extBasis); err != nil {
+		return nil, nil, err
+	}
+	if f1, err = r.ModDown(f1, extBasis); err != nil {
+		return nil, nil, err
+	}
+	if err := r.NTT(f0); err != nil {
+		return nil, nil, err
+	}
+	if err := r.NTT(f1); err != nil {
+		return nil, nil, err
+	}
+	return f0, f1, nil
+}
+
+// digitModUp extracts digit limbs [lo,hi) of cc (coefficient domain, level
+// basis) and extends them to the full union basis Q_l ∪ P by fast base
+// conversion, keeping the digit's own limbs exact.
+func (ev *Evaluator) digitModUp(cc *ring.Poly, lo, hi int, union rns.Basis) (*ring.Poly, error) {
+	r := ev.params.Ring
+	qlLen := cc.Basis.Len()
+	digitBasis := rns.Basis{Moduli: cc.Basis.Moduli[lo:hi]}
+	// Complement: chain moduli outside the digit, then the special moduli.
+	compMods := make([]uint64, 0, union.Len()-(hi-lo))
+	compMods = append(compMods, cc.Basis.Moduli[:lo]...)
+	compMods = append(compMods, cc.Basis.Moduli[hi:]...)
+	compMods = append(compMods, union.Moduli[qlLen:]...)
+	compBasis := rns.Basis{Moduli: compMods}
+	bc, err := ring.ConverterFor(digitBasis, compBasis)
+	if err != nil {
+		return nil, err
+	}
+	conv, err := bc.Convert(cc.Limbs[lo:hi])
+	if err != nil {
+		return nil, err
+	}
+	out := r.NewPoly(union)
+	ci := 0
+	for j := 0; j < qlLen; j++ {
+		if j >= lo && j < hi {
+			copy(out.Limbs[j], cc.Limbs[j])
+		} else {
+			copy(out.Limbs[j], conv[ci])
+			ci++
+		}
+	}
+	for j := qlLen; j < union.Len(); j++ {
+		copy(out.Limbs[j], conv[ci])
+		ci++
+	}
+	return out, nil
+}
+
+// SetScale brings the ciphertext to exactly the target scale by
+// multiplying with the constant 1 encoded at the right plaintext scale and
+// rescaling once (costs one level). Use it to normalize the rescaling
+// drift before an operation that requires an exact scale, such as
+// bootstrapping.
+func (ev *Evaluator) SetScale(ct *Ciphertext, target float64) (*Ciphertext, error) {
+	if ct.Level() < 1 {
+		return nil, fmt.Errorf("ckks: SetScale needs one spare level")
+	}
+	ptScale := target * ev.TopModulus(ct.Level()) / ct.Scale
+	out, err := ev.MulConstAtScale(ct, 1, ptScale)
+	if err != nil {
+		return nil, err
+	}
+	if out, err = ev.Rescale(out); err != nil {
+		return nil, err
+	}
+	// The tracked value is exact up to the constant's 2^-30-ish encoding
+	// quantization; snap the bookkeeping to the target.
+	out.Scale = target
+	return out, nil
+}
+
+// MulByI multiplies every slot by the imaginary unit i. This is exact and
+// free of scale consumption: it multiplies the ciphertext by the monomial
+// X^{N/2}, whose canonical embedding is i in every slot.
+func (ev *Evaluator) MulByI(ct *Ciphertext) (*Ciphertext, error) {
+	r := ev.params.Ring
+	mono := r.NewPoly(ct.C0.Basis)
+	mono.SetCoeffBig(ev.params.N()/2, big.NewInt(1))
+	if err := r.NTT(mono); err != nil {
+		return nil, err
+	}
+	out := &Ciphertext{C0: r.NewPoly(ct.C0.Basis), C1: r.NewPoly(ct.C0.Basis), Scale: ct.Scale}
+	if err := r.MulCoeffs(ct.C0, mono, out.C0); err != nil {
+		return nil, err
+	}
+	if err := r.MulCoeffs(ct.C1, mono, out.C1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AddConst adds the constant c to every slot. Encoding a constant vector
+// needs only two monomials: Δ·Re(c) + Δ·Im(c)·X^{N/2}.
+func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) (*Ciphertext, error) {
+	r := ev.params.Ring
+	p := r.NewPoly(ct.C0.Basis)
+	re := big.NewInt(int64(math.Round(real(c) * ct.Scale)))
+	im := big.NewInt(int64(math.Round(imag(c) * ct.Scale)))
+	p.SetCoeffBig(0, re)
+	p.SetCoeffBig(ev.params.N()/2, im)
+	if err := r.NTT(p); err != nil {
+		return nil, err
+	}
+	out := ct.Copy()
+	if err := r.Add(out.C0, p, out.C0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScaleUp multiplies the ciphertext coefficients by the integer k and the
+// tracked scale with it, leaving the plaintext values unchanged. It is
+// exact (no noise, no level consumed) and is how bootstrapping aligns the
+// message scale with q0 before ModRaise.
+func (ev *Evaluator) ScaleUp(ct *Ciphertext, k uint64) *Ciphertext {
+	r := ev.params.Ring
+	out := &Ciphertext{C0: r.NewPoly(ct.C0.Basis), C1: r.NewPoly(ct.C0.Basis), Scale: ct.Scale * float64(k)}
+	r.MulScalar(ct.C0, k, out.C0)
+	r.MulScalar(ct.C1, k, out.C1)
+	return out
+}
+
+// TopModulus returns the chain modulus consumed by the next rescale at the
+// given level, as a float. Encoding plaintext factors at exactly this scale
+// makes the following rescale preserve the ciphertext scale exactly.
+func (ev *Evaluator) TopModulus(level int) float64 {
+	return float64(ev.params.QBasis.Moduli[level])
+}
+
+// MulConst multiplies every slot by the constant c, consuming scale like a
+// plaintext multiplication (output scale = ct.Scale · Δ); rescale after.
+func (ev *Evaluator) MulConst(ct *Ciphertext, c complex128) (*Ciphertext, error) {
+	return ev.MulConstAtScale(ct, c, ev.params.DefaultScale())
+}
+
+// MulConstAtScale is MulConst with an explicit plaintext encoding scale.
+// Pass TopModulus(ct.Level()) to preserve the ciphertext scale exactly
+// across the following rescale.
+func (ev *Evaluator) MulConstAtScale(ct *Ciphertext, c complex128, scale float64) (*Ciphertext, error) {
+	r := ev.params.Ring
+	p := r.NewPoly(ct.C0.Basis)
+	re := big.NewInt(int64(math.Round(real(c) * scale)))
+	im := big.NewInt(int64(math.Round(imag(c) * scale)))
+	p.SetCoeffBig(0, re)
+	p.SetCoeffBig(ev.params.N()/2, im)
+	if err := r.NTT(p); err != nil {
+		return nil, err
+	}
+	out := &Ciphertext{C0: r.NewPoly(ct.C0.Basis), C1: r.NewPoly(ct.C0.Basis), Scale: ct.Scale * scale}
+	if err := r.MulCoeffs(ct.C0, p, out.C0); err != nil {
+		return nil, err
+	}
+	if err := r.MulCoeffs(ct.C1, p, out.C1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,270 @@
+package ckks
+
+import (
+	"fmt"
+	"math/big"
+
+	"cinnamon/internal/ring"
+	"cinnamon/internal/rns"
+)
+
+// SecretKey is the ternary secret s, stored in the NTT domain over the full
+// Q ∪ P universe so it can be restricted to any level.
+type SecretKey struct {
+	S *ring.Poly
+}
+
+// PublicKey is an encryption key (b, a) = (−a·s + e, a) over the full
+// ciphertext chain Q, in the NTT domain.
+type PublicKey struct {
+	B, A *ring.Poly
+}
+
+// EvalKey is a keyswitching key from some key s' to the canonical secret s,
+// in the hybrid (digit-decomposed) form of paper Fig. 4: one (b_d, a_d)
+// pair per digit, over Q ∪ P, NTT domain, where
+// b_d = −a_d·s + e_d + P·g_d·s' and g_d is the digit recombination factor.
+//
+// DigitSets records the chain-index partition the key was generated for.
+// Nil means the default contiguous alpha-blocks of the parameter set; the
+// output-aggregation keyswitch (paper Fig. 8c) uses modular per-chip
+// partitions instead.
+type EvalKey struct {
+	B, A      []*ring.Poly // indexed by digit
+	DigitSets [][]int
+}
+
+// Digits returns the number of digits in the key.
+func (k *EvalKey) Digits() int { return len(k.B) }
+
+// KeyGenerator derives all key material deterministically from the
+// parameter seed.
+type KeyGenerator struct {
+	params  *Parameters
+	sampler *ring.Sampler
+}
+
+// NewKeyGenerator returns a generator seeded from params.Seed().
+func NewKeyGenerator(params *Parameters) *KeyGenerator {
+	return &KeyGenerator{params: params, sampler: ring.NewSampler(params.Ring, params.Seed())}
+}
+
+// GenSecretKey samples a ternary secret over Q ∪ P (sparse when the
+// parameters specify a Hamming weight).
+func (kg *KeyGenerator) GenSecretKey() (*SecretKey, error) {
+	var s *ring.Poly
+	if h := kg.params.HammingWeight(); h > 0 {
+		s = kg.sampler.TernarySparsePoly(kg.params.QPBasis(), h)
+	} else {
+		s = kg.sampler.TernaryPoly(kg.params.QPBasis())
+	}
+	if err := kg.params.Ring.NTT(s); err != nil {
+		return nil, err
+	}
+	return &SecretKey{S: s}, nil
+}
+
+// GenPublicKey derives (−a·s + e, a) over the full chain Q.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) (*PublicKey, error) {
+	r := kg.params.Ring
+	qb := kg.params.QBasis
+	a := kg.sampler.UniformPoly(qb)
+	a.IsNTT = true // uniform residues are uniform in either domain
+	e := kg.sampler.GaussianPoly(qb)
+	if err := r.NTT(e); err != nil {
+		return nil, err
+	}
+	sQ, err := restrict(sk.S, qb)
+	if err != nil {
+		return nil, err
+	}
+	b := r.NewPoly(qb)
+	if err := r.MulCoeffs(a, sQ, b); err != nil {
+		return nil, err
+	}
+	r.Neg(b, b)
+	if err := r.Add(b, e, b); err != nil {
+		return nil, err
+	}
+	return &PublicKey{B: b, A: a}, nil
+}
+
+// GenEvalKey builds a keyswitching key from sOld (NTT, over Q ∪ P) to the
+// canonical secret sk, using the parameter set's contiguous digit blocks.
+func (kg *KeyGenerator) GenEvalKey(sOld *ring.Poly, sk *SecretKey) (*EvalKey, error) {
+	params := kg.params
+	sets := make([][]int, 0, params.Digits())
+	for i := 0; i < params.Digits(); i++ {
+		lo, hi, ok := params.DigitRange(i, params.MaxLevel())
+		if !ok {
+			break
+		}
+		set := make([]int, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			set = append(set, j)
+		}
+		sets = append(sets, set)
+	}
+	evk, err := kg.GenEvalKeyDigits(sOld, sk, sets)
+	if err != nil {
+		return nil, err
+	}
+	evk.DigitSets = nil // marker for the default partition
+	return evk, nil
+}
+
+// GenEvalKeyDigits builds a keyswitching key for an arbitrary partition of
+// the full chain indices into digits. Every chain index must appear in
+// exactly one digit.
+func (kg *KeyGenerator) GenEvalKeyDigits(sOld *ring.Poly, sk *SecretKey, digits [][]int) (*EvalKey, error) {
+	params, r := kg.params, kg.params.Ring
+	qp := params.QPBasis()
+	if !sOld.Basis.Equal(qp) || !sOld.IsNTT {
+		return nil, fmt.Errorf("ckks: source key must be NTT over Q∪P")
+	}
+	seen := make([]bool, params.QBasis.Len())
+	for _, set := range digits {
+		for _, j := range set {
+			if j < 0 || j >= len(seen) || seen[j] {
+				return nil, fmt.Errorf("ckks: digit partition is not a partition of chain indices")
+			}
+			seen[j] = true
+		}
+	}
+	for j, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("ckks: chain index %d missing from digit partition", j)
+		}
+	}
+	d := len(digits)
+	evk := &EvalKey{B: make([]*ring.Poly, d), A: make([]*ring.Poly, d), DigitSets: digits}
+	for i := 0; i < d; i++ {
+		gRes, err := digitFactorRNSForSet(params, digits[i])
+		if err != nil {
+			return nil, err
+		}
+		a := kg.sampler.UniformPoly(qp)
+		a.IsNTT = true
+		e := kg.sampler.GaussianPoly(qp)
+		if err := r.NTT(e); err != nil {
+			return nil, err
+		}
+		b := r.NewPoly(qp)
+		if err := r.MulCoeffs(a, sk.S, b); err != nil {
+			return nil, err
+		}
+		r.Neg(b, b)
+		if err := r.Add(b, e, b); err != nil {
+			return nil, err
+		}
+		// b += (P·g_i)·s_old
+		t := r.NewPoly(qp)
+		if err := r.MulScalarBigRNS(sOld, gRes, t); err != nil {
+			return nil, err
+		}
+		if err := r.Add(b, t, b); err != nil {
+			return nil, err
+		}
+		evk.B[i], evk.A[i] = b, a
+	}
+	return evk, nil
+}
+
+// GenRelinKey builds the relinearization key (s² → s).
+func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) (*EvalKey, error) {
+	r := kg.params.Ring
+	s2 := r.NewPoly(kg.params.QPBasis())
+	if err := r.MulCoeffs(sk.S, sk.S, s2); err != nil {
+		return nil, err
+	}
+	return kg.GenEvalKey(s2, sk)
+}
+
+// GenRotationKey builds the keyswitching key for rotation by k slots
+// (σ_g(s) → s with g = 5^k).
+func (kg *KeyGenerator) GenRotationKey(sk *SecretKey, k int) (*EvalKey, error) {
+	r := kg.params.Ring
+	g := r.GaloisElementForRotation(k)
+	sRot := r.NewPoly(kg.params.QPBasis())
+	if err := r.Automorphism(sk.S, g, sRot); err != nil {
+		return nil, err
+	}
+	return kg.GenEvalKey(sRot, sk)
+}
+
+// GenConjugationKey builds the keyswitching key for complex conjugation.
+func (kg *KeyGenerator) GenConjugationKey(sk *SecretKey) (*EvalKey, error) {
+	r := kg.params.Ring
+	sConj := r.NewPoly(kg.params.QPBasis())
+	if err := r.Automorphism(sk.S, r.GaloisElementForConjugation(), sConj); err != nil {
+		return nil, err
+	}
+	return kg.GenEvalKey(sConj, sk)
+}
+
+// RotationKeySet holds rotation keys by slot offset plus the conjugation
+// key; the evaluator looks keys up here.
+type RotationKeySet struct {
+	Keys map[int]*EvalKey
+	Conj *EvalKey
+}
+
+// GenRotationKeySet builds keys for every offset in ks (and conjugation if
+// withConj).
+func (kg *KeyGenerator) GenRotationKeySet(sk *SecretKey, ks []int, withConj bool) (*RotationKeySet, error) {
+	set := &RotationKeySet{Keys: map[int]*EvalKey{}}
+	for _, k := range ks {
+		if _, ok := set.Keys[k]; ok {
+			continue
+		}
+		rk, err := kg.GenRotationKey(sk, k)
+		if err != nil {
+			return nil, err
+		}
+		set.Keys[k] = rk
+	}
+	if withConj {
+		ck, err := kg.GenConjugationKey(sk)
+		if err != nil {
+			return nil, err
+		}
+		set.Conj = ck
+	}
+	return set, nil
+}
+
+// digitFactorRNSForSet returns the residues over Q ∪ P of the scalar P·g_d
+// where g_d = D̂_d·[D̂_d⁻¹]_{D_d} mod Q is the recombination factor for the
+// digit covering the given chain indices. Residues at the P moduli are zero
+// since P divides P·g_d.
+func digitFactorRNSForSet(params *Parameters, set []int) ([]uint64, error) {
+	qb, pb := params.QBasis, params.PBasis
+	if len(set) == 0 {
+		return nil, fmt.Errorf("ckks: empty digit")
+	}
+	Q := qb.Product()
+	D := big.NewInt(1)
+	for _, j := range set {
+		D.Mul(D, new(big.Int).SetUint64(qb.Moduli[j]))
+	}
+	Dhat := new(big.Int).Div(Q, D)
+	t := new(big.Int).ModInverse(new(big.Int).Mod(Dhat, D), D)
+	if t == nil {
+		return nil, fmt.Errorf("ckks: digit %v factor not invertible", set)
+	}
+	g := new(big.Int).Mul(Dhat, t)
+	g.Mod(g, Q)
+	g.Mul(g, pb.Product()) // P·g_d
+	res := make([]uint64, qb.Len()+pb.Len())
+	tmp := new(big.Int)
+	for j, q := range qb.Moduli {
+		res[j] = tmp.Mod(g, new(big.Int).SetUint64(q)).Uint64()
+	}
+	// residues at P moduli are 0 (already zeroed)
+	return res, nil
+}
+
+// restrict delegates to ring.Restrict (shared limb views, target order).
+func restrict(p *ring.Poly, target rns.Basis) (*ring.Poly, error) {
+	return ring.Restrict(p, target)
+}

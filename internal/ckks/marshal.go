@@ -1,0 +1,170 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cinnamon/internal/ring"
+	"cinnamon/internal/rns"
+)
+
+// Binary serialization for ciphertexts and evaluation keys, so a client
+// and server can actually exchange encrypted data — the deployment surface
+// any downstream user of the library needs. The format is little-endian:
+// a small header (magic, domain flag, scale, limb count, ring dimension)
+// followed by per-limb modulus + coefficients.
+
+const ctMagic = 0x43494e31 // "CIN1"
+
+func writePoly(w io.Writer, p *ring.Poly) error {
+	hdr := []uint64{uint64(len(p.Limbs)), 0}
+	if p.IsNTT {
+		hdr[1] = 1
+	}
+	if len(p.Limbs) > 0 {
+		hdr = append(hdr, uint64(len(p.Limbs[0])))
+	} else {
+		hdr = append(hdr, 0)
+	}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for j, limb := range p.Limbs {
+		if err := binary.Write(w, binary.LittleEndian, p.Basis.Moduli[j]); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, limb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readPoly(r io.Reader) (*ring.Poly, error) {
+	hdr := make([]uint64, 3)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	limbs, isNTT, n := int(hdr[0]), hdr[1] == 1, int(hdr[2])
+	if limbs < 0 || limbs > 1<<16 || n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("ckks: implausible polynomial header (%d limbs, %d coeffs)", limbs, n)
+	}
+	moduli := make([]uint64, limbs)
+	data := make([][]uint64, limbs)
+	for j := 0; j < limbs; j++ {
+		if err := binary.Read(r, binary.LittleEndian, &moduli[j]); err != nil {
+			return nil, err
+		}
+		data[j] = make([]uint64, n)
+		if err := binary.Read(r, binary.LittleEndian, data[j]); err != nil {
+			return nil, err
+		}
+		for _, c := range data[j] {
+			if c >= moduli[j] {
+				return nil, fmt.Errorf("ckks: coefficient %d out of range for modulus %d", c, moduli[j])
+			}
+		}
+	}
+	basis, err := rns.NewBasis(moduli)
+	if err != nil {
+		return nil, err
+	}
+	return &ring.Poly{Basis: basis, Limbs: data, IsNTT: isNTT}, nil
+}
+
+// Write serializes the ciphertext.
+func (ct *Ciphertext) Write(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(ctMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, ct.Scale); err != nil {
+		return err
+	}
+	if err := writePoly(w, ct.C0); err != nil {
+		return err
+	}
+	return writePoly(w, ct.C1)
+}
+
+// ReadCiphertext deserializes a ciphertext and validates it against the
+// parameter set (basis must be a chain prefix, dimensions must match).
+func ReadCiphertext(r io.Reader, params *Parameters) (*Ciphertext, error) {
+	var magic uint64
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != ctMagic {
+		return nil, fmt.Errorf("ckks: bad ciphertext magic %#x", magic)
+	}
+	var scale float64
+	if err := binary.Read(r, binary.LittleEndian, &scale); err != nil {
+		return nil, err
+	}
+	if !(scale > 0) {
+		return nil, fmt.Errorf("ckks: invalid scale %g", scale)
+	}
+	c0, err := readPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := readPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []*ring.Poly{c0, c1} {
+		if len(p.Limbs) == 0 || len(p.Limbs[0]) != params.N() {
+			return nil, fmt.Errorf("ckks: ring dimension mismatch")
+		}
+		if !p.Basis.Equal(params.QBasis.Prefix(p.Basis.Len())) {
+			return nil, fmt.Errorf("ckks: basis is not a chain prefix of the parameter set")
+		}
+	}
+	if c0.Basis.Len() != c1.Basis.Len() {
+		return nil, fmt.Errorf("ckks: component level mismatch")
+	}
+	return &Ciphertext{C0: c0, C1: c1, Scale: scale}, nil
+}
+
+// Write serializes an evaluation key (all digits, both halves).
+func (k *EvalKey) Write(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(k.B))); err != nil {
+		return err
+	}
+	for d := range k.B {
+		if err := writePoly(w, k.B[d]); err != nil {
+			return err
+		}
+		if err := writePoly(w, k.A[d]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadEvalKey deserializes an evaluation key (default digit partition).
+func ReadEvalKey(r io.Reader, params *Parameters) (*EvalKey, error) {
+	var digits uint64
+	if err := binary.Read(r, binary.LittleEndian, &digits); err != nil {
+		return nil, err
+	}
+	if digits == 0 || digits > 1<<10 {
+		return nil, fmt.Errorf("ckks: implausible digit count %d", digits)
+	}
+	k := &EvalKey{B: make([]*ring.Poly, digits), A: make([]*ring.Poly, digits)}
+	for d := 0; d < int(digits); d++ {
+		var err error
+		if k.B[d], err = readPoly(r); err != nil {
+			return nil, err
+		}
+		if k.A[d], err = readPoly(r); err != nil {
+			return nil, err
+		}
+		for _, p := range []*ring.Poly{k.B[d], k.A[d]} {
+			if !p.Basis.Equal(params.QPBasis()) {
+				return nil, fmt.Errorf("ckks: evaluation key digit %d is not over Q∪P", d)
+			}
+		}
+	}
+	return k, nil
+}

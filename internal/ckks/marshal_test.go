@@ -1,0 +1,116 @@
+package ckks
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCiphertextRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	v := randomComplex(16, 1.0, 55)
+	ct := tc.encrypt(t, v)
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCiphertext(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.C0.Equal(ct.C0) || !got.C1.Equal(ct.C1) || got.Scale != ct.Scale {
+		t.Fatal("ciphertext round trip differs")
+	}
+	// The deserialized ciphertext must decrypt.
+	out := tc.decryptDecode(t, got, 16)
+	if e := maxErr(v, out); e > 1e-6 {
+		t.Fatalf("round-tripped ciphertext decrypts with error %g", e)
+	}
+}
+
+func TestCiphertextRoundTripAfterDropLevel(t *testing.T) {
+	tc := newTestContext(t, nil)
+	ct := tc.encrypt(t, randomComplex(8, 1.0, 56))
+	low, err := tc.ev.DropLevel(ct, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := low.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCiphertext(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level() != 1 {
+		t.Fatalf("level %d after round trip", got.Level())
+	}
+}
+
+func TestReadCiphertextRejectsGarbage(t *testing.T) {
+	tc := newTestContext(t, nil)
+	if _, err := ReadCiphertext(bytes.NewReader([]byte{1, 2, 3}), tc.params); err == nil {
+		t.Fatal("expected short-read error")
+	}
+	var buf bytes.Buffer
+	ct := tc.encrypt(t, randomComplex(4, 1.0, 57))
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] ^= 0xff // corrupt magic
+	if _, err := ReadCiphertext(bytes.NewReader(raw), tc.params); err == nil {
+		t.Fatal("expected magic error")
+	}
+	// Corrupt a coefficient beyond its modulus.
+	buf.Reset()
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw = buf.Bytes()
+	for i := len(raw) - 8; i < len(raw); i++ {
+		raw[i] = 0xff
+	}
+	if _, err := ReadCiphertext(bytes.NewReader(raw), tc.params); err == nil {
+		t.Fatal("expected out-of-range coefficient error")
+	}
+}
+
+func TestEvalKeyRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	var buf bytes.Buffer
+	if err := tc.rlk.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvalKey(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digits() != tc.rlk.Digits() {
+		t.Fatalf("digits %d != %d", got.Digits(), tc.rlk.Digits())
+	}
+	for d := 0; d < got.Digits(); d++ {
+		if !got.B[d].Equal(tc.rlk.B[d]) || !got.A[d].Equal(tc.rlk.A[d]) {
+			t.Fatalf("digit %d differs", d)
+		}
+	}
+	// A round-tripped relinearization key must actually relinearize.
+	ev := NewEvaluator(tc.params, got, nil)
+	v := randomComplex(8, 1.0, 58)
+	ct := tc.encrypt(t, v)
+	prod, err := ev.MulRelin(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err = ev.Rescale(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, 8)
+	for i := range want {
+		want[i] = v[i] * v[i]
+	}
+	if e := maxErr(want, tc.decryptDecode(t, prod, 8)); e > 1e-4 {
+		t.Fatalf("round-tripped key mul error %g", e)
+	}
+}

@@ -1,0 +1,193 @@
+// Package ckks implements the CKKS approximate-arithmetic FHE scheme
+// (Cheon-Kim-Kim-Song) in full RNS form: encoding via the canonical
+// embedding, encryption, homomorphic add/multiply/rotate, rescaling, and
+// hybrid keyswitching with digit decomposition — the scheme the Cinnamon
+// paper accelerates (§2).
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"cinnamon/internal/ring"
+	"cinnamon/internal/rns"
+)
+
+// ParametersLiteral describes a CKKS parameter set by bit sizes, mirroring
+// how FHE libraries specify parameter sets.
+type ParametersLiteral struct {
+	LogN     int   // ring dimension 2^LogN
+	LogQ     []int // bit sizes of the ciphertext chain moduli q_0..q_L
+	LogP     []int // bit sizes of the special (extension) moduli
+	LogScale int   // log2 of the default encoding scale Δ
+	// Digits is the number of keyswitching digits (dnum). Zero means
+	// ceil(len(LogQ)/len(LogP)), the usual hybrid-keyswitch choice.
+	Digits int
+	Seed   int64 // PRNG seed for key material (deterministic builds)
+	// HammingWeight, when nonzero, makes the secret a sparse ternary with
+	// exactly that many nonzero coefficients (required by bootstrapping).
+	HammingWeight int
+	// SkipNTTTables builds the ring without NTT tables: compile-only /
+	// timing-simulation parameter sets at large N (no functional
+	// execution possible).
+	SkipNTTTables bool
+}
+
+// Parameters is a compiled CKKS parameter set with its ring context.
+type Parameters struct {
+	logN     int
+	logScale int
+	digits   int
+	alpha    int // moduli per digit = len(P)
+	seed     int64
+	hamming  int
+
+	QBasis rns.Basis // ciphertext chain q_0..q_L
+	PBasis rns.Basis // special moduli
+	Ring   *ring.Ring
+}
+
+// NewParameters validates and compiles a parameter literal: it generates
+// distinct NTT-friendly primes for every chain and special modulus and
+// builds the ring.
+func NewParameters(lit ParametersLiteral) (*Parameters, error) {
+	if lit.LogN < 3 || lit.LogN > 17 {
+		return nil, fmt.Errorf("ckks: LogN %d out of supported range [3,17]", lit.LogN)
+	}
+	if len(lit.LogQ) < 1 {
+		return nil, fmt.Errorf("ckks: need at least one chain modulus")
+	}
+	if len(lit.LogP) < 1 {
+		return nil, fmt.Errorf("ckks: need at least one special modulus")
+	}
+	if lit.LogScale < 10 || lit.LogScale > 60 {
+		return nil, fmt.Errorf("ckks: LogScale %d out of range [10,60]", lit.LogScale)
+	}
+	// Count how many primes of each bit size we need, then hand them out in
+	// order so all moduli are distinct.
+	need := map[int]int{}
+	for _, b := range lit.LogQ {
+		need[b]++
+	}
+	for _, b := range lit.LogP {
+		need[b]++
+	}
+	pool := map[int][]uint64{}
+	for bits, cnt := range need {
+		ps, err := rns.GenerateNTTPrimes(bits, lit.LogN, cnt)
+		if err != nil {
+			return nil, fmt.Errorf("ckks: generating %d %d-bit primes: %w", cnt, bits, err)
+		}
+		pool[bits] = ps
+	}
+	take := func(bits int) uint64 {
+		p := pool[bits][0]
+		pool[bits] = pool[bits][1:]
+		return p
+	}
+	qMods := make([]uint64, len(lit.LogQ))
+	for i, b := range lit.LogQ {
+		qMods[i] = take(b)
+	}
+	pMods := make([]uint64, len(lit.LogP))
+	for i, b := range lit.LogP {
+		pMods[i] = take(b)
+	}
+	qb, err := rns.NewBasis(qMods)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := rns.NewBasis(pMods)
+	if err != nil {
+		return nil, err
+	}
+	uni, err := qb.Union(pb)
+	if err != nil {
+		return nil, err
+	}
+	var rg *ring.Ring
+	if lit.SkipNTTTables {
+		rg, err = ring.NewRingLazy(1<<lit.LogN, uni)
+	} else {
+		rg, err = ring.NewRing(1<<lit.LogN, uni)
+	}
+	if err != nil {
+		return nil, err
+	}
+	alpha := len(pMods)
+	digits := lit.Digits
+	if digits == 0 {
+		digits = (len(qMods) + alpha - 1) / alpha
+	}
+	maxDigits := (len(qMods) + alpha - 1) / alpha
+	if digits < 1 || digits > len(qMods) {
+		return nil, fmt.Errorf("ckks: digit count %d out of range", digits)
+	}
+	if digits > maxDigits {
+		digits = maxDigits
+	}
+	return &Parameters{
+		logN:     lit.LogN,
+		logScale: lit.LogScale,
+		digits:   digits,
+		alpha:    alpha,
+		seed:     lit.Seed,
+		hamming:  lit.HammingWeight,
+		QBasis:   qb,
+		PBasis:   pb,
+		Ring:     rg,
+	}, nil
+}
+
+// N returns the ring dimension.
+func (p *Parameters) N() int { return 1 << p.logN }
+
+// LogN returns log2 of the ring dimension.
+func (p *Parameters) LogN() int { return p.logN }
+
+// Slots returns the number of complex plaintext slots (N/2).
+func (p *Parameters) Slots() int { return 1 << (p.logN - 1) }
+
+// MaxLevel returns the highest ciphertext level (len(Q)−1).
+func (p *Parameters) MaxLevel() int { return p.QBasis.Len() - 1 }
+
+// DefaultScale returns the default encoding scale Δ.
+func (p *Parameters) DefaultScale() float64 { return math.Exp2(float64(p.logScale)) }
+
+// Digits returns the keyswitching digit count (dnum).
+func (p *Parameters) Digits() int { return p.digits }
+
+// Alpha returns the number of moduli per keyswitching digit.
+func (p *Parameters) Alpha() int { return p.alpha }
+
+// Seed returns the deterministic key-material seed.
+func (p *Parameters) Seed() int64 { return p.seed }
+
+// HammingWeight returns the sparse-secret weight (0 = dense ternary).
+func (p *Parameters) HammingWeight() int { return p.hamming }
+
+// BasisAtLevel returns the ciphertext chain prefix for level l (l+1 limbs).
+func (p *Parameters) BasisAtLevel(l int) (rns.Basis, error) {
+	if l < 0 || l > p.MaxLevel() {
+		return rns.Basis{}, fmt.Errorf("ckks: level %d out of [0,%d]", l, p.MaxLevel())
+	}
+	return p.QBasis.Prefix(l + 1), nil
+}
+
+// DigitRange returns the chain-index interval [lo, hi) of digit d at level
+// l: digit d covers moduli d·alpha .. min((d+1)·alpha, l+1). The second
+// return is false when the digit is empty at this level.
+func (p *Parameters) DigitRange(d, l int) (lo, hi int, ok bool) {
+	lo = d * p.alpha
+	hi = (d + 1) * p.alpha
+	if hi > l+1 {
+		hi = l + 1
+	}
+	if lo >= l+1 {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// QPBasis returns the full universe basis Q ∪ P.
+func (p *Parameters) QPBasis() rns.Basis { return p.Ring.Universe }

@@ -1,0 +1,215 @@
+package ckks
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the homomorphism itself: for random plaintext
+// vectors, the encrypted computation must commute with the plaintext one
+// within the noise bound. Each property uses a fixed shared context (key
+// generation is the expensive part) and draws fresh randomness per check.
+
+func propContext(t *testing.T) *testContext {
+	t.Helper()
+	return newTestContext(t, []int{1, 2, 3})
+}
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+func TestPropertyAdditionCommutes(t *testing.T) {
+	tc := propContext(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randVec(rng, 16), randVec(rng, 16)
+		ca, cb := tc.encrypt(t, a), tc.encrypt(t, b)
+		s1, err := tc.ev.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		s2, err := tc.ev.Add(cb, ca)
+		if err != nil {
+			return false
+		}
+		v1 := tc.decryptDecode(t, s1, 16)
+		v2 := tc.decryptDecode(t, s2, 16)
+		for i := range v1 {
+			if cmplx.Abs(v1[i]-v2[i]) > 1e-6 {
+				return false
+			}
+			if cmplx.Abs(v1[i]-(a[i]+b[i])) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMulDistributesOverAdd(t *testing.T) {
+	tc := propContext(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randVec(rng, 8), randVec(rng, 8), randVec(rng, 8)
+		ca, cb, cc := tc.encrypt(t, a), tc.encrypt(t, b), tc.encrypt(t, c)
+		// (a+b)·c
+		sum, err := tc.ev.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		lhs, err := tc.ev.MulRelin(sum, cc)
+		if err != nil {
+			return false
+		}
+		if lhs, err = tc.ev.Rescale(lhs); err != nil {
+			return false
+		}
+		// a·c + b·c
+		p1, err := tc.ev.MulRelin(ca, cc)
+		if err != nil {
+			return false
+		}
+		p2, err := tc.ev.MulRelin(cb, cc)
+		if err != nil {
+			return false
+		}
+		rhs, err := tc.ev.Add(p1, p2)
+		if err != nil {
+			return false
+		}
+		if rhs, err = tc.ev.Rescale(rhs); err != nil {
+			return false
+		}
+		v1 := tc.decryptDecode(t, lhs, 8)
+		v2 := tc.decryptDecode(t, rhs, 8)
+		for i := range v1 {
+			if cmplx.Abs(v1[i]-v2[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRotationComposes(t *testing.T) {
+	tc := propContext(t)
+	slots := tc.params.Slots()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randVec(rng, slots)
+		ct := tc.encrypt(t, v)
+		// rot1(rot2(x)) == rot3(x)
+		r2, err := tc.ev.Rotate(ct, 2)
+		if err != nil {
+			return false
+		}
+		r12, err := tc.ev.Rotate(r2, 1)
+		if err != nil {
+			return false
+		}
+		r3, err := tc.ev.Rotate(ct, 3)
+		if err != nil {
+			return false
+		}
+		v1 := tc.decryptDecode(t, r12, slots)
+		v2 := tc.decryptDecode(t, r3, slots)
+		for i := range v1 {
+			if cmplx.Abs(v1[i]-v2[i]) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyConjugationInvolution(t *testing.T) {
+	tc := propContext(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randVec(rng, 8)
+		ct := tc.encrypt(t, v)
+		c1, err := tc.ev.Conjugate(ct)
+		if err != nil {
+			return false
+		}
+		c2, err := tc.ev.Conjugate(c1)
+		if err != nil {
+			return false
+		}
+		got := tc.decryptDecode(t, c2, 8)
+		for i := range v {
+			if cmplx.Abs(got[i]-v[i]) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEvaluatorOps(b *testing.B) {
+	params, err := NewParameters(ParametersLiteral{
+		LogN: 12, LogQ: []int{55, 45, 45, 45, 45, 45}, LogP: []int{58, 58}, LogScale: 45, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := NewKeyGenerator(params)
+	sk, _ := kg.GenSecretKey()
+	pk, _ := kg.GenPublicKey(sk)
+	rlk, _ := kg.GenRelinKey(sk)
+	rtks, _ := kg.GenRotationKeySet(sk, []int{1}, false)
+	enc := NewEncoder(params)
+	encr := NewEncryptor(params, pk)
+	ev := NewEvaluator(params, rlk, rtks)
+	pt, _ := enc.Encode(make([]complex128, params.Slots()), params.MaxLevel(), params.DefaultScale())
+	ct, _ := encr.Encrypt(pt)
+
+	b.Run("Encrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := encr.Encrypt(pt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MulRelin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.MulRelin(ct, ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Rotate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Rotate(ct, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Rescale", func(b *testing.B) {
+		prod, _ := ev.MulRelin(ct, ct)
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Rescale(prod); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package compiler
+
+import (
+	"fmt"
+
+	"cinnamon/internal/limbir"
+)
+
+// Allocate rewrites a virtual-value module onto physical register files of
+// numRegs vector registers per chip using Belady's MIN policy (paper §4.4):
+// when a register is needed, the live value whose next use is furthest in
+// the future is evicted. Values defined by Load instructions are
+// rematerialized by reloading their symbol; computed values are spilled to
+// scratch memory. Loads and stores are inserted in place (the paper hoists
+// them "as early as possible"; an in-order stream with a deep memory queue
+// is equivalent for the simulator's purposes).
+func Allocate(m *limbir.Module, numRegs int) (*limbir.Module, error) {
+	out := limbir.NewModule(m.NChips)
+	for c, p := range m.Chips {
+		ap, err := allocateChip(p, numRegs)
+		if err != nil {
+			return nil, fmt.Errorf("chip %d: %w", c, err)
+		}
+		ap.Chip = c
+		out.Chips[c] = ap
+	}
+	return out, nil
+}
+
+const infUse = int(^uint(0) >> 1)
+
+func allocateChip(p *limbir.Program, numRegs int) (*limbir.Program, error) {
+	maxSrcs := 0
+	for _, in := range p.Instrs {
+		if len(in.Srcs) > maxSrcs {
+			maxSrcs = len(in.Srcs)
+		}
+	}
+	if numRegs < maxSrcs+1 {
+		return nil, fmt.Errorf("compiler: %d registers cannot hold %d operands + result", numRegs, maxSrcs)
+	}
+	// Next-use chains with amortized pointers.
+	useAt := make([][]int, p.NumValues)
+	for i, in := range p.Instrs {
+		for _, s := range in.Srcs {
+			useAt[s] = append(useAt[s], i)
+		}
+	}
+	usePtr := make([]int, p.NumValues)
+	nextUse := func(v, after int) int {
+		lst := useAt[v]
+		for usePtr[v] < len(lst) && lst[usePtr[v]] <= after {
+			usePtr[v]++
+		}
+		if usePtr[v] == len(lst) {
+			return infUse
+		}
+		return lst[usePtr[v]]
+	}
+
+	out := &limbir.Program{NumRegs: numRegs}
+	regVal := make([]int, numRegs) // value held, -1 free
+	freeRegs := make([]int, 0, numRegs)
+	for r := numRegs - 1; r >= 0; r-- {
+		regVal[r] = -1
+		freeRegs = append(freeRegs, r)
+	}
+	regOf := make(map[int]int)        // value -> register
+	originSym := make(map[int]string) // value came from this Load symbol
+	spilled := make(map[int]bool)
+	spills := 0
+	pinned := map[int]bool{}
+
+	evict := func(at int) (int, error) {
+		bestReg, bestDist := -1, -1
+		for r, v := range regVal {
+			if v == -1 || pinned[r] {
+				continue
+			}
+			d := nextUse(v, at-1)
+			if d > bestDist {
+				bestDist = d
+				bestReg = r
+				if d == infUse {
+					break // cannot do better than a dead value
+				}
+			}
+		}
+		if bestReg < 0 {
+			return 0, fmt.Errorf("compiler: no evictable register")
+		}
+		v := regVal[bestReg]
+		if bestDist != infUse { // value still needed later
+			if _, clean := originSym[v]; !clean && !spilled[v] {
+				out.Emit(limbir.Instr{Op: limbir.Store, Srcs: []limbir.Value{bestReg},
+					Sym: fmt.Sprintf("spill:%d", v)})
+				spilled[v] = true
+				spills++
+			}
+		}
+		delete(regOf, v)
+		regVal[bestReg] = -1
+		return bestReg, nil
+	}
+	getReg := func(at int) (int, error) {
+		if n := len(freeRegs); n > 0 {
+			r := freeRegs[n-1]
+			freeRegs = freeRegs[:n-1]
+			return r, nil
+		}
+		return evict(at)
+	}
+	ensureLoaded := func(v, at int) (int, error) {
+		if r, ok := regOf[v]; ok {
+			return r, nil
+		}
+		r, err := getReg(at)
+		if err != nil {
+			return 0, err
+		}
+		sym, clean := originSym[v]
+		if !clean {
+			if !spilled[v] {
+				return 0, fmt.Errorf("compiler: value %d neither live, clean, nor spilled", v)
+			}
+			sym = fmt.Sprintf("spill:%d", v)
+		}
+		out.Emit(limbir.Instr{Op: limbir.Load, Dst: r, Sym: sym})
+		regVal[r] = v
+		regOf[v] = r
+		return r, nil
+	}
+
+	for i, in := range p.Instrs {
+		for r := range pinned {
+			delete(pinned, r)
+		}
+		newSrcs := make([]limbir.Value, len(in.Srcs))
+		for si, s := range in.Srcs {
+			r, err := ensureLoaded(s, i)
+			if err != nil {
+				return nil, err
+			}
+			newSrcs[si] = r
+			pinned[r] = true
+		}
+		// Free sources with no further use.
+		for _, s := range in.Srcs {
+			if nextUse(s, i) == infUse {
+				if r, ok := regOf[s]; ok {
+					regVal[r] = -1
+					freeRegs = append(freeRegs, r)
+					delete(regOf, s)
+					delete(pinned, r)
+				}
+			}
+		}
+		ni := in
+		ni.Srcs = newSrcs
+		if in.Op == limbir.Store {
+			ni.Dst = 0
+			out.Emit(ni)
+			continue
+		}
+		r, err := getReg(i)
+		if err != nil {
+			return nil, err
+		}
+		regVal[r] = in.Dst
+		regOf[in.Dst] = r
+		if in.Op == limbir.Load {
+			originSym[in.Dst] = in.Sym
+		}
+		ni.Dst = r
+		out.Emit(ni)
+	}
+	out.Spills = spills
+	out.NumValues = numRegs
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/dsl"
+	"cinnamon/internal/limbir"
+	"cinnamon/internal/polyir"
+)
+
+func testParams(t testing.TB) *ckks.Parameters {
+	t.Helper()
+	p, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: 8, LogQ: []int{55, 45, 45, 45}, LogP: []int{58, 58}, LogScale: 45, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func lowerProgram(t testing.TB, build func(p *dsl.Program), nChips int) *limbir.Module {
+	t.Helper()
+	params := testParams(t)
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: params.MaxLevel()})
+	build(prog)
+	g, err := prog.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &polyir.KeyswitchPass{NChips: nChips}
+	groups := pass.Run(g)
+	mod, err := Lower(g, params, nChips, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestLowerAddProducesPerLimbOps(t *testing.T) {
+	mod := lowerProgram(t, func(p *dsl.Program) {
+		s := p.Stream(0)
+		x := s.Input("x", 3)
+		y := s.Input("y", 3)
+		s.Output("z", x.Add(y))
+	}, 2)
+	st := mod.Stats()
+	// 4 limbs × 2 parts = 8 adds, split across 2 chips.
+	if st.Ops[limbir.Add] != 8 {
+		t.Fatalf("adds %d, want 8", st.Ops[limbir.Add])
+	}
+	if st.Ops[limbir.Bcast] != 0 {
+		t.Fatal("pure adds need no communication")
+	}
+}
+
+func TestLowerRejectsBootstrapNodes(t *testing.T) {
+	params := testParams(t)
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: params.MaxLevel(), BootstrapExitLevel: 3})
+	s := prog.Stream(0)
+	x := s.Input("x", 3)
+	s.Output("y", x.DropLevel(0).Bootstrap())
+	g, err := prog.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(g, params, 1, nil); err == nil {
+		t.Fatal("expected bootstrap rejection")
+	}
+}
+
+func TestLowerStreamDivisibility(t *testing.T) {
+	params := testParams(t)
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: params.MaxLevel()})
+	dsl.StreamPool(prog, 3, func(id int, s *dsl.Stream) {
+		x := s.Input(fmt.Sprintf("x%d", id), 2)
+		s.Output(fmt.Sprintf("y%d", id), x.Neg())
+	})
+	g, err := prog.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(g, params, 4, nil); err == nil {
+		t.Fatal("3 streams on 4 chips must be rejected")
+	}
+	if _, err := Lower(g, params, 6, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCSEAcrossKeyswitches(t *testing.T) {
+	// Two rotations by the same offset reuse the same evaluation-key
+	// symbols: CSE must load them once per chip.
+	mod := lowerProgram(t, func(p *dsl.Program) {
+		s := p.Stream(0)
+		x := s.Input("x", 3)
+		a := x.Rotate(1)
+		b := a.Rotate(1)
+		s.Output("y", b)
+	}, 2)
+	seen := map[string]int{}
+	for _, p := range mod.Chips {
+		for _, in := range p.Instrs {
+			if in.Op == limbir.Load && strings.HasPrefix(in.Sym, "evk:") {
+				seen[fmt.Sprintf("%d/%s", p.Chip, in.Sym)]++
+			}
+		}
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("evk symbol %s loaded %d times (CSE failed)", k, n)
+		}
+	}
+}
+
+func TestAllocateRegisterBounds(t *testing.T) {
+	mod := lowerProgram(t, func(p *dsl.Program) {
+		s := p.Stream(0)
+		x := s.Input("x", 3)
+		s.Output("y", x.Mul(x).Rescale())
+	}, 1)
+	if _, err := Allocate(mod, 2); err == nil {
+		t.Fatal("2 registers cannot host multi-operand instructions")
+	}
+	alloc, err := Allocate(mod, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := alloc.Chips[0]
+	if p.NumRegs != 24 {
+		t.Fatalf("NumRegs %d", p.NumRegs)
+	}
+	for i, in := range p.Instrs {
+		if in.Op == limbir.Store {
+			continue
+		}
+		if in.Dst < 0 || in.Dst >= 24 {
+			t.Fatalf("instr %d dst register %d out of range", i, in.Dst)
+		}
+		for _, s := range in.Srcs {
+			if s < 0 || s >= 24 {
+				t.Fatalf("instr %d src register %d out of range", i, s)
+			}
+		}
+	}
+}
+
+func TestAllocateSpillsDecreaseWithRegisters(t *testing.T) {
+	mod := lowerProgram(t, func(p *dsl.Program) {
+		s := p.Stream(0)
+		x := s.Input("x", 3)
+		y := x.Mul(x).Rescale()
+		s.Output("y", y.Mul(y).Rescale())
+	}, 1)
+	tight, err := Allocate(mod, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := Allocate(mod, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roomy.Chips[0].Spills > tight.Chips[0].Spills {
+		t.Fatalf("spills grew with registers: %d -> %d", tight.Chips[0].Spills, roomy.Chips[0].Spills)
+	}
+	tl := len(tight.Chips[0].Instrs)
+	rl := len(roomy.Chips[0].Instrs)
+	if rl > tl {
+		t.Fatalf("roomy allocation emitted more instructions (%d) than tight (%d)", rl, tl)
+	}
+}
+
+func TestOutputAggregationUsesGroupDigits(t *testing.T) {
+	// A 2-stream program on 4 chips: each group of 2 runs its own OA batch
+	// with 2-digit modular keys; Agg collectives must stay inside groups.
+	params := testParams(t)
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: params.MaxLevel()})
+	dsl.StreamPool(prog, 2, func(id int, s *dsl.Stream) {
+		x := s.Input(fmt.Sprintf("x%d", id), 3)
+		s.Output(fmt.Sprintf("y%d", id), x.SumRotations([]int{1, 2}))
+	})
+	g, err := prog.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &polyir.KeyswitchPass{NChips: 4}
+	groups := pass.Run(g)
+	mod, err := Lower(g, params, 4, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range mod.Chips {
+		for _, in := range p.Instrs {
+			if !in.IsComm() {
+				continue
+			}
+			if len(in.Chips) != 2 {
+				t.Fatalf("chip %d collective spans %d chips, want group of 2", p.Chip, len(in.Chips))
+			}
+			lo, hi := in.Chips[0]/2, in.Chips[len(in.Chips)-1]/2
+			if lo != hi {
+				t.Fatalf("collective crosses groups: %v", in.Chips)
+			}
+		}
+	}
+}

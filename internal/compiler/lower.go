@@ -1,0 +1,357 @@
+// Package compiler lowers Cinnamon's polynomial IR to per-chip limb-level
+// instruction streams (paper Fig. 7 ④–⑦) and allocates registers with
+// Belady's MIN policy (§4.4). Concurrent DSL streams are placed on disjoint
+// chip groups (program-level parallelism, Fig. 7 ③); within a group, limbs
+// are partitioned modularly (limb-level parallelism, §4.3.1); keyswitches
+// expand per the algorithm the keyswitch pass chose, including the batched
+// input-broadcast and output-aggregation forms.
+package compiler
+
+import (
+	"fmt"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/limbir"
+	"cinnamon/internal/polyir"
+	"cinnamon/internal/rns"
+)
+
+// ctVal locates a ciphertext's limbs: vals[part][chainIdx] is the virtual
+// value on the owning chip of the ciphertext's stream group. All
+// node-boundary values are in the NTT domain.
+type ctVal struct {
+	level  int
+	stream int
+	vals   [2][]limbir.Value
+}
+
+// Lowerer holds lowering state.
+type Lowerer struct {
+	params    *ckks.Parameters
+	nChips    int
+	streams   int
+	groupSize int
+	mod       *limbir.Module
+	vals      map[int]*ctVal
+	tag       int
+	skip      map[int]bool               // nodes folded into an aggregation macro
+	sinks     map[int]*polyir.BatchGroup // sink node ID -> OA group
+	member    map[int]bool               // rotation node IDs inside OA groups
+	bcasts    map[int]*broadcastCache    // IB batch id -> cached broadcast
+	groups    map[int]*polyir.BatchGroup // batch id -> group
+	symCache  []map[string]limbir.Value  // per-chip: symbol -> loaded value (load CSE)
+}
+
+// broadcastCache holds the coefficient-domain copies of a broadcast
+// polynomial on every chip of a group: limbs[chip][chainIdx] (indexed by
+// absolute chip id; only group members are populated).
+type broadcastCache struct {
+	limbs [][]limbir.Value
+}
+
+// Lower compiles the graph for nChips chips. groups are the keyswitch-pass
+// batches (may be nil for single-chip programs). The graph's stream count
+// must divide nChips; each stream runs on its own chip group.
+func Lower(g *polyir.Graph, params *ckks.Parameters, nChips int, groups []polyir.BatchGroup) (*limbir.Module, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Streams < 1 || nChips%g.Streams != 0 {
+		return nil, fmt.Errorf("compiler: %d streams do not evenly divide %d chips", g.Streams, nChips)
+	}
+	lo := &Lowerer{
+		params:    params,
+		nChips:    nChips,
+		streams:   g.Streams,
+		groupSize: nChips / g.Streams,
+		mod:       limbir.NewModule(nChips),
+		vals:      map[int]*ctVal{},
+		skip:      map[int]bool{},
+		sinks:     map[int]*polyir.BatchGroup{},
+		member:    map[int]bool{},
+		bcasts:    map[int]*broadcastCache{},
+		groups:    map[int]*polyir.BatchGroup{},
+		symCache:  make([]map[string]limbir.Value, nChips),
+	}
+	for c := range lo.symCache {
+		lo.symCache[c] = map[string]limbir.Value{}
+	}
+	for i := range groups {
+		grp := &groups[i]
+		lo.groups[grp.ID] = grp
+		if grp.Algorithm == polyir.KSOutputAggregation && grp.Sink != nil {
+			lo.sinks[grp.Sink.ID] = grp
+			for _, n := range grp.Nodes {
+				lo.member[n.ID] = true
+			}
+			lo.markFolded(g, grp)
+		}
+	}
+	for _, n := range g.Nodes {
+		if lo.skip[n.ID] || lo.member[n.ID] {
+			continue
+		}
+		if grp, ok := lo.sinks[n.ID]; ok {
+			if err := lo.lowerAggregationSink(g, n, grp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := lo.lowerNode(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := lo.mod.Validate(); err != nil {
+		return nil, err
+	}
+	return lo.mod, nil
+}
+
+// markFolded marks the adds strictly inside the sink's add-tree as skipped.
+func (lo *Lowerer) markFolded(g *polyir.Graph, grp *polyir.BatchGroup) {
+	var walk func(n *polyir.Node)
+	walk = func(n *polyir.Node) {
+		if n.Kind != polyir.OpAdd {
+			return
+		}
+		for _, a := range n.Args {
+			if a.Kind == polyir.OpAdd && a.Uses() == 1 {
+				lo.skip[a.ID] = true
+				walk(a)
+			}
+		}
+	}
+	walk(grp.Sink)
+}
+
+// group returns the chip ids of a stream's group.
+func (lo *Lowerer) group(stream int) []int {
+	base := stream * lo.groupSize
+	out := make([]int, lo.groupSize)
+	for i := range out {
+		out[i] = base + i
+	}
+	return out
+}
+
+// chipFor returns the chip owning chain limb j within a stream's group.
+func (lo *Lowerer) chipFor(j, stream int) int {
+	return stream*lo.groupSize + j%lo.groupSize
+}
+
+func (lo *Lowerer) prog(chip int) *limbir.Program { return lo.mod.Chips[chip] }
+
+func (lo *Lowerer) newCt(level, stream int) *ctVal {
+	v := &ctVal{level: level, stream: stream}
+	for p := 0; p < 2; p++ {
+		v.vals[p] = make([]limbir.Value, level+1)
+	}
+	return v
+}
+
+func (lo *Lowerer) modulus(j int) uint64 { return lo.params.QBasis.Moduli[j] }
+
+// loadSym emits (or reuses) a Load of a read-only symbol on a chip.
+// Evaluation-key and plaintext limbs recur across keyswitches; reusing one
+// SSA value lets the Belady allocator keep hot limbs resident exactly when
+// the register file has capacity — the cache-size effect of paper Fig. 6.
+func (lo *Lowerer) loadSym(chip int, sym string) limbir.Value {
+	if v, ok := lo.symCache[chip][sym]; ok {
+		return v
+	}
+	pr := lo.prog(chip)
+	v := pr.NewValue()
+	pr.Emit(limbir.Instr{Op: limbir.Load, Dst: v, Sym: sym})
+	lo.symCache[chip][sym] = v
+	return v
+}
+
+func (lo *Lowerer) argVals(n *polyir.Node) ([]*ctVal, error) {
+	out := make([]*ctVal, len(n.Args))
+	for i, a := range n.Args {
+		v := lo.vals[a.ID]
+		if v == nil {
+			return nil, fmt.Errorf("compiler: node %d uses unlowered node %d", n.ID, a.ID)
+		}
+		out[i] = v
+	}
+	for _, v := range out[1:] {
+		if v.stream != out[0].stream {
+			return nil, fmt.Errorf("compiler: node %d mixes streams %d and %d (cross-stream ops are not supported)",
+				n.ID, out[0].stream, v.stream)
+		}
+	}
+	return out, nil
+}
+
+// lowerNode handles all non-macro nodes.
+func (lo *Lowerer) lowerNode(n *polyir.Node) error {
+	switch n.Kind {
+	case polyir.OpInput:
+		lo.vals[n.ID] = lo.loadCt(n.Name, n.Level, n.Stream)
+		return nil
+	case polyir.OpOutput:
+		args, err := lo.argVals(n)
+		if err != nil {
+			return err
+		}
+		src := args[0]
+		for p := 0; p < 2; p++ {
+			for j := 0; j <= src.level; j++ {
+				c := lo.chipFor(j, src.stream)
+				lo.prog(c).Emit(limbir.Instr{
+					Op: limbir.Store, Srcs: []limbir.Value{src.vals[p][j]},
+					Sym: fmt.Sprintf("out:%s:%d:m%d", n.Name, p, lo.modulus(j)),
+				})
+			}
+		}
+		return nil
+	case polyir.OpAdd, polyir.OpSub:
+		args, err := lo.argVals(n)
+		if err != nil {
+			return err
+		}
+		op := limbir.Add
+		if n.Kind == polyir.OpSub {
+			op = limbir.Sub
+		}
+		a, b := args[0], args[1]
+		out := lo.newCt(a.level, a.stream)
+		for p := 0; p < 2; p++ {
+			for j := 0; j <= a.level; j++ {
+				pr := lo.prog(lo.chipFor(j, a.stream))
+				out.vals[p][j] = pr.NewValue()
+				pr.Emit(limbir.Instr{Op: op, Dst: out.vals[p][j],
+					Srcs: []limbir.Value{a.vals[p][j], b.vals[p][j]}, Mod: lo.modulus(j)})
+			}
+		}
+		lo.vals[n.ID] = out
+		return nil
+	case polyir.OpNeg:
+		args, err := lo.argVals(n)
+		if err != nil {
+			return err
+		}
+		a := args[0]
+		out := lo.newCt(a.level, a.stream)
+		for p := 0; p < 2; p++ {
+			for j := 0; j <= a.level; j++ {
+				pr := lo.prog(lo.chipFor(j, a.stream))
+				out.vals[p][j] = pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.Neg, Dst: out.vals[p][j],
+					Srcs: []limbir.Value{a.vals[p][j]}, Mod: lo.modulus(j)})
+			}
+		}
+		lo.vals[n.ID] = out
+		return nil
+	case polyir.OpMulPlain, polyir.OpAddPlain:
+		args, err := lo.argVals(n)
+		if err != nil {
+			return err
+		}
+		a := args[0]
+		out := lo.newCt(a.level, a.stream)
+		for j := 0; j <= a.level; j++ {
+			c := lo.chipFor(j, a.stream)
+			pr := lo.prog(c)
+			pt := lo.loadSym(c, fmt.Sprintf("pt:%s:m%d", n.Name, lo.modulus(j)))
+			for p := 0; p < 2; p++ {
+				if n.Kind == polyir.OpAddPlain && p == 1 {
+					out.vals[1][j] = a.vals[1][j]
+					continue
+				}
+				op := limbir.Mul
+				if n.Kind == polyir.OpAddPlain {
+					op = limbir.Add
+				}
+				out.vals[p][j] = pr.NewValue()
+				pr.Emit(limbir.Instr{Op: op, Dst: out.vals[p][j],
+					Srcs: []limbir.Value{a.vals[p][j], pt}, Mod: lo.modulus(j)})
+			}
+		}
+		lo.vals[n.ID] = out
+		return nil
+	case polyir.OpDropLevel:
+		args, err := lo.argVals(n)
+		if err != nil {
+			return err
+		}
+		a := args[0]
+		out := &ctVal{level: n.DropTo, stream: a.stream}
+		out.vals[0] = a.vals[0][:n.DropTo+1]
+		out.vals[1] = a.vals[1][:n.DropTo+1]
+		lo.vals[n.ID] = out
+		return nil
+	case polyir.OpRescale:
+		args, err := lo.argVals(n)
+		if err != nil {
+			return err
+		}
+		lo.vals[n.ID], err = lo.lowerRescale(args[0])
+		return err
+	case polyir.OpRotate, polyir.OpConjugate:
+		return lo.lowerRotation(n)
+	case polyir.OpMulCt:
+		return lo.lowerMulCt(n)
+	case polyir.OpBootstrap:
+		return fmt.Errorf("compiler: bootstrap nodes are composed at the workload level, not lowered functionally")
+	default:
+		return fmt.Errorf("compiler: cannot lower %v", n.Kind)
+	}
+}
+
+func (lo *Lowerer) loadCt(name string, level, stream int) *ctVal {
+	out := lo.newCt(level, stream)
+	for p := 0; p < 2; p++ {
+		for j := 0; j <= level; j++ {
+			out.vals[p][j] = lo.loadSym(lo.chipFor(j, stream), fmt.Sprintf("ct:%s:%d:m%d", name, p, lo.modulus(j)))
+		}
+	}
+	return out
+}
+
+// lowerRescale implements the level drop: broadcast the last limb (in the
+// coefficient domain) within the group, then each chip computes
+// (a_j − [a_l]_{q_j}) · q_l⁻¹ for its limbs.
+func (lo *Lowerer) lowerRescale(a *ctVal) (*ctVal, error) {
+	l := a.level
+	ql := lo.modulus(l)
+	grp := lo.group(a.stream)
+	out := lo.newCt(l-1, a.stream)
+	for p := 0; p < 2; p++ {
+		ownerChip := lo.chipFor(l, a.stream)
+		ownerPr := lo.prog(ownerChip)
+		lastCoeff := ownerPr.NewValue()
+		ownerPr.Emit(limbir.Instr{Op: limbir.INTT, Dst: lastCoeff,
+			Srcs: []limbir.Value{a.vals[p][l]}, Mod: ql})
+		lo.tag++
+		bcopy := map[int]limbir.Value{}
+		for _, c := range grp {
+			pr := lo.prog(c)
+			bcopy[c] = pr.NewValue()
+			in := limbir.Instr{Op: limbir.Bcast, Dst: bcopy[c], Tag: lo.tag, Owner: ownerChip, Mod: ql, Chips: grp}
+			if c == ownerChip {
+				in.Srcs = []limbir.Value{lastCoeff}
+			}
+			pr.Emit(in)
+		}
+		for j := 0; j < l; j++ {
+			c := lo.chipFor(j, a.stream)
+			pr := lo.prog(c)
+			qj := lo.modulus(j)
+			aj := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.INTT, Dst: aj, Srcs: []limbir.Value{a.vals[p][j]}, Mod: qj})
+			red := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.BConv, Dst: red,
+				Srcs: []limbir.Value{bcopy[c]}, SrcMods: []uint64{ql}, Mod: qj})
+			diff := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.Sub, Dst: diff, Srcs: []limbir.Value{aj, red}, Mod: qj})
+			scaled := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.MulScalar, Dst: scaled,
+				Srcs: []limbir.Value{diff}, Mod: qj, Scalar: rns.InvMod(ql%qj, qj)})
+			out.vals[p][j] = pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.NTT, Dst: out.vals[p][j], Srcs: []limbir.Value{scaled}, Mod: qj})
+		}
+	}
+	return out, nil
+}

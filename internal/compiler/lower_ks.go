@@ -1,0 +1,607 @@
+package compiler
+
+import (
+	"fmt"
+
+	"cinnamon/internal/limbir"
+	"cinnamon/internal/polyir"
+	"cinnamon/internal/rns"
+)
+
+// galoisFor returns the Galois element of a rotation/conjugation node.
+func (lo *Lowerer) galoisFor(n *polyir.Node) uint64 {
+	if n.Kind == polyir.OpConjugate {
+		return lo.params.Ring.GaloisElementForConjugation()
+	}
+	return lo.params.Ring.GaloisElementForRotation(n.Rot)
+}
+
+// keyIDFor returns the evaluation-key symbol prefix for a node.
+func (lo *Lowerer) keyIDFor(n *polyir.Node, modular bool) string {
+	switch {
+	case n.Kind == polyir.OpConjugate && modular:
+		return "conjmod"
+	case n.Kind == polyir.OpConjugate:
+		return "conj"
+	case modular:
+		return fmt.Sprintf("rotmod:%d", n.Rot)
+	default:
+		return fmt.Sprintf("rot:%d", n.Rot)
+	}
+}
+
+// pInvResidue returns P⁻¹ mod q where P is the special-modulus product.
+func (lo *Lowerer) pInvResidue(q uint64) uint64 {
+	p := uint64(1)
+	for _, pm := range lo.params.PBasis.Moduli {
+		p = rns.MulMod(p, pm%q, q)
+	}
+	return rns.InvMod(p, q)
+}
+
+// broadcastPoly INTTs each limb on its owner and broadcasts it within the
+// stream group, leaving a coefficient-domain copy of the whole polynomial
+// on every group chip. This is the single collective of input-broadcast
+// keyswitching (Fig. 8b ①), emitted once per batch group.
+func (lo *Lowerer) broadcastPoly(vals []limbir.Value, level, stream int) *broadcastCache {
+	grp := lo.group(stream)
+	cache := &broadcastCache{limbs: make([][]limbir.Value, lo.nChips)}
+	for _, c := range grp {
+		cache.limbs[c] = make([]limbir.Value, level+1)
+	}
+	for j := 0; j <= level; j++ {
+		owner := lo.chipFor(j, stream)
+		pr := lo.prog(owner)
+		coeff := pr.NewValue()
+		pr.Emit(limbir.Instr{Op: limbir.INTT, Dst: coeff, Srcs: []limbir.Value{vals[j]}, Mod: lo.modulus(j)})
+		lo.tag++
+		for _, c := range grp {
+			cp := lo.prog(c)
+			dst := cp.NewValue()
+			in := limbir.Instr{Op: limbir.Bcast, Dst: dst, Tag: lo.tag, Owner: owner, Mod: lo.modulus(j), Chips: grp}
+			if c == owner {
+				in.Srcs = []limbir.Value{coeff}
+			}
+			cp.Emit(in)
+			cache.limbs[c][j] = dst
+		}
+	}
+	return cache
+}
+
+// ksInputBroadcast expands input-broadcast keyswitching (Fig. 8b) given a
+// coefficient-domain broadcast copy of the input polynomial. galEl ≠ 0
+// applies the automorphism locally on every group chip before the digit
+// decomposition. Returns the two output polynomials as distributed
+// NTT-domain limbs.
+func (lo *Lowerer) ksInputBroadcast(cache *broadcastCache, galEl uint64, keyID string, level, stream int) (f0, f1 []limbir.Value) {
+	params := lo.params
+	f0 = make([]limbir.Value, level+1)
+	f1 = make([]limbir.Value, level+1)
+	extMods := params.PBasis.Moduli
+	for _, c := range lo.group(stream) {
+		pr := lo.prog(c)
+		local := make([]limbir.Value, level+1)
+		for j := 0; j <= level; j++ {
+			if galEl == 0 || galEl == 1 {
+				local[j] = cache.limbs[c][j]
+				continue
+			}
+			v := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.Auto, Dst: v, Srcs: []limbir.Value{cache.limbs[c][j]},
+				Mod: lo.modulus(j), GalEl: galEl, CoeffDom: true})
+			local[j] = v
+		}
+		// Target limbs this chip computes: its owned chain limbs plus a
+		// duplicated copy of every extension limb.
+		type target struct {
+			mod      uint64
+			chainIdx int // -1 for extension limbs
+		}
+		var targets []target
+		for j := 0; j <= level; j++ {
+			if lo.chipFor(j, stream) == c {
+				targets = append(targets, target{mod: lo.modulus(j), chainIdx: j})
+			}
+		}
+		for _, m := range extMods {
+			targets = append(targets, target{mod: m, chainIdx: -1})
+		}
+		acc0 := make([]limbir.Value, len(targets))
+		acc1 := make([]limbir.Value, len(targets))
+		accSet := make([]bool, len(targets))
+		for d := 0; ; d++ {
+			dlo, dhi, ok := params.DigitRange(d, level)
+			if !ok {
+				break
+			}
+			srcMods := params.QBasis.Moduli[dlo:dhi]
+			srcVals := local[dlo:dhi]
+			for ti, t := range targets {
+				var coeff limbir.Value
+				if t.chainIdx >= dlo && t.chainIdx < dhi {
+					coeff = local[t.chainIdx] // inside the digit: exact copy
+				} else {
+					coeff = pr.NewValue()
+					pr.Emit(limbir.Instr{Op: limbir.BConv, Dst: coeff,
+						Srcs:    append([]limbir.Value{}, srcVals...),
+						SrcMods: append([]uint64{}, srcMods...), Mod: t.mod})
+				}
+				ntt := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.NTT, Dst: ntt, Srcs: []limbir.Value{coeff}, Mod: t.mod})
+				for part, accs := range [][]limbir.Value{acc0, acc1} {
+					kv := lo.loadSym(c, fmt.Sprintf("evk:%s:%d:%d:m%d", keyID, d, part, t.mod))
+					prod := pr.NewValue()
+					pr.Emit(limbir.Instr{Op: limbir.Mul, Dst: prod, Srcs: []limbir.Value{ntt, kv}, Mod: t.mod})
+					if !accSet[ti] {
+						accs[ti] = prod
+					} else {
+						sum := pr.NewValue()
+						pr.Emit(limbir.Instr{Op: limbir.Add, Dst: sum, Srcs: []limbir.Value{accs[ti], prod}, Mod: t.mod})
+						accs[ti] = sum
+					}
+				}
+				accSet[ti] = true
+			}
+		}
+		// Mod-down: extension limbs are local (duplicated), so no
+		// communication is needed (the whole point of Fig. 8b).
+		for part, accs := range [][]limbir.Value{acc0, acc1} {
+			extCoeff := make([]limbir.Value, len(extMods))
+			for ei := range extMods {
+				ti := len(targets) - len(extMods) + ei
+				v := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.INTT, Dst: v, Srcs: []limbir.Value{accs[ti]}, Mod: targets[ti].mod})
+				extCoeff[ei] = v
+			}
+			for ti, t := range targets {
+				if t.chainIdx < 0 {
+					continue
+				}
+				qj := t.mod
+				fc := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.INTT, Dst: fc, Srcs: []limbir.Value{accs[ti]}, Mod: qj})
+				conv := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.BConv, Dst: conv,
+					Srcs:    append([]limbir.Value{}, extCoeff...),
+					SrcMods: append([]uint64{}, extMods...), Mod: qj})
+				diff := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.Sub, Dst: diff, Srcs: []limbir.Value{fc, conv}, Mod: qj})
+				scaled := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.MulScalar, Dst: scaled,
+					Srcs: []limbir.Value{diff}, Mod: qj, Scalar: lo.pInvResidue(qj)})
+				outv := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.NTT, Dst: outv, Srcs: []limbir.Value{scaled}, Mod: qj})
+				if part == 0 {
+					f0[t.chainIdx] = outv
+				} else {
+					f1[t.chainIdx] = outv
+				}
+			}
+		}
+	}
+	return f0, f1
+}
+
+// ksCiFHER expands the CiFHER baseline keyswitch (paper §4.3.1
+// "Challenge"): limbs stay modularly distributed with no duplication, so
+// the extension limbs of both accumulators must be broadcast before the
+// mod-down — three broadcast rounds per keyswitch, none of which the batch
+// pass can remove beyond the first.
+func (lo *Lowerer) ksCiFHER(cache *broadcastCache, galEl uint64, keyID string, level, stream int) (f0, f1 []limbir.Value) {
+	params := lo.params
+	f0 = make([]limbir.Value, level+1)
+	f1 = make([]limbir.Value, level+1)
+	extMods := params.PBasis.Moduli
+	grp := lo.group(stream)
+	base := stream * lo.groupSize
+	// Per-chip accumulators for owned chain limbs and owned extension
+	// limbs (extension limb e lives on chip base + e mod groupSize).
+	type accEntry struct {
+		val limbir.Value
+		set bool
+	}
+	chainAcc := make([][2][]accEntry, lo.nChips)
+	extAcc := make([][2][]accEntry, lo.nChips)
+	for _, c := range grp {
+		for part := 0; part < 2; part++ {
+			chainAcc[c][part] = make([]accEntry, level+1)
+			extAcc[c][part] = make([]accEntry, len(extMods))
+		}
+	}
+	ownerOfExt := func(e int) int { return base + e%lo.groupSize }
+	for _, c := range grp {
+		pr := lo.prog(c)
+		local := make([]limbir.Value, level+1)
+		for j := 0; j <= level; j++ {
+			if galEl == 0 || galEl == 1 {
+				local[j] = cache.limbs[c][j]
+				continue
+			}
+			v := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.Auto, Dst: v, Srcs: []limbir.Value{cache.limbs[c][j]},
+				Mod: lo.modulus(j), GalEl: galEl, CoeffDom: true})
+			local[j] = v
+		}
+		accumulate := func(mod uint64, coeff limbir.Value, d int, entry *[2]*accEntry) {
+			ntt := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.NTT, Dst: ntt, Srcs: []limbir.Value{coeff}, Mod: mod})
+			for part := 0; part < 2; part++ {
+				kv := lo.loadSym(c, fmt.Sprintf("evk:%s:%d:%d:m%d", keyID, d, part, mod))
+				prod := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.Mul, Dst: prod, Srcs: []limbir.Value{ntt, kv}, Mod: mod})
+				e := entry[part]
+				if !e.set {
+					e.val, e.set = prod, true
+				} else {
+					s := pr.NewValue()
+					pr.Emit(limbir.Instr{Op: limbir.Add, Dst: s, Srcs: []limbir.Value{e.val, prod}, Mod: mod})
+					e.val = s
+				}
+			}
+		}
+		for d := 0; ; d++ {
+			dlo, dhi, ok := params.DigitRange(d, level)
+			if !ok {
+				break
+			}
+			srcMods := params.QBasis.Moduli[dlo:dhi]
+			srcVals := local[dlo:dhi]
+			for j := 0; j <= level; j++ {
+				if lo.chipFor(j, stream) != c {
+					continue
+				}
+				var coeff limbir.Value
+				if j >= dlo && j < dhi {
+					coeff = local[j]
+				} else {
+					coeff = pr.NewValue()
+					pr.Emit(limbir.Instr{Op: limbir.BConv, Dst: coeff,
+						Srcs:    append([]limbir.Value{}, srcVals...),
+						SrcMods: append([]uint64{}, srcMods...), Mod: lo.modulus(j)})
+				}
+				accumulate(lo.modulus(j), coeff, d, &[2]*accEntry{&chainAcc[c][0][j], &chainAcc[c][1][j]})
+			}
+			for e, em := range extMods {
+				if ownerOfExt(e) != c {
+					continue
+				}
+				coeff := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.BConv, Dst: coeff,
+					Srcs:    append([]limbir.Value{}, srcVals...),
+					SrcMods: append([]uint64{}, srcMods...), Mod: em})
+				accumulate(em, coeff, d, &[2]*accEntry{&extAcc[c][0][e], &extAcc[c][1][e]})
+			}
+		}
+	}
+	// Mod-down: broadcast the extension limbs of each accumulator (the two
+	// extra broadcast rounds CiFHER pays), then finish locally.
+	for part := 0; part < 2; part++ {
+		extCopies := make([][]limbir.Value, lo.nChips) // [chip][extIdx]
+		for _, c := range grp {
+			extCopies[c] = make([]limbir.Value, len(extMods))
+		}
+		for e, em := range extMods {
+			owner := ownerOfExt(e)
+			pr := lo.prog(owner)
+			coeff := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.INTT, Dst: coeff,
+				Srcs: []limbir.Value{extAcc[owner][part][e].val}, Mod: em})
+			lo.tag++
+			for _, c := range grp {
+				cp := lo.prog(c)
+				dst := cp.NewValue()
+				in := limbir.Instr{Op: limbir.Bcast, Dst: dst, Tag: lo.tag, Owner: owner, Mod: em, Chips: grp}
+				if c == owner {
+					in.Srcs = []limbir.Value{coeff}
+				}
+				cp.Emit(in)
+				extCopies[c][e] = dst
+			}
+		}
+		for j := 0; j <= level; j++ {
+			c := lo.chipFor(j, stream)
+			pr := lo.prog(c)
+			qj := lo.modulus(j)
+			fc := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.INTT, Dst: fc, Srcs: []limbir.Value{chainAcc[c][part][j].val}, Mod: qj})
+			conv := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.BConv, Dst: conv,
+				Srcs:    append([]limbir.Value{}, extCopies[c]...),
+				SrcMods: append([]uint64{}, extMods...), Mod: qj})
+			diff := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.Sub, Dst: diff, Srcs: []limbir.Value{fc, conv}, Mod: qj})
+			scaled := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.MulScalar, Dst: scaled,
+				Srcs: []limbir.Value{diff}, Mod: qj, Scalar: lo.pInvResidue(qj)})
+			outv := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.NTT, Dst: outv, Srcs: []limbir.Value{scaled}, Mod: qj})
+			if part == 0 {
+				f0[j] = outv
+			} else {
+				f1[j] = outv
+			}
+		}
+	}
+	return f0, f1
+}
+
+// expandKeySwitch dispatches on the node's keyswitch-pass annotation.
+func (lo *Lowerer) expandKeySwitch(n *polyir.Node, cache *broadcastCache, galEl uint64, keyID string, level, stream int) (f0, f1 []limbir.Value) {
+	if n.KSAlgorithm == polyir.KSCiFHER {
+		return lo.ksCiFHER(cache, galEl, keyID, level, stream)
+	}
+	return lo.ksInputBroadcast(cache, galEl, keyID, level, stream)
+}
+
+// lowerRotation handles OpRotate/OpConjugate via input-broadcast (or
+// CiFHER-baseline) keyswitching, reusing the batch group's broadcast when
+// one exists.
+func (lo *Lowerer) lowerRotation(n *polyir.Node) error {
+	args, err := lo.argVals(n)
+	if err != nil {
+		return err
+	}
+	a := args[0]
+	level := a.level
+	cache := lo.bcasts[n.KSBatch]
+	if cache == nil {
+		cache = lo.broadcastPoly(a.vals[1], level, a.stream)
+		if n.KSBatch >= 0 && n.KSAlgorithm != polyir.KSCiFHER {
+			lo.bcasts[n.KSBatch] = cache
+		}
+	}
+	galEl := lo.galoisFor(n)
+	f0, f1 := lo.expandKeySwitch(n, cache, galEl, lo.keyIDFor(n, false), level, a.stream)
+	out := lo.newCt(level, a.stream)
+	for j := 0; j <= level; j++ {
+		pr := lo.prog(lo.chipFor(j, a.stream))
+		s0 := pr.NewValue()
+		pr.Emit(limbir.Instr{Op: limbir.Auto, Dst: s0, Srcs: []limbir.Value{a.vals[0][j]},
+			Mod: lo.modulus(j), GalEl: galEl})
+		sum := pr.NewValue()
+		pr.Emit(limbir.Instr{Op: limbir.Add, Dst: sum, Srcs: []limbir.Value{s0, f0[j]}, Mod: lo.modulus(j)})
+		out.vals[0][j] = sum
+		out.vals[1][j] = f1[j]
+	}
+	lo.vals[n.ID] = out
+	return nil
+}
+
+// lowerMulCt expands ciphertext multiplication: tensor, keyswitch of the
+// degree-2 component with the relinearization key, fold.
+func (lo *Lowerer) lowerMulCt(n *polyir.Node) error {
+	args, err := lo.argVals(n)
+	if err != nil {
+		return err
+	}
+	a, b := args[0], args[1]
+	level := a.level
+	d0 := make([]limbir.Value, level+1)
+	d1 := make([]limbir.Value, level+1)
+	d2 := make([]limbir.Value, level+1)
+	for j := 0; j <= level; j++ {
+		pr := lo.prog(lo.chipFor(j, a.stream))
+		mod := lo.modulus(j)
+		mul := func(x, y limbir.Value) limbir.Value {
+			v := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.Mul, Dst: v, Srcs: []limbir.Value{x, y}, Mod: mod})
+			return v
+		}
+		d0[j] = mul(a.vals[0][j], b.vals[0][j])
+		t1 := mul(a.vals[0][j], b.vals[1][j])
+		t2 := mul(a.vals[1][j], b.vals[0][j])
+		s := pr.NewValue()
+		pr.Emit(limbir.Instr{Op: limbir.Add, Dst: s, Srcs: []limbir.Value{t1, t2}, Mod: mod})
+		d1[j] = s
+		d2[j] = mul(a.vals[1][j], b.vals[1][j])
+	}
+	cache := lo.broadcastPoly(d2, level, a.stream)
+	f0, f1 := lo.expandKeySwitch(n, cache, 0, "rlk", level, a.stream)
+	out := lo.newCt(level, a.stream)
+	for j := 0; j <= level; j++ {
+		pr := lo.prog(lo.chipFor(j, a.stream))
+		mod := lo.modulus(j)
+		v0 := pr.NewValue()
+		pr.Emit(limbir.Instr{Op: limbir.Add, Dst: v0, Srcs: []limbir.Value{d0[j], f0[j]}, Mod: mod})
+		v1 := pr.NewValue()
+		pr.Emit(limbir.Instr{Op: limbir.Add, Dst: v1, Srcs: []limbir.Value{d1[j], f1[j]}, Mod: mod})
+		out.vals[0][j] = v0
+		out.vals[1][j] = v1
+	}
+	lo.vals[n.ID] = out
+	return nil
+}
+
+// lowerAggregationSink expands a whole output-aggregation batch
+// (Fig. 8c + the batching optimization): every member rotation's
+// evaluation-key products are accumulated locally per chip — the per-chip
+// limb partition IS the digit — and a single pair of aggregations finishes
+// the batch. Non-rotation leaves of the add tree are folded in afterwards.
+func (lo *Lowerer) lowerAggregationSink(g *polyir.Graph, sink *polyir.Node, grp *polyir.BatchGroup) error {
+	level := sink.Args[0].Level
+	stream := sink.Stream
+	chips := lo.group(stream)
+	base := stream * lo.groupSize
+	memberSet := map[int]bool{}
+	for _, m := range grp.Nodes {
+		memberSet[m.ID] = true
+	}
+	var rotations []*polyir.Node
+	var others []*polyir.Node
+	var walk func(n *polyir.Node)
+	walk = func(n *polyir.Node) {
+		for _, a := range n.Args {
+			switch {
+			case memberSet[a.ID]:
+				rotations = append(rotations, a)
+			case a.Kind == polyir.OpAdd && lo.skip[a.ID]:
+				walk(a)
+			default:
+				others = append(others, a)
+			}
+		}
+	}
+	walk(sink)
+	union := append(append([]uint64{}, lo.params.QBasis.Moduli[:level+1]...), lo.params.PBasis.Moduli...)
+
+	acc := make(map[int]*[2][]limbir.Value, len(chips)) // chip -> accumulators
+	accSet := map[int][]bool{}
+	for _, c := range chips {
+		var a [2][]limbir.Value
+		a[0] = make([]limbir.Value, len(union))
+		a[1] = make([]limbir.Value, len(union))
+		acc[c] = &a
+		accSet[c] = make([]bool, len(union))
+	}
+	c0sum := make([]limbir.Value, level+1)
+	c0Set := make([]bool, level+1)
+
+	for _, rot := range rotations {
+		in := lo.vals[rot.Args[0].ID]
+		galEl := lo.galoisFor(rot)
+		keyID := lo.keyIDFor(rot, true)
+		for j := 0; j <= level; j++ {
+			pr := lo.prog(lo.chipFor(j, stream))
+			v := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.Auto, Dst: v, Srcs: []limbir.Value{in.vals[0][j]},
+				Mod: lo.modulus(j), GalEl: galEl})
+			if !c0Set[j] {
+				c0sum[j] = v
+				c0Set[j] = true
+			} else {
+				s := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.Add, Dst: s, Srcs: []limbir.Value{c0sum[j], v}, Mod: lo.modulus(j)})
+				c0sum[j] = s
+			}
+		}
+		for _, c := range chips {
+			pr := lo.prog(c)
+			var srcMods []uint64
+			var srcVals []limbir.Value
+			ownedIdx := map[int]limbir.Value{}
+			for j := 0; j <= level; j++ {
+				if lo.chipFor(j, stream) != c {
+					continue
+				}
+				rotV := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.Auto, Dst: rotV, Srcs: []limbir.Value{in.vals[1][j]},
+					Mod: lo.modulus(j), GalEl: galEl})
+				coeff := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.INTT, Dst: coeff, Srcs: []limbir.Value{rotV}, Mod: lo.modulus(j)})
+				srcMods = append(srcMods, lo.modulus(j))
+				srcVals = append(srcVals, coeff)
+				ownedIdx[j] = coeff
+			}
+			if len(srcVals) == 0 {
+				continue
+			}
+			digitIdx := c - base
+			for ui, um := range union {
+				var coeff limbir.Value
+				if v, ok := ownedIdx[ui]; ok && ui <= level {
+					coeff = v
+				} else {
+					coeff = pr.NewValue()
+					pr.Emit(limbir.Instr{Op: limbir.BConv, Dst: coeff,
+						Srcs:    append([]limbir.Value{}, srcVals...),
+						SrcMods: append([]uint64{}, srcMods...), Mod: um})
+				}
+				ntt := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.NTT, Dst: ntt, Srcs: []limbir.Value{coeff}, Mod: um})
+				for part := 0; part < 2; part++ {
+					kv := lo.loadSym(c, fmt.Sprintf("evk:%s:%d:%d:m%d", keyID, digitIdx, part, um))
+					prod := pr.NewValue()
+					pr.Emit(limbir.Instr{Op: limbir.Mul, Dst: prod, Srcs: []limbir.Value{ntt, kv}, Mod: um})
+					if !accSet[c][ui] {
+						acc[c][part][ui] = prod
+					} else {
+						s := pr.NewValue()
+						pr.Emit(limbir.Instr{Op: limbir.Add, Dst: s, Srcs: []limbir.Value{acc[c][part][ui], prod}, Mod: um})
+						acc[c][part][ui] = s
+					}
+				}
+				accSet[c][ui] = true
+			}
+		}
+	}
+	// Per-chip local mod-down of the batch accumulator, then one
+	// aggregation per output limb (2·(l+1) limb-aggregations = 2
+	// collective rounds, matching the paper's "2 aggregations").
+	out := lo.newCt(level, stream)
+	extLen := lo.params.PBasis.Len()
+	for part := 0; part < 2; part++ {
+		contrib := map[int][]limbir.Value{}
+		for _, c := range chips {
+			pr := lo.prog(c)
+			if !accSet[c][0] {
+				continue // chip owned no limbs; contributes zero
+			}
+			extCoeff := make([]limbir.Value, extLen)
+			for ei := 0; ei < extLen; ei++ {
+				ui := level + 1 + ei
+				v := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.INTT, Dst: v, Srcs: []limbir.Value{acc[c][part][ui]}, Mod: union[ui]})
+				extCoeff[ei] = v
+			}
+			cl := make([]limbir.Value, level+1)
+			for j := 0; j <= level; j++ {
+				qj := lo.modulus(j)
+				fc := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.INTT, Dst: fc, Srcs: []limbir.Value{acc[c][part][j]}, Mod: qj})
+				conv := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.BConv, Dst: conv,
+					Srcs:    append([]limbir.Value{}, extCoeff...),
+					SrcMods: append([]uint64{}, lo.params.PBasis.Moduli...), Mod: qj})
+				diff := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.Sub, Dst: diff, Srcs: []limbir.Value{fc, conv}, Mod: qj})
+				sc := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.MulScalar, Dst: sc, Srcs: []limbir.Value{diff}, Mod: qj,
+					Scalar: lo.pInvResidue(qj)})
+				cl[j] = sc
+			}
+			contrib[c] = cl
+		}
+		for j := 0; j <= level; j++ {
+			lo.tag++
+			owner := lo.chipFor(j, stream)
+			var aggOut limbir.Value
+			for _, c := range chips {
+				pr := lo.prog(c)
+				dst := pr.NewValue()
+				in := limbir.Instr{Op: limbir.Agg, Dst: dst, Tag: lo.tag, Mod: lo.modulus(j), Chips: chips}
+				if cl, ok := contrib[c]; ok {
+					in.Srcs = []limbir.Value{cl[j]}
+				}
+				pr.Emit(in)
+				if c == owner {
+					aggOut = dst
+				}
+			}
+			pr := lo.prog(owner)
+			nttV := pr.NewValue()
+			pr.Emit(limbir.Instr{Op: limbir.NTT, Dst: nttV, Srcs: []limbir.Value{aggOut}, Mod: lo.modulus(j)})
+			if part == 0 {
+				s := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.Add, Dst: s, Srcs: []limbir.Value{c0sum[j], nttV}, Mod: lo.modulus(j)})
+				out.vals[0][j] = s
+			} else {
+				out.vals[1][j] = nttV
+			}
+		}
+	}
+	for _, leaf := range others {
+		lv := lo.vals[leaf.ID]
+		for p := 0; p < 2; p++ {
+			for j := 0; j <= level; j++ {
+				pr := lo.prog(lo.chipFor(j, stream))
+				s := pr.NewValue()
+				pr.Emit(limbir.Instr{Op: limbir.Add, Dst: s,
+					Srcs: []limbir.Value{out.vals[p][j], lv.vals[p][j]}, Mod: lo.modulus(j)})
+				out.vals[p][j] = s
+			}
+		}
+	}
+	lo.vals[sink.ID] = out
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package dsl is the Cinnamon programming frontend (paper §4.2, Fig. 7 ①).
+// The paper embeds it in Python; this reproduction embeds it in Go with the
+// same shape: FHE operations as language constructs plus concurrent
+// execution streams created through a stream pool, which the compiler later
+// places across chips.
+//
+//	prog := dsl.NewProgram(dsl.Config{MaxLevel: 16})
+//	dsl.StreamPool(prog, 2, func(streamID int, s *dsl.Stream) {
+//		x := s.Input(fmt.Sprintf("x%d", streamID), 16)
+//		y := x.Mul(x).Rescale()
+//		s.Output(fmt.Sprintf("y%d", streamID), y)
+//	})
+package dsl
+
+import (
+	"fmt"
+
+	"cinnamon/internal/polyir"
+)
+
+// Config fixes program-wide parameters.
+type Config struct {
+	// MaxLevel is the top of the modulus chain available to inputs.
+	MaxLevel int
+	// BootstrapExitLevel is the level a Bootstrap() node returns at.
+	BootstrapExitLevel int
+}
+
+// Program accumulates a polynomial-IR graph as DSL calls record operations.
+type Program struct {
+	cfg   Config
+	graph *polyir.Graph
+	errs  []error
+}
+
+// NewProgram returns an empty program.
+func NewProgram(cfg Config) *Program {
+	if cfg.BootstrapExitLevel == 0 {
+		cfg.BootstrapExitLevel = cfg.MaxLevel
+	}
+	return &Program{cfg: cfg, graph: polyir.NewGraph()}
+}
+
+// Stream returns the handle for stream id (creating intermediate streams
+// as needed). Stream 0 always exists.
+func (p *Program) Stream(id int) *Stream {
+	if id+1 > p.graph.Streams {
+		p.graph.Streams = id + 1
+	}
+	return &Stream{prog: p, id: id}
+}
+
+// StreamPool runs fn once per stream, mirroring the paper's
+// CinnamonStreamPool construct: fn receives the stream index and handle.
+func StreamPool(p *Program, n int, fn func(streamID int, s *Stream)) {
+	for i := 0; i < n; i++ {
+		fn(i, p.Stream(i))
+	}
+}
+
+// Finish validates and returns the recorded graph.
+func (p *Program) Finish() (*polyir.Graph, error) {
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	p.graph.InferLevels(p.cfg.BootstrapExitLevel)
+	if err := p.graph.Validate(); err != nil {
+		return nil, err
+	}
+	return p.graph, nil
+}
+
+func (p *Program) fail(err error) *Ciphertext {
+	p.errs = append(p.errs, err)
+	// Return a poisoned handle so chained calls do not panic.
+	return &Ciphertext{prog: p, node: nil}
+}
+
+// Stream is a concurrent execution stream; operations recorded through it
+// carry its stream id for the compiler's chip placement.
+type Stream struct {
+	prog *Program
+	id   int
+}
+
+// ID returns the stream index.
+func (s *Stream) ID() int { return s.id }
+
+// Input declares an encrypted input at the given level.
+func (s *Stream) Input(name string, level int) *Ciphertext {
+	if level < 0 || level > s.prog.cfg.MaxLevel {
+		return s.prog.fail(fmt.Errorf("dsl: input %q level %d out of [0,%d]", name, level, s.prog.cfg.MaxLevel))
+	}
+	n := s.prog.graph.AddNode(&polyir.Node{Kind: polyir.OpInput, Name: name, Stream: s.id, Level: level})
+	return &Ciphertext{prog: s.prog, node: n, stream: s.id, level: level}
+}
+
+// Output marks ct as a named program output.
+func (s *Stream) Output(name string, ct *Ciphertext) {
+	if ct == nil || ct.node == nil {
+		s.prog.errs = append(s.prog.errs, fmt.Errorf("dsl: output %q from poisoned value", name))
+		return
+	}
+	s.prog.graph.AddNode(&polyir.Node{Kind: polyir.OpOutput, Name: name, Args: []*polyir.Node{ct.node}, Stream: s.id})
+}
+
+// Ciphertext is a DSL value handle. Levels are tracked eagerly so binary
+// operations can auto-align operands with free level drops.
+type Ciphertext struct {
+	prog   *Program
+	node   *polyir.Node
+	stream int
+	level  int
+}
+
+// Level returns the handle's tracked ciphertext level.
+func (c *Ciphertext) Level() int { return c.level }
+
+// DropLevel truncates to the target level (free; no arithmetic).
+func (c *Ciphertext) DropLevel(level int) *Ciphertext {
+	if c.node == nil {
+		return c.prog.fail(fmt.Errorf("dsl: DropLevel on poisoned value"))
+	}
+	if level == c.level {
+		return c
+	}
+	if level > c.level || level < 0 {
+		return c.prog.fail(fmt.Errorf("dsl: cannot drop from level %d to %d", c.level, level))
+	}
+	n := c.prog.graph.AddNode(&polyir.Node{Kind: polyir.OpDropLevel, Args: []*polyir.Node{c.node},
+		DropTo: level, Stream: c.stream, Level: level})
+	return &Ciphertext{prog: c.prog, node: n, stream: c.stream, level: level}
+}
+
+func (c *Ciphertext) binary(kind polyir.OpKind, other *Ciphertext) *Ciphertext {
+	if c.node == nil || other == nil || other.node == nil {
+		return c.prog.fail(fmt.Errorf("dsl: %v on poisoned value", kind))
+	}
+	a, b := c, other
+	if a.level > b.level {
+		a = a.DropLevel(b.level)
+	} else if b.level > a.level {
+		b = b.DropLevel(a.level)
+	}
+	if a.node == nil || b.node == nil {
+		return c.prog.fail(fmt.Errorf("dsl: %v alignment failed", kind))
+	}
+	n := c.prog.graph.AddNode(&polyir.Node{Kind: kind, Args: []*polyir.Node{a.node, b.node}, Stream: c.stream, Level: a.level})
+	return &Ciphertext{prog: c.prog, node: n, stream: c.stream, level: a.level}
+}
+
+func (c *Ciphertext) unary(kind polyir.OpKind, name string, rot int) *Ciphertext {
+	if c.node == nil {
+		return c.prog.fail(fmt.Errorf("dsl: %v on poisoned value", kind))
+	}
+	level := c.level
+	switch kind {
+	case polyir.OpRescale:
+		if level < 1 {
+			return c.prog.fail(fmt.Errorf("dsl: rescale at level 0"))
+		}
+		level--
+	case polyir.OpBootstrap:
+		level = c.prog.cfg.BootstrapExitLevel
+	}
+	n := c.prog.graph.AddNode(&polyir.Node{Kind: kind, Args: []*polyir.Node{c.node}, Name: name, Rot: rot, Stream: c.stream, Level: level})
+	return &Ciphertext{prog: c.prog, node: n, stream: c.stream, level: level}
+}
+
+// Add returns c + other.
+func (c *Ciphertext) Add(other *Ciphertext) *Ciphertext { return c.binary(polyir.OpAdd, other) }
+
+// Sub returns c − other.
+func (c *Ciphertext) Sub(other *Ciphertext) *Ciphertext { return c.binary(polyir.OpSub, other) }
+
+// Neg returns −c.
+func (c *Ciphertext) Neg() *Ciphertext { return c.unary(polyir.OpNeg, "", 0) }
+
+// Mul returns c · other (relinearized). Rescale separately.
+func (c *Ciphertext) Mul(other *Ciphertext) *Ciphertext { return c.binary(polyir.OpMulCt, other) }
+
+// MulPlain multiplies by the named plaintext.
+func (c *Ciphertext) MulPlain(name string) *Ciphertext { return c.unary(polyir.OpMulPlain, name, 0) }
+
+// AddPlain adds the named plaintext.
+func (c *Ciphertext) AddPlain(name string) *Ciphertext { return c.unary(polyir.OpAddPlain, name, 0) }
+
+// Rotate rotates the slot vector by k.
+func (c *Ciphertext) Rotate(k int) *Ciphertext { return c.unary(polyir.OpRotate, "", k) }
+
+// Conjugate conjugates the slots.
+func (c *Ciphertext) Conjugate() *Ciphertext { return c.unary(polyir.OpConjugate, "", 0) }
+
+// Rescale drops one level.
+func (c *Ciphertext) Rescale() *Ciphertext { return c.unary(polyir.OpRescale, "", 0) }
+
+// Bootstrap refreshes the ciphertext to the configured exit level.
+func (c *Ciphertext) Bootstrap() *Ciphertext { return c.unary(polyir.OpBootstrap, "", 0) }
+
+// SumRotations returns Σ_k Rotate(c, k) via a balanced add chain — the
+// rotate-then-aggregate pattern the keyswitch pass targets.
+func (c *Ciphertext) SumRotations(ks []int) *Ciphertext {
+	if len(ks) == 0 {
+		return c.prog.fail(fmt.Errorf("dsl: SumRotations with no offsets"))
+	}
+	acc := c.Rotate(ks[0])
+	for _, k := range ks[1:] {
+		acc = acc.Add(c.Rotate(k))
+	}
+	return acc
+}

@@ -1,0 +1,140 @@
+package dsl
+
+import (
+	"testing"
+
+	"cinnamon/internal/polyir"
+)
+
+func TestBasicProgram(t *testing.T) {
+	p := NewProgram(Config{MaxLevel: 5})
+	s := p.Stream(0)
+	x := s.Input("x", 5)
+	y := x.Mul(x).Rescale()
+	s.Output("y", y)
+	g, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Ops[polyir.OpMulCt] != 1 || st.Ops[polyir.OpRescale] != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if y.Level() != 4 {
+		t.Fatalf("level after rescale = %d", y.Level())
+	}
+}
+
+func TestAutoLevelAlignment(t *testing.T) {
+	p := NewProgram(Config{MaxLevel: 5})
+	s := p.Stream(0)
+	x := s.Input("x", 5)
+	deep := x.Mul(x).Rescale() // level 4
+	sum := x.Add(deep)         // must auto-drop x to 4
+	if sum.Level() != 4 {
+		t.Fatalf("aligned add level %d", sum.Level())
+	}
+	s.Output("y", sum)
+	g, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Ops[polyir.OpDropLevel] != 1 {
+		t.Fatal("expected one inserted DropLevel")
+	}
+}
+
+func TestStreamPoolAndStreams(t *testing.T) {
+	p := NewProgram(Config{MaxLevel: 3})
+	seen := map[int]bool{}
+	StreamPool(p, 3, func(id int, s *Stream) {
+		seen[id] = true
+		if s.ID() != id {
+			t.Fatalf("stream id %d != %d", s.ID(), id)
+		}
+		x := s.Input("x", 3)
+		s.Output("y", x.Neg())
+	})
+	g, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Streams != 3 || len(seen) != 3 {
+		t.Fatalf("streams %d", g.Streams)
+	}
+}
+
+func TestErrorsPoisonAndSurface(t *testing.T) {
+	p := NewProgram(Config{MaxLevel: 3})
+	s := p.Stream(0)
+	bad := s.Input("x", 9) // out of range
+	worse := bad.Add(bad)  // chained on poisoned value must not panic
+	s.Output("y", worse)
+	if _, err := p.Finish(); err == nil {
+		t.Fatal("expected surfaced input-level error")
+	}
+}
+
+func TestRescaleAtZeroFails(t *testing.T) {
+	p := NewProgram(Config{MaxLevel: 1})
+	s := p.Stream(0)
+	x := s.Input("x", 0)
+	s.Output("y", x.Rescale())
+	if _, err := p.Finish(); err == nil {
+		t.Fatal("expected rescale-at-zero error")
+	}
+}
+
+func TestSumRotationsShape(t *testing.T) {
+	p := NewProgram(Config{MaxLevel: 4})
+	s := p.Stream(0)
+	x := s.Input("x", 4)
+	s.Output("y", x.SumRotations([]int{1, 2, 3}))
+	g, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Ops[polyir.OpRotate] != 3 || st.Ops[polyir.OpAdd] != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, bad := NewProgram(Config{MaxLevel: 4}), s; bad == nil {
+		t.Fatal()
+	}
+	p2 := NewProgram(Config{MaxLevel: 4})
+	s2 := p2.Stream(0)
+	x2 := s2.Input("x", 4)
+	if v := x2.SumRotations(nil); v.node != nil {
+		t.Fatal("empty SumRotations should poison")
+	}
+}
+
+func TestBootstrapExitLevel(t *testing.T) {
+	p := NewProgram(Config{MaxLevel: 10, BootstrapExitLevel: 6})
+	s := p.Stream(0)
+	x := s.Input("x", 10)
+	down := x.DropLevel(0)
+	fresh := down.Bootstrap()
+	if fresh.Level() != 6 {
+		t.Fatalf("bootstrap exit level %d", fresh.Level())
+	}
+	if bad := x.DropLevel(11); bad.node != nil {
+		t.Fatal("upward drop should poison")
+	}
+}
+
+func TestConjugateAndPlainOps(t *testing.T) {
+	p := NewProgram(Config{MaxLevel: 3})
+	s := p.Stream(0)
+	x := s.Input("x", 3)
+	y := x.Conjugate().MulPlain("w").AddPlain("b").Sub(x.DropLevel(3))
+	s.Output("y", y)
+	g, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Ops[polyir.OpConjugate] != 1 || st.Ops[polyir.OpMulPlain] != 1 || st.Ops[polyir.OpAddPlain] != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

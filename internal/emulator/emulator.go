@@ -1,0 +1,286 @@
+// Package emulator executes compiled limb-level programs functionally on
+// real limb data across virtual chips. It is the reproduction of the
+// paper's "CPU emulator for the Cinnamon ISA" (§6.2): the compiler's
+// output is validated by emulating it and comparing the decrypted results
+// against the reference CKKS evaluator.
+package emulator
+
+import (
+	"fmt"
+	"strings"
+
+	"cinnamon/internal/limbir"
+	"cinnamon/internal/ring"
+	"cinnamon/internal/rns"
+)
+
+// Provider resolves memory symbols (ciphertext inputs, plaintexts,
+// evaluation-key limbs) and receives program outputs.
+type Provider interface {
+	LoadLimb(sym string) ([]uint64, error)
+	StoreLimb(sym string, data []uint64) error
+}
+
+// Machine executes a module over a ring context.
+type Machine struct {
+	Ring   *ring.Ring
+	Module *limbir.Module
+	Prov   Provider
+
+	scratch []map[string][]uint64 // per-chip spill space
+	vals    [][][]uint64          // per-chip value/register file
+}
+
+// New builds a machine for the module.
+func New(rg *ring.Ring, mod *limbir.Module, prov Provider) *Machine {
+	m := &Machine{Ring: rg, Module: mod, Prov: prov}
+	m.scratch = make([]map[string][]uint64, mod.NChips)
+	m.vals = make([][][]uint64, mod.NChips)
+	for c, p := range mod.Chips {
+		m.scratch[c] = map[string][]uint64{}
+		n := p.NumValues
+		if p.NumRegs > 0 {
+			n = p.NumRegs
+		}
+		m.vals[c] = make([][]uint64, n)
+	}
+	return m
+}
+
+// Run executes all chips to completion in bulk-synchronous steps: each
+// chip runs until its next collective; collectives are matched by tag and
+// executed atomically.
+func (m *Machine) Run() error {
+	pcs := make([]int, m.Module.NChips)
+	for {
+		type pend struct {
+			chip  int
+			instr limbir.Instr
+		}
+		var pending []pend
+		for c, p := range m.Module.Chips {
+			for pcs[c] < len(p.Instrs) {
+				in := p.Instrs[pcs[c]]
+				if in.IsComm() {
+					break
+				}
+				if err := m.exec(c, in); err != nil {
+					return fmt.Errorf("chip %d pc %d (%v): %w", c, pcs[c], in.Op, err)
+				}
+				pcs[c]++
+			}
+			if pcs[c] < len(p.Instrs) {
+				pending = append(pending, pend{chip: c, instr: p.Instrs[pcs[c]]})
+			}
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+		// Group parked chips by tag; a collective fires once every
+		// participant (its Chips list, or all chips when nil) is parked at
+		// the same tag. Independent stream groups may fire concurrently.
+		byTag := map[int][]pend{}
+		for _, pe := range pending {
+			byTag[pe.instr.Tag] = append(byTag[pe.instr.Tag], pe)
+		}
+		fired := false
+		for tag, pes := range byTag {
+			parts := pes[0].instr.Chips
+			if parts == nil {
+				parts = make([]int, m.Module.NChips)
+				for c := range parts {
+					parts[c] = c
+				}
+			}
+			if len(pes) < len(parts) {
+				continue // not everyone has arrived yet
+			}
+			op := pes[0].instr.Op
+			for _, pe := range pes[1:] {
+				if pe.instr.Op != op {
+					return fmt.Errorf("emulator: tag %d used with both %v and %v", tag, op, pe.instr.Op)
+				}
+			}
+			switch op {
+			case limbir.Bcast:
+				var data []uint64
+				for _, pe := range pes {
+					if pe.chip == pe.instr.Owner && len(pe.instr.Srcs) == 1 {
+						data = m.vals[pe.chip][pe.instr.Srcs[0]]
+					}
+				}
+				if data == nil {
+					return fmt.Errorf("emulator: broadcast tag %d has no owner contribution", tag)
+				}
+				for _, pe := range pes {
+					m.vals[pe.chip][pe.instr.Dst] = append([]uint64(nil), data...)
+				}
+			case limbir.Agg:
+				mod := pes[0].instr.Mod
+				sum := make([]uint64, m.Ring.N)
+				for _, pe := range pes {
+					if len(pe.instr.Srcs) == 0 {
+						continue
+					}
+					src := m.vals[pe.chip][pe.instr.Srcs[0]]
+					for i := range sum {
+						sum[i] = rns.AddMod(sum[i], src[i], mod)
+					}
+				}
+				for _, pe := range pes {
+					m.vals[pe.chip][pe.instr.Dst] = append([]uint64(nil), sum...)
+				}
+			}
+			for _, pe := range pes {
+				pcs[pe.chip]++
+			}
+			fired = true
+		}
+		if !fired {
+			return fmt.Errorf("emulator: deadlock — %d chips parked with no completable collective", len(pending))
+		}
+	}
+}
+
+func (m *Machine) exec(c int, in limbir.Instr) error {
+	get := func(v limbir.Value) ([]uint64, error) {
+		d := m.vals[c][v]
+		if d == nil {
+			return nil, fmt.Errorf("read of undefined value/register %d", v)
+		}
+		return d, nil
+	}
+	switch in.Op {
+	case limbir.Load:
+		var data []uint64
+		var err error
+		if strings.HasPrefix(in.Sym, "spill:") {
+			data = m.scratch[c][in.Sym]
+			if data == nil {
+				err = fmt.Errorf("spill slot %q empty", in.Sym)
+			}
+		} else {
+			data, err = m.Prov.LoadLimb(in.Sym)
+		}
+		if err != nil {
+			return err
+		}
+		m.vals[c][in.Dst] = append([]uint64(nil), data...)
+	case limbir.Store:
+		src, err := get(in.Srcs[0])
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(in.Sym, "spill:") {
+			m.scratch[c][in.Sym] = append([]uint64(nil), src...)
+			return nil
+		}
+		return m.Prov.StoreLimb(in.Sym, append([]uint64(nil), src...))
+	case limbir.Add, limbir.Sub, limbir.Mul:
+		a, err := get(in.Srcs[0])
+		if err != nil {
+			return err
+		}
+		b, err := get(in.Srcs[1])
+		if err != nil {
+			return err
+		}
+		out := make([]uint64, len(a))
+		switch in.Op {
+		case limbir.Add:
+			for i := range out {
+				out[i] = rns.AddMod(a[i], b[i], in.Mod)
+			}
+		case limbir.Sub:
+			for i := range out {
+				out[i] = rns.SubMod(a[i], b[i], in.Mod)
+			}
+		case limbir.Mul:
+			for i := range out {
+				out[i] = rns.MulMod(a[i], b[i], in.Mod)
+			}
+		}
+		m.vals[c][in.Dst] = out
+	case limbir.Neg:
+		a, err := get(in.Srcs[0])
+		if err != nil {
+			return err
+		}
+		out := make([]uint64, len(a))
+		for i := range out {
+			out[i] = rns.NegMod(a[i], in.Mod)
+		}
+		m.vals[c][in.Dst] = out
+	case limbir.MulScalar:
+		a, err := get(in.Srcs[0])
+		if err != nil {
+			return err
+		}
+		out := make([]uint64, len(a))
+		for i := range out {
+			out[i] = rns.MulMod(a[i], in.Scalar, in.Mod)
+		}
+		m.vals[c][in.Dst] = out
+	case limbir.NTT, limbir.INTT:
+		a, err := get(in.Srcs[0])
+		if err != nil {
+			return err
+		}
+		tb := m.Ring.Tables.Table(in.Mod)
+		if tb == nil {
+			return fmt.Errorf("no NTT table for modulus %d", in.Mod)
+		}
+		out := append([]uint64(nil), a...)
+		if in.Op == limbir.NTT {
+			tb.Forward(out)
+		} else {
+			tb.Inverse(out)
+		}
+		m.vals[c][in.Dst] = out
+	case limbir.Auto:
+		a, err := get(in.Srcs[0])
+		if err != nil {
+			return err
+		}
+		out := make([]uint64, len(a))
+		if in.CoeffDom {
+			n := uint64(m.Ring.N)
+			twoN := 2 * n
+			for i := uint64(0); i < n; i++ {
+				t := (i * in.GalEl) % twoN
+				if t < n {
+					out[t] = a[i]
+				} else {
+					out[t-n] = rns.NegMod(a[i], in.Mod)
+				}
+			}
+		} else {
+			idx := m.Ring.AutomorphismIndexNTT(in.GalEl)
+			for i := range out {
+				out[i] = a[idx[i]]
+			}
+		}
+		m.vals[c][in.Dst] = out
+	case limbir.BConv:
+		srcs := make([][]uint64, len(in.Srcs))
+		for i, s := range in.Srcs {
+			d, err := get(s)
+			if err != nil {
+				return err
+			}
+			srcs[i] = d
+		}
+		bc, err := ring.ConverterFor(rns.Basis{Moduli: in.SrcMods}, rns.Basis{Moduli: []uint64{in.Mod}})
+		if err != nil {
+			return err
+		}
+		out, err := bc.Convert(srcs)
+		if err != nil {
+			return err
+		}
+		m.vals[c][in.Dst] = out[0]
+	default:
+		return fmt.Errorf("unhandled op %v", in.Op)
+	}
+	return nil
+}

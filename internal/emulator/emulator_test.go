@@ -1,0 +1,478 @@
+package emulator
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/compiler"
+	"cinnamon/internal/dsl"
+	"cinnamon/internal/keyswitch"
+	"cinnamon/internal/limbir"
+	"cinnamon/internal/polyir"
+)
+
+// testEnv bundles parameters, keys and helpers for compile-and-emulate
+// equivalence tests against the reference CKKS evaluator.
+type testEnv struct {
+	params *ckks.Parameters
+	enc    *ckks.Encoder
+	kg     *ckks.KeyGenerator
+	sk     *ckks.SecretKey
+	encr   *ckks.Encryptor
+	decr   *ckks.Decryptor
+	ev     *ckks.Evaluator
+	prov   *CKKSProvider
+}
+
+func newTestEnv(t testing.TB, rotations []int, nChips int) *testEnv {
+	t.Helper()
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     9,
+		LogQ:     []int{55, 45, 45, 45, 45},
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		Seed:     31415,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rtks *ckks.RotationKeySet
+	if rotations != nil {
+		if rtks, err = kg.GenRotationKeySet(sk, rotations, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prov := NewCKKSProvider(params)
+	prov.Keys["rlk"] = rlk
+	if rtks != nil {
+		for k, key := range rtks.Keys {
+			prov.Keys[fmt.Sprintf("rot:%d", k)] = key
+		}
+		if rtks.Conj != nil {
+			prov.Keys["conj"] = rtks.Conj
+		}
+	}
+	// Modular-digit rotation keys for output aggregation.
+	if rotations != nil && nChips > 1 {
+		modKeys, err := keyswitch.GenModularRotationKeys(params, sk, nChips, rotations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, key := range modKeys {
+			prov.Keys[fmt.Sprintf("rotmod:%d", k)] = key
+		}
+	}
+	return &testEnv{
+		params: params,
+		enc:    ckks.NewEncoder(params),
+		kg:     kg,
+		sk:     sk,
+		encr:   ckks.NewEncryptor(params, pk),
+		decr:   ckks.NewDecryptor(params, sk),
+		ev:     ckks.NewEvaluator(params, rlk, rtks),
+		prov:   prov,
+	}
+}
+
+func (te *testEnv) encryptInput(t testing.TB, name string, seed int64, slots int) []complex128 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex128, slots)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	pt, err := te.enc.Encode(v, te.params.MaxLevel(), te.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := te.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te.prov.Inputs[name] = ct
+	return v
+}
+
+// compileAndRun lowers the program, allocates registers, validates, and
+// emulates it on nChips, returning the named output.
+func (te *testEnv) compileAndRun(t testing.TB, prog *dsl.Program, nChips, regs int, outName string, outLevel int, outScale float64) *ckks.Ciphertext {
+	t.Helper()
+	g, err := prog.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &polyir.KeyswitchPass{NChips: nChips}
+	groups := pass.Run(g)
+	mod, err := compiler.Lower(g, te.params, nChips, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := compiler.Allocate(mod, regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := New(te.params.Ring, alloc, te.prov)
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := te.prov.Output(outName, outLevel, outScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func (te *testEnv) decode(t testing.TB, ct *ckks.Ciphertext, slots int) []complex128 {
+	t.Helper()
+	pt, err := te.decr.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := te.enc.Decode(pt, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func maxSlotErr(a, b []complex128) float64 {
+	w := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > w {
+			w = e
+		}
+	}
+	return w
+}
+
+func TestEmulateAddSub(t *testing.T) {
+	for _, nChips := range []int{1, 3} {
+		te := newTestEnv(t, nil, nChips)
+		slots := 32
+		va := te.encryptInput(t, "a", 1, slots)
+		vb := te.encryptInput(t, "b", 2, slots)
+		prog := dsl.NewProgram(dsl.Config{MaxLevel: te.params.MaxLevel()})
+		s := prog.Stream(0)
+		a := s.Input("a", te.params.MaxLevel())
+		b := s.Input("b", te.params.MaxLevel())
+		s.Output("sum", a.Add(b).Sub(b).Add(b)) // a + b after wash
+		out := te.compileAndRun(t, prog, nChips, 32, "sum", te.params.MaxLevel(), te.params.DefaultScale())
+		got := te.decode(t, out, slots)
+		want := make([]complex128, slots)
+		for i := range want {
+			want[i] = va[i] + vb[i]
+		}
+		if e := maxSlotErr(got, want); e > 1e-5 {
+			t.Fatalf("nChips=%d: add/sub error %g", nChips, e)
+		}
+	}
+}
+
+func TestEmulateMulRescaleMatchesEvaluator(t *testing.T) {
+	for _, nChips := range []int{1, 2, 4} {
+		te := newTestEnv(t, nil, nChips)
+		slots := 16
+		va := te.encryptInput(t, "x", 3, slots)
+		prog := dsl.NewProgram(dsl.Config{MaxLevel: te.params.MaxLevel()})
+		s := prog.Stream(0)
+		x := s.Input("x", te.params.MaxLevel())
+		s.Output("y", x.Mul(x).Rescale())
+		ql := float64(te.params.QBasis.Moduli[te.params.MaxLevel()])
+		scale := te.params.DefaultScale() * te.params.DefaultScale() / ql
+		out := te.compileAndRun(t, prog, nChips, 40, "y", te.params.MaxLevel()-1, scale)
+		got := te.decode(t, out, slots)
+		want := make([]complex128, slots)
+		for i := range want {
+			want[i] = va[i] * va[i]
+		}
+		if e := maxSlotErr(got, want); e > 1e-4 {
+			t.Fatalf("nChips=%d: mul error %g", nChips, e)
+		}
+		// Bit-exactness against the reference evaluator path.
+		ref, err := te.ev.MulRelin(te.prov.Inputs["x"], te.prov.Inputs["x"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err = te.ev.Rescale(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.C0.Equal(out.C0) || !ref.C1.Equal(out.C1) {
+			t.Fatalf("nChips=%d: compiled mul+rescale is not bit-exact vs evaluator", nChips)
+		}
+	}
+}
+
+func TestEmulateRotationHoisted(t *testing.T) {
+	rots := []int{1, 2, 5}
+	for _, nChips := range []int{1, 4} {
+		te := newTestEnv(t, rots, nChips)
+		slots := te.params.Slots()
+		v := te.encryptInput(t, "x", 4, slots)
+		prog := dsl.NewProgram(dsl.Config{MaxLevel: te.params.MaxLevel()})
+		s := prog.Stream(0)
+		x := s.Input("x", te.params.MaxLevel())
+		// Three rotations of the same ciphertext, multiplied pairwise to
+		// prevent the aggregation pattern from matching: the pass must
+		// choose input broadcast with one batch.
+		r1 := x.Rotate(1)
+		r2 := x.Rotate(2)
+		r5 := x.Rotate(5)
+		s.Output("o1", r1)
+		s.Output("o2", r2)
+		s.Output("o5", r5)
+		g, err := prog.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass := &polyir.KeyswitchPass{NChips: nChips}
+		groups := pass.Run(g)
+		if nChips > 1 {
+			// All three rotations share one input: expect a single
+			// input-broadcast group covering them.
+			found := false
+			for _, grp := range groups {
+				if grp.Algorithm == polyir.KSInputBroadcast && len(grp.Nodes) == 3 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("pass did not batch the 3 shared-input rotations: %+v", groups)
+			}
+		}
+		mod, err := compiler.Lower(g, te.params, nChips, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nChips > 1 {
+			st := mod.Stats()
+			bcasts := st.Ops[limbir.Bcast] / nChips // each collective appears once per chip
+			wantBcasts := te.params.MaxLevel() + 1  // one batched broadcast of l+1 limbs
+			if bcasts != wantBcasts {
+				t.Fatalf("nChips=%d: %d broadcast limbs, want %d (single hoisted broadcast)", nChips, bcasts, wantBcasts)
+			}
+		}
+		alloc, err := compiler.Allocate(mod, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach := New(te.params.Ring, alloc, te.prov)
+		if err := mach.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range rots {
+			out, err := te.prov.Output(fmt.Sprintf("o%d", k), te.params.MaxLevel(), te.params.DefaultScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := te.decode(t, out, slots)
+			want := make([]complex128, slots)
+			for i := range want {
+				want[i] = v[(i+k)%slots]
+			}
+			if e := maxSlotErr(got, want); e > 1e-4 {
+				t.Fatalf("nChips=%d rotation %d: error %g", nChips, k, e)
+			}
+		}
+	}
+}
+
+func TestEmulateRotateAndSumAggregation(t *testing.T) {
+	rots := []int{1, 2, 4}
+	nChips := 4
+	te := newTestEnv(t, rots, nChips)
+	slots := te.params.Slots()
+	v := te.encryptInput(t, "x", 5, slots)
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: te.params.MaxLevel()})
+	s := prog.Stream(0)
+	x := s.Input("x", te.params.MaxLevel())
+	s.Output("sum", x.SumRotations(rots))
+	g, err := prog.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &polyir.KeyswitchPass{NChips: nChips}
+	groups := pass.Run(g)
+	foundOA := false
+	for _, grp := range groups {
+		if grp.Algorithm == polyir.KSOutputAggregation && len(grp.Nodes) == len(rots) {
+			foundOA = true
+		}
+	}
+	if !foundOA {
+		t.Fatalf("pass did not form an output-aggregation group: %+v", groups)
+	}
+	mod, err := compiler.Lower(g, te.params, nChips, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mod.Stats()
+	aggLimbs := st.Ops[limbir.Agg] / nChips
+	wantAggs := 2 * (te.params.MaxLevel() + 1) // two aggregations of l+1 limbs
+	if aggLimbs != wantAggs {
+		t.Fatalf("%d aggregated limbs, want %d", aggLimbs, wantAggs)
+	}
+	if st.Ops[limbir.Bcast] != 0 {
+		t.Fatalf("output aggregation should need no broadcasts, got %d", st.Ops[limbir.Bcast])
+	}
+	alloc, err := compiler.Allocate(mod, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := New(te.params.Ring, alloc, te.prov)
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := te.prov.Output("sum", te.params.MaxLevel(), te.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := te.decode(t, out, slots)
+	want := make([]complex128, slots)
+	for i := range want {
+		for _, k := range rots {
+			want[i] += v[(i+k)%slots]
+		}
+	}
+	if e := maxSlotErr(got, want); e > 1e-3 {
+		t.Fatalf("rotate-and-sum error %g", e)
+	}
+}
+
+func TestBeladySpillsUnderPressure(t *testing.T) {
+	te := newTestEnv(t, nil, 1)
+	slots := 8
+	te.encryptInput(t, "x", 6, slots)
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: te.params.MaxLevel()})
+	s := prog.Stream(0)
+	x := s.Input("x", te.params.MaxLevel())
+	s.Output("y", x.Mul(x).Rescale())
+	g, err := prog.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &polyir.KeyswitchPass{NChips: 1}
+	groups := pass.Run(g)
+	mod, err := compiler.Lower(g, te.params, 1, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BConv needs up to alpha source operands + dst; squeeze the register
+	// file close to the operand minimum and expect spills yet correctness.
+	tight, err := compiler.Allocate(mod, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Chips[0].Spills == 0 {
+		t.Log("no spills under tight registers; acceptable but unexpected")
+	}
+	mach := New(te.params.Ring, tight, te.prov)
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := compiler.Allocate(mod, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roomy.Chips[0].Spills > tight.Chips[0].Spills {
+		t.Fatalf("more registers produced more spills (%d vs %d)", roomy.Chips[0].Spills, tight.Chips[0].Spills)
+	}
+}
+
+// TestEmulateConcurrentStreams places two independent streams on two chip
+// groups (program-level parallelism, paper §4.2) and checks both results.
+func TestEmulateConcurrentStreams(t *testing.T) {
+	nChips := 4 // two streams × two chips each
+	te := newTestEnv(t, nil, nChips)
+	slots := 16
+	va := te.encryptInput(t, "x0", 7, slots)
+	vb := te.encryptInput(t, "x1", 8, slots)
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: te.params.MaxLevel()})
+	dsl.StreamPool(prog, 2, func(id int, s *dsl.Stream) {
+		x := s.Input(fmt.Sprintf("x%d", id), te.params.MaxLevel())
+		s.Output(fmt.Sprintf("y%d", id), x.Mul(x).Rescale())
+	})
+	g, err := prog.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &polyir.KeyswitchPass{NChips: nChips}
+	groups := pass.Run(g)
+	mod, err := compiler.Lower(g, te.params, nChips, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := compiler.Allocate(mod, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := New(te.params.Ring, alloc, te.prov)
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ql := float64(te.params.QBasis.Moduli[te.params.MaxLevel()])
+	scale := te.params.DefaultScale() * te.params.DefaultScale() / ql
+	for id, v := range [][]complex128{va, vb} {
+		out, err := te.prov.Output(fmt.Sprintf("y%d", id), te.params.MaxLevel()-1, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := te.decode(t, out, slots)
+		want := make([]complex128, slots)
+		for i := range want {
+			want[i] = v[i] * v[i]
+		}
+		if e := maxSlotErr(got, want); e > 1e-4 {
+			t.Fatalf("stream %d: error %g", id, e)
+		}
+	}
+}
+
+func TestCrossStreamOpRejected(t *testing.T) {
+	te := newTestEnv(t, nil, 4)
+	te.encryptInput(t, "x0", 1, 8)
+	te.encryptInput(t, "x1", 2, 8)
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: te.params.MaxLevel()})
+	s0 := prog.Stream(0)
+	s1 := prog.Stream(1)
+	a := s0.Input("x0", te.params.MaxLevel())
+	b := s1.Input("x1", te.params.MaxLevel())
+	s0.Output("y", a.Add(b))
+	g, err := prog.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compiler.Lower(g, te.params, 4, nil); err == nil {
+		t.Fatal("expected cross-stream rejection")
+	}
+}
+
+func TestModuleValidateCatchesMismatchedCollectives(t *testing.T) {
+	m := limbir.NewModule(2)
+	p0, p1 := m.Chips[0], m.Chips[1]
+	v0 := p0.NewValue()
+	p0.Emit(limbir.Instr{Op: limbir.Load, Dst: v0, Sym: "ct:x:0:m7"})
+	d0 := p0.NewValue()
+	p0.Emit(limbir.Instr{Op: limbir.Bcast, Dst: d0, Tag: 1, Owner: 0, Srcs: []limbir.Value{v0}})
+	d1 := p1.NewValue()
+	p1.Emit(limbir.Instr{Op: limbir.Bcast, Dst: d1, Tag: 2, Owner: 0})
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected collective tag mismatch error")
+	}
+}

@@ -1,0 +1,127 @@
+package emulator
+
+import (
+	"strings"
+	"testing"
+
+	"cinnamon/internal/limbir"
+)
+
+// Failure injection: the emulator and provider must fail loudly and
+// descriptively, never silently compute garbage.
+
+func TestProviderUnknownSymbols(t *testing.T) {
+	te := newTestEnv(t, nil, 1)
+	for _, sym := range []string{
+		"ct:nope:0:m123",       // unknown ciphertext
+		"pt:nope:m123",         // unknown plaintext
+		"evk:nope:0:0:m123",    // unknown key
+		"bogus:thing:m123",     // unknown class
+		"ct:x:0:missingsuffix", // no modulus suffix
+	} {
+		if _, err := te.prov.LoadLimb(sym); err == nil {
+			t.Fatalf("expected error for %q", sym)
+		}
+	}
+	if err := te.prov.StoreLimb("notout:x", nil); err == nil {
+		t.Fatal("expected store-to-non-output error")
+	}
+}
+
+func TestProviderWrongModulus(t *testing.T) {
+	te := newTestEnv(t, nil, 1)
+	te.encryptInput(t, "x", 1, 8)
+	if _, err := te.prov.LoadLimb("ct:x:0:m12345"); err == nil {
+		t.Fatal("expected missing-modulus error")
+	}
+}
+
+func TestProviderEvalKeyDigitBounds(t *testing.T) {
+	te := newTestEnv(t, nil, 1)
+	q := te.params.QBasis.Moduli[0]
+	sym := "evk:rlk:99:0:m" + uintToStr(q)
+	if _, err := te.prov.LoadLimb(sym); err == nil {
+		t.Fatal("expected digit-out-of-range error")
+	}
+}
+
+func uintToStr(v uint64) string {
+	// strconv without importing it twice in the test file's mental model.
+	digits := []byte{}
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	if len(digits) == 0 {
+		return "0"
+	}
+	return string(digits)
+}
+
+func TestMachineUndefinedRegister(t *testing.T) {
+	te := newTestEnv(t, nil, 1)
+	m := limbir.NewModule(1)
+	p := m.Chips[0]
+	p.NumValues = 2
+	p.Emit(limbir.Instr{Op: limbir.Neg, Dst: 1, Srcs: []limbir.Value{0}, Mod: 97})
+	mach := New(te.params.Ring, m, te.prov)
+	err := mach.Run()
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("expected undefined-value error, got %v", err)
+	}
+}
+
+func TestMachineBroadcastWithoutOwner(t *testing.T) {
+	te := newTestEnv(t, nil, 2)
+	m := limbir.NewModule(2)
+	for _, p := range m.Chips {
+		d := p.NewValue()
+		// No chip contributes sources: the broadcast has no owner data.
+		p.Emit(limbir.Instr{Op: limbir.Bcast, Dst: d, Tag: 1, Owner: 0})
+	}
+	mach := New(te.params.Ring, m, te.prov)
+	if err := mach.Run(); err == nil {
+		t.Fatal("expected no-owner-contribution error")
+	}
+}
+
+func TestMachineMissingNTTTable(t *testing.T) {
+	te := newTestEnv(t, nil, 1)
+	m := limbir.NewModule(1)
+	p := m.Chips[0]
+	v := p.NewValue()
+	q := te.params.QBasis.Moduli[0]
+	p.Emit(limbir.Instr{Op: limbir.Load, Dst: v, Sym: "ct:x:0:m" + uintToStr(q)})
+	w := p.NewValue()
+	p.Emit(limbir.Instr{Op: limbir.NTT, Dst: w, Srcs: []limbir.Value{v}, Mod: 999983}) // not in the ring
+	te.encryptInput(t, "x", 1, 8)
+	mach := New(te.params.Ring, m, te.prov)
+	if err := mach.Run(); err == nil {
+		t.Fatal("expected missing-table error")
+	}
+}
+
+func TestOutputMissingLimb(t *testing.T) {
+	te := newTestEnv(t, nil, 1)
+	if _, err := te.prov.Output("never-stored", 1, 1.0); err == nil {
+		t.Fatal("expected missing-output error")
+	}
+}
+
+func TestCollectiveTagMismatchAtRuntime(t *testing.T) {
+	te := newTestEnv(t, nil, 2)
+	m := limbir.NewModule(2)
+	p0, p1 := m.Chips[0], m.Chips[1]
+	v0 := p0.NewValue()
+	q := te.params.QBasis.Moduli[0]
+	p0.Emit(limbir.Instr{Op: limbir.Load, Dst: v0, Sym: "ct:x:0:m" + uintToStr(q)})
+	d0 := p0.NewValue()
+	p0.Emit(limbir.Instr{Op: limbir.Bcast, Dst: d0, Tag: 1, Owner: 0, Srcs: []limbir.Value{v0}})
+	d1 := p1.NewValue()
+	p1.Emit(limbir.Instr{Op: limbir.Bcast, Dst: d1, Tag: 2, Owner: 0})
+	te.encryptInput(t, "x", 1, 8)
+	mach := New(te.params.Ring, m, te.prov)
+	if err := mach.Run(); err == nil {
+		t.Fatal("expected deadlock on mismatched tags")
+	}
+}

@@ -1,0 +1,143 @@
+package emulator
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/ring"
+)
+
+// CKKSProvider backs program symbols with real CKKS material: input
+// ciphertexts, plaintexts and evaluation keys, addressed by modulus so
+// chip-local limb order never matters.
+type CKKSProvider struct {
+	Params     *ckks.Parameters
+	Inputs     map[string]*ckks.Ciphertext
+	Plaintexts map[string]*ckks.Plaintext
+	Keys       map[string]*ckks.EvalKey
+
+	outputs map[string][]uint64
+}
+
+// NewCKKSProvider builds an empty provider.
+func NewCKKSProvider(params *ckks.Parameters) *CKKSProvider {
+	return &CKKSProvider{
+		Params:     params,
+		Inputs:     map[string]*ckks.Ciphertext{},
+		Plaintexts: map[string]*ckks.Plaintext{},
+		Keys:       map[string]*ckks.EvalKey{},
+		outputs:    map[string][]uint64{},
+	}
+}
+
+func limbByModulus(p *ring.Poly, mod uint64) ([]uint64, error) {
+	for j, q := range p.Basis.Moduli {
+		if q == mod {
+			return p.Limbs[j], nil
+		}
+	}
+	return nil, fmt.Errorf("emulator: no limb with modulus %d", mod)
+}
+
+// LoadLimb implements Provider.
+func (pv *CKKSProvider) LoadLimb(sym string) ([]uint64, error) {
+	parts := strings.Split(sym, ":")
+	modStr := parts[len(parts)-1]
+	if !strings.HasPrefix(modStr, "m") {
+		return nil, fmt.Errorf("emulator: symbol %q lacks modulus suffix", sym)
+	}
+	mod, err := strconv.ParseUint(modStr[1:], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("emulator: symbol %q: %w", sym, err)
+	}
+	switch parts[0] {
+	case "ct":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("emulator: malformed ciphertext symbol %q", sym)
+		}
+		ct := pv.Inputs[parts[1]]
+		if ct == nil {
+			return nil, fmt.Errorf("emulator: unknown input ciphertext %q", parts[1])
+		}
+		poly := ct.C0
+		if parts[2] == "1" {
+			poly = ct.C1
+		}
+		return limbByModulus(poly, mod)
+	case "pt":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("emulator: malformed plaintext symbol %q", sym)
+		}
+		pt := pv.Plaintexts[parts[1]]
+		if pt == nil {
+			return nil, fmt.Errorf("emulator: unknown plaintext %q", parts[1])
+		}
+		return limbByModulus(pt.Poly, mod)
+	case "evk":
+		// evk:<keyID...>:<digit>:<part>:m<mod>; keyID may itself contain
+		// a colon (e.g. "rot:5").
+		if len(parts) < 5 {
+			return nil, fmt.Errorf("emulator: malformed evalkey symbol %q", sym)
+		}
+		keyID := strings.Join(parts[1:len(parts)-3], ":")
+		digit, err := strconv.Atoi(parts[len(parts)-3])
+		if err != nil {
+			return nil, fmt.Errorf("emulator: symbol %q digit: %w", sym, err)
+		}
+		key := pv.Keys[keyID]
+		if key == nil {
+			return nil, fmt.Errorf("emulator: unknown evaluation key %q", keyID)
+		}
+		if digit < 0 || digit >= key.Digits() {
+			return nil, fmt.Errorf("emulator: key %q has no digit %d", keyID, digit)
+		}
+		poly := key.B[digit]
+		if parts[len(parts)-2] == "1" {
+			poly = key.A[digit]
+		}
+		return limbByModulus(poly, mod)
+	default:
+		return nil, fmt.Errorf("emulator: unknown symbol class %q", sym)
+	}
+}
+
+// StoreLimb implements Provider; only output symbols are expected.
+func (pv *CKKSProvider) StoreLimb(sym string, data []uint64) error {
+	if !strings.HasPrefix(sym, "out:") {
+		return fmt.Errorf("emulator: store to unexpected symbol %q", sym)
+	}
+	pv.outputs[sym] = data
+	return nil
+}
+
+// Output assembles the named output at the given level and scale into a
+// ciphertext (NTT domain).
+func (pv *CKKSProvider) Output(name string, level int, scale float64) (*ckks.Ciphertext, error) {
+	basis, err := pv.Params.BasisAtLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(part int) (*ring.Poly, error) {
+		p := pv.Params.Ring.NewPoly(basis)
+		p.IsNTT = true
+		for j, q := range basis.Moduli {
+			limb := pv.outputs[fmt.Sprintf("out:%s:%d:m%d", name, part, q)]
+			if limb == nil {
+				return nil, fmt.Errorf("emulator: output %q missing limb m%d part %d", name, q, part)
+			}
+			copy(p.Limbs[j], limb)
+		}
+		return p, nil
+	}
+	c0, err := mk(0)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := mk(1)
+	if err != nil {
+		return nil, err
+	}
+	return &ckks.Ciphertext{C0: c0, C1: c1, Scale: scale}, nil
+}

@@ -1,0 +1,77 @@
+package keyswitch
+
+import (
+	"testing"
+
+	"cinnamon/internal/ckks"
+)
+
+// Benchmarks for the parallel keyswitching algorithms at functional scale.
+// These measure the Go implementation itself (useful for regression
+// tracking); the paper-scale timing numbers come from internal/sim.
+
+func benchContext(b *testing.B) (*ksContext, *ckks.Ciphertext) {
+	b.Helper()
+	tc := newKSContext(b, nil)
+	_, ct := tc.encryptRandom(b, 64, 1)
+	return tc, ct
+}
+
+func BenchmarkKeySwitchSequential(b *testing.B) {
+	tc, ct := benchContext(b)
+	eng, _ := NewEngine(tc.params, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := eng.KeySwitch(ct.C1, tc.rlk, Sequential); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeySwitchInputBroadcast4(b *testing.B) {
+	tc, ct := benchContext(b)
+	eng, _ := NewEngine(tc.params, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := eng.KeySwitch(ct.C1, tc.rlk, InputBroadcast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeySwitchOutputAggregation4(b *testing.B) {
+	tc, ct := benchContext(b)
+	eng, _ := NewEngine(tc.params, 4)
+	r := tc.params.Ring
+	s2 := r.NewPoly(tc.params.QPBasis())
+	if err := r.MulCoeffs(tc.sk.S, tc.sk.S, s2); err != nil {
+		b.Fatal(err)
+	}
+	rlkMod, err := tc.kg.GenEvalKeyDigits(s2, tc.sk, ModularDigitSets(tc.params, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := eng.KeySwitch(ct.C1, rlkMod, OutputAggregation); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHoistedRotations8(b *testing.B) {
+	rots := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	tc := newKSContext(b, rots)
+	_, ct := tc.encryptRandom(b, 64, 2)
+	rtks, err := tc.kg.GenRotationKeySet(tc.sk, rots, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, _ := NewEngine(tc.params, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.HoistedRotations(ct, rots, rtks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package keyswitch implements the Cinnamon paper's parallel keyswitching
+// algorithms (§4.3.1, Fig. 8) over a limb partition across n chips:
+//
+//   - Sequential: the standard hybrid keyswitch on a single chip.
+//   - CiFHER: the prior-art baseline that broadcasts limbs at the mod-up
+//     AND both mod-down base conversions (3 broadcasts per keyswitch).
+//   - Input Broadcast: one broadcast at mod-up; extension limbs are
+//     duplicated on every chip so the mod-down is communication-free.
+//   - Output Aggregation: digits are the per-chip limb partitions, so no
+//     broadcast is needed; two aggregate-and-scatter operations at the end.
+//
+// Every algorithm is implemented functionally — each virtual chip computes
+// only the limbs the partition assigns it, and every limb that crosses a
+// chip boundary is metered in CommStats — so the equivalence tests can
+// check the algorithms against the sequential reference bit-for-bit (input
+// broadcast) or decryption-for-decryption (output aggregation, whose
+// mod-down/aggregate reorder is equivalent only up to rounding noise).
+package keyswitch
+
+import (
+	"fmt"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/ring"
+	"cinnamon/internal/rns"
+)
+
+// Algorithm selects a parallel keyswitching strategy.
+type Algorithm int
+
+const (
+	// Sequential runs the standard single-chip hybrid keyswitch.
+	Sequential Algorithm = iota
+	// CiFHER broadcasts at mod-up and both mod-down conversions.
+	CiFHER
+	// InputBroadcast broadcasts input limbs once and duplicates extension
+	// limbs (paper Fig. 8b).
+	InputBroadcast
+	// OutputAggregation uses the chip partition as the digit partition and
+	// aggregates at the end (paper Fig. 8c).
+	OutputAggregation
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Sequential:
+		return "Sequential"
+	case CiFHER:
+		return "CiFHER"
+	case InputBroadcast:
+		return "InputBroadcast"
+	case OutputAggregation:
+		return "OutputAggregation"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// CommStats meters inter-chip communication in units of limbs (one limb =
+// N coefficients). LimbsMoved counts every limb that leaves a chip;
+// Broadcasts and Aggregations count collective operations (the quantities
+// the paper's algorithmic analysis reasons about, §7.4).
+type CommStats struct {
+	Broadcasts   int
+	Aggregations int
+	LimbsMoved   int
+}
+
+// Add accumulates other into s.
+func (s *CommStats) Add(other CommStats) {
+	s.Broadcasts += other.Broadcasts
+	s.Aggregations += other.Aggregations
+	s.LimbsMoved += other.LimbsMoved
+}
+
+// Bytes returns the traffic volume for ring dimension n at the given
+// per-coefficient width in bits (the paper's datapath is 28-bit).
+func (s CommStats) Bytes(n, bits int) int64 {
+	return int64(s.LimbsMoved) * int64(n) * int64(bits) / 8
+}
+
+// Engine runs keyswitching over a virtual multi-chip limb partition.
+type Engine struct {
+	Params *ckks.Parameters
+	NChips int
+}
+
+// NewEngine validates and builds an engine.
+func NewEngine(params *ckks.Parameters, nChips int) (*Engine, error) {
+	if nChips < 1 {
+		return nil, fmt.Errorf("keyswitch: need at least one chip")
+	}
+	return &Engine{Params: params, NChips: nChips}, nil
+}
+
+// ChipOf returns the chip owning chain-limb index j under the modular
+// partition of paper §4.3.1.
+func (e *Engine) ChipOf(j int) int { return j % e.NChips }
+
+// chipLimbs returns the chain indices owned by chip c at level l.
+func (e *Engine) chipLimbs(c, l int) []int {
+	var out []int
+	for j := c; j <= l; j += e.NChips {
+		out = append(out, j)
+	}
+	return out
+}
+
+// KeySwitch runs the selected algorithm on polynomial c (NTT domain,
+// level-l chain basis) with the evaluation key, returning the two output
+// polynomials (NTT domain) and the communication bill.
+func (e *Engine) KeySwitch(c *ring.Poly, evk *ckks.EvalKey, alg Algorithm) (f0, f1 *ring.Poly, stats CommStats, err error) {
+	switch alg {
+	case Sequential:
+		f0, f1, err = e.sequential(c, evk)
+	case CiFHER:
+		f0, f1, stats, err = e.cifher(c, evk)
+	case InputBroadcast:
+		f0, f1, stats, err = e.inputBroadcast(c, evk)
+	case OutputAggregation:
+		f0, f1, stats, err = e.outputAggregation(c, evk)
+	default:
+		err = fmt.Errorf("keyswitch: unknown algorithm %v", alg)
+	}
+	return
+}
+
+// sequential delegates to the reference evaluator implementation.
+func (e *Engine) sequential(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, error) {
+	ev := ckks.NewEvaluator(e.Params, nil, nil)
+	return ev.KeySwitch(c, evk)
+}
+
+// unionBasis returns Q_l ∪ P for the level of c.
+func (e *Engine) unionBasis(c *ring.Poly) (rns.Basis, error) {
+	return c.Basis.Union(e.Params.PBasis)
+}
+
+// digitModUpFull mod-ups digit limbs [lo,hi) of cc (coefficient domain) to
+// the full union basis, exactly as the sequential reference does.
+func (e *Engine) digitModUpFull(cc *ring.Poly, lo, hi int, union rns.Basis) (*ring.Poly, error) {
+	r := e.Params.Ring
+	qlLen := cc.Basis.Len()
+	digitBasis := rns.Basis{Moduli: cc.Basis.Moduli[lo:hi]}
+	compMods := make([]uint64, 0, union.Len()-(hi-lo))
+	compMods = append(compMods, cc.Basis.Moduli[:lo]...)
+	compMods = append(compMods, cc.Basis.Moduli[hi:]...)
+	compMods = append(compMods, union.Moduli[qlLen:]...)
+	bc, err := ring.ConverterFor(digitBasis, rns.Basis{Moduli: compMods})
+	if err != nil {
+		return nil, err
+	}
+	conv, err := bc.Convert(cc.Limbs[lo:hi])
+	if err != nil {
+		return nil, err
+	}
+	out := r.NewPoly(union)
+	ci := 0
+	for j := 0; j < qlLen; j++ {
+		if j >= lo && j < hi {
+			copy(out.Limbs[j], cc.Limbs[j])
+		} else {
+			copy(out.Limbs[j], conv[ci])
+			ci++
+		}
+	}
+	for j := qlLen; j < union.Len(); j++ {
+		copy(out.Limbs[j], conv[ci])
+		ci++
+	}
+	return out, nil
+}
+
+// innerProduct accumulates ext ⊙ (B_d, A_d) into (f0, f1) in NTT domain.
+func (e *Engine) innerProduct(ext *ring.Poly, evk *ckks.EvalKey, d int, union rns.Basis, f0, f1 *ring.Poly) error {
+	r := e.Params.Ring
+	bD, err := ring.Restrict(evk.B[d], union)
+	if err != nil {
+		return err
+	}
+	aD, err := ring.Restrict(evk.A[d], union)
+	if err != nil {
+		return err
+	}
+	tmp := r.NewPoly(union)
+	if err := r.MulCoeffs(ext, bD, tmp); err != nil {
+		return err
+	}
+	if err := r.Add(f0, tmp, f0); err != nil {
+		return err
+	}
+	if err := r.MulCoeffs(ext, aD, tmp); err != nil {
+		return err
+	}
+	return r.Add(f1, tmp, f1)
+}

@@ -1,0 +1,316 @@
+package keyswitch
+
+import (
+	"fmt"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/ring"
+	"cinnamon/internal/rns"
+)
+
+// inputBroadcast implements paper Fig. 8b. Every chip receives a copy of
+// all input limbs (one all-gather), then computes, entirely locally, the
+// mod-up, inner product and mod-down restricted to its own chain limbs plus
+// a duplicated copy of the extension limbs. The per-limb arithmetic is
+// identical to the sequential algorithm, so the result is bit-exact.
+func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, CommStats, error) {
+	if evk.DigitSets != nil {
+		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: input broadcast requires a default-partition key")
+	}
+	params, r := e.Params, e.Params.Ring
+	if !c.IsNTT {
+		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: input must be NTT")
+	}
+	l := c.Basis.Len() - 1
+	n := e.NChips
+	stats := CommStats{Broadcasts: 1, LimbsMoved: (l + 1) * (n - 1)}
+
+	cc := c.Copy()
+	if err := r.INTT(cc); err != nil {
+		return nil, nil, stats, err
+	}
+	out0 := r.NewPoly(c.Basis)
+	out1 := r.NewPoly(c.Basis)
+	out0.IsNTT, out1.IsNTT = true, true
+
+	for chip := 0; chip < n; chip++ {
+		mine := e.chipLimbs(chip, l)
+		if len(mine) == 0 {
+			continue
+		}
+		// Per-chip basis: owned chain limbs plus the (duplicated) extension.
+		chipMods := make([]uint64, 0, len(mine)+params.PBasis.Len())
+		for _, j := range mine {
+			chipMods = append(chipMods, c.Basis.Moduli[j])
+		}
+		chipMods = append(chipMods, params.PBasis.Moduli...)
+		chipBasis := rns.Basis{Moduli: chipMods}
+		f0 := r.NewPoly(chipBasis)
+		f1 := r.NewPoly(chipBasis)
+		f0.IsNTT, f1.IsNTT = true, true
+		for d := 0; d < evk.Digits(); d++ {
+			lo, hi, ok := params.DigitRange(d, l)
+			if !ok {
+				break
+			}
+			ext, err := e.chipDigitModUp(cc, lo, hi, mine, chipBasis)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			if err := r.NTT(ext); err != nil {
+				return nil, nil, stats, err
+			}
+			bD, err := ring.Restrict(evk.B[d], chipBasis)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			aD, err := ring.Restrict(evk.A[d], chipBasis)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			tmp := r.NewPoly(chipBasis)
+			if err := r.MulCoeffs(ext, bD, tmp); err != nil {
+				return nil, nil, stats, err
+			}
+			if err := r.Add(f0, tmp, f0); err != nil {
+				return nil, nil, stats, err
+			}
+			if err := r.MulCoeffs(ext, aD, tmp); err != nil {
+				return nil, nil, stats, err
+			}
+			if err := r.Add(f1, tmp, f1); err != nil {
+				return nil, nil, stats, err
+			}
+		}
+		// Local mod-down: the duplicated extension limbs are the trailing
+		// limbs of the chip basis, so no communication is needed.
+		for fi, f := range []*ring.Poly{f0, f1} {
+			if err := r.INTT(f); err != nil {
+				return nil, nil, stats, err
+			}
+			down, err := r.ModDown(f, params.PBasis)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			if err := r.NTT(down); err != nil {
+				return nil, nil, stats, err
+			}
+			dst := out0
+			if fi == 1 {
+				dst = out1
+			}
+			for k, j := range mine {
+				copy(dst.Limbs[j], down.Limbs[k])
+			}
+		}
+	}
+	return out0, out1, stats, nil
+}
+
+// chipDigitModUp mod-ups digit limbs [lo,hi) of cc onto a chip basis
+// (owned chain limbs + extension), computing exactly the limbs the chip
+// needs. Limbs inside the digit that the chip owns are copied exactly.
+func (e *Engine) chipDigitModUp(cc *ring.Poly, lo, hi int, mine []int, chipBasis rns.Basis) (*ring.Poly, error) {
+	r := e.Params.Ring
+	digitBasis := rns.Basis{Moduli: cc.Basis.Moduli[lo:hi]}
+	// Conversion targets: chip basis moduli that are NOT inside the digit.
+	var convMods []uint64
+	type slot struct {
+		chipIdx int
+		conv    bool
+		srcIdx  int // chain index when inside the digit, conv index otherwise
+	}
+	slots := make([]slot, chipBasis.Len())
+	for i, q := range chipBasis.Moduli {
+		inDigit := -1
+		for j := lo; j < hi; j++ {
+			if cc.Basis.Moduli[j] == q {
+				inDigit = j
+				break
+			}
+		}
+		if inDigit >= 0 {
+			slots[i] = slot{chipIdx: i, conv: false, srcIdx: inDigit}
+		} else {
+			slots[i] = slot{chipIdx: i, conv: true, srcIdx: len(convMods)}
+			convMods = append(convMods, q)
+		}
+	}
+	out := r.NewPoly(chipBasis)
+	var conv [][]uint64
+	if len(convMods) > 0 {
+		bc, err := ring.ConverterFor(digitBasis, rns.Basis{Moduli: convMods})
+		if err != nil {
+			return nil, err
+		}
+		if conv, err = bc.Convert(cc.Limbs[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range slots {
+		if s.conv {
+			copy(out.Limbs[s.chipIdx], conv[s.srcIdx])
+		} else {
+			copy(out.Limbs[s.chipIdx], cc.Limbs[s.srcIdx])
+		}
+	}
+	return out, nil
+}
+
+// cifher implements the prior-art parallel keyswitch of CiFHER [38]: limbs
+// stay modularly distributed and every base conversion is resolved by
+// broadcasting its input limbs — once at mod-up and twice at mod-down
+// (paper §4.3.1 "Challenge of parallelizing keyswitching"). The arithmetic
+// is identical to the sequential algorithm, so the functional result is
+// bit-exact; only the communication bill differs.
+func (e *Engine) cifher(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, CommStats, error) {
+	l := c.Basis.Len() - 1
+	n := e.NChips
+	eLen := e.Params.PBasis.Len()
+	stats := CommStats{
+		Broadcasts: 3,
+		// Mod-up: all (l+1) input limbs reach every other chip; mod-down:
+		// the extension limbs of both accumulated polynomials do too.
+		LimbsMoved: (n - 1) * ((l + 1) + 2*eLen),
+	}
+	f0, f1, err := e.sequential(c, evk)
+	return f0, f1, stats, err
+}
+
+// outputAggregation implements paper Fig. 8c: the per-chip limb partition
+// IS the digit partition, so the mod-up needs no communication; each chip
+// mod-downs its full evaluation-key product locally and the chips finish
+// with two aggregate-and-scatter operations. The mod-down/aggregation
+// reorder makes the result equivalent to the sequential algorithm up to
+// rounding noise (not bit-exact).
+func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, CommStats, error) {
+	params, r := e.Params, e.Params.Ring
+	if !c.IsNTT {
+		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: input must be NTT")
+	}
+	l := c.Basis.Len() - 1
+	n := e.NChips
+	if evk.DigitSets == nil {
+		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: output aggregation requires a modular-digit key (GenEvalKeyDigits)")
+	}
+	if len(evk.DigitSets) != n {
+		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: key has %d digits, engine has %d chips", len(evk.DigitSets), n)
+	}
+	stats := CommStats{Aggregations: 2, LimbsMoved: 2 * (l + 1) * (n - 1)}
+
+	cc := c.Copy()
+	if err := r.INTT(cc); err != nil {
+		return nil, nil, stats, err
+	}
+	union, err := e.unionBasis(c)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	sum0 := r.NewPoly(c.Basis)
+	sum1 := r.NewPoly(c.Basis)
+	for chip := 0; chip < n; chip++ {
+		mine := intersectLevel(evk.DigitSets[chip], l)
+		if len(mine) == 0 {
+			continue
+		}
+		ext, err := e.scatteredDigitModUp(cc, mine, union)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		if err := r.NTT(ext); err != nil {
+			return nil, nil, stats, err
+		}
+		f0 := r.NewPoly(union)
+		f1 := r.NewPoly(union)
+		f0.IsNTT, f1.IsNTT = true, true
+		if err := e.innerProduct(ext, evk, chip, union, f0, f1); err != nil {
+			return nil, nil, stats, err
+		}
+		// Local mod-down of the full product, then "aggregate": the sum
+		// plays the role of the reduce-scatter.
+		for fi, f := range []*ring.Poly{f0, f1} {
+			if err := r.INTT(f); err != nil {
+				return nil, nil, stats, err
+			}
+			down, err := r.ModDown(f, params.PBasis)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			dst := sum0
+			if fi == 1 {
+				dst = sum1
+			}
+			if err := r.Add(dst, down, dst); err != nil {
+				return nil, nil, stats, err
+			}
+		}
+	}
+	if err := r.NTT(sum0); err != nil {
+		return nil, nil, stats, err
+	}
+	if err := r.NTT(sum1); err != nil {
+		return nil, nil, stats, err
+	}
+	return sum0, sum1, stats, nil
+}
+
+// scatteredDigitModUp mod-ups the (possibly non-contiguous) digit given by
+// chain indices mine onto the full union basis.
+func (e *Engine) scatteredDigitModUp(cc *ring.Poly, mine []int, union rns.Basis) (*ring.Poly, error) {
+	r := e.Params.Ring
+	digitMods := make([]uint64, len(mine))
+	digitLimbs := make([][]uint64, len(mine))
+	inDigit := map[int]bool{}
+	for k, j := range mine {
+		digitMods[k] = cc.Basis.Moduli[j]
+		digitLimbs[k] = cc.Limbs[j]
+		inDigit[j] = true
+	}
+	var convMods []uint64
+	for j := 0; j < union.Len(); j++ {
+		if j < cc.Basis.Len() && inDigit[j] {
+			continue
+		}
+		convMods = append(convMods, union.Moduli[j])
+	}
+	bc, err := ring.ConverterFor(rns.Basis{Moduli: digitMods}, rns.Basis{Moduli: convMods})
+	if err != nil {
+		return nil, err
+	}
+	conv, err := bc.Convert(digitLimbs)
+	if err != nil {
+		return nil, err
+	}
+	out := r.NewPoly(union)
+	ci := 0
+	for j := 0; j < union.Len(); j++ {
+		if j < cc.Basis.Len() && inDigit[j] {
+			copy(out.Limbs[j], cc.Limbs[j])
+		} else {
+			copy(out.Limbs[j], conv[ci])
+			ci++
+		}
+	}
+	return out, nil
+}
+
+func intersectLevel(set []int, l int) []int {
+	var out []int
+	for _, j := range set {
+		if j <= l {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ModularDigitSets returns the per-chip modular partition of the full
+// chain, the digit layout output aggregation uses.
+func ModularDigitSets(params *ckks.Parameters, nChips int) [][]int {
+	sets := make([][]int, nChips)
+	for j := 0; j < params.QBasis.Len(); j++ {
+		c := j % nChips
+		sets[c] = append(sets[c], j)
+	}
+	return sets
+}

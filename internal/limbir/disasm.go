@@ -1,0 +1,75 @@
+package limbir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders one instruction in assembly-like form:
+//
+//	v12 = Mul v3, v7            ; mod 1125899906842624001
+//	v15 = BConv v1, v2, v3      ; -> mod 2305843009213554689
+//	v20 = Bcast tag 7 from chip 0
+func (i Instr) String() string {
+	var b strings.Builder
+	switch i.Op {
+	case Store:
+		fmt.Fprintf(&b, "Store r%d -> %q", i.Srcs[0], i.Sym)
+		return b.String()
+	case Load:
+		fmt.Fprintf(&b, "r%d = Load %q", i.Dst, i.Sym)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "r%d = %v", i.Dst, i.Op)
+	for k, s := range i.Srcs {
+		if k == 0 {
+			fmt.Fprintf(&b, " r%d", s)
+		} else {
+			fmt.Fprintf(&b, ", r%d", s)
+		}
+	}
+	switch i.Op {
+	case MulScalar:
+		fmt.Fprintf(&b, " * %d", i.Scalar)
+	case Auto:
+		dom := "ntt"
+		if i.CoeffDom {
+			dom = "coeff"
+		}
+		fmt.Fprintf(&b, " gal=%d (%s)", i.GalEl, dom)
+	case BConv:
+		fmt.Fprintf(&b, " from %d limbs", len(i.SrcMods))
+	case Bcast:
+		fmt.Fprintf(&b, " tag=%d owner=%d", i.Tag, i.Owner)
+	case Agg:
+		fmt.Fprintf(&b, " tag=%d", i.Tag)
+	}
+	if i.Mod != 0 {
+		fmt.Fprintf(&b, " ; mod %d", i.Mod)
+	}
+	return b.String()
+}
+
+// Disassemble renders a chip program (or its first max instructions when
+// max > 0).
+func (p *Program) Disassemble(max int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; chip %d: %d instructions", p.Chip, len(p.Instrs))
+	if p.NumRegs > 0 {
+		fmt.Fprintf(&b, ", %d registers, %d spill slots", p.NumRegs, p.Spills)
+	} else {
+		fmt.Fprintf(&b, ", %d virtual values", p.NumValues)
+	}
+	b.WriteByte('\n')
+	n := len(p.Instrs)
+	if max > 0 && max < n {
+		n = max
+	}
+	for idx := 0; idx < n; idx++ {
+		fmt.Fprintf(&b, "%6d: %s\n", idx, p.Instrs[idx])
+	}
+	if n < len(p.Instrs) {
+		fmt.Fprintf(&b, "   ... %d more\n", len(p.Instrs)-n)
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package limbir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassemble(t *testing.T) {
+	p := &Program{Chip: 2}
+	v0 := p.NewValue()
+	p.Emit(Instr{Op: Load, Dst: v0, Sym: "ct:x:0:m97"})
+	v1 := p.NewValue()
+	p.Emit(Instr{Op: Auto, Dst: v1, Srcs: []Value{v0}, Mod: 97, GalEl: 5})
+	v2 := p.NewValue()
+	p.Emit(Instr{Op: BConv, Dst: v2, Srcs: []Value{v0, v1}, SrcMods: []uint64{97, 113}, Mod: 193})
+	v3 := p.NewValue()
+	p.Emit(Instr{Op: MulScalar, Dst: v3, Srcs: []Value{v2}, Mod: 193, Scalar: 42})
+	v4 := p.NewValue()
+	p.Emit(Instr{Op: Bcast, Dst: v4, Tag: 9, Owner: 2, Srcs: []Value{v3}, Mod: 193})
+	v5 := p.NewValue()
+	p.Emit(Instr{Op: Agg, Dst: v5, Tag: 10, Srcs: []Value{v4}, Mod: 193})
+	p.Emit(Instr{Op: Store, Srcs: []Value{v5}, Sym: "out:y:0:m193"})
+
+	full := p.Disassemble(0)
+	for _, want := range []string{
+		"chip 2: 7 instructions",
+		`Load "ct:x:0:m97"`,
+		"Auto r0 gal=5 (ntt)",
+		"BConv r0, r1 from 2 limbs",
+		"MulScalar r2 * 42",
+		"tag=9 owner=2",
+		"Agg r4 tag=10",
+		`Store r5 -> "out:y:0:m193"`,
+	} {
+		if !strings.Contains(full, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, full)
+		}
+	}
+	short := p.Disassemble(2)
+	if !strings.Contains(short, "... 5 more") {
+		t.Fatalf("truncated disassembly: %s", short)
+	}
+	// Coefficient-domain automorphism renders its domain.
+	in := Instr{Op: Auto, Dst: 1, Srcs: []Value{0}, Mod: 7, GalEl: 3, CoeffDom: true}
+	if !strings.Contains(in.String(), "(coeff)") {
+		t.Fatal(in.String())
+	}
+}

@@ -1,0 +1,212 @@
+// Package limbir defines Cinnamon's limb-level intermediate representation
+// (paper §4.3, Fig. 7 ④–⑦): per-chip instruction streams whose values are
+// individual limbs (one residue polynomial of N coefficients). The limb IR
+// uses unbounded virtual values; the compiler's Belady register allocator
+// rewrites them onto the chip's physical vector register file to produce
+// the executable ISA form (§4.4, §4.6).
+package limbir
+
+import "fmt"
+
+// Op enumerates limb-level instructions. Arithmetic operates on whole
+// limbs (vector instructions in the paper's ISA); Bcast/Agg are the
+// inter-chip collectives the parallel keyswitching algorithms need.
+type Op int
+
+// Instruction opcodes.
+const (
+	// Load reads the limb named Sym from memory (HBM) into Dst.
+	Load Op = iota
+	// Store writes Src[0] to the limb named Sym.
+	Store
+	// Add computes Dst = Srcs[0] + Srcs[1] mod Mod.
+	Add
+	// Sub computes Dst = Srcs[0] − Srcs[1] mod Mod.
+	Sub
+	// Neg computes Dst = −Srcs[0] mod Mod.
+	Neg
+	// Mul computes Dst = Srcs[0] ⊙ Srcs[1] mod Mod.
+	Mul
+	// MulScalar computes Dst = Scalar · Srcs[0] mod Mod.
+	MulScalar
+	// NTT transforms Srcs[0] to the evaluation domain.
+	NTT
+	// INTT transforms Srcs[0] to the coefficient domain.
+	INTT
+	// Auto applies the automorphism X→X^GalEl (NTT-domain gather).
+	Auto
+	// BConv computes one base-conversion output limb:
+	// Dst = Σ_j Srcs[j]·f_j mod Mod with factors implied by (SrcMods, Mod).
+	// This is exactly one stage-2 pass of the paper's BCU (§4.7).
+	BConv
+	// Bcast broadcasts a limb: the owner chip contributes Srcs[0]; every
+	// chip (owner included) receives it into Dst. Matched across chips by
+	// Tag.
+	Bcast
+	// Agg sums the Srcs[0] contributions of all chips; every chip receives
+	// the total into Dst. Matched across chips by Tag.
+	Agg
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	names := [...]string{"Load", "Store", "Add", "Sub", "Neg", "Mul",
+		"MulScalar", "NTT", "INTT", "Auto", "BConv", "Bcast", "Agg"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Value is a virtual limb value id (chip-local namespace). After register
+// allocation the same field holds physical register numbers.
+type Value = int
+
+// Instr is one limb-level instruction.
+type Instr struct {
+	Op       Op
+	Dst      Value
+	Srcs     []Value
+	Mod      uint64   // destination modulus
+	SrcMods  []uint64 // BConv: source limb moduli
+	GalEl    uint64   // Auto
+	CoeffDom bool     // Auto: operate in the coefficient domain (sign flips)
+	Scalar   uint64   // MulScalar: residue mod Mod
+	Sym      string   // Load/Store symbol
+	Tag      int      // Bcast/Agg matching tag
+	Owner    int      // Bcast: contributing chip
+	Chips    []int    // collective participants (nil = every chip)
+}
+
+// IsComm reports whether the instruction is an inter-chip collective.
+func (i Instr) IsComm() bool { return i.Op == Bcast || i.Op == Agg }
+
+// Program is one chip's instruction stream.
+type Program struct {
+	Chip      int
+	Instrs    []Instr
+	NumValues int // virtual value count (pre-allocation)
+	NumRegs   int // physical register count (post-allocation, else 0)
+	Spills    int // spill slots used (post-allocation)
+}
+
+// Emit appends an instruction.
+func (p *Program) Emit(i Instr) { p.Instrs = append(p.Instrs, i) }
+
+// NewValue allocates a fresh virtual value.
+func (p *Program) NewValue() Value {
+	v := p.NumValues
+	p.NumValues++
+	return v
+}
+
+// Module is a compiled multi-chip program.
+type Module struct {
+	NChips int
+	Chips  []*Program
+}
+
+// NewModule allocates per-chip programs.
+func NewModule(nChips int) *Module {
+	m := &Module{NChips: nChips, Chips: make([]*Program, nChips)}
+	for c := range m.Chips {
+		m.Chips[c] = &Program{Chip: c}
+	}
+	return m
+}
+
+// Stats summarizes a module for reports and the architecture model.
+type Stats struct {
+	Ops        map[Op]int
+	CommLimbs  int // limbs crossing chips: Bcast counts NChips−1, Agg NChips−1
+	LoadStores int
+	MaxInstrs  int // longest chip stream (critical path proxy)
+}
+
+// Stats computes instruction statistics.
+func (m *Module) Stats() Stats {
+	s := Stats{Ops: map[Op]int{}}
+	for _, p := range m.Chips {
+		if len(p.Instrs) > s.MaxInstrs {
+			s.MaxInstrs = len(p.Instrs)
+		}
+		for _, in := range p.Instrs {
+			s.Ops[in.Op]++
+			switch in.Op {
+			case Load, Store:
+				s.LoadStores++
+			case Bcast:
+				if in.Owner == p.Chip {
+					s.CommLimbs += m.NChips - 1
+				}
+			case Agg:
+				// Each aggregation moves everyone's contribution; count
+				// once on chip 0 to avoid double counting.
+				if p.Chip == 0 {
+					s.CommLimbs += m.NChips - 1
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Validate checks per-chip SSA-ish well-formedness (uses after defs) and
+// collective coherence: every (tag) must be seen exactly once by each of
+// its participants, with a consistent op.
+func (m *Module) Validate() error {
+	type tagInfo struct {
+		op    Op
+		chips []int
+		seen  map[int]bool
+	}
+	tags := map[int]*tagInfo{}
+	for _, p := range m.Chips {
+		defined := make([]bool, p.NumValues)
+		for idx, in := range p.Instrs {
+			for _, s := range in.Srcs {
+				if s < 0 || s >= p.NumValues || !defined[s] {
+					return fmt.Errorf("limbir: chip %d instr %d (%v) uses undefined value %d", p.Chip, idx, in.Op, s)
+				}
+			}
+			if in.Op != Store {
+				if in.Dst < 0 || in.Dst >= p.NumValues {
+					return fmt.Errorf("limbir: chip %d instr %d (%v) dst %d out of range", p.Chip, idx, in.Op, in.Dst)
+				}
+				defined[in.Dst] = true
+			}
+			if in.IsComm() {
+				ti := tags[in.Tag]
+				if ti == nil {
+					ti = &tagInfo{op: in.Op, chips: in.Chips, seen: map[int]bool{}}
+					tags[in.Tag] = ti
+				}
+				if ti.op != in.Op {
+					return fmt.Errorf("limbir: tag %d used with both %v and %v", in.Tag, ti.op, in.Op)
+				}
+				if ti.seen[p.Chip] {
+					return fmt.Errorf("limbir: chip %d sees tag %d twice", p.Chip, in.Tag)
+				}
+				ti.seen[p.Chip] = true
+			}
+		}
+	}
+	for tag, ti := range tags {
+		want := ti.chips
+		if want == nil {
+			want = make([]int, m.NChips)
+			for c := range want {
+				want[c] = c
+			}
+		}
+		for _, c := range want {
+			if !ti.seen[c] {
+				return fmt.Errorf("limbir: tag %d missing on participant chip %d", tag, c)
+			}
+		}
+		if len(ti.seen) != len(want) {
+			return fmt.Errorf("limbir: tag %d seen by %d chips, participants are %d", tag, len(ti.seen), len(want))
+		}
+	}
+	return nil
+}

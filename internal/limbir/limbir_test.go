@@ -1,0 +1,105 @@
+package limbir
+
+import "testing"
+
+func TestProgramEmitAndValues(t *testing.T) {
+	p := &Program{Chip: 0}
+	v1 := p.NewValue()
+	v2 := p.NewValue()
+	if v1 == v2 || p.NumValues != 2 {
+		t.Fatalf("value allocation broken: %d %d %d", v1, v2, p.NumValues)
+	}
+	p.Emit(Instr{Op: Load, Dst: v1, Sym: "ct:x:0:m7"})
+	p.Emit(Instr{Op: Neg, Dst: v2, Srcs: []Value{v1}, Mod: 7})
+	if len(p.Instrs) != 2 {
+		t.Fatal("emit failed")
+	}
+}
+
+func TestValidateUseBeforeDef(t *testing.T) {
+	m := NewModule(1)
+	p := m.Chips[0]
+	v := p.NewValue()
+	w := p.NewValue()
+	p.Emit(Instr{Op: Neg, Dst: w, Srcs: []Value{v}, Mod: 7}) // v never defined
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected use-before-def error")
+	}
+}
+
+func TestValidateCollectiveParticipants(t *testing.T) {
+	m := NewModule(3)
+	// Tag 5 declared for chips {0,1} but only chip 0 sees it.
+	p0 := m.Chips[0]
+	v := p0.NewValue()
+	p0.Emit(Instr{Op: Load, Dst: v, Sym: "ct:x:0:m7"})
+	d := p0.NewValue()
+	p0.Emit(Instr{Op: Bcast, Dst: d, Tag: 5, Owner: 0, Srcs: []Value{v}, Chips: []int{0, 1}})
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected missing-participant error")
+	}
+	// Add chip 1's side: now valid.
+	p1 := m.Chips[1]
+	d1 := p1.NewValue()
+	p1.Emit(Instr{Op: Bcast, Dst: d1, Tag: 5, Owner: 0, Chips: []int{0, 1}})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateTagReuseAcrossOps(t *testing.T) {
+	m := NewModule(2)
+	p0, p1 := m.Chips[0], m.Chips[1]
+	v0 := p0.NewValue()
+	p0.Emit(Instr{Op: Load, Dst: v0, Sym: "ct:x:0:m7"})
+	d0 := p0.NewValue()
+	p0.Emit(Instr{Op: Bcast, Dst: d0, Tag: 3, Owner: 0, Srcs: []Value{v0}})
+	v1 := p1.NewValue()
+	p1.Emit(Instr{Op: Load, Dst: v1, Sym: "ct:x:0:m11"})
+	d1 := p1.NewValue()
+	p1.Emit(Instr{Op: Agg, Dst: d1, Tag: 3, Srcs: []Value{v1}}) // same tag, different op
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected tag op mismatch error")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := NewModule(2)
+	for c, p := range m.Chips {
+		v := p.NewValue()
+		p.Emit(Instr{Op: Load, Dst: v, Sym: "ct:x:0:m7"})
+		d := p.NewValue()
+		in := Instr{Op: Bcast, Dst: d, Tag: 1, Owner: 0}
+		if c == 0 {
+			in.Srcs = []Value{v}
+		}
+		p.Emit(in)
+		e := p.NewValue()
+		p.Emit(Instr{Op: Agg, Dst: e, Tag: 2, Srcs: []Value{d}})
+		p.Emit(Instr{Op: Store, Srcs: []Value{e}, Sym: "out:y:0:m7"})
+	}
+	s := m.Stats()
+	if s.Ops[Load] != 2 || s.Ops[Store] != 2 || s.LoadStores != 4 {
+		t.Fatalf("load/store stats %+v", s)
+	}
+	// Bcast: owner sends to 1 other; Agg: counted once: 1+1 = 2 limbs.
+	if s.CommLimbs != 2 {
+		t.Fatalf("comm limbs %d, want 2", s.CommLimbs)
+	}
+	if s.MaxInstrs != 4 {
+		t.Fatalf("max instrs %d", s.MaxInstrs)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		Load: "Load", BConv: "BConv", Bcast: "Bcast", Agg: "Agg", MulScalar: "MulScalar",
+	} {
+		if op.String() != want {
+			t.Fatalf("%v != %s", op, want)
+		}
+	}
+	if !(Instr{Op: Bcast}).IsComm() || (Instr{Op: Add}).IsComm() {
+		t.Fatal("IsComm misclassifies")
+	}
+}

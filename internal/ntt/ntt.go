@@ -1,0 +1,149 @@
+// Package ntt implements the negacyclic Number Theoretic Transform over
+// prime fields — the analog of the FFT in the polynomial rings CKKS uses
+// (paper §2 "NTT"). Transforming a limb to the evaluation domain makes
+// polynomial multiplication a pointwise product.
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cinnamon/internal/rns"
+)
+
+// Table holds precomputed twiddle factors for a dimension-N negacyclic NTT
+// modulo the prime Q. A Table is safe for concurrent use by multiple
+// goroutines after construction.
+type Table struct {
+	N    int
+	Q    uint64
+	logN int
+
+	psiFwd      []uint64 // ψ^brv(i): powers of the 2N-th root in bit-reversed order
+	psiFwdShoup []uint64
+	psiInv      []uint64 // ψ^{-brv(i)}
+	psiInvShoup []uint64
+	nInv        uint64
+	nInvShoup   uint64
+}
+
+// NewTable builds NTT tables for dimension n (a power of two) and prime q
+// with q ≡ 1 (mod 2n).
+func NewTable(n int, q uint64) (*Table, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: dimension %d is not a power of two ≥ 2", n)
+	}
+	if q%uint64(2*n) != 1 {
+		return nil, fmt.Errorf("ntt: prime %d is not ≡ 1 mod %d", q, 2*n)
+	}
+	psi, err := rns.PrimitiveRoot(q, uint64(2*n))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		N:           n,
+		Q:           q,
+		logN:        bits.Len(uint(n)) - 1,
+		psiFwd:      make([]uint64, n),
+		psiFwdShoup: make([]uint64, n),
+		psiInv:      make([]uint64, n),
+		psiInvShoup: make([]uint64, n),
+	}
+	psiInv := rns.InvMod(psi, q)
+	fwd, inv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := reverseBits(uint64(i), t.logN)
+		t.psiFwd[r] = fwd
+		t.psiInv[r] = inv
+		fwd = rns.MulMod(fwd, psi, q)
+		inv = rns.MulMod(inv, psiInv, q)
+	}
+	for i := 0; i < n; i++ {
+		t.psiFwdShoup[i] = rns.ShoupPrecomp(t.psiFwd[i], q)
+		t.psiInvShoup[i] = rns.ShoupPrecomp(t.psiInv[i], q)
+	}
+	t.nInv = rns.InvMod(uint64(n)%q, q)
+	t.nInvShoup = rns.ShoupPrecomp(t.nInv, q)
+	return t, nil
+}
+
+func reverseBits(x uint64, n int) uint64 {
+	return bits.Reverse64(x) >> (64 - uint(n))
+}
+
+// Forward transforms a from the coefficient domain to the evaluation domain
+// in place (Cooley-Tukey decimation-in-time with the 2N-th root folded in,
+// so no separate pre-multiplication by ψ^i is needed). len(a) must be N and
+// all entries < Q.
+func (t *Table) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: Forward on slice of length %d, table dimension %d", len(a), t.N))
+	}
+	q := t.Q
+	step := t.N
+	for m := 1; m < t.N; m <<= 1 {
+		step >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * step
+			w := t.psiFwd[m+i]
+			ws := t.psiFwdShoup[m+i]
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := rns.MulModShoup(a[j+step], w, ws, q)
+				a[j] = rns.AddMod(u, v, q)
+				a[j+step] = rns.SubMod(u, v, q)
+			}
+		}
+	}
+}
+
+// Inverse transforms a from the evaluation domain back to the coefficient
+// domain in place (Gentleman-Sande decimation-in-frequency, with the final
+// scaling by N^{-1} folded in).
+func (t *Table) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: Inverse on slice of length %d, table dimension %d", len(a), t.N))
+	}
+	q := t.Q
+	step := 1
+	for m := t.N; m > 1; m >>= 1 {
+		h := m >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			w := t.psiInv[h+i]
+			ws := t.psiInvShoup[h+i]
+			for j := j1; j < j1+step; j++ {
+				u, v := a[j], a[j+step]
+				a[j] = rns.AddMod(u, v, q)
+				a[j+step] = rns.MulModShoup(rns.SubMod(u, v, q), w, ws, q)
+			}
+			j1 += 2 * step
+		}
+		step <<= 1
+	}
+	for i := range a {
+		a[i] = rns.MulModShoup(a[i], t.nInv, t.nInvShoup, q)
+	}
+}
+
+// TableSet caches one Table per modulus for a fixed ring dimension.
+type TableSet struct {
+	N      int
+	tables map[uint64]*Table
+}
+
+// NewTableSet builds tables for every modulus in moduli.
+func NewTableSet(n int, moduli []uint64) (*TableSet, error) {
+	ts := &TableSet{N: n, tables: make(map[uint64]*Table, len(moduli))}
+	for _, q := range moduli {
+		tb, err := NewTable(n, q)
+		if err != nil {
+			return nil, err
+		}
+		ts.tables[q] = tb
+	}
+	return ts, nil
+}
+
+// Table returns the table for modulus q, or nil if absent.
+func (ts *TableSet) Table(q uint64) *Table { return ts.tables[q] }

@@ -1,0 +1,204 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cinnamon/internal/rns"
+)
+
+func newTestTable(t testing.TB, logN int) *Table {
+	t.Helper()
+	primes, err := rns.GenerateNTTPrimes(50, logN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTable(1<<logN, primes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(100, 97); err == nil {
+		t.Fatal("expected error for non power-of-two dimension")
+	}
+	if _, err := NewTable(8, 97); err != nil {
+		t.Fatal(err) // 97 = 6*16+1 ≡ 1 mod 16
+	}
+	if _, err := NewTable(32, 97); err == nil {
+		t.Fatal("expected error: 97 is not ≡ 1 mod 64")
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	for _, logN := range []int{3, 6, 10, 12} {
+		tb := newTestTable(t, logN)
+		rng := rand.New(rand.NewSource(int64(logN)))
+		a := make([]uint64, tb.N)
+		for i := range a {
+			a[i] = rng.Uint64() % tb.Q
+		}
+		orig := append([]uint64(nil), a...)
+		tb.Forward(a)
+		tb.Inverse(a)
+		for i := range a {
+			if a[i] != orig[i] {
+				t.Fatalf("logN=%d: round trip differs at %d: %d != %d", logN, i, a[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestForwardIsLinear(t *testing.T) {
+	tb := newTestTable(t, 8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]uint64, tb.N)
+		b := make([]uint64, tb.N)
+		for i := range a {
+			a[i] = rng.Uint64() % tb.Q
+			b[i] = rng.Uint64() % tb.Q
+		}
+		sum := make([]uint64, tb.N)
+		for i := range sum {
+			sum[i] = rns.AddMod(a[i], b[i], tb.Q)
+		}
+		tb.Forward(a)
+		tb.Forward(b)
+		tb.Forward(sum)
+		for i := range sum {
+			if sum[i] != rns.AddMod(a[i], b[i], tb.Q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegacyclicConvolution is the key semantic test: pointwise product in
+// the evaluation domain equals polynomial multiplication mod X^N + 1.
+func TestNegacyclicConvolution(t *testing.T) {
+	tb := newTestTable(t, 5)
+	n, q := tb.N, tb.Q
+	rng := rand.New(rand.NewSource(42))
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % q
+		b[i] = rng.Uint64() % q
+	}
+	// Schoolbook negacyclic convolution.
+	want := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := rns.MulMod(a[i], b[j], q)
+			k := i + j
+			if k < n {
+				want[k] = rns.AddMod(want[k], p, q)
+			} else {
+				want[k-n] = rns.SubMod(want[k-n], p, q) // X^N = -1
+			}
+		}
+	}
+	fa := append([]uint64(nil), a...)
+	fb := append([]uint64(nil), b...)
+	tb.Forward(fa)
+	tb.Forward(fb)
+	prod := make([]uint64, n)
+	for i := range prod {
+		prod[i] = rns.MulMod(fa[i], fb[i], q)
+	}
+	tb.Inverse(prod)
+	for i := range prod {
+		if prod[i] != want[i] {
+			t.Fatalf("coeff %d: got %d, want %d", i, prod[i], want[i])
+		}
+	}
+}
+
+// TestMonomialShift: multiplying by X in the ring shifts coefficients with a
+// sign flip at wraparound.
+func TestMonomialShift(t *testing.T) {
+	tb := newTestTable(t, 4)
+	n, q := tb.N, tb.Q
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(i + 1)
+	}
+	x := make([]uint64, n)
+	x[1] = 1 // the monomial X
+	fa := append([]uint64(nil), a...)
+	tb.Forward(fa)
+	tb.Forward(x)
+	for i := range fa {
+		fa[i] = rns.MulMod(fa[i], x[i], q)
+	}
+	tb.Inverse(fa)
+	if fa[0] != rns.NegMod(a[n-1], q) {
+		t.Fatalf("constant term = %d, want -a[N-1] = %d", fa[0], rns.NegMod(a[n-1], q))
+	}
+	for i := 1; i < n; i++ {
+		if fa[i] != a[i-1] {
+			t.Fatalf("coeff %d = %d, want %d", i, fa[i], a[i-1])
+		}
+	}
+}
+
+func TestTableSet(t *testing.T) {
+	primes, err := rns.GenerateNTTPrimes(45, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTableSet(64, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range primes {
+		if ts.Table(q) == nil {
+			t.Fatalf("missing table for %d", q)
+		}
+	}
+	if ts.Table(12345) != nil {
+		t.Fatal("unexpected table for absent modulus")
+	}
+}
+
+func TestForwardPanicsOnWrongLength(t *testing.T) {
+	tb := newTestTable(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.Forward(make([]uint64, 3))
+}
+
+func BenchmarkForwardN4096(b *testing.B) {
+	tb := newTestTable(b, 12)
+	a := make([]uint64, tb.N)
+	for i := range a {
+		a[i] = uint64(i) * 2654435761 % tb.Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Forward(a)
+	}
+}
+
+func BenchmarkInverseN4096(b *testing.B) {
+	tb := newTestTable(b, 12)
+	a := make([]uint64, tb.N)
+	for i := range a {
+		a[i] = uint64(i) * 2654435761 % tb.Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Inverse(a)
+	}
+}

@@ -1,0 +1,215 @@
+package polyir
+
+import "sort"
+
+// KeyswitchPass implements the Cinnamon keyswitch compiler pass
+// (paper §4.3.1): it detects the two program patterns whose inter-chip
+// communication can be batched,
+//
+//  1. multiple rotations of the same ciphertext → Input Broadcast
+//     keyswitching, one broadcast for the whole group, and
+//  2. rotations whose results are only combined by additions
+//     (rotate-then-aggregate) → Output Aggregation keyswitching, two
+//     aggregations for the whole group,
+//
+// and annotates every keyswitching node with the chosen algorithm and a
+// batch-group id. Nodes outside both patterns default to Input Broadcast
+// in singleton batches (still strictly better than the CiFHER baseline's
+// three broadcasts).
+type KeyswitchPass struct {
+	// NChips disables parallel algorithms when 1 (everything Sequential).
+	NChips int
+	// DisableAggregation turns off the output-aggregation pattern, leaving
+	// only the input-broadcast batching (the "Input Broadcast + Pass"
+	// configuration of paper Fig. 13).
+	DisableAggregation bool
+}
+
+// BatchGroup describes one communication batch produced by the pass.
+type BatchGroup struct {
+	ID        int
+	Algorithm KSAlgorithm
+	Nodes     []*Node
+	// Sink is the root of the add-tree for output-aggregation groups (the
+	// node whose value is the aggregated sum); nil otherwise.
+	Sink *Node
+}
+
+// Broadcasts returns the broadcast collectives this group needs.
+func (b BatchGroup) Broadcasts() int {
+	if b.Algorithm == KSInputBroadcast {
+		return 1
+	}
+	if b.Algorithm == KSCiFHER {
+		return 3 * len(b.Nodes)
+	}
+	return 0
+}
+
+// Aggregations returns the aggregation collectives this group needs.
+func (b BatchGroup) Aggregations() int {
+	if b.Algorithm == KSOutputAggregation {
+		return 2
+	}
+	return 0
+}
+
+// Run annotates the graph and returns the batch groups.
+func (p *KeyswitchPass) Run(g *Graph) []BatchGroup {
+	if p.NChips <= 1 {
+		for _, n := range g.Nodes {
+			if n.NeedsKeySwitch() {
+				n.KSAlgorithm = KSSequential
+				n.KSBatch = -1
+			}
+		}
+		return nil
+	}
+	var groups []BatchGroup
+	assigned := map[int]bool{}
+	users := map[int][]*Node{}
+	for _, m := range g.Nodes {
+		for _, a := range m.Args {
+			users[a.ID] = append(users[a.ID], m)
+		}
+	}
+
+	// Pattern 2 first (it is the stronger constraint): rotations whose
+	// every use is an addition chain. Group them by the "aggregation
+	// sink": the root of the add-tree they feed.
+	sinkOf := map[int][]*Node{} // sink node ID -> rotation nodes
+	if !p.DisableAggregation {
+		for _, n := range g.Nodes {
+			if n.Kind != OpRotate || assigned[n.ID] {
+				continue
+			}
+			if sink, ok := aggregationSink(users, n); ok {
+				sinkOf[sink.ID] = append(sinkOf[sink.ID], n)
+			}
+		}
+	}
+	sinkByID := map[int]*Node{}
+	for _, n := range g.Nodes {
+		sinkByID[n.ID] = n
+	}
+	sinkIDs := make([]int, 0, len(sinkOf))
+	for id := range sinkOf {
+		sinkIDs = append(sinkIDs, id)
+	}
+	sort.Ints(sinkIDs)
+	for _, id := range sinkIDs {
+		rots := sinkOf[id]
+		if len(rots) < 2 {
+			continue // a lone rotation gains nothing from aggregation
+		}
+		grp := BatchGroup{ID: len(groups), Algorithm: KSOutputAggregation, Nodes: rots, Sink: sinkByID[id]}
+		for _, n := range rots {
+			n.KSAlgorithm = KSOutputAggregation
+			n.KSBatch = grp.ID
+			assigned[n.ID] = true
+		}
+		groups = append(groups, grp)
+	}
+
+	// Pattern 1: remaining rotations grouped by their shared input.
+	byInput := map[int][]*Node{}
+	for _, n := range g.Nodes {
+		if n.Kind != OpRotate && n.Kind != OpConjugate {
+			continue
+		}
+		if assigned[n.ID] {
+			continue
+		}
+		byInput[n.Args[0].ID] = append(byInput[n.Args[0].ID], n)
+	}
+	inputIDs := make([]int, 0, len(byInput))
+	for id := range byInput {
+		inputIDs = append(inputIDs, id)
+	}
+	sort.Ints(inputIDs)
+	for _, id := range inputIDs {
+		rots := byInput[id]
+		grp := BatchGroup{ID: len(groups), Algorithm: KSInputBroadcast, Nodes: rots}
+		for _, n := range rots {
+			n.KSAlgorithm = KSInputBroadcast
+			n.KSBatch = grp.ID
+			assigned[n.ID] = true
+		}
+		groups = append(groups, grp)
+	}
+
+	// Everything else (ciphertext multiplications) keyswitches with input
+	// broadcast in singleton batches.
+	for _, n := range g.Nodes {
+		if !n.NeedsKeySwitch() || assigned[n.ID] {
+			continue
+		}
+		grp := BatchGroup{ID: len(groups), Algorithm: KSInputBroadcast, Nodes: []*Node{n}}
+		n.KSAlgorithm = KSInputBroadcast
+		n.KSBatch = grp.ID
+		assigned[n.ID] = true
+		groups = append(groups, grp)
+	}
+	return groups
+}
+
+// aggregationSink walks the uses of a rotation: if the value (and all its
+// partial sums) are consumed only by Add nodes, the final add is the sink.
+// A single level of Add-tree nesting is followed transitively.
+func aggregationSink(users map[int][]*Node, n *Node) (*Node, bool) {
+	cur := n
+	for {
+		us := users[cur.ID]
+		if len(us) != 1 {
+			return nil, false
+		}
+		u := us[0]
+		if u.Kind != OpAdd {
+			return nil, false
+		}
+		// Keep climbing while the sum feeds another add.
+		next := users[u.ID]
+		if len(next) == 1 && next[0].Kind == OpAdd {
+			cur = u
+			continue
+		}
+		return u, true
+	}
+}
+
+// CommSummary aggregates the collective counts of a set of groups plus the
+// unbatchable CiFHER-equivalent for comparison (paper §7.4 algorithmic
+// analysis).
+type CommSummary struct {
+	Broadcasts   int
+	Aggregations int
+}
+
+// Summarize totals the collectives across groups.
+func Summarize(groups []BatchGroup) CommSummary {
+	var s CommSummary
+	for _, grp := range groups {
+		s.Broadcasts += grp.Broadcasts()
+		s.Aggregations += grp.Aggregations()
+	}
+	return s
+}
+
+// CiFHERSummary returns the collective bill the CiFHER baseline would pay
+// for the same keyswitches: three broadcasts each, of which batching can
+// remove at most one per keyswitch, per the paper's analysis — O(r)
+// collectives either way. We model the batched-best case: 2r+1 for a
+// shared-input batch of r, 2r+... conservatively 2 per keyswitch + 1.
+func CiFHERSummary(groups []BatchGroup) CommSummary {
+	var s CommSummary
+	for _, grp := range groups {
+		r := len(grp.Nodes)
+		if r == 0 {
+			continue
+		}
+		// One of the three broadcasts batches across the group; the other
+		// two remain per keyswitch.
+		s.Broadcasts += 1 + 2*r
+	}
+	return s
+}

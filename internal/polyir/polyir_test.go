@@ -1,0 +1,152 @@
+package polyir
+
+import "testing"
+
+// buildRotateSum builds: in → r rotations → add tree → output.
+func buildRotateSum(t *testing.T, r int) (*Graph, []*Node) {
+	t.Helper()
+	g := NewGraph()
+	in := g.AddNode(&Node{Kind: OpInput, Name: "x", Level: 5})
+	rots := make([]*Node, r)
+	for i := 0; i < r; i++ {
+		rots[i] = g.AddNode(&Node{Kind: OpRotate, Args: []*Node{in}, Rot: i + 1, Level: 5})
+	}
+	acc := rots[0]
+	for _, rn := range rots[1:] {
+		acc = g.AddNode(&Node{Kind: OpAdd, Args: []*Node{acc, rn}, Level: 5})
+	}
+	g.AddNode(&Node{Kind: OpOutput, Name: "y", Args: []*Node{acc}})
+	return g, rots
+}
+
+func TestValidateCatchesArity(t *testing.T) {
+	g := NewGraph()
+	in := g.AddNode(&Node{Kind: OpInput, Name: "x", Level: 2})
+	g.AddNode(&Node{Kind: OpAdd, Args: []*Node{in}, Level: 2}) // one arg only
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestValidateCatchesLevelMismatch(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(&Node{Kind: OpInput, Name: "a", Level: 3})
+	b := g.AddNode(&Node{Kind: OpInput, Name: "b", Level: 2})
+	g.AddNode(&Node{Kind: OpAdd, Args: []*Node{a, b}, Level: 3})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected level mismatch error")
+	}
+}
+
+func TestValidateCatchesRescaleAtZero(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(&Node{Kind: OpInput, Name: "a", Level: 0})
+	g.AddNode(&Node{Kind: OpRescale, Args: []*Node{a}, Level: 0})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected rescale error")
+	}
+}
+
+func TestInferLevels(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(&Node{Kind: OpInput, Name: "a", Level: 3})
+	m := g.AddNode(&Node{Kind: OpMulCt, Args: []*Node{a, a}})
+	r := g.AddNode(&Node{Kind: OpRescale, Args: []*Node{m}})
+	bsn := g.AddNode(&Node{Kind: OpBootstrap, Args: []*Node{r}})
+	d := g.AddNode(&Node{Kind: OpDropLevel, Args: []*Node{bsn}, DropTo: 1})
+	g.InferLevels(7)
+	if m.Level != 3 || r.Level != 2 || bsn.Level != 7 || d.Level != 1 {
+		t.Fatalf("levels: mul=%d rescale=%d bootstrap=%d drop=%d", m.Level, r.Level, bsn.Level, d.Level)
+	}
+}
+
+func TestKeyswitchPassAggregationPattern(t *testing.T) {
+	g, rots := buildRotateSum(t, 4)
+	pass := &KeyswitchPass{NChips: 4}
+	groups := pass.Run(g)
+	var oa *BatchGroup
+	for i := range groups {
+		if groups[i].Algorithm == KSOutputAggregation {
+			oa = &groups[i]
+		}
+	}
+	if oa == nil || len(oa.Nodes) != 4 {
+		t.Fatalf("expected one OA group of 4, got %+v", groups)
+	}
+	if oa.Sink == nil || oa.Sink.Kind != OpAdd {
+		t.Fatal("OA group has no add sink")
+	}
+	for _, r := range rots {
+		if r.KSAlgorithm != KSOutputAggregation {
+			t.Fatalf("rotation %d not annotated OA", r.ID)
+		}
+	}
+	s := Summarize(groups)
+	if s.Aggregations != 2 || s.Broadcasts != 0 {
+		t.Fatalf("summary %+v, want 2 aggregations", s)
+	}
+	// CiFHER pays O(r): 1 + 2r broadcasts for the same batch.
+	cs := CiFHERSummary(groups)
+	if cs.Broadcasts != 1+2*4 {
+		t.Fatalf("cifher summary %+v", cs)
+	}
+}
+
+func TestKeyswitchPassSharedInputPattern(t *testing.T) {
+	g := NewGraph()
+	in := g.AddNode(&Node{Kind: OpInput, Name: "x", Level: 5})
+	r1 := g.AddNode(&Node{Kind: OpRotate, Args: []*Node{in}, Rot: 1, Level: 5})
+	r2 := g.AddNode(&Node{Kind: OpRotate, Args: []*Node{in}, Rot: 2, Level: 5})
+	// Distinct outputs (no aggregation): must fall to pattern 1.
+	g.AddNode(&Node{Kind: OpOutput, Name: "a", Args: []*Node{r1}})
+	g.AddNode(&Node{Kind: OpOutput, Name: "b", Args: []*Node{r2}})
+	pass := &KeyswitchPass{NChips: 4}
+	groups := pass.Run(g)
+	if len(groups) != 1 || groups[0].Algorithm != KSInputBroadcast || len(groups[0].Nodes) != 2 {
+		t.Fatalf("expected one IB group of 2, got %+v", groups)
+	}
+	if groups[0].Broadcasts() != 1 {
+		t.Fatalf("IB group should need exactly 1 broadcast")
+	}
+}
+
+func TestKeyswitchPassDisableAggregation(t *testing.T) {
+	g, _ := buildRotateSum(t, 4)
+	pass := &KeyswitchPass{NChips: 4, DisableAggregation: true}
+	groups := pass.Run(g)
+	for _, grp := range groups {
+		if grp.Algorithm == KSOutputAggregation {
+			t.Fatal("aggregation should be disabled")
+		}
+	}
+}
+
+func TestKeyswitchPassSingleChipSequential(t *testing.T) {
+	g, rots := buildRotateSum(t, 3)
+	pass := &KeyswitchPass{NChips: 1}
+	if groups := pass.Run(g); groups != nil {
+		t.Fatalf("single chip should produce no groups, got %+v", groups)
+	}
+	for _, r := range rots {
+		if r.KSAlgorithm != KSSequential {
+			t.Fatal("single-chip rotations must be sequential")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g, _ := buildRotateSum(t, 3)
+	s := g.Stats()
+	if s.KeySwitches != 3 || s.Ops[OpRotate] != 3 || s.Ops[OpAdd] != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if OpRotate.String() != "Rotate" || OpDropLevel.String() != "DropLevel" {
+		t.Fatal("OpKind strings")
+	}
+	if KSInputBroadcast.String() != "InputBroadcast" {
+		t.Fatal("KSAlgorithm strings")
+	}
+}

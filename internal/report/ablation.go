@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"cinnamon/internal/arch"
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/compiler"
+	"cinnamon/internal/dsl"
+	"cinnamon/internal/polyir"
+	"cinnamon/internal/sim"
+	"cinnamon/internal/workloads"
+)
+
+// Ablations for the design choices DESIGN.md calls out. These are not
+// paper figures; they quantify the trade-offs behind two of the paper's
+// design decisions with this repository's own stack.
+
+// BCUAblationPoint is one row of the §4.7 BCU-sizing ablation.
+type BCUAblationPoint struct {
+	LanesPerCluster int
+	Seconds         float64
+	BCUAreaMM2      float64
+}
+
+// RunBCUAblation measures the bootstrap kernel with the base-conversion
+// unit at 64/128/256 lanes per cluster. The paper's claim: halving the
+// lanes from 256 to 128 "trades off some throughput but leads to halving
+// the logic area" — i.e. the time hit is far below 2× because the BCU is
+// not the bottleneck.
+func RunBCUAblation() ([]BCUAblationPoint, error) {
+	var out []BCUAblationPoint
+	for _, lanes := range []int{64, 128, 256} {
+		cfg := workloads.DefaultSimConfig(4)
+		cfg.Chip.BCULanesPerCluster = lanes
+		r, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4, workloads.ModeCinnamonPass, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BCUAblationPoint{
+			LanesPerCluster: lanes,
+			Seconds:         r.Seconds,
+			// Logic area scales with lanes relative to the synthesized
+			// 128-lane point.
+			BCUAreaMM2: arch.AreaBCU * float64(lanes) / 128,
+		})
+	}
+	return out, nil
+}
+
+// BCUAblation renders the study.
+func BCUAblation(ps []BCUAblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: BCU lanes per cluster (paper §4.7 trade-off), bootstrap on Cinnamon-4\n")
+	fmt.Fprintf(&b, "%-8s %12s %14s\n", "Lanes", "Time", "BCU logic mm2")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%-8d %10.3fms %14.2f\n", p.LanesPerCluster, p.Seconds*1e3, p.BCUAreaMM2)
+	}
+	return b.String()
+}
+
+// DigitAblationPoint is one row of the keyswitch digit-count ablation.
+type DigitAblationPoint struct {
+	SpecialPrimes int
+	Digits        int
+	Seconds       float64
+}
+
+// RunDigitAblation sweeps the number of special primes (and thereby the
+// keyswitch digit count dnum = ceil((L+1)/alpha)) on a fixed small kernel.
+// Fewer digits mean fewer evaluation-key limbs to stream and fewer BCU
+// passes, at the cost of more extension limbs per pass — the design space
+// behind the paper's choice of "all keyswitching in up to four digits".
+func RunDigitAblation() ([]DigitAblationPoint, error) {
+	var out []DigitAblationPoint
+	for _, alpha := range []int{2, 4, 7, 13} {
+		logQ := []int{60}
+		for i := 0; i < 25; i++ {
+			logQ = append(logQ, 45)
+		}
+		logP := make([]int, alpha)
+		for i := range logP {
+			logP[i] = 61
+		}
+		params, err := ckks.NewParameters(ckks.ParametersLiteral{
+			LogN: workloads.SimLogN, LogQ: logQ, LogP: logP, LogScale: 45,
+			Seed: 13, SkipNTTTables: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prog := dsl.NewProgram(dsl.Config{MaxLevel: params.MaxLevel()})
+		s := prog.Stream(0)
+		x := s.Input("x", params.MaxLevel())
+		s.Output("y", workloads.BSGSMatmul(s, x, 8, 8, "mm"))
+		g, err := prog.Finish()
+		if err != nil {
+			return nil, err
+		}
+		pass := &polyir.KeyswitchPass{NChips: 4}
+		groups := pass.Run(g)
+		mod, err := compiler.Lower(g, params, 4, groups)
+		if err != nil {
+			return nil, err
+		}
+		cfg := workloads.DefaultSimConfig(4)
+		alloc, err := compiler.Allocate(mod, cfg.Chip.RegFileLimbs(1<<workloads.SimLogN))
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Simulate(alloc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DigitAblationPoint{SpecialPrimes: alpha, Digits: params.Digits(), Seconds: r.Seconds})
+	}
+	return out, nil
+}
+
+// DigitAblation renders the study.
+func DigitAblation(ps []DigitAblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: keyswitch digit count (BSGS matmul, 26-limb chain, Cinnamon-4)\n")
+	fmt.Fprintf(&b, "%-14s %-8s %12s\n", "SpecialPrimes", "Digits", "Time")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%-14d %-8d %10.3fms\n", p.SpecialPrimes, p.Digits, p.Seconds*1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/keyswitch"
+)
+
+// KSCompareResult is the §7.4 empirical comparison: Cinnamon's batched
+// keyswitching versus CiFHER's, in communication volume and collective
+// counts, measured on real ciphertexts through the functional keyswitch
+// engine.
+type KSCompareResult struct {
+	Rotations      int
+	CiFHERLimbs    int
+	CinnamonLimbs  int
+	CommRatio      float64 // CiFHER / Cinnamon, paper reports 2.25x
+	CiFHERColl     int     // collectives (3 per keyswitch, one batchable)
+	CinnamonColl   int     // 1 broadcast or 2 aggregations per batch
+	BitExactChecks int
+}
+
+// RunKSComparison measures both algorithms on an r-rotation batch over a
+// 4-chip partition at functional scale.
+func RunKSComparison(r int) (*KSCompareResult, error) {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{55, 45, 45, 45, 45, 45, 45, 45},
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		Seed:     777,
+	})
+	if err != nil {
+		return nil, err
+	}
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		return nil, err
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		return nil, err
+	}
+	rots := make([]int, r)
+	for i := range rots {
+		rots[i] = i + 1
+	}
+	rtks, err := kg.GenRotationKeySet(sk, rots, false)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := keyswitch.NewEngine(params, 4)
+	if err != nil {
+		return nil, err
+	}
+	enc := ckks.NewEncoder(params)
+	pt, err := enc.Encode(make([]complex128, params.Slots()), params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		return nil, err
+	}
+	encr := ckks.NewEncryptor(params, pk)
+	ct, err := encr.Encrypt(pt)
+	if err != nil {
+		return nil, err
+	}
+	// CiFHER: r independent keyswitches, each paying its own broadcasts.
+	var cifher keyswitch.CommStats
+	exact := 0
+	for range rots {
+		f0, f1, st, err := eng.KeySwitch(ct.C1, rtks.Keys[rots[0]], keyswitch.CiFHER)
+		if err != nil {
+			return nil, err
+		}
+		s0, s1, _, err := eng.KeySwitch(ct.C1, rtks.Keys[rots[0]], keyswitch.Sequential)
+		if err != nil {
+			return nil, err
+		}
+		if f0.Equal(s0) && f1.Equal(s1) {
+			exact++
+		}
+		cifher.Add(st)
+	}
+	// Cinnamon: the whole batch through hoisted input broadcast.
+	_, cin, err := eng.HoistedRotations(ct, rots, rtks)
+	if err != nil {
+		return nil, err
+	}
+	res := &KSCompareResult{
+		Rotations:      r,
+		CiFHERLimbs:    cifher.LimbsMoved,
+		CinnamonLimbs:  cin.LimbsMoved,
+		CiFHERColl:     cifher.Broadcasts,
+		CinnamonColl:   cin.Broadcasts + cin.Aggregations,
+		BitExactChecks: exact,
+	}
+	if res.CinnamonLimbs > 0 {
+		res.CommRatio = float64(res.CiFHERLimbs) / float64(res.CinnamonLimbs)
+	}
+	return res, nil
+}
+
+// KSCompare renders the comparison.
+func KSCompare(r *KSCompareResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Keyswitch comparison (§7.4): batch of %d rotations on 4 chips\n", r.Rotations)
+	fmt.Fprintf(&b, "  CiFHER:   %4d limbs moved, %d collectives (3 per keyswitch)\n", r.CiFHERLimbs, r.CiFHERColl)
+	fmt.Fprintf(&b, "  Cinnamon: %4d limbs moved, %d collective(s) for the whole batch\n", r.CinnamonLimbs, r.CinnamonColl)
+	fmt.Fprintf(&b, "  communication reduction: %.2fx (paper reports 2.25x)\n", r.CommRatio)
+	fmt.Fprintf(&b, "  functional check: %d/%d CiFHER keyswitches bit-exact vs sequential\n", r.BitExactChecks, r.Rotations)
+	return b.String()
+}

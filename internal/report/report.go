@@ -1,0 +1,514 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation (§7, Appendix A) from the simulator, the architecture model
+// and the workload compositions, rendering them as text tables. Each
+// experiment function returns structured results so tests and benchmarks
+// can assert the expected shapes.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cinnamon/internal/arch"
+	"cinnamon/internal/dsl"
+	"cinnamon/internal/sim"
+	"cinnamon/internal/workloads"
+)
+
+// Fig1 renders the motivation figure: ML model growth versus FHE
+// accelerator on-chip storage (static survey data from the paper's Fig. 1
+// narrative).
+func Fig1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Growth of ML models vs FHE architecture cache capacity\n")
+	fmt.Fprintf(&b, "%-6s %-22s %14s   %-12s %10s\n", "Year", "Model", "Params", "FHE arch", "Cache MB")
+	rows := []struct {
+		year   int
+		model  string
+		params float64
+		arch   string
+		mb     float64
+	}{
+		{2016, "ResNet-20", 0.27e6, "", 0},
+		{2018, "BERT-Base", 110e6, "", 0},
+		{2019, "GPT-2", 1.5e9, "", 0},
+		{2020, "GPT-3", 175e9, "", 0},
+		{2021, "", 0, "F1", 64},
+		{2022, "", 0, "CraterLake", 256},
+		{2022, "", 0, "BTS", 512},
+		{2022, "", 0, "ARK", 512},
+		{2023, "", 0, "SHARP", 198},
+		{2024, "", 0, "CiFHER (16 cores)", 256},
+	}
+	for _, r := range rows {
+		ps := ""
+		if r.params > 0 {
+			ps = fmt.Sprintf("%.2e", r.params)
+		}
+		mb := ""
+		if r.mb > 0 {
+			mb = fmt.Sprintf("%.0f", r.mb)
+		}
+		fmt.Fprintf(&b, "%-6d %-22s %14s   %-12s %10s\n", r.year, r.model, ps, r.arch, mb)
+	}
+	b.WriteString("Model parameters grow ~10x/year; FHE on-chip caches grew ~8x over the same period.\n")
+	return b.String()
+}
+
+// Table1 renders the per-component area breakdown from the architecture
+// model.
+func Table1() string {
+	var b strings.Builder
+	a := arch.AreaOf(arch.Cinnamon())
+	fmt.Fprintf(&b, "Table 1: Component-wise area breakdown (22nm, modeled)\n")
+	fmt.Fprintf(&b, "%-42s %10s\n", "Component", "Area (mm2)")
+	for _, row := range []struct {
+		name string
+		area float64
+	}{
+		{"NTT", arch.AreaNTT},
+		{"Base Conversion Unit", arch.AreaBCU},
+		{"Rotation", arch.AreaRotation},
+		{"Addition", arch.AreaAdd},
+		{"Multiply", arch.AreaMultiply},
+		{"Transpose", arch.AreaTranspose},
+		{"PRNG", arch.AreaPRNG},
+		{"Barrett Reduction", arch.AreaBarrettRed},
+		{"RNS Resolve", arch.AreaRNSResolve},
+		{"Total FU area (2xAdd,2xMul,2xPRNG + 1x rest)", a.FULogic},
+		{"BCU buffers (2.85MB)", a.BCUBuffers},
+		{"Register file (56MB)", a.RegFile},
+		{"4x HBM PHY", a.HBMPHY},
+		{"2x Network PHY", a.NetPHY},
+		{"Total chip area", a.Total()},
+	} {
+		fmt.Fprintf(&b, "%-42s %10.2f\n", row.name, row.area)
+	}
+	bc := arch.BCUComparison()
+	fmt.Fprintf(&b, "\nCompact BCU (§4.7): multipliers %d -> %d, buffers %.2fMB -> %.2fMB per cluster\n",
+		bc.MultipliersGeneral, bc.MultipliersCinnamon, bc.BufferMBGeneral, bc.BufferMBCinnamon)
+	return b.String()
+}
+
+// PerfResults carries the simulated Table 2 data shared by Figs 11/12/15.
+type PerfResults struct {
+	// Times[config][app] in seconds; configs: Cinnamon-M/-4/-8/-12.
+	Times map[string]map[string]float64
+	// Util[config] from the bootstrap kernel simulation.
+	Util map[string]sim.Result
+}
+
+// Configs in presentation order.
+var Configs = []string{"Cinnamon-M", "Cinnamon-4", "Cinnamon-8", "Cinnamon-12"}
+
+// AppNames in presentation order.
+var AppNames = []string{"Bootstrap", "Resnet", "HELR", "BERT"}
+
+// RunPerformance simulates the kernels on every Cinnamon configuration and
+// composes the four applications (Table 2 / Fig 11 / Fig 12 / Fig 15).
+func RunPerformance() (*PerfResults, error) {
+	res := &PerfResults{Times: map[string]map[string]float64{}, Util: map[string]sim.Result{}}
+	type cfgSpec struct {
+		name   string
+		chips  int
+		groups int
+		cfg    sim.Config
+		mode   workloads.KSMode
+	}
+	specs := []cfgSpec{
+		{"Cinnamon-M", 1, 1, workloads.CinnamonMSimConfig(), workloads.ModeSequential},
+		{"Cinnamon-4", 4, 1, workloads.DefaultSimConfig(4), workloads.ModeCinnamonPass},
+		{"Cinnamon-8", 8, 2, workloads.DefaultSimConfig(8), workloads.ModeCinnamonPass},
+		{"Cinnamon-12", 12, 3, workloads.DefaultSimConfig(12), workloads.ModeCinnamonPass},
+	}
+	for _, sp := range specs {
+		// Kernels run on one 4-chip group (or the monolithic chip); the
+		// bootstrap benchmark itself uses all chips via limb parallelism.
+		kernChips := sp.chips
+		kernCfg := sp.cfg
+		if sp.groups > 1 {
+			kernChips = 4
+			kernCfg = workloads.DefaultSimConfig(4)
+		}
+		kt, err := workloads.SimulateKernels(kernChips, sp.mode, kernCfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s kernels: %w", sp.name, err)
+		}
+		// Bootstrap-the-benchmark at full chip count (limb-level
+		// parallelism keeps helping modestly past 4 chips).
+		bsRes, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, sp.chips, sp.mode, sp.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s bootstrap: %w", sp.name, err)
+		}
+		res.Util[sp.name] = bsRes.Sim
+		res.Times[sp.name] = map[string]float64{}
+		for _, app := range workloads.Apps() {
+			if app.Name == "Bootstrap" {
+				res.Times[sp.name][app.Name] = bsRes.Seconds
+				continue
+			}
+			res.Times[sp.name][app.Name] = app.Time(kt, sp.groups)
+		}
+	}
+	return res, nil
+}
+
+// Table2 renders execution times next to the published comparators.
+func Table2(pr *PerfResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Execution time (measured for Cinnamon configs; published for comparators)\n")
+	fmt.Fprintf(&b, "%-12s", "Benchmark")
+	for _, c := range Configs {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	for _, c := range []string{"CraterLake", "CiFHER", "ARK"} {
+		fmt.Fprintf(&b, " %12s", c+"*")
+	}
+	fmt.Fprintf(&b, " %12s\n", "CPU*")
+	for _, app := range AppNames {
+		fmt.Fprintf(&b, "%-12s", app)
+		for _, c := range Configs {
+			fmt.Fprintf(&b, " %12.2fms", pr.Times[c][app]*1e3)
+		}
+		for _, c := range []string{"CraterLake", "CiFHER", "ARK"} {
+			if t, ok := workloads.PublishedTimes[c][app]; ok {
+				fmt.Fprintf(&b, " %10.2fms", t*1e3)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		var cpu float64
+		for _, a := range workloads.Apps() {
+			if a.Name == app {
+				cpu = a.CPUSeconds
+			}
+		}
+		fmt.Fprintf(&b, " %11.0fs\n", cpu)
+	}
+	b.WriteString("* best reported results (paper Table 2)\n")
+	return b.String()
+}
+
+// Fig11 renders normalized speedups (vs CPU and vs Cinnamon-M).
+func Fig11(pr *PerfResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: Normalized speedup\n")
+	fmt.Fprintf(&b, "%-12s %16s %18s\n", "Benchmark", "config", "speedup")
+	for _, app := range AppNames {
+		var cpu float64
+		for _, a := range workloads.Apps() {
+			if a.Name == app {
+				cpu = a.CPUSeconds
+			}
+		}
+		for _, c := range Configs {
+			fmt.Fprintf(&b, "%-12s %16s %12.0fx vs CPU, %5.2fx vs Cinnamon-M\n",
+				app, c, cpu/pr.Times[c][app], pr.Times["Cinnamon-M"][app]/pr.Times[c][app])
+		}
+	}
+	return b.String()
+}
+
+// Table3Rows computes the yield/cost table.
+func Table3Rows() []arch.Accelerator {
+	return arch.Table3()
+}
+
+// Table3 renders manufacturing yield and cost.
+func Table3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Manufacturing yield and estimated tape-out cost\n")
+	fmt.Fprintf(&b, "%-12s %12s %8s %8s %14s %16s\n", "Accelerator", "Die mm2", "Process", "Yield", "$/mm2", "Yield-norm cost")
+	for _, a := range Table3Rows() {
+		fmt.Fprintf(&b, "%-12s %12.2f %8s %7.0f%% %14.0f %15.1fM\n",
+			a.Name, a.AreaMM2, a.Process, arch.Yield(a.AreaMM2)*100, a.PricePerMM2, a.YieldNormalizedCost()/1e6)
+	}
+	return b.String()
+}
+
+// Fig12 renders performance-per-dollar relative to Cinnamon-M.
+func Fig12(pr *PerfResults) string {
+	accels := map[string]arch.Accelerator{}
+	for _, a := range Table3Rows() {
+		accels[a.Name] = a
+	}
+	cinCost := accels["Cinnamon"].YieldNormalizedCost()
+	costOf := map[string]float64{
+		"Cinnamon-M":  accels["Cinnamon-M"].YieldNormalizedCost(),
+		"Cinnamon-4":  4 * cinCost,
+		"Cinnamon-8":  8 * cinCost,
+		"Cinnamon-12": 12 * cinCost,
+		"CraterLake":  accels["CraterLake"].YieldNormalizedCost(),
+		"CiFHER":      float64(accels["CiFHER"].ChipsPerSys) * accels["CiFHER"].YieldNormalizedCost(),
+		"ARK":         accels["ARK"].YieldNormalizedCost(),
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: Relative performance per dollar (baseline Cinnamon-M)\n")
+	baseT := pr.Times["Cinnamon-M"]
+	baseC := costOf["Cinnamon-M"]
+	for _, app := range AppNames {
+		for _, c := range Configs {
+			v := arch.PerfPerDollar(pr.Times[c][app], costOf[c], baseT[app], baseC)
+			fmt.Fprintf(&b, "%-12s %-14s %6.2fx\n", app, c, v)
+		}
+		for _, c := range []string{"CraterLake", "CiFHER", "ARK"} {
+			if t, ok := workloads.PublishedTimes[c][app]; ok {
+				v := arch.PerfPerDollar(t, costOf[c], baseT[app], baseC)
+				fmt.Fprintf(&b, "%-12s %-14s %6.2fx (published time)\n", app, c, v)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Fig15 renders utilization.
+func Fig15(pr *PerfResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 15: Utilization (bootstrap kernel)\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s\n", "Config", "Compute", "Memory", "Network")
+	for _, c := range Configs {
+		u := pr.Util[c]
+		fmt.Fprintf(&b, "%-12s %9.0f%% %9.0f%% %9.0f%%\n", c, u.ComputeUtil*100, u.MemUtil*100, u.NetUtil*100)
+	}
+	return b.String()
+}
+
+// Fig13Result is one point of the keyswitch-technique comparison.
+type Fig13Result struct {
+	Mode     workloads.KSMode
+	LinkGBps float64
+	Seconds  float64
+	Speedup  float64 // over Sequential
+}
+
+// RunFig13 sweeps keyswitching configurations over link bandwidths for the
+// bootstrap benchmark on Cinnamon-4 (paper Fig. 13).
+func RunFig13(bandwidths []float64) ([]Fig13Result, error) {
+	if bandwidths == nil {
+		bandwidths = []float64{256, 512, 1024}
+	}
+	seqCfg := workloads.DefaultSimConfig(1)
+	seqRes, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 1, workloads.ModeSequential, seqCfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig13Result
+	out = append(out, Fig13Result{Mode: workloads.ModeSequential, Seconds: seqRes.Seconds, Speedup: 1})
+	modes := []workloads.KSMode{workloads.ModeCiFHER, workloads.ModeInputBroadcast,
+		workloads.ModeInputBroadcastPass, workloads.ModeCinnamonPass}
+	for _, bw := range bandwidths {
+		for _, mode := range modes {
+			cfg := workloads.DefaultSimConfig(4)
+			cfg.LinkGBpsOverride = bw
+			r, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4, mode, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%v @%v: %w", mode, bw, err)
+			}
+			out = append(out, Fig13Result{Mode: mode, LinkGBps: bw, Seconds: r.Seconds, Speedup: seqRes.Seconds / r.Seconds})
+		}
+		// Program parallelism on top of the full pass: the serial DFT
+		// sections on all four chips plus the two EvalMod halves as
+		// concurrent 2-chip streams (hierarchical composition).
+		cfg := workloads.DefaultSimConfig(4)
+		cfg.LinkGBpsOverride = bw
+		spec := workloads.Bootstrap13()
+		dft, err := workloads.CompileAndSimulate(spec.BuildDFTOnlyProgram, 4, workloads.ModeCinnamonPass, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("progpar dft @%v: %w", bw, err)
+		}
+		em, err := workloads.CompileAndSimulate(spec.BuildEvalModPairProgram, 4, workloads.ModeCinnamonPass, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("progpar evalmod @%v: %w", bw, err)
+		}
+		secs := dft.Seconds + em.Seconds
+		out = append(out, Fig13Result{Mode: workloads.ModeCinnamonPass + 1, LinkGBps: bw, Seconds: secs, Speedup: seqRes.Seconds / secs})
+	}
+	return out, nil
+}
+
+// Fig13 renders the sweep.
+func Fig13(rs []Fig13Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: Keyswitching techniques for bootstrap on Cinnamon-4 (speedup over Sequential)\n")
+	name := func(m workloads.KSMode) string {
+		if m == workloads.ModeCinnamonPass+1 {
+			return "CinnamonKS+Pass+ProgPar"
+		}
+		return m.String()
+	}
+	for _, r := range rs {
+		if r.Mode == workloads.ModeSequential {
+			fmt.Fprintf(&b, "%-26s %10s %10.3fms %8.2fx\n", "Sequential", "-", r.Seconds*1e3, r.Speedup)
+			continue
+		}
+		fmt.Fprintf(&b, "%-26s %7.0fGB/s %10.3fms %8.2fx\n", name(r.Mode), r.LinkGBps, r.Seconds*1e3, r.Speedup)
+	}
+	return b.String()
+}
+
+// Fig14Result is one bar of the Bootstrap-13 vs Bootstrap-21 comparison.
+type Fig14Result struct {
+	Spec    string
+	NChips  int
+	Speedup float64
+}
+
+// RunFig14 compares the two bootstrap configurations on 4/8/12 chips,
+// speedup over the single-chip sequential run of the same spec.
+func RunFig14() ([]Fig14Result, error) {
+	var out []Fig14Result
+	for _, spec := range []workloads.BootstrapSpec{workloads.Bootstrap13(), workloads.Bootstrap21()} {
+		seq, err := workloads.CompileAndSimulate(spec.BuildProgram, 1, workloads.ModeSequential, workloads.DefaultSimConfig(1))
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range []int{4, 8, 12} {
+			r, err := workloads.CompileAndSimulate(spec.BuildProgram, n, workloads.ModeCinnamonPass, workloads.DefaultSimConfig(n))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig14Result{Spec: spec.Name, NChips: n, Speedup: seq.Seconds / r.Seconds})
+		}
+	}
+	return out, nil
+}
+
+// Fig14 renders the comparison.
+func Fig14(rs []Fig14Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14: Bootstrap-13 vs Bootstrap-21 speedup over single chip\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-14s Cinnamon-%-3d %6.2fx\n", r.Spec, r.NChips, r.Speedup)
+	}
+	return b.String()
+}
+
+// Fig16Result is one sensitivity bar.
+type Fig16Result struct {
+	Resource string
+	Factor   float64 // 0.5 or 2
+	Speedup  float64 // relative to the default configuration
+}
+
+// RunFig16 measures sensitivity of the Cinnamon-4 bootstrap to halving and
+// doubling register file, link bandwidth, memory bandwidth and vector
+// width.
+func RunFig16() ([]Fig16Result, error) {
+	base, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4, workloads.ModeCinnamonPass, workloads.DefaultSimConfig(4))
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig16Result
+	for _, factor := range []float64{0.5, 2} {
+		for _, resource := range []string{"regfile", "linkbw", "membw", "vector"} {
+			cfg := workloads.DefaultSimConfig(4)
+			switch resource {
+			case "regfile":
+				cfg.Chip.RegFileMB *= factor
+			case "linkbw":
+				cfg.Chip.LinkGBps *= factor
+			case "membw":
+				cfg.Chip.HBMGBps *= factor
+			case "vector":
+				cfg.Chip.LanesPerCluster = int(float64(cfg.Chip.LanesPerCluster) * factor)
+				cfg.Chip.BCULanesPerCluster = int(float64(cfg.Chip.BCULanesPerCluster) * factor)
+			}
+			r, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4, workloads.ModeCinnamonPass, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s x%v: %w", resource, factor, err)
+			}
+			out = append(out, Fig16Result{Resource: resource, Factor: factor, Speedup: base.Seconds / r.Seconds})
+		}
+	}
+	return out, nil
+}
+
+// Fig16 renders the sensitivity study.
+func Fig16(rs []Fig16Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 16: Sensitivity of Cinnamon-4 bootstrap to resource scaling\n")
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Resource != rs[j].Resource {
+			return rs[i].Resource < rs[j].Resource
+		}
+		return rs[i].Factor < rs[j].Factor
+	})
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-10s x%-4v %6.2fx\n", r.Resource, r.Factor, r.Speedup)
+	}
+	return b.String()
+}
+
+// Fig6Point is one cell of the motivation study.
+type Fig6Point struct {
+	Bootstraps int
+	CacheMB    float64
+	Clusters   int
+	Seconds    float64
+}
+
+// RunFig6 sweeps parallel bootstraps against cache capacity and compute on
+// a single monolithic chip (paper Fig. 6): k independent bootstraps in one
+// program; the register file size bounds how much shared evaluation-key
+// metadata stays resident.
+func RunFig6(counts []int, cachesMB []float64, clusters []int) ([]Fig6Point, error) {
+	if counts == nil {
+		counts = []int{1, 2, 4, 8}
+	}
+	if cachesMB == nil {
+		cachesMB = []float64{64, 128, 256, 1024}
+	}
+	if clusters == nil {
+		clusters = []int{4, 8}
+	}
+	var out []Fig6Point
+	for _, cl := range clusters {
+		for _, cache := range cachesMB {
+			for _, k := range counts {
+				cfg := workloads.CinnamonMSimConfig()
+				cfg.Chip.RegFileMB = cache
+				cfg.Chip.Clusters = cl
+				kk := k
+				build := func(p *dsl.Program) {
+					spec := workloads.Bootstrap13()
+					s := p.Stream(0)
+					for i := 0; i < kk; i++ {
+						in := s.Input(fmt.Sprintf("ct%d", i), spec.EnterLevel)
+						s.Output(fmt.Sprintf("out%d", i), spec.Build(s, in))
+					}
+				}
+				r, err := workloads.CompileAndSimulate(build, 1, workloads.ModeSequential, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig6Point{Bootstraps: k, CacheMB: cache, Clusters: cl, Seconds: r.Seconds})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig6 renders the sweep.
+func Fig6(ps []Fig6Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Parallel bootstraps vs cache capacity and compute (single chip)\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-10s %12s\n", "Clusters", "Cache MB", "Bootstraps", "Time")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%-10d %-10.0f %-10d %10.2fms\n", p.Clusters, p.CacheMB, p.Bootstraps, p.Seconds*1e3)
+	}
+	return b.String()
+}
+
+// Geomean is a helper for sensitivity summaries.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cinnamon/internal/workloads"
+)
+
+func TestStaticArtifactsRender(t *testing.T) {
+	for name, s := range map[string]string{
+		"fig1":   Fig1(),
+		"table1": Table1(),
+		"table3": Table3(),
+	} {
+		if len(s) < 100 {
+			t.Fatalf("%s suspiciously short", name)
+		}
+	}
+	if !strings.Contains(Table1(), "223.18") && !strings.Contains(Table1(), "223.1") {
+		t.Fatal("Table 1 total should be ≈223.18 mm²")
+	}
+	if !strings.Contains(Table3(), "66%") {
+		t.Fatal("Table 3 should show Cinnamon's 66% yield")
+	}
+}
+
+func TestFig13Rendering(t *testing.T) {
+	rs := []Fig13Result{
+		{Mode: workloads.ModeSequential, Seconds: 10e-3, Speedup: 1},
+		{Mode: workloads.ModeCinnamonPass, LinkGBps: 512, Seconds: 2.5e-3, Speedup: 4},
+		{Mode: workloads.ModeCinnamonPass + 1, LinkGBps: 512, Seconds: 2e-3, Speedup: 5},
+	}
+	s := Fig13(rs)
+	if !strings.Contains(s, "Sequential") || !strings.Contains(s, "ProgPar") {
+		t.Fatalf("rendering: %s", s)
+	}
+}
+
+func TestFig14Fig16Rendering(t *testing.T) {
+	s := Fig14([]Fig14Result{{Spec: "Bootstrap-13", NChips: 4, Speedup: 4.2}})
+	if !strings.Contains(s, "Bootstrap-13") {
+		t.Fatal(s)
+	}
+	s16 := Fig16([]Fig16Result{{Resource: "linkbw", Factor: 0.5, Speedup: 0.7}})
+	if !strings.Contains(s16, "linkbw") {
+		t.Fatal(s16)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean %f", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestTable2RenderingWithSyntheticData(t *testing.T) {
+	pr := &PerfResults{Times: map[string]map[string]float64{}}
+	for _, c := range Configs {
+		pr.Times[c] = map[string]float64{}
+		for _, a := range AppNames {
+			pr.Times[c][a] = 1e-3
+		}
+	}
+	s := Table2(pr)
+	for _, c := range Configs {
+		if !strings.Contains(s, c) {
+			t.Fatalf("missing config %s", c)
+		}
+	}
+	f11 := Fig11(pr)
+	if !strings.Contains(f11, "vs CPU") {
+		t.Fatal(f11)
+	}
+	f12 := Fig12(pr)
+	if !strings.Contains(f12, "Cinnamon-4") {
+		t.Fatal(f12)
+	}
+}

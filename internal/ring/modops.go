@@ -1,0 +1,168 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"cinnamon/internal/rns"
+)
+
+// convCache memoizes BaseConverters keyed by the (src, dst) moduli lists.
+var convCache sync.Map
+
+func converter(src, dst rns.Basis) (*rns.BaseConverter, error) {
+	key := fmt.Sprintf("%v->%v", src.Moduli, dst.Moduli)
+	if v, ok := convCache.Load(key); ok {
+		return v.(*rns.BaseConverter), nil
+	}
+	bc, err := rns.NewBaseConverter(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	convCache.Store(key, bc)
+	return bc, nil
+}
+
+// ConverterFor returns a cached BaseConverter from src to dst; packages
+// implementing keyswitching variants share converters through this cache.
+func ConverterFor(src, dst rns.Basis) (*rns.BaseConverter, error) {
+	return converter(src, dst)
+}
+
+// ModUp extends p (coefficient domain, basis S) to the basis S ∪ ext by
+// fast base conversion of all limbs to the extension moduli (paper Fig. 3,
+// left). The input is unchanged.
+func (r *Ring) ModUp(p *Poly, ext rns.Basis) (*Poly, error) {
+	if p.IsNTT {
+		return nil, fmt.Errorf("ring: ModUp requires coefficient domain")
+	}
+	bc, err := converter(p.Basis, ext)
+	if err != nil {
+		return nil, err
+	}
+	extLimbs, err := bc.Convert(p.Limbs)
+	if err != nil {
+		return nil, err
+	}
+	union, err := p.Basis.Union(ext)
+	if err != nil {
+		return nil, err
+	}
+	limbs := make([][]uint64, 0, union.Len())
+	for _, l := range p.Limbs {
+		limbs = append(limbs, append([]uint64(nil), l...))
+	}
+	limbs = append(limbs, extLimbs...)
+	return &Poly{Basis: union, Limbs: limbs, IsNTT: false}, nil
+}
+
+// ModDown converts p (coefficient domain, basis S ∪ E where the last
+// ext.Len() moduli are E) down to basis S, dividing by P = Π E and rounding
+// (paper Fig. 3, right):  out ≈ p / P over S.
+func (r *Ring) ModDown(p *Poly, ext rns.Basis) (*Poly, error) {
+	if p.IsNTT {
+		return nil, fmt.Errorf("ring: ModDown requires coefficient domain")
+	}
+	sLen := p.Basis.Len() - ext.Len()
+	if sLen <= 0 {
+		return nil, fmt.Errorf("ring: basis of %d limbs cannot drop %d extension limbs", p.Basis.Len(), ext.Len())
+	}
+	for i, q := range ext.Moduli {
+		if p.Basis.Moduli[sLen+i] != q {
+			return nil, fmt.Errorf("ring: extension basis does not match trailing moduli of %v", p.Basis)
+		}
+	}
+	s := p.Basis.Prefix(sLen)
+	// Convert the extension limbs down to S.
+	bc, err := converter(ext, s)
+	if err != nil {
+		return nil, err
+	}
+	conv, err := bc.Convert(p.Limbs[sLen:])
+	if err != nil {
+		return nil, err
+	}
+	// out_j = (a_j - conv_j) * P^{-1} mod q_j.
+	P := ext.Product()
+	out := r.NewPoly(s)
+	tmp := new(big.Int)
+	for j, q := range s.Moduli {
+		qb := new(big.Int).SetUint64(q)
+		pInv := new(big.Int).ModInverse(tmp.Mod(P, qb), qb)
+		if pInv == nil {
+			return nil, fmt.Errorf("ring: extension product not invertible mod %d", q)
+		}
+		w := pInv.Uint64()
+		ws := rns.ShoupPrecomp(w, q)
+		aj, cj, oj := p.Limbs[j], conv[j], out.Limbs[j]
+		for i := range aj {
+			oj[i] = rns.MulModShoup(rns.SubMod(aj[i], cj[i], q), w, ws, q)
+		}
+	}
+	return out, nil
+}
+
+// Rescale divides p by its last modulus q_ℓ and drops the corresponding
+// limb — the CKKS rescaling operation that consumes one level. Works in the
+// coefficient domain.
+func (r *Ring) Rescale(p *Poly) (*Poly, error) {
+	if p.IsNTT {
+		return nil, fmt.Errorf("ring: Rescale requires coefficient domain")
+	}
+	l := p.Basis.Len() - 1
+	if l < 1 {
+		return nil, fmt.Errorf("ring: cannot rescale a single-limb polynomial")
+	}
+	ql := p.Basis.Moduli[l]
+	out := r.NewPoly(p.Basis.Prefix(l))
+	last := p.Limbs[l]
+	for j, q := range out.Basis.Moduli {
+		w := rns.InvMod(ql%q, q)
+		ws := rns.ShoupPrecomp(w, q)
+		aj, oj := p.Limbs[j], out.Limbs[j]
+		for i := range aj {
+			oj[i] = rns.MulModShoup(rns.SubMod(aj[i], last[i]%q, q), w, ws, q)
+		}
+	}
+	return out, nil
+}
+
+// CoeffToBig reconstructs coefficient i of p (coefficient domain) as an
+// integer in [0, Q). Intended for tests and diagnostics.
+func (p *Poly) CoeffToBig(i int) (*big.Int, error) {
+	if p.IsNTT {
+		return nil, fmt.Errorf("ring: CoeffToBig requires coefficient domain")
+	}
+	res := make([]uint64, p.Basis.Len())
+	for j := range p.Limbs {
+		res[j] = p.Limbs[j][i]
+	}
+	return p.Basis.CRTReconstruct(res)
+}
+
+// CoeffToCentered returns coefficient i as a centered representative in
+// (-Q/2, Q/2].
+func (p *Poly) CoeffToCentered(i int) (*big.Int, error) {
+	v, err := p.CoeffToBig(i)
+	if err != nil {
+		return nil, err
+	}
+	Q := p.Basis.Product()
+	half := new(big.Int).Rsh(Q, 1)
+	if v.Cmp(half) > 0 {
+		v.Sub(v, Q)
+	}
+	return v, nil
+}
+
+// SetCoeffBig sets coefficient i of p from a (possibly negative) big
+// integer, reducing into each modulus.
+func (p *Poly) SetCoeffBig(i int, v *big.Int) {
+	tmp := new(big.Int)
+	for j, q := range p.Basis.Moduli {
+		qb := tmp.SetUint64(q)
+		m := new(big.Int).Mod(v, qb)
+		p.Limbs[j][i] = m.Uint64()
+	}
+}

@@ -1,0 +1,287 @@
+// Package ring implements arithmetic over power-of-two negacyclic
+// polynomial rings R_Q = Z_Q[X]/(X^N+1) in RNS (limb) representation.
+// It is the substrate the CKKS layer (paper §2) is built on: limb-wise
+// add/mul/NTT/automorphism plus the cross-limb mod-up, mod-down and rescale
+// operations that keyswitching requires.
+package ring
+
+import (
+	"fmt"
+
+	"cinnamon/internal/ntt"
+	"cinnamon/internal/rns"
+)
+
+// Ring is a fixed ring dimension together with NTT tables for a universe of
+// moduli (the ciphertext chain plus any extension/special moduli). Polys
+// over any sub-basis of the universe share the one Ring context.
+type Ring struct {
+	N        int
+	Universe rns.Basis
+	Tables   *ntt.TableSet
+
+	autoCache map[uint64][]int // galois element -> NTT-domain gather index
+}
+
+// NewRing builds a ring of dimension n over the given universe of moduli.
+// n must be a power of two and every modulus must satisfy q ≡ 1 (mod 2n).
+func NewRing(n int, universe rns.Basis) (*Ring, error) {
+	ts, err := ntt.NewTableSet(n, universe.Moduli)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{N: n, Universe: universe, Tables: ts, autoCache: map[uint64][]int{}}, nil
+}
+
+// NewRingLazy builds a ring without NTT tables. Use it for compile-only
+// and timing-simulation contexts at large N (the compiler needs only the
+// moduli and Galois arithmetic); NTT/INTT on such a ring fails.
+func NewRingLazy(n int, universe rns.Basis) (*Ring, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ring: dimension %d is not a power of two", n)
+	}
+	ts, err := ntt.NewTableSet(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{N: n, Universe: universe, Tables: ts, autoCache: map[uint64][]int{}}, nil
+}
+
+// Poly is a polynomial in limb representation: Limbs[j] holds the residues
+// mod Basis.Moduli[j]. IsNTT records the current domain; entries are in the
+// evaluation (NTT) domain when true, coefficient domain when false.
+type Poly struct {
+	Basis rns.Basis
+	Limbs [][]uint64
+	IsNTT bool
+}
+
+// NewPoly allocates the zero polynomial over basis b.
+func (r *Ring) NewPoly(b rns.Basis) *Poly {
+	limbs := make([][]uint64, b.Len())
+	for i := range limbs {
+		limbs[i] = make([]uint64, r.N)
+	}
+	return &Poly{Basis: b, Limbs: limbs}
+}
+
+// Copy returns a deep copy of p.
+func (p *Poly) Copy() *Poly {
+	limbs := make([][]uint64, len(p.Limbs))
+	for i, l := range p.Limbs {
+		limbs[i] = append([]uint64(nil), l...)
+	}
+	return &Poly{Basis: p.Basis, Limbs: limbs, IsNTT: p.IsNTT}
+}
+
+// Level returns the number of limbs minus one.
+func (p *Poly) Level() int { return len(p.Limbs) - 1 }
+
+func (r *Ring) checkPair(a, b *Poly) error {
+	if !a.Basis.Equal(b.Basis) {
+		return fmt.Errorf("ring: basis mismatch %v vs %v", a.Basis, b.Basis)
+	}
+	if a.IsNTT != b.IsNTT {
+		return fmt.Errorf("ring: domain mismatch (NTT %v vs %v)", a.IsNTT, b.IsNTT)
+	}
+	return nil
+}
+
+// Add sets out = a + b limb-wise. a, b must share basis and domain.
+func (r *Ring) Add(a, b, out *Poly) error {
+	if err := r.checkPair(a, b); err != nil {
+		return err
+	}
+	out.Basis, out.IsNTT = a.Basis, a.IsNTT
+	r.ensureShape(out, a.Basis.Len())
+	for j, q := range a.Basis.Moduli {
+		aj, bj, oj := a.Limbs[j], b.Limbs[j], out.Limbs[j]
+		for i := range aj {
+			oj[i] = rns.AddMod(aj[i], bj[i], q)
+		}
+	}
+	return nil
+}
+
+// Sub sets out = a - b limb-wise.
+func (r *Ring) Sub(a, b, out *Poly) error {
+	if err := r.checkPair(a, b); err != nil {
+		return err
+	}
+	out.Basis, out.IsNTT = a.Basis, a.IsNTT
+	r.ensureShape(out, a.Basis.Len())
+	for j, q := range a.Basis.Moduli {
+		aj, bj, oj := a.Limbs[j], b.Limbs[j], out.Limbs[j]
+		for i := range aj {
+			oj[i] = rns.SubMod(aj[i], bj[i], q)
+		}
+	}
+	return nil
+}
+
+// Neg sets out = -a limb-wise.
+func (r *Ring) Neg(a, out *Poly) {
+	out.Basis, out.IsNTT = a.Basis, a.IsNTT
+	r.ensureShape(out, a.Basis.Len())
+	for j, q := range a.Basis.Moduli {
+		aj, oj := a.Limbs[j], out.Limbs[j]
+		for i := range aj {
+			oj[i] = rns.NegMod(aj[i], q)
+		}
+	}
+}
+
+// MulCoeffs sets out = a ⊙ b, the pointwise product. Both operands must be
+// in the NTT domain (pointwise product in evaluation domain = ring product).
+func (r *Ring) MulCoeffs(a, b, out *Poly) error {
+	if err := r.checkPair(a, b); err != nil {
+		return err
+	}
+	if !a.IsNTT {
+		return fmt.Errorf("ring: MulCoeffs requires NTT domain")
+	}
+	out.Basis, out.IsNTT = a.Basis, true
+	r.ensureShape(out, a.Basis.Len())
+	for j, q := range a.Basis.Moduli {
+		aj, bj, oj := a.Limbs[j], b.Limbs[j], out.Limbs[j]
+		for i := range aj {
+			oj[i] = rns.MulMod(aj[i], bj[i], q)
+		}
+	}
+	return nil
+}
+
+// MulScalar sets out = s·a where s is a plain unsigned scalar (reduced per
+// modulus). Works in either domain.
+func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly) {
+	out.Basis, out.IsNTT = a.Basis, a.IsNTT
+	r.ensureShape(out, a.Basis.Len())
+	for j, q := range a.Basis.Moduli {
+		w := s % q
+		ws := rns.ShoupPrecomp(w, q)
+		aj, oj := a.Limbs[j], out.Limbs[j]
+		for i := range aj {
+			oj[i] = rns.MulModShoup(aj[i], w, ws, q)
+		}
+	}
+}
+
+// MulScalarBigRNS multiplies by a scalar given as per-modulus residues
+// (sRes[j] < Moduli[j]); used for multiplying by digit recombination factors
+// or modulus products that exceed 64 bits.
+func (r *Ring) MulScalarBigRNS(a *Poly, sRes []uint64, out *Poly) error {
+	if len(sRes) != a.Basis.Len() {
+		return fmt.Errorf("ring: scalar has %d residues for %d limbs", len(sRes), a.Basis.Len())
+	}
+	out.Basis, out.IsNTT = a.Basis, a.IsNTT
+	r.ensureShape(out, a.Basis.Len())
+	for j, q := range a.Basis.Moduli {
+		w := sRes[j] % q
+		ws := rns.ShoupPrecomp(w, q)
+		aj, oj := a.Limbs[j], out.Limbs[j]
+		for i := range aj {
+			oj[i] = rns.MulModShoup(aj[i], w, ws, q)
+		}
+	}
+	return nil
+}
+
+// NTT transforms p to the evaluation domain in place (no-op if already
+// there).
+func (r *Ring) NTT(p *Poly) error {
+	if p.IsNTT {
+		return nil
+	}
+	for j, q := range p.Basis.Moduli {
+		tb := r.Tables.Table(q)
+		if tb == nil {
+			return fmt.Errorf("ring: no NTT table for modulus %d", q)
+		}
+		tb.Forward(p.Limbs[j])
+	}
+	p.IsNTT = true
+	return nil
+}
+
+// INTT transforms p to the coefficient domain in place (no-op if already
+// there).
+func (r *Ring) INTT(p *Poly) error {
+	if !p.IsNTT {
+		return nil
+	}
+	for j, q := range p.Basis.Moduli {
+		tb := r.Tables.Table(q)
+		if tb == nil {
+			return fmt.Errorf("ring: no NTT table for modulus %d", q)
+		}
+		tb.Inverse(p.Limbs[j])
+	}
+	p.IsNTT = false
+	return nil
+}
+
+func (r *Ring) ensureShape(p *Poly, limbs int) {
+	if len(p.Limbs) == limbs {
+		ok := true
+		for _, l := range p.Limbs {
+			if len(l) != r.N {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	p.Limbs = make([][]uint64, limbs)
+	for i := range p.Limbs {
+		p.Limbs[i] = make([]uint64, r.N)
+	}
+}
+
+// Restrict returns a shallow view of p containing only the limbs whose
+// moduli appear in target, in target order. The limb slices are shared with
+// p; callers must not mutate them through the view unless aliasing is
+// intended. Every target modulus must be present in p's basis.
+func Restrict(p *Poly, target rns.Basis) (*Poly, error) {
+	limbs := make([][]uint64, target.Len())
+	for i, q := range target.Moduli {
+		found := -1
+		for j, m := range p.Basis.Moduli {
+			if m == q {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("ring: modulus %d missing from source basis", q)
+		}
+		limbs[i] = p.Limbs[found]
+	}
+	return &Poly{Basis: target, Limbs: limbs, IsNTT: p.IsNTT}, nil
+}
+
+// DropLastLimbs removes the trailing k limbs of p (used after rescale).
+func (p *Poly) DropLastLimbs(k int) {
+	n := len(p.Limbs) - k
+	p.Limbs = p.Limbs[:n]
+	p.Basis = p.Basis.Prefix(n)
+}
+
+// Equal reports deep equality of basis, domain and limb contents.
+func (p *Poly) Equal(o *Poly) bool {
+	if !p.Basis.Equal(o.Basis) || p.IsNTT != o.IsNTT || len(p.Limbs) != len(o.Limbs) {
+		return false
+	}
+	for j := range p.Limbs {
+		if len(p.Limbs[j]) != len(o.Limbs[j]) {
+			return false
+		}
+		for i := range p.Limbs[j] {
+			if p.Limbs[j][i] != o.Limbs[j][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

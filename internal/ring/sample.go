@@ -1,0 +1,114 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+
+	"cinnamon/internal/rns"
+)
+
+// Sampler draws random ring elements from the distributions CKKS needs:
+// uniform (ciphertext masks), ternary (secret keys), discrete Gaussian
+// (errors) and zero-centered {-1,0,1} with P(0)=1/2 (encryption
+// randomness). It is deterministic given its seed, which keeps the
+// compiler/emulator cross-checks reproducible; this reproduction does not
+// target cryptographic-strength randomness.
+type Sampler struct {
+	r     *Ring
+	rng   *rand.Rand
+	sigma float64
+}
+
+// NewSampler returns a sampler over r seeded with seed, using the standard
+// CKKS error parameter σ = 3.2.
+func NewSampler(r *Ring, seed int64) *Sampler {
+	return &Sampler{r: r, rng: rand.New(rand.NewSource(seed)), sigma: 3.2}
+}
+
+// UniformPoly returns a polynomial with independent uniform residues over
+// basis, in the coefficient domain.
+func (s *Sampler) UniformPoly(basis rns.Basis) *Poly {
+	p := s.r.NewPoly(basis)
+	for j, q := range p.Basis.Moduli {
+		for i := range p.Limbs[j] {
+			p.Limbs[j][i] = s.rng.Uint64() % q
+		}
+	}
+	return p
+}
+
+// TernaryPoly returns a polynomial with coefficients in {-1, 0, 1},
+// uniformly, in the coefficient domain. Ternary secrets are standard in
+// RNS-CKKS implementations.
+func (s *Sampler) TernaryPoly(basis rns.Basis) *Poly {
+	p := s.r.NewPoly(basis)
+	for i := 0; i < s.r.N; i++ {
+		s.setSmall(p, i, int64(s.rng.Intn(3)-1))
+	}
+	return p
+}
+
+// TernarySparsePoly returns a ternary polynomial with exactly h nonzero
+// coefficients (Hamming weight h), the sparse-secret distribution CKKS
+// bootstrapping uses to keep the modular-reduction interval small.
+func (s *Sampler) TernarySparsePoly(basis rns.Basis, h int) *Poly {
+	if h > s.r.N {
+		h = s.r.N
+	}
+	p := s.r.NewPoly(basis)
+	perm := s.rng.Perm(s.r.N)
+	for _, i := range perm[:h] {
+		v := int64(1)
+		if s.rng.Intn(2) == 0 {
+			v = -1
+		}
+		s.setSmall(p, i, v)
+	}
+	return p
+}
+
+// GaussianPoly returns a polynomial with discrete-Gaussian coefficients of
+// standard deviation σ (truncated at 6σ), in the coefficient domain.
+func (s *Sampler) GaussianPoly(basis rns.Basis) *Poly {
+	p := s.r.NewPoly(basis)
+	bound := 6 * s.sigma
+	for i := 0; i < s.r.N; i++ {
+		var v float64
+		for {
+			v = s.rng.NormFloat64() * s.sigma
+			if math.Abs(v) <= bound {
+				break
+			}
+		}
+		s.setSmall(p, i, int64(math.Round(v)))
+	}
+	return p
+}
+
+// ZOPoly returns a polynomial with coefficients -1, 0, 1 with probabilities
+// 1/4, 1/2, 1/4 (the "ZO(0.5)" encryption randomness distribution).
+func (s *Sampler) ZOPoly(basis rns.Basis) *Poly {
+	p := s.r.NewPoly(basis)
+	for i := 0; i < s.r.N; i++ {
+		var v int64
+		switch s.rng.Intn(4) {
+		case 0:
+			v = 1
+		case 1:
+			v = -1
+		}
+		s.setSmall(p, i, v)
+	}
+	return p
+}
+
+// setSmall writes a small signed integer into coefficient i of every limb.
+func (s *Sampler) setSmall(p *Poly, i int, v int64) {
+	for j, q := range p.Basis.Moduli {
+		if v >= 0 {
+			p.Limbs[j][i] = uint64(v) % q
+		} else {
+			p.Limbs[j][i] = q - uint64(-v)%q
+		}
+	}
+}

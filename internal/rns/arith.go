@@ -1,0 +1,110 @@
+// Package rns implements the Residue Number System substrate used by the
+// CKKS layer: modular arithmetic over machine-word primes, NTT-friendly
+// prime generation, RNS bases, and fast base conversion between bases.
+//
+// Ciphertext polynomials in CKKS have coefficients modulo a product of many
+// word-sized primes. Each residue polynomial is a "limb" (paper §2); this
+// package provides the per-limb arithmetic everything else is built on.
+package rns
+
+import "math/bits"
+
+// AddMod returns (a + b) mod q. It requires a, b < q.
+func AddMod(a, b, q uint64) uint64 {
+	s := a + b
+	if s >= q || s < a { // s < a detects wraparound (q may be close to 2^64)
+		s -= q
+	}
+	return s
+}
+
+// SubMod returns (a - b) mod q. It requires a, b < q.
+func SubMod(a, b, q uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return q - b + a
+}
+
+// NegMod returns (-a) mod q. It requires a < q.
+func NegMod(a, q uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return q - a
+}
+
+// MulMod returns (a * b) mod q using a full 128-bit intermediate product.
+// It requires a, b < q.
+func MulMod(a, b, q uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, q)
+	return rem
+}
+
+// PowMod returns a^e mod q by square-and-multiply. It requires a < q and
+// q > 1.
+func PowMod(a, e, q uint64) uint64 {
+	r := uint64(1) % q
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			r = MulMod(r, a, q)
+		}
+		a = MulMod(a, a, q)
+	}
+	return r
+}
+
+// InvMod returns the multiplicative inverse of a modulo the prime q using
+// Fermat's little theorem. It requires 0 < a < q and q prime.
+func InvMod(a, q uint64) uint64 {
+	return PowMod(a, q-2, q)
+}
+
+// ShoupPrecomp returns the Shoup precomputation floor(w * 2^64 / q) for a
+// fixed multiplicand w < q. Pair it with MulModShoup for fast repeated
+// multiplication by w, as in NTT butterflies where w is a twiddle factor.
+func ShoupPrecomp(w, q uint64) uint64 {
+	quo, _ := bits.Div64(w, 0, q) // floor(w * 2^64 / q); requires w < q
+	return quo
+}
+
+// MulModShoup returns (x * w) mod q where wShoup = ShoupPrecomp(w, q).
+// It requires q < 2^63 and x < q.
+func MulModShoup(x, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(x, wShoup)
+	r := x*w - hi*q
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
+// BarrettConstant returns the two-word constant floor(2^128 / q) used by
+// BarrettReduce.
+func BarrettConstant(q uint64) (hi, lo uint64) {
+	// 2^128 / q: divide (2^64-ish) in two steps.
+	hi, r := bits.Div64(1, 0, q) // hi = floor(2^64 / q), r = 2^64 mod q
+	lo, _ = bits.Div64(r, 0, q)  // lo = floor(r * 2^64 / q)
+	return hi, lo
+}
+
+// BarrettReduce reduces the 128-bit value (xhi, xlo) modulo q given the
+// Barrett constant (bhi, blo) = floor(2^128/q). It requires xhi < q.
+func BarrettReduce(xhi, xlo, bhi, blo, q uint64) uint64 {
+	// Quotient estimate m = floor(x*b / 2^128) where b = (bhi, blo). Since
+	// xhi < q, the true quotient fits in 64 bits. The estimate is at most 2
+	// below the true quotient, so x - m*q fits in 64 bits and at most two
+	// subtractions of q correct the remainder.
+	t0, _ := bits.Mul64(xlo, blo) // keep the high word only
+	t1hi, t1lo := bits.Mul64(xhi, blo)
+	t2hi, t2lo := bits.Mul64(xlo, bhi)
+	sumLo, c0 := bits.Add64(t1lo, t2lo, 0)
+	_, c1 := bits.Add64(sumLo, t0, 0)
+	m := xhi*bhi + t1hi + t2hi + c0 + c1
+	r := xlo - m*q
+	for r >= q {
+		r -= q
+	}
+	return r
+}

@@ -1,0 +1,177 @@
+package rns
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// BaseConverter performs the fast (approximate) RNS base conversion of
+// Bajard et al. from a source basis Q = {q_0..q_{ℓ-1}} to a disjoint target
+// basis P = {p_0..p_{m-1}} (paper §2 "Base conversion"):
+//
+//	y_k = Σ_j ([x_j · (Q/q_j)^{-1}]_{q_j}) · (Q/q_j)  mod p_k
+//
+// The result represents x + u·Q for some integer 0 ≤ u < ℓ; this slack is
+// the standard trade-off of fast base conversion and is absorbed by the
+// noise budget in RNS-CKKS.
+//
+// The scalar tables held by a BaseConverter are exactly the "base conversion
+// factors" the paper's BCU loads into its factor table (§4.7).
+type BaseConverter struct {
+	src, dst Basis
+	qHatInv  []uint64   // (Q/q_j)^{-1} mod q_j
+	qHatModP [][]uint64 // [j][k] = (Q/q_j) mod p_k
+}
+
+// NewBaseConverter precomputes conversion factors from src to dst. The two
+// bases must be disjoint.
+func NewBaseConverter(src, dst Basis) (*BaseConverter, error) {
+	for _, p := range dst.Moduli {
+		if src.Contains(p) {
+			return nil, fmt.Errorf("rns: bases overlap on modulus %d", p)
+		}
+	}
+	Q := src.Product()
+	l, m := src.Len(), dst.Len()
+	bc := &BaseConverter{
+		src:      src,
+		dst:      dst,
+		qHatInv:  make([]uint64, l),
+		qHatModP: make([][]uint64, l),
+	}
+	tmp := new(big.Int)
+	for j, q := range src.Moduli {
+		qj := new(big.Int).SetUint64(q)
+		Qj := new(big.Int).Div(Q, qj)
+		inv := new(big.Int).ModInverse(tmp.Mod(Qj, qj), qj)
+		if inv == nil {
+			return nil, fmt.Errorf("rns: modulus %d not coprime with basis product", q)
+		}
+		bc.qHatInv[j] = inv.Uint64()
+		bc.qHatModP[j] = make([]uint64, m)
+		for k, p := range dst.Moduli {
+			bc.qHatModP[j][k] = tmp.Mod(Qj, new(big.Int).SetUint64(p)).Uint64()
+		}
+	}
+	return bc, nil
+}
+
+// Src returns the source basis.
+func (bc *BaseConverter) Src() Basis { return bc.src }
+
+// Dst returns the target basis.
+func (bc *BaseConverter) Dst() Basis { return bc.dst }
+
+// Convert converts limbs in the source basis (in[j][i] = coefficient i of
+// residue polynomial mod q_j) to limbs in the target basis. All input limbs
+// must have equal length. The polynomial must be in coefficient (not NTT)
+// representation, matching the paper's constraint that base conversion only
+// operates in the coefficient domain.
+func (bc *BaseConverter) Convert(in [][]uint64) ([][]uint64, error) {
+	l, m := bc.src.Len(), bc.dst.Len()
+	if len(in) != l {
+		return nil, fmt.Errorf("rns: got %d limbs, source basis has %d", len(in), l)
+	}
+	n := len(in[0])
+	for j := 1; j < l; j++ {
+		if len(in[j]) != n {
+			return nil, fmt.Errorf("rns: limb %d length %d != %d", j, len(in[j]), n)
+		}
+	}
+	// z_j = x_j * qHatInv_j mod q_j, computed once per source limb.
+	z := make([][]uint64, l)
+	for j := 0; j < l; j++ {
+		q := bc.src.Moduli[j]
+		w := bc.qHatInv[j]
+		ws := ShoupPrecomp(w, q)
+		zj := make([]uint64, n)
+		for i, x := range in[j] {
+			zj[i] = MulModShoup(x, w, ws, q)
+		}
+		z[j] = zj
+	}
+	out := make([][]uint64, m)
+	for k := 0; k < m; k++ {
+		p := bc.dst.Moduli[k]
+		acc := make([]uint64, n)
+		for j := 0; j < l; j++ {
+			f := bc.qHatModP[j][k] % p
+			fs := ShoupPrecomp(f, p)
+			zj := z[j]
+			for i := 0; i < n; i++ {
+				acc[i] = AddMod(acc[i], MulModShoup(zj[i]%p, f, fs, p), p)
+			}
+		}
+		out[k] = acc
+	}
+	return out, nil
+}
+
+// ConvertScalarCount returns the number of scalar multiply-accumulate
+// operations one Convert call performs per coefficient; used by the
+// architecture model to size the BCU workload.
+func (bc *BaseConverter) ConvertScalarCount() int {
+	return bc.src.Len() * (1 + bc.dst.Len())
+}
+
+// ConvertExact performs the exact base conversion: the u·Q slack of the
+// fast conversion is removed by estimating u = floor(Σ_j z_j/q_j) in
+// floating point (Σ z_j/q_j = u + x/Q exactly; the estimate is correct
+// whenever x/Q stays clear of the float64 rounding error). Some RNS-CKKS
+// operations — notably exact rescaling in decryption-side tooling — want
+// the representative in [0, Q) rather than [0, (ℓ+1)Q).
+func (bc *BaseConverter) ConvertExact(in [][]uint64) ([][]uint64, error) {
+	l, m := bc.src.Len(), bc.dst.Len()
+	if len(in) != l {
+		return nil, fmt.Errorf("rns: got %d limbs, source basis has %d", len(in), l)
+	}
+	n := len(in[0])
+	z := make([][]uint64, l)
+	u := make([]uint64, n) // slack multiple per coefficient
+	inv := make([]float64, l)
+	for j := 0; j < l; j++ {
+		if len(in[j]) != n {
+			return nil, fmt.Errorf("rns: limb %d length %d != %d", j, len(in[j]), n)
+		}
+		q := bc.src.Moduli[j]
+		inv[j] = 1 / float64(q)
+		w := bc.qHatInv[j]
+		ws := ShoupPrecomp(w, q)
+		zj := make([]uint64, n)
+		for i, x := range in[j] {
+			zj[i] = MulModShoup(x, w, ws, q)
+		}
+		z[j] = zj
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < l; j++ {
+			sum += float64(z[j][i]) * inv[j]
+		}
+		// Σ z_j/q_j = u + x/Q exactly, so the slack is the floor.
+		u[i] = uint64(sum)
+	}
+	out := make([][]uint64, m)
+	for k := 0; k < m; k++ {
+		p := bc.dst.Moduli[k]
+		// Q mod p for the correction term.
+		qModP := uint64(1)
+		for _, q := range bc.src.Moduli {
+			qModP = MulMod(qModP, q%p, p)
+		}
+		acc := make([]uint64, n)
+		for j := 0; j < l; j++ {
+			f := bc.qHatModP[j][k] % p
+			fs := ShoupPrecomp(f, p)
+			zj := z[j]
+			for i := 0; i < n; i++ {
+				acc[i] = AddMod(acc[i], MulModShoup(zj[i]%p, f, fs, p), p)
+			}
+		}
+		for i := 0; i < n; i++ {
+			acc[i] = SubMod(acc[i], MulMod(u[i]%p, qModP, p), p)
+		}
+		out[k] = acc
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package rns
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Basis is an ordered set of pairwise-coprime word-sized moduli
+// {q_0, ..., q_{ℓ-1}} whose product forms one large ciphertext modulus
+// (paper §2 "Limbs"). A polynomial with coefficients mod the product is
+// represented as ℓ residue polynomials, one per modulus.
+type Basis struct {
+	Moduli []uint64
+}
+
+// NewBasis validates that the moduli are pairwise coprime, nonzero and
+// distinct, and returns the basis.
+func NewBasis(moduli []uint64) (Basis, error) {
+	seen := make(map[uint64]bool, len(moduli))
+	for i, q := range moduli {
+		if q < 2 {
+			return Basis{}, fmt.Errorf("rns: modulus %d at index %d is invalid", q, i)
+		}
+		if seen[q] {
+			return Basis{}, fmt.Errorf("rns: duplicate modulus %d", q)
+		}
+		seen[q] = true
+	}
+	for i := range moduli {
+		for j := i + 1; j < len(moduli); j++ {
+			if gcd(moduli[i], moduli[j]) != 1 {
+				return Basis{}, fmt.Errorf("rns: moduli %d and %d are not coprime", moduli[i], moduli[j])
+			}
+		}
+	}
+	cp := make([]uint64, len(moduli))
+	copy(cp, moduli)
+	return Basis{Moduli: cp}, nil
+}
+
+// MustBasis is NewBasis that panics on error; for tests and literals.
+func MustBasis(moduli []uint64) Basis {
+	b, err := NewBasis(moduli)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Len returns the number of moduli (the number of limbs, i.e. the level+1
+// of a ciphertext expressed in this basis).
+func (b Basis) Len() int { return len(b.Moduli) }
+
+// Product returns the product of all moduli as a big integer.
+func (b Basis) Product() *big.Int {
+	p := big.NewInt(1)
+	for _, q := range b.Moduli {
+		p.Mul(p, new(big.Int).SetUint64(q))
+	}
+	return p
+}
+
+// Prefix returns the sub-basis of the first n moduli. Dropping trailing
+// moduli is how CKKS rescaling shrinks the ciphertext modulus.
+func (b Basis) Prefix(n int) Basis {
+	return Basis{Moduli: b.Moduli[:n]}
+}
+
+// Union returns the concatenated basis b ∪ other. The caller must ensure
+// disjointness (checked).
+func (b Basis) Union(other Basis) (Basis, error) {
+	return NewBasis(append(append([]uint64{}, b.Moduli...), other.Moduli...))
+}
+
+// Contains reports whether q is a modulus of the basis.
+func (b Basis) Contains(q uint64) bool {
+	for _, m := range b.Moduli {
+		if m == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two bases have identical moduli in the same order.
+func (b Basis) Equal(other Basis) bool {
+	if len(b.Moduli) != len(other.Moduli) {
+		return false
+	}
+	for i, q := range b.Moduli {
+		if other.Moduli[i] != q {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitDigits partitions the basis into d contiguous digits as equally as
+// possible (paper §2 "Digits"): the first (ℓ mod d) digits get one extra
+// modulus. Every modulus appears in exactly one digit.
+func (b Basis) SplitDigits(d int) ([]Basis, error) {
+	l := len(b.Moduli)
+	if d < 1 || d > l {
+		return nil, fmt.Errorf("rns: cannot split %d limbs into %d digits", l, d)
+	}
+	out := make([]Basis, 0, d)
+	base, extra := l/d, l%d
+	idx := 0
+	for i := 0; i < d; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		out = append(out, Basis{Moduli: b.Moduli[idx : idx+n]})
+		idx += n
+	}
+	return out, nil
+}
+
+// String implements fmt.Stringer.
+func (b Basis) String() string {
+	return fmt.Sprintf("Basis%v", b.Moduli)
+}
+
+// CRTReconstruct recovers the unique integer x in [0, Q) with
+// x ≡ residues[i] (mod Moduli[i]) for all i, where Q is the basis product.
+// It is used by tests and by the (slow) exact reference paths.
+func (b Basis) CRTReconstruct(residues []uint64) (*big.Int, error) {
+	if len(residues) != len(b.Moduli) {
+		return nil, fmt.Errorf("rns: got %d residues for %d moduli", len(residues), len(b.Moduli))
+	}
+	Q := b.Product()
+	x := new(big.Int)
+	tmp := new(big.Int)
+	for i, q := range b.Moduli {
+		qi := new(big.Int).SetUint64(q)
+		Qi := new(big.Int).Div(Q, qi)          // Q / q_i
+		inv := new(big.Int).ModInverse(Qi, qi) // (Q/q_i)^-1 mod q_i
+		tmp.SetUint64(residues[i])
+		tmp.Mul(tmp, inv).Mod(tmp, qi)
+		tmp.Mul(tmp, Qi)
+		x.Add(x, tmp)
+	}
+	return x.Mod(x, Q), nil
+}
+
+// Decompose returns the residues of x (taken mod Q first) in this basis.
+func (b Basis) Decompose(x *big.Int) []uint64 {
+	Q := b.Product()
+	v := new(big.Int).Mod(x, Q)
+	out := make([]uint64, len(b.Moduli))
+	tmp := new(big.Int)
+	for i, q := range b.Moduli {
+		out[i] = tmp.Mod(v, new(big.Int).SetUint64(q)).Uint64()
+	}
+	return out
+}

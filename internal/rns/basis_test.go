@@ -1,0 +1,203 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testBasis(t *testing.T, bits, logN, count int) Basis {
+	t.Helper()
+	primes, err := GenerateNTTPrimes(bits, logN, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBasis(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGenerateNTTPrimes(t *testing.T) {
+	for _, tc := range []struct{ bits, logN, count int }{
+		{40, 10, 8},
+		{50, 12, 10},
+		{60, 13, 6},
+	} {
+		primes, err := GenerateNTTPrimes(tc.bits, tc.logN, tc.count)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if len(primes) != tc.count {
+			t.Fatalf("%+v: got %d primes", tc, len(primes))
+		}
+		seen := map[uint64]bool{}
+		for _, p := range primes {
+			if seen[p] {
+				t.Fatalf("duplicate prime %d", p)
+			}
+			seen[p] = true
+			if !IsPrime(p) {
+				t.Fatalf("%d is not prime", p)
+			}
+			if p%(2<<uint(tc.logN)) != 1 {
+				t.Fatalf("%d is not ≡ 1 mod 2N", p)
+			}
+			if p>>uint(tc.bits-1) != 1 {
+				t.Fatalf("%d is not %d bits", p, tc.bits)
+			}
+		}
+	}
+}
+
+func TestGenerateNTTPrimesErrors(t *testing.T) {
+	if _, err := GenerateNTTPrimes(62, 10, 1); err == nil {
+		t.Fatal("expected error for bitSize > 61")
+	}
+	if _, err := GenerateNTTPrimes(12, 11, 1); err == nil {
+		t.Fatal("expected error for bitSize too small for logN")
+	}
+	// Far more primes requested than exist in the half-interval.
+	if _, err := GenerateNTTPrimes(20, 14, 100); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestPrimitiveRootOrder(t *testing.T) {
+	primes, err := GenerateNTTPrimes(45, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := uint64(2 << 11)
+	for _, q := range primes {
+		psi, err := PrimitiveRoot(q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if PowMod(psi, m, q) != 1 {
+			t.Fatalf("psi^m != 1 mod %d", q)
+		}
+		if PowMod(psi, m/2, q) != q-1 {
+			t.Fatalf("psi^(m/2) != -1 mod %d (order too small)", q)
+		}
+	}
+}
+
+func TestPrimitiveRootErrors(t *testing.T) {
+	if _, err := PrimitiveRoot(97, 5); err == nil {
+		t.Fatal("expected error for non power-of-two order")
+	}
+	if _, err := PrimitiveRoot(97, 64); err == nil {
+		t.Fatal("expected error when m does not divide q-1")
+	}
+}
+
+func TestNewBasisValidation(t *testing.T) {
+	if _, err := NewBasis([]uint64{6, 10}); err == nil {
+		t.Fatal("expected non-coprime error")
+	}
+	if _, err := NewBasis([]uint64{7, 7}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if _, err := NewBasis([]uint64{1, 7}); err == nil {
+		t.Fatal("expected invalid modulus error")
+	}
+	if _, err := NewBasis([]uint64{7, 11, 13}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasisSplitDigits(t *testing.T) {
+	b := MustBasis([]uint64{3, 5, 7, 11, 13, 17, 19})
+	for d := 1; d <= b.Len(); d++ {
+		digits, err := b.SplitDigits(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(digits) != d {
+			t.Fatalf("d=%d: got %d digits", d, len(digits))
+		}
+		var all []uint64
+		for _, dg := range digits {
+			if dg.Len() == 0 {
+				t.Fatalf("d=%d: empty digit", d)
+			}
+			all = append(all, dg.Moduli...)
+		}
+		if len(all) != b.Len() {
+			t.Fatalf("d=%d: digits cover %d of %d limbs", d, len(all), b.Len())
+		}
+		for i, q := range all {
+			if q != b.Moduli[i] {
+				t.Fatalf("d=%d: digit order broken at %d", d, i)
+			}
+		}
+	}
+	if _, err := b.SplitDigits(0); err == nil {
+		t.Fatal("expected error for d=0")
+	}
+	if _, err := b.SplitDigits(8); err == nil {
+		t.Fatal("expected error for d > len")
+	}
+}
+
+func TestBasisUnionDisjointness(t *testing.T) {
+	a := MustBasis([]uint64{3, 5})
+	b := MustBasis([]uint64{7, 11})
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 4 {
+		t.Fatalf("union len = %d", u.Len())
+	}
+	if _, err := a.Union(a); err == nil {
+		t.Fatal("expected error for overlapping union")
+	}
+}
+
+func TestCRTRoundTrip(t *testing.T) {
+	b := testBasis(t, 40, 10, 5)
+	Q := b.Product()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		x := new(big.Int).Rand(rng, Q)
+		res := b.Decompose(x)
+		y, err := b.CRTReconstruct(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Cmp(y) != 0 {
+			t.Fatalf("CRT round trip failed: %v != %v", x, y)
+		}
+	}
+}
+
+func TestCRTReconstructIsRingHomomorphism(t *testing.T) {
+	b := testBasis(t, 40, 10, 4)
+	Q := b.Product()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := new(big.Int).Rand(rng, Q)
+		y := new(big.Int).Rand(rng, Q)
+		rx, ry := b.Decompose(x), b.Decompose(y)
+		sum := make([]uint64, b.Len())
+		prod := make([]uint64, b.Len())
+		for i, q := range b.Moduli {
+			sum[i] = AddMod(rx[i], ry[i], q)
+			prod[i] = MulMod(rx[i], ry[i], q)
+		}
+		gotSum, _ := b.CRTReconstruct(sum)
+		gotProd, _ := b.CRTReconstruct(prod)
+		wantSum := new(big.Int).Add(x, y)
+		wantSum.Mod(wantSum, Q)
+		wantProd := new(big.Int).Mul(x, y)
+		wantProd.Mod(wantProd, Q)
+		return gotSum.Cmp(wantSum) == 0 && gotProd.Cmp(wantProd) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package rns
+
+import "math/bits"
+
+// Montgomery multiplication: the alternative modular-multiplication
+// strategy FHE accelerators weigh against Barrett/Shoup (the paper's
+// modular multipliers follow Mert et al. [47]). REDC avoids the division
+// entirely at the cost of keeping operands in the Montgomery domain, which
+// suits long multiply-accumulate chains such as the BCU inner loop.
+
+// MontgomeryParams precomputes the REDC constants for an odd modulus q:
+// qInvNeg = −q⁻¹ mod 2⁶⁴ and r2 = (2⁶⁴)² mod q for domain conversion.
+type MontgomeryParams struct {
+	Q       uint64
+	QInvNeg uint64
+	R2      uint64
+}
+
+// NewMontgomeryParams builds constants for odd q (all NTT primes are odd).
+func NewMontgomeryParams(q uint64) MontgomeryParams {
+	// Newton iteration for q⁻¹ mod 2^64: five steps double the precision.
+	inv := q // correct mod 2^3
+	for i := 0; i < 5; i++ {
+		inv *= 2 - q*inv
+	}
+	// r2 = 2^128 mod q via two reductions of 2^64 mod q.
+	r := (^uint64(0))%q + 1 // 2^64 mod q
+	r2 := MulMod(r%q, r%q, q)
+	return MontgomeryParams{Q: q, QInvNeg: -inv, R2: r2}
+}
+
+// REDC reduces the 128-bit value (hi, lo) < q·2⁶⁴, returning t·2⁻⁶⁴ mod q.
+func (m MontgomeryParams) REDC(hi, lo uint64) uint64 {
+	u := lo * m.QInvNeg
+	h, _ := bits.Mul64(u, m.Q)
+	t, carry := bits.Add64(lo, u*m.Q, 0)
+	_ = t // low half cancels to zero by construction
+	res := hi + h + carry
+	if res >= m.Q {
+		res -= m.Q
+	}
+	return res
+}
+
+// ToMont converts x into the Montgomery domain (x·2⁶⁴ mod q).
+func (m MontgomeryParams) ToMont(x uint64) uint64 {
+	hi, lo := bits.Mul64(x, m.R2)
+	return m.REDC(hi, lo)
+}
+
+// FromMont converts back to the plain domain.
+func (m MontgomeryParams) FromMont(x uint64) uint64 {
+	return m.REDC(0, x)
+}
+
+// MulMont multiplies two Montgomery-domain values, staying in the domain.
+func (m MontgomeryParams) MulMont(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.REDC(hi, lo)
+}

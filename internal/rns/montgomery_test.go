@@ -1,0 +1,57 @@
+package rns
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMontgomeryMatchesMulMod(t *testing.T) {
+	q := testPrime
+	m := NewMontgomeryParams(q)
+	f := func(a, b uint64) bool {
+		a, b = a%q, b%q
+		got := m.FromMont(m.MulMont(m.ToMont(a), m.ToMont(b)))
+		return got == MulMod(a, b, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMontgomeryDomainRoundTrip(t *testing.T) {
+	for _, q := range []uint64{97, 12289, testPrime} {
+		m := NewMontgomeryParams(q)
+		for _, x := range []uint64{0, 1, 2, q / 2, q - 1} {
+			if got := m.FromMont(m.ToMont(x)); got != x {
+				t.Fatalf("q=%d: round trip of %d gives %d", q, x, got)
+			}
+		}
+	}
+}
+
+func TestMontgomeryChainMatchesPow(t *testing.T) {
+	// A MAC-style chain in the Montgomery domain equals PowMod.
+	q := testPrime
+	m := NewMontgomeryParams(q)
+	base := q - 987654321
+	acc := m.ToMont(1)
+	bm := m.ToMont(base)
+	for i := 0; i < 64; i++ {
+		acc = m.MulMont(acc, bm)
+	}
+	if got, want := m.FromMont(acc), PowMod(base, 64, q); got != want {
+		t.Fatalf("chain %d != pow %d", got, want)
+	}
+}
+
+func BenchmarkMulMont(b *testing.B) {
+	q := testPrime
+	m := NewMontgomeryParams(q)
+	x := m.ToMont(q - 12345)
+	y := m.ToMont(q - 98765)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = m.MulMont(x, y)
+	}
+	sinkU64 = x
+}

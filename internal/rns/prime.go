@@ -1,0 +1,67 @@
+package rns
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// IsPrime reports whether q is prime (Baillie-PSW via math/big, exact for
+// 64-bit inputs).
+func IsPrime(q uint64) bool {
+	return new(big.Int).SetUint64(q).ProbablyPrime(0)
+}
+
+// GenerateNTTPrimes returns count distinct primes of approximately bitSize
+// bits satisfying p ≡ 1 (mod 2N), so that a primitive 2N-th root of unity
+// exists and the negacyclic NTT of dimension N is defined mod p.
+//
+// Primes are found by scanning candidates of the form k·2N + 1 downward from
+// 2^bitSize, which keeps them as close to 2^bitSize as possible (important
+// for CKKS where the rescaling primes double as the scaling factor).
+// It returns an error if the search space below 2^bitSize is exhausted.
+func GenerateNTTPrimes(bitSize, logN, count int) ([]uint64, error) {
+	if bitSize < logN+2 || bitSize > 61 {
+		return nil, fmt.Errorf("rns: bitSize %d out of range for logN %d", bitSize, logN)
+	}
+	step := uint64(2) << uint(logN) // 2N
+	// Largest candidate ≡ 1 mod 2N that is < 2^bitSize.
+	upper := uint64(1) << uint(bitSize)
+	cand := (upper-1)/step*step + 1
+	primes := make([]uint64, 0, count)
+	lower := uint64(1) << uint(bitSize-1)
+	for cand > lower {
+		if IsPrime(cand) {
+			primes = append(primes, cand)
+			if len(primes) == count {
+				return primes, nil
+			}
+		}
+		cand -= step
+	}
+	return nil, fmt.Errorf("rns: exhausted %d-bit candidates after %d/%d primes", bitSize, len(primes), count)
+}
+
+// PrimitiveRoot returns a primitive m-th root of unity modulo the prime q.
+// It requires m | q-1 and m a power of two. Candidates x are tried in
+// sequence: ψ = x^((q-1)/m) has order dividing m, and order exactly m iff
+// ψ^(m/2) = -1 (all divisors of the power-of-two m that do not divide m/2
+// equal m itself).
+func PrimitiveRoot(q, m uint64) (uint64, error) {
+	if m == 0 || (q-1)%m != 0 {
+		return 0, fmt.Errorf("rns: %d does not divide q-1 for q=%d", m, q)
+	}
+	if m&(m-1) != 0 {
+		return 0, fmt.Errorf("rns: order %d is not a power of two", m)
+	}
+	exp := (q - 1) / m
+	for x := uint64(2); x < q; x++ {
+		psi := PowMod(x, exp, q)
+		if m == 1 {
+			return 1, nil
+		}
+		if PowMod(psi, m/2, q) == q-1 {
+			return psi, nil
+		}
+	}
+	return 0, fmt.Errorf("rns: no primitive %d-th root found mod %d", m, q)
+}

@@ -1,0 +1,317 @@
+// Package sim is the cycle-level scale-out simulator (paper §6): it
+// executes compiled limb-IR instruction streams for timing only, modeling
+// per-chip pipelined functional units, HBM bandwidth, and the ring or
+// switch interconnect with broadcast/aggregation primitives (§4.5). The
+// schedule is dataflow-ASAP under resource occupancy, which corresponds to
+// the paper's statically scheduled in-order chips with deep load/store
+// queues.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"cinnamon/internal/arch"
+	"cinnamon/internal/limbir"
+)
+
+// Topology selects the interconnect (paper Fig. 9a/9b).
+type Topology int
+
+// Interconnect topologies.
+const (
+	// Ring suits up to eight chips; collectives pipeline around the ring.
+	Ring Topology = iota
+	// Switch allows any pair of chips to communicate concurrently and
+	// provides broadcast/aggregation primitives (12-chip configurations).
+	Switch
+)
+
+// Config parameterizes one simulation.
+type Config struct {
+	Chip     arch.ChipConfig
+	NChips   int
+	RingDim  int // N (the paper evaluates at 64K)
+	Topology Topology
+	// LinkGBpsOverride, when nonzero, replaces the chip's per-link
+	// bandwidth (the Fig. 13 sweep).
+	LinkGBpsOverride float64
+}
+
+// Result reports timing and utilization.
+type Result struct {
+	Cycles  float64
+	Seconds float64
+	// Utilizations in [0,1]: area-weighted compute, HBM, network.
+	ComputeUtil float64
+	MemUtil     float64
+	NetUtil     float64
+	// BusyCycles per unit class across chips (diagnostics).
+	BusyCycles map[string]float64
+	CommBytes  float64
+}
+
+// fuClass maps an instruction to its functional-unit class. Loads of the
+// uniform half of evaluation keys (part 1, symbols "evk:…:1:m…") are
+// produced by the on-chip PRNG rather than fetched over HBM — the
+// runtime-data-generation technique of ARK/CraterLake that the Cinnamon
+// chip's PRNG units exist for (Table 1).
+func fuClass(in limbir.Instr) string {
+	switch in.Op {
+	case limbir.NTT, limbir.INTT:
+		return "ntt"
+	case limbir.BConv:
+		return "bcu"
+	case limbir.Mul, limbir.MulScalar:
+		return "mul"
+	case limbir.Add, limbir.Sub, limbir.Neg:
+		return "add"
+	case limbir.Auto:
+		return "auto"
+	case limbir.Load:
+		if strings.HasPrefix(in.Sym, "evk:") && strings.Contains(in.Sym, ":1:m") {
+			return "prng"
+		}
+		return "mem"
+	case limbir.Store:
+		return "mem"
+	case limbir.Bcast, limbir.Agg:
+		return "net"
+	}
+	return "other"
+}
+
+// units returns how many parallel units of a class a chip has.
+func units(c arch.ChipConfig, class string) int {
+	switch class {
+	case "ntt":
+		return c.NTTUnits
+	case "bcu":
+		return c.BCUUnits
+	case "mul":
+		return c.MulUnits
+	case "add":
+		return c.AddUnits
+	case "auto":
+		return c.AutoUnits
+	case "prng":
+		return 2
+	case "mem", "net":
+		return 1
+	}
+	return 1
+}
+
+// chipState tracks one chip's resources during simulation.
+type chipState struct {
+	ready   []float64            // value -> ready time
+	fuFree  map[string][]float64 // class -> per-unit next-free time
+	busy    map[string]float64   // class -> accumulated busy cycles
+	pc      int
+	done    bool
+	horizon float64 // completion time of the chip's last retired instr
+}
+
+// Simulate runs the module under the configuration.
+func Simulate(mod *limbir.Module, cfg Config) (Result, error) {
+	if mod.NChips > cfg.NChips {
+		return Result{}, fmt.Errorf("sim: module uses %d chips, config provides %d", mod.NChips, cfg.NChips)
+	}
+	chip := cfg.Chip
+	linkGBps := chip.LinkGBps
+	if cfg.LinkGBpsOverride > 0 {
+		linkGBps = cfg.LinkGBpsOverride
+	}
+	t := chip.TimingAt(cfg.RingDim)
+	limbBytes := chip.LimbBytes(cfg.RingDim)
+	netBytesPerCycle := linkGBps * float64(chip.NetLinks) / chip.ClockGHz
+
+	states := make([]*chipState, mod.NChips)
+	for c, p := range mod.Chips {
+		nv := p.NumValues
+		if p.NumRegs > nv {
+			nv = p.NumRegs
+		}
+		st := &chipState{
+			ready:  make([]float64, nv),
+			fuFree: map[string][]float64{},
+			busy:   map[string]float64{},
+		}
+		for _, class := range []string{"ntt", "bcu", "mul", "add", "auto", "prng", "mem", "net"} {
+			st.fuFree[class] = make([]float64, units(chip, class))
+		}
+		states[c] = st
+	}
+
+	occupancy := func(in limbir.Instr, class string) float64 {
+		switch in.Op {
+		case limbir.NTT, limbir.INTT:
+			return t.NTTOp
+		case limbir.BConv:
+			return t.BConvOut
+		case limbir.Mul, limbir.MulScalar, limbir.Add, limbir.Sub, limbir.Neg:
+			return t.VectorOp
+		case limbir.Auto:
+			return t.AutoOp
+		case limbir.Load, limbir.Store:
+			if class == "prng" {
+				return t.VectorOp // generated at vector rate, no HBM
+			}
+			return t.LoadStore
+		}
+		return t.VectorOp
+	}
+
+	// Collective duration: limb transfer over the links. A ring pipelines
+	// the (p−1) hops, so the collective occupies ≈ bytes·(p−1)/p of link
+	// time; a switch provides full-bandwidth one-hop collectives.
+	collDur := func(participants int) float64 {
+		base := limbBytes / netBytesPerCycle
+		if cfg.Topology == Ring && participants > 1 {
+			return base * float64(participants-1) / float64(participants) * 2
+		}
+		return base
+	}
+
+	var commBytes float64
+	// Execute each chip's stream; collectives rendezvous by tag.
+	type pending struct {
+		chip  int
+		instr limbir.Instr
+		ready float64 // contribution ready + local issue constraints
+	}
+	runLocal := func(c int) {
+		st := states[c]
+		p := mod.Chips[c]
+		for st.pc < len(p.Instrs) {
+			in := p.Instrs[st.pc]
+			if in.IsComm() {
+				return
+			}
+			class := fuClass(in)
+			start := 0.0
+			for _, s := range in.Srcs {
+				if st.ready[s] > start {
+					start = st.ready[s]
+				}
+			}
+			// Earliest-available unit of the class.
+			best := 0
+			for u := range st.fuFree[class] {
+				if st.fuFree[class][u] < st.fuFree[class][best] {
+					best = u
+				}
+			}
+			if st.fuFree[class][best] > start {
+				start = st.fuFree[class][best]
+			}
+			occ := occupancy(in, class)
+			st.fuFree[class][best] = start + occ
+			st.busy[class] += occ
+			end := start + occ + t.PipeLat
+			if in.Op != limbir.Store {
+				st.ready[in.Dst] = end
+			}
+			if end > st.horizon {
+				st.horizon = end
+			}
+			st.pc++
+		}
+		st.done = true
+	}
+
+	for {
+		var parked []pending
+		for c := range states {
+			runLocal(c)
+			st := states[c]
+			if !st.done {
+				in := mod.Chips[c].Instrs[st.pc]
+				r := 0.0
+				for _, s := range in.Srcs {
+					if st.ready[s] > r {
+						r = st.ready[s]
+					}
+				}
+				if st.fuFree["net"][0] > r {
+					r = st.fuFree["net"][0]
+				}
+				parked = append(parked, pending{chip: c, instr: in, ready: r})
+			}
+		}
+		if len(parked) == 0 {
+			break
+		}
+		byTag := map[int][]pending{}
+		for _, pe := range parked {
+			byTag[pe.instr.Tag] = append(byTag[pe.instr.Tag], pe)
+		}
+		fired := false
+		for _, pes := range byTag {
+			parts := pes[0].instr.Chips
+			np := len(parts)
+			if parts == nil {
+				np = mod.NChips
+			}
+			if len(pes) < np {
+				continue
+			}
+			start := 0.0
+			for _, pe := range pes {
+				if pe.ready > start {
+					start = pe.ready
+				}
+			}
+			dur := collDur(np)
+			end := start + dur
+			commBytes += limbBytes * float64(np-1)
+			for _, pe := range pes {
+				st := states[pe.chip]
+				st.fuFree["net"][0] = end
+				st.busy["net"] += dur
+				st.ready[pe.instr.Dst] = end + t.PipeLat
+				if end+t.PipeLat > st.horizon {
+					st.horizon = end + t.PipeLat
+				}
+				st.pc++
+			}
+			fired = true
+		}
+		if !fired {
+			return Result{}, fmt.Errorf("sim: deadlock with %d chips parked", len(parked))
+		}
+	}
+
+	res := Result{BusyCycles: map[string]float64{}}
+	for _, st := range states {
+		if st.horizon > res.Cycles {
+			res.Cycles = st.horizon
+		}
+		for class, b := range st.busy {
+			res.BusyCycles[class] += b
+		}
+	}
+	res.Seconds = res.Cycles / (chip.ClockGHz * 1e9)
+	res.CommBytes = commBytes
+	if res.Cycles > 0 {
+		nc := float64(mod.NChips)
+		// Area-weighted compute utilization over the major FU classes.
+		weights := map[string]float64{
+			"ntt":  arch.AreaNTT,
+			"bcu":  arch.AreaBCU,
+			"mul":  arch.AreaMultiply * float64(chip.MulUnits),
+			"add":  arch.AreaAdd * float64(chip.AddUnits),
+			"auto": arch.AreaRotation,
+		}
+		var wsum, util float64
+		for class, w := range weights {
+			u := res.BusyCycles[class] / (res.Cycles * nc * float64(units(chip, class)))
+			util += w * u
+			wsum += w
+		}
+		res.ComputeUtil = util / wsum
+		res.MemUtil = res.BusyCycles["mem"] / (res.Cycles * nc)
+		res.NetUtil = res.BusyCycles["net"] / (res.Cycles * nc)
+	}
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"testing"
+
+	"cinnamon/internal/arch"
+	"cinnamon/internal/limbir"
+)
+
+// chainModule builds a single-chip module with n dependent vector ops.
+func chainModule(n int) *limbir.Module {
+	m := limbir.NewModule(1)
+	p := m.Chips[0]
+	v := p.NewValue()
+	p.Emit(limbir.Instr{Op: limbir.Load, Dst: v, Sym: "ct:x:0:m7"})
+	for i := 0; i < n; i++ {
+		nv := p.NewValue()
+		p.Emit(limbir.Instr{Op: limbir.Add, Dst: nv, Srcs: []limbir.Value{v}, Mod: 7})
+		v = nv
+	}
+	return m
+}
+
+func defaultCfg(nChips int) Config {
+	return Config{Chip: arch.Cinnamon(), NChips: nChips, RingDim: 1 << 16, Topology: Ring}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	r1, err := Simulate(chainModule(10), defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(chainModule(20), defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cycles <= r1.Cycles {
+		t.Fatalf("longer chain should take longer: %f vs %f", r1.Cycles, r2.Cycles)
+	}
+	// Dependent ops cannot overlap: at least n × (occupancy+latency).
+	if r1.Cycles < 10*64 {
+		t.Fatalf("chain of 10 finished too fast: %f cycles", r1.Cycles)
+	}
+}
+
+func TestIndependentOpsOverlapOnUnits(t *testing.T) {
+	// 8 independent adds on 2 add units must beat 8 dependent ones.
+	indep := limbir.NewModule(1)
+	p := indep.Chips[0]
+	src := p.NewValue()
+	p.Emit(limbir.Instr{Op: limbir.Load, Dst: src, Sym: "ct:x:0:m7"})
+	for i := 0; i < 8; i++ {
+		v := p.NewValue()
+		p.Emit(limbir.Instr{Op: limbir.Add, Dst: v, Srcs: []limbir.Value{src}, Mod: 7})
+	}
+	ri, err := Simulate(indep, defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Simulate(chainModule(8), defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Cycles >= rd.Cycles {
+		t.Fatalf("independent ops (%f) should beat a dependent chain (%f)", ri.Cycles, rd.Cycles)
+	}
+}
+
+func commModule(nChips int) *limbir.Module {
+	m := limbir.NewModule(nChips)
+	for c, p := range m.Chips {
+		v := p.NewValue()
+		p.Emit(limbir.Instr{Op: limbir.Load, Dst: v, Sym: "ct:x:0:m7"})
+		d := p.NewValue()
+		in := limbir.Instr{Op: limbir.Bcast, Dst: d, Tag: 1, Owner: 0, Mod: 7}
+		if c == 0 {
+			in.Srcs = []limbir.Value{v}
+		}
+		p.Emit(in)
+	}
+	return m
+}
+
+func TestBroadcastCostScalesWithBandwidth(t *testing.T) {
+	slow := defaultCfg(4)
+	slow.LinkGBpsOverride = 128
+	fast := defaultCfg(4)
+	fast.LinkGBpsOverride = 1024
+	rs, err := Simulate(commModule(4), slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Simulate(commModule(4), fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycles <= rf.Cycles {
+		t.Fatalf("lower bandwidth should be slower: %f vs %f", rs.Cycles, rf.Cycles)
+	}
+	if rs.CommBytes != rf.CommBytes {
+		t.Fatal("traffic volume should not depend on bandwidth")
+	}
+}
+
+func TestSwitchBeatsRingForCollectives(t *testing.T) {
+	ring := defaultCfg(8)
+	sw := defaultCfg(8)
+	sw.Topology = Switch
+	rr, err := Simulate(commModule(8), ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsw, err := Simulate(commModule(8), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsw.Cycles >= rr.Cycles {
+		t.Fatalf("switch (%f) should beat ring (%f) on a collective", rsw.Cycles, rr.Cycles)
+	}
+}
+
+func TestPRNGLoadsAvoidHBM(t *testing.T) {
+	mk := func(sym string) *limbir.Module {
+		m := limbir.NewModule(1)
+		p := m.Chips[0]
+		for i := 0; i < 16; i++ {
+			v := p.NewValue()
+			p.Emit(limbir.Instr{Op: limbir.Load, Dst: v, Sym: sym})
+		}
+		return m
+	}
+	rm, err := Simulate(mk("evk:rlk:0:0:m7"), defaultCfg(1)) // 'b' half: HBM
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Simulate(mk("evk:rlk:0:1:m7"), defaultCfg(1)) // 'a' half: PRNG
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.BusyCycles["mem"] != 0 {
+		t.Fatal("PRNG loads should not touch HBM")
+	}
+	if rm.BusyCycles["mem"] == 0 {
+		t.Fatal("'b'-half loads must use HBM")
+	}
+	if rp.Cycles >= rm.Cycles {
+		t.Fatalf("PRNG-generated loads (%f) should beat HBM loads (%f)", rp.Cycles, rm.Cycles)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := limbir.NewModule(2)
+	p0 := m.Chips[0]
+	v := p0.NewValue()
+	p0.Emit(limbir.Instr{Op: limbir.Load, Dst: v, Sym: "ct:x:0:m7"})
+	d := p0.NewValue()
+	p0.Emit(limbir.Instr{Op: limbir.Bcast, Dst: d, Tag: 9, Owner: 0, Srcs: []limbir.Value{v}})
+	// Chip 1 never joins tag 9.
+	if _, err := Simulate(m, defaultCfg(2)); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	r, err := Simulate(chainModule(50), defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, u := range map[string]float64{"compute": r.ComputeUtil, "mem": r.MemUtil, "net": r.NetUtil} {
+		if u < 0 || u > 1 {
+			t.Fatalf("%s utilization %f out of [0,1]", name, u)
+		}
+	}
+	if r.Seconds <= 0 {
+		t.Fatal("nonpositive time")
+	}
+}

@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cinnamon/internal/dsl"
+	"cinnamon/internal/sim"
+)
+
+// App models one paper benchmark (§6.2) as a kernel composition: counts of
+// bootstrap, BSGS-matmul and polynomial-activation kernels plus the
+// fraction of the program that program-level parallelism can spread across
+// chip groups (paper §7.1: BERT's attention + GELU sections are ~85%).
+type App struct {
+	Name         string
+	Bootstraps   int
+	Matmuls      int
+	Activations  int
+	ParallelFrac float64
+	CPUSeconds   float64 // 48-core Xeon baseline (paper Table 2)
+}
+
+// Apps returns the paper's four benchmarks. Kernel counts follow the
+// workload structure the paper describes: ResNet-20 and HELR are
+// bootstrap-dominated small models; BERT-base needs ~1,400 bootstraps per
+// 128-token inference.
+func Apps() []App {
+	return []App{
+		{Name: "Bootstrap", Bootstraps: 1, CPUSeconds: 33},
+		{Name: "Resnet", Bootstraps: 44, Matmuls: 60, Activations: 19, ParallelFrac: 0.40, CPUSeconds: 17.5 * 60},
+		{Name: "HELR", Bootstraps: 30, Matmuls: 60, Activations: 30, ParallelFrac: 0.55, CPUSeconds: 14.9 * 60},
+		{Name: "BERT", Bootstraps: 1400, Matmuls: 1100, Activations: 360, ParallelFrac: 0.85, CPUSeconds: 1037.5 * 60},
+	}
+}
+
+// KernelTimes holds the simulated per-kernel times for one hardware
+// configuration.
+type KernelTimes struct {
+	Bootstrap  float64
+	Matmul     float64
+	Activation float64
+}
+
+// matmulProgram is the standalone BSGS matrix-vector kernel.
+func matmulProgram(p *dsl.Program) {
+	s := p.Stream(0)
+	x := s.Input("x", 20)
+	s.Output("y", BSGSMatmul(s, x, 8, 8, "mm"))
+}
+
+// activationProgram is a degree-31 polynomial activation kernel (the
+// paper's softmax/GELU/tanh pieces are Chebyshev evaluations plus
+// Newton–Raphson steps of similar shape).
+func activationProgram(p *dsl.Program) {
+	s := p.Stream(0)
+	x := s.Input("x", 20)
+	s.Output("y", ChebyshevEval(s, x, 31, "act"))
+}
+
+// SimulateKernels compiles and times the three kernels on a configuration.
+func SimulateKernels(nChips int, mode KSMode, cfg sim.Config) (KernelTimes, error) {
+	var kt KernelTimes
+	bs := Bootstrap13()
+	b, err := CompileAndSimulate(bs.BuildProgram, nChips, mode, cfg)
+	if err != nil {
+		return kt, fmt.Errorf("bootstrap kernel: %w", err)
+	}
+	m, err := CompileAndSimulate(matmulProgram, nChips, mode, cfg)
+	if err != nil {
+		return kt, fmt.Errorf("matmul kernel: %w", err)
+	}
+	a, err := CompileAndSimulate(activationProgram, nChips, mode, cfg)
+	if err != nil {
+		return kt, fmt.Errorf("activation kernel: %w", err)
+	}
+	kt.Bootstrap = b.Seconds
+	kt.Matmul = m.Seconds
+	kt.Activation = a.Seconds
+	return kt, nil
+}
+
+// Time composes an application's execution time from kernel times and the
+// number of 4-chip groups (Amdahl over the parallelizable fraction).
+func (a App) Time(kt KernelTimes, groups int) float64 {
+	base := float64(a.Bootstraps)*kt.Bootstrap + float64(a.Matmuls)*kt.Matmul + float64(a.Activations)*kt.Activation
+	if groups <= 1 {
+		return base
+	}
+	return base*(1-a.ParallelFrac) + base*a.ParallelFrac/float64(groups)
+}
+
+// PublishedTimes are the best reported results of the comparator
+// architectures (paper Table 2), in seconds; absent entries are dashes in
+// the paper.
+var PublishedTimes = map[string]map[string]float64{
+	"CraterLake": {"Bootstrap": 6.33e-3, "Resnet": 321.26e-3, "HELR": 121.91e-3},
+	"CiFHER":     {"Bootstrap": 5.58e-3, "Resnet": 189e-3, "HELR": 106.88e-3},
+	"ARK":        {"Bootstrap": 3.5e-3, "Resnet": 125e-3},
+}
+
+// PaperCinnamonTimes are the paper's own Table 2 rows for Cinnamon
+// configurations, used by EXPERIMENTS.md to record paper-vs-measured.
+var PaperCinnamonTimes = map[string]map[string]float64{
+	"Cinnamon-M":  {"Bootstrap": 1.87e-3, "Resnet": 105.94e-3, "HELR": 73.20e-3, "BERT": 3.83},
+	"Cinnamon-4":  {"Bootstrap": 1.98e-3, "Resnet": 94.52e-3, "HELR": 87.61e-3, "BERT": 3.83},
+	"Cinnamon-8":  {"Bootstrap": 1.71e-3, "Resnet": 73.85e-3, "HELR": 68.74e-3, "BERT": 2.07},
+	"Cinnamon-12": {"Bootstrap": 1.63e-3, "Resnet": 70.57e-3, "HELR": 48.76e-3, "BERT": 1.67},
+}

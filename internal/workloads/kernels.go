@@ -1,0 +1,211 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cinnamon/internal/dsl"
+)
+
+// The kernel generators below build the DSL circuits whose instruction
+// streams the simulator times. They mirror the structure of the functional
+// implementations in internal/bootstrap (BSGS linear transforms, Chebyshev
+// EvalMod) at the paper's parameters.
+
+// BSGSMatmul builds one baby-step/giant-step matrix-vector multiplication:
+// n1 hoisted inner rotations of the input (shared-input pattern → one
+// broadcast), n2 outer rotate-and-accumulate steps (rotate-then-aggregate
+// pattern → two aggregations), each inner product a plaintext
+// multiplication. Consumes one level. Returns the product ciphertext.
+func BSGSMatmul(s *dsl.Stream, x *dsl.Ciphertext, n1, n2 int, tag string) *dsl.Ciphertext {
+	// Baby steps: rotations of the shared input.
+	babies := make([]*dsl.Ciphertext, n1)
+	babies[0] = x
+	for j := 1; j < n1; j++ {
+		babies[j] = x.Rotate(j)
+	}
+	// Giant steps: inner sums rotated into place and aggregated.
+	var acc *dsl.Ciphertext
+	for i := 0; i < n2; i++ {
+		var inner *dsl.Ciphertext
+		for j := 0; j < n1; j++ {
+			term := babies[j].MulPlain(fmt.Sprintf("%s:d%d_%d", tag, i, j))
+			if inner == nil {
+				inner = term
+			} else {
+				inner = inner.Add(term)
+			}
+		}
+		if i > 0 {
+			inner = inner.Rotate(i * n1)
+		}
+		if acc == nil {
+			acc = inner
+		} else {
+			acc = acc.Add(inner)
+		}
+	}
+	return acc.Rescale()
+}
+
+// ChebyshevEval builds a depth-optimal polynomial evaluation of the given
+// degree (Paterson–Stockmeyer shape): baby powers, giant squarings, and a
+// combination tree, mirroring internal/bootstrap's EvalChebyshev.
+func ChebyshevEval(s *dsl.Stream, y *dsl.Ciphertext, degree int, tag string) *dsl.Ciphertext {
+	m := 1
+	for 1<<m < degree+1 {
+		m++
+	}
+	l := (m + 1) / 2
+	m1 := 1 << l
+	T := map[int]*dsl.Ciphertext{1: y}
+	var power func(k int) *dsl.Ciphertext
+	power = func(k int) *dsl.Ciphertext {
+		if t, ok := T[k]; ok {
+			return t
+		}
+		i := k / 2
+		j := k - i
+		prod := power(i).Mul(power(j)).Rescale()
+		prod = prod.Add(prod)
+		if i != j {
+			prod = prod.Sub(power(j - i))
+		}
+		T[k] = prod
+		return prod
+	}
+	for k := 2; k <= m1; k++ {
+		power(k)
+	}
+	for g := 2 * m1; g <= degree; g <<= 1 {
+		power(g)
+	}
+	// Combination: one multiply per giant block plus scalar folds
+	// (modeled as plaintext multiplications).
+	acc := T[1].MulPlain(tag + ":c1")
+	for g := m1; g <= degree; g <<= 1 {
+		acc = acc.Add(power(g).MulPlain(fmt.Sprintf("%s:c%d", tag, g)))
+	}
+	return acc.Rescale()
+}
+
+// BootstrapSpec shapes a bootstrap circuit (paper §6.2: Bootstrap-13 and
+// §7.5: Bootstrap-21).
+type BootstrapSpec struct {
+	Name       string
+	EnterLevel int // level after ModRaise
+	ExitLevel  int // effective levels left for the application
+	C2SMats    int // CoeffToSlot matrix stages (1 level each)
+	S2CMats    int // SlotToCoeff matrix stages (1 level each)
+	N1, N2     int // BSGS split per matrix stage
+	EvalDegree int // Chebyshev degree per EvalMod half
+	DoubleAng  int // double-angle squarings
+}
+
+// Bootstrap13 matches the paper's default: enter at 49, exit with 13
+// effective levels (36 consumed).
+func Bootstrap13() BootstrapSpec {
+	return BootstrapSpec{
+		Name:       "Bootstrap-13",
+		EnterLevel: 49,
+		ExitLevel:  13,
+		C2SMats:    4,
+		S2CMats:    4,
+		N1:         8,
+		N2:         8,
+		EvalDegree: 63,
+		DoubleAng:  3,
+	}
+}
+
+// Bootstrap21 refreshes 21 levels with roughly twice the compute (§7.5).
+func Bootstrap21() BootstrapSpec {
+	return BootstrapSpec{
+		Name:       "Bootstrap-21",
+		EnterLevel: 51,
+		ExitLevel:  21,
+		C2SMats:    4,
+		S2CMats:    4,
+		N1:         16,
+		N2:         16,
+		EvalDegree: 127,
+		DoubleAng:  4,
+	}
+}
+
+// Build constructs the bootstrap circuit for one ciphertext on the given
+// stream. The structure is the functional pipeline of internal/bootstrap:
+// C2S matrices → conjugation split → two EvalMod halves → recombination →
+// S2C matrices.
+func (bs BootstrapSpec) Build(s *dsl.Stream, input *dsl.Ciphertext) *dsl.Ciphertext {
+	ct := input
+	for i := 0; i < bs.C2SMats; i++ {
+		ct = BSGSMatmul(s, ct, bs.N1, bs.N2, fmt.Sprintf("c2s%d", i))
+	}
+	conj := ct.Conjugate()
+	re := ct.Add(conj)
+	im := conj.Sub(ct)
+	reMod := bs.evalMod(s, re, "re")
+	imMod := bs.evalMod(s, im, "im")
+	comb := reMod.Add(imMod)
+	for i := 0; i < bs.S2CMats; i++ {
+		comb = BSGSMatmul(s, comb, bs.N1, bs.N2, fmt.Sprintf("s2c%d", i))
+	}
+	return comb
+}
+
+func (bs BootstrapSpec) evalMod(s *dsl.Stream, x *dsl.Ciphertext, tag string) *dsl.Ciphertext {
+	y := x.MulPlain(tag + ":norm").Rescale()
+	c := ChebyshevEval(s, y, bs.EvalDegree, tag)
+	for i := 0; i < bs.DoubleAng; i++ {
+		sq := c.Mul(c).Rescale()
+		c = sq.Add(sq)
+	}
+	return c
+}
+
+// BuildProgram builds a complete one-ciphertext bootstrap program.
+func (bs BootstrapSpec) BuildProgram(p *dsl.Program) {
+	s := p.Stream(0)
+	in := s.Input("ct", bs.EnterLevel)
+	s.Output("refreshed", bs.Build(s, in))
+}
+
+// BuildDFTOnlyProgram builds just the CoeffToSlot + SlotToCoeff matrix
+// sections (the serial part of the bootstrap under program parallelism).
+func (bs BootstrapSpec) BuildDFTOnlyProgram(p *dsl.Program) {
+	s := p.Stream(0)
+	ct := s.Input("ct", bs.EnterLevel)
+	for i := 0; i < bs.C2SMats; i++ {
+		ct = BSGSMatmul(s, ct, bs.N1, bs.N2, fmt.Sprintf("c2s%d", i))
+	}
+	for i := 0; i < bs.S2CMats; i++ {
+		ct = BSGSMatmul(s, ct, bs.N1, bs.N2, fmt.Sprintf("s2c%d", i))
+	}
+	s.Output("out", ct)
+}
+
+// BuildEvalModPairProgram builds the two EvalMod halves as concurrent
+// streams — the section the paper's Fig. 13 "+ Program parallelism"
+// configuration maps to two chips each (§7.3). Composed with
+// BuildDFTOnlyProgram it gives the program-parallel bootstrap time.
+func (bs BootstrapSpec) BuildEvalModPairProgram(p *dsl.Program) {
+	dsl.StreamPool(p, 2, func(id int, s *dsl.Stream) {
+		in := s.Input(fmt.Sprintf("half%d", id), bs.EnterLevel-bs.C2SMats)
+		mod := bs.evalMod(s, in, fmt.Sprintf("st%d", id))
+		s.Output(fmt.Sprintf("out%d", id), mod)
+	})
+}
+
+// LevelBudgetOK sanity-checks that the circuit fits the chain.
+func (bs BootstrapSpec) LevelBudgetOK() error {
+	consumed := bs.C2SMats + bs.S2CMats + 1 /*norm*/ + bs.DoubleAng
+	d := bs.EvalDegree
+	for d > 0 {
+		consumed++
+		d >>= 1
+	}
+	if bs.EnterLevel-consumed < 0 {
+		return fmt.Errorf("workloads: %s consumes ~%d levels from %d", bs.Name, consumed, bs.EnterLevel)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+// Package workloads builds the paper's benchmark programs (§6.2) in the
+// Cinnamon DSL at the paper's parameters (N = 64K, 45-bit chain), compiles
+// and simulates their kernels, and composes full-application times by
+// kernel counts — the hierarchical-simulation substitution documented in
+// DESIGN.md for programs whose full instruction streams would be billions
+// of instructions (BERT).
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"cinnamon/internal/arch"
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/compiler"
+	"cinnamon/internal/dsl"
+	"cinnamon/internal/limbir"
+	"cinnamon/internal/polyir"
+	"cinnamon/internal/sim"
+)
+
+// SimLogN is the ring dimension exponent the paper evaluates at.
+const SimLogN = 16
+
+// SimMaxLevel is the top of the modulus chain (the paper's bootstrap
+// raises ciphertexts to level 51).
+const SimMaxLevel = 51
+
+var (
+	simParamsOnce sync.Once
+	simParamsVal  *ckks.Parameters
+	simParamsErr  error
+)
+
+// SimParams returns the compile-only parameter set at paper scale
+// (N = 64K, 52 chain moduli, 3 special moduli). The set is cached: prime
+// generation at this size is not free.
+func SimParams() (*ckks.Parameters, error) {
+	simParamsOnce.Do(func() {
+		logQ := []int{60}
+		for i := 0; i < SimMaxLevel; i++ {
+			logQ = append(logQ, 45)
+		}
+		// 13 special primes: digits of up to 13 limbs, so every keyswitch
+		// runs in at most ceil(52/13) = 4 digits — the design point the
+		// paper's 13-input BCU is built for (§4.7).
+		logP := make([]int, 13)
+		for i := range logP {
+			logP[i] = 61
+		}
+		simParamsVal, simParamsErr = ckks.NewParameters(ckks.ParametersLiteral{
+			LogN:          SimLogN,
+			LogQ:          logQ,
+			LogP:          logP,
+			LogScale:      45,
+			Seed:          7,
+			SkipNTTTables: true,
+		})
+	})
+	return simParamsVal, simParamsErr
+}
+
+// KSMode selects how the keyswitch pass annotates a program — the
+// configurations of paper Fig. 13.
+type KSMode int
+
+// Keyswitch pass modes.
+const (
+	// ModeSequential compiles for one chip.
+	ModeSequential KSMode = iota
+	// ModeCiFHER uses the broadcast-everywhere baseline.
+	ModeCiFHER
+	// ModeInputBroadcast uses input-broadcast keyswitching, one broadcast
+	// per keyswitch (no batching pass).
+	ModeInputBroadcast
+	// ModeInputBroadcastPass adds the reorder/batch pass (shared-input
+	// rotation groups share one broadcast).
+	ModeInputBroadcastPass
+	// ModeCinnamonPass selects between input broadcast and output
+	// aggregation per pattern, with batching — the full compiler.
+	ModeCinnamonPass
+)
+
+// String implements fmt.Stringer.
+func (m KSMode) String() string {
+	switch m {
+	case ModeSequential:
+		return "Sequential"
+	case ModeCiFHER:
+		return "CiFHER"
+	case ModeInputBroadcast:
+		return "InputBroadcast"
+	case ModeInputBroadcastPass:
+		return "InputBroadcast+Pass"
+	case ModeCinnamonPass:
+		return "CinnamonKS+Pass"
+	default:
+		return fmt.Sprintf("KSMode(%d)", int(m))
+	}
+}
+
+// annotate runs the keyswitch pass variant for the mode.
+func annotate(g *polyir.Graph, nChips int, mode KSMode) []polyir.BatchGroup {
+	switch mode {
+	case ModeSequential:
+		pass := &polyir.KeyswitchPass{NChips: 1}
+		return pass.Run(g)
+	case ModeCiFHER:
+		var groups []polyir.BatchGroup
+		for _, n := range g.Nodes {
+			if n.NeedsKeySwitch() {
+				grp := polyir.BatchGroup{ID: len(groups), Algorithm: polyir.KSCiFHER, Nodes: []*polyir.Node{n}}
+				n.KSAlgorithm = polyir.KSCiFHER
+				n.KSBatch = grp.ID
+				groups = append(groups, grp)
+			}
+		}
+		return groups
+	case ModeInputBroadcast:
+		var groups []polyir.BatchGroup
+		for _, n := range g.Nodes {
+			if n.NeedsKeySwitch() {
+				grp := polyir.BatchGroup{ID: len(groups), Algorithm: polyir.KSInputBroadcast, Nodes: []*polyir.Node{n}}
+				n.KSAlgorithm = polyir.KSInputBroadcast
+				n.KSBatch = grp.ID
+				groups = append(groups, grp)
+			}
+		}
+		return groups
+	case ModeInputBroadcastPass:
+		pass := &polyir.KeyswitchPass{NChips: nChips, DisableAggregation: true}
+		return pass.Run(g)
+	default:
+		pass := &polyir.KeyswitchPass{NChips: nChips}
+		return pass.Run(g)
+	}
+}
+
+// KernelResult is a compiled+simulated kernel.
+type KernelResult struct {
+	Seconds float64
+	Sim     sim.Result
+	Stats   limbir.Stats
+}
+
+// CompileAndSimulate builds, lowers, allocates and times a DSL program.
+func CompileAndSimulate(build func(p *dsl.Program), nChips int, mode KSMode, cfg sim.Config) (*KernelResult, error) {
+	params, err := SimParams()
+	if err != nil {
+		return nil, err
+	}
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: params.MaxLevel()})
+	build(prog)
+	g, err := prog.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if mode == ModeSequential {
+		nChips = 1
+		cfg.NChips = 1
+	}
+	groups := annotate(g, nChips, mode)
+	mod, err := compiler.Lower(g, params, nChips, groups)
+	if err != nil {
+		return nil, err
+	}
+	regs := cfg.Chip.RegFileLimbs(1 << SimLogN)
+	if regs < 32 {
+		regs = 32
+	}
+	alloc, err := compiler.Allocate(mod, regs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Simulate(alloc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &KernelResult{Seconds: res.Seconds, Sim: res, Stats: alloc.Stats()}, nil
+}
+
+// DefaultSimConfig returns the simulator configuration for n Cinnamon
+// chips (ring up to 8, switch beyond — paper §4.5.1).
+func DefaultSimConfig(nChips int) sim.Config {
+	topo := sim.Ring
+	if nChips > 8 {
+		topo = sim.Switch
+	}
+	return sim.Config{Chip: arch.Cinnamon(), NChips: nChips, RingDim: 1 << SimLogN, Topology: topo}
+}
+
+// CinnamonMSimConfig returns the monolithic-chip configuration.
+func CinnamonMSimConfig() sim.Config {
+	return sim.Config{Chip: arch.CinnamonM(), NChips: 1, RingDim: 1 << SimLogN, Topology: sim.Ring}
+}

@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"testing"
+
+	"cinnamon/internal/sim"
+)
+
+func TestSimParams(t *testing.T) {
+	p, err := SimParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LogN() != SimLogN || p.MaxLevel() != SimMaxLevel {
+		t.Fatalf("params: logN=%d maxLevel=%d", p.LogN(), p.MaxLevel())
+	}
+	// Cached: second call returns the same pointer.
+	p2, _ := SimParams()
+	if p2 != p {
+		t.Fatal("SimParams not cached")
+	}
+}
+
+func TestBootstrapSpecBudget(t *testing.T) {
+	for _, bs := range []BootstrapSpec{Bootstrap13(), Bootstrap21()} {
+		if err := bs.LevelBudgetOK(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBootstrapKernelTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale compilation is expensive")
+	}
+	cfg := DefaultSimConfig(4)
+	res, err := CompileAndSimulate(Bootstrap13().BuildProgram, 4, ModeCinnamonPass, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Bootstrap-13 on Cinnamon-4: %.3f ms (instrs/chip ≤ %d, spills ...)", res.Seconds*1e3, res.Stats.MaxInstrs)
+	// The paper reports 1.98 ms; our simulator should land within the same
+	// order of magnitude (0.2–20 ms).
+	if res.Seconds < 0.2e-3 || res.Seconds > 20e-3 {
+		t.Fatalf("bootstrap time %.3f ms outside plausible range", res.Seconds*1e3)
+	}
+}
+
+func TestKeyswitchModesOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale compilation is expensive")
+	}
+	cfg := DefaultSimConfig(4)
+	times := map[KSMode]float64{}
+	for _, mode := range []KSMode{ModeSequential, ModeCiFHER, ModeInputBroadcast, ModeInputBroadcastPass, ModeCinnamonPass} {
+		c := cfg
+		if mode == ModeSequential {
+			c = DefaultSimConfig(1)
+		}
+		res, err := CompileAndSimulate(Bootstrap13().BuildProgram, 4, mode, c)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		times[mode] = res.Seconds
+		t.Logf("%-22v %.3f ms (net util %.2f)", mode, res.Seconds*1e3, res.Sim.NetUtil)
+	}
+	// Paper Fig. 13 shape (the orderings our model reproduces; see
+	// EXPERIMENTS.md for the one divergence on the sequential baseline):
+	// the full Cinnamon pass beats the pass-less variants, which beat the
+	// CiFHER baseline; everything parallel beats sequential.
+	if times[ModeCinnamonPass] >= times[ModeSequential] {
+		t.Errorf("CinnamonKS+Pass (%.3fms) should beat Sequential (%.3fms)",
+			times[ModeCinnamonPass]*1e3, times[ModeSequential]*1e3)
+	}
+	if times[ModeCinnamonPass] > times[ModeInputBroadcastPass] {
+		t.Errorf("full pass (%.3fms) should not lose to IB+Pass (%.3fms)",
+			times[ModeCinnamonPass]*1e3, times[ModeInputBroadcastPass]*1e3)
+	}
+	if times[ModeInputBroadcastPass] > times[ModeInputBroadcast] {
+		t.Errorf("IB+Pass (%.3fms) should not lose to unbatched IB (%.3fms)",
+			times[ModeInputBroadcastPass]*1e3, times[ModeInputBroadcast]*1e3)
+	}
+	if times[ModeCinnamonPass] >= times[ModeCiFHER] {
+		t.Errorf("CinnamonKS+Pass (%.3fms) should beat the CiFHER baseline (%.3fms)",
+			times[ModeCinnamonPass]*1e3, times[ModeCiFHER]*1e3)
+	}
+}
+
+func TestAppComposition(t *testing.T) {
+	kt := KernelTimes{Bootstrap: 2e-3, Matmul: 1e-4, Activation: 2e-4}
+	apps := Apps()
+	for _, a := range apps {
+		t1 := a.Time(kt, 1)
+		t2 := a.Time(kt, 2)
+		t3 := a.Time(kt, 3)
+		if t1 <= 0 {
+			t.Fatalf("%s: nonpositive time", a.Name)
+		}
+		if t2 > t1 || t3 > t2 {
+			t.Fatalf("%s: time must not increase with groups (%.4f %.4f %.4f)", a.Name, t1, t2, t3)
+		}
+		if a.ParallelFrac == 0 && (t2 != t1 || t3 != t1) {
+			t.Fatalf("%s: serial app should not scale", a.Name)
+		}
+	}
+	// BERT's Amdahl fraction should give ~1.85× at 2 groups, ~2.3× at 3.
+	bert := apps[3]
+	if s := bert.Time(kt, 1) / bert.Time(kt, 2); s < 1.6 || s > 2.0 {
+		t.Fatalf("BERT 2-group speedup %.2f implausible", s)
+	}
+	if s := bert.Time(kt, 1) / bert.Time(kt, 3); s < 2.0 || s > 2.6 {
+		t.Fatalf("BERT 3-group speedup %.2f implausible", s)
+	}
+}
+
+func TestKSModeString(t *testing.T) {
+	for m, want := range map[KSMode]string{
+		ModeSequential: "Sequential", ModeCiFHER: "CiFHER",
+		ModeInputBroadcast: "InputBroadcast", ModeInputBroadcastPass: "InputBroadcast+Pass",
+		ModeCinnamonPass: "CinnamonKS+Pass",
+	} {
+		if m.String() != want {
+			t.Fatalf("%v", m)
+		}
+	}
+}
+
+func TestDefaultSimConfigTopology(t *testing.T) {
+	if DefaultSimConfig(4).Topology != sim.Ring {
+		t.Fatal("4 chips should use a ring")
+	}
+	if DefaultSimConfig(12).Topology != sim.Switch {
+		t.Fatal("12 chips should use a switch")
+	}
+}
