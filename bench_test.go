@@ -25,6 +25,9 @@ func BenchmarkFig01ModelGrowth(b *testing.B) {
 // BenchmarkFig06CacheCell runs one cell of the cache/compute motivation
 // sweep (1 bootstrap, 256 MB, 4 clusters, single chip).
 func BenchmarkFig06CacheCell(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-figure benchmark: full compile+simulate, skipped in -short")
+	}
 	for i := 0; i < b.N; i++ {
 		ps, err := report.RunFig6([]int{1}, []float64{256}, []int{4})
 		if err != nil {
@@ -49,6 +52,9 @@ func BenchmarkTable1AreaModel(b *testing.B) {
 // BenchmarkTable2Bootstrap4 compiles and simulates the Table 2 bootstrap
 // row on Cinnamon-4 at paper parameters (N = 64K, 52-limb chain).
 func BenchmarkTable2Bootstrap4(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-figure benchmark: full compile+simulate, skipped in -short")
+	}
 	for i := 0; i < b.N; i++ {
 		r, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4,
 			workloads.ModeCinnamonPass, workloads.DefaultSimConfig(4))
@@ -64,6 +70,9 @@ func BenchmarkTable2Bootstrap4(b *testing.B) {
 // BenchmarkFig11SpeedupRow computes one Fig 11 bar: the Cinnamon-8 BERT
 // composition relative to a 4-chip group.
 func BenchmarkFig11SpeedupRow(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-figure benchmark: full compile+simulate, skipped in -short")
+	}
 	kt, err := workloads.SimulateKernels(4, workloads.ModeCinnamonPass, workloads.DefaultSimConfig(4))
 	if err != nil {
 		b.Fatal(err)
@@ -105,6 +114,9 @@ func BenchmarkTable3Fig12CostModel(b *testing.B) {
 // BenchmarkFig13KeyswitchPoint runs one sweep point: CinnamonKS+Pass at
 // 512 GB/s on Cinnamon-4.
 func BenchmarkFig13KeyswitchPoint(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-figure benchmark: full compile+simulate, skipped in -short")
+	}
 	for i := 0; i < b.N; i++ {
 		cfg := workloads.DefaultSimConfig(4)
 		cfg.LinkGBpsOverride = 512
@@ -120,6 +132,9 @@ func BenchmarkFig13KeyswitchPoint(b *testing.B) {
 // BenchmarkFig14Bootstrap21 runs Bootstrap-21 on Cinnamon-8 (the
 // configuration where the deeper bootstrap's extra parallelism pays).
 func BenchmarkFig14Bootstrap21(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-figure benchmark: full compile+simulate, skipped in -short")
+	}
 	for i := 0; i < b.N; i++ {
 		r, err := workloads.CompileAndSimulate(workloads.Bootstrap21().BuildProgram, 8,
 			workloads.ModeCinnamonPass, workloads.DefaultSimConfig(8))
@@ -132,6 +147,9 @@ func BenchmarkFig14Bootstrap21(b *testing.B) {
 
 // BenchmarkFig15Utilization extracts utilization from a bootstrap run.
 func BenchmarkFig15Utilization(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-figure benchmark: full compile+simulate, skipped in -short")
+	}
 	for i := 0; i < b.N; i++ {
 		r, err := workloads.CompileAndSimulate(workloads.Bootstrap13().BuildProgram, 4,
 			workloads.ModeCinnamonPass, workloads.DefaultSimConfig(4))
@@ -147,6 +165,9 @@ func BenchmarkFig15Utilization(b *testing.B) {
 // BenchmarkAblationDigits runs the keyswitch digit-count ablation (A2 in
 // DESIGN.md).
 func BenchmarkAblationDigits(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-figure benchmark: full compile+simulate, skipped in -short")
+	}
 	for i := 0; i < b.N; i++ {
 		ps, err := report.RunDigitAblation()
 		if err != nil {
@@ -160,6 +181,9 @@ func BenchmarkAblationDigits(b *testing.B) {
 
 // BenchmarkFig16SensitivityPoint runs the halve-vector-width point.
 func BenchmarkFig16SensitivityPoint(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-figure benchmark: full compile+simulate, skipped in -short")
+	}
 	for i := 0; i < b.N; i++ {
 		cfg := workloads.DefaultSimConfig(4)
 		cfg.Chip.LanesPerCluster /= 2

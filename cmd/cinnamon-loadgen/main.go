@@ -1,0 +1,359 @@
+// Command cinnamon-loadgen drives a cinnamon-serve instance with an
+// open-loop Poisson arrival process: it discovers the server's CKKS
+// parameters, generates and uploads a tenant key bundle, then fires
+// encrypted requests at a fixed offered rate regardless of response
+// latency (so queueing delay shows up in the measured latencies instead
+// of being hidden by client back-pressure). Every response is decrypted
+// and checked against a local reference evaluation.
+//
+// Usage:
+//
+//	cinnamon-loadgen -url http://localhost:8080 -requests 200 -rate 50
+//	cinnamon-loadgen -url http://localhost:8080 -program square -rate 100 -seed 7
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/serve"
+	"cinnamon/internal/workloads"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "server base URL")
+	tenant := flag.String("tenant", "loadgen", "tenant id to register and send as")
+	program := flag.String("program", "all", "program name, or \"all\" to round-robin the catalog")
+	requests := flag.Int("requests", 200, "total requests to send")
+	rate := flag.Float64("rate", 50, "offered load, requests/sec (Poisson arrivals)")
+	seed := flag.Int64("seed", 1, "load generator RNG seed")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	verify := flag.Bool("verify", true, "decrypt responses and compare to a local reference evaluation")
+	flag.Parse()
+
+	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+type client struct {
+	base   string
+	tenant string
+	http   *http.Client
+	params *ckks.Parameters
+
+	// Key material and encoders are stateful (samplers), so every
+	// encrypt/decrypt/reference call serializes on mu. The HTTP wait is
+	// outside the lock, so requests still overlap on the wire.
+	mu   sync.Mutex
+	enc  *ckks.Encoder
+	encr *ckks.Encryptor
+	decr *ckks.Decryptor
+	ev   *ckks.Evaluator
+}
+
+type result struct {
+	ok        bool
+	status    int
+	latency   time.Duration
+	slotErr   float64
+	transport error
+}
+
+func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool) error {
+	c := &client{base: base, tenant: tenant, http: &http.Client{Timeout: timeout}}
+
+	// Discover parameters and rebuild an identical set locally.
+	var lit ckks.ParametersLiteral
+	if err := c.getJSON("/v1/params", &lit); err != nil {
+		return fmt.Errorf("fetching params: %w", err)
+	}
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		return fmt.Errorf("rebuilding params: %w", err)
+	}
+	c.params = params
+	fmt.Printf("server params: N=%d, %d levels, scale 2^%d\n", params.N(), params.MaxLevel(), lit.LogScale)
+
+	var infos []serve.ProgramInfo
+	if err := c.getJSON("/v1/programs", &infos); err != nil {
+		return fmt.Errorf("fetching programs: %w", err)
+	}
+	var targets []serve.ProgramInfo
+	for _, info := range infos {
+		if program == "all" || info.Name == program {
+			targets = append(targets, info)
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("no program %q on the server (have %d programs)", program, len(infos))
+	}
+
+	if err := c.keygenAndRegister(targets); err != nil {
+		return err
+	}
+
+	// Open loop: arrivals are scheduled by a Poisson process from the
+	// seeded RNG; each request runs in its own goroutine so a slow server
+	// cannot slow the arrival process down.
+	arrivals := rand.New(rand.NewSource(seed))
+	payloads := rand.New(rand.NewSource(seed + 1))
+	results := make([]result, requests)
+	var wg sync.WaitGroup
+	fmt.Printf("sending %d requests at %.0f req/s across %d program(s)...\n", requests, rate, len(targets))
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if rate > 0 {
+			time.Sleep(time.Duration(arrivals.ExpFloat64() / rate * float64(time.Second)))
+		}
+		info := targets[i%len(targets)]
+		payloadSeed := payloads.Int63()
+		wg.Add(1)
+		go func(i int, info serve.ProgramInfo) {
+			defer wg.Done()
+			results[i] = c.fire(info, payloadSeed, verify)
+		}(i, info)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(results, elapsed)
+
+	var snap serve.Snapshot
+	if err := c.getJSON("/metrics", &snap); err != nil {
+		return fmt.Errorf("fetching metrics: %w", err)
+	}
+	fmt.Printf("\nserver metrics: %d completed, %d rejected, %d timeouts, %d errors\n",
+		snap.Completed, snap.Rejected, snap.Timeouts, snap.Errors)
+	fmt.Printf("  batches: %d, avg occupancy %.2f requests/run\n", snap.Batches, snap.AvgBatchOccupancy)
+	fmt.Printf("  server-side latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+		snap.Latency.P50Ms, snap.Latency.P95Ms, snap.Latency.P99Ms)
+	return nil
+}
+
+// keygenAndRegister generates a fresh tenant key set covering every key
+// the target programs require and uploads it.
+func (c *client) keygenAndRegister(targets []serve.ProgramInfo) error {
+	rotSet := map[int]bool{}
+	needConj := false
+	for _, info := range targets {
+		for _, id := range info.RequiredKeys {
+			var k int
+			if _, err := fmt.Sscanf(id, "rot:%d", &k); err == nil {
+				rotSet[k] = true
+			} else if id == "conj" {
+				needConj = true
+			}
+		}
+	}
+	rots := make([]int, 0, len(rotSet))
+	for k := range rotSet {
+		rots = append(rots, k)
+	}
+	sort.Ints(rots)
+
+	kg := ckks.NewKeyGenerator(c.params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		return err
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		return err
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		return err
+	}
+	rtks, err := kg.GenRotationKeySet(sk, rots, needConj)
+	if err != nil {
+		return err
+	}
+	keys := map[string]*ckks.EvalKey{"rlk": rlk}
+	for k, key := range rtks.Keys {
+		keys[fmt.Sprintf("rot:%d", k)] = key
+	}
+	if rtks.Conj != nil {
+		keys["conj"] = rtks.Conj
+	}
+
+	c.enc = ckks.NewEncoder(c.params)
+	c.encr = ckks.NewEncryptor(c.params, pk)
+	c.decr = ckks.NewDecryptor(c.params, sk)
+	c.ev = ckks.NewEvaluator(c.params, rlk, rtks)
+
+	var bundle bytes.Buffer
+	if err := serve.WriteKeyBundle(&bundle, keys); err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+"/v1/tenants/"+c.tenant+"/keys", "application/octet-stream", &bundle)
+	if err != nil {
+		return fmt.Errorf("registering keys: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("registering keys: %s: %s", resp.Status, msg)
+	}
+	fmt.Printf("registered tenant %q with %d evaluation keys (%.1f MB)\n",
+		c.tenant, len(keys), float64(bundle.Cap())/1e6)
+	return nil
+}
+
+// fire sends one encrypted request and (optionally) verifies the
+// decrypted response against the local reference evaluation.
+func (c *client) fire(info serve.ProgramInfo, seed int64, verify bool) result {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex128, c.params.Slots())
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+
+	c.mu.Lock()
+	pt, err := c.enc.Encode(v, c.params.MaxLevel(), c.params.DefaultScale())
+	if err != nil {
+		c.mu.Unlock()
+		return result{transport: err}
+	}
+	ct, err := c.encr.Encrypt(pt)
+	c.mu.Unlock()
+	if err != nil {
+		return result{transport: err}
+	}
+
+	var body bytes.Buffer
+	if err := ct.Write(&body); err != nil {
+		return result{transport: err}
+	}
+	req, err := http.NewRequest("POST", c.base+"/v1/programs/"+info.Name+":run", &body)
+	if err != nil {
+		return result{transport: err}
+	}
+	req.Header.Set("X-Cinnamon-Tenant", c.tenant)
+
+	t0 := time.Now()
+	resp, err := c.http.Do(req)
+	latency := time.Since(t0)
+	if err != nil {
+		return result{transport: err, latency: latency}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return result{status: resp.StatusCode, latency: latency}
+	}
+	out, err := ckks.ReadCiphertext(resp.Body, c.params)
+	if err != nil {
+		return result{transport: fmt.Errorf("response ciphertext: %w", err), latency: latency}
+	}
+
+	res := result{ok: true, status: resp.StatusCode, latency: latency}
+	if verify {
+		spec, ok := workloads.ServeWorkloadByName(info.Name)
+		if !ok {
+			res.transport = fmt.Errorf("no local reference for %q", info.Name)
+			res.ok = false
+			return res
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		want, err := spec.Reference(c.ev, c.enc, ct)
+		if err != nil {
+			res.transport, res.ok = err, false
+			return res
+		}
+		got, err := c.decode(out)
+		if err != nil {
+			res.transport, res.ok = err, false
+			return res
+		}
+		ref, err := c.decode(want)
+		if err != nil {
+			res.transport, res.ok = err, false
+			return res
+		}
+		for i := range got {
+			if e := cmplx.Abs(got[i] - ref[i]); e > res.slotErr {
+				res.slotErr = e
+			}
+		}
+	}
+	return res
+}
+
+// decode decrypts and decodes; the caller holds c.mu.
+func (c *client) decode(ct *ckks.Ciphertext) ([]complex128, error) {
+	pt, err := c.decr.Decrypt(ct)
+	if err != nil {
+		return nil, err
+	}
+	return c.enc.Decode(pt, c.params.Slots())
+}
+
+func (c *client) getJSON(path string, v any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func report(results []result, elapsed time.Duration) {
+	var ok, rejected, failed int
+	var lats []time.Duration
+	worstErr := 0.0
+	for _, r := range results {
+		switch {
+		case r.ok:
+			ok++
+			lats = append(lats, r.latency)
+			if r.slotErr > worstErr {
+				worstErr = r.slotErr
+			}
+		case r.status == http.StatusTooManyRequests || r.status == http.StatusServiceUnavailable:
+			rejected++
+		default:
+			failed++
+			if r.transport != nil {
+				fmt.Printf("  request failed: %v\n", r.transport)
+			} else {
+				fmt.Printf("  request failed: HTTP %d\n", r.status)
+			}
+		}
+	}
+	fmt.Printf("\n%d requests in %v: %d ok, %d shed, %d failed\n", len(results), elapsed.Round(time.Millisecond), ok, rejected, failed)
+	if elapsed > 0 {
+		fmt.Printf("goodput: %.1f req/s\n", float64(ok)/elapsed.Seconds())
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		q := func(p float64) time.Duration {
+			i := int(math.Ceil(p*float64(len(lats)))) - 1
+			if i < 0 {
+				i = 0
+			}
+			return lats[i]
+		}
+		fmt.Printf("client latency: p50 %v  p95 %v  p99 %v  max %v\n",
+			q(0.50).Round(10*time.Microsecond), q(0.95).Round(10*time.Microsecond),
+			q(0.99).Round(10*time.Microsecond), lats[len(lats)-1].Round(10*time.Microsecond))
+	}
+	fmt.Printf("worst slot error vs reference: %.2e\n", worstErr)
+}

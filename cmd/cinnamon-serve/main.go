@@ -1,0 +1,108 @@
+// Command cinnamon-serve runs the encrypted-inference serving runtime
+// over HTTP: it compiles the serve catalog at startup, then accepts
+// marshaled CKKS ciphertexts from registered tenants, batches them into
+// shared emulator runs, and returns the encrypted results.
+//
+// Usage:
+//
+//	cinnamon-serve -addr :8080
+//	cinnamon-serve -addr :8080 -logn 9 -levels 4 -max-batch 8 -batch-wait 5ms
+//
+// Endpoints (see internal/serve for the wire protocol):
+//
+//	GET  /healthz
+//	GET  /metrics
+//	GET  /v1/params
+//	GET  /v1/programs
+//	POST /v1/tenants/{tenant}/keys
+//	POST /v1/programs/{name}:run      (X-Cinnamon-Tenant header)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cinnamon/internal/serve"
+	"cinnamon/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	logN := flag.Int("logn", 8, "ring degree log2 (2^logN coefficients)")
+	levels := flag.Int("levels", 3, "multiplicative levels")
+	seed := flag.Int64("seed", 20260805, "parameter generation seed (clients must match)")
+	maxBatch := flag.Int("max-batch", 4, "largest compiled batch variant (power of two)")
+	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max time a request waits for batch-mates")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "emulator worker goroutines")
+	queue := flag.Int("queue", 64, "per-(program,tenant) queue depth before shedding")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request execution timeout")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
+	flag.Parse()
+
+	if err := run(*addr, *logN, *levels, *seed, *maxBatch, *batchWait, *workers, *queue, *timeout, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time.Duration, workers, queue int, timeout, drain time.Duration) error {
+	lit := workloads.ServeParamsLiteral(logN, levels, seed)
+	log.Printf("compiling serve catalog (logN=%d levels=%d seed=%d maxBatch=%d)...", logN, levels, seed, maxBatch)
+	start := time.Now()
+	reg, err := serve.NewRegistry(serve.RegistryConfig{Literal: lit, MaxBatch: maxBatch})
+	if err != nil {
+		return err
+	}
+	for _, name := range reg.ProgramNames() {
+		p, _ := reg.Program(name)
+		log.Printf("  program %-8s batches=%v keys=%v outLevel=%d", name, p.BatchSizes(), p.RequiredKeys, p.OutLevel)
+	}
+	log.Printf("catalog ready in %v", time.Since(start).Round(time.Millisecond))
+
+	core := serve.NewCore(reg, serve.Config{
+		MaxBatch:       maxBatch,
+		BatchWait:      batchWait,
+		Workers:        workers,
+		QueueDepth:     queue,
+		RequestTimeout: timeout,
+	})
+
+	srv := &http.Server{Addr: addr, Handler: serve.NewHandler(core, serve.HandlerConfig{})}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("%v: draining (deadline %v)...", sig, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Stop accepting new connections first, then drain queued requests.
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := core.Close(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	snap := core.Metrics().Snapshot()
+	log.Printf("done: %d completed, %d rejected, %d errors, avg batch occupancy %.2f",
+		snap.Completed, snap.Rejected, snap.Errors, snap.AvgBatchOccupancy)
+	return nil
+}

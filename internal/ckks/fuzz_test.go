@@ -1,0 +1,159 @@
+package ckks
+
+import (
+	"bytes"
+	"testing"
+)
+
+// smallMarshalContext builds a tiny parameter set so byte-level
+// robustness tests stay fast.
+func smallMarshalContext(t testing.TB) (*Parameters, *Ciphertext) {
+	t.Helper()
+	params, err := NewParameters(ParametersLiteral{
+		LogN: 5, LogQ: []int{45, 40}, LogP: []int{50}, LogScale: 40, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(params)
+	v := randomComplex(params.Slots(), 1.0, 77)
+	pt, err := enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := NewEncryptor(params, pk).Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params, ct
+}
+
+// FuzzCiphertextRoundTrip throws arbitrary bytes at the untrusted
+// ciphertext parser. The invariants: never panic, and anything the
+// parser accepts must re-marshal to a byte-identical image (so a
+// malicious body cannot smuggle state that survives validation but
+// changes on the way back out).
+func FuzzCiphertextRoundTrip(f *testing.F) {
+	params, ct := smallMarshalContext(f)
+
+	var valid bytes.Buffer
+	if err := ct.Write(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x4e, 0x49, 0x43, 0, 0, 0, 0}) // magic, then nothing
+	// Truncation seeds at structural boundaries.
+	for _, cut := range []int{1, 8, 16, 17, 40, valid.Len() - 1} {
+		if cut < valid.Len() {
+			f.Add(valid.Bytes()[:cut])
+		}
+	}
+	// A corrupt-header seed: implausible limb count.
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	corrupt[16] = 0xff
+	corrupt[17] = 0xff
+	corrupt[18] = 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCiphertext(bytes.NewReader(data), params)
+		if err != nil {
+			return // rejected — fine, as long as it didn't panic
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("accepted ciphertext failed to re-marshal: %v", err)
+		}
+		again, err := ReadCiphertext(bytes.NewReader(out.Bytes()), params)
+		if err != nil {
+			t.Fatalf("re-marshaled ciphertext rejected: %v", err)
+		}
+		if !again.C0.Equal(got.C0) || !again.C1.Equal(got.C1) || again.Scale != got.Scale {
+			t.Fatal("round trip is not a fixed point")
+		}
+	})
+}
+
+// TestReadCiphertextTruncated feeds every prefix of a valid wire image
+// to the parser: all must fail cleanly (no panic, no partial accept).
+func TestReadCiphertextTruncated(t *testing.T) {
+	params, ct := smallMarshalContext(t)
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := ReadCiphertext(bytes.NewReader(raw[:cut]), params); err == nil {
+			t.Fatalf("truncation at %d of %d bytes accepted", cut, len(raw))
+		}
+	}
+	// The full image still parses (the loop above didn't just prove the
+	// parser rejects everything).
+	if _, err := ReadCiphertext(bytes.NewReader(raw), params); err != nil {
+		t.Fatalf("full image rejected: %v", err)
+	}
+}
+
+// TestReadCiphertextCorruptHeader corrupts each header field in turn.
+func TestReadCiphertextCorruptHeader(t *testing.T) {
+	params, ct := smallMarshalContext(t)
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+	}{
+		{"magic", func(b []byte) { b[3] ^= 0x40 }},
+		{"scale-zero", func(b []byte) {
+			for i := 8; i < 16; i++ {
+				b[i] = 0
+			}
+		}},
+		{"scale-negative", func(b []byte) { b[15] |= 0x80 }},
+		{"limb-count-huge", func(b []byte) { b[18] = 0xff }},
+		{"ring-dim-mismatch", func(b []byte) { b[32] ^= 0x01 }},
+		{"modulus-off-chain", func(b []byte) { b[40] ^= 0x01 }},
+	}
+	for _, tc := range cases {
+		raw := append([]byte(nil), buf.Bytes()...)
+		tc.mutate(raw)
+		if _, err := ReadCiphertext(bytes.NewReader(raw), params); err == nil {
+			t.Errorf("%s: corrupted header accepted", tc.name)
+		}
+	}
+}
+
+// TestReadEvalKeyTruncated does the truncation sweep for evaluation
+// keys, sampling offsets (keys are big; every-byte would be slow).
+func TestReadEvalKeyTruncated(t *testing.T) {
+	tc := newTestContext(t, nil)
+	var buf bytes.Buffer
+	if err := tc.rlk.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 1, 7, 8, 9, 31, 32, len(raw) / 3, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadEvalKey(bytes.NewReader(raw[:cut]), tc.params); err == nil {
+			t.Fatalf("truncation at %d of %d bytes accepted", cut, len(raw))
+		}
+	}
+	// Implausible digit count is refused before any allocation.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[2] = 0xff
+	if _, err := ReadEvalKey(bytes.NewReader(corrupt), tc.params); err == nil {
+		t.Fatal("huge digit count accepted")
+	}
+}

@@ -47,6 +47,24 @@ func New(rg *ring.Ring, mod *limbir.Module, prov Provider) *Machine {
 	return m
 }
 
+// Reset returns the machine to its pre-Run state — value files and spill
+// space cleared — and, when prov is non-nil, swaps the symbol provider.
+// A machine is otherwise single-use (Run leaves register state behind);
+// Reset lets a worker pool reuse machines across requests without
+// reallocating per-chip state.
+func (m *Machine) Reset(prov Provider) {
+	if prov != nil {
+		m.Prov = prov
+	}
+	for c := range m.vals {
+		clear(m.scratch[c])
+		vals := m.vals[c]
+		for i := range vals {
+			vals[i] = nil
+		}
+	}
+}
+
 // Run executes all chips to completion in bulk-synchronous steps: each
 // chip runs until its next collective; collectives are matched by tag and
 // executed atomically.

@@ -1,0 +1,103 @@
+package serve
+
+import "time"
+
+// batcher coalesces one (program, tenant) request stream into batches:
+// the first arrival opens a batch, which flushes when it reaches the
+// configured max size or when the batch-wait deadline passes — whichever
+// comes first. On shutdown it flushes whatever is queued without waiting
+// out the deadline, so Close drains instead of abandoning requests.
+type batcher struct {
+	core   *Core
+	prog   *Program
+	pm     *ProgramMetrics
+	tenant string
+	in     chan *request
+}
+
+func newBatcher(c *Core, prog *Program, tenant string) *batcher {
+	return &batcher{
+		core:   c,
+		prog:   prog,
+		pm:     c.met.programs[prog.Spec.Name],
+		tenant: tenant,
+		in:     make(chan *request, c.cfg.QueueDepth),
+	}
+}
+
+// tryEnqueue offers a request without blocking; false means the queue is
+// full and the caller should shed load.
+func (b *batcher) tryEnqueue(r *request) bool {
+	select {
+	case b.in <- r:
+		return true
+	default:
+		return false
+	}
+}
+
+func (b *batcher) run() {
+	defer b.core.batchersWG.Done()
+	for {
+		var first *request
+		select {
+		case first = <-b.in:
+		case <-b.core.quit:
+			b.drainRemaining()
+			return
+		}
+		reqs := b.collect(first)
+		b.dispatch(reqs)
+	}
+}
+
+// collect grows a batch from its first request until full, deadline, or
+// shutdown.
+func (b *batcher) collect(first *request) []*request {
+	reqs := []*request{first}
+	timer := time.NewTimer(b.core.cfg.BatchWait)
+	defer timer.Stop()
+	for len(reqs) < b.core.cfg.MaxBatch {
+		select {
+		case r := <-b.in:
+			reqs = append(reqs, r)
+		case <-timer.C:
+			return reqs
+		case <-b.core.quit:
+			return reqs
+		}
+	}
+	return reqs
+}
+
+// drainRemaining runs at shutdown, after Core.Close has guaranteed no new
+// enqueues: it flushes everything still queued in max-size batches.
+func (b *batcher) drainRemaining() {
+	var reqs []*request
+	flush := func() {
+		if len(reqs) > 0 {
+			b.dispatch(reqs)
+			reqs = nil
+		}
+	}
+	for {
+		select {
+		case r := <-b.in:
+			reqs = append(reqs, r)
+			if len(reqs) == b.core.cfg.MaxBatch {
+				flush()
+			}
+		default:
+			flush()
+			return
+		}
+	}
+}
+
+// dispatch hands a batch to the worker pool. The send blocks when all
+// workers are busy and the dispatch buffer is full — that backpressure
+// fills b.in, where tryEnqueue sheds new arrivals.
+func (b *batcher) dispatch(reqs []*request) {
+	b.core.met.QueueDepth.Add(-int64(len(reqs)))
+	b.core.dispatch <- &batch{prog: b.prog, pm: b.pm, tenant: b.tenant, reqs: reqs}
+}

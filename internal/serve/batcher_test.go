@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cinnamon/internal/ckks"
+)
+
+// TestBatcherFlushOnFull: with a prohibitive batch-wait, a full batch of
+// concurrent requests must still flush promptly (size trigger, not the
+// deadline), and land in a single machine run.
+func TestBatcherFlushOnFull(t *testing.T) {
+	reg := testEnv(t)
+	core := NewCore(reg, Config{MaxBatch: 4, BatchWait: time.Hour, Workers: 2})
+	cts := make([]*ckks.Ciphertext, 4)
+	for i := range cts {
+		ct, _ := encryptRandom(t, int64(200+i))
+		cts[i] = ct
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = core.Submit(context.Background(), "square", testTenant, cts[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("batch waited for the deadline (%v) instead of flushing on full", elapsed)
+	}
+	snap := core.Metrics().Snapshot()
+	if snap.Batches != 1 || snap.BatchedRequests != 4 {
+		t.Fatalf("want one full batch of 4, got %d batches / %d requests", snap.Batches, snap.BatchedRequests)
+	}
+	if err := core.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherFlushOnDeadline: a lone request must not wait for the batch
+// to fill — the batch-wait deadline flushes it.
+func TestBatcherFlushOnDeadline(t *testing.T) {
+	reg := testEnv(t)
+	core := NewCore(reg, Config{MaxBatch: 4, BatchWait: 20 * time.Millisecond})
+	defer core.Close(context.Background())
+	ct, _ := encryptRandom(t, 300)
+	out, err := core.Submit(context.Background(), "square", testTenant, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("nil response")
+	}
+	snap := core.Metrics().Snapshot()
+	if snap.Batches != 1 || snap.BatchedRequests != 1 {
+		t.Fatalf("want one singleton batch, got %d/%d", snap.Batches, snap.BatchedRequests)
+	}
+}
+
+// TestShutdownDrainsInFlight: requests parked in a half-full batch (the
+// deadline is an hour away) must complete when Close drains, and Close
+// must not time out.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	reg := testEnv(t)
+	core := NewCore(reg, Config{MaxBatch: 8, BatchWait: time.Hour, Workers: 2, RequestTimeout: time.Hour})
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		ct, _ := encryptRandom(t, int64(400+i))
+		wg.Add(1)
+		go func(i int, ct *ckks.Ciphertext) {
+			defer wg.Done()
+			_, errs[i] = core.Submit(context.Background(), "rotsum", testTenant, ct)
+		}(i, ct)
+	}
+	// Let the requests reach the batcher, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for core.Metrics().QueueDepth.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := core.Close(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d lost in shutdown: %v", i, err)
+		}
+	}
+	snap := core.Metrics().Snapshot()
+	if snap.Completed != n {
+		t.Fatalf("completed %d of %d", snap.Completed, n)
+	}
+	// After drain, new submissions are refused.
+	ct, _ := encryptRandom(t, 499)
+	if _, err := core.Submit(context.Background(), "rotsum", testTenant, ct); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-close submit: %v", err)
+	}
+}
+
+// TestLoadShedding: with workers deterministically parked and tiny
+// queues, excess requests must be rejected with ErrOverloaded rather
+// than queued without bound.
+func TestLoadShedding(t *testing.T) {
+	reg := testEnv(t)
+	hold := make(chan struct{})
+	core := NewCore(reg, Config{
+		MaxBatch:        1,
+		BatchWait:       time.Millisecond,
+		Workers:         1,
+		QueueDepth:      1,
+		DispatchDepth:   1,
+		RequestTimeout:  2 * time.Second,
+		testHoldWorkers: hold,
+	})
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		ct, _ := encryptRandom(t, int64(500+i))
+		wg.Add(1)
+		go func(i int, ct *ckks.Ciphertext) {
+			defer wg.Done()
+			_, errs[i] = core.Submit(context.Background(), "square", testTenant, ct)
+		}(i, ct)
+	}
+	wg.Wait()
+	var shed, completed, timedOut int
+	for _, err := range errs {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			shed++
+		case err == nil:
+			completed++
+		default:
+			timedOut++
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("no requests shed (completed=%d timedOut=%d)", completed, timedOut)
+	}
+	if got := core.Metrics().Rejected.Load(); got != int64(shed) {
+		t.Fatalf("rejected counter %d, want %d", got, shed)
+	}
+	close(hold) // release workers so Close can drain
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := core.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestTimeout: a request whose deadline passes while workers are
+// parked must return a timeout, and the timeout counter must move.
+func TestRequestTimeout(t *testing.T) {
+	reg := testEnv(t)
+	hold := make(chan struct{})
+	core := NewCore(reg, Config{MaxBatch: 1, BatchWait: time.Millisecond, Workers: 1, testHoldWorkers: hold})
+	ct, _ := encryptRandom(t, 600)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := core.Submit(ctx, "square", testTenant, ct)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+	if core.Metrics().Timeouts.Load() == 0 {
+		t.Fatal("timeout not counted")
+	}
+	close(hold)
+	core.Close(context.Background())
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/workloads"
+)
+
+// The fixture compiles the registry once (prime generation and program
+// compilation are the slow parts) and shares it across tests; each test
+// builds its own Core on top.
+var env struct {
+	once sync.Once
+	err  error
+
+	lit ckks.ParametersLiteral
+	reg *Registry
+
+	sk   *ckks.SecretKey
+	keys map[string]*ckks.EvalKey
+
+	cryptoMu sync.Mutex // key-material ops are stateful (samplers)
+	enc      *ckks.Encoder
+	encr     *ckks.Encryptor
+	decr     *ckks.Decryptor
+	ev       *ckks.Evaluator
+}
+
+const testTenant = "tenant-a"
+
+func testEnvInit() {
+	env.lit = workloads.ServeParamsLiteral(8, 3, 20260805)
+	env.reg, env.err = NewRegistry(RegistryConfig{Literal: env.lit, MaxBatch: 4})
+	if env.err != nil {
+		return
+	}
+	params := env.reg.Params
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		env.err = err
+		return
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		env.err = err
+		return
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		env.err = err
+		return
+	}
+	rots := []int{1, 2, 3, 4}
+	rtks, err := kg.GenRotationKeySet(sk, rots, false)
+	if err != nil {
+		env.err = err
+		return
+	}
+	env.sk = sk
+	env.keys = map[string]*ckks.EvalKey{"rlk": rlk}
+	for k, key := range rtks.Keys {
+		env.keys[fmt.Sprintf("rot:%d", k)] = key
+	}
+	env.enc = ckks.NewEncoder(params)
+	env.encr = ckks.NewEncryptor(params, pk)
+	env.decr = ckks.NewDecryptor(params, sk)
+	env.ev = ckks.NewEvaluator(params, rlk, rtks)
+	env.err = env.reg.RegisterTenant(testTenant, env.keys)
+}
+
+func testEnv(t testing.TB) *Registry {
+	t.Helper()
+	env.once.Do(testEnvInit)
+	if env.err != nil {
+		t.Fatalf("test env: %v", env.err)
+	}
+	return env.reg
+}
+
+// encryptRandom encrypts a full-slot random vector derived from seed.
+func encryptRandom(t testing.TB, seed int64) (*ckks.Ciphertext, []complex128) {
+	t.Helper()
+	params := env.reg.Params
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex128, params.Slots())
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	env.cryptoMu.Lock()
+	defer env.cryptoMu.Unlock()
+	pt, err := env.enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := env.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct, v
+}
+
+func decryptDecode(t testing.TB, ct *ckks.Ciphertext) []complex128 {
+	t.Helper()
+	env.cryptoMu.Lock()
+	defer env.cryptoMu.Unlock()
+	pt, err := env.decr.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := env.enc.Decode(pt, env.reg.Params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// reference runs the workload's evaluator-side implementation.
+func reference(t testing.TB, name string, ct *ckks.Ciphertext) *ckks.Ciphertext {
+	t.Helper()
+	spec, ok := workloads.ServeWorkloadByName(name)
+	if !ok {
+		t.Fatalf("no serve workload %q", name)
+	}
+	env.cryptoMu.Lock()
+	defer env.cryptoMu.Unlock()
+	out, err := spec.Reference(env.ev, env.enc, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func maxSlotErr(a, b []complex128) float64 {
+	w := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > w {
+			w = e
+		}
+	}
+	return w
+}

@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/emulator"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	ErrUnknownProgram = errors.New("serve: unknown program")
+	ErrUnknownTenant  = errors.New("serve: unknown tenant (register evaluation keys first)")
+	ErrMissingKeys    = errors.New("serve: tenant is missing required evaluation keys")
+	ErrOverloaded     = errors.New("serve: overloaded, request shed")
+	ErrShuttingDown   = errors.New("serve: shutting down")
+	ErrBadRequest     = errors.New("serve: bad request")
+)
+
+// Config tunes the serving core.
+type Config struct {
+	// MaxBatch caps how many requests one machine run serves. Default:
+	// the registry's largest compiled variant.
+	MaxBatch int
+	// BatchWait is how long a non-full batch waits for company before
+	// flushing. Default 2ms.
+	BatchWait time.Duration
+	// Workers is the executor pool size. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds each (program, tenant) request queue; a full
+	// queue sheds with ErrOverloaded. Default 64.
+	QueueDepth int
+	// DispatchDepth bounds the batch channel feeding workers.
+	// Default 2×Workers.
+	DispatchDepth int
+	// RequestTimeout bounds a request's total time in the system when its
+	// context has no deadline of its own. Default 10s.
+	RequestTimeout time.Duration
+
+	// testHoldWorkers, when non-nil, parks workers until the channel is
+	// closed — a deterministic backpressure lever for tests.
+	testHoldWorkers chan struct{}
+}
+
+func (c Config) withDefaults(reg *Registry) Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = math.MaxInt
+	}
+	if len(reg.order) > 0 {
+		largest := reg.programs[reg.order[0]].variants[0].Batch
+		if c.MaxBatch > largest {
+			c.MaxBatch = largest
+		}
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DispatchDepth <= 0 {
+		c.DispatchDepth = 2 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	return c
+}
+
+type result struct {
+	ct  *ckks.Ciphertext
+	err error
+}
+
+type request struct {
+	ctx  context.Context
+	ct   *ckks.Ciphertext
+	resp chan result // buffered (1); exactly one send per request
+	enq  time.Time
+}
+
+type batch struct {
+	prog   *Program
+	pm     *ProgramMetrics
+	tenant string
+	reqs   []*request
+}
+
+// Core is the serving runtime: registry + batchers + worker pool +
+// metrics.
+type Core struct {
+	cfg Config
+	reg *Registry
+	met *Metrics
+
+	mu       sync.Mutex // guards batchers
+	batchers map[string]*batcher
+
+	dispatch chan *batch
+
+	// stateMu serializes Submit's enqueue section against Close flipping
+	// draining: once draining is set no new request can reach a batcher,
+	// so the quit-triggered drain observes a complete queue.
+	stateMu  sync.RWMutex
+	draining bool
+
+	quit       chan struct{}
+	batchersWG sync.WaitGroup
+	workersWG  sync.WaitGroup
+
+	machMu   sync.Mutex // guards machines
+	machines map[*Variant][]*emulator.Machine
+}
+
+// NewCore starts the worker pool over an already-compiled registry.
+func NewCore(reg *Registry, cfg Config) *Core {
+	cfg = cfg.withDefaults(reg)
+	c := &Core{
+		cfg:      cfg,
+		reg:      reg,
+		met:      newMetrics(reg.ProgramNames()),
+		batchers: map[string]*batcher{},
+		dispatch: make(chan *batch, cfg.DispatchDepth),
+		quit:     make(chan struct{}),
+		machines: map[*Variant][]*emulator.Machine{},
+	}
+	c.workersWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go c.worker()
+	}
+	return c
+}
+
+// Registry exposes the compiled program registry.
+func (c *Core) Registry() *Registry { return c.reg }
+
+// Metrics exposes the metrics surface.
+func (c *Core) Metrics() *Metrics { return c.met }
+
+// Submit runs one encrypted request through the batching pipeline and
+// blocks until its response, its context deadline, or load shedding.
+func (c *Core) Submit(ctx context.Context, program, tenant string, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	c.met.Received.Add(1)
+	prog, ok := c.reg.Program(program)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProgram, program)
+	}
+	keys, ok := c.reg.TenantKeys(tenant)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	if missing := prog.MissingKeys(keys); len(missing) > 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMissingKeys, missing)
+	}
+	if ct.Level() != prog.InLevel {
+		return nil, fmt.Errorf("%w: ciphertext at level %d, program expects %d", ErrBadRequest, ct.Level(), prog.InLevel)
+	}
+	def := c.reg.Params.DefaultScale()
+	if math.Abs(ct.Scale-def) > 1e-6*def {
+		return nil, fmt.Errorf("%w: ciphertext scale %g, program expects %g", ErrBadRequest, ct.Scale, def)
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
+	r := &request{ctx: ctx, ct: ct, resp: make(chan result, 1), enq: time.Now()}
+
+	c.stateMu.RLock()
+	if c.draining {
+		c.stateMu.RUnlock()
+		c.met.Rejected.Add(1)
+		return nil, ErrShuttingDown
+	}
+	b := c.batcherFor(program, tenant, prog)
+	accepted := b.tryEnqueue(r)
+	c.stateMu.RUnlock()
+	if !accepted {
+		c.met.Rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	c.met.QueueDepth.Add(1)
+
+	select {
+	case res := <-r.resp:
+		return res.ct, res.err
+	case <-ctx.Done():
+		c.met.Timeouts.Add(1)
+		return nil, fmt.Errorf("serve: request timed out: %w", ctx.Err())
+	}
+}
+
+func (c *Core) batcherFor(program, tenant string, prog *Program) *batcher {
+	key := program + "\x00" + tenant
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.batchers[key]; ok {
+		return b
+	}
+	b := newBatcher(c, prog, tenant)
+	c.batchers[key] = b
+	c.batchersWG.Add(1)
+	go b.run()
+	return b
+}
+
+// Close drains the runtime: no new requests are accepted, queued requests
+// are flushed into final batches, and workers finish every in-flight
+// batch. It returns early with the context's error if draining exceeds
+// the deadline.
+func (c *Core) Close(ctx context.Context) error {
+	c.stateMu.Lock()
+	already := c.draining
+	c.draining = true
+	c.stateMu.Unlock()
+	if already {
+		return nil
+	}
+	close(c.quit)
+	done := make(chan struct{})
+	go func() {
+		c.batchersWG.Wait()
+		close(c.dispatch)
+		c.workersWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
+}
+
+func (c *Core) worker() {
+	defer c.workersWG.Done()
+	for bt := range c.dispatch {
+		if c.cfg.testHoldWorkers != nil {
+			<-c.cfg.testHoldWorkers
+		}
+		c.runBatch(bt)
+	}
+}
+
+// runBatch executes a dispatched batch, chunking it over the largest
+// compiled variants that fit (e.g. 7 requests → 4 + 2 + 1).
+func (c *Core) runBatch(bt *batch) {
+	// Drop requests whose callers have already given up.
+	live := bt.reqs[:0]
+	for _, r := range bt.reqs {
+		if r.ctx.Err() != nil {
+			r.resp <- result{err: r.ctx.Err()}
+			continue
+		}
+		live = append(live, r)
+	}
+	keys, ok := c.reg.TenantKeys(bt.tenant)
+	if !ok {
+		for _, r := range live {
+			r.resp <- result{err: ErrUnknownTenant}
+		}
+		return
+	}
+	for len(live) > 0 {
+		v := bt.prog.VariantFor(len(live))
+		chunk := live[:v.Batch]
+		live = live[v.Batch:]
+		c.runChunk(bt.prog, bt.pm, v, keys, chunk)
+	}
+}
+
+func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[string]*ckks.EvalKey, reqs []*request) {
+	prov := emulator.NewCKKSProvider(c.reg.Params)
+	prov.Plaintexts = prog.Plaintexts
+	prov.Keys = keys
+	for i, r := range reqs {
+		prov.Inputs[fmt.Sprintf("x%d", i)] = r.ct
+	}
+	m := c.getMachine(v, prov)
+	err := m.Run()
+	c.putMachine(v, m)
+	c.met.Batches.Add(1)
+	c.met.BatchedRequests.Add(int64(len(reqs)))
+	for i, r := range reqs {
+		res := result{err: err}
+		if err == nil {
+			res.ct, res.err = prov.Output(fmt.Sprintf("y%d", i), prog.OutLevel, prog.OutScale)
+		}
+		if res.err != nil {
+			c.met.Errors.Add(1)
+			pm.Errors.Add(1)
+			res.err = fmt.Errorf("serve: executing %q: %w", prog.Spec.Name, res.err)
+		} else {
+			lat := time.Since(r.enq)
+			c.met.Completed.Add(1)
+			c.met.Latency.Observe(lat)
+			pm.Completed.Add(1)
+			pm.Latency.Observe(lat)
+		}
+		r.resp <- res
+	}
+}
+
+// getMachine reuses a pooled emulator machine for the variant (resetting
+// its register state and swapping in this chunk's provider) or builds a
+// fresh one.
+func (c *Core) getMachine(v *Variant, prov emulator.Provider) *emulator.Machine {
+	c.machMu.Lock()
+	free := c.machines[v]
+	var m *emulator.Machine
+	if n := len(free); n > 0 {
+		m = free[n-1]
+		c.machines[v] = free[:n-1]
+	}
+	c.machMu.Unlock()
+	if m == nil {
+		return emulator.New(c.reg.Params.Ring, v.Module, prov)
+	}
+	m.Reset(prov)
+	return m
+}
+
+func (c *Core) putMachine(v *Variant, m *emulator.Machine) {
+	m.Reset(nil)
+	m.Prov = nil // drop references to request data promptly
+	c.machMu.Lock()
+	if len(c.machines[v]) < c.cfg.Workers {
+		c.machines[v] = append(c.machines[v], m)
+	}
+	c.machMu.Unlock()
+}

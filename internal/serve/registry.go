@@ -1,0 +1,299 @@
+// Package serve is the encrypted-inference serving runtime: it turns
+// compiled Cinnamon programs into a multi-tenant online service. The
+// pipeline is registry → batcher → worker pool → metrics:
+//
+//   - the Registry compiles every catalog workload once at startup (one
+//     variant per batch size, each batch slot an independent DSL stream on
+//     its own virtual chip) and holds per-tenant evaluation keys;
+//   - a dynamic batcher per (program, tenant) coalesces queued ciphertext
+//     requests up to a max batch size or max wait deadline — the CKKS slot
+//     dimension makes adding a stream to a batch nearly free;
+//   - a worker pool of reusable emulator.Machine instances executes
+//     batches concurrently with bounded queues, per-request timeouts and
+//     load shedding under backpressure;
+//   - a metrics core tracks counters, queue depth, batch occupancy and
+//     streaming latency quantiles, exposed as JSON.
+//
+// The package is stdlib-only; cmd/cinnamon-serve wraps it in net/http and
+// cmd/cinnamon-loadgen drives it open-loop.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/compiler"
+	"cinnamon/internal/dsl"
+	"cinnamon/internal/limbir"
+	"cinnamon/internal/polyir"
+	"cinnamon/internal/workloads"
+)
+
+// RegistryConfig configures program compilation.
+type RegistryConfig struct {
+	// Literal is the CKKS parameter literal; it is also what GET /v1/params
+	// serves so clients can reconstruct an identical parameter set.
+	Literal ckks.ParametersLiteral
+	// Programs is the workload catalog to compile. Empty means the full
+	// workloads.ServeWorkloads() catalog.
+	Programs []workloads.ServeWorkload
+	// MaxBatch is the largest batch variant to compile (rounded down to a
+	// power of two, minimum 1). Default 4.
+	MaxBatch int
+	// Registers sizes the per-chip register file for allocation.
+	// Default 96.
+	Registers int
+}
+
+// Variant is one compiled batch size of a program: Batch independent
+// streams, each placed on its own virtual chip.
+type Variant struct {
+	Batch  int
+	Module *limbir.Module
+}
+
+// Program is a compiled catalog entry.
+type Program struct {
+	Spec workloads.ServeWorkload
+	// InLevel is the level request ciphertexts must arrive at.
+	InLevel int
+	// OutLevel and OutScale describe the response ciphertext.
+	OutLevel int
+	OutScale float64
+	// RequiredKeys lists the evaluation-key IDs a tenant must register
+	// before running this program ("rlk", "rot:<k>", "conj").
+	RequiredKeys []string
+	// Plaintexts holds the server-side plaintext operands (model weights),
+	// encoded once at startup and shared read-only across workers.
+	Plaintexts map[string]*ckks.Plaintext
+	// variants are sorted by descending batch size; the last is batch 1.
+	variants []*Variant
+}
+
+// VariantFor returns the largest compiled variant with Batch ≤ n.
+func (p *Program) VariantFor(n int) *Variant {
+	for _, v := range p.variants {
+		if v.Batch <= n {
+			return v
+		}
+	}
+	return p.variants[len(p.variants)-1]
+}
+
+// BatchSizes lists the compiled variant sizes, descending.
+func (p *Program) BatchSizes() []int {
+	out := make([]int, len(p.variants))
+	for i, v := range p.variants {
+		out[i] = v.Batch
+	}
+	return out
+}
+
+// Registry holds compiled programs and per-tenant key material.
+type Registry struct {
+	Params  *ckks.Parameters
+	Literal ckks.ParametersLiteral
+
+	programs map[string]*Program
+	order    []string
+
+	mu      sync.RWMutex
+	tenants map[string]map[string]*ckks.EvalKey
+}
+
+// NewRegistry compiles the catalog: for every program, one module per
+// power-of-two batch size up to MaxBatch, plus output metadata (level and
+// scale inferred from the IR graph) and the encoded plaintext operands.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	params, err := ckks.NewParameters(cfg.Literal)
+	if err != nil {
+		return nil, fmt.Errorf("serve: parameters: %w", err)
+	}
+	progs := cfg.Programs
+	if len(progs) == 0 {
+		progs = workloads.ServeWorkloads()
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 4
+	}
+	regs := cfg.Registers
+	if regs <= 0 {
+		regs = 96
+	}
+	r := &Registry{
+		Params:   params,
+		Literal:  cfg.Literal,
+		programs: map[string]*Program{},
+		tenants:  map[string]map[string]*ckks.EvalKey{},
+	}
+	enc := ckks.NewEncoder(params)
+	for _, spec := range progs {
+		if _, dup := r.programs[spec.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate program %q", spec.Name)
+		}
+		p, err := compileProgram(params, enc, spec, maxBatch, regs)
+		if err != nil {
+			return nil, fmt.Errorf("serve: compiling %q: %w", spec.Name, err)
+		}
+		r.programs[spec.Name] = p
+		r.order = append(r.order, spec.Name)
+	}
+	return r, nil
+}
+
+// Program looks up a compiled program.
+func (r *Registry) Program(name string) (*Program, bool) {
+	p, ok := r.programs[name]
+	return p, ok
+}
+
+// ProgramNames lists programs in catalog order.
+func (r *Registry) ProgramNames() []string {
+	return append([]string(nil), r.order...)
+}
+
+// RegisterTenant installs (or replaces) a tenant's evaluation keys. The
+// map is copied; callers keep ownership of theirs.
+func (r *Registry) RegisterTenant(id string, keys map[string]*ckks.EvalKey) error {
+	if id == "" {
+		return fmt.Errorf("serve: empty tenant id")
+	}
+	cp := make(map[string]*ckks.EvalKey, len(keys))
+	for k, v := range keys {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	r.tenants[id] = cp
+	r.mu.Unlock()
+	return nil
+}
+
+// TenantKeys returns the tenant's key map (read-only — do not mutate).
+func (r *Registry) TenantKeys(id string) (map[string]*ckks.EvalKey, bool) {
+	r.mu.RLock()
+	keys, ok := r.tenants[id]
+	r.mu.RUnlock()
+	return keys, ok
+}
+
+// MissingKeys reports which of the program's required keys the key set
+// lacks.
+func (p *Program) MissingKeys(keys map[string]*ckks.EvalKey) []string {
+	var missing []string
+	for _, id := range p.RequiredKeys {
+		if keys[id] == nil {
+			missing = append(missing, id)
+		}
+	}
+	return missing
+}
+
+func compileProgram(params *ckks.Parameters, enc *ckks.Encoder, spec workloads.ServeWorkload, maxBatch, regs int) (*Program, error) {
+	p := &Program{Spec: spec, InLevel: params.MaxLevel()}
+	for b := 1; b <= maxBatch; b *= 2 {
+		mod, g, err := compileVariant(params, spec, b, regs)
+		if err != nil {
+			return nil, fmt.Errorf("batch %d: %w", b, err)
+		}
+		p.variants = append(p.variants, &Variant{Batch: b, Module: mod})
+		if b == 1 {
+			level, scale, keys, err := inferOutputMeta(g, params)
+			if err != nil {
+				return nil, err
+			}
+			p.OutLevel, p.OutScale, p.RequiredKeys = level, scale, keys
+		}
+	}
+	sort.Slice(p.variants, func(i, j int) bool { return p.variants[i].Batch > p.variants[j].Batch })
+	p.Plaintexts = map[string]*ckks.Plaintext{}
+	for _, name := range spec.Plaintexts {
+		pt, err := enc.Encode(workloads.ServeWeightVector(name, params.Slots()), params.MaxLevel(), params.DefaultScale())
+		if err != nil {
+			return nil, fmt.Errorf("encoding plaintext %q: %w", name, err)
+		}
+		p.Plaintexts[name] = pt
+	}
+	return p, nil
+}
+
+// compileVariant builds the batch-B module: B identical streams, each an
+// instance of the workload on its own chip (group size 1, sequential
+// keyswitching), so one emulator run serves B requests.
+func compileVariant(params *ckks.Parameters, spec workloads.ServeWorkload, batch, regs int) (*limbir.Module, *polyir.Graph, error) {
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: params.MaxLevel()})
+	dsl.StreamPool(prog, batch, func(i int, s *dsl.Stream) {
+		x := s.Input(fmt.Sprintf("x%d", i), params.MaxLevel())
+		s.Output(fmt.Sprintf("y%d", i), spec.Build(s, x))
+	})
+	g, err := prog.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	// One chip per stream: the pass marks every keyswitch sequential (no
+	// inter-chip collectives), so tenants only need rlk/rot/conj keys.
+	groups := (&polyir.KeyswitchPass{NChips: 1}).Run(g)
+	mod, err := compiler.Lower(g, params, batch, groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	alloc, err := compiler.Allocate(mod, regs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return alloc, g, nil
+}
+
+// inferOutputMeta walks the (topologically ordered) IR graph tracking the
+// scale arithmetic the reference evaluator performs — inputs at the
+// default scale, Mul multiplies scales, Rescale divides by the dropped
+// modulus — and collects the evaluation keys the lowered code will load.
+// All streams are identical, so stream 0's output describes every slot.
+func inferOutputMeta(g *polyir.Graph, params *ckks.Parameters) (level int, scale float64, requiredKeys []string, err error) {
+	scales := map[int]float64{}
+	keySet := map[string]bool{}
+	outLevel, outScale, found := 0, 0.0, false
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case polyir.OpInput:
+			scales[n.ID] = params.DefaultScale()
+		case polyir.OpAdd, polyir.OpSub, polyir.OpAddPlain:
+			scales[n.ID] = scales[n.Args[0].ID]
+		case polyir.OpNeg, polyir.OpConjugate, polyir.OpRotate, polyir.OpDropLevel:
+			scales[n.ID] = scales[n.Args[0].ID]
+			if n.Kind == polyir.OpRotate {
+				keySet[fmt.Sprintf("rot:%d", n.Rot)] = true
+			}
+			if n.Kind == polyir.OpConjugate {
+				keySet["conj"] = true
+			}
+		case polyir.OpMulCt:
+			scales[n.ID] = scales[n.Args[0].ID] * scales[n.Args[1].ID]
+			keySet["rlk"] = true
+		case polyir.OpMulPlain:
+			scales[n.ID] = scales[n.Args[0].ID] * params.DefaultScale()
+		case polyir.OpRescale:
+			argLevel := n.Args[0].Level
+			scales[n.ID] = scales[n.Args[0].ID] / float64(params.QBasis.Moduli[argLevel])
+		case polyir.OpOutput:
+			if n.Stream == 0 {
+				outLevel = n.Args[0].Level
+				outScale = scales[n.Args[0].ID]
+				found = true
+			}
+		default:
+			return 0, 0, nil, fmt.Errorf("serve: cannot infer scale through %v (unsupported in serving programs)", n.Kind)
+		}
+	}
+	if !found {
+		return 0, 0, nil, fmt.Errorf("serve: program has no stream-0 output")
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return outLevel, outScale, keys, nil
+}

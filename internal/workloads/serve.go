@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/dsl"
+)
+
+// This file defines the online-serving workload catalog: small,
+// functionally-executable programs a serving runtime (internal/serve)
+// compiles once at startup and then evaluates on encrypted requests. They
+// are deliberately sized for the CPU emulator (the functional backend),
+// unlike the compile-only paper workloads above, and each carries a
+// reference implementation against the ckks.Evaluator so clients can
+// verify responses to CKKS precision.
+
+// ServeWorkload is one servable encrypted-inference program.
+type ServeWorkload struct {
+	// Name is the registry key (URL-safe).
+	Name string
+	// Description is a one-line human summary.
+	Description string
+	// Build records the circuit for one request on the given stream. The
+	// serving runtime instantiates it once per batch slot (one stream per
+	// queued request).
+	Build func(s *dsl.Stream, x *dsl.Ciphertext) *dsl.Ciphertext
+	// Reference computes the same function with the reference evaluator
+	// (used by clients and tests to validate served results). Plaintext
+	// operands are regenerated with ServeWeight, so server and client
+	// agree on model weights without shipping them.
+	Reference func(ev *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error)
+	// Rotations lists slot-rotation offsets the circuit uses (clients must
+	// provide the matching rotation keys).
+	Rotations []int
+	// NeedsRelin reports whether the circuit multiplies ciphertexts (needs
+	// the relinearization key).
+	NeedsRelin bool
+	// Plaintexts lists the plaintext operand names the circuit consumes.
+	Plaintexts []string
+}
+
+// ServeWeight derives the deterministic scalar weight for a named
+// plaintext operand, in [-1, 1]. Both the server (encoding operands into
+// the program registry) and clients (running the reference implementation)
+// derive weights from the operand name alone.
+func ServeWeight(name string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	return rng.Float64()*2 - 1
+}
+
+// ServeWeightVector broadcasts the named weight across all slots.
+func ServeWeightVector(name string, slots int) []complex128 {
+	w := ServeWeight(name)
+	v := make([]complex128, slots)
+	for i := range v {
+		v[i] = complex(w, 0)
+	}
+	return v
+}
+
+// ServeParamsLiteral is the default functional parameter set for serving:
+// small enough that the emulator answers interactively, deep enough for
+// the catalog's depth-2 circuits.
+func ServeParamsLiteral(logN, levels int, seed int64) ckks.ParametersLiteral {
+	logQ := []int{55}
+	for i := 0; i < levels; i++ {
+		logQ = append(logQ, 45)
+	}
+	return ckks.ParametersLiteral{
+		LogN:     logN,
+		LogQ:     logQ,
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		Seed:     seed,
+	}
+}
+
+// encodeWeight encodes the named broadcast weight at the ciphertext's
+// level and the default scale.
+func encodeWeight(enc *ckks.Encoder, params *ckks.Parameters, name string, level int) (*ckks.Plaintext, error) {
+	return enc.Encode(ServeWeightVector(name, params.Slots()), level, params.DefaultScale())
+}
+
+// ServeWorkloads returns the serving catalog.
+func ServeWorkloads() []ServeWorkload {
+	return []ServeWorkload{
+		{
+			Name:        "square",
+			Description: "y = x^2 (one ct-ct multiply + rescale)",
+			NeedsRelin:  true,
+			Build: func(s *dsl.Stream, x *dsl.Ciphertext) *dsl.Ciphertext {
+				return x.Mul(x).Rescale()
+			},
+			Reference: func(ev *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+				y, err := ev.MulRelin(ct, ct)
+				if err != nil {
+					return nil, err
+				}
+				return ev.Rescale(y)
+			},
+		},
+		{
+			Name:        "quartic",
+			Description: "y = x^4 (depth-2 multiply chain)",
+			NeedsRelin:  true,
+			Build: func(s *dsl.Stream, x *dsl.Ciphertext) *dsl.Ciphertext {
+				sq := x.Mul(x).Rescale()
+				return sq.Mul(sq).Rescale()
+			},
+			Reference: func(ev *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+				sq, err := ev.MulRelin(ct, ct)
+				if err != nil {
+					return nil, err
+				}
+				if sq, err = ev.Rescale(sq); err != nil {
+					return nil, err
+				}
+				q, err := ev.MulRelin(sq, sq)
+				if err != nil {
+					return nil, err
+				}
+				return ev.Rescale(q)
+			},
+		},
+		{
+			Name:        "rotsum",
+			Description: "y = sum_k rot(x,k), k in {1,2,4} (rotation keyswitches only)",
+			Rotations:   []int{1, 2, 4},
+			Build: func(s *dsl.Stream, x *dsl.Ciphertext) *dsl.Ciphertext {
+				return x.SumRotations([]int{1, 2, 4})
+			},
+			Reference: func(ev *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+				var acc *ckks.Ciphertext
+				for _, k := range []int{1, 2, 4} {
+					r, err := ev.Rotate(ct, k)
+					if err != nil {
+						return nil, err
+					}
+					if acc == nil {
+						acc = r
+					} else if acc, err = ev.Add(acc, r); err != nil {
+						return nil, err
+					}
+				}
+				return acc, nil
+			},
+		},
+		{
+			Name:        "wavg4",
+			Description: "y = sum_k w_k*rot(x,k), k in {0..3} (plaintext-weighted sliding window)",
+			Rotations:   []int{1, 2, 3},
+			Plaintexts:  []string{"wavg4.w0", "wavg4.w1", "wavg4.w2", "wavg4.w3"},
+			Build: func(s *dsl.Stream, x *dsl.Ciphertext) *dsl.Ciphertext {
+				acc := x.MulPlain("wavg4.w0")
+				for k := 1; k < 4; k++ {
+					acc = acc.Add(x.Rotate(k).MulPlain(fmt.Sprintf("wavg4.w%d", k)))
+				}
+				return acc.Rescale()
+			},
+			Reference: func(ev *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+				params := ev.Params()
+				var acc *ckks.Ciphertext
+				for k := 0; k < 4; k++ {
+					r := ct
+					var err error
+					if k > 0 {
+						if r, err = ev.Rotate(ct, k); err != nil {
+							return nil, err
+						}
+					}
+					pt, err := encodeWeight(enc, params, fmt.Sprintf("wavg4.w%d", k), r.Level())
+					if err != nil {
+						return nil, err
+					}
+					term, err := ev.MulPlain(r, pt)
+					if err != nil {
+						return nil, err
+					}
+					if acc == nil {
+						acc = term
+					} else if acc, err = ev.Add(acc, term); err != nil {
+						return nil, err
+					}
+				}
+				return ev.Rescale(acc)
+			},
+		},
+	}
+}
+
+// ServeWorkloadByName looks a catalog entry up.
+func ServeWorkloadByName(name string) (ServeWorkload, bool) {
+	for _, w := range ServeWorkloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return ServeWorkload{}, false
+}
