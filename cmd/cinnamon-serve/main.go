@@ -43,18 +43,19 @@ func main() {
 	maxBatch := flag.Int("max-batch", 4, "largest compiled batch variant (power of two)")
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max time a request waits for batch-mates")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "emulator worker goroutines")
+	limbWorkers := flag.Int("limb-workers", 0, "limb-parallel arithmetic workers per operation (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "per-(program,tenant) queue depth before shedding")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request execution timeout")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
 	flag.Parse()
 
-	if err := run(*addr, *logN, *levels, *seed, *maxBatch, *batchWait, *workers, *queue, *timeout, *drain); err != nil {
+	if err := run(*addr, *logN, *levels, *seed, *maxBatch, *batchWait, *workers, *limbWorkers, *queue, *timeout, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time.Duration, workers, queue int, timeout, drain time.Duration) error {
+func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time.Duration, workers, limbWorkers, queue int, timeout, drain time.Duration) error {
 	lit := workloads.ServeParamsLiteral(logN, levels, seed)
 	log.Printf("compiling serve catalog (logN=%d levels=%d seed=%d maxBatch=%d)...", logN, levels, seed, maxBatch)
 	start := time.Now()
@@ -72,6 +73,7 @@ func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time
 		MaxBatch:       maxBatch,
 		BatchWait:      batchWait,
 		Workers:        workers,
+		LimbWorkers:    limbWorkers,
 		QueueDepth:     queue,
 		RequestTimeout: timeout,
 	})

@@ -1,0 +1,311 @@
+// Command corebench times the core limb-level kernels of the CKKS
+// substrate — NTT/INTT, pointwise multiply, base conversion (ModUp /
+// ModDown), rescale, automorphism and the full hybrid keyswitch — under
+// different limb-parallel worker counts, and writes the results to a JSON
+// report (BENCH_core.json).
+//
+// Usage:
+//
+//	corebench -out BENCH_core.json -logn 12 -workers 1,4
+//
+// The worker sweep is the software analogue of the paper's limb-level
+// parallelism study: the same program, executed over 1 vs W virtual
+// workers. Speedups only materialize when the host actually has W cores;
+// the report records runtime.NumCPU so single-core CI runs are
+// interpretable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/parallel"
+	"cinnamon/internal/rns"
+)
+
+type opTiming struct {
+	NsPerOp int64 `json:"ns_per_op"`
+	Iters   int   `json:"iters"`
+}
+
+type workerRun struct {
+	Workers int                 `json:"workers"`
+	Ops     map[string]opTiming `json:"ops"`
+}
+
+type report struct {
+	GeneratedBy string  `json:"generated_by"`
+	HostCores   int     `json:"host_cores"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	LogN        int     `json:"logn"`
+	ChainLimbs  int     `json:"chain_limbs"`
+	ExtLimbs    int     `json:"ext_limbs"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	Runs []workerRun `json:"runs"`
+	// Speedup[op] = ns/op at workers=1 divided by ns/op at the largest
+	// worker count. On a single-core host this hovers around 1.0.
+	Speedup map[string]float64 `json:"speedup"`
+
+	// MulMod kernel comparison (ns per element, serial).
+	Kernels map[string]float64 `json:"mulmod_kernels_ns_per_elem"`
+
+	// Poly buffer pool: heap allocations per acquire/release cycle vs a
+	// fresh NewPoly.
+	PoolAllocs map[string]float64 `json:"poly_pool_allocs_per_op"`
+}
+
+func main() {
+	logN := flag.Int("logn", 12, "ring degree log2")
+	limbs := flag.Int("limbs", 9, "chain limbs (keyswitch digit count follows the usual hybrid choice)")
+	ext := flag.Int("ext", 2, "extension limbs")
+	workersFlag := flag.String("workers", "1,4", "comma-separated worker counts to sweep")
+	iters := flag.Int("iters", 20, "iterations per heavy op")
+	out := flag.String("out", "BENCH_core.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*logN, *limbs, *ext, *workersFlag, *iters, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(logN, limbs, ext int, workersFlag string, iters int, out string) error {
+	start := time.Now()
+	var workerCounts []int
+	for _, s := range strings.Split(workersFlag, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w < 1 {
+			return fmt.Errorf("bad -workers entry %q", s)
+		}
+		workerCounts = append(workerCounts, w)
+	}
+
+	logQ := make([]int, limbs)
+	logQ[0] = 55
+	for i := 1; i < limbs; i++ {
+		logQ[i] = 45
+	}
+	logP := make([]int, ext)
+	for i := range logP {
+		logP[i] = 58
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: logN, LogQ: logQ, LogP: logP, LogScale: 45, Seed: 20260805,
+	})
+	if err != nil {
+		return err
+	}
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		return err
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		return err
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		return err
+	}
+	enc := ckks.NewEncoder(params)
+	encr := ckks.NewEncryptor(params, pk)
+	ev := ckks.NewEvaluator(params, rlk, nil)
+	r := params.Ring
+
+	slots := 1 << (logN - 3)
+	if slots > 256 {
+		slots = 256
+	}
+	v := make([]complex128, slots)
+	for i := range v {
+		v[i] = complex(float64(i%7)/7-0.5, float64(i%5)/5-0.5)
+	}
+	pt, err := enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		return err
+	}
+	ct, err := encr.Encrypt(pt)
+	if err != nil {
+		return err
+	}
+
+	chain := ct.C0.Basis
+	p1 := ct.C0.Copy()
+	p2 := ct.C1.Copy()
+	scratch := r.NewPoly(chain)
+	scratch.IsNTT = true
+	coeff := ct.C0.Copy()
+	if err := r.INTT(coeff); err != nil {
+		return err
+	}
+
+	// time runs fn n times and returns ns/op; the first (warm-up) call is
+	// excluded so pool/cache population doesn't skew small iteration counts.
+	timeOp := func(n int, fn func() error) (opTiming, error) {
+		if err := fn(); err != nil {
+			return opTiming{}, err
+		}
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if err := fn(); err != nil {
+				return opTiming{}, err
+			}
+		}
+		return opTiming{NsPerOp: time.Since(t0).Nanoseconds() / int64(n), Iters: n}, nil
+	}
+
+	gal := r.GaloisElementForRotation(1)
+	ops := []struct {
+		name string
+		fn   func() error
+	}{
+		{"ntt", func() error { q := coeff.Copy(); return r.NTT(q) }},
+		{"intt", func() error { q := p1.Copy(); return r.INTT(q) }},
+		{"mulcoeffs", func() error { return r.MulCoeffs(p1, p2, scratch) }},
+		{"automorphism", func() error { return r.Automorphism(p1, gal, scratch) }},
+		{"modup", func() error {
+			e, err := r.ModUp(coeff, params.PBasis)
+			if err != nil {
+				return err
+			}
+			r.PutPoly(e)
+			return nil
+		}},
+		{"moddown", func() error {
+			e, err := r.ModUp(coeff, params.PBasis)
+			if err != nil {
+				return err
+			}
+			d, err := r.ModDown(e, params.PBasis)
+			if err != nil {
+				return err
+			}
+			r.PutPoly(e)
+			r.PutPoly(d)
+			return nil
+		}},
+		{"rescale", func() error {
+			d, err := r.Rescale(coeff)
+			if err != nil {
+				return err
+			}
+			r.PutPoly(d)
+			return nil
+		}},
+		{"keyswitch", func() error {
+			_, _, err := ev.KeySwitch(ct.C1, rlk)
+			return err
+		}},
+	}
+
+	rep := report{
+		GeneratedBy: "cmd/corebench",
+		HostCores:   runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		LogN:        logN,
+		ChainLimbs:  limbs,
+		ExtLimbs:    ext,
+		Speedup:     map[string]float64{},
+		Kernels:     map[string]float64{},
+		PoolAllocs:  map[string]float64{},
+	}
+
+	for _, w := range workerCounts {
+		parallel.SetWorkers(w)
+		run := workerRun{Workers: w, Ops: map[string]opTiming{}}
+		for _, op := range ops {
+			t, err := timeOp(iters, op.fn)
+			if err != nil {
+				return fmt.Errorf("%s @%dw: %w", op.name, w, err)
+			}
+			run.Ops[op.name] = t
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	parallel.SetWorkers(0) // restore GOMAXPROCS default
+	if len(rep.Runs) > 1 {
+		base, last := rep.Runs[0], rep.Runs[len(rep.Runs)-1]
+		for name, t := range base.Ops {
+			if lt, ok := last.Ops[name]; ok && lt.NsPerOp > 0 {
+				rep.Speedup[name] = float64(t.NsPerOp) / float64(lt.NsPerOp)
+			}
+		}
+	}
+
+	// Serial per-element kernel comparison on one limb.
+	n := 1 << logN
+	q := chain.Moduli[0]
+	x, y := p1.Limbs[0], p2.Limbs[0]
+	dst := make([]uint64, n)
+	kern := func(fn func()) float64 {
+		fn() // warm-up
+		const reps = 50
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(reps*n)
+	}
+	rep.Kernels["div64"] = kern(func() {
+		for i := 0; i < n; i++ {
+			dst[i] = rns.MulMod(x[i], y[i], q)
+		}
+	})
+	bp := rns.NewBarrettParams(q)
+	rep.Kernels["barrett"] = kern(func() {
+		for i := 0; i < n; i++ {
+			dst[i] = bp.MulMod(x[i], y[i])
+		}
+	})
+	w0 := y[0]
+	ws := rns.ShoupPrecomp(w0, q)
+	rep.Kernels["shoup"] = kern(func() {
+		for i := 0; i < n; i++ {
+			dst[i] = rns.MulModShoup(x[i], w0, ws, q)
+		}
+	})
+
+	rep.PoolAllocs["new_poly"] = allocsPerOp(func() {
+		_ = r.NewPoly(chain)
+	})
+	rep.PoolAllocs["get_put"] = allocsPerOp(func() {
+		p := r.GetPoly(chain)
+		r.PutPoly(p)
+	})
+
+	rep.WallSeconds = time.Since(start).Seconds()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (host cores %d, %d worker configs, %.1fs)\n",
+		out, rep.HostCores, len(rep.Runs), rep.WallSeconds)
+	return nil
+}
+
+// allocsPerOp measures heap allocations per call of fn (single-threaded).
+func allocsPerOp(fn func()) float64 {
+	const reps = 200
+	fn() // warm pools
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / reps
+}

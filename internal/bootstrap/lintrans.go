@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"cinnamon/internal/ckks"
+	"cinnamon/internal/parallel"
 )
 
 // LinearTransform is a slot-space linear map represented by its nonzero
@@ -90,8 +91,31 @@ func (lt *LinearTransform) Evaluate(ev *ckks.Evaluator, enc *ckks.Encoder, ct *c
 	// consume, so the caller's rescale preserves ct.Scale exactly.
 	scale := ev.TopModulus(level)
 	// Hoist the baby-step rotations: each rot_j(ct) is computed once and
-	// reused across all giant steps.
+	// reused across all giant steps. The hoisted rotations are mutually
+	// independent keyswitches, so they run concurrently on the limb worker
+	// pool (the paper's "multiple rotations on a single ciphertext" batch).
+	var babySteps []int
+	seen := map[int]bool{}
+	for d := range lt.Diags {
+		if j := d % lt.N1; j != 0 && !seen[j] {
+			seen[j] = true
+			babySteps = append(babySteps, j)
+		}
+	}
 	rotCache := map[int]*ckks.Ciphertext{0: ct}
+	if len(babySteps) > 0 {
+		rots := make([]*ckks.Ciphertext, len(babySteps))
+		errs := make([]error, len(babySteps))
+		parallel.For(len(babySteps), func(k int) {
+			rots[k], errs[k] = ev.Rotate(ct, babySteps[k])
+		})
+		for k, j := range babySteps {
+			if errs[k] != nil {
+				return nil, errs[k]
+			}
+			rotCache[j] = rots[k]
+		}
+	}
 	rotated := func(j int) (*ckks.Ciphertext, error) {
 		if r, ok := rotCache[j]; ok {
 			return r, nil

@@ -126,8 +126,10 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	basis := a.C0.Basis
 	d0 := r.NewPoly(basis)
 	d1 := r.NewPoly(basis)
-	d2 := r.NewPoly(basis)
-	t := r.NewPoly(basis)
+	d2 := r.GetPoly(basis)
+	t := r.GetPoly(basis)
+	defer r.PutPoly(d2)
+	defer r.PutPoly(t)
 	if err := r.MulCoeffs(a.C0, b.C0, d0); err != nil {
 		return nil, err
 	}
@@ -153,6 +155,8 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := r.Add(d1, f1, d1); err != nil {
 		return nil, err
 	}
+	r.PutPoly(f0)
+	r.PutPoly(f1)
 	return &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale}, nil
 }
 
@@ -164,8 +168,10 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	}
 	r := ev.params.Ring
 	ql := ct.C0.Basis.Moduli[ct.Level()]
-	c0 := ct.C0.Copy()
-	c1 := ct.C1.Copy()
+	c0 := r.CopyPoly(ct.C0)
+	c1 := r.CopyPoly(ct.C1)
+	defer r.PutPoly(c0)
+	defer r.PutPoly(c1)
 	if err := r.INTT(c0); err != nil {
 		return nil, err
 	}
@@ -227,7 +233,8 @@ func (ev *Evaluator) automorphismKS(ct *Ciphertext, galEl uint64, key *EvalKey) 
 	r := ev.params.Ring
 	basis := ct.C0.Basis
 	s0 := r.NewPoly(basis)
-	s1 := r.NewPoly(basis)
+	s1 := r.GetPoly(basis)
+	defer r.PutPoly(s1)
 	if err := r.Automorphism(ct.C0, galEl, s0); err != nil {
 		return nil, err
 	}
@@ -241,6 +248,7 @@ func (ev *Evaluator) automorphismKS(ct *Ciphertext, galEl uint64, key *EvalKey) 
 	if err := r.Add(s0, f0, s0); err != nil {
 		return nil, err
 	}
+	r.PutPoly(f0)
 	return &Ciphertext{C0: s0, C1: f1, Scale: ct.Scale}, nil
 }
 
@@ -248,6 +256,8 @@ func (ev *Evaluator) automorphismKS(ct *Ciphertext, galEl uint64, key *EvalKey) 
 // polynomial c (NTT domain, level-l chain basis): digit-decompose, mod-up
 // each digit to Q_l ∪ P, inner-product with the evaluation key, and
 // mod-down back to Q_l. Returns the two output polynomials in NTT domain.
+// All temporaries cycle through the ring's buffer pool, so steady-state
+// keyswitching allocates no limb storage.
 func (ev *Evaluator) KeySwitch(c *ring.Poly, evk *EvalKey) (f0, f1 *ring.Poly, err error) {
 	params, r := ev.params, ev.params.Ring
 	if !c.IsNTT {
@@ -260,14 +270,18 @@ func (ev *Evaluator) KeySwitch(c *ring.Poly, evk *EvalKey) (f0, f1 *ring.Poly, e
 	if err != nil {
 		return nil, nil, err
 	}
-	cc := c.Copy()
+	cc := r.CopyPoly(c)
+	defer r.PutPoly(cc)
 	if err := r.INTT(cc); err != nil {
 		return nil, nil, err
 	}
-	f0 = r.NewPoly(union)
-	f1 = r.NewPoly(union)
-	f0.IsNTT, f1.IsNTT = true, true
-	tmp := r.NewPoly(union)
+	g0 := r.GetPoly(union)
+	g1 := r.GetPoly(union)
+	defer r.PutPoly(g0)
+	defer r.PutPoly(g1)
+	g0.IsNTT, g1.IsNTT = true, true
+	tmp := r.GetPoly(union)
+	defer r.PutPoly(tmp)
 	for d := 0; d < evk.Digits(); d++ {
 		lo, hi, ok := params.DigitRange(d, l)
 		if !ok {
@@ -278,39 +292,47 @@ func (ev *Evaluator) KeySwitch(c *ring.Poly, evk *EvalKey) (f0, f1 *ring.Poly, e
 			return nil, nil, err
 		}
 		if err := r.NTT(ext); err != nil {
+			r.PutPoly(ext)
 			return nil, nil, err
 		}
-		bD, err := restrict(evk.B[d], union)
+		bD, err := r.Restrict(evk.B[d], union)
 		if err != nil {
+			r.PutPoly(ext)
 			return nil, nil, err
 		}
-		aD, err := restrict(evk.A[d], union)
+		aD, err := r.Restrict(evk.A[d], union)
 		if err != nil {
+			r.PutPoly(ext)
 			return nil, nil, err
 		}
 		if err := r.MulCoeffs(ext, bD, tmp); err != nil {
+			r.PutPoly(ext)
 			return nil, nil, err
 		}
-		if err := r.Add(f0, tmp, f0); err != nil {
+		if err := r.Add(g0, tmp, g0); err != nil {
+			r.PutPoly(ext)
 			return nil, nil, err
 		}
 		if err := r.MulCoeffs(ext, aD, tmp); err != nil {
+			r.PutPoly(ext)
 			return nil, nil, err
 		}
-		if err := r.Add(f1, tmp, f1); err != nil {
+		err = r.Add(g1, tmp, g1)
+		r.PutPoly(ext)
+		if err != nil {
 			return nil, nil, err
 		}
 	}
-	if err := r.INTT(f0); err != nil {
+	if err := r.INTT(g0); err != nil {
 		return nil, nil, err
 	}
-	if err := r.INTT(f1); err != nil {
+	if err := r.INTT(g1); err != nil {
 		return nil, nil, err
 	}
-	if f0, err = r.ModDown(f0, extBasis); err != nil {
+	if f0, err = r.ModDown(g0, extBasis); err != nil {
 		return nil, nil, err
 	}
-	if f1, err = r.ModDown(f1, extBasis); err != nil {
+	if f1, err = r.ModDown(g1, extBasis); err != nil {
 		return nil, nil, err
 	}
 	if err := r.NTT(f0); err != nil {
@@ -324,7 +346,8 @@ func (ev *Evaluator) KeySwitch(c *ring.Poly, evk *EvalKey) (f0, f1 *ring.Poly, e
 
 // digitModUp extracts digit limbs [lo,hi) of cc (coefficient domain, level
 // basis) and extends them to the full union basis Q_l ∪ P by fast base
-// conversion, keeping the digit's own limbs exact.
+// conversion, keeping the digit's own limbs exact. The returned polynomial
+// is pooled; the caller releases it with PutPoly.
 func (ev *Evaluator) digitModUp(cc *ring.Poly, lo, hi int, union rns.Basis) (*ring.Poly, error) {
 	r := ev.params.Ring
 	qlLen := cc.Basis.Len()
@@ -343,7 +366,7 @@ func (ev *Evaluator) digitModUp(cc *ring.Poly, lo, hi int, union rns.Basis) (*ri
 	if err != nil {
 		return nil, err
 	}
-	out := r.NewPoly(union)
+	out := r.GetPoly(union)
 	ci := 0
 	for j := 0; j < qlLen; j++ {
 		if j >= lo && j < hi {

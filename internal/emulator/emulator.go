@@ -160,6 +160,27 @@ func (m *Machine) Run() error {
 	}
 }
 
+// reuseDst returns a length-n output buffer for in.Dst, recycling the
+// register's previous backing storage when its capacity suffices. When
+// allowAlias is false the old buffer is NOT reused if the destination
+// register is also a source (scatter ops such as Auto would corrupt their
+// input); elementwise ops read and write the same index, so aliasing is
+// safe for them.
+func (m *Machine) reuseDst(c int, in limbir.Instr, n int, allowAlias bool) []uint64 {
+	old := m.vals[c][in.Dst]
+	if cap(old) < n {
+		return make([]uint64, n)
+	}
+	if !allowAlias {
+		for _, s := range in.Srcs {
+			if s == in.Dst {
+				return make([]uint64, n)
+			}
+		}
+	}
+	return old[:n]
+}
+
 func (m *Machine) exec(c int, in limbir.Instr) error {
 	get := func(v limbir.Value) ([]uint64, error) {
 		d := m.vals[c][v]
@@ -183,7 +204,8 @@ func (m *Machine) exec(c int, in limbir.Instr) error {
 		if err != nil {
 			return err
 		}
-		m.vals[c][in.Dst] = append([]uint64(nil), data...)
+		buf := m.reuseDst(c, in, 0, false)
+		m.vals[c][in.Dst] = append(buf[:0], data...)
 	case limbir.Store:
 		src, err := get(in.Srcs[0])
 		if err != nil {
@@ -203,7 +225,7 @@ func (m *Machine) exec(c int, in limbir.Instr) error {
 		if err != nil {
 			return err
 		}
-		out := make([]uint64, len(a))
+		out := m.reuseDst(c, in, len(a), true)
 		switch in.Op {
 		case limbir.Add:
 			for i := range out {
@@ -214,8 +236,11 @@ func (m *Machine) exec(c int, in limbir.Instr) error {
 				out[i] = rns.SubMod(a[i], b[i], in.Mod)
 			}
 		case limbir.Mul:
+			// Barrett kernel: register contents are reduced mod in.Mod, so
+			// the b < q precondition of BarrettParams.MulMod holds.
+			bp := m.Ring.Barrett(in.Mod)
 			for i := range out {
-				out[i] = rns.MulMod(a[i], b[i], in.Mod)
+				out[i] = bp.MulMod(a[i], b[i])
 			}
 		}
 		m.vals[c][in.Dst] = out
@@ -224,7 +249,7 @@ func (m *Machine) exec(c int, in limbir.Instr) error {
 		if err != nil {
 			return err
 		}
-		out := make([]uint64, len(a))
+		out := m.reuseDst(c, in, len(a), true)
 		for i := range out {
 			out[i] = rns.NegMod(a[i], in.Mod)
 		}
@@ -234,9 +259,13 @@ func (m *Machine) exec(c int, in limbir.Instr) error {
 		if err != nil {
 			return err
 		}
-		out := make([]uint64, len(a))
+		out := m.reuseDst(c, in, len(a), true)
+		// Shoup kernel: the scalar is fixed for the whole limb, so a single
+		// precomputed quotient replaces the per-element 128/64 division.
+		w := in.Scalar % in.Mod
+		ws := rns.ShoupPrecomp(w, in.Mod)
 		for i := range out {
-			out[i] = rns.MulMod(a[i], in.Scalar, in.Mod)
+			out[i] = rns.MulModShoup(a[i], w, ws, in.Mod)
 		}
 		m.vals[c][in.Dst] = out
 	case limbir.NTT, limbir.INTT:
@@ -248,7 +277,10 @@ func (m *Machine) exec(c int, in limbir.Instr) error {
 		if tb == nil {
 			return fmt.Errorf("no NTT table for modulus %d", in.Mod)
 		}
-		out := append([]uint64(nil), a...)
+		// The transform runs in place, so aliasing dst with src is fine
+		// (the copy below is then a no-op on the same backing array).
+		out := m.reuseDst(c, in, len(a), true)
+		copy(out, a)
 		if in.Op == limbir.NTT {
 			tb.Forward(out)
 		} else {
@@ -260,7 +292,7 @@ func (m *Machine) exec(c int, in limbir.Instr) error {
 		if err != nil {
 			return err
 		}
-		out := make([]uint64, len(a))
+		out := m.reuseDst(c, in, len(a), false)
 		if in.CoeffDom {
 			n := uint64(m.Ring.N)
 			twoN := 2 * n

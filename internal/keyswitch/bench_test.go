@@ -1,6 +1,8 @@
 package keyswitch
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 
 	"cinnamon/internal/ckks"
@@ -54,6 +56,129 @@ func BenchmarkKeySwitchOutputAggregation4(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := eng.KeySwitch(ct.C1, rlkMod, OutputAggregation); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Core benchmarks at limb-parallel scale: N = 2^12 with a 9-limb chain, the
+// smallest configuration where every limb loop crosses the worker pool's
+// parallel.MinCoeffs threshold. Run with -cpu 1,4 to compare serial vs
+// parallel execution. The context is built once and shared across -cpu
+// variants (key generation at this size dominates otherwise).
+
+var (
+	coreCtxOnce sync.Once
+	coreCtx     *ksContext
+	coreCtxErr  error
+)
+
+func coreBenchContext(b *testing.B) *ksContext {
+	b.Helper()
+	coreCtxOnce.Do(func() {
+		params, err := ckks.NewParameters(ckks.ParametersLiteral{
+			LogN:     12,
+			LogQ:     []int{55, 45, 45, 45, 45, 45, 45, 45, 45},
+			LogP:     []int{58, 58},
+			LogScale: 45,
+			Seed:     777,
+		})
+		if err != nil {
+			coreCtxErr = err
+			return
+		}
+		kg := ckks.NewKeyGenerator(params)
+		sk, err := kg.GenSecretKey()
+		if err != nil {
+			coreCtxErr = err
+			return
+		}
+		pk, err := kg.GenPublicKey(sk)
+		if err != nil {
+			coreCtxErr = err
+			return
+		}
+		rlk, err := kg.GenRelinKey(sk)
+		if err != nil {
+			coreCtxErr = err
+			return
+		}
+		coreCtx = &ksContext{
+			params: params,
+			enc:    ckks.NewEncoder(params),
+			kg:     kg,
+			sk:     sk,
+			pk:     pk,
+			rlk:    rlk,
+			encr:   ckks.NewEncryptor(params, pk),
+			decr:   ckks.NewDecryptor(params, sk),
+			ev:     ckks.NewEvaluator(params, rlk, nil),
+		}
+	})
+	if coreCtxErr != nil {
+		b.Fatal(coreCtxErr)
+	}
+	return coreCtx
+}
+
+func BenchmarkCoreKeySwitch(b *testing.B) {
+	tc := coreBenchContext(b)
+	_, ct := tc.encryptRandom(b, 256, 1)
+	eng, _ := NewEngine(tc.params, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := eng.KeySwitch(ct.C1, tc.rlk, Sequential); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreKeySwitchInputBroadcast4(b *testing.B) {
+	tc := coreBenchContext(b)
+	_, ct := tc.encryptRandom(b, 256, 2)
+	eng, _ := NewEngine(tc.params, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := eng.KeySwitch(ct.C1, tc.rlk, InputBroadcast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreEncodeEvalDecode measures a full round trip: encode two
+// vectors, encrypt, multiply-relinearize, rescale, decrypt, decode —
+// exercising NTT, Barrett pointwise kernels, keyswitch and rescale in one
+// end-to-end number.
+func BenchmarkCoreEncodeEvalDecode(b *testing.B) {
+	tc := coreBenchContext(b)
+	slots := 256
+	rng := rand.New(rand.NewSource(3))
+	v := make([]complex128, slots)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := tc.enc.Encode(v, tc.params.MaxLevel(), tc.params.DefaultScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ct, err := tc.encr.Encrypt(pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prod, err := tc.ev.MulRelin(ct, ct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prod, err = tc.ev.Rescale(prod); err != nil {
+			b.Fatal(err)
+		}
+		dec, err := tc.decr.Decrypt(prod)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tc.enc.Decode(dec, slots); err != nil {
 			b.Fatal(err)
 		}
 	}

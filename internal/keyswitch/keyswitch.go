@@ -155,7 +155,7 @@ func (e *Engine) digitModUpFull(cc *ring.Poly, lo, hi int, union rns.Basis) (*ri
 	if err != nil {
 		return nil, err
 	}
-	out := r.NewPoly(union)
+	out := r.GetPoly(union)
 	ci := 0
 	for j := 0; j < qlLen; j++ {
 		if j >= lo && j < hi {
@@ -175,15 +175,16 @@ func (e *Engine) digitModUpFull(cc *ring.Poly, lo, hi int, union rns.Basis) (*ri
 // innerProduct accumulates ext ⊙ (B_d, A_d) into (f0, f1) in NTT domain.
 func (e *Engine) innerProduct(ext *ring.Poly, evk *ckks.EvalKey, d int, union rns.Basis, f0, f1 *ring.Poly) error {
 	r := e.Params.Ring
-	bD, err := ring.Restrict(evk.B[d], union)
+	bD, err := r.Restrict(evk.B[d], union)
 	if err != nil {
 		return err
 	}
-	aD, err := ring.Restrict(evk.A[d], union)
+	aD, err := r.Restrict(evk.A[d], union)
 	if err != nil {
 		return err
 	}
-	tmp := r.NewPoly(union)
+	tmp := r.GetPoly(union)
+	defer r.PutPoly(tmp)
 	if err := r.MulCoeffs(ext, bD, tmp); err != nil {
 		return err
 	}

@@ -4,9 +4,26 @@ import (
 	"fmt"
 
 	"cinnamon/internal/ckks"
+	"cinnamon/internal/parallel"
 	"cinnamon/internal/ring"
 	"cinnamon/internal/rns"
 )
+
+// forEachChip runs fn for every virtual chip on the worker pool (chips are
+// the paper's unit of limb partitioning, so they are embarrassingly
+// parallel on CPU too) and returns the first error any chip produced.
+func forEachChip(n int, fn func(chip int) error) error {
+	errs := make([]error, n)
+	parallel.For(n, func(chip int) {
+		errs[chip] = fn(chip)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // inputBroadcast implements paper Fig. 8b. Every chip receives a copy of
 // all input limbs (one all-gather), then computes, entirely locally, the
@@ -33,10 +50,13 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 	out1 := r.NewPoly(c.Basis)
 	out0.IsNTT, out1.IsNTT = true, true
 
-	for chip := 0; chip < n; chip++ {
+	// Each chip writes a disjoint set of out0/out1 limbs, so chips run
+	// concurrently on the worker pool (the software analogue of the paper's
+	// per-chip execution).
+	err := forEachChip(n, func(chip int) error {
 		mine := e.chipLimbs(chip, l)
 		if len(mine) == 0 {
-			continue
+			return nil
 		}
 		// Per-chip basis: owned chain limbs plus the (duplicated) extension.
 		chipMods := make([]uint64, 0, len(mine)+params.PBasis.Len())
@@ -45,8 +65,12 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 		}
 		chipMods = append(chipMods, params.PBasis.Moduli...)
 		chipBasis := rns.Basis{Moduli: chipMods}
-		f0 := r.NewPoly(chipBasis)
-		f1 := r.NewPoly(chipBasis)
+		f0 := r.GetPoly(chipBasis)
+		f1 := r.GetPoly(chipBasis)
+		tmp := r.GetPoly(chipBasis)
+		defer r.PutPoly(f0)
+		defer r.PutPoly(f1)
+		defer r.PutPoly(tmp)
 		f0.IsNTT, f1.IsNTT = true, true
 		for d := 0; d < evk.Digits(); d++ {
 			lo, hi, ok := params.DigitRange(d, l)
@@ -55,45 +79,53 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 			}
 			ext, err := e.chipDigitModUp(cc, lo, hi, mine, chipBasis)
 			if err != nil {
-				return nil, nil, stats, err
+				return err
 			}
 			if err := r.NTT(ext); err != nil {
-				return nil, nil, stats, err
+				r.PutPoly(ext)
+				return err
 			}
-			bD, err := ring.Restrict(evk.B[d], chipBasis)
+			bD, err := r.Restrict(evk.B[d], chipBasis)
 			if err != nil {
-				return nil, nil, stats, err
+				r.PutPoly(ext)
+				return err
 			}
-			aD, err := ring.Restrict(evk.A[d], chipBasis)
+			aD, err := r.Restrict(evk.A[d], chipBasis)
 			if err != nil {
-				return nil, nil, stats, err
+				r.PutPoly(ext)
+				return err
 			}
-			tmp := r.NewPoly(chipBasis)
 			if err := r.MulCoeffs(ext, bD, tmp); err != nil {
-				return nil, nil, stats, err
+				r.PutPoly(ext)
+				return err
 			}
 			if err := r.Add(f0, tmp, f0); err != nil {
-				return nil, nil, stats, err
+				r.PutPoly(ext)
+				return err
 			}
 			if err := r.MulCoeffs(ext, aD, tmp); err != nil {
-				return nil, nil, stats, err
+				r.PutPoly(ext)
+				return err
 			}
 			if err := r.Add(f1, tmp, f1); err != nil {
-				return nil, nil, stats, err
+				r.PutPoly(ext)
+				return err
 			}
+			r.PutPoly(ext)
 		}
 		// Local mod-down: the duplicated extension limbs are the trailing
 		// limbs of the chip basis, so no communication is needed.
 		for fi, f := range []*ring.Poly{f0, f1} {
 			if err := r.INTT(f); err != nil {
-				return nil, nil, stats, err
+				return err
 			}
 			down, err := r.ModDown(f, params.PBasis)
 			if err != nil {
-				return nil, nil, stats, err
+				return err
 			}
 			if err := r.NTT(down); err != nil {
-				return nil, nil, stats, err
+				r.PutPoly(down)
+				return err
 			}
 			dst := out0
 			if fi == 1 {
@@ -102,7 +134,12 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 			for k, j := range mine {
 				copy(dst.Limbs[j], down.Limbs[k])
 			}
+			r.PutPoly(down)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, stats, err
 	}
 	return out0, out1, stats, nil
 }
@@ -136,7 +173,6 @@ func (e *Engine) chipDigitModUp(cc *ring.Poly, lo, hi int, mine []int, chipBasis
 			convMods = append(convMods, q)
 		}
 	}
-	out := r.NewPoly(chipBasis)
 	var conv [][]uint64
 	if len(convMods) > 0 {
 		bc, err := ring.ConverterFor(digitBasis, rns.Basis{Moduli: convMods})
@@ -147,6 +183,7 @@ func (e *Engine) chipDigitModUp(cc *ring.Poly, lo, hi int, mine []int, chipBasis
 			return nil, err
 		}
 	}
+	out := r.GetPoly(chipBasis)
 	for _, s := range slots {
 		if s.conv {
 			copy(out.Limbs[s.chipIdx], conv[s.srcIdx])
@@ -208,33 +245,56 @@ func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly,
 	}
 	sum0 := r.NewPoly(c.Basis)
 	sum1 := r.NewPoly(c.Basis)
-	for chip := 0; chip < n; chip++ {
+	// Per-chip mod-up / inner-product / mod-down runs concurrently on the
+	// worker pool; the "aggregate" additions are the cross-chip reduction,
+	// so they stay serial below.
+	down0 := make([]*ring.Poly, n)
+	down1 := make([]*ring.Poly, n)
+	err = forEachChip(n, func(chip int) error {
 		mine := intersectLevel(evk.DigitSets[chip], l)
 		if len(mine) == 0 {
-			continue
+			return nil
 		}
 		ext, err := e.scatteredDigitModUp(cc, mine, union)
 		if err != nil {
-			return nil, nil, stats, err
+			return err
 		}
+		defer r.PutPoly(ext)
 		if err := r.NTT(ext); err != nil {
-			return nil, nil, stats, err
+			return err
 		}
-		f0 := r.NewPoly(union)
-		f1 := r.NewPoly(union)
+		f0 := r.GetPoly(union)
+		f1 := r.GetPoly(union)
+		defer r.PutPoly(f0)
+		defer r.PutPoly(f1)
 		f0.IsNTT, f1.IsNTT = true, true
 		if err := e.innerProduct(ext, evk, chip, union, f0, f1); err != nil {
-			return nil, nil, stats, err
+			return err
 		}
-		// Local mod-down of the full product, then "aggregate": the sum
-		// plays the role of the reduce-scatter.
+		// Local mod-down of the full product.
 		for fi, f := range []*ring.Poly{f0, f1} {
 			if err := r.INTT(f); err != nil {
-				return nil, nil, stats, err
+				return err
 			}
 			down, err := r.ModDown(f, params.PBasis)
 			if err != nil {
-				return nil, nil, stats, err
+				return err
+			}
+			if fi == 0 {
+				down0[chip] = down
+			} else {
+				down1[chip] = down
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	for chip := 0; chip < n; chip++ {
+		for fi, down := range []*ring.Poly{down0[chip], down1[chip]} {
+			if down == nil {
+				continue
 			}
 			dst := sum0
 			if fi == 1 {
@@ -243,6 +303,7 @@ func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly,
 			if err := r.Add(dst, down, dst); err != nil {
 				return nil, nil, stats, err
 			}
+			r.PutPoly(down)
 		}
 	}
 	if err := r.NTT(sum0); err != nil {
@@ -281,7 +342,7 @@ func (e *Engine) scatteredDigitModUp(cc *ring.Poly, mine []int, union rns.Basis)
 	if err != nil {
 		return nil, err
 	}
-	out := r.NewPoly(union)
+	out := r.GetPoly(union)
 	ci := 0
 	for j := 0; j < union.Len(); j++ {
 		if j < cc.Basis.Len() && inDigit[j] {

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		var p Pool
+		p.SetWorkers(4)
+		seen := make([]atomic.Int32, n)
+		p.For(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForSerialWithOneWorker(t *testing.T) {
+	var p Pool
+	p.SetWorkers(1)
+	order := make([]int, 0, 16)
+	p.For(16, func(i int) { order = append(order, i) }) // no locking: must be serial
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution out of order: %v", order)
+		}
+	}
+}
+
+func TestWorkersDefaultTracksGOMAXPROCS(t *testing.T) {
+	var p Pool
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	p.SetWorkers(3)
+	if got := p.Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	p.SetWorkers(0)
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d after reset, want %d", got, want)
+	}
+}
+
+func TestHelperBudgetIsBounded(t *testing.T) {
+	var p Pool
+	p.SetWorkers(4)
+	var peak, cur atomic.Int32
+	var wg sync.WaitGroup
+	// Many concurrent For calls must never exceed callers + (workers-1)
+	// total goroutines inside fn.
+	const callers = 8
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func() {
+			defer wg.Done()
+			p.For(64, func(i int) {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got, limit := peak.Load(), int32(callers+3); got > limit {
+		t.Fatalf("peak concurrency %d exceeds callers+helpers bound %d", got, limit)
+	}
+	if h := p.helpers.Load(); h != 0 {
+		t.Fatalf("helper budget leaked: %d still held", h)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	var p Pool
+	p.SetWorkers(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if h := p.helpers.Load(); h != 0 {
+			t.Fatalf("helper budget leaked after panic: %d", h)
+		}
+	}()
+	p.For(64, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+func TestNestedForCompletes(t *testing.T) {
+	var p Pool
+	p.SetWorkers(4)
+	var total atomic.Int64
+	p.For(8, func(i int) {
+		p.For(8, func(j int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested For ran %d iterations, want 64", total.Load())
+	}
+}

@@ -37,16 +37,17 @@ func (r *Ring) Automorphism(p *Poly, galEl uint64, out *Poly) error {
 	r.ensureShape(out, p.Basis.Len())
 	if p.IsNTT {
 		idx := r.autoIndexNTT(galEl)
-		for j := range p.Limbs {
+		r.limbFor(len(p.Limbs), func(j int) {
 			pj, oj := p.Limbs[j], out.Limbs[j]
 			for i := range oj {
 				oj[i] = pj[idx[i]]
 			}
-		}
+		})
 		return nil
 	}
 	m := uint64(2 * r.N)
-	for j, q := range p.Basis.Moduli {
+	r.limbFor(p.Basis.Len(), func(j int) {
+		q := p.Basis.Moduli[j]
 		pj, oj := p.Limbs[j], out.Limbs[j]
 		for i := 0; i < r.N; i++ {
 			t := (uint64(i) * galEl) % m
@@ -56,7 +57,7 @@ func (r *Ring) Automorphism(p *Poly, galEl uint64, out *Poly) error {
 				oj[t-uint64(r.N)] = rns.NegMod(pj[i], q)
 			}
 		}
-	}
+	})
 	return nil
 }
 
@@ -70,9 +71,11 @@ func (r *Ring) AutomorphismIndexNTT(galEl uint64) []int {
 // automorphism in the NTT domain with our bit-reversed evaluation ordering:
 // position i holds the evaluation at ψ^{2·brv(i)+1}, so
 // out[i] = in[ brv(((2·brv(i)+1)·g mod 2N − 1)/2) ].
+// The cache is a sync.Map so concurrent rotations on a shared Ring are safe;
+// a rare duplicate computation on first use is harmless.
 func (r *Ring) autoIndexNTT(galEl uint64) []int {
-	if idx, ok := r.autoCache[galEl]; ok {
-		return idx
+	if idx, ok := r.autoCache.Load(galEl); ok {
+		return idx.([]int)
 	}
 	n := uint64(r.N)
 	m := 2 * n
@@ -93,6 +96,8 @@ func (r *Ring) autoIndexNTT(galEl uint64) []int {
 		eNew := (e * galEl) % m
 		idx[i] = int(brv((eNew - 1) / 2))
 	}
-	r.autoCache[galEl] = idx
+	if prev, loaded := r.autoCache.LoadOrStore(galEl, idx); loaded {
+		return prev.([]int)
+	}
 	return idx
 }

@@ -3,6 +3,8 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"strconv"
+	"strings"
 	"sync"
 
 	"cinnamon/internal/rns"
@@ -11,8 +13,26 @@ import (
 // convCache memoizes BaseConverters keyed by the (src, dst) moduli lists.
 var convCache sync.Map
 
+// basisKey renders a moduli list compactly for cache keys (cheaper than
+// fmt.Sprintf on the hot keyswitch path).
+func basisKey(sb *strings.Builder, moduli []uint64) {
+	for _, q := range moduli {
+		sb.WriteString(strconv.FormatUint(q, 16))
+		sb.WriteByte(',')
+	}
+}
+
+func convKey(src, dst rns.Basis) string {
+	var sb strings.Builder
+	sb.Grow(18 * (len(src.Moduli) + len(dst.Moduli)))
+	basisKey(&sb, src.Moduli)
+	sb.WriteByte('>')
+	basisKey(&sb, dst.Moduli)
+	return sb.String()
+}
+
 func converter(src, dst rns.Basis) (*rns.BaseConverter, error) {
-	key := fmt.Sprintf("%v->%v", src.Moduli, dst.Moduli)
+	key := convKey(src, dst)
 	if v, ok := convCache.Load(key); ok {
 		return v.(*rns.BaseConverter), nil
 	}
@@ -49,12 +69,49 @@ func (r *Ring) ModUp(p *Poly, ext rns.Basis) (*Poly, error) {
 	if err != nil {
 		return nil, err
 	}
-	limbs := make([][]uint64, 0, union.Len())
-	for _, l := range p.Limbs {
-		limbs = append(limbs, append([]uint64(nil), l...))
+	sLen := len(p.Limbs)
+	out := r.getPolyHeader()
+	out.Basis, out.IsNTT = union, false
+	if cap(out.Limbs) >= union.Len() {
+		out.Limbs = out.Limbs[:union.Len()]
+	} else {
+		out.Limbs = make([][]uint64, union.Len())
 	}
-	limbs = append(limbs, extLimbs...)
-	return &Poly{Basis: union, Limbs: limbs, IsNTT: false}, nil
+	r.limbFor(sLen, func(j int) {
+		l := r.getLimbNoZero()
+		copy(l, p.Limbs[j])
+		out.Limbs[j] = l
+	})
+	copy(out.Limbs[sLen:], extLimbs)
+	return out, nil
+}
+
+// modDownInv caches, per (ext→s) basis pair, the per-limb constants
+// w_j = (Π ext)^{-1} mod s_j with their Shoup companions. The big-integer
+// inversions otherwise dominate small ModDown calls.
+var modDownInv sync.Map
+
+type shoupScalar struct{ w, ws uint64 }
+
+func modDownConstants(ext, s rns.Basis) ([]shoupScalar, error) {
+	key := convKey(ext, s)
+	if v, ok := modDownInv.Load(key); ok {
+		return v.([]shoupScalar), nil
+	}
+	P := ext.Product()
+	tmp := new(big.Int)
+	consts := make([]shoupScalar, s.Len())
+	for j, q := range s.Moduli {
+		qb := new(big.Int).SetUint64(q)
+		pInv := new(big.Int).ModInverse(tmp.Mod(P, qb), qb)
+		if pInv == nil {
+			return nil, fmt.Errorf("ring: extension product not invertible mod %d", q)
+		}
+		w := pInv.Uint64()
+		consts[j] = shoupScalar{w: w, ws: rns.ShoupPrecomp(w, q)}
+	}
+	modDownInv.Store(key, consts)
+	return consts, nil
 }
 
 // ModDown converts p (coefficient domain, basis S ∪ E where the last
@@ -84,23 +141,36 @@ func (r *Ring) ModDown(p *Poly, ext rns.Basis) (*Poly, error) {
 		return nil, err
 	}
 	// out_j = (a_j - conv_j) * P^{-1} mod q_j.
-	P := ext.Product()
-	out := r.NewPoly(s)
-	tmp := new(big.Int)
-	for j, q := range s.Moduli {
-		qb := new(big.Int).SetUint64(q)
-		pInv := new(big.Int).ModInverse(tmp.Mod(P, qb), qb)
-		if pInv == nil {
-			return nil, fmt.Errorf("ring: extension product not invertible mod %d", q)
-		}
-		w := pInv.Uint64()
-		ws := rns.ShoupPrecomp(w, q)
+	consts, err := modDownConstants(ext, s)
+	if err != nil {
+		return nil, err
+	}
+	out := r.getPolyUninit(s)
+	r.limbFor(sLen, func(j int) {
+		q := s.Moduli[j]
+		w, ws := consts[j].w, consts[j].ws
 		aj, cj, oj := p.Limbs[j], conv[j], out.Limbs[j]
 		for i := range aj {
 			oj[i] = rns.MulModShoup(rns.SubMod(aj[i], cj[i], q), w, ws, q)
 		}
-	}
+	})
 	return out, nil
+}
+
+// rescaleInv caches w = q_l^{-1} mod q with its Shoup companion, keyed by
+// the (q_l, q) pair; the chain is fixed per parameter set, so the cache
+// stays tiny while removing a PowMod from every rescale limb.
+var rescaleInv sync.Map
+
+func rescaleConstant(ql, q uint64) shoupScalar {
+	key := [2]uint64{ql, q}
+	if v, ok := rescaleInv.Load(key); ok {
+		return v.(shoupScalar)
+	}
+	w := rns.InvMod(ql%q, q)
+	c := shoupScalar{w: w, ws: rns.ShoupPrecomp(w, q)}
+	rescaleInv.Store(key, c)
+	return c
 }
 
 // Rescale divides p by its last modulus q_ℓ and drops the corresponding
@@ -115,16 +185,17 @@ func (r *Ring) Rescale(p *Poly) (*Poly, error) {
 		return nil, fmt.Errorf("ring: cannot rescale a single-limb polynomial")
 	}
 	ql := p.Basis.Moduli[l]
-	out := r.NewPoly(p.Basis.Prefix(l))
+	out := r.getPolyUninit(p.Basis.Prefix(l))
 	last := p.Limbs[l]
-	for j, q := range out.Basis.Moduli {
-		w := rns.InvMod(ql%q, q)
-		ws := rns.ShoupPrecomp(w, q)
+	r.limbFor(l, func(j int) {
+		q := out.Basis.Moduli[j]
+		c := rescaleConstant(ql, q)
+		bp := r.Barrett(q)
 		aj, oj := p.Limbs[j], out.Limbs[j]
 		for i := range aj {
-			oj[i] = rns.MulModShoup(rns.SubMod(aj[i], last[i]%q, q), w, ws, q)
+			oj[i] = rns.MulModShoup(rns.SubMod(aj[i], bp.Reduce(last[i]), q), c.w, c.ws, q)
 		}
-	}
+	})
 	return out, nil
 }
 

@@ -1,0 +1,125 @@
+package ring
+
+import "cinnamon/internal/rns"
+
+// Poly buffer pooling. Steady-state FHE serving allocates the same limb
+// slices over and over — keyswitch temporaries alone churn through
+// ~4(L+P) limbs of N words per operation. GetPoly/PutPoly recycle limb
+// storage through a per-Ring sync.Pool so the evaluator, the keyswitch
+// engines and the serving machines stop pressuring the garbage collector
+// once warm. Returning a polynomial is always optional: anything not
+// PutPoly'd is simply collected.
+
+// GetPoly returns a zero polynomial over basis b, drawing limb storage from
+// the ring's buffer pool when available. It is the pooled equivalent of
+// NewPoly: contents are zeroed, IsNTT is false. Safe for concurrent use.
+func (r *Ring) GetPoly(b rns.Basis) *Poly {
+	p := r.getPolyHeader()
+	p.Basis = b
+	p.IsNTT = false
+	n := b.Len()
+	if cap(p.Limbs) >= n {
+		p.Limbs = p.Limbs[:n]
+	} else {
+		p.Limbs = make([][]uint64, n)
+	}
+	for i := range p.Limbs {
+		p.Limbs[i] = r.getLimb()
+	}
+	return p
+}
+
+// PutPoly returns p's limb storage to the pool. The caller must not use p
+// (or any view sharing its limbs, such as a Restrict of it) afterwards.
+// Passing nil is a no-op.
+func (r *Ring) PutPoly(p *Poly) {
+	if p == nil {
+		return
+	}
+	for i, l := range p.Limbs {
+		if cap(l) >= r.N {
+			box := r.getBox()
+			*box = l[:r.N]
+			r.limbPool.Put(box)
+		}
+		p.Limbs[i] = nil
+	}
+	p.Limbs = p.Limbs[:0]
+	p.Basis = rns.Basis{}
+	p.IsNTT = false
+	r.polyPool.Put(p)
+}
+
+// CopyPoly returns a pooled deep copy of p (contents, basis and domain).
+func (r *Ring) CopyPoly(p *Poly) *Poly {
+	out := r.getPolyHeader()
+	out.Basis = p.Basis
+	out.IsNTT = p.IsNTT
+	n := len(p.Limbs)
+	if cap(out.Limbs) >= n {
+		out.Limbs = out.Limbs[:n]
+	} else {
+		out.Limbs = make([][]uint64, n)
+	}
+	r.limbFor(n, func(j int) {
+		l := r.getLimbNoZero()
+		copy(l, p.Limbs[j])
+		out.Limbs[j] = l
+	})
+	return out
+}
+
+// getPolyUninit returns a pooled polynomial over b with unspecified limb
+// contents; for internal call sites that overwrite every coefficient.
+func (r *Ring) getPolyUninit(b rns.Basis) *Poly {
+	p := r.getPolyHeader()
+	p.Basis = b
+	p.IsNTT = false
+	n := b.Len()
+	if cap(p.Limbs) >= n {
+		p.Limbs = p.Limbs[:n]
+	} else {
+		p.Limbs = make([][]uint64, n)
+	}
+	for i := range p.Limbs {
+		p.Limbs[i] = r.getLimbNoZero()
+	}
+	return p
+}
+
+func (r *Ring) getPolyHeader() *Poly {
+	if v := r.polyPool.Get(); v != nil {
+		return v.(*Poly)
+	}
+	return &Poly{}
+}
+
+// getLimb returns a zeroed length-N limb from the pool.
+func (r *Ring) getLimb() []uint64 {
+	l := r.getLimbNoZero()
+	clear(l)
+	return l
+}
+
+// getLimbNoZero returns a length-N limb with unspecified contents.
+func (r *Ring) getLimbNoZero() []uint64 {
+	if v := r.limbPool.Get(); v != nil {
+		box := v.(*[]uint64)
+		l := *box
+		*box = nil
+		r.boxPool.Put(box) // pointer into interface: no allocation
+		return l[:r.N]
+	}
+	return make([]uint64, r.N)
+}
+
+// getBox returns an empty *[]uint64 header for PutPoly to wrap a limb in.
+// Recycling these 24-byte boxes keeps a warm GetPoly/PutPoly cycle at zero
+// heap allocations (boxing &l at every Put would allocate a header per
+// limb).
+func (r *Ring) getBox() *[]uint64 {
+	if v := r.boxPool.Get(); v != nil {
+		return v.(*[]uint64)
+	}
+	return new([]uint64)
+}

@@ -3,12 +3,21 @@
 // It is the substrate the CKKS layer (paper §2) is built on: limb-wise
 // add/mul/NTT/automorphism plus the cross-limb mod-up, mod-down and rescale
 // operations that keyswitching requires.
+//
+// Every limb loop dispatches through the internal/parallel worker pool —
+// the CPU rendering of the paper's limb-level parallelism — and the
+// pointwise-multiply hot paths use per-modulus Barrett constants cached on
+// the Ring instead of a hardware division per coefficient. All Ring
+// operations are safe for concurrent use from multiple goroutines (on
+// distinct output polynomials).
 package ring
 
 import (
 	"fmt"
+	"sync"
 
 	"cinnamon/internal/ntt"
+	"cinnamon/internal/parallel"
 	"cinnamon/internal/rns"
 )
 
@@ -20,7 +29,13 @@ type Ring struct {
 	Universe rns.Basis
 	Tables   *ntt.TableSet
 
-	autoCache map[uint64][]int // galois element -> NTT-domain gather index
+	modIndex map[uint64]int               // modulus -> universe position
+	barrett  map[uint64]rns.BarrettParams // per-modulus mulmod constants
+
+	autoCache sync.Map  // galois element -> []int NTT-domain gather index
+	limbPool  sync.Pool // *[]uint64 scratch limbs of capacity N
+	boxPool   sync.Pool // empty *[]uint64 headers, recycled so Put never allocates
+	polyPool  sync.Pool // *Poly headers recycled by GetPoly/PutPoly
 }
 
 // NewRing builds a ring of dimension n over the given universe of moduli.
@@ -30,7 +45,7 @@ func NewRing(n int, universe rns.Basis) (*Ring, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ring{N: n, Universe: universe, Tables: ts, autoCache: map[uint64][]int{}}, nil
+	return newRing(n, universe, ts), nil
 }
 
 // NewRingLazy builds a ring without NTT tables. Use it for compile-only
@@ -44,7 +59,49 @@ func NewRingLazy(n int, universe rns.Basis) (*Ring, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ring{N: n, Universe: universe, Tables: ts, autoCache: map[uint64][]int{}}, nil
+	return newRing(n, universe, ts), nil
+}
+
+func newRing(n int, universe rns.Basis, ts *ntt.TableSet) *Ring {
+	r := &Ring{
+		N:        n,
+		Universe: universe,
+		Tables:   ts,
+		modIndex: make(map[uint64]int, universe.Len()),
+		barrett:  make(map[uint64]rns.BarrettParams, universe.Len()),
+	}
+	for i, q := range universe.Moduli {
+		r.modIndex[q] = i
+		r.barrett[q] = rns.NewBarrettParams(q)
+	}
+	return r
+}
+
+// UniverseIndex returns the position of modulus q in the ring's universe.
+func (r *Ring) UniverseIndex(q uint64) (int, bool) {
+	i, ok := r.modIndex[q]
+	return i, ok
+}
+
+// Barrett returns the cached Barrett constants for a universe modulus,
+// computing them on the fly for a foreign modulus.
+func (r *Ring) Barrett(q uint64) rns.BarrettParams {
+	if bp, ok := r.barrett[q]; ok {
+		return bp
+	}
+	return rns.NewBarrettParams(q)
+}
+
+// limbFor runs fn for every limb index in [0, limbs), in parallel when the
+// per-limb work (N coefficients) is large enough to amortize a goroutine.
+func (r *Ring) limbFor(limbs int, fn func(j int)) {
+	if limbs > 1 && r.N >= parallel.MinCoeffs {
+		parallel.For(limbs, fn)
+		return
+	}
+	for j := 0; j < limbs; j++ {
+		fn(j)
+	}
 }
 
 // Poly is a polynomial in limb representation: Limbs[j] holds the residues
@@ -94,12 +151,13 @@ func (r *Ring) Add(a, b, out *Poly) error {
 	}
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	for j, q := range a.Basis.Moduli {
+	r.limbFor(a.Basis.Len(), func(j int) {
+		q := a.Basis.Moduli[j]
 		aj, bj, oj := a.Limbs[j], b.Limbs[j], out.Limbs[j]
 		for i := range aj {
 			oj[i] = rns.AddMod(aj[i], bj[i], q)
 		}
-	}
+	})
 	return nil
 }
 
@@ -110,12 +168,13 @@ func (r *Ring) Sub(a, b, out *Poly) error {
 	}
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	for j, q := range a.Basis.Moduli {
+	r.limbFor(a.Basis.Len(), func(j int) {
+		q := a.Basis.Moduli[j]
 		aj, bj, oj := a.Limbs[j], b.Limbs[j], out.Limbs[j]
 		for i := range aj {
 			oj[i] = rns.SubMod(aj[i], bj[i], q)
 		}
-	}
+	})
 	return nil
 }
 
@@ -123,16 +182,19 @@ func (r *Ring) Sub(a, b, out *Poly) error {
 func (r *Ring) Neg(a, out *Poly) {
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	for j, q := range a.Basis.Moduli {
+	r.limbFor(a.Basis.Len(), func(j int) {
+		q := a.Basis.Moduli[j]
 		aj, oj := a.Limbs[j], out.Limbs[j]
 		for i := range aj {
 			oj[i] = rns.NegMod(aj[i], q)
 		}
-	}
+	})
 }
 
 // MulCoeffs sets out = a ⊙ b, the pointwise product. Both operands must be
 // in the NTT domain (pointwise product in evaluation domain = ring product).
+// The per-limb kernel is Barrett multiplication with constants cached on
+// the Ring — no hardware division in the loop.
 func (r *Ring) MulCoeffs(a, b, out *Poly) error {
 	if err := r.checkPair(a, b); err != nil {
 		return err
@@ -142,12 +204,13 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) error {
 	}
 	out.Basis, out.IsNTT = a.Basis, true
 	r.ensureShape(out, a.Basis.Len())
-	for j, q := range a.Basis.Moduli {
+	r.limbFor(a.Basis.Len(), func(j int) {
+		bp := r.Barrett(a.Basis.Moduli[j])
 		aj, bj, oj := a.Limbs[j], b.Limbs[j], out.Limbs[j]
 		for i := range aj {
-			oj[i] = rns.MulMod(aj[i], bj[i], q)
+			oj[i] = bp.MulMod(aj[i], bj[i])
 		}
-	}
+	})
 	return nil
 }
 
@@ -156,14 +219,15 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) error {
 func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly) {
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	for j, q := range a.Basis.Moduli {
+	r.limbFor(a.Basis.Len(), func(j int) {
+		q := a.Basis.Moduli[j]
 		w := s % q
 		ws := rns.ShoupPrecomp(w, q)
 		aj, oj := a.Limbs[j], out.Limbs[j]
 		for i := range aj {
 			oj[i] = rns.MulModShoup(aj[i], w, ws, q)
 		}
-	}
+	})
 }
 
 // MulScalarBigRNS multiplies by a scalar given as per-modulus residues
@@ -175,30 +239,33 @@ func (r *Ring) MulScalarBigRNS(a *Poly, sRes []uint64, out *Poly) error {
 	}
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	for j, q := range a.Basis.Moduli {
+	r.limbFor(a.Basis.Len(), func(j int) {
+		q := a.Basis.Moduli[j]
 		w := sRes[j] % q
 		ws := rns.ShoupPrecomp(w, q)
 		aj, oj := a.Limbs[j], out.Limbs[j]
 		for i := range aj {
 			oj[i] = rns.MulModShoup(aj[i], w, ws, q)
 		}
-	}
+	})
 	return nil
 }
 
 // NTT transforms p to the evaluation domain in place (no-op if already
-// there).
+// there). Limbs transform independently on the worker pool.
 func (r *Ring) NTT(p *Poly) error {
 	if p.IsNTT {
 		return nil
 	}
+	tables := make([]*ntt.Table, p.Basis.Len())
 	for j, q := range p.Basis.Moduli {
-		tb := r.Tables.Table(q)
-		if tb == nil {
+		if tables[j] = r.Tables.Table(q); tables[j] == nil {
 			return fmt.Errorf("ring: no NTT table for modulus %d", q)
 		}
-		tb.Forward(p.Limbs[j])
 	}
+	r.limbFor(len(tables), func(j int) {
+		tables[j].Forward(p.Limbs[j])
+	})
 	p.IsNTT = true
 	return nil
 }
@@ -209,33 +276,38 @@ func (r *Ring) INTT(p *Poly) error {
 	if !p.IsNTT {
 		return nil
 	}
+	tables := make([]*ntt.Table, p.Basis.Len())
 	for j, q := range p.Basis.Moduli {
-		tb := r.Tables.Table(q)
-		if tb == nil {
+		if tables[j] = r.Tables.Table(q); tables[j] == nil {
 			return fmt.Errorf("ring: no NTT table for modulus %d", q)
 		}
-		tb.Inverse(p.Limbs[j])
 	}
+	r.limbFor(len(tables), func(j int) {
+		tables[j].Inverse(p.Limbs[j])
+	})
 	p.IsNTT = false
 	return nil
 }
 
+// ensureShape gives p exactly `limbs` limbs of length N, reusing both the
+// limb-slice header array and any retained limb capacity (from a previous
+// larger shape, a DropLastLimbs, or the pool) instead of reallocating.
+// Contents of reused limbs are unspecified; every caller overwrites all
+// coefficients.
 func (r *Ring) ensureShape(p *Poly, limbs int) {
-	if len(p.Limbs) == limbs {
-		ok := true
-		for _, l := range p.Limbs {
-			if len(l) != r.N {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return
-		}
+	if cap(p.Limbs) >= limbs {
+		p.Limbs = p.Limbs[:limbs]
+	} else {
+		nl := make([][]uint64, limbs)
+		copy(nl, p.Limbs[:cap(p.Limbs)])
+		p.Limbs = nl
 	}
-	p.Limbs = make([][]uint64, limbs)
 	for i := range p.Limbs {
-		p.Limbs[i] = make([]uint64, r.N)
+		if cap(p.Limbs[i]) >= r.N {
+			p.Limbs[i] = p.Limbs[i][:r.N]
+		} else {
+			p.Limbs[i] = make([]uint64, r.N)
+		}
 	}
 }
 
@@ -243,20 +315,47 @@ func (r *Ring) ensureShape(p *Poly, limbs int) {
 // moduli appear in target, in target order. The limb slices are shared with
 // p; callers must not mutate them through the view unless aliasing is
 // intended. Every target modulus must be present in p's basis.
-func Restrict(p *Poly, target rns.Basis) (*Poly, error) {
+//
+// The lookup is O(len(target)) when p's basis is universe-aligned (limb j
+// holds universe modulus j — true for every chain prefix and the full Q∪P
+// basis); otherwise it falls back to a one-shot index map, O(len(p)+len(target)).
+func (r *Ring) Restrict(p *Poly, target rns.Basis) (*Poly, error) {
 	limbs := make([][]uint64, target.Len())
+	var fallback map[uint64]int
 	for i, q := range target.Moduli {
-		found := -1
-		for j, m := range p.Basis.Moduli {
-			if m == q {
-				found = j
-				break
+		j, ok := r.modIndex[q]
+		if !ok || j >= len(p.Limbs) || p.Basis.Moduli[j] != q {
+			// Not universe-aligned: build the per-poly index once.
+			if fallback == nil {
+				fallback = make(map[uint64]int, len(p.Basis.Moduli))
+				for jj, m := range p.Basis.Moduli {
+					fallback[m] = jj
+				}
+			}
+			if j, ok = fallback[q]; !ok {
+				return nil, fmt.Errorf("ring: modulus %d missing from source basis", q)
 			}
 		}
-		if found < 0 {
+		limbs[i] = p.Limbs[j]
+	}
+	return &Poly{Basis: target, Limbs: limbs, IsNTT: p.IsNTT}, nil
+}
+
+// Restrict is the ring-free variant of Ring.Restrict. It builds a one-shot
+// modulus→index map instead of the old O(L²) nested scan; prefer the Ring
+// method where a ring context is at hand (it reuses the per-Ring map).
+func Restrict(p *Poly, target rns.Basis) (*Poly, error) {
+	idx := make(map[uint64]int, len(p.Basis.Moduli))
+	for j, m := range p.Basis.Moduli {
+		idx[m] = j
+	}
+	limbs := make([][]uint64, target.Len())
+	for i, q := range target.Moduli {
+		j, ok := idx[q]
+		if !ok {
 			return nil, fmt.Errorf("ring: modulus %d missing from source basis", q)
 		}
-		limbs[i] = p.Limbs[found]
+		limbs[i] = p.Limbs[j]
 	}
 	return &Poly{Basis: target, Limbs: limbs, IsNTT: p.IsNTT}, nil
 }

@@ -70,7 +70,12 @@ func ShoupPrecomp(w, q uint64) uint64 {
 }
 
 // MulModShoup returns (x * w) mod q where wShoup = ShoupPrecomp(w, q).
-// It requires q < 2^63 and x < q.
+// It requires q < 2^63 and w < q; x may be ANY uint64 (not just x < q):
+// with m = floor(x·wShoup/2^64) one shows m ∈ {Q-1, Q} for the true
+// quotient Q = floor(x·w/q), so x·w − m·q ∈ [0, 2q) ⊂ [0, 2^64) and one
+// conditional subtraction finishes the reduction. This makes Shoup the
+// kernel of choice whenever the multiplicand is fixed across a limb, even
+// for unreduced residues (e.g. base conversion across moduli).
 func MulModShoup(x, w, wShoup, q uint64) uint64 {
 	hi, _ := bits.Mul64(x, wShoup)
 	r := x*w - hi*q
@@ -89,6 +94,36 @@ func BarrettConstant(q uint64) (hi, lo uint64) {
 	return hi, lo
 }
 
+// BarrettParams caches the two-word Barrett constant floor(2^128/q) for a
+// modulus, turning the division in MulMod into a handful of multiplies.
+// This is the variable×variable modular-multiply kernel the pointwise hot
+// loops use (MulModShoup still wins when one operand is fixed); the Ring
+// precomputes one BarrettParams per universe modulus.
+type BarrettParams struct {
+	Q      uint64
+	Hi, Lo uint64 // floor(2^128 / Q)
+}
+
+// NewBarrettParams precomputes the Barrett constant for q.
+func NewBarrettParams(q uint64) BarrettParams {
+	hi, lo := BarrettConstant(q)
+	return BarrettParams{Q: q, Hi: hi, Lo: lo}
+}
+
+// MulMod returns (a * b) mod Q without a hardware division. It requires
+// b < Q (a may be any uint64, e.g. an unreduced residue from a foreign
+// modulus): the 128-bit product then has a high word below Q, satisfying
+// BarrettReduce's precondition.
+func (bp BarrettParams) MulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return BarrettReduce(hi, lo, bp.Hi, bp.Lo, bp.Q)
+}
+
+// Reduce returns x mod Q for any uint64 x.
+func (bp BarrettParams) Reduce(x uint64) uint64 {
+	return BarrettReduce(0, x, bp.Hi, bp.Lo, bp.Q)
+}
+
 // BarrettReduce reduces the 128-bit value (xhi, xlo) modulo q given the
 // Barrett constant (bhi, blo) = floor(2^128/q). It requires xhi < q.
 func BarrettReduce(xhi, xlo, bhi, blo, q uint64) uint64 {
@@ -103,7 +138,12 @@ func BarrettReduce(xhi, xlo, bhi, blo, q uint64) uint64 {
 	_, c1 := bits.Add64(sumLo, t0, 0)
 	m := xhi*bhi + t1hi + t2hi + c0 + c1
 	r := xlo - m*q
-	for r >= q {
+	// The estimate is short by at most 2, so two conditional subtractions
+	// (compiled branch-free) finish the reduction.
+	if r >= q {
+		r -= q
+	}
+	if r >= q {
 		r -= q
 	}
 	return r

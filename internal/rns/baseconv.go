@@ -3,6 +3,8 @@ package rns
 import (
 	"fmt"
 	"math/big"
+
+	"cinnamon/internal/parallel"
 )
 
 // BaseConverter performs the fast (approximate) RNS base conversion of
@@ -18,9 +20,11 @@ import (
 // The scalar tables held by a BaseConverter are exactly the "base conversion
 // factors" the paper's BCU loads into its factor table (§4.7).
 type BaseConverter struct {
-	src, dst Basis
-	qHatInv  []uint64   // (Q/q_j)^{-1} mod q_j
-	qHatModP [][]uint64 // [j][k] = (Q/q_j) mod p_k
+	src, dst  Basis
+	qHatInv   []uint64        // (Q/q_j)^{-1} mod q_j
+	qHatModP  [][]uint64      // [j][k] = (Q/q_j) mod p_k (reduced)
+	qHatShoup [][]uint64      // Shoup companions of qHatModP, per p_k
+	dstBar    []BarrettParams // Barrett constants per target modulus
 }
 
 // NewBaseConverter precomputes conversion factors from src to dst. The two
@@ -34,10 +38,15 @@ func NewBaseConverter(src, dst Basis) (*BaseConverter, error) {
 	Q := src.Product()
 	l, m := src.Len(), dst.Len()
 	bc := &BaseConverter{
-		src:      src,
-		dst:      dst,
-		qHatInv:  make([]uint64, l),
-		qHatModP: make([][]uint64, l),
+		src:       src,
+		dst:       dst,
+		qHatInv:   make([]uint64, l),
+		qHatModP:  make([][]uint64, l),
+		qHatShoup: make([][]uint64, l),
+		dstBar:    make([]BarrettParams, m),
+	}
+	for k, p := range dst.Moduli {
+		bc.dstBar[k] = NewBarrettParams(p)
 	}
 	tmp := new(big.Int)
 	for j, q := range src.Moduli {
@@ -49,8 +58,11 @@ func NewBaseConverter(src, dst Basis) (*BaseConverter, error) {
 		}
 		bc.qHatInv[j] = inv.Uint64()
 		bc.qHatModP[j] = make([]uint64, m)
+		bc.qHatShoup[j] = make([]uint64, m)
 		for k, p := range dst.Moduli {
-			bc.qHatModP[j][k] = tmp.Mod(Qj, new(big.Int).SetUint64(p)).Uint64()
+			f := tmp.Mod(Qj, new(big.Int).SetUint64(p)).Uint64()
+			bc.qHatModP[j][k] = f
+			bc.qHatShoup[j][k] = ShoupPrecomp(f, p)
 		}
 	}
 	return bc, nil
@@ -80,7 +92,7 @@ func (bc *BaseConverter) Convert(in [][]uint64) ([][]uint64, error) {
 	}
 	// z_j = x_j * qHatInv_j mod q_j, computed once per source limb.
 	z := make([][]uint64, l)
-	for j := 0; j < l; j++ {
+	bc.stripe(l, n, func(j int) {
 		q := bc.src.Moduli[j]
 		w := bc.qHatInv[j]
 		ws := ShoupPrecomp(w, q)
@@ -89,22 +101,57 @@ func (bc *BaseConverter) Convert(in [][]uint64) ([][]uint64, error) {
 			zj[i] = MulModShoup(x, w, ws, q)
 		}
 		z[j] = zj
-	}
+	})
 	out := make([][]uint64, m)
-	for k := 0; k < m; k++ {
-		p := bc.dst.Moduli[k]
-		acc := make([]uint64, n)
-		for j := 0; j < l; j++ {
-			f := bc.qHatModP[j][k] % p
-			fs := ShoupPrecomp(f, p)
+	bc.stripe(m, n, func(k int) {
+		out[k] = bc.accumulate(k, z, n, nil)
+	})
+	return out, nil
+}
+
+// stripe runs fn over [0, count) limbs, in parallel when each limb carries
+// enough coefficients to amortize a goroutine.
+func (bc *BaseConverter) stripe(count, n int, fn func(int)) {
+	if count > 1 && n >= parallel.MinCoeffs {
+		parallel.For(count, fn)
+		return
+	}
+	for i := 0; i < count; i++ {
+		fn(i)
+	}
+}
+
+// accumulate computes target limb k: Σ_j z_j · (Q/q_j) mod p_k. The z
+// residues are unreduced mod p_k; the Shoup kernel (valid for arbitrary x,
+// see MulModShoup) folds the reduction into the multiply with a single
+// precomputed quotient per (j,k) factor, avoiding the per-element hardware
+// division the naive z%p form costs. Moduli ≥ 2^62 (never produced by
+// GenerateNTTPrimes, but possible for hand-built bases) fall back to the
+// Barrett kernel. acc may be nil (allocated) or a zeroed scratch slice.
+func (bc *BaseConverter) accumulate(k int, z [][]uint64, n int, acc []uint64) []uint64 {
+	p := bc.dst.Moduli[k]
+	if acc == nil {
+		acc = make([]uint64, n)
+	}
+	if p >= 1<<62 {
+		bp := bc.dstBar[k]
+		for j := range z {
+			f := bc.qHatModP[j][k]
 			zj := z[j]
 			for i := 0; i < n; i++ {
-				acc[i] = AddMod(acc[i], MulModShoup(zj[i]%p, f, fs, p), p)
+				acc[i] = AddMod(acc[i], bp.MulMod(zj[i], f), p)
 			}
 		}
-		out[k] = acc
+		return acc
 	}
-	return out, nil
+	for j := range z {
+		f, fs := bc.qHatModP[j][k], bc.qHatShoup[j][k]
+		zj := z[j]
+		for i := 0; i < n; i++ {
+			acc[i] = AddMod(acc[i], MulModShoup(zj[i], f, fs, p), p)
+		}
+	}
+	return acc
 }
 
 // ConvertScalarCount returns the number of scalar multiply-accumulate
@@ -126,13 +173,14 @@ func (bc *BaseConverter) ConvertExact(in [][]uint64) ([][]uint64, error) {
 		return nil, fmt.Errorf("rns: got %d limbs, source basis has %d", len(in), l)
 	}
 	n := len(in[0])
-	z := make([][]uint64, l)
-	u := make([]uint64, n) // slack multiple per coefficient
-	inv := make([]float64, l)
 	for j := 0; j < l; j++ {
 		if len(in[j]) != n {
 			return nil, fmt.Errorf("rns: limb %d length %d != %d", j, len(in[j]), n)
 		}
+	}
+	z := make([][]uint64, l)
+	inv := make([]float64, l)
+	bc.stripe(l, n, func(j int) {
 		q := bc.src.Moduli[j]
 		inv[j] = 1 / float64(q)
 		w := bc.qHatInv[j]
@@ -142,7 +190,8 @@ func (bc *BaseConverter) ConvertExact(in [][]uint64) ([][]uint64, error) {
 			zj[i] = MulModShoup(x, w, ws, q)
 		}
 		z[j] = zj
-	}
+	})
+	u := make([]uint64, n) // slack multiple per coefficient
 	for i := 0; i < n; i++ {
 		var sum float64
 		for j := 0; j < l; j++ {
@@ -152,26 +201,19 @@ func (bc *BaseConverter) ConvertExact(in [][]uint64) ([][]uint64, error) {
 		u[i] = uint64(sum)
 	}
 	out := make([][]uint64, m)
-	for k := 0; k < m; k++ {
+	bc.stripe(m, n, func(k int) {
 		p := bc.dst.Moduli[k]
+		bp := bc.dstBar[k]
 		// Q mod p for the correction term.
 		qModP := uint64(1)
 		for _, q := range bc.src.Moduli {
 			qModP = MulMod(qModP, q%p, p)
 		}
-		acc := make([]uint64, n)
-		for j := 0; j < l; j++ {
-			f := bc.qHatModP[j][k] % p
-			fs := ShoupPrecomp(f, p)
-			zj := z[j]
-			for i := 0; i < n; i++ {
-				acc[i] = AddMod(acc[i], MulModShoup(zj[i]%p, f, fs, p), p)
-			}
-		}
+		acc := bc.accumulate(k, z, n, nil)
 		for i := 0; i < n; i++ {
-			acc[i] = SubMod(acc[i], MulMod(u[i]%p, qModP, p), p)
+			acc[i] = SubMod(acc[i], bp.MulMod(u[i], qModP), p)
 		}
 		out[k] = acc
-	}
+	})
 	return out, nil
 }

@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkCoreServeSubmit pushes single requests through the full serving
+// pipeline (batcher → worker → pooled emulator machine → pooled ring
+// buffers). allocs/op is the column of interest: machine reuse plus the
+// ring's Poly pool keep the steady-state allocation rate flat as request
+// volume grows.
+func BenchmarkCoreServeSubmit(b *testing.B) {
+	reg := testEnv(b)
+	core := NewCore(reg, Config{
+		MaxBatch:  1,
+		BatchWait: time.Microsecond,
+		Workers:   2,
+	})
+	defer core.Close(context.Background())
+	ct, _ := encryptRandom(b, 1)
+	// Warm the machine pool and converter caches.
+	if _, err := core.Submit(context.Background(), "square", testTenant, ct); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Submit(context.Background(), "square", testTenant, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

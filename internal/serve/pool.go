@@ -11,6 +11,7 @@ import (
 
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/emulator"
+	"cinnamon/internal/parallel"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -33,6 +34,12 @@ type Config struct {
 	BatchWait time.Duration
 	// Workers is the executor pool size. Default GOMAXPROCS.
 	Workers int
+	// LimbWorkers sets the process-wide limb-parallel worker pool used by
+	// ring/keyswitch arithmetic inside every emulator run (see
+	// internal/parallel). 0 leaves the pool at its GOMAXPROCS default;
+	// setting it to 1 trades per-request latency for batch throughput when
+	// Workers already saturates the cores.
+	LimbWorkers int
 	// QueueDepth bounds each (program, tenant) request queue; a full
 	// queue sheds with ErrOverloaded. Default 64.
 	QueueDepth int
@@ -124,6 +131,9 @@ type Core struct {
 // NewCore starts the worker pool over an already-compiled registry.
 func NewCore(reg *Registry, cfg Config) *Core {
 	cfg = cfg.withDefaults(reg)
+	if cfg.LimbWorkers > 0 {
+		parallel.SetWorkers(cfg.LimbWorkers)
+	}
 	c := &Core{
 		cfg:      cfg,
 		reg:      reg,
