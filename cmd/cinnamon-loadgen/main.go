@@ -41,9 +41,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "load generator RNG seed")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	verify := flag.Bool("verify", true, "decrypt responses and compare to a local reference evaluation")
+	maxSlotErr := flag.Float64("max-slot-err", 0, "exit 1 if any verified slot error exceeds this (0 = report only)")
 	flag.Parse()
 
-	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify); err != nil {
+	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify, *maxSlotErr); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -73,7 +74,7 @@ type result struct {
 	transport error
 }
 
-func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool) error {
+func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool, maxSlotErr float64) error {
 	c := &client{base: base, tenant: tenant, http: &http.Client{Timeout: timeout}}
 
 	// Discover parameters and rebuild an identical set locally.
@@ -130,7 +131,7 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report(results, elapsed)
+	failed, worstErr := report(results, elapsed)
 
 	var snap serve.Snapshot
 	if err := c.getJSON("/metrics", &snap); err != nil {
@@ -141,6 +142,18 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 	fmt.Printf("  batches: %d, avg occupancy %.2f requests/run\n", snap.Batches, snap.AvgBatchOccupancy)
 	fmt.Printf("  server-side latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
 		snap.Latency.P50Ms, snap.Latency.P95Ms, snap.Latency.P99Ms)
+	if cl := snap.Cluster; cl != nil {
+		fmt.Printf("  cluster: %d/%d workers healthy, %d broadcasts, %d aggregations, %.1f MB sent, %d emulator fallbacks\n",
+			cl.Healthy, cl.Workers, cl.Broadcasts, cl.Aggregations, float64(cl.BytesSent)/1e6, snap.EmulatorFallbacks)
+	}
+	if maxSlotErr > 0 {
+		if failed > 0 {
+			return fmt.Errorf("verification: %d requests failed outright", failed)
+		}
+		if worstErr > maxSlotErr {
+			return fmt.Errorf("verification: worst slot error %.2e exceeds -max-slot-err %.2e", worstErr, maxSlotErr)
+		}
+	}
 	return nil
 }
 
@@ -315,7 +328,7 @@ func (c *client) getJSON(path string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-func report(results []result, elapsed time.Duration) {
+func report(results []result, elapsed time.Duration) (int, float64) {
 	var ok, rejected, failed int
 	var lats []time.Duration
 	worstErr := 0.0
@@ -356,4 +369,5 @@ func report(results []result, elapsed time.Duration) {
 			q(0.99).Round(10*time.Microsecond), lats[len(lats)-1].Round(10*time.Microsecond))
 	}
 	fmt.Printf("worst slot error vs reference: %.2e\n", worstErr)
+	return failed, worstErr
 }

@@ -7,6 +7,13 @@
 //
 //	cinnamon-serve -addr :8080
 //	cinnamon-serve -addr :8080 -logn 9 -levels 4 -max-batch 8 -batch-wait 5ms
+//	cinnamon-serve -addr :8080 -cluster localhost:9101,localhost:9102,localhost:9103
+//
+// With -cluster, requests execute over the scale-out worker cluster
+// (cinnamon-worker processes, one chip each): ciphertext limbs are
+// partitioned across the workers and every keyswitch runs the paper's
+// network collectives. The local emulator stays as the fallback path when
+// workers are lost.
 //
 // Endpoints (see internal/serve for the wire protocol):
 //
@@ -28,9 +35,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"cinnamon/internal/cluster"
 	"cinnamon/internal/serve"
 	"cinnamon/internal/workloads"
 )
@@ -47,15 +56,16 @@ func main() {
 	queue := flag.Int("queue", 64, "per-(program,tenant) queue depth before shedding")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request execution timeout")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
+	clusterAddrs := flag.String("cluster", "", "comma-separated cinnamon-worker addresses (host:port,...); empty = local emulator only")
 	flag.Parse()
 
-	if err := run(*addr, *logN, *levels, *seed, *maxBatch, *batchWait, *workers, *limbWorkers, *queue, *timeout, *drain); err != nil {
+	if err := run(*addr, *logN, *levels, *seed, *maxBatch, *batchWait, *workers, *limbWorkers, *queue, *timeout, *drain, *clusterAddrs); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time.Duration, workers, limbWorkers, queue int, timeout, drain time.Duration) error {
+func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time.Duration, workers, limbWorkers, queue int, timeout, drain time.Duration, clusterAddrs string) error {
 	lit := workloads.ServeParamsLiteral(logN, levels, seed)
 	log.Printf("compiling serve catalog (logN=%d levels=%d seed=%d maxBatch=%d)...", logN, levels, seed, maxBatch)
 	start := time.Now()
@@ -69,6 +79,27 @@ func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time
 	}
 	log.Printf("catalog ready in %v", time.Since(start).Round(time.Millisecond))
 
+	var clusterEng *cluster.Engine
+	if clusterAddrs != "" {
+		var dialers []cluster.Dialer
+		for _, a := range strings.Split(clusterAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				dialers = append(dialers, cluster.TCPDialer{Addr: a})
+			}
+		}
+		if len(dialers) == 0 {
+			return fmt.Errorf("-cluster given but no worker addresses parsed from %q", clusterAddrs)
+		}
+		log.Printf("connecting to %d cluster workers...", len(dialers))
+		var err error
+		clusterEng, err = cluster.NewEngine(reg.Params, dialers, cluster.Options{})
+		if err != nil {
+			return fmt.Errorf("cluster startup: %w", err)
+		}
+		defer clusterEng.Close()
+		log.Printf("cluster up: %d workers, limb partition chip=j%%%d", clusterEng.NChips(), clusterEng.NChips())
+	}
+
 	core := serve.NewCore(reg, serve.Config{
 		MaxBatch:       maxBatch,
 		BatchWait:      batchWait,
@@ -76,6 +107,7 @@ func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time
 		LimbWorkers:    limbWorkers,
 		QueueDepth:     queue,
 		RequestTimeout: timeout,
+		Cluster:        clusterEng,
 	})
 
 	srv := &http.Server{Addr: addr, Handler: serve.NewHandler(core, serve.HandlerConfig{})}

@@ -17,6 +17,29 @@ type Evaluator struct {
 	enc    *Encoder
 	rlk    *EvalKey
 	rtks   *RotationKeySet
+	ks     KeySwitcher
+}
+
+// KeySwitcher is a pluggable keyswitch backend. The cluster runtime
+// implements it to route every relinearization and rotation keyswitch
+// through the distributed collectives; the zero value (nil) keeps the
+// built-in single-chip kernel. Implementations must accept c in NTT domain
+// over a level basis and return two NTT-domain polynomials over the same
+// basis, exactly like Evaluator.KeySwitch.
+type KeySwitcher interface {
+	KeySwitch(c *ring.Poly, evk *EvalKey) (*ring.Poly, *ring.Poly, error)
+}
+
+// SetKeySwitcher installs (or, with nil, removes) a keyswitch backend.
+// Every MulRelin, Rotate and Conjugate afterwards dispatches through it.
+func (ev *Evaluator) SetKeySwitcher(ks KeySwitcher) { ev.ks = ks }
+
+// keySwitch dispatches to the installed backend, if any.
+func (ev *Evaluator) keySwitch(c *ring.Poly, evk *EvalKey) (*ring.Poly, *ring.Poly, error) {
+	if ev.ks != nil {
+		return ev.ks.KeySwitch(c, evk)
+	}
+	return ev.KeySwitch(c, evk)
 }
 
 // NewEvaluator returns an evaluator. rlk and rtks may be nil when only
@@ -145,7 +168,7 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := r.MulCoeffs(a.C1, b.C1, d2); err != nil {
 		return nil, err
 	}
-	f0, f1, err := ev.KeySwitch(d2, ev.rlk)
+	f0, f1, err := ev.keySwitch(d2, ev.rlk)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +264,7 @@ func (ev *Evaluator) automorphismKS(ct *Ciphertext, galEl uint64, key *EvalKey) 
 	if err := r.Automorphism(ct.C1, galEl, s1); err != nil {
 		return nil, err
 	}
-	f0, f1, err := ev.KeySwitch(s1, key)
+	f0, f1, err := ev.keySwitch(s1, key)
 	if err != nil {
 		return nil, err
 	}

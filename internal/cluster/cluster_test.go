@@ -1,0 +1,457 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/keyswitch"
+)
+
+func testParams(t testing.TB) *ckks.Parameters {
+	t.Helper()
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     9,
+		LogQ:     []int{55, 45, 45, 45, 45},
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		Seed:     777,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params
+}
+
+type clusterContext struct {
+	params  *ckks.Parameters
+	kg      *ckks.KeyGenerator
+	sk      *ckks.SecretKey
+	rlk     *ckks.EvalKey
+	encr    *ckks.Encryptor
+	decr    *ckks.Decryptor
+	enc     *ckks.Encoder
+	dialers []*PipeDialer
+	eng     *Engine
+}
+
+func newClusterContext(t testing.TB, nWorkers int, opts Options) *clusterContext {
+	t.Helper()
+	params := testParams(t)
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &clusterContext{
+		params: params,
+		kg:     kg,
+		sk:     sk,
+		rlk:    rlk,
+		encr:   ckks.NewEncryptor(params, pk),
+		decr:   ckks.NewDecryptor(params, sk),
+		enc:    ckks.NewEncoder(params),
+	}
+	dialers := make([]Dialer, nWorkers)
+	for i := range dialers {
+		pd := NewPipeDialer(NewWorker(params))
+		tc.dialers = append(tc.dialers, pd)
+		dialers[i] = pd
+	}
+	tc.eng, err = NewEngine(params, dialers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.eng.Close)
+	return tc
+}
+
+func (tc *clusterContext) encryptRandom(t testing.TB, seed int64) *ckks.Ciphertext {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	slots := tc.params.Slots()
+	v := make([]complex128, slots)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	pt, err := tc.enc.Encode(v, tc.params.MaxLevel(), tc.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := tc.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// TestDistributedInputBroadcastBitExact: the distributed Fig. 8b
+// collective must reproduce both the in-process input broadcast AND the
+// sequential reference limb-for-limb, with the measured CommStats matching
+// the paper's analytic bill.
+func TestDistributedInputBroadcastBitExact(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		tc := newClusterContext(t, n, Options{})
+		ct := tc.encryptRandom(t, int64(10+n))
+		l := ct.Level()
+
+		seq := ckks.NewEvaluator(tc.params, nil, nil)
+		s0, s1, err := seq.KeySwitch(ct.C1, tc.rlk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d0, d1, stats, err := tc.eng.KeySwitchStats(ct.C1, tc.rlk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d0.Equal(s0) || !d1.Equal(s1) {
+			t.Fatalf("n=%d: distributed input broadcast differs from sequential", n)
+		}
+		want := keyswitch.AnalyticStats(keyswitch.InputBroadcast, l, n, tc.params.PBasis.Len())
+		if stats != want {
+			t.Fatalf("n=%d: measured %+v, analytic %+v", n, stats, want)
+		}
+		snap := tc.eng.Snapshot()
+		if n > 0 && (snap.BytesSent == 0 || snap.BytesReceived == 0) {
+			t.Fatalf("n=%d: transport counted no bytes: %+v", n, snap)
+		}
+		if snap.Broadcasts != 1 {
+			t.Fatalf("n=%d: %d broadcasts recorded, want 1", n, snap.Broadcasts)
+		}
+		if snap.LimbsMoved != int64(want.LimbsMoved) {
+			t.Fatalf("n=%d: transport counted %d limbs, analytic %d", n, snap.LimbsMoved, want.LimbsMoved)
+		}
+	}
+}
+
+// TestDistributedOutputAggregationBitExact: the distributed Fig. 8c
+// collective must agree with the in-process engine (identical ChipOA
+// kernels, same aggregation order) bit for bit.
+func TestDistributedOutputAggregationBitExact(t *testing.T) {
+	n := 3
+	tc := newClusterContext(t, n, Options{})
+	r := tc.params.Ring
+	s2 := r.NewPoly(tc.params.QPBasis())
+	if err := r.MulCoeffs(tc.sk.S, tc.sk.S, s2); err != nil {
+		t.Fatal(err)
+	}
+	rlkMod, err := tc.kg.GenEvalKeyDigits(s2, tc.sk, keyswitch.ModularDigitSets(tc.params, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tc.encryptRandom(t, 20)
+	l := ct.Level()
+
+	localEng, err := keyswitch.NewEngine(tc.params, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, l1, _, err := localEng.KeySwitch(ct.C1, rlkMod, keyswitch.OutputAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1, stats, err := tc.eng.KeySwitchStats(ct.C1, rlkMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d0.Equal(l0) || !d1.Equal(l1) {
+		t.Fatal("distributed output aggregation differs from in-process engine")
+	}
+	want := keyswitch.AnalyticStats(keyswitch.OutputAggregation, l, n, tc.params.PBasis.Len())
+	if stats != want {
+		t.Fatalf("measured %+v, analytic %+v", stats, want)
+	}
+	if snap := tc.eng.Snapshot(); snap.Aggregations != 2 {
+		t.Fatalf("%d aggregations recorded, want 2", snap.Aggregations)
+	}
+}
+
+// TestEvaluatorClusterHook: an Evaluator with the cluster installed as its
+// KeySwitcher must produce bit-identical ciphertexts for quartic and
+// rotate-and-sum programs.
+func TestEvaluatorClusterHook(t *testing.T) {
+	tc := newClusterContext(t, 3, Options{})
+	rots := []int{1, 2, 4}
+	rtks, err := tc.kg.GenRotationKeySet(tc.sk, rots, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tc.encryptRandom(t, 31)
+
+	quartic := func(ev *ckks.Evaluator) (*ckks.Ciphertext, error) {
+		sq, err := ev.MulRelin(ct, ct)
+		if err != nil {
+			return nil, err
+		}
+		if sq, err = ev.Rescale(sq); err != nil {
+			return nil, err
+		}
+		q, err := ev.MulRelin(sq, sq)
+		if err != nil {
+			return nil, err
+		}
+		return ev.Rescale(q)
+	}
+	rotsum := func(ev *ckks.Evaluator) (*ckks.Ciphertext, error) {
+		acc := ct.Copy()
+		for _, k := range rots {
+			rot, err := ev.Rotate(ct, k)
+			if err != nil {
+				return nil, err
+			}
+			if acc, err = ev.Add(acc, rot); err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+
+	for name, prog := range map[string]func(*ckks.Evaluator) (*ckks.Ciphertext, error){
+		"quartic": quartic, "rotsum": rotsum,
+	} {
+		ref := ckks.NewEvaluator(tc.params, tc.rlk, rtks)
+		wantCT, err := prog(ref)
+		if err != nil {
+			t.Fatalf("%s reference: %v", name, err)
+		}
+		clu := ckks.NewEvaluator(tc.params, tc.rlk, rtks)
+		clu.SetKeySwitcher(tc.eng)
+		gotCT, err := prog(clu)
+		if err != nil {
+			t.Fatalf("%s cluster: %v", name, err)
+		}
+		if !gotCT.C0.Equal(wantCT.C0) || !gotCT.C1.Equal(wantCT.C1) || gotCT.Scale != wantCT.Scale {
+			t.Fatalf("%s: cluster-evaluated ciphertext differs from single-process", name)
+		}
+	}
+}
+
+// TestWorkerLossDegradesGracefully: killing a worker mid-run must complete
+// the collective single-process with a bit-exact result (fallback on) or
+// fail with the typed ErrDegraded (fallback off) — never hang or corrupt.
+func TestWorkerLossDegradesGracefully(t *testing.T) {
+	tc := newClusterContext(t, 3, Options{
+		RPCTimeout:   2 * time.Second,
+		RetryBackoff: time.Millisecond,
+	})
+	ct := tc.encryptRandom(t, 40)
+	seq := ckks.NewEvaluator(tc.params, nil, nil)
+	s0, s1, err := seq.KeySwitch(ct.C1, tc.rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm run, then crash worker 1 (sessions die, dials refused).
+	if _, _, err := tc.eng.KeySwitch(ct.C1, tc.rlk); err != nil {
+		t.Fatal(err)
+	}
+	tc.dialers[1].Kill()
+	d0, d1, err := tc.eng.KeySwitch(ct.C1, tc.rlk)
+	if err != nil {
+		t.Fatalf("degraded keyswitch failed: %v", err)
+	}
+	if !d0.Equal(s0) || !d1.Equal(s1) {
+		t.Fatal("degraded keyswitch corrupted the result")
+	}
+	if got := tc.eng.Snapshot().LocalFallbacks; got < 1 {
+		t.Fatalf("expected a local fallback, counted %d", got)
+	}
+	if tc.eng.Healthy() {
+		t.Fatal("engine still reports healthy with a dead worker")
+	}
+}
+
+// TestWorkerLossWithFallbackDisabled: the strict mode fails cleanly.
+func TestWorkerLossWithFallbackDisabled(t *testing.T) {
+	tc := newClusterContext(t, 3, Options{
+		RPCTimeout:      2 * time.Second,
+		RetryBackoff:    time.Millisecond,
+		DisableFallback: true,
+	})
+	ct := tc.encryptRandom(t, 41)
+	tc.dialers[2].Kill()
+	_, _, err := tc.eng.KeySwitch(ct.C1, tc.rlk)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("expected ErrDegraded, got %v", err)
+	}
+}
+
+// TestReconnectRepushesKeys: after a worker comes back, the next RPC
+// redials, re-handshakes, and lazily re-pushes the evaluation key (the
+// restarted process lost its key store).
+func TestReconnectRepushesKeys(t *testing.T) {
+	tc := newClusterContext(t, 2, Options{
+		RPCTimeout:   2 * time.Second,
+		RetryBackoff: time.Millisecond,
+	})
+	ct := tc.encryptRandom(t, 50)
+	if _, _, err := tc.eng.KeySwitch(ct.C1, tc.rlk); err != nil {
+		t.Fatal(err)
+	}
+	pushesBefore := tc.eng.Snapshot().KeyPushes
+	tc.dialers[0].Kill()
+	tc.dialers[0].Revive()
+
+	seq := ckks.NewEvaluator(tc.params, nil, nil)
+	s0, s1, err := seq.KeySwitch(ct.C1, tc.rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1, err := tc.eng.KeySwitch(ct.C1, tc.rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d0.Equal(s0) || !d1.Equal(s1) {
+		t.Fatal("post-reconnect keyswitch differs from sequential")
+	}
+	snap := tc.eng.Snapshot()
+	if snap.Reconnects < 1 {
+		t.Fatalf("expected a reconnect, counted %d", snap.Reconnects)
+	}
+	if snap.KeyPushes <= pushesBefore {
+		t.Fatalf("expected a key re-push after reconnect (%d before, %d after)", pushesBefore, snap.KeyPushes)
+	}
+	if !tc.eng.Healthy() {
+		t.Fatal("engine not healthy after reconnect")
+	}
+}
+
+// TestHeartbeatRedialsLostWorker: the background loop restores a revived
+// worker without any request traffic.
+func TestHeartbeatRedialsLostWorker(t *testing.T) {
+	tc := newClusterContext(t, 2, Options{
+		RPCTimeout:        2 * time.Second,
+		RetryBackoff:      time.Millisecond,
+		HeartbeatInterval: 5 * time.Millisecond,
+	})
+	ct := tc.encryptRandom(t, 60)
+	if _, _, err := tc.eng.KeySwitch(ct.C1, tc.rlk); err != nil {
+		t.Fatal(err)
+	}
+	tc.dialers[1].Kill()
+	// Force the engine to notice (the next collective degrades).
+	if _, _, err := tc.eng.KeySwitch(ct.C1, tc.rlk); err != nil {
+		t.Fatal(err)
+	}
+	tc.dialers[1].Revive()
+	deadline := time.Now().Add(5 * time.Second)
+	for !tc.eng.Healthy() {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never restored the worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if tc.eng.Snapshot().Heartbeats == 0 {
+		t.Fatal("no heartbeats recorded")
+	}
+}
+
+// TestHandshakeDigestMismatch: a worker on different parameters must be
+// refused at construction.
+func TestHandshakeDigestMismatch(t *testing.T) {
+	params := testParams(t)
+	other, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     9,
+		LogQ:     []int{55, 45, 45, 45}, // one level short: different chain
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		Seed:     777,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ParamsDigest(params) == ParamsDigest(other) {
+		t.Fatal("digests should differ for different chains")
+	}
+	_, err = NewEngine(params, []Dialer{NewPipeDialer(NewWorker(other))}, Options{})
+	if !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("expected ErrDigestMismatch, got %v", err)
+	}
+}
+
+// TestLoopbackTCP runs one bit-exactness pass over real TCP sockets on
+// localhost (skipped under -short so sandboxed tier-1 runs stay
+// socket-free).
+func TestLoopbackTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP exercised only in full (non-short) runs")
+	}
+	params := testParams(t)
+	nWorkers := 3
+	dialers := make([]Dialer, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback listen unavailable: %v", err)
+		}
+		defer ln.Close()
+		w := NewWorker(params)
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go w.Serve(conn)
+			}
+		}()
+		dialers[i] = TCPDialer{Addr: ln.Addr().String()}
+	}
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(params, dialers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	enc := ckks.NewEncoder(params)
+	v := make([]complex128, params.Slots())
+	for i := range v {
+		v[i] = complex(float64(i%7)/7, 0)
+	}
+	pt, err := enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ckks.NewEncryptor(params, pk).Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ckks.NewEvaluator(params, nil, nil)
+	s0, s1, err := seq.KeySwitch(ct.C1, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1, err := eng.KeySwitch(ct.C1, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d0.Equal(s0) || !d1.Equal(s1) {
+		t.Fatal("TCP-distributed keyswitch differs from sequential")
+	}
+	if snap := eng.Snapshot(); snap.BytesSent == 0 {
+		t.Fatal("TCP transport counted no bytes")
+	}
+}

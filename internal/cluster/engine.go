@@ -1,0 +1,789 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/keyswitch"
+	"cinnamon/internal/ring"
+)
+
+// ErrDegraded is returned (wrapped) when a worker is lost mid-collective
+// and local fallback is disabled: the caller gets a clean typed failure
+// instead of a hang or a partial result.
+var ErrDegraded = errors.New("cluster: degraded")
+
+// Options tunes the coordinator's production behaviour.
+type Options struct {
+	// RPCTimeout bounds one collective round trip per worker (handshake,
+	// key push, keyswitch). Default 30s.
+	RPCTimeout time.Duration
+	// DialTimeout bounds one connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// Retries is how many times a failed per-worker RPC is redialed and
+	// retried before the collective degrades. Default 1.
+	Retries int
+	// RetryBackoff is the pause before each retry. Default 100ms.
+	RetryBackoff time.Duration
+	// HeartbeatInterval enables a background ping loop that detects dead
+	// workers early and redials lost ones. 0 disables.
+	HeartbeatInterval time.Duration
+	// DisableFallback turns off graceful degradation: a lost worker then
+	// fails the collective with ErrDegraded instead of completing it
+	// single-process.
+	DisableFallback bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.RPCTimeout <= 0 {
+		o.RPCTimeout = 30 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 1
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Engine is the coordinator of the scale-out runtime: it holds one session
+// per worker process (one per paper chip), partitions every keyswitch
+// across them and implements ckks.KeySwitcher, so an Evaluator with
+// SetKeySwitcher(engine) transparently executes all relinearizations and
+// rotations over the cluster.
+type Engine struct {
+	params *ckks.Parameters
+	local  *keyswitch.Engine // fallback path + shared partition arithmetic
+	opts   Options
+	links  []*link
+	stats  Stats
+
+	keyMu   sync.Mutex
+	keyIDs  map[*ckks.EvalKey]uint64
+	keyEnc  map[uint64][]byte // encoded pushes, shared across workers
+	nextKey uint64
+
+	reqSeq   atomic.Uint64
+	nonceSeq atomic.Uint64
+
+	hbStop    chan struct{}
+	hbDone    chan struct{}
+	closeOnce sync.Once
+}
+
+// link is one worker pairing. mu serializes the connection: exactly one
+// RPC (or heartbeat) is on the wire at a time, and reconnects replace the
+// conn under the same lock.
+type link struct {
+	dialer Dialer
+	chip   int
+	nChips int
+	params *ckks.Parameters
+	opts   Options
+	stats  *Stats
+
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	pushed  map[uint64]bool // keys live on the CURRENT session
+	dialed  bool            // a session existed before (reconnects count)
+	healthy atomic.Bool
+}
+
+// NewEngine dials and handshakes every worker. Worker i is chip i; the
+// chip count is len(dialers). Startup is strict — a worker that cannot be
+// reached or negotiates a different parameter digest fails construction —
+// while runtime losses degrade per Options.
+func NewEngine(params *ckks.Parameters, dialers []Dialer, opts Options) (*Engine, error) {
+	if len(dialers) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one worker")
+	}
+	opts = opts.withDefaults()
+	local, err := keyswitch.NewEngine(params, len(dialers))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		params: params,
+		local:  local,
+		opts:   opts,
+		keyIDs: map[*ckks.EvalKey]uint64{},
+		keyEnc: map[uint64][]byte{},
+	}
+	for i, d := range dialers {
+		lk := &link{
+			dialer: d, chip: i, nChips: len(dialers),
+			params: params, opts: opts, stats: &e.stats,
+			pushed: map[uint64]bool{},
+		}
+		if err := lk.connect(); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		e.links = append(e.links, lk)
+	}
+	if opts.HeartbeatInterval > 0 {
+		e.hbStop = make(chan struct{})
+		e.hbDone = make(chan struct{})
+		go e.heartbeatLoop()
+	}
+	return e, nil
+}
+
+// Params returns the engine's parameter set.
+func (e *Engine) Params() *ckks.Parameters { return e.params }
+
+// NChips returns the cluster width (number of worker processes).
+func (e *Engine) NChips() int { return len(e.links) }
+
+// Healthy reports whether every worker session is currently established.
+func (e *Engine) Healthy() bool {
+	for _, lk := range e.links {
+		if !lk.healthy.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot captures the transport counters for the metrics endpoint.
+func (e *Engine) Snapshot() *Snapshot {
+	s := e.stats.snapshot()
+	s.Workers = len(e.links)
+	for _, lk := range e.links {
+		if lk.healthy.Load() {
+			s.Healthy++
+		}
+	}
+	return &s
+}
+
+// Close tears down the heartbeat loop and every worker session.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		if e.hbStop != nil {
+			close(e.hbStop)
+			<-e.hbDone
+		}
+		for _, lk := range e.links {
+			lk.mu.Lock()
+			lk.drop()
+			lk.mu.Unlock()
+		}
+	})
+}
+
+// EnsureKeys pre-pushes evaluation keys to every worker (e.g. at tenant
+// registration), so the first request doesn't pay the transfer.
+func (e *Engine) EnsureKeys(keys ...*ckks.EvalKey) error {
+	for _, k := range keys {
+		if k == nil {
+			continue
+		}
+		id, err := e.keyID(k)
+		if err != nil {
+			return err
+		}
+		for _, lk := range e.links {
+			lk.mu.Lock()
+			err := func() error {
+				if lk.conn == nil {
+					if err := lk.connect(); err != nil {
+						return err
+					}
+				}
+				lk.conn.SetDeadline(time.Now().Add(lk.opts.RPCTimeout))
+				defer func() {
+					if lk.conn != nil {
+						lk.conn.SetDeadline(time.Time{})
+					}
+				}()
+				if err := lk.ensureKey(id, e); err != nil {
+					lk.drop()
+					return err
+				}
+				return nil
+			}()
+			lk.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("cluster: pushing key to worker %d: %w", lk.chip, err)
+			}
+		}
+	}
+	return nil
+}
+
+// KeySwitch implements ckks.KeySwitcher: the algorithm follows the key's
+// digit format — a modular-digit key (GenEvalKeyDigits) runs output
+// aggregation, the default hybrid partition runs input broadcast.
+func (e *Engine) KeySwitch(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, error) {
+	f0, f1, _, err := e.KeySwitchStats(c, evk)
+	return f0, f1, err
+}
+
+// KeySwitchStats is KeySwitch plus the measured communication bill of the
+// collective, in the paper's units. A collective that degraded to local
+// execution reports zero CommStats (no network collective happened); the
+// degradation itself is counted in Stats.LocalFallbacks.
+func (e *Engine) KeySwitchStats(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, keyswitch.CommStats, error) {
+	if !c.IsNTT {
+		return nil, nil, keyswitch.CommStats{}, fmt.Errorf("cluster: keyswitch input must be NTT")
+	}
+	if evk.DigitSets != nil {
+		return e.outputAggregation(c, evk)
+	}
+	return e.inputBroadcast(c, evk)
+}
+
+func (e *Engine) keyID(evk *ckks.EvalKey) (uint64, error) {
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	if id, ok := e.keyIDs[evk]; ok {
+		return id, nil
+	}
+	e.nextKey++
+	id := e.nextKey
+	enc, err := encodeSetKey(id, evk)
+	if err != nil {
+		return 0, err
+	}
+	e.keyIDs[evk] = id
+	e.keyEnc[id] = enc
+	return id, nil
+}
+
+// digitRanges lists the [lo,hi) chain ranges of every hybrid digit at
+// level l — one broadcast frame per digit.
+func (e *Engine) digitRanges(evk *ckks.EvalKey, l int) [][2]int {
+	var out [][2]int
+	for d := 0; d < evk.Digits(); d++ {
+		lo, hi, ok := e.params.DigitRange(d, l)
+		if !ok {
+			break
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// inputBroadcast runs Fig. 8b over the cluster: ONE broadcast of the input
+// limbs (streamed digit by digit so workers absorb while later digits are
+// still in flight), after which every chip's mod-up, inner product and
+// mod-down are local; the workers return only their owned output limbs.
+func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, keyswitch.CommStats, error) {
+	r := e.params.Ring
+	l := c.Basis.Len() - 1
+	n := len(e.links)
+	start := time.Now()
+	keyID, err := e.keyID(evk)
+	if err != nil {
+		return nil, nil, keyswitch.CommStats{}, err
+	}
+	digits := e.digitRanges(evk, l)
+
+	cc := c.Copy()
+	if err := r.INTT(cc); err != nil {
+		return nil, nil, keyswitch.CommStats{}, err
+	}
+	out0 := r.NewPoly(c.Basis)
+	out1 := r.NewPoly(c.Basis)
+	out0.IsNTT, out1.IsNTT = true, true
+
+	moved := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for chip := 0; chip < n; chip++ {
+		mine := chipOwned(chip, l, n)
+		if len(mine) == 0 {
+			continue // more chips than limbs: this chip sits the collective out
+		}
+		wg.Add(1)
+		go func(chip int, mine []int) {
+			defer wg.Done()
+			res, err := e.links[chip].keyswitchRPC(e, ksBeginMsg{
+				alg: algIB, keyID: keyID, level: uint32(l), frames: uint32(len(digits)),
+			}, func(bw *bufio.Writer, req uint64) error {
+				return streamDigits(bw, req, digits, cc)
+			})
+			if err != nil {
+				errs[chip] = err
+				return
+			}
+			if err := copyOwnedLimbs(out0, out1, res, mine); err != nil {
+				errs[chip] = err
+				return
+			}
+			moved[chip] = int(res.moved)
+		}(chip, mine)
+	}
+	wg.Wait()
+	for chip, err := range errs {
+		if err == nil {
+			continue
+		}
+		// Graceful degradation: finish the keyswitch single-process. The
+		// sequential kernel is bit-exact with the distributed input
+		// broadcast, so degradation never corrupts a result.
+		if e.opts.DisableFallback {
+			return nil, nil, keyswitch.CommStats{}, fmt.Errorf("%w: worker %d lost mid-broadcast: %v", ErrDegraded, chip, err)
+		}
+		e.stats.LocalFallbacks.Add(1)
+		f0, f1, _, ferr := e.local.KeySwitch(c, evk, keyswitch.Sequential)
+		return f0, f1, keyswitch.CommStats{}, ferr
+	}
+	stats := keyswitch.CommStats{Broadcasts: 1}
+	for _, m := range moved {
+		stats.LimbsMoved += m
+	}
+	e.stats.Broadcasts.Add(1)
+	e.stats.LimbsMoved.Add(int64(stats.LimbsMoved))
+	e.stats.collectiveLat.Observe(time.Since(start))
+	return out0, out1, stats, nil
+}
+
+// outputAggregation runs Fig. 8c over the cluster: the chip partition IS
+// the digit partition, so each worker receives ONLY its own limbs (the
+// scatter), computes and mod-downs its full-width product locally, and the
+// coordinator — standing in for the aggregation root — sums the two
+// partial polynomials: the two aggregate-and-scatter operations.
+func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, keyswitch.CommStats, error) {
+	r := e.params.Ring
+	l := c.Basis.Len() - 1
+	n := len(e.links)
+	start := time.Now()
+	if len(evk.DigitSets) != n {
+		return nil, nil, keyswitch.CommStats{}, fmt.Errorf("cluster: key has %d digit sets, cluster has %d workers", len(evk.DigitSets), n)
+	}
+	keyID, err := e.keyID(evk)
+	if err != nil {
+		return nil, nil, keyswitch.CommStats{}, err
+	}
+
+	cc := c.Copy()
+	if err := r.INTT(cc); err != nil {
+		return nil, nil, keyswitch.CommStats{}, err
+	}
+	results := make([]*ksResultMsg, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for chip := 0; chip < n; chip++ {
+		mine, err := e.local.OAMine(evk, chip, l)
+		if err != nil {
+			return nil, nil, keyswitch.CommStats{}, err
+		}
+		if len(mine) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(chip int, mine []int) {
+			defer wg.Done()
+			res, err := e.links[chip].keyswitchRPC(e, ksBeginMsg{
+				alg: algOA, keyID: keyID, level: uint32(l), frames: 1,
+			}, func(bw *bufio.Writer, req uint64) error {
+				limbs := make([][]uint64, len(mine))
+				for k, j := range mine {
+					limbs[k] = cc.Limbs[j]
+				}
+				return WriteFrame(bw, msgLimbs, encodeLimbs(req, scatterDigit, mine, limbs))
+			})
+			if err != nil {
+				errs[chip] = err
+				return
+			}
+			results[chip] = res
+		}(chip, mine)
+	}
+	wg.Wait()
+	for chip, err := range errs {
+		if err == nil {
+			continue
+		}
+		if e.opts.DisableFallback {
+			return nil, nil, keyswitch.CommStats{}, fmt.Errorf("%w: worker %d lost mid-aggregation: %v", ErrDegraded, chip, err)
+		}
+		// The in-process engine runs the identical ChipOA kernels and sums
+		// in the same chip order, so the degraded result is bit-identical.
+		e.stats.LocalFallbacks.Add(1)
+		f0, f1, _, ferr := e.local.KeySwitch(c, evk, keyswitch.OutputAggregation)
+		return f0, f1, keyswitch.CommStats{}, ferr
+	}
+
+	// Aggregate: sum the partial polynomials in chip order (modular
+	// addition is exactly associative, but a fixed order keeps runs
+	// reproducible), then return to NTT domain.
+	sum0 := r.NewPoly(c.Basis)
+	sum1 := r.NewPoly(c.Basis)
+	stats := keyswitch.CommStats{Aggregations: 2}
+	for chip := 0; chip < n; chip++ {
+		res := results[chip]
+		if res == nil {
+			continue
+		}
+		if len(res.limbs0) != l+1 || len(res.limbs1) != l+1 {
+			return nil, nil, stats, fmt.Errorf("cluster: worker %d returned %d+%d partial limbs, want %d each", chip, len(res.limbs0), len(res.limbs1), l+1)
+		}
+		for j := 0; j <= l; j++ {
+			addInto(sum0.Limbs[j], res.limbs0[j], c.Basis.Moduli[j])
+			addInto(sum1.Limbs[j], res.limbs1[j], c.Basis.Moduli[j])
+		}
+		stats.LimbsMoved += int(res.moved)
+	}
+	if err := r.NTT(sum0); err != nil {
+		return nil, nil, stats, err
+	}
+	if err := r.NTT(sum1); err != nil {
+		return nil, nil, stats, err
+	}
+	e.stats.Aggregations.Add(2)
+	e.stats.LimbsMoved.Add(int64(stats.LimbsMoved))
+	e.stats.collectiveLat.Observe(time.Since(start))
+	return sum0, sum1, stats, nil
+}
+
+// addInto accumulates src into dst mod q (the aggregation root's sum).
+func addInto(dst, src []uint64, q uint64) {
+	for i, v := range src {
+		s := dst[i] + v
+		if s >= q {
+			s -= q
+		}
+		dst[i] = s
+	}
+}
+
+// chipOwned lists the chain indices chip owns at level l under the modular
+// partition.
+func chipOwned(chip, l, nChips int) []int {
+	var out []int
+	for j := chip; j <= l; j += nChips {
+		out = append(out, j)
+	}
+	return out
+}
+
+// streamDigits broadcasts the input limbs digit by digit, flushing each
+// frame so the worker's absorb of digit d overlaps the send of digit d+1.
+func streamDigits(bw *bufio.Writer, req uint64, digits [][2]int, cc *ring.Poly) error {
+	for d, rng := range digits {
+		view, err := cc.View(rangeIndices(rng[0], rng[1]))
+		if err != nil {
+			return err
+		}
+		chain := rangeIndices(rng[0], rng[1])
+		if err := WriteFrame(bw, msgLimbs, encodeLimbs(req, uint32(d), chain, view.Limbs)); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rangeIndices(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// copyOwnedLimbs installs a worker's result limbs, validating that it
+// returned exactly the chain indices it owns.
+func copyOwnedLimbs(out0, out1 *ring.Poly, res *ksResultMsg, mine []int) error {
+	if len(res.chain0) != len(mine) || len(res.chain1) != len(mine) {
+		return fmt.Errorf("cluster: worker returned %d+%d limbs, owns %d", len(res.chain0), len(res.chain1), len(mine))
+	}
+	for k, j := range mine {
+		if res.chain0[k] != j || res.chain1[k] != j {
+			return fmt.Errorf("cluster: worker returned limb at chain %d/%d, owns %d", res.chain0[k], res.chain1[k], j)
+		}
+		copy(out0.Limbs[j], res.limbs0[k])
+		copy(out1.Limbs[j], res.limbs1[k])
+	}
+	return nil
+}
+
+// remoteError is a semantic failure reported in-band by a worker. It is
+// deterministic (bad key, wrong topology), so the RPC layer does not retry
+// it.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "cluster: worker reported: " + e.msg }
+
+// --- link: per-worker session management ---
+
+// connect establishes (or re-establishes) the session under lk.mu.
+func (lk *link) connect() error {
+	lk.drop()
+	ctx, cancel := context.WithTimeout(context.Background(), lk.opts.DialTimeout)
+	raw, err := lk.dialer.Dial(ctx)
+	cancel()
+	if err != nil {
+		return err
+	}
+	conn := &countingConn{Conn: raw, stats: lk.stats}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+
+	conn.SetDeadline(time.Now().Add(lk.opts.RPCTimeout))
+	defer conn.SetDeadline(time.Time{})
+	digest := ParamsDigest(lk.params)
+	if err := WriteFrame(bw, msgHello, encodeHello(helloMsg{
+		digest: digest, nChips: uint32(lk.nChips), chip: uint32(lk.chip),
+	})); err != nil {
+		raw.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		raw.Close()
+		return err
+	}
+	typ, payload, err := ReadFrame(br)
+	if err != nil {
+		raw.Close()
+		return fmt.Errorf("cluster: reading hello ack: %w", err)
+	}
+	switch typ {
+	case msgHelloAck:
+		got, err := decodeHelloAck(payload)
+		if err != nil {
+			raw.Close()
+			return err
+		}
+		if got != digest {
+			raw.Close()
+			return fmt.Errorf("%w: coordinator %016x, worker %016x", ErrDigestMismatch, digest, got)
+		}
+	case msgError:
+		_, msg, _ := decodeError(payload)
+		raw.Close()
+		return fmt.Errorf("%w: %s", ErrDigestMismatch, msg)
+	default:
+		raw.Close()
+		return fmt.Errorf("cluster: unexpected handshake frame %#x", typ)
+	}
+	if lk.dialed {
+		lk.stats.Reconnects.Add(1)
+	}
+	lk.dialed = true
+	lk.conn, lk.br, lk.bw = conn, br, bw
+	lk.pushed = map[uint64]bool{} // fresh session: worker's key store is empty
+	lk.healthy.Store(true)
+	return nil
+}
+
+// drop closes the session (under lk.mu) and marks the link unhealthy.
+func (lk *link) drop() {
+	if lk.conn != nil {
+		lk.conn.Close()
+		lk.conn, lk.br, lk.bw = nil, nil, nil
+	}
+	lk.healthy.Store(false)
+}
+
+// ensureKey pushes the key if this session hasn't seen it (lazy, keyed by
+// pointer identity on the coordinator; a reconnect clears the set).
+func (lk *link) ensureKey(id uint64, e *Engine) error {
+	if lk.pushed[id] {
+		return nil
+	}
+	e.keyMu.Lock()
+	enc := e.keyEnc[id]
+	e.keyMu.Unlock()
+	if enc == nil {
+		return fmt.Errorf("cluster: key %d has no encoding", id)
+	}
+	if err := WriteFrame(lk.bw, msgSetKey, enc); err != nil {
+		return err
+	}
+	if err := lk.bw.Flush(); err != nil {
+		return err
+	}
+	typ, payload, err := ReadFrame(lk.br)
+	if err != nil {
+		return err
+	}
+	if typ != msgKeyAck {
+		return fmt.Errorf("cluster: expected key ack, got frame %#x", typ)
+	}
+	got, err := decodeKeyAck(payload)
+	if err != nil {
+		return err
+	}
+	if got != id {
+		return fmt.Errorf("cluster: key ack for %d, pushed %d", got, id)
+	}
+	lk.pushed[id] = true
+	lk.stats.KeyPushes.Add(1)
+	return nil
+}
+
+// keyswitchRPC runs one keyswitch against this worker: begin frame, the
+// caller-provided limb stream, then the result — under a per-RPC deadline,
+// with bounded redial-and-retry on transport failure. Semantic worker
+// errors are not retried.
+func (lk *link) keyswitchRPC(e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (*ksResultMsg, error) {
+	var lastErr error
+	for attempt := 0; attempt <= lk.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(lk.opts.RetryBackoff)
+		}
+		res, err := lk.tryKeyswitch(e, begin, sendLimbs)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		var rerr *remoteError
+		if errors.As(err, &rerr) {
+			return nil, err // deterministic: retrying cannot help
+		}
+	}
+	return nil, lastErr
+}
+
+func (lk *link) tryKeyswitch(e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (res *ksResultMsg, err error) {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.conn == nil {
+		if err := lk.connect(); err != nil {
+			return nil, err
+		}
+	}
+	// Any failure past this point poisons the session (the stream position
+	// is unknown), so drop it; the retry or the heartbeat loop redials.
+	defer func() {
+		if err != nil {
+			if _, ok := err.(*remoteError); !ok {
+				lk.drop()
+			}
+		}
+	}()
+	lk.conn.SetDeadline(time.Now().Add(lk.opts.RPCTimeout))
+	defer func() {
+		if lk.conn != nil {
+			lk.conn.SetDeadline(time.Time{})
+		}
+	}()
+	if err := lk.ensureKey(begin.keyID, e); err != nil {
+		return nil, err
+	}
+	req := e.reqSeq.Add(1)
+	begin.req = req
+	if err := WriteFrame(lk.bw, msgKSBegin, encodeKSBegin(begin)); err != nil {
+		return nil, err
+	}
+	if err := sendLimbs(lk.bw, req); err != nil {
+		return nil, err
+	}
+	if err := lk.bw.Flush(); err != nil {
+		return nil, err
+	}
+	for {
+		typ, payload, err := ReadFrame(lk.br)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case msgKSResult:
+			m, err := decodeKSResult(payload, lk.params.N())
+			if err != nil {
+				return nil, err
+			}
+			if m.req != req {
+				return nil, fmt.Errorf("cluster: result for request %d, expected %d", m.req, req)
+			}
+			return &m, nil
+		case msgError:
+			r, msg, err := decodeError(payload)
+			if err != nil {
+				return nil, err
+			}
+			if r != req {
+				return nil, fmt.Errorf("cluster: error frame for request %d, expected %d", r, req)
+			}
+			return nil, &remoteError{msg: msg}
+		case msgPong:
+			continue // stale heartbeat reply; ignore
+		default:
+			return nil, fmt.Errorf("cluster: unexpected frame %#x awaiting result", typ)
+		}
+	}
+}
+
+// ping runs one heartbeat round trip (lock held by caller).
+func (lk *link) ping(e *Engine) error {
+	lk.conn.SetDeadline(time.Now().Add(lk.opts.RPCTimeout))
+	defer func() {
+		if lk.conn != nil {
+			lk.conn.SetDeadline(time.Time{})
+		}
+	}()
+	nonce := e.nonceSeq.Add(1)
+	if err := WriteFrame(lk.bw, msgPing, encodePing(nonce)); err != nil {
+		return err
+	}
+	if err := lk.bw.Flush(); err != nil {
+		return err
+	}
+	typ, payload, err := ReadFrame(lk.br)
+	if err != nil {
+		return err
+	}
+	if typ != msgPong {
+		return fmt.Errorf("cluster: expected pong, got frame %#x", typ)
+	}
+	got, err := decodePing(payload)
+	if err != nil {
+		return err
+	}
+	if got != nonce {
+		return fmt.Errorf("cluster: pong nonce %d, want %d", got, nonce)
+	}
+	return nil
+}
+
+// heartbeatLoop periodically pings healthy workers (detecting silent
+// deaths) and redials lost ones with the configured backoff, restoring the
+// cluster to full strength without operator action.
+func (e *Engine) heartbeatLoop() {
+	defer close(e.hbDone)
+	t := time.NewTicker(e.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.hbStop:
+			return
+		case <-t.C:
+		}
+		for _, lk := range e.links {
+			if !lk.mu.TryLock() {
+				continue // an RPC is in flight: the link is demonstrably alive
+			}
+			if lk.conn == nil {
+				if err := lk.connect(); err == nil {
+					e.stats.Heartbeats.Add(1)
+				}
+			} else if err := lk.ping(e); err != nil {
+				lk.drop()
+			} else {
+				e.stats.Heartbeats.Add(1)
+			}
+			lk.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// PipeDialer serves a Worker over an in-memory net.Pipe: every Dial spawns
+// a fresh session goroutine on the far end. It lets the full wire protocol
+// — handshake, key pushes, pipelined limb frames, failure paths — run
+// inside ordinary `go test ./...` with no sockets.
+type PipeDialer struct {
+	W *Worker
+
+	mu       sync.Mutex
+	sessions sync.WaitGroup
+	refuse   bool
+	live     []net.Conn
+}
+
+// NewPipeDialer wraps a worker for in-process dialing.
+func NewPipeDialer(w *Worker) *PipeDialer { return &PipeDialer{W: w} }
+
+// Dial implements Dialer.
+func (d *PipeDialer) Dial(ctx context.Context) (net.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.refuse {
+		return nil, net.ErrClosed
+	}
+	c1, c2 := net.Pipe()
+	d.live = append(d.live, c2)
+	d.sessions.Add(1)
+	go func() {
+		defer d.sessions.Done()
+		d.W.Serve(c2)
+	}()
+	return c1, nil
+}
+
+// Kill closes every live worker-side connection and refuses new dials —
+// the in-memory rendering of a worker process crash. Call Revive to bring
+// the "process" back.
+func (d *PipeDialer) Kill() {
+	d.mu.Lock()
+	d.refuse = true
+	for _, c := range d.live {
+		c.Close()
+	}
+	d.live = nil
+	d.mu.Unlock()
+	d.sessions.Wait()
+}
+
+// Revive accepts dials again after Kill.
+func (d *PipeDialer) Revive() {
+	d.mu.Lock()
+	d.refuse = false
+	d.mu.Unlock()
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"cinnamon/internal/telemetry"
+)
+
+// Stats are the transport-layer counters of the cluster runtime. Byte
+// counts come from the connection wrappers (every frame byte on the wire),
+// collective and limb counts from the keyswitch collectives themselves —
+// the measured replacement for the analytic communication model.
+type Stats struct {
+	BytesSent     atomic.Int64
+	BytesReceived atomic.Int64
+
+	Broadcasts   atomic.Int64 // input-broadcast collectives completed
+	Aggregations atomic.Int64 // aggregate-and-scatter operations completed
+	LimbsMoved   atomic.Int64 // limbs that crossed a chip boundary (paper units)
+
+	KeyPushes      atomic.Int64 // evaluation keys shipped to workers
+	Reconnects     atomic.Int64 // worker sessions re-established after loss
+	LocalFallbacks atomic.Int64 // collectives degraded to single-process execution
+	Heartbeats     atomic.Int64 // ping/pong round trips
+
+	collectiveLat telemetry.Histogram // one observation per distributed collective
+}
+
+// Snapshot is the JSON view of the cluster counters, exported through the
+// serving /metrics endpoint.
+type Snapshot struct {
+	Workers int `json:"workers"`
+	Healthy int `json:"healthy"`
+
+	BytesSent     int64 `json:"bytes_sent"`
+	BytesReceived int64 `json:"bytes_received"`
+
+	Broadcasts   int64 `json:"broadcasts"`
+	Aggregations int64 `json:"aggregations"`
+	LimbsMoved   int64 `json:"limbs_moved"`
+
+	KeyPushes      int64 `json:"key_pushes"`
+	Reconnects     int64 `json:"reconnects"`
+	LocalFallbacks int64 `json:"local_fallbacks"`
+	Heartbeats     int64 `json:"heartbeats"`
+
+	CollectiveLatency telemetry.LatencySummary `json:"collective_latency"`
+}
+
+func (s *Stats) snapshot() Snapshot {
+	return Snapshot{
+		BytesSent:         s.BytesSent.Load(),
+		BytesReceived:     s.BytesReceived.Load(),
+		Broadcasts:        s.Broadcasts.Load(),
+		Aggregations:      s.Aggregations.Load(),
+		LimbsMoved:        s.LimbsMoved.Load(),
+		KeyPushes:         s.KeyPushes.Load(),
+		Reconnects:        s.Reconnects.Load(),
+		LocalFallbacks:    s.LocalFallbacks.Load(),
+		Heartbeats:        s.Heartbeats.Load(),
+		CollectiveLatency: s.collectiveLat.Summary(),
+	}
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"context"
+	"net"
+)
+
+// Dialer abstracts how the coordinator reaches one worker: TCP in
+// production (TCPDialer), an in-memory pipe in tests (PipeDialer). Dial is
+// called once at startup and again on every reconnect attempt.
+type Dialer interface {
+	Dial(ctx context.Context) (net.Conn, error)
+}
+
+// TCPDialer dials a worker process listening on Addr.
+type TCPDialer struct {
+	Addr string
+}
+
+// Dial implements Dialer.
+func (d TCPDialer) Dial(ctx context.Context) (net.Conn, error) {
+	var nd net.Dialer
+	conn, err := nd.DialContext(ctx, "tcp", d.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Limb frames are latency-sensitive and already batched; don't let
+		// Nagle delay the pipeline.
+		tc.SetNoDelay(true)
+	}
+	return conn, nil
+}
+
+// countingConn meters every byte crossing the connection into the shared
+// Stats — the transport-sourced replacement for analytic byte estimates.
+type countingConn struct {
+	net.Conn
+	stats *Stats
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.stats.BytesReceived.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.stats.BytesSent.Add(int64(n))
+	}
+	return n, err
+}

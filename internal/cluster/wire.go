@@ -1,0 +1,532 @@
+// Package cluster is the scale-out runtime of the Cinnamon paper rendered
+// over real processes: a coordinator partitions ciphertext limbs across N
+// worker processes (the paper's chips) and executes the two keyswitch
+// collectives of §4.3.1 as genuine network collectives — the input
+// broadcast of Fig. 8b and the aggregate-and-scatter of Fig. 8c — over a
+// length-prefixed binary wire protocol.
+//
+// Workers run exactly the per-chip kernels of internal/keyswitch
+// (ChipIB/ChipOA), which is what makes a distributed keyswitch bit-exact
+// with the in-process engine and, for input broadcast, with the sequential
+// reference. Communication is metered twice: in the paper's units (limbs
+// crossing a chip boundary, CommStats) and in transport bytes on the wire.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"cinnamon/internal/ckks"
+)
+
+// Wire format: every frame is [u32 LE length][u8 type][payload] where
+// length = 1 + len(payload). Integers are little-endian throughout; limb
+// data is raw u64 coefficients. The codec never trusts a length field
+// beyond maxFrame and never allocates more than the bytes actually
+// received, so a truncated or hostile stream fails with an error instead
+// of a panic or an over-allocation (FuzzReadFrame, FuzzDecodeLimbs).
+const (
+	// maxFrame bounds one frame (64 MiB): comfortably above any real
+	// payload (a full-width result at logN=17, 40 limbs is ~42 MiB) while
+	// keeping a corrupted length prefix harmless.
+	maxFrame = 64 << 20
+
+	protoVersion = 1
+	helloMagic   = 0x434e4d4e // "CNMN"
+)
+
+// Frame types.
+const (
+	msgHello    byte = 0x01 // coordinator → worker: version, digest, topology
+	msgHelloAck byte = 0x02 // worker → coordinator: digest echo
+	msgSetKey   byte = 0x03 // coordinator → worker: evaluation key push
+	msgKeyAck   byte = 0x04 // worker → coordinator
+	msgKSBegin  byte = 0x05 // coordinator → worker: start one keyswitch
+	msgLimbs    byte = 0x06 // coordinator → worker: one digit's limb data
+	msgKSResult byte = 0x07 // worker → coordinator: chip output limbs
+	msgPing     byte = 0x08 // heartbeat
+	msgPong     byte = 0x09
+	msgError    byte = 0x0a // worker → coordinator: request-scoped failure
+)
+
+// Keyswitch algorithms on the wire.
+const (
+	algIB byte = 0 // input broadcast (Fig. 8b)
+	algOA byte = 1 // output aggregation (Fig. 8c)
+)
+
+// scatterDigit marks a msgLimbs frame that carries an output-aggregation
+// scatter (the chip's digit-set limbs) rather than a contiguous hybrid
+// digit.
+const scatterDigit = ^uint32(0)
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("cluster: frame too large (%d bytes)", len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting implausible lengths before
+// allocating.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("cluster: zero-length frame")
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame length %d exceeds %d-byte limit", n, maxFrame)
+	}
+	// Grow the payload as bytes actually arrive (64 KiB steps) instead of
+	// trusting the length prefix with one big allocation: a lying header on
+	// a short stream then costs one chunk, not maxFrame.
+	want := int(n - 1)
+	payload = make([]byte, 0, minInt(want, readChunk))
+	for len(payload) < want {
+		k := minInt(want-len(payload), readChunk)
+		off := len(payload)
+		payload = append(payload, make([]byte, k)...)
+		if _, err = io.ReadFull(r, payload[off:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	return hdr[4], payload, nil
+}
+
+const readChunk = 1 << 16
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// cursor decodes a payload with sticky error handling: the first short
+// read poisons every later access, and done() reports it (plus trailing
+// garbage).
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) need(n int) bool {
+	if c.err != nil {
+		return false
+	}
+	if n < 0 || len(c.b) < n {
+		c.err = io.ErrUnexpectedEOF
+		return false
+	}
+	return true
+}
+
+func (c *cursor) u8() byte {
+	if !c.need(1) {
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if !c.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if !c.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+// limb decodes n u64 coefficients. The byte-count check precedes the
+// allocation, so a lying count field cannot over-allocate.
+func (c *cursor) limb(n int) []uint64 {
+	if !c.need(8 * n) {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(c.b[8*i:])
+	}
+	c.b = c.b[8*n:]
+	return out
+}
+
+func (c *cursor) str() string {
+	n := int(c.u32())
+	if !c.need(n) {
+		return ""
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s
+}
+
+func (c *cursor) done() error {
+	if c.err == nil && len(c.b) != 0 {
+		return fmt.Errorf("cluster: %d trailing bytes in frame", len(c.b))
+	}
+	return c.err
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendLimb(b []byte, limb []uint64) []byte {
+	off := len(b)
+	b = append(b, make([]byte, 8*len(limb))...)
+	for i, v := range limb {
+		binary.LittleEndian.PutUint64(b[off+8*i:], v)
+	}
+	return b
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// ParamsDigest is the negotiation fingerprint of a parameter set: ring
+// dimension, default scale and the exact chain + special moduli. A
+// coordinator and worker whose digests differ would compute different
+// (wrong) limbs, so the handshake refuses the pairing.
+func ParamsDigest(p *ckks.Parameters) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(p.N()))
+	put(math.Float64bits(p.DefaultScale()))
+	for _, q := range p.QBasis.Moduli {
+		put(q)
+	}
+	put(0) // basis separator
+	for _, q := range p.PBasis.Moduli {
+		put(q)
+	}
+	return h.Sum64()
+}
+
+// --- hello ---
+
+type helloMsg struct {
+	digest uint64
+	nChips uint32
+	chip   uint32
+}
+
+func encodeHello(h helloMsg) []byte {
+	b := make([]byte, 0, 24)
+	b = appendU32(b, helloMagic)
+	b = append(b, protoVersion)
+	b = appendU64(b, h.digest)
+	b = appendU32(b, h.nChips)
+	b = appendU32(b, h.chip)
+	return b
+}
+
+func decodeHello(p []byte) (helloMsg, error) {
+	c := cursor{b: p}
+	magic := c.u32()
+	ver := c.u8()
+	h := helloMsg{digest: c.u64(), nChips: c.u32(), chip: c.u32()}
+	if err := c.done(); err != nil {
+		return helloMsg{}, err
+	}
+	if magic != helloMagic {
+		return helloMsg{}, fmt.Errorf("cluster: bad hello magic %#x", magic)
+	}
+	if ver != protoVersion {
+		return helloMsg{}, fmt.Errorf("cluster: protocol version %d, want %d", ver, protoVersion)
+	}
+	if h.nChips == 0 || h.chip >= h.nChips {
+		return helloMsg{}, fmt.Errorf("cluster: invalid topology chip %d of %d", h.chip, h.nChips)
+	}
+	return h, nil
+}
+
+func encodeHelloAck(digest uint64) []byte {
+	return appendU64(nil, digest)
+}
+
+func decodeHelloAck(p []byte) (uint64, error) {
+	c := cursor{b: p}
+	d := c.u64()
+	return d, c.done()
+}
+
+// --- setKey ---
+
+// encodeSetKey serializes an evaluation key push: key id, the digit-set
+// partition (absent for the default hybrid partition — EvalKey.Write does
+// not carry it), then the key material itself.
+func encodeSetKey(id uint64, k *ckks.EvalKey) ([]byte, error) {
+	b := appendU64(nil, id)
+	b = appendU32(b, uint32(len(k.DigitSets)))
+	for _, set := range k.DigitSets {
+		b = appendU32(b, uint32(len(set)))
+		for _, j := range set {
+			b = appendU32(b, uint32(j))
+		}
+	}
+	var buf writerBuf
+	if err := k.Write(&buf); err != nil {
+		return nil, err
+	}
+	return append(b, buf...), nil
+}
+
+func decodeSetKey(p []byte, params *ckks.Parameters) (uint64, *ckks.EvalKey, error) {
+	c := cursor{b: p}
+	id := c.u64()
+	nSets := int(c.u32())
+	var sets [][]int
+	if nSets > 0 {
+		if !c.need(4 * nSets) { // each set header is at least 4 bytes
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		sets = make([][]int, nSets)
+		for i := range sets {
+			m := int(c.u32())
+			if !c.need(4 * m) {
+				return 0, nil, io.ErrUnexpectedEOF
+			}
+			sets[i] = make([]int, m)
+			for j := range sets[i] {
+				sets[i][j] = int(c.u32())
+			}
+		}
+	}
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	k, err := ckks.ReadEvalKey(readerBuf{&c.b}, params)
+	if err != nil {
+		return 0, nil, err
+	}
+	k.DigitSets = sets
+	return id, k, nil
+}
+
+func encodeKeyAck(id uint64) []byte { return appendU64(nil, id) }
+
+func decodeKeyAck(p []byte) (uint64, error) {
+	c := cursor{b: p}
+	id := c.u64()
+	return id, c.done()
+}
+
+// writerBuf/readerBuf adapt the ckks marshal API (io.Writer/io.Reader) to
+// in-memory frame payloads without an extra copy layer.
+type writerBuf []byte
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+type readerBuf struct{ b *[]byte }
+
+func (r readerBuf) Read(p []byte) (int, error) {
+	if len(*r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, *r.b)
+	*r.b = (*r.b)[n:]
+	return n, nil
+}
+
+// --- ksBegin ---
+
+type ksBeginMsg struct {
+	req    uint64
+	alg    byte
+	keyID  uint64
+	level  uint32
+	frames uint32 // msgLimbs frames that follow
+}
+
+func encodeKSBegin(m ksBeginMsg) []byte {
+	b := make([]byte, 0, 32)
+	b = appendU64(b, m.req)
+	b = append(b, m.alg)
+	b = appendU64(b, m.keyID)
+	b = appendU32(b, m.level)
+	b = appendU32(b, m.frames)
+	return b
+}
+
+func decodeKSBegin(p []byte) (ksBeginMsg, error) {
+	c := cursor{b: p}
+	m := ksBeginMsg{req: c.u64(), alg: c.u8(), keyID: c.u64(), level: c.u32(), frames: c.u32()}
+	if err := c.done(); err != nil {
+		return ksBeginMsg{}, err
+	}
+	if m.alg != algIB && m.alg != algOA {
+		return ksBeginMsg{}, fmt.Errorf("cluster: unknown keyswitch algorithm %d", m.alg)
+	}
+	return m, nil
+}
+
+// --- limbs ---
+
+type limbFrame struct {
+	req   uint64
+	digit uint32 // hybrid digit index, or scatterDigit for an OA scatter
+	chain []int  // chain index of each limb
+	limbs [][]uint64
+}
+
+func encodeLimbs(req uint64, digit uint32, chain []int, limbs [][]uint64) []byte {
+	n := 0
+	if len(limbs) > 0 {
+		n = len(limbs[0])
+	}
+	b := make([]byte, 0, 16+len(limbs)*(4+8*n))
+	b = appendU64(b, req)
+	b = appendU32(b, digit)
+	b = appendU32(b, uint32(len(limbs)))
+	for i, limb := range limbs {
+		b = appendU32(b, uint32(chain[i]))
+		b = appendLimb(b, limb)
+	}
+	return b
+}
+
+// decodeLimbs parses a limb frame carrying n-coefficient limbs.
+func decodeLimbs(p []byte, n int) (limbFrame, error) {
+	c := cursor{b: p}
+	f := limbFrame{req: c.u64(), digit: c.u32()}
+	count := int(c.u32())
+	if c.err == nil && count*(4+8*n) != len(c.b) {
+		return limbFrame{}, fmt.Errorf("cluster: limb frame carries %d bytes, want %d limbs of %d coeffs", len(c.b), count, n)
+	}
+	f.chain = make([]int, 0, count)
+	f.limbs = make([][]uint64, 0, count)
+	for i := 0; i < count; i++ {
+		f.chain = append(f.chain, int(c.u32()))
+		limb := c.limb(n)
+		if c.err != nil {
+			break
+		}
+		f.limbs = append(f.limbs, limb)
+	}
+	if err := c.done(); err != nil {
+		return limbFrame{}, err
+	}
+	return f, nil
+}
+
+// --- ksResult ---
+
+type ksResultMsg struct {
+	req            uint64
+	moved          uint32 // limbs this chip absorbed/shipped across a boundary
+	chain0, chain1 []int
+	limbs0, limbs1 [][]uint64
+}
+
+func encodeKSResult(m ksResultMsg) []byte {
+	n := 0
+	if len(m.limbs0) > 0 {
+		n = len(m.limbs0[0])
+	}
+	b := make([]byte, 0, 24+(len(m.limbs0)+len(m.limbs1))*(4+8*n))
+	b = appendU64(b, m.req)
+	b = appendU32(b, m.moved)
+	for half := 0; half < 2; half++ {
+		chain, limbs := m.chain0, m.limbs0
+		if half == 1 {
+			chain, limbs = m.chain1, m.limbs1
+		}
+		b = appendU32(b, uint32(len(limbs)))
+		for i, limb := range limbs {
+			b = appendU32(b, uint32(chain[i]))
+			b = appendLimb(b, limb)
+		}
+	}
+	return b
+}
+
+func decodeKSResult(p []byte, n int) (ksResultMsg, error) {
+	c := cursor{b: p}
+	m := ksResultMsg{req: c.u64(), moved: c.u32()}
+	for half := 0; half < 2; half++ {
+		count := int(c.u32())
+		if c.err == nil && count*(4+8*n) > len(c.b) {
+			return ksResultMsg{}, fmt.Errorf("cluster: result frame truncated (%d limbs announced, %d bytes left)", count, len(c.b))
+		}
+		chain := make([]int, 0, count)
+		limbs := make([][]uint64, 0, count)
+		for i := 0; i < count; i++ {
+			chain = append(chain, int(c.u32()))
+			limb := c.limb(n)
+			if c.err != nil {
+				break
+			}
+			limbs = append(limbs, limb)
+		}
+		if half == 0 {
+			m.chain0, m.limbs0 = chain, limbs
+		} else {
+			m.chain1, m.limbs1 = chain, limbs
+		}
+	}
+	if err := c.done(); err != nil {
+		return ksResultMsg{}, err
+	}
+	return m, nil
+}
+
+// --- ping / error ---
+
+func encodePing(nonce uint64) []byte { return appendU64(nil, nonce) }
+
+func decodePing(p []byte) (uint64, error) {
+	c := cursor{b: p}
+	n := c.u64()
+	return n, c.done()
+}
+
+func encodeError(req uint64, msg string) []byte {
+	return appendStr(appendU64(nil, req), msg)
+}
+
+func decodeError(p []byte) (uint64, string, error) {
+	c := cursor{b: p}
+	req := c.u64()
+	msg := c.str()
+	return req, msg, c.done()
+}

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"cinnamon/internal/ckks"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := WriteFrame(&buf, msgLimbs, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgLimbs || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: type %#x payload %v", typ, got)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, msgPing, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < buf.Len(); cut += 7 {
+		if _, _, err := ReadFrame(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestFrameOversizedLengthRejected(t *testing.T) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], maxFrame+1)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized frame not rejected: %v", err)
+	}
+}
+
+// TestFrameLyingLengthDoesNotOverAllocate: a header announcing maxFrame on
+// a 5-byte stream must fail after at most one read chunk, not allocate the
+// announced size.
+func TestFrameLyingLengthDoesNotOverAllocate(t *testing.T) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], maxFrame)
+	r := &meteredReader{r: bytes.NewReader(append(hdr[:], 0xAB))}
+	if _, _, err := ReadFrame(r); err == nil {
+		t.Fatal("lying length prefix not detected")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		rr := bytes.NewReader(append(hdr[:], 0xAB))
+		ReadFrame(rr)
+	})
+	// One chunk + reader bookkeeping; anything near maxFrame/readChunk
+	// allocations would mean we grew the whole announced buffer.
+	if allocs > 10 {
+		t.Fatalf("ReadFrame made %v allocations on a truncated frame", allocs)
+	}
+}
+
+type meteredReader struct {
+	r io.Reader
+	n int64
+}
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	n, err := m.r.Read(p)
+	m.n += int64(n)
+	return n, err
+}
+
+func TestLimbsRoundTrip(t *testing.T) {
+	n := 8
+	chain := []int{2, 5, 8}
+	limbs := [][]uint64{{1, 2, 3, 4, 5, 6, 7, 8}, {9, 10, 11, 12, 13, 14, 15, 16}, {17, 18, 19, 20, 21, 22, 23, 24}}
+	p := encodeLimbs(42, 3, chain, limbs)
+	f, err := decodeLimbs(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.req != 42 || f.digit != 3 || len(f.limbs) != 3 {
+		t.Fatalf("decoded %+v", f)
+	}
+	for i := range limbs {
+		if f.chain[i] != chain[i] {
+			t.Fatalf("chain[%d] = %d, want %d", i, f.chain[i], chain[i])
+		}
+		for j := range limbs[i] {
+			if f.limbs[i][j] != limbs[i][j] {
+				t.Fatalf("limb[%d][%d] = %d, want %d", i, j, f.limbs[i][j], limbs[i][j])
+			}
+		}
+	}
+}
+
+func TestKSResultRoundTrip(t *testing.T) {
+	n := 4
+	m := ksResultMsg{
+		req: 7, moved: 12,
+		chain0: []int{0, 3}, limbs0: [][]uint64{{1, 2, 3, 4}, {5, 6, 7, 8}},
+		chain1: []int{0, 3}, limbs1: [][]uint64{{9, 10, 11, 12}, {13, 14, 15, 16}},
+	}
+	got, err := decodeKSResult(encodeKSResult(m), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.req != m.req || got.moved != m.moved || len(got.limbs0) != 2 || len(got.limbs1) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.chain0[1] != 3 || got.limbs1[1][3] != 16 {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := helloMsg{digest: 0xdeadbeefcafe, nChips: 4, chip: 2}
+	got, err := decodeHello(encodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("decoded %+v, want %+v", got, h)
+	}
+	// Corrupt the magic.
+	bad := encodeHello(h)
+	bad[0] ^= 0xff
+	if _, err := decodeHello(bad); err == nil {
+		t.Fatal("corrupted magic accepted")
+	}
+}
+
+var fuzzParamsOnce = sync.OnceValues(func() (*ckks.Parameters, error) {
+	return ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     4,
+		LogQ:     []int{55, 45},
+		LogP:     []int{58},
+		LogScale: 45,
+		Seed:     1,
+	})
+})
+
+// FuzzReadFrame: arbitrary byte streams must produce a frame or an error —
+// never a panic, never an allocation beyond the bytes provided (plus one
+// chunk).
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 0, 0, msgPing, 1, 2, 3, 4})
+	var huge [5]byte
+	binary.LittleEndian.PutUint32(huge[:4], maxFrame)
+	f.Add(huge[:])
+	var buf bytes.Buffer
+	WriteFrame(&buf, msgKSBegin, encodeKSBegin(ksBeginMsg{req: 1, alg: algIB, keyID: 2, level: 3, frames: 4}))
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload)+5+1 > len(data)+1 && len(payload) != 0 {
+			// payload can never exceed the input bytes
+			t.Fatalf("frame type %#x claims %d payload bytes from %d input bytes", typ, len(payload), len(data))
+		}
+	})
+}
+
+// FuzzDecodePayloads: every payload decoder must reject malformed bytes
+// with an error, never panic or over-allocate.
+func FuzzDecodePayloads(f *testing.F) {
+	f.Add(encodeLimbs(1, 2, []int{0, 1}, [][]uint64{{1, 2, 3, 4}, {5, 6, 7, 8}}))
+	f.Add(encodeKSResult(ksResultMsg{req: 1, chain0: []int{0}, limbs0: [][]uint64{{1, 2, 3, 4}}, chain1: []int{0}, limbs1: [][]uint64{{5, 6, 7, 8}}}))
+	f.Add(encodeHello(helloMsg{digest: 9, nChips: 2, chip: 0}))
+	f.Add(encodeError(3, "boom"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, n := range []int{1, 4, 16} {
+			decodeLimbs(data, n)
+			decodeKSResult(data, n)
+		}
+		decodeHello(data)
+		decodeHelloAck(data)
+		decodeKSBegin(data)
+		decodeError(data)
+		decodePing(data)
+		decodeKeyAck(data)
+		if params, err := fuzzParamsOnce(); err == nil {
+			decodeSetKey(data, params)
+		}
+	})
+}
+
+// FuzzLimbsRoundTrip: encode→decode must be the identity for well-formed
+// limb frames derived from fuzz input.
+func FuzzLimbsRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint32(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint64(999), scatterDigit, make([]byte, 64))
+	f.Fuzz(func(t *testing.T, req uint64, digit uint32, raw []byte) {
+		n := 4 // coefficients per limb
+		nLimbs := len(raw) / (8 * n)
+		if nLimbs > 64 {
+			nLimbs = 64
+		}
+		chain := make([]int, nLimbs)
+		limbs := make([][]uint64, nLimbs)
+		for i := 0; i < nLimbs; i++ {
+			chain[i] = i
+			limbs[i] = make([]uint64, n)
+			for j := 0; j < n; j++ {
+				limbs[i][j] = binary.LittleEndian.Uint64(raw[(i*n+j)*8:])
+			}
+		}
+		got, err := decodeLimbs(encodeLimbs(req, digit, chain, limbs), n)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if got.req != req || got.digit != digit || len(got.limbs) != nLimbs {
+			t.Fatalf("round trip mismatch: %+v", got)
+		}
+		for i := range limbs {
+			if got.chain[i] != chain[i] {
+				t.Fatalf("chain[%d] = %d, want %d", i, got.chain[i], chain[i])
+			}
+			for j := range limbs[i] {
+				if got.limbs[i][j] != limbs[i][j] {
+					t.Fatalf("limb[%d][%d] mismatch", i, j)
+				}
+			}
+		}
+	})
+}

@@ -109,7 +109,11 @@ func (e *Engine) RotateAndSum(ct *ckks.Ciphertext, ks []int, keys map[int]*ckks.
 			if len(mine) == 0 {
 				continue
 			}
-			ext, err := e.scatteredDigitModUp(cc, mine, union)
+			mineLimbs := make([][]uint64, len(mine))
+			for k, j := range mine {
+				mineLimbs[k] = cc.Limbs[j]
+			}
+			ext, err := e.scatteredDigitModUp(mine, mineLimbs, l+1, union)
 			if err != nil {
 				return nil, stats, err
 			}

@@ -1,0 +1,389 @@
+package keyswitch
+
+// Per-chip keyswitch kernels. These are the units of work one chip (one
+// worker process, in internal/cluster) performs during the paper's two
+// scale-out collectives:
+//
+//   - ChipIB is the input-broadcast kernel (Fig. 8b) as an incremental
+//     state machine: the caller feeds coefficient-domain digit limbs as
+//     they become available — locally, or as frames arrive off the wire —
+//     and the chip folds each digit into its running inner product, so
+//     receive and compute overlap on a real network.
+//   - ChipOA is the output-aggregation kernel (Fig. 8c): the chip's digit
+//     set IS its limb partition, so it needs only its own limbs, computes
+//     the full-width product locally, and hands back its mod-downed
+//     partial sums for the aggregate-and-scatter.
+//
+// Both the in-process engine (parallel.go) and the cluster worker
+// (internal/cluster) execute exactly these kernels, which is what makes a
+// distributed keyswitch bit-identical to the single-process one.
+//
+// Each kernel also meters communication in the paper's units: a limb is
+// "moved" when a chip absorbs a limb it does not own under the modular
+// partition. The in-process engine and the network transport therefore
+// count the same quantities, keeping CommStats comparable across both.
+
+import (
+	"fmt"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/ring"
+	"cinnamon/internal/rns"
+)
+
+// ChipIB accumulates one chip's share of an input-broadcast keyswitch.
+// Feed every digit (in any order, each exactly once) with AbsorbDigit,
+// then call Finish. Release must be called when done with the results.
+type ChipIB struct {
+	e    *Engine
+	evk  *ckks.EvalKey
+	chip int
+	l    int
+
+	mine      []int // chain indices this chip owns at level l
+	chipBasis rns.Basis
+	f0, f1    *ring.Poly // running inner product, NTT domain
+	tmp       *ring.Poly
+
+	moved    int // limbs absorbed that the chip does not own
+	absorbed int // digits folded in so far
+	finished bool
+
+	down0, down1 *ring.Poly // Finish results (owned-limb mod-down, NTT)
+}
+
+// NewChipIB builds the chip-local state for an input-broadcast keyswitch
+// of a level-l polynomial. It returns (nil, nil) when the chip owns no
+// limbs at this level (the chip simply sits the collective out).
+func (e *Engine) NewChipIB(evk *ckks.EvalKey, chip, l int) (*ChipIB, error) {
+	if evk.DigitSets != nil {
+		return nil, fmt.Errorf("keyswitch: input broadcast requires a default-partition key")
+	}
+	if chip < 0 || chip >= e.NChips {
+		return nil, fmt.Errorf("keyswitch: chip %d out of range [0,%d)", chip, e.NChips)
+	}
+	if l < 0 || l >= e.Params.QBasis.Len() {
+		return nil, fmt.Errorf("keyswitch: level %d out of range", l)
+	}
+	mine := e.chipLimbs(chip, l)
+	if len(mine) == 0 {
+		return nil, nil
+	}
+	params, r := e.Params, e.Params.Ring
+	// Per-chip basis: owned chain limbs plus the (duplicated) extension.
+	chipMods := make([]uint64, 0, len(mine)+params.PBasis.Len())
+	for _, j := range mine {
+		chipMods = append(chipMods, params.QBasis.Moduli[j])
+	}
+	chipMods = append(chipMods, params.PBasis.Moduli...)
+	c := &ChipIB{
+		e:         e,
+		evk:       evk,
+		chip:      chip,
+		l:         l,
+		mine:      mine,
+		chipBasis: rns.Basis{Moduli: chipMods},
+		f0:        r.GetPoly(rns.Basis{Moduli: chipMods}),
+		f1:        r.GetPoly(rns.Basis{Moduli: chipMods}),
+		tmp:       r.GetPoly(rns.Basis{Moduli: chipMods}),
+	}
+	c.f0.IsNTT, c.f1.IsNTT = true, true
+	return c, nil
+}
+
+// Mine returns the chain indices this chip owns at the keyswitch level.
+func (c *ChipIB) Mine() []int { return c.mine }
+
+// Digits returns how many digits cover level l (the number of AbsorbDigit
+// calls Finish expects).
+func (c *ChipIB) Digits() int {
+	n := 0
+	for d := 0; d < c.evk.Digits(); d++ {
+		if _, _, ok := c.e.Params.DigitRange(d, c.l); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// DigitRange exposes the chain-index range [lo,hi) of digit d at the
+// chip's level.
+func (c *ChipIB) DigitRange(d int) (lo, hi int, ok bool) {
+	return c.e.Params.DigitRange(d, c.l)
+}
+
+// AbsorbDigit folds digit d into the chip's inner product. digitLimbs are
+// the coefficient-domain limbs of the input polynomial at chain indices
+// [lo,hi) for this digit, in chain order.
+func (c *ChipIB) AbsorbDigit(d int, digitLimbs [][]uint64) error {
+	if c.finished {
+		return fmt.Errorf("keyswitch: AbsorbDigit after Finish")
+	}
+	lo, hi, ok := c.e.Params.DigitRange(d, c.l)
+	if !ok {
+		return fmt.Errorf("keyswitch: digit %d does not exist at level %d", d, c.l)
+	}
+	if len(digitLimbs) != hi-lo {
+		return fmt.Errorf("keyswitch: digit %d wants %d limbs, got %d", d, hi-lo, len(digitLimbs))
+	}
+	r := c.e.Params.Ring
+	// Meter: every absorbed limb the chip does not own crossed a chip
+	// boundary (the broadcast of Fig. 8b).
+	for j := lo; j < hi; j++ {
+		if c.e.ChipOf(j) != c.chip {
+			c.moved++
+		}
+	}
+	ext, err := c.e.chipDigitModUp(digitLimbs, lo, hi, c.chipBasis)
+	if err != nil {
+		return err
+	}
+	defer r.PutPoly(ext)
+	if err := r.NTT(ext); err != nil {
+		return err
+	}
+	bD, err := r.Restrict(c.evk.B[d], c.chipBasis)
+	if err != nil {
+		return err
+	}
+	aD, err := r.Restrict(c.evk.A[d], c.chipBasis)
+	if err != nil {
+		return err
+	}
+	if err := r.MulCoeffs(ext, bD, c.tmp); err != nil {
+		return err
+	}
+	if err := r.Add(c.f0, c.tmp, c.f0); err != nil {
+		return err
+	}
+	if err := r.MulCoeffs(ext, aD, c.tmp); err != nil {
+		return err
+	}
+	if err := r.Add(c.f1, c.tmp, c.f1); err != nil {
+		return err
+	}
+	c.absorbed++
+	return nil
+}
+
+// Finish mod-downs the accumulated products and returns the chip's owned
+// output limbs: down0/down1 are NTT-domain polynomials whose limb k holds
+// the output at chain index Mine()[k]. The polynomials are pooled and stay
+// valid until Release.
+func (c *ChipIB) Finish() (down0, down1 *ring.Poly, err error) {
+	if c.finished {
+		return nil, nil, fmt.Errorf("keyswitch: Finish called twice")
+	}
+	if want := c.Digits(); c.absorbed != want {
+		return nil, nil, fmt.Errorf("keyswitch: Finish after %d of %d digits", c.absorbed, want)
+	}
+	c.finished = true
+	params, r := c.e.Params, c.e.Params.Ring
+	// Local mod-down: the duplicated extension limbs are the trailing
+	// limbs of the chip basis, so no communication is needed.
+	for fi, f := range []*ring.Poly{c.f0, c.f1} {
+		if err := r.INTT(f); err != nil {
+			return nil, nil, err
+		}
+		down, err := r.ModDown(f, params.PBasis)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := r.NTT(down); err != nil {
+			r.PutPoly(down)
+			return nil, nil, err
+		}
+		if fi == 0 {
+			c.down0 = down
+		} else {
+			c.down1 = down
+		}
+	}
+	return c.down0, c.down1, nil
+}
+
+// Moved returns the limbs this chip absorbed across a chip boundary
+// (CommStats units).
+func (c *ChipIB) Moved() int { return c.moved }
+
+// Release returns all pooled storage. Safe to call at any point, including
+// after errors; the Finish results are invalid afterwards.
+func (c *ChipIB) Release() {
+	r := c.e.Params.Ring
+	r.PutPoly(c.f0)
+	r.PutPoly(c.f1)
+	r.PutPoly(c.tmp)
+	r.PutPoly(c.down0)
+	r.PutPoly(c.down1)
+	c.f0, c.f1, c.tmp, c.down0, c.down1 = nil, nil, nil, nil, nil
+}
+
+// chipDigitModUp mod-ups the digit limbs [lo,hi) (coefficient domain)
+// onto a chip basis (owned chain limbs + extension), computing exactly the
+// limbs the chip needs. Limbs inside the digit that the chip owns are
+// copied exactly.
+func (e *Engine) chipDigitModUp(digitLimbs [][]uint64, lo, hi int, chipBasis rns.Basis) (*ring.Poly, error) {
+	params, r := e.Params, e.Params.Ring
+	digitBasis := rns.Basis{Moduli: params.QBasis.Moduli[lo:hi]}
+	// Conversion targets: chip basis moduli that are NOT inside the digit.
+	var convMods []uint64
+	type slot struct {
+		chipIdx int
+		conv    bool
+		srcIdx  int // digit-relative index when inside the digit, conv index otherwise
+	}
+	slots := make([]slot, chipBasis.Len())
+	for i, q := range chipBasis.Moduli {
+		inDigit := -1
+		for j := lo; j < hi; j++ {
+			if params.QBasis.Moduli[j] == q {
+				inDigit = j - lo
+				break
+			}
+		}
+		if inDigit >= 0 {
+			slots[i] = slot{chipIdx: i, conv: false, srcIdx: inDigit}
+		} else {
+			slots[i] = slot{chipIdx: i, conv: true, srcIdx: len(convMods)}
+			convMods = append(convMods, q)
+		}
+	}
+	var conv [][]uint64
+	if len(convMods) > 0 {
+		bc, err := ring.ConverterFor(digitBasis, rns.Basis{Moduli: convMods})
+		if err != nil {
+			return nil, err
+		}
+		if conv, err = bc.Convert(digitLimbs); err != nil {
+			return nil, err
+		}
+	}
+	out := r.GetPoly(chipBasis)
+	for _, s := range slots {
+		if s.conv {
+			copy(out.Limbs[s.chipIdx], conv[s.srcIdx])
+		} else {
+			copy(out.Limbs[s.chipIdx], digitLimbs[s.srcIdx])
+		}
+	}
+	return out, nil
+}
+
+// ChipOA runs one chip's share of an output-aggregation keyswitch (Fig.
+// 8c). mineLimbs are the coefficient-domain limbs of the level-l input at
+// the chain indices of the chip's digit set (OAMine order); the chip needs
+// no other input, which is why Fig. 8c has no input broadcast. The
+// returned polynomials are the chip's mod-downed partial sums over the
+// full level basis, coefficient domain, ready for the cross-chip
+// aggregation; both are pooled (release with PutPoly).
+func (e *Engine) ChipOA(evk *ckks.EvalKey, chip, l int, mineLimbs [][]uint64) (down0, down1 *ring.Poly, err error) {
+	params, r := e.Params, e.Params.Ring
+	mine, err := e.OAMine(evk, chip, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(mine) == 0 {
+		return nil, nil, nil
+	}
+	if len(mineLimbs) != len(mine) {
+		return nil, nil, fmt.Errorf("keyswitch: chip %d digit set has %d limbs, got %d", chip, len(mine), len(mineLimbs))
+	}
+	levelBasis, err := params.BasisAtLevel(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	union, err := levelBasis.Union(params.PBasis)
+	if err != nil {
+		return nil, nil, err
+	}
+	ext, err := e.scatteredDigitModUp(mine, mineLimbs, l+1, union)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.PutPoly(ext)
+	if err := r.NTT(ext); err != nil {
+		return nil, nil, err
+	}
+	f0 := r.GetPoly(union)
+	f1 := r.GetPoly(union)
+	defer r.PutPoly(f0)
+	defer r.PutPoly(f1)
+	f0.IsNTT, f1.IsNTT = true, true
+	if err := e.innerProduct(ext, evk, chip, union, f0, f1); err != nil {
+		return nil, nil, err
+	}
+	// Local mod-down of the full product.
+	for fi, f := range []*ring.Poly{f0, f1} {
+		if err := r.INTT(f); err != nil {
+			r.PutPoly(down0)
+			return nil, nil, err
+		}
+		down, err := r.ModDown(f, params.PBasis)
+		if err != nil {
+			r.PutPoly(down0)
+			return nil, nil, err
+		}
+		if fi == 0 {
+			down0 = down
+		} else {
+			down1 = down
+		}
+	}
+	return down0, down1, nil
+}
+
+// OAMine returns the chain indices of chip's digit set restricted to level
+// l, validating that the key carries a modular-digit partition matching
+// the engine's chip count.
+func (e *Engine) OAMine(evk *ckks.EvalKey, chip, l int) ([]int, error) {
+	if evk.DigitSets == nil {
+		return nil, fmt.Errorf("keyswitch: output aggregation requires a modular-digit key (GenEvalKeyDigits)")
+	}
+	if len(evk.DigitSets) != e.NChips {
+		return nil, fmt.Errorf("keyswitch: key has %d digits, engine has %d chips", len(evk.DigitSets), e.NChips)
+	}
+	if chip < 0 || chip >= e.NChips {
+		return nil, fmt.Errorf("keyswitch: chip %d out of range [0,%d)", chip, e.NChips)
+	}
+	return intersectLevel(evk.DigitSets[chip], l), nil
+}
+
+// scatteredDigitModUp mod-ups the (possibly non-contiguous) digit given by
+// chain indices mine — with limb data supplied directly — onto the full
+// union basis of a level with qlLen chain limbs.
+func (e *Engine) scatteredDigitModUp(mine []int, mineLimbs [][]uint64, qlLen int, union rns.Basis) (*ring.Poly, error) {
+	r := e.Params.Ring
+	digitMods := make([]uint64, len(mine))
+	inDigit := map[int]int{}
+	for k, j := range mine {
+		digitMods[k] = e.Params.QBasis.Moduli[j]
+		inDigit[j] = k
+	}
+	var convMods []uint64
+	for j := 0; j < union.Len(); j++ {
+		if _, ok := inDigit[j]; ok && j < qlLen {
+			continue
+		}
+		convMods = append(convMods, union.Moduli[j])
+	}
+	bc, err := ring.ConverterFor(rns.Basis{Moduli: digitMods}, rns.Basis{Moduli: convMods})
+	if err != nil {
+		return nil, err
+	}
+	conv, err := bc.Convert(mineLimbs)
+	if err != nil {
+		return nil, err
+	}
+	out := r.GetPoly(union)
+	ci := 0
+	for j := 0; j < union.Len(); j++ {
+		if k, ok := inDigit[j]; ok && j < qlLen {
+			copy(out.Limbs[j], mineLimbs[k])
+		} else {
+			copy(out.Limbs[j], conv[ci])
+			ci++
+		}
+	}
+	return out, nil
+}

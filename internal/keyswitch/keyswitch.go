@@ -80,6 +80,28 @@ func (s CommStats) Bytes(n, bits int) int64 {
 	return int64(s.LimbsMoved) * int64(n) * int64(bits) / 8
 }
 
+// AnalyticStats is the paper's closed-form communication bill (§7.4) for a
+// keyswitch of a level-l polynomial over nChips chips with pLen extension
+// limbs. The engine's returned CommStats are measured by the transport
+// layer (in-process or cluster); TestCommStatsMeasuredMatchesAnalytic
+// asserts measurement and analysis agree whenever every chip owns at least
+// one limb (nChips ≤ l+1).
+func AnalyticStats(alg Algorithm, l, nChips, pLen int) CommStats {
+	n := nChips
+	switch alg {
+	case CiFHER:
+		// Mod-up: all (l+1) input limbs reach every other chip; mod-down:
+		// the extension limbs of both accumulated polynomials do too.
+		return CommStats{Broadcasts: 3, LimbsMoved: (n - 1) * ((l + 1) + 2*pLen)}
+	case InputBroadcast:
+		return CommStats{Broadcasts: 1, LimbsMoved: (l + 1) * (n - 1)}
+	case OutputAggregation:
+		return CommStats{Aggregations: 2, LimbsMoved: 2 * (l + 1) * (n - 1)}
+	default:
+		return CommStats{}
+	}
+}
+
 // Engine runs keyswitching over a virtual multi-chip limb partition.
 type Engine struct {
 	Params *ckks.Parameters

@@ -6,7 +6,6 @@ import (
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/parallel"
 	"cinnamon/internal/ring"
-	"cinnamon/internal/rns"
 )
 
 // forEachChip runs fn for every virtual chip on the worker pool (chips are
@@ -30,17 +29,19 @@ func forEachChip(n int, fn func(chip int) error) error {
 // mod-up, inner product and mod-down restricted to its own chain limbs plus
 // a duplicated copy of the extension limbs. The per-limb arithmetic is
 // identical to the sequential algorithm, so the result is bit-exact.
+//
+// The returned CommStats are measured, not analytic: each ChipIB counts
+// the limbs it absorbed across a chip boundary, exactly as the cluster
+// transport does, and the per-chip counts are summed here. A test asserts
+// the measurement equals the paper's analytic formula (AnalyticStats).
 func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, CommStats, error) {
-	if evk.DigitSets != nil {
-		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: input broadcast requires a default-partition key")
-	}
-	params, r := e.Params, e.Params.Ring
+	r := e.Params.Ring
 	if !c.IsNTT {
 		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: input must be NTT")
 	}
 	l := c.Basis.Len() - 1
 	n := e.NChips
-	stats := CommStats{Broadcasts: 1, LimbsMoved: (l + 1) * (n - 1)}
+	stats := CommStats{Broadcasts: 1}
 
 	cc := c.Copy()
 	if err := r.INTT(cc); err != nil {
@@ -53,145 +54,40 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 	// Each chip writes a disjoint set of out0/out1 limbs, so chips run
 	// concurrently on the worker pool (the software analogue of the paper's
 	// per-chip execution).
+	moved := make([]int, n)
 	err := forEachChip(n, func(chip int) error {
-		mine := e.chipLimbs(chip, l)
-		if len(mine) == 0 {
-			return nil
+		ck, err := e.NewChipIB(evk, chip, l)
+		if err != nil {
+			return err
 		}
-		// Per-chip basis: owned chain limbs plus the (duplicated) extension.
-		chipMods := make([]uint64, 0, len(mine)+params.PBasis.Len())
-		for _, j := range mine {
-			chipMods = append(chipMods, c.Basis.Moduli[j])
+		if ck == nil {
+			return nil // chip owns no limbs at this level
 		}
-		chipMods = append(chipMods, params.PBasis.Moduli...)
-		chipBasis := rns.Basis{Moduli: chipMods}
-		f0 := r.GetPoly(chipBasis)
-		f1 := r.GetPoly(chipBasis)
-		tmp := r.GetPoly(chipBasis)
-		defer r.PutPoly(f0)
-		defer r.PutPoly(f1)
-		defer r.PutPoly(tmp)
-		f0.IsNTT, f1.IsNTT = true, true
-		for d := 0; d < evk.Digits(); d++ {
-			lo, hi, ok := params.DigitRange(d, l)
-			if !ok {
-				break
-			}
-			ext, err := e.chipDigitModUp(cc, lo, hi, mine, chipBasis)
-			if err != nil {
+		defer ck.Release()
+		for d := 0; d < ck.Digits(); d++ {
+			lo, hi, _ := ck.DigitRange(d)
+			if err := ck.AbsorbDigit(d, cc.Limbs[lo:hi]); err != nil {
 				return err
 			}
-			if err := r.NTT(ext); err != nil {
-				r.PutPoly(ext)
-				return err
-			}
-			bD, err := r.Restrict(evk.B[d], chipBasis)
-			if err != nil {
-				r.PutPoly(ext)
-				return err
-			}
-			aD, err := r.Restrict(evk.A[d], chipBasis)
-			if err != nil {
-				r.PutPoly(ext)
-				return err
-			}
-			if err := r.MulCoeffs(ext, bD, tmp); err != nil {
-				r.PutPoly(ext)
-				return err
-			}
-			if err := r.Add(f0, tmp, f0); err != nil {
-				r.PutPoly(ext)
-				return err
-			}
-			if err := r.MulCoeffs(ext, aD, tmp); err != nil {
-				r.PutPoly(ext)
-				return err
-			}
-			if err := r.Add(f1, tmp, f1); err != nil {
-				r.PutPoly(ext)
-				return err
-			}
-			r.PutPoly(ext)
 		}
-		// Local mod-down: the duplicated extension limbs are the trailing
-		// limbs of the chip basis, so no communication is needed.
-		for fi, f := range []*ring.Poly{f0, f1} {
-			if err := r.INTT(f); err != nil {
-				return err
-			}
-			down, err := r.ModDown(f, params.PBasis)
-			if err != nil {
-				return err
-			}
-			if err := r.NTT(down); err != nil {
-				r.PutPoly(down)
-				return err
-			}
-			dst := out0
-			if fi == 1 {
-				dst = out1
-			}
-			for k, j := range mine {
-				copy(dst.Limbs[j], down.Limbs[k])
-			}
-			r.PutPoly(down)
+		down0, down1, err := ck.Finish()
+		if err != nil {
+			return err
 		}
+		for k, j := range ck.Mine() {
+			copy(out0.Limbs[j], down0.Limbs[k])
+			copy(out1.Limbs[j], down1.Limbs[k])
+		}
+		moved[chip] = ck.Moved()
 		return nil
 	})
 	if err != nil {
 		return nil, nil, stats, err
 	}
+	for _, m := range moved {
+		stats.LimbsMoved += m
+	}
 	return out0, out1, stats, nil
-}
-
-// chipDigitModUp mod-ups digit limbs [lo,hi) of cc onto a chip basis
-// (owned chain limbs + extension), computing exactly the limbs the chip
-// needs. Limbs inside the digit that the chip owns are copied exactly.
-func (e *Engine) chipDigitModUp(cc *ring.Poly, lo, hi int, mine []int, chipBasis rns.Basis) (*ring.Poly, error) {
-	r := e.Params.Ring
-	digitBasis := rns.Basis{Moduli: cc.Basis.Moduli[lo:hi]}
-	// Conversion targets: chip basis moduli that are NOT inside the digit.
-	var convMods []uint64
-	type slot struct {
-		chipIdx int
-		conv    bool
-		srcIdx  int // chain index when inside the digit, conv index otherwise
-	}
-	slots := make([]slot, chipBasis.Len())
-	for i, q := range chipBasis.Moduli {
-		inDigit := -1
-		for j := lo; j < hi; j++ {
-			if cc.Basis.Moduli[j] == q {
-				inDigit = j
-				break
-			}
-		}
-		if inDigit >= 0 {
-			slots[i] = slot{chipIdx: i, conv: false, srcIdx: inDigit}
-		} else {
-			slots[i] = slot{chipIdx: i, conv: true, srcIdx: len(convMods)}
-			convMods = append(convMods, q)
-		}
-	}
-	var conv [][]uint64
-	if len(convMods) > 0 {
-		bc, err := ring.ConverterFor(digitBasis, rns.Basis{Moduli: convMods})
-		if err != nil {
-			return nil, err
-		}
-		if conv, err = bc.Convert(cc.Limbs[lo:hi]); err != nil {
-			return nil, err
-		}
-	}
-	out := r.GetPoly(chipBasis)
-	for _, s := range slots {
-		if s.conv {
-			copy(out.Limbs[s.chipIdx], conv[s.srcIdx])
-		} else {
-			copy(out.Limbs[s.chipIdx], cc.Limbs[s.srcIdx])
-		}
-	}
-	return out, nil
 }
 
 // cifher implements the prior-art parallel keyswitch of CiFHER [38]: limbs
@@ -199,17 +95,12 @@ func (e *Engine) chipDigitModUp(cc *ring.Poly, lo, hi int, mine []int, chipBasis
 // broadcasting its input limbs — once at mod-up and twice at mod-down
 // (paper §4.3.1 "Challenge of parallelizing keyswitching"). The arithmetic
 // is identical to the sequential algorithm, so the functional result is
-// bit-exact; only the communication bill differs.
+// bit-exact; only the communication bill differs. CiFHER is a modeled
+// baseline (no distributed implementation), so its CommStats stay
+// analytic by definition.
 func (e *Engine) cifher(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, CommStats, error) {
 	l := c.Basis.Len() - 1
-	n := e.NChips
-	eLen := e.Params.PBasis.Len()
-	stats := CommStats{
-		Broadcasts: 3,
-		// Mod-up: all (l+1) input limbs reach every other chip; mod-down:
-		// the extension limbs of both accumulated polynomials do too.
-		LimbsMoved: (n - 1) * ((l + 1) + 2*eLen),
-	}
+	stats := AnalyticStats(CiFHER, l, e.NChips, e.Params.PBasis.Len())
 	f0, f1, err := e.sequential(c, evk)
 	return f0, f1, stats, err
 }
@@ -220,27 +111,25 @@ func (e *Engine) cifher(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly
 // with two aggregate-and-scatter operations. The mod-down/aggregation
 // reorder makes the result equivalent to the sequential algorithm up to
 // rounding noise (not bit-exact).
+//
+// CommStats are measured at the aggregation point: every contributing
+// chip except the aggregation root (chip 0) ships its two full-width
+// partial sums across a chip boundary — the same units the cluster
+// transport counts.
 func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, CommStats, error) {
-	params, r := e.Params, e.Params.Ring
+	r := e.Params.Ring
 	if !c.IsNTT {
 		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: input must be NTT")
 	}
 	l := c.Basis.Len() - 1
 	n := e.NChips
-	if evk.DigitSets == nil {
-		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: output aggregation requires a modular-digit key (GenEvalKeyDigits)")
+	if _, err := e.OAMine(evk, 0, l); err != nil {
+		return nil, nil, CommStats{}, err
 	}
-	if len(evk.DigitSets) != n {
-		return nil, nil, CommStats{}, fmt.Errorf("keyswitch: key has %d digits, engine has %d chips", len(evk.DigitSets), n)
-	}
-	stats := CommStats{Aggregations: 2, LimbsMoved: 2 * (l + 1) * (n - 1)}
+	stats := CommStats{Aggregations: 2}
 
 	cc := c.Copy()
 	if err := r.INTT(cc); err != nil {
-		return nil, nil, stats, err
-	}
-	union, err := e.unionBasis(c)
-	if err != nil {
 		return nil, nil, stats, err
 	}
 	sum0 := r.NewPoly(c.Basis)
@@ -250,52 +139,28 @@ func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly,
 	// so they stay serial below.
 	down0 := make([]*ring.Poly, n)
 	down1 := make([]*ring.Poly, n)
-	err = forEachChip(n, func(chip int) error {
-		mine := intersectLevel(evk.DigitSets[chip], l)
-		if len(mine) == 0 {
-			return nil
-		}
-		ext, err := e.scatteredDigitModUp(cc, mine, union)
-		if err != nil {
+	err := forEachChip(n, func(chip int) error {
+		mine, err := e.OAMine(evk, chip, l)
+		if err != nil || len(mine) == 0 {
 			return err
 		}
-		defer r.PutPoly(ext)
-		if err := r.NTT(ext); err != nil {
-			return err
+		mineLimbs := make([][]uint64, len(mine))
+		for k, j := range mine {
+			mineLimbs[k] = cc.Limbs[j]
 		}
-		f0 := r.GetPoly(union)
-		f1 := r.GetPoly(union)
-		defer r.PutPoly(f0)
-		defer r.PutPoly(f1)
-		f0.IsNTT, f1.IsNTT = true, true
-		if err := e.innerProduct(ext, evk, chip, union, f0, f1); err != nil {
-			return err
-		}
-		// Local mod-down of the full product.
-		for fi, f := range []*ring.Poly{f0, f1} {
-			if err := r.INTT(f); err != nil {
-				return err
-			}
-			down, err := r.ModDown(f, params.PBasis)
-			if err != nil {
-				return err
-			}
-			if fi == 0 {
-				down0[chip] = down
-			} else {
-				down1[chip] = down
-			}
-		}
-		return nil
+		down0[chip], down1[chip], err = e.ChipOA(evk, chip, l, mineLimbs)
+		return err
 	})
 	if err != nil {
 		return nil, nil, stats, err
 	}
 	for chip := 0; chip < n; chip++ {
+		contributed := false
 		for fi, down := range []*ring.Poly{down0[chip], down1[chip]} {
 			if down == nil {
 				continue
 			}
+			contributed = true
 			dst := sum0
 			if fi == 1 {
 				dst = sum1
@@ -305,6 +170,9 @@ func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly,
 			}
 			r.PutPoly(down)
 		}
+		if contributed && chip != 0 {
+			stats.LimbsMoved += 2 * (l + 1)
+		}
 	}
 	if err := r.NTT(sum0); err != nil {
 		return nil, nil, stats, err
@@ -313,46 +181,6 @@ func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly,
 		return nil, nil, stats, err
 	}
 	return sum0, sum1, stats, nil
-}
-
-// scatteredDigitModUp mod-ups the (possibly non-contiguous) digit given by
-// chain indices mine onto the full union basis.
-func (e *Engine) scatteredDigitModUp(cc *ring.Poly, mine []int, union rns.Basis) (*ring.Poly, error) {
-	r := e.Params.Ring
-	digitMods := make([]uint64, len(mine))
-	digitLimbs := make([][]uint64, len(mine))
-	inDigit := map[int]bool{}
-	for k, j := range mine {
-		digitMods[k] = cc.Basis.Moduli[j]
-		digitLimbs[k] = cc.Limbs[j]
-		inDigit[j] = true
-	}
-	var convMods []uint64
-	for j := 0; j < union.Len(); j++ {
-		if j < cc.Basis.Len() && inDigit[j] {
-			continue
-		}
-		convMods = append(convMods, union.Moduli[j])
-	}
-	bc, err := ring.ConverterFor(rns.Basis{Moduli: digitMods}, rns.Basis{Moduli: convMods})
-	if err != nil {
-		return nil, err
-	}
-	conv, err := bc.Convert(digitLimbs)
-	if err != nil {
-		return nil, err
-	}
-	out := r.GetPoly(union)
-	ci := 0
-	for j := 0; j < union.Len(); j++ {
-		if j < cc.Basis.Len() && inDigit[j] {
-			copy(out.Limbs[j], cc.Limbs[j])
-		} else {
-			copy(out.Limbs[j], conv[ci])
-			ci++
-		}
-	}
-	return out, nil
 }
 
 func intersectLevel(set []int, l int) []int {

@@ -360,6 +360,23 @@ func Restrict(p *Poly, target rns.Basis) (*Poly, error) {
 	return &Poly{Basis: target, Limbs: limbs, IsNTT: p.IsNTT}, nil
 }
 
+// View returns a shallow view of p restricted to the given limb indices,
+// in the given order. The limb slices are shared with p (zero-copy); the
+// cluster wire codec frames selected limbs straight out of the backing
+// arrays through such views. Every index must be in range.
+func (p *Poly) View(indices []int) (*Poly, error) {
+	limbs := make([][]uint64, len(indices))
+	mods := make([]uint64, len(indices))
+	for k, j := range indices {
+		if j < 0 || j >= len(p.Limbs) {
+			return nil, fmt.Errorf("ring: limb view index %d out of range [0,%d)", j, len(p.Limbs))
+		}
+		limbs[k] = p.Limbs[j]
+		mods[k] = p.Basis.Moduli[j]
+	}
+	return &Poly{Basis: rns.Basis{Moduli: mods}, Limbs: limbs, IsNTT: p.IsNTT}, nil
+}
+
 // DropLastLimbs removes the trailing k limbs of p (used after rescale).
 func (p *Poly) DropLastLimbs(k int) {
 	n := len(p.Limbs) - k

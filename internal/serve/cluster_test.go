@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/cluster"
+)
+
+// newTestCluster spins up n in-process workers over net.Pipe transports and
+// returns the cluster engine plus the dialers (for killing workers).
+func newTestCluster(t *testing.T, n int) (*cluster.Engine, []*cluster.PipeDialer) {
+	t.Helper()
+	reg := testEnv(t)
+	dialers := make([]*cluster.PipeDialer, n)
+	ds := make([]cluster.Dialer, n)
+	for i := range dialers {
+		dialers[i] = cluster.NewPipeDialer(cluster.NewWorker(reg.Params))
+		ds[i] = dialers[i]
+	}
+	eng, err := cluster.NewEngine(reg.Params, ds, cluster.Options{})
+	if err != nil {
+		t.Fatalf("cluster.NewEngine: %v", err)
+	}
+	t.Cleanup(eng.Close)
+	return eng, dialers
+}
+
+// TestServeClusterModeMatchesEmulator: the same requests served through the
+// distributed cluster path and through the local emulator path must decrypt
+// to bit-identical ciphertexts — the cluster runs the same per-chip
+// keyswitch kernels, just spread over worker processes.
+func TestServeClusterModeMatchesEmulator(t *testing.T) {
+	reg := testEnv(t)
+	eng, _ := newTestCluster(t, 3)
+
+	clustered := NewCore(reg, Config{Workers: 2, Cluster: eng})
+	local := NewCore(reg, Config{Workers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		clustered.Close(ctx)
+		local.Close(ctx)
+	}()
+
+	for _, program := range []string{"quartic", "rotsum"} {
+		ct, _ := encryptRandom(t, 4242)
+		a, err := clustered.Submit(context.Background(), program, testTenant, ct)
+		if err != nil {
+			t.Fatalf("%s via cluster: %v", program, err)
+		}
+		b, err := local.Submit(context.Background(), program, testTenant, ct)
+		if err != nil {
+			t.Fatalf("%s via emulator: %v", program, err)
+		}
+		if len(a.C0.Limbs) != len(b.C0.Limbs) || a.Scale != b.Scale {
+			t.Fatalf("%s: shape mismatch: %d/%g vs %d/%g", program, len(a.C0.Limbs), a.Scale, len(b.C0.Limbs), b.Scale)
+		}
+		for j := range a.C0.Limbs {
+			for i := range a.C0.Limbs[j] {
+				if a.C0.Limbs[j][i] != b.C0.Limbs[j][i] || a.C1.Limbs[j][i] != b.C1.Limbs[j][i] {
+					t.Fatalf("%s: cluster and emulator outputs differ at limb %d coeff %d", program, j, i)
+				}
+			}
+		}
+		got := decryptDecode(t, a)
+		want := decryptDecode(t, reference(t, program, ct))
+		if e := maxSlotErr(got, want); e > 1e-3 {
+			t.Fatalf("%s: cluster result off by %g vs reference", program, e)
+		}
+	}
+
+	snap := clustered.Metrics().Snapshot()
+	if snap.Cluster == nil {
+		t.Fatal("metrics snapshot missing cluster section in cluster mode")
+	}
+	if snap.Cluster.Broadcasts == 0 && snap.Cluster.Aggregations == 0 {
+		t.Fatal("cluster counters show no collectives despite cluster-mode runs")
+	}
+	if snap.EmulatorFallbacks != 0 {
+		t.Fatalf("healthy cluster run recorded %d emulator fallbacks", snap.EmulatorFallbacks)
+	}
+	if localSnap := local.Metrics().Snapshot(); localSnap.Cluster != nil {
+		t.Fatal("emulator-only core must not report a cluster section")
+	}
+}
+
+// TestServeClusterFallbackToEmulator: with every worker dead the core must
+// keep serving correct results through the emulator path and count the
+// fallbacks.
+func TestServeClusterFallbackToEmulator(t *testing.T) {
+	reg := testEnv(t)
+	eng, dialers := newTestCluster(t, 3)
+
+	core := NewCore(reg, Config{Workers: 2, Cluster: eng})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		core.Close(ctx)
+	}()
+
+	// Warm run through the cluster, then kill every worker.
+	ct, _ := encryptRandom(t, 99)
+	if _, err := core.Submit(context.Background(), "quartic", testTenant, ct); err != nil {
+		t.Fatalf("warm cluster run: %v", err)
+	}
+	for _, d := range dialers {
+		d.Kill()
+	}
+
+	// The first post-kill request may still complete through the cluster
+	// engine's per-op local fallback while flipping the health state; the
+	// second must then route to the emulator path. Both stay correct.
+	var out *ckks.Ciphertext
+	for i := 0; i < 2; i++ {
+		var err error
+		out, err = core.Submit(context.Background(), "quartic", testTenant, ct)
+		if err != nil {
+			t.Fatalf("degraded-cluster run %d: %v", i, err)
+		}
+	}
+	got := decryptDecode(t, out)
+	want := decryptDecode(t, reference(t, "quartic", ct))
+	if e := maxSlotErr(got, want); e > 1e-3 {
+		t.Fatalf("degraded result off by %g vs reference", e)
+	}
+	snap := core.Metrics().Snapshot()
+	if snap.EmulatorFallbacks == 0 {
+		t.Fatal("dead cluster did not record an emulator fallback")
+	}
+	if snap.Cluster == nil || snap.Cluster.Healthy == snap.Cluster.Workers {
+		t.Fatalf("cluster snapshot should report lost workers: %+v", snap.Cluster)
+	}
+}

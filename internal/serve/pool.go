@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"cinnamon/internal/ckks"
+	"cinnamon/internal/cluster"
 	"cinnamon/internal/emulator"
 	"cinnamon/internal/parallel"
 )
@@ -49,6 +52,13 @@ type Config struct {
 	// RequestTimeout bounds a request's total time in the system when its
 	// context has no deadline of its own. Default 10s.
 	RequestTimeout time.Duration
+
+	// Cluster, when set, executes requests over the scale-out worker
+	// cluster (limb-partitioned keyswitching across worker processes)
+	// instead of the local emulator. The emulator stays as the fallback
+	// path: chunks run locally — counted in Metrics.EmulatorFallbacks —
+	// whenever the cluster is degraded or a distributed run errors.
+	Cluster *cluster.Engine
 
 	// testHoldWorkers, when non-nil, parks workers until the channel is
 	// closed — a deterministic backpressure lever for tests.
@@ -142,6 +152,9 @@ func NewCore(reg *Registry, cfg Config) *Core {
 		dispatch: make(chan *batch, cfg.DispatchDepth),
 		quit:     make(chan struct{}),
 		machines: map[*Variant][]*emulator.Machine{},
+	}
+	if cfg.Cluster != nil {
+		c.met.clusterSource = cfg.Cluster.Snapshot
 	}
 	c.workersWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -289,6 +302,28 @@ func (c *Core) runBatch(bt *batch) {
 }
 
 func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[string]*ckks.EvalKey, reqs []*request) {
+	if cl := c.cfg.Cluster; cl != nil {
+		if cl.Healthy() {
+			if outs, err := c.runChunkCluster(prog, keys, reqs); err == nil {
+				c.met.Batches.Add(1)
+				c.met.BatchedRequests.Add(int64(len(reqs)))
+				for i, r := range reqs {
+					lat := time.Since(r.enq)
+					c.met.Completed.Add(1)
+					c.met.Latency.Observe(lat)
+					pm.Completed.Add(1)
+					pm.Latency.Observe(lat)
+					r.resp <- result{ct: outs[i]}
+				}
+				return
+			}
+		}
+		// Degraded cluster or a distributed run error: re-execute the whole
+		// chunk on the local emulator path below. Results stay bit-identical
+		// (the emulator runs the same compiled program), only locality
+		// changes.
+		c.met.EmulatorFallbacks.Add(1)
+	}
 	prov := emulator.NewCKKSProvider(c.reg.Params)
 	prov.Plaintexts = prog.Plaintexts
 	prov.Keys = keys
@@ -318,6 +353,40 @@ func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[
 		}
 		r.resp <- res
 	}
+}
+
+// runChunkCluster executes every request in the chunk through the
+// program's reference closure with keyswitching delegated to the cluster
+// engine: each relinearization/rotation runs the paper's distributed
+// collectives (input broadcast / aggregate-and-scatter) across the worker
+// processes. The per-chip kernels are the same ones the local engine
+// runs, so outputs are bit-identical to the emulator path.
+func (c *Core) runChunkCluster(prog *Program, keys map[string]*ckks.EvalKey, reqs []*request) ([]*ckks.Ciphertext, error) {
+	rtks := &ckks.RotationKeySet{Keys: map[int]*ckks.EvalKey{}}
+	for id, k := range keys {
+		switch {
+		case id == "conj":
+			rtks.Conj = k
+		case strings.HasPrefix(id, "rot:"):
+			off, err := strconv.Atoi(strings.TrimPrefix(id, "rot:"))
+			if err != nil {
+				return nil, fmt.Errorf("serve: malformed rotation key id %q", id)
+			}
+			rtks.Keys[off] = k
+		}
+	}
+	ev := ckks.NewEvaluator(c.reg.Params, keys["rlk"], rtks)
+	ev.SetKeySwitcher(c.cfg.Cluster)
+	enc := ckks.NewEncoder(c.reg.Params)
+	outs := make([]*ckks.Ciphertext, len(reqs))
+	for i, r := range reqs {
+		y, err := prog.Spec.Reference(ev, enc, r.ct)
+		if err != nil {
+			return nil, fmt.Errorf("serve: cluster run of %q: %w", prog.Spec.Name, err)
+		}
+		outs[i] = y
+	}
+	return outs, nil
 }
 
 // getMachine reuses a pooled emulator machine for the variant (resetting
