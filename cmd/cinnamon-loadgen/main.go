@@ -42,9 +42,10 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	verify := flag.Bool("verify", true, "decrypt responses and compare to a local reference evaluation")
 	maxSlotErr := flag.Float64("max-slot-err", 0, "exit 1 if any verified slot error exceeds this (0 = report only)")
+	maxErrorRate := flag.Float64("max-error-rate", -1, "exit 1 if the error fraction (transport failures + unexpected statuses, shed excluded) exceeds this (negative = report only)")
 	flag.Parse()
 
-	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify, *maxSlotErr); err != nil {
+	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify, *maxSlotErr, *maxErrorRate); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -74,7 +75,7 @@ type result struct {
 	transport error
 }
 
-func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool, maxSlotErr float64) error {
+func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool, maxSlotErr, maxErrorRate float64) error {
 	c := &client{base: base, tenant: tenant, http: &http.Client{Timeout: timeout}}
 
 	// Discover parameters and rebuild an identical set locally.
@@ -131,7 +132,7 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	failed, worstErr := report(results, elapsed)
+	rep := report(results, elapsed)
 
 	var snap serve.Snapshot
 	if err := c.getJSON("/metrics", &snap); err != nil {
@@ -147,11 +148,17 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 			cl.Healthy, cl.Workers, cl.Broadcasts, cl.Aggregations, float64(cl.BytesSent)/1e6, snap.EmulatorFallbacks)
 	}
 	if maxSlotErr > 0 {
-		if failed > 0 {
-			return fmt.Errorf("verification: %d requests failed outright", failed)
+		if rep.errors > 0 {
+			return fmt.Errorf("verification: %d requests failed outright", rep.errors)
 		}
-		if worstErr > maxSlotErr {
-			return fmt.Errorf("verification: worst slot error %.2e exceeds -max-slot-err %.2e", worstErr, maxSlotErr)
+		if rep.worstErr > maxSlotErr {
+			return fmt.Errorf("verification: worst slot error %.2e exceeds -max-slot-err %.2e", rep.worstErr, maxSlotErr)
+		}
+	}
+	if maxErrorRate >= 0 && len(results) > 0 {
+		if rate := float64(rep.errors) / float64(len(results)); rate > maxErrorRate {
+			return fmt.Errorf("error rate %.4f (%d/%d) exceeds -max-error-rate %.4f",
+				rate, rep.errors, len(results), maxErrorRate)
 		}
 	}
 	return nil
@@ -328,32 +335,54 @@ func (c *client) getJSON(path string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-func report(results []result, elapsed time.Duration) (int, float64) {
-	var ok, rejected, failed int
+// reportSummary buckets the run's outcomes. Latency quantiles are
+// computed over successful responses only; sheds (429/503 backpressure)
+// and errors (transport failures, unexpected statuses) are counted in
+// their own buckets so a failing server cannot skew — or fabricate — the
+// latency distribution.
+type reportSummary struct {
+	ok       int
+	shed     int
+	errors   int // transport failures + unexpected HTTP statuses
+	worstErr float64
+}
+
+func report(results []result, elapsed time.Duration) reportSummary {
+	var rep reportSummary
 	var lats []time.Duration
-	worstErr := 0.0
+	errTransport, errHTTP := 0, map[int]int{}
 	for _, r := range results {
 		switch {
 		case r.ok:
-			ok++
+			rep.ok++
 			lats = append(lats, r.latency)
-			if r.slotErr > worstErr {
-				worstErr = r.slotErr
+			if r.slotErr > rep.worstErr {
+				rep.worstErr = r.slotErr
 			}
 		case r.status == http.StatusTooManyRequests || r.status == http.StatusServiceUnavailable:
-			rejected++
+			rep.shed++
 		default:
-			failed++
+			rep.errors++
 			if r.transport != nil {
-				fmt.Printf("  request failed: %v\n", r.transport)
+				errTransport++
+				if errTransport <= 5 {
+					fmt.Printf("  request failed: %v\n", r.transport)
+				}
 			} else {
-				fmt.Printf("  request failed: HTTP %d\n", r.status)
+				errHTTP[r.status]++
 			}
 		}
 	}
-	fmt.Printf("\n%d requests in %v: %d ok, %d shed, %d failed\n", len(results), elapsed.Round(time.Millisecond), ok, rejected, failed)
+	fmt.Printf("\n%d requests in %v: %d ok, %d shed, %d errors\n", len(results), elapsed.Round(time.Millisecond), rep.ok, rep.shed, rep.errors)
+	if rep.errors > 0 {
+		fmt.Printf("errors (excluded from latency quantiles): %d transport", errTransport)
+		for status, n := range errHTTP {
+			fmt.Printf(", %d HTTP %d", n, status)
+		}
+		fmt.Println()
+	}
 	if elapsed > 0 {
-		fmt.Printf("goodput: %.1f req/s\n", float64(ok)/elapsed.Seconds())
+		fmt.Printf("goodput: %.1f req/s\n", float64(rep.ok)/elapsed.Seconds())
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -364,10 +393,10 @@ func report(results []result, elapsed time.Duration) (int, float64) {
 			}
 			return lats[i]
 		}
-		fmt.Printf("client latency: p50 %v  p95 %v  p99 %v  max %v\n",
+		fmt.Printf("client latency (ok only): p50 %v  p95 %v  p99 %v  max %v\n",
 			q(0.50).Round(10*time.Microsecond), q(0.95).Round(10*time.Microsecond),
 			q(0.99).Round(10*time.Microsecond), lats[len(lats)-1].Round(10*time.Microsecond))
 	}
-	fmt.Printf("worst slot error vs reference: %.2e\n", worstErr)
-	return failed, worstErr
+	fmt.Printf("worst slot error vs reference: %.2e\n", rep.worstErr)
+	return rep
 }

@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"cinnamon/internal/cluster"
+)
+
+// driveSchedule consumes n schedule decisions at each of the given sites.
+func driveSchedule(in *Injector, sites []string, n int) {
+	for i := 0; i < n; i++ {
+		for _, s := range sites {
+			in.decide(s)
+		}
+	}
+}
+
+func TestScheduleReproducible(t *testing.T) {
+	sites := []string{"w0/tx", "w0/rx", "w1/tx", "w1/rx"}
+	cfg := Config{Seed: 42, Rates: DefaultRates()}
+
+	a := NewInjector(cfg)
+	b := NewInjector(cfg)
+	a.SetEnabled(true)
+	b.SetEnabled(true)
+	driveSchedule(a, sites, 500)
+	driveSchedule(b, sites, 500)
+
+	ta, tb := a.CanonicalTrace(), b.CanonicalTrace()
+	if len(ta) == 0 {
+		t.Fatal("no faults scheduled in 2000 decisions at default rates")
+	}
+	if !reflect.DeepEqual(ta, tb) {
+		t.Fatalf("same seed produced different traces: %d vs %d faults", len(ta), len(tb))
+	}
+
+	c := NewInjector(Config{Seed: 43, Rates: DefaultRates()})
+	c.SetEnabled(true)
+	driveSchedule(c, sites, 500)
+	if reflect.DeepEqual(ta, c.CanonicalTrace()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// A disabled injector must consume no schedule draws: however long the
+// warmup, the post-enable schedule is the same.
+func TestDisabledPeriodConsumesNoDraws(t *testing.T) {
+	sites := []string{"w0/tx", "w0/rx"}
+	cfg := Config{Seed: 7, Rates: DefaultRates()}
+
+	a := NewInjector(cfg)
+	driveSchedule(a, sites, 300) // disabled warmup of arbitrary length
+	if a.Total() != 0 {
+		t.Fatalf("disabled injector recorded %d faults", a.Total())
+	}
+	a.SetEnabled(true)
+	driveSchedule(a, sites, 400)
+
+	b := NewInjector(cfg)
+	b.SetEnabled(true) // no warmup at all
+	driveSchedule(b, sites, 400)
+
+	if !reflect.DeepEqual(a.CanonicalTrace(), b.CanonicalTrace()) {
+		t.Fatal("schedule depends on the length of the disabled warmup period")
+	}
+}
+
+// forcedConn builds a faultConn around one end of a net.Pipe with a
+// single-kind rate-1.0 profile, so every frame suffers exactly that fault.
+func forcedConn(t *testing.T, kind Kind) (*faultConn, net.Conn, *Injector) {
+	t.Helper()
+	var r Rates
+	switch kind {
+	case Drop:
+		r.Drop = 1
+	case Delay:
+		r.Delay = 1
+	case Partial:
+		r.Partial = 1
+	case BitFlip:
+		r.BitFlip = 1
+	case Duplicate:
+		r.Duplicate = 1
+	case Disconnect:
+		r.Disconnect = 1
+	}
+	in := NewInjector(Config{Seed: 1, Rates: r, DelayMin: time.Millisecond, DelayMax: 2 * time.Millisecond})
+	in.SetEnabled(true)
+	client, server := net.Pipe()
+	fc := &faultConn{Conn: client, in: in, tx: dirState{site: "t/tx"}, rx: dirState{site: "t/rx"}}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return fc, server, in
+}
+
+func writeFrameAsync(t *testing.T, fc *faultConn, typ byte, payload []byte) chan struct{} {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bw := bufio.NewWriter(fc)
+		if err := cluster.WriteFrame(bw, typ, payload); err != nil {
+			return
+		}
+		bw.Flush()
+	}()
+	return done
+}
+
+func TestFaultConnDuplicateTx(t *testing.T) {
+	fc, server, in := forcedConn(t, Duplicate)
+	writeFrameAsync(t, fc, 0x01, []byte("hello"))
+	br := bufio.NewReader(server)
+	for i := 0; i < 2; i++ {
+		typ, payload, err := cluster.ReadFrame(br)
+		if err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+		if typ != 0x01 || string(payload) != "hello" {
+			t.Fatalf("copy %d: got type %#x payload %q", i, typ, payload)
+		}
+	}
+	if got := in.Counts()[Duplicate]; got != 1 {
+		t.Fatalf("Duplicate count = %d, want 1", got)
+	}
+}
+
+func TestFaultConnBitFlipCaughtByCRC(t *testing.T) {
+	fc, server, in := forcedConn(t, BitFlip)
+	writeFrameAsync(t, fc, 0x01, []byte("payload bytes under test"))
+	_, _, err := cluster.ReadFrame(bufio.NewReader(server))
+	if !errors.Is(err, cluster.ErrCorruptFrame) {
+		t.Fatalf("flipped frame read error = %v, want ErrCorruptFrame", err)
+	}
+	if got := in.Counts()[BitFlip]; got != 1 {
+		t.Fatalf("BitFlip count = %d, want 1", got)
+	}
+}
+
+func TestFaultConnDropStallsPeer(t *testing.T) {
+	fc, server, _ := forcedConn(t, Drop)
+	writeFrameAsync(t, fc, 0x01, []byte("doomed"))
+	server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := server.Read(buf); err == nil {
+		t.Fatalf("peer received %d bytes of a dropped frame", n)
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("peer read error = %v, want timeout", err)
+	}
+}
+
+func TestFaultConnPartialSeversAfterPrefix(t *testing.T) {
+	fc, server, _ := forcedConn(t, Partial)
+	done := writeFrameAsync(t, fc, 0x01, []byte("partial delivery test payload"))
+	br := bufio.NewReader(server)
+	_, _, err := cluster.ReadFrame(br)
+	if err == nil {
+		t.Fatal("read of a partially-delivered frame succeeded")
+	}
+	if errors.Is(err, cluster.ErrCorruptFrame) {
+		// Acceptable only if the cut landed such that a full-length read
+		// still completed — it cannot, because the connection is severed.
+		t.Fatalf("partial delivery surfaced as CRC error, want io error: %v", err)
+	}
+	// Subsequent writes on the faulted side fail sticky (the conn is
+	// single-writer by contract: wait for the frame writer to finish).
+	<-done
+	if _, werr := fc.Write([]byte{0, 0, 0, 0}); werr == nil {
+		t.Fatal("write after injected sever succeeded")
+	}
+}
+
+func TestFaultConnRxBitFlip(t *testing.T) {
+	fc, server, in := forcedConn(t, BitFlip)
+	go func() {
+		bw := bufio.NewWriter(server)
+		if err := cluster.WriteFrame(bw, 0x02, []byte("worker to coordinator")); err != nil {
+			return
+		}
+		bw.Flush()
+	}()
+	_, _, err := cluster.ReadFrame(bufio.NewReader(fc))
+	if !errors.Is(err, cluster.ErrCorruptFrame) {
+		t.Fatalf("rx flipped frame error = %v, want ErrCorruptFrame", err)
+	}
+	if got := in.Counts()[BitFlip]; got != 1 {
+		t.Fatalf("BitFlip count = %d, want 1", got)
+	}
+}
+
+// Chaos-off must be byte-transparent even after chaos was on (leftover
+// partial frames flush).
+func TestFaultConnDisabledPassthrough(t *testing.T) {
+	in := NewInjector(Config{Seed: 1, Rates: DefaultRates()})
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	fc := &faultConn{Conn: client, in: in, tx: dirState{site: "t/tx"}, rx: dirState{site: "t/rx"}}
+	writeFrameAsync(t, fc, 0x03, []byte("clean"))
+	typ, payload, err := cluster.ReadFrame(bufio.NewReader(server))
+	if err != nil || typ != 0x03 || string(payload) != "clean" {
+		t.Fatalf("passthrough frame = (%#x, %q, %v)", typ, payload, err)
+	}
+	if in.Total() != 0 {
+		t.Fatalf("disabled injector recorded %d faults", in.Total())
+	}
+}

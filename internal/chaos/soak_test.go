@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosSoak runs a compressed chaos soak: the full serving stack over
+// an in-process 3-worker cluster, verified load, elevated fault rates so a
+// few seconds cover every fault kind. The long-form run lives in
+// cmd/cinnamon-chaos; this is the regression gate.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	rep, err := RunSoak(SoakConfig{
+		Seed:     1,
+		Duration: 3 * time.Second,
+		Rates: Rates{
+			Drop:       0.02,
+			Delay:      0.05,
+			Partial:    0.015,
+			BitFlip:    0.06,
+			Duplicate:  0.05,
+			Disconnect: 0.015,
+		},
+		DelayMin: 500 * time.Microsecond,
+		DelayMax: 5 * time.Millisecond,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak harness: %v", err)
+	}
+	// allKinds=false: 3 seconds is not enough to guarantee every kind
+	// fires; the 20s CI run asserts full coverage.
+	for _, v := range rep.Violations(20, false) {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if rep.OK == 0 {
+		t.Error("no request succeeded during the soak")
+	}
+}

@@ -160,6 +160,23 @@ func (e *Engine) Healthy() bool {
 	return true
 }
 
+// HealthyWorkers reports how many worker sessions are currently
+// established (out of NChips).
+func (e *Engine) HealthyWorkers() int {
+	n := 0
+	for _, lk := range e.links {
+		if lk.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// FallbackDisabled reports whether graceful degradation to the local
+// single-process path is turned off (collectives then fail with
+// ErrDegraded when a worker is lost).
+func (e *Engine) FallbackDisabled() bool { return e.opts.DisableFallback }
+
 // Snapshot captures the transport counters for the metrics endpoint.
 func (e *Engine) Snapshot() *Snapshot {
 	s := e.stats.snapshot()
@@ -235,18 +252,43 @@ func (e *Engine) KeySwitch(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.P
 	return f0, f1, err
 }
 
+// Bound returns a ckks.KeySwitcher view of the engine whose collectives
+// run under ctx: the request deadline clamps every per-worker RPC deadline
+// and cancellation stops retries, so an HTTP request's budget propagates
+// all the way to the wire.
+func (e *Engine) Bound(ctx context.Context) ckks.KeySwitcher {
+	return boundEngine{e: e, ctx: ctx}
+}
+
+type boundEngine struct {
+	e   *Engine
+	ctx context.Context
+}
+
+func (b boundEngine) KeySwitch(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, error) {
+	f0, f1, _, err := b.e.keySwitchStatsCtx(b.ctx, c, evk)
+	return f0, f1, err
+}
+
 // KeySwitchStats is KeySwitch plus the measured communication bill of the
 // collective, in the paper's units. A collective that degraded to local
 // execution reports zero CommStats (no network collective happened); the
 // degradation itself is counted in Stats.LocalFallbacks.
 func (e *Engine) KeySwitchStats(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, keyswitch.CommStats, error) {
+	return e.keySwitchStatsCtx(context.Background(), c, evk)
+}
+
+func (e *Engine) keySwitchStatsCtx(ctx context.Context, c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, keyswitch.CommStats, error) {
 	if !c.IsNTT {
 		return nil, nil, keyswitch.CommStats{}, fmt.Errorf("cluster: keyswitch input must be NTT")
 	}
-	if evk.DigitSets != nil {
-		return e.outputAggregation(c, evk)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, keyswitch.CommStats{}, err
 	}
-	return e.inputBroadcast(c, evk)
+	if evk.DigitSets != nil {
+		return e.outputAggregation(ctx, c, evk)
+	}
+	return e.inputBroadcast(ctx, c, evk)
 }
 
 func (e *Engine) keyID(evk *ckks.EvalKey) (uint64, error) {
@@ -284,7 +326,7 @@ func (e *Engine) digitRanges(evk *ckks.EvalKey, l int) [][2]int {
 // limbs (streamed digit by digit so workers absorb while later digits are
 // still in flight), after which every chip's mod-up, inner product and
 // mod-down are local; the workers return only their owned output limbs.
-func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, keyswitch.CommStats, error) {
+func (e *Engine) inputBroadcast(ctx context.Context, c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, keyswitch.CommStats, error) {
 	r := e.params.Ring
 	l := c.Basis.Len() - 1
 	n := len(e.links)
@@ -314,7 +356,7 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 		wg.Add(1)
 		go func(chip int, mine []int) {
 			defer wg.Done()
-			res, err := e.links[chip].keyswitchRPC(e, ksBeginMsg{
+			res, err := e.links[chip].keyswitchRPC(ctx, e, ksBeginMsg{
 				alg: algIB, keyID: keyID, level: uint32(l), frames: uint32(len(digits)),
 			}, func(bw *bufio.Writer, req uint64) error {
 				return streamDigits(bw, req, digits, cc)
@@ -337,7 +379,12 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 		}
 		// Graceful degradation: finish the keyswitch single-process. The
 		// sequential kernel is bit-exact with the distributed input
-		// broadcast, so degradation never corrupts a result.
+		// broadcast, so degradation never corrupts a result. A caller whose
+		// ctx expired gets the ctx error — its deadline is already blown, so
+		// burning more time on a local keyswitch helps nobody.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, keyswitch.CommStats{}, cerr
+		}
 		if e.opts.DisableFallback {
 			return nil, nil, keyswitch.CommStats{}, fmt.Errorf("%w: worker %d lost mid-broadcast: %v", ErrDegraded, chip, err)
 		}
@@ -360,7 +407,7 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 // scatter), computes and mod-downs its full-width product locally, and the
 // coordinator — standing in for the aggregation root — sums the two
 // partial polynomials: the two aggregate-and-scatter operations.
-func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, keyswitch.CommStats, error) {
+func (e *Engine) outputAggregation(ctx context.Context, c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.Poly, keyswitch.CommStats, error) {
 	r := e.params.Ring
 	l := c.Basis.Len() - 1
 	n := len(e.links)
@@ -391,7 +438,7 @@ func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly,
 		wg.Add(1)
 		go func(chip int, mine []int) {
 			defer wg.Done()
-			res, err := e.links[chip].keyswitchRPC(e, ksBeginMsg{
+			res, err := e.links[chip].keyswitchRPC(ctx, e, ksBeginMsg{
 				alg: algOA, keyID: keyID, level: uint32(l), frames: 1,
 			}, func(bw *bufio.Writer, req uint64) error {
 				limbs := make([][]uint64, len(mine))
@@ -411,6 +458,9 @@ func (e *Engine) outputAggregation(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly,
 	for chip, err := range errs {
 		if err == nil {
 			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, keyswitch.CommStats{}, cerr
 		}
 		if e.opts.DisableFallback {
 			return nil, nil, keyswitch.CommStats{}, fmt.Errorf("%w: worker %d lost mid-aggregation: %v", ErrDegraded, chip, err)
@@ -637,13 +687,17 @@ func (lk *link) ensureKey(id uint64, e *Engine) error {
 // caller-provided limb stream, then the result — under a per-RPC deadline,
 // with bounded redial-and-retry on transport failure. Semantic worker
 // errors are not retried.
-func (lk *link) keyswitchRPC(e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (*ksResultMsg, error) {
+func (lk *link) keyswitchRPC(ctx context.Context, e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (*ksResultMsg, error) {
 	var lastErr error
 	for attempt := 0; attempt <= lk.opts.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(lk.opts.RetryBackoff)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err() // caller's budget is spent; don't retry
+			case <-time.After(lk.opts.RetryBackoff):
+			}
 		}
-		res, err := lk.tryKeyswitch(e, begin, sendLimbs)
+		res, err := lk.tryKeyswitch(ctx, e, begin, sendLimbs)
 		if err == nil {
 			return res, nil
 		}
@@ -656,7 +710,20 @@ func (lk *link) keyswitchRPC(e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.
 	return nil, lastErr
 }
 
-func (lk *link) tryKeyswitch(e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (res *ksResultMsg, err error) {
+// rpcDeadline is the per-RPC wire deadline: RPCTimeout from now, clamped
+// by the caller's context deadline when that is sooner.
+func (lk *link) rpcDeadline(ctx context.Context) time.Time {
+	d := time.Now().Add(lk.opts.RPCTimeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
+		d = cd
+	}
+	return d
+}
+
+func (lk *link) tryKeyswitch(ctx context.Context, e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (res *ksResultMsg, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	lk.mu.Lock()
 	defer lk.mu.Unlock()
 	if lk.conn == nil {
@@ -673,7 +740,7 @@ func (lk *link) tryKeyswitch(e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.
 			}
 		}
 	}()
-	lk.conn.SetDeadline(time.Now().Add(lk.opts.RPCTimeout))
+	lk.conn.SetDeadline(lk.rpcDeadline(ctx))
 	defer func() {
 		if lk.conn != nil {
 			lk.conn.SetDeadline(time.Time{})
@@ -779,7 +846,13 @@ func (e *Engine) heartbeatLoop() {
 					e.stats.Heartbeats.Add(1)
 				}
 			} else if err := lk.ping(e); err != nil {
+				// Redial in the same tick: a poisoned session (corrupt frame,
+				// mid-collective disconnect) costs at most one heartbeat
+				// interval of degraded capacity, not two.
 				lk.drop()
+				if err := lk.connect(); err == nil {
+					e.stats.Heartbeats.Add(1)
+				}
 			} else {
 				e.stats.Heartbeats.Add(1)
 			}

@@ -44,6 +44,11 @@ type Snapshot struct {
 	LocalFallbacks int64 `json:"local_fallbacks"`
 	Heartbeats     int64 `json:"heartbeats"`
 
+	// CorruptFrames is process-wide (see CorruptFrames()): every frame
+	// whose CRC-32C trailer failed verification, on either side of the
+	// wire. Nonzero here with zero wrong results is the integrity story.
+	CorruptFrames int64 `json:"corrupt_frames_detected"`
+
 	CollectiveLatency telemetry.LatencySummary `json:"collective_latency"`
 }
 
@@ -58,6 +63,7 @@ func (s *Stats) snapshot() Snapshot {
 		Reconnects:        s.Reconnects.Load(),
 		LocalFallbacks:    s.LocalFallbacks.Load(),
 		Heartbeats:        s.Heartbeats.Load(),
+		CorruptFrames:     CorruptFrames(),
 		CollectiveLatency: s.collectiveLat.Summary(),
 	}
 }

@@ -14,29 +14,64 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"math"
+	"net"
+	"sync/atomic"
+	"time"
 
 	"cinnamon/internal/ckks"
 )
 
-// Wire format: every frame is [u32 LE length][u8 type][payload] where
-// length = 1 + len(payload). Integers are little-endian throughout; limb
-// data is raw u64 coefficients. The codec never trusts a length field
-// beyond maxFrame and never allocates more than the bytes actually
-// received, so a truncated or hostile stream fails with an error instead
-// of a panic or an over-allocation (FuzzReadFrame, FuzzDecodeLimbs).
+// Wire format v2: every frame is [u32 LE length][u8 type][payload]
+// [u32 LE crc32c] where length = 1 + len(payload) + 4 and the CRC-32C
+// (Castagnoli) covers type||payload. Integers are little-endian
+// throughout; limb data is raw u64 coefficients. The codec never trusts a
+// length field beyond maxFrame and never allocates more than the bytes
+// actually received, so a truncated or hostile stream fails with an error
+// instead of a panic or an over-allocation (FuzzReadFrame,
+// FuzzDecodeLimbs). A frame whose checksum does not match fails with a
+// typed ErrCorruptFrame — corruption is detected and the session redialed,
+// never silently accepted (v1 peers, which lack the trailer, are rejected
+// at the versioned handshake).
 const (
 	// maxFrame bounds one frame (64 MiB): comfortably above any real
 	// payload (a full-width result at logN=17, 40 limbs is ~42 MiB) while
 	// keeping a corrupted length prefix harmless.
 	maxFrame = 64 << 20
 
-	protoVersion = 1
+	// frameOverhead is the non-payload byte count of a frame: the type
+	// byte plus the CRC-32C trailer (the u32 length prefix is not counted
+	// by the length field itself).
+	frameOverhead = 1 + crcLen
+	crcLen        = 4
+
+	protoVersion = 2          // v2: CRC-32C frame trailer (v1 peers rejected at hello)
 	helloMagic   = 0x434e4d4e // "CNMN"
 )
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64), shared by WriteFrame and ReadFrame.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptFrame is returned by ReadFrame when a frame's CRC-32C trailer
+// does not match its contents. It is a session-fatal transport error: the
+// caller must drop the connection and redial, because after a corrupt
+// frame the stream position can no longer be trusted.
+var ErrCorruptFrame = errors.New("cluster: corrupt frame (crc32c mismatch)")
+
+// corruptFrames counts CRC-mismatched frames detected process-wide (both
+// coordinator and worker sides when they share a process, as the chaos
+// soak does). Exposed in Stats snapshots as corrupt_frames_detected.
+var corruptFrames atomic.Int64
+
+// CorruptFrames reports the number of corrupt frames detected by this
+// process since start.
+func CorruptFrames() int64 { return corruptFrames.Load() }
 
 // Frame types.
 const (
@@ -63,49 +98,92 @@ const (
 // digit.
 const scatterDigit = ^uint32(0)
 
-// WriteFrame writes one frame to w.
+// WriteFrame writes one frame to w, appending the CRC-32C trailer.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
-	if len(payload)+1 > maxFrame {
-		return fmt.Errorf("cluster: frame too large (%d bytes)", len(payload)+1)
+	if len(payload)+frameOverhead > maxFrame {
+		return fmt.Errorf("cluster: frame too large (%d bytes)", len(payload)+frameOverhead)
 	}
 	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+frameOverhead))
 	hdr[4] = typ
+	crc := crc32.Update(crc32.Checksum(hdr[4:5], crcTable), crcTable, payload)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var trailer [crcLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc)
+	_, err := w.Write(trailer[:])
 	return err
 }
 
 // ReadFrame reads one frame, rejecting implausible lengths before
-// allocating.
+// allocating and verifying the CRC-32C trailer before handing the payload
+// to any decoder. A checksum mismatch returns an error wrapping
+// ErrCorruptFrame.
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
-	if n == 0 {
-		return 0, nil, fmt.Errorf("cluster: zero-length frame")
+	if n < frameOverhead {
+		return 0, nil, fmt.Errorf("cluster: frame length %d shorter than %d-byte minimum", n, frameOverhead)
 	}
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("cluster: frame length %d exceeds %d-byte limit", n, maxFrame)
 	}
-	// Grow the payload as bytes actually arrive (64 KiB steps) instead of
+	// Grow the body as bytes actually arrive (64 KiB steps) instead of
 	// trusting the length prefix with one big allocation: a lying header on
 	// a short stream then costs one chunk, not maxFrame.
-	want := int(n - 1)
-	payload = make([]byte, 0, minInt(want, readChunk))
-	for len(payload) < want {
-		k := minInt(want-len(payload), readChunk)
-		off := len(payload)
-		payload = append(payload, make([]byte, k)...)
-		if _, err = io.ReadFull(r, payload[off:]); err != nil {
+	want := int(n - 1) // payload + CRC trailer
+	body := make([]byte, 0, minInt(want, readChunk))
+	for len(body) < want {
+		k := minInt(want-len(body), readChunk)
+		off := len(body)
+		body = append(body, make([]byte, k)...)
+		if _, err = io.ReadFull(r, body[off:]); err != nil {
 			return 0, nil, err
 		}
 	}
+	payload = body[:want-crcLen]
+	got := binary.LittleEndian.Uint32(body[want-crcLen:])
+	crc := crc32.Update(crc32.Checksum(hdr[4:5], crcTable), crcTable, payload)
+	if got != crc {
+		corruptFrames.Add(1)
+		return 0, nil, fmt.Errorf("%w: type %#x, %d payload bytes", ErrCorruptFrame, hdr[4], len(payload))
+	}
 	return hdr[4], payload, nil
+}
+
+// frameReader is the io.Reader side of ReadFrameTimeout: a bufio-style
+// reader whose Peek can block indefinitely while its underlying conn
+// enforces deadlines once a frame has started.
+type frameReader interface {
+	io.Reader
+	Peek(n int) ([]byte, error)
+}
+
+// ReadFrameTimeout reads one frame from br, allowing the connection to
+// idle indefinitely *between* frames but bounding the time a peer may
+// take to finish a frame it has started. The first byte is awaited with
+// no deadline (Peek); once it arrives, a read deadline of d is armed on
+// conn for the remainder of the frame, so a peer that sends a header and
+// then stalls fails the RPC instead of wedging the session forever. The
+// deadline is cleared before returning.
+func ReadFrameTimeout(conn net.Conn, br frameReader, d time.Duration) (typ byte, payload []byte, err error) {
+	if _, err = br.Peek(1); err != nil {
+		return 0, nil, err
+	}
+	if d > 0 {
+		if err = conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return 0, nil, err
+		}
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	return ReadFrame(br)
 }
 
 const readChunk = 1 << 16

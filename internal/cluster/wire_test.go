@@ -1,12 +1,16 @@
 package cluster
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
+	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cinnamon/internal/ckks"
 )
@@ -77,6 +81,104 @@ func (m *meteredReader) Read(p []byte) (int, error) {
 	n, err := m.r.Read(p)
 	m.n += int64(n)
 	return n, err
+}
+
+// TestFrameCRCDetectsBitFlip: every single-bit flip anywhere in a frame's
+// body (type byte, payload, or CRC trailer) must surface as an error —
+// ErrCorruptFrame when the length prefix still parses — and never be
+// delivered as a valid payload.
+func TestFrameCRCDetectsBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("the coordinator must never trust these bytes blindly")
+	if err := WriteFrame(&buf, msgLimbs, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	before := CorruptFrames()
+	flipped := 0
+	for byteIdx := 4; byteIdx < len(frame); byteIdx++ { // skip the length prefix
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(frame)
+			mut[byteIdx] ^= 1 << bit
+			typ, got, err := ReadFrame(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted: type %#x payload %q", byteIdx, bit, typ, got)
+			}
+			if errors.Is(err, ErrCorruptFrame) {
+				flipped++
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("no flip was classified as ErrCorruptFrame")
+	}
+	if delta := CorruptFrames() - before; delta != int64(flipped) {
+		t.Fatalf("corrupt-frame counter moved by %d, want %d", delta, flipped)
+	}
+	// A length-prefix flip is also never accepted (it desynchronizes or
+	// truncates), though it may fail as a short read rather than a CRC
+	// mismatch.
+	for byteIdx := 0; byteIdx < 4; byteIdx++ {
+		mut := bytes.Clone(frame)
+		mut[byteIdx] ^= 1
+		if _, _, err := ReadFrame(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("length-prefix flip at byte %d accepted", byteIdx)
+		}
+	}
+}
+
+// TestReadFrameTimeoutPartialFrame: a peer that ships a frame header and
+// then stalls must fail the read within the partial-frame budget instead
+// of holding the session forever. The idle wait before the first byte is
+// deadline-free.
+func TestReadFrameTimeoutPartialFrame(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		var hdr [5]byte
+		binary.LittleEndian.PutUint32(hdr[:4], 1000) // announce a frame, never finish it
+		hdr[4] = msgLimbs
+		client.Write(hdr[:])
+	}()
+	br := bufio.NewReader(server)
+	start := time.Now()
+	_, _, err := ReadFrameTimeout(server, br, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("stalled partial frame did not error")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("partial-frame stall held the read for %v", elapsed)
+	}
+}
+
+// TestReadFrameTimeoutCompleteFrame: a frame delivered promptly (even
+// after an arbitrary idle gap) passes through untouched.
+func TestReadFrameTimeoutCompleteFrame(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		time.Sleep(20 * time.Millisecond) // idle gap longer than... nothing: no deadline yet
+		var buf bytes.Buffer
+		WriteFrame(&buf, msgPing, encodePing(77))
+		client.Write(buf.Bytes())
+	}()
+	br := bufio.NewReader(server)
+	typ, payload, err := ReadFrameTimeout(server, br, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgPing {
+		t.Fatalf("got frame type %#x", typ)
+	}
+	if nonce, err := decodePing(payload); err != nil || nonce != 77 {
+		t.Fatalf("nonce %d err %v", nonce, err)
+	}
 }
 
 func TestLimbsRoundTrip(t *testing.T) {
@@ -161,14 +263,31 @@ func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer
 	WriteFrame(&buf, msgKSBegin, encodeKSBegin(ksBeginMsg{req: 1, alg: algIB, keyID: 2, level: 3, frames: 4}))
 	f.Add(buf.Bytes())
+	// CRC-corruption seeds: a well-formed frame with a flipped payload bit
+	// and one with a flipped trailer bit — both must fail, never decode.
+	corruptBody := bytes.Clone(buf.Bytes())
+	corruptBody[6] ^= 0x10
+	f.Add(corruptBody)
+	corruptCRC := bytes.Clone(buf.Bytes())
+	corruptCRC[len(corruptCRC)-1] ^= 0x01
+	f.Add(corruptCRC)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, payload, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		if len(payload)+5+1 > len(data)+1 && len(payload) != 0 {
-			// payload can never exceed the input bytes
+		if len(payload)+5+crcLen > len(data) {
+			// payload + framing can never exceed the input bytes
 			t.Fatalf("frame type %#x claims %d payload bytes from %d input bytes", typ, len(payload), len(data))
+		}
+		// Any accepted frame re-encodes to the same bytes the reader
+		// consumed: the CRC makes framing canonical.
+		var re bytes.Buffer
+		if err := WriteFrame(&re, typ, payload); err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data[:re.Len()]) {
+			t.Fatalf("accepted frame is not canonical")
 		}
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/keyswitch"
@@ -22,7 +23,16 @@ var ErrDigestMismatch = errors.New("cluster: parameter digest mismatch")
 // re-pushes whatever keys it needs.
 type Worker struct {
 	Params *ckks.Parameters
+
+	// PartialFrameTimeout bounds how long a coordinator may take to finish
+	// a frame it has started sending; a peer that ships a header then
+	// stalls ends the session instead of wedging it forever. Zero selects
+	// defaultPartialFrameTimeout; sessions may still idle indefinitely
+	// between frames.
+	PartialFrameTimeout time.Duration
 }
+
+const defaultPartialFrameTimeout = 30 * time.Second
 
 // NewWorker builds a worker over the given parameter set (which must match
 // the coordinator's; the handshake verifies the digest).
@@ -63,10 +73,14 @@ type pendingKS struct {
 // session).
 func (w *Worker) Serve(conn net.Conn) error {
 	defer conn.Close()
+	partial := w.PartialFrameTimeout
+	if partial == 0 {
+		partial = defaultPartialFrameTimeout
+	}
 	br := bufio.NewReaderSize(conn, 1<<16)
 	s := &session{w: w, keys: map[uint64]*ckks.EvalKey{}, bw: bufio.NewWriterSize(conn, 1<<16)}
 
-	typ, payload, err := ReadFrame(br)
+	typ, payload, err := ReadFrameTimeout(conn, br, partial)
 	if err != nil {
 		return fmt.Errorf("cluster: reading hello: %w", err)
 	}
@@ -93,7 +107,7 @@ func (w *Worker) Serve(conn net.Conn) error {
 
 	var pending *pendingKS
 	for {
-		typ, payload, err := ReadFrame(br)
+		typ, payload, err := ReadFrameTimeout(conn, br, partial)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil

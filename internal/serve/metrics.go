@@ -41,11 +41,17 @@ type Metrics struct {
 	// the local emulator path because the cluster was degraded or errored.
 	EmulatorFallbacks atomic.Int64
 
+	// Panics counts recovered execution panics (each fails its requests
+	// typed with ErrInternal; the worker pool survives).
+	Panics atomic.Int64
+
 	programs map[string]*ProgramMetrics // fixed at startup, values atomic
 
 	// clusterSource, when set, supplies the cluster transport counters for
-	// Snapshot (set by NewCore when cluster mode is on).
+	// Snapshot (set by NewCore when cluster mode is on); circuitSource
+	// supplies the breaker's state and open count.
 	clusterSource func() *cluster.Snapshot
+	circuitSource func() (state string, opens int64)
 }
 
 func newMetrics(programNames []string) *Metrics {
@@ -81,6 +87,10 @@ type Snapshot struct {
 	// cluster mode (bytes, collectives, latency quantiles, reconnects).
 	Cluster           *cluster.Snapshot `json:"cluster,omitempty"`
 	EmulatorFallbacks int64             `json:"emulator_fallbacks,omitempty"`
+
+	Panics       int64  `json:"panics"`
+	CircuitState string `json:"circuit_state,omitempty"`
+	CircuitOpens int64  `json:"circuit_opens,omitempty"`
 }
 
 // Snapshot captures the current metric values.
@@ -100,9 +110,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	if s.Batches > 0 {
 		s.AvgBatchOccupancy = float64(s.BatchedRequests) / float64(s.Batches)
 	}
+	s.Panics = m.Panics.Load()
 	if m.clusterSource != nil {
 		s.Cluster = m.clusterSource()
 		s.EmulatorFallbacks = m.EmulatorFallbacks.Load()
+	}
+	if m.circuitSource != nil {
+		s.CircuitState, s.CircuitOpens = m.circuitSource()
 	}
 	for name, pm := range m.programs {
 		s.Programs[name] = ProgramSnapshot{

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cinnamon/internal/ckks"
@@ -25,6 +27,10 @@ var (
 	ErrOverloaded     = errors.New("serve: overloaded, request shed")
 	ErrShuttingDown   = errors.New("serve: shutting down")
 	ErrBadRequest     = errors.New("serve: bad request")
+	// ErrInternal marks a request that died to a recovered panic: the
+	// request fails typed (500) while the worker, and every other request,
+	// keeps serving.
+	ErrInternal = errors.New("serve: internal error")
 )
 
 // Config tunes the serving core.
@@ -53,6 +59,12 @@ type Config struct {
 	// context has no deadline of its own. Default 10s.
 	RequestTimeout time.Duration
 
+	// AdmissionLimit bounds how many requests may be inside the core at
+	// once (queued or executing). Beyond it Submit sheds immediately with
+	// ErrOverloaded, so overload produces fast 429s instead of an
+	// unbounded goroutine pileup behind the batchers. Default 1024.
+	AdmissionLimit int
+
 	// Cluster, when set, executes requests over the scale-out worker
 	// cluster (limb-partitioned keyswitching across worker processes)
 	// instead of the local emulator. The emulator stays as the fallback
@@ -60,9 +72,30 @@ type Config struct {
 	// whenever the cluster is degraded or a distributed run errors.
 	Cluster *cluster.Engine
 
+	// RequireCluster turns off the emulator fallback at the serving layer:
+	// when the cluster is degraded (or its circuit is open) requests fail
+	// typed with cluster.ErrDegraded (503) instead of silently costing
+	// emulator CPU. Useful when the emulator cannot keep up with the
+	// cluster's capacity and fallback would just be a slower outage.
+	RequireCluster bool
+
+	// CircuitThreshold is how many consecutive cluster-chunk failures open
+	// the circuit breaker (half-open probes after CircuitCooldown).
+	// Default 5.
+	CircuitThreshold int
+	// CircuitCooldown is how long an open circuit waits before admitting a
+	// probe chunk. Default 5s.
+	CircuitCooldown time.Duration
+
 	// testHoldWorkers, when non-nil, parks workers until the channel is
 	// closed — a deterministic backpressure lever for tests.
 	testHoldWorkers chan struct{}
+	// testPreRun, when non-nil, runs at the top of every batch execution —
+	// the panic-injection point for recovery tests.
+	testPreRun func(*batch)
+	// testBatchDelay stretches every chunk execution — a deterministic
+	// "slow backend" lever for overload tests.
+	testBatchDelay time.Duration
 }
 
 func (c Config) withDefaults(reg *Registry) Config {
@@ -90,6 +123,9 @@ func (c Config) withDefaults(reg *Registry) Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
+	if c.AdmissionLimit <= 0 {
+		c.AdmissionLimit = 1024
+	}
 	return c
 }
 
@@ -103,6 +139,18 @@ type request struct {
 	ct   *ckks.Ciphertext
 	resp chan result // buffered (1); exactly one send per request
 	enq  time.Time
+	done atomic.Bool // guards resp: panic recovery and the normal path may race
+}
+
+// deliver sends the request's response exactly once, whoever gets there
+// first (normal completion, context-expiry cleanup, or the panic-recovery
+// sweep). Reports whether this call won.
+func (r *request) deliver(res result) bool {
+	if !r.done.CompareAndSwap(false, true) {
+		return false
+	}
+	r.resp <- res
+	return true
 }
 
 type batch struct {
@@ -118,6 +166,11 @@ type Core struct {
 	cfg Config
 	reg *Registry
 	met *Metrics
+
+	// breaker guards the cluster backend; admission bounds the requests
+	// concurrently inside the core (see Config.AdmissionLimit).
+	breaker   *breaker
+	admission chan struct{}
 
 	mu       sync.Mutex // guards batchers
 	batchers map[string]*batcher
@@ -145,16 +198,19 @@ func NewCore(reg *Registry, cfg Config) *Core {
 		parallel.SetWorkers(cfg.LimbWorkers)
 	}
 	c := &Core{
-		cfg:      cfg,
-		reg:      reg,
-		met:      newMetrics(reg.ProgramNames()),
-		batchers: map[string]*batcher{},
-		dispatch: make(chan *batch, cfg.DispatchDepth),
-		quit:     make(chan struct{}),
-		machines: map[*Variant][]*emulator.Machine{},
+		cfg:       cfg,
+		reg:       reg,
+		met:       newMetrics(reg.ProgramNames()),
+		breaker:   newBreaker(cfg.CircuitThreshold, cfg.CircuitCooldown),
+		admission: make(chan struct{}, cfg.AdmissionLimit),
+		batchers:  map[string]*batcher{},
+		dispatch:  make(chan *batch, cfg.DispatchDepth),
+		quit:      make(chan struct{}),
+		machines:  map[*Variant][]*emulator.Machine{},
 	}
 	if cfg.Cluster != nil {
 		c.met.clusterSource = cfg.Cluster.Snapshot
+		c.met.circuitSource = func() (string, int64) { return c.breaker.State(), c.breaker.Opens() }
 	}
 	c.workersWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -169,10 +225,57 @@ func (c *Core) Registry() *Registry { return c.reg }
 // Metrics exposes the metrics surface.
 func (c *Core) Metrics() *Metrics { return c.met }
 
+// Health is the live state /healthz reports.
+type Health struct {
+	// OK is false when the core cannot currently serve: the cluster
+	// backend is fully down and no fallback may take its place.
+	OK       bool   `json:"ok"`
+	Programs int    `json:"programs"`
+	Draining bool   `json:"draining"`
+	Cluster  bool   `json:"cluster"` // cluster mode configured
+	Workers  int    `json:"workers,omitempty"`
+	Healthy  int    `json:"workers_healthy,omitempty"`
+	Circuit  string `json:"circuit_state,omitempty"`
+}
+
+// Health reports whether the core can serve right now. With a cluster
+// backend and fallback unavailable (RequireCluster, or the engine's own
+// DisableFallback), zero healthy workers means requests cannot succeed —
+// /healthz then turns 503 so load balancers stop routing here.
+func (c *Core) Health() Health {
+	h := Health{OK: true, Programs: len(c.reg.ProgramNames())}
+	c.stateMu.RLock()
+	h.Draining = c.draining
+	c.stateMu.RUnlock()
+	if cl := c.cfg.Cluster; cl != nil {
+		h.Cluster = true
+		h.Workers = cl.NChips()
+		h.Healthy = cl.HealthyWorkers()
+		h.Circuit = c.breaker.State()
+		if h.Healthy == 0 && (c.cfg.RequireCluster || cl.FallbackDisabled()) {
+			h.OK = false
+		}
+	}
+	if h.Draining {
+		h.OK = false
+	}
+	return h
+}
+
 // Submit runs one encrypted request through the batching pipeline and
 // blocks until its response, its context deadline, or load shedding.
 func (c *Core) Submit(ctx context.Context, program, tenant string, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
 	c.met.Received.Add(1)
+	// Bounded admission: a request that can't get a slot is shed now, with
+	// a typed error the HTTP layer turns into 429 + Retry-After, instead
+	// of parking a goroutine behind an already-saturated pipeline.
+	select {
+	case c.admission <- struct{}{}:
+		defer func() { <-c.admission }()
+	default:
+		c.met.Rejected.Add(1)
+		return nil, fmt.Errorf("%w: admission queue full", ErrOverloaded)
+	}
 	prog, ok := c.reg.Program(program)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownProgram, program)
@@ -275,13 +378,31 @@ func (c *Core) worker() {
 }
 
 // runBatch executes a dispatched batch, chunking it over the largest
-// compiled variants that fit (e.g. 7 requests → 4 + 2 + 1).
+// compiled variants that fit (e.g. 7 requests → 4 + 2 + 1). A panic
+// anywhere in execution is recovered per batch: the unanswered requests
+// fail typed with ErrInternal and the worker survives to take the next
+// batch — one poisoned request can never wedge the pool.
 func (c *Core) runBatch(bt *batch) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.met.Panics.Add(1)
+			err := fmt.Errorf("%w: recovered panic in %q: %v\n%s", ErrInternal, bt.prog.Spec.Name, p, debug.Stack())
+			for _, r := range bt.reqs {
+				if r.deliver(result{err: err}) {
+					c.met.Errors.Add(1)
+					bt.pm.Errors.Add(1)
+				}
+			}
+		}
+	}()
+	if c.cfg.testPreRun != nil {
+		c.cfg.testPreRun(bt)
+	}
 	// Drop requests whose callers have already given up.
 	live := bt.reqs[:0]
 	for _, r := range bt.reqs {
 		if r.ctx.Err() != nil {
-			r.resp <- result{err: r.ctx.Err()}
+			r.deliver(result{err: r.ctx.Err()})
 			continue
 		}
 		live = append(live, r)
@@ -289,7 +410,7 @@ func (c *Core) runBatch(bt *batch) {
 	keys, ok := c.reg.TenantKeys(bt.tenant)
 	if !ok {
 		for _, r := range live {
-			r.resp <- result{err: ErrUnknownTenant}
+			r.deliver(result{err: ErrUnknownTenant})
 		}
 		return
 	}
@@ -302,9 +423,18 @@ func (c *Core) runBatch(bt *batch) {
 }
 
 func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[string]*ckks.EvalKey, reqs []*request) {
+	if c.cfg.testBatchDelay > 0 {
+		time.Sleep(c.cfg.testBatchDelay)
+	}
 	if cl := c.cfg.Cluster; cl != nil {
-		if cl.Healthy() {
-			if outs, err := c.runChunkCluster(prog, keys, reqs); err == nil {
+		// Healthy() is the cheap gate, the breaker the stateful one: after
+		// CircuitThreshold consecutive chunk failures the cluster isn't
+		// even attempted until a cooldown-spaced probe succeeds, so a
+		// flapping cluster can't tax every chunk with RPC deadlines.
+		if cl.Healthy() && c.breaker.Allow() {
+			outs, err := c.runChunkCluster(prog, keys, reqs)
+			if err == nil {
+				c.breaker.Success()
 				c.met.Batches.Add(1)
 				c.met.BatchedRequests.Add(int64(len(reqs)))
 				for i, r := range reqs {
@@ -313,10 +443,24 @@ func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[
 					c.met.Latency.Observe(lat)
 					pm.Completed.Add(1)
 					pm.Latency.Observe(lat)
-					r.resp <- result{ct: outs[i]}
+					r.deliver(result{ct: outs[i]})
 				}
 				return
 			}
+			c.breaker.Failure()
+		}
+		if c.cfg.RequireCluster {
+			// Fallback disabled at the serving layer: fail the chunk typed
+			// (503 + Retry-After at the HTTP layer) instead of burning
+			// emulator CPU on every request of an outage.
+			err := fmt.Errorf("serve: cluster unavailable (circuit %s): %w", c.breaker.State(), cluster.ErrDegraded)
+			for _, r := range reqs {
+				if r.deliver(result{err: err}) {
+					c.met.Errors.Add(1)
+					pm.Errors.Add(1)
+				}
+			}
+			return
 		}
 		// Degraded cluster or a distributed run error: re-execute the whole
 		// chunk on the local emulator path below. Results stay bit-identical
@@ -351,7 +495,7 @@ func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[
 			pm.Completed.Add(1)
 			pm.Latency.Observe(lat)
 		}
-		r.resp <- res
+		r.deliver(res)
 	}
 }
 
@@ -361,7 +505,16 @@ func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[
 // collectives (input broadcast / aggregate-and-scatter) across the worker
 // processes. The per-chip kernels are the same ones the local engine
 // runs, so outputs are bit-identical to the emulator path.
-func (c *Core) runChunkCluster(prog *Program, keys map[string]*ckks.EvalKey, reqs []*request) ([]*ckks.Ciphertext, error) {
+func (c *Core) runChunkCluster(prog *Program, keys map[string]*ckks.EvalKey, reqs []*request) (outs []*ckks.Ciphertext, err error) {
+	// A panic inside the distributed path must resolve as a chunk failure
+	// (so a half-open breaker probe is never left dangling), not escape to
+	// runBatch's recovery.
+	defer func() {
+		if p := recover(); p != nil {
+			c.met.Panics.Add(1)
+			outs, err = nil, fmt.Errorf("%w: recovered panic in cluster run of %q: %v", ErrInternal, prog.Spec.Name, p)
+		}
+	}()
 	rtks := &ckks.RotationKeySet{Keys: map[int]*ckks.EvalKey{}}
 	for id, k := range keys {
 		switch {
@@ -376,10 +529,13 @@ func (c *Core) runChunkCluster(prog *Program, keys map[string]*ckks.EvalKey, req
 		}
 	}
 	ev := ckks.NewEvaluator(c.reg.Params, keys["rlk"], rtks)
-	ev.SetKeySwitcher(c.cfg.Cluster)
 	enc := ckks.NewEncoder(c.reg.Params)
-	outs := make([]*ckks.Ciphertext, len(reqs))
+	outs = make([]*ckks.Ciphertext, len(reqs))
 	for i, r := range reqs {
+		// Bind each request's context to its collectives: the HTTP
+		// deadline clamps every per-worker RPC deadline and cancels
+		// retries, all the way down the stack.
+		ev.SetKeySwitcher(c.cfg.Cluster.Bound(r.ctx))
 		y, err := prog.Spec.Reference(ev, enc, r.ct)
 		if err != nil {
 			return nil, fmt.Errorf("serve: cluster run of %q: %w", prog.Spec.Name, err)

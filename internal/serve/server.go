@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"cinnamon/internal/ckks"
+	"cinnamon/internal/cluster"
 )
 
 // HTTP wire protocol (all binary bodies use the ckks little-endian
@@ -67,7 +68,24 @@ func NewHandler(core *Core, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("GET /v1/programs", s.handlePrograms)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/keys", s.handleKeys)
 	mux.HandleFunc("POST /v1/programs/{op}", s.handleRun)
-	return mux
+	return recoverMiddleware(s.core.Metrics(), mux)
+}
+
+// recoverMiddleware is the last-resort panic boundary of the HTTP
+// surface: a handler panic becomes a 500 (when nothing was written yet)
+// and a Panics tick, never a dead connection from an unwound server
+// goroutine. net/http would also recover, but silently and without
+// counting.
+func recoverMiddleware(met *Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				met.Panics.Add(1)
+				http.Error(w, fmt.Sprintf("internal error: recovered panic: %v", p), http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 type server struct {
@@ -76,8 +94,15 @@ type server struct {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok: serving %d programs\n", len(s.core.Registry().ProgramNames()))
+	h := s.core.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if !h.OK {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -158,7 +183,14 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	out, err := s.core.Submit(r.Context(), name, tenant, ct)
 	if err != nil {
-		http.Error(w, err.Error(), statusFor(err))
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			// Shed and degraded responses are retryable: tell well-behaved
+			// clients when (a shed clears as soon as the queue drains, a
+			// degraded cluster within a heartbeat interval).
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, err.Error(), code)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -175,7 +207,7 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, cluster.ErrDegraded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout

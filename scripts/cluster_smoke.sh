@@ -10,6 +10,9 @@
 #   3. Kill one worker mid-service and drive load again: the runtime must
 #      degrade gracefully (fall back to the local path) and keep returning
 #      correct results.
+#   4. cinnamon-chaos -profile corrupt: frame corruption round — every
+#      injected bit flip must be caught by the wire CRC and no response may
+#      decrypt wrong (the binary self-asserts and exits nonzero otherwise).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,7 +32,7 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== building binaries =="
-go build -o "$BIN" ./cmd/cinnamon-worker ./cmd/cinnamon-cluster ./cmd/cinnamon-serve ./cmd/cinnamon-loadgen
+go build -o "$BIN" ./cmd/cinnamon-worker ./cmd/cinnamon-cluster ./cmd/cinnamon-serve ./cmd/cinnamon-loadgen ./cmd/cinnamon-chaos
 
 echo "== starting ${#WPORTS[@]} workers =="
 for port in "${WPORTS[@]}"; do
@@ -63,12 +66,12 @@ for i in $(seq 1 100); do
 done
 
 "$BIN/cinnamon-loadgen" -url "http://127.0.0.1:$SERVE_PORT" -program all \
-  -requests 24 -rate 20 -max-slot-err 1e-3
+  -requests 24 -rate 20 -max-slot-err 1e-3 -max-error-rate 0
 
 echo "== 3. kill one worker, service must degrade gracefully =="
 kill "${PIDS[0]}"
 "$BIN/cinnamon-loadgen" -url "http://127.0.0.1:$SERVE_PORT" -program quartic \
-  -tenant loadgen2 -requests 8 -rate 20 -max-slot-err 1e-3
+  -tenant loadgen2 -requests 8 -rate 20 -max-slot-err 1e-3 -max-error-rate 0
 
 FALLBACKS=$(curl -sf "http://127.0.0.1:$SERVE_PORT/metrics" | grep -oE '"emulator_fallbacks": *[0-9]+' | grep -oE '[0-9]+$')
 echo "emulator fallbacks after worker loss: ${FALLBACKS:-0}"
@@ -76,5 +79,8 @@ if [ "${FALLBACKS:-0}" -lt 1 ]; then
   echo "FAIL: expected at least one emulator fallback after killing a worker" >&2
   exit 1
 fi
+
+echo "== 4. frame-corruption round (bit flips vs CRC) =="
+"$BIN/cinnamon-chaos" -seed 1 -duration 5s -profile corrupt -min-faults 10 -json
 
 echo "== cluster smoke PASS =="
