@@ -7,6 +7,12 @@
 // Usage:
 //
 //	corebench -out BENCH_core.json -logn 12 -workers 1,4
+//	corebench -compare BENCH_core.json -tolerance 0.10
+//
+// With -compare, the freshly measured numbers are checked against the
+// committed baseline report: any hot op slower by more than -tolerance
+// (relative, per matching worker count) fails the run with a nonzero exit,
+// which is how CI catches performance regressions on the core kernels.
 //
 // The worker sweep is the software analogue of the paper's limb-level
 // parallelism study: the same program, executed over 1 vs W virtual
@@ -69,15 +75,17 @@ func main() {
 	workersFlag := flag.String("workers", "1,4", "comma-separated worker counts to sweep")
 	iters := flag.Int("iters", 20, "iterations per heavy op")
 	out := flag.String("out", "BENCH_core.json", "output JSON path")
+	compare := flag.String("compare", "", "baseline report to regression-check against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.10, "relative slowdown allowed per op before -compare fails")
 	flag.Parse()
 
-	if err := run(*logN, *limbs, *ext, *workersFlag, *iters, *out); err != nil {
+	if err := run(*logN, *limbs, *ext, *workersFlag, *iters, *out, *compare, *tolerance); err != nil {
 		fmt.Fprintln(os.Stderr, "corebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(logN, limbs, ext int, workersFlag string, iters int, out string) error {
+func run(logN, limbs, ext int, workersFlag string, iters int, out, compare string, tolerance float64) error {
 	start := time.Now()
 	var workerCounts []int
 	for _, s := range strings.Split(workersFlag, ",") {
@@ -283,6 +291,11 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out string) error 
 	})
 
 	rep.WallSeconds = time.Since(start).Seconds()
+	if compare != "" {
+		// Regression-check mode: nothing is written, the measured numbers are
+		// judged against the committed baseline.
+		return compareReports(rep, compare, tolerance)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -293,6 +306,56 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out string) error 
 	}
 	fmt.Printf("wrote %s (host cores %d, %d worker configs, %.1fs)\n",
 		out, rep.HostCores, len(rep.Runs), rep.WallSeconds)
+	return nil
+}
+
+// compareReports checks every hot op of the fresh report against the
+// baseline file: a measured ns/op more than tolerance above the baseline
+// (per matching worker count) is a regression and fails the run. Ops the
+// baseline lacks are reported as new and skipped.
+func compareReports(fresh report, baselinePath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseRuns := map[int]workerRun{}
+	for _, r := range base.Runs {
+		baseRuns[r.Workers] = r
+	}
+	var regressions []string
+	for _, r := range fresh.Runs {
+		br, ok := baseRuns[r.Workers]
+		if !ok {
+			fmt.Printf("workers=%d: no baseline run, skipping\n", r.Workers)
+			continue
+		}
+		for name, t := range r.Ops {
+			bt, ok := br.Ops[name]
+			if !ok || bt.NsPerOp <= 0 {
+				fmt.Printf("workers=%d %s: new op, no baseline\n", r.Workers, name)
+				continue
+			}
+			ratio := float64(t.NsPerOp) / float64(bt.NsPerOp)
+			status := "ok"
+			if ratio > 1+tolerance {
+				status = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s @%dw: %d ns/op vs baseline %d (%.2fx > %.2fx allowed)",
+						name, r.Workers, t.NsPerOp, bt.NsPerOp, ratio, 1+tolerance))
+			}
+			fmt.Printf("workers=%d %-14s %12d ns/op  baseline %12d  ratio %.3f  %s\n",
+				r.Workers, name, t.NsPerOp, bt.NsPerOp, ratio, status)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d op(s) regressed beyond %.0f%% tolerance:\n  %s",
+			len(regressions), tolerance*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("all ops within %.0f%% of %s\n", tolerance*100, baselinePath)
 	return nil
 }
 

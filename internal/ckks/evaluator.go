@@ -298,13 +298,14 @@ func (ev *Evaluator) KeySwitch(c *ring.Poly, evk *EvalKey) (f0, f1 *ring.Poly, e
 	if err := r.INTT(cc); err != nil {
 		return nil, nil, err
 	}
-	g0 := r.GetPoly(union)
-	g1 := r.GetPoly(union)
-	defer r.PutPoly(g0)
-	defer r.PutPoly(g1)
-	g0.IsNTT, g1.IsNTT = true, true
-	tmp := r.GetPoly(union)
-	defer r.PutPoly(tmp)
+	// Fused lazy inner product: each digit's products accumulate unreduced
+	// into 128-bit per-coefficient accumulators; one Barrett reduction per
+	// coefficient at the end replaces the per-digit reduce-and-add passes.
+	// The digit's mod-up is transformed once and feeds both accumulators.
+	acc0 := r.GetLazyAcc(union)
+	acc1 := r.GetLazyAcc(union)
+	defer acc0.Release()
+	defer acc1.Release()
 	for d := 0; d < evk.Digits(); d++ {
 		lo, hi, ok := params.DigitRange(d, l)
 		if !ok {
@@ -328,24 +329,22 @@ func (ev *Evaluator) KeySwitch(c *ring.Poly, evk *EvalKey) (f0, f1 *ring.Poly, e
 			r.PutPoly(ext)
 			return nil, nil, err
 		}
-		if err := r.MulCoeffs(ext, bD, tmp); err != nil {
+		if err := acc0.MulAcc(ext, bD); err != nil {
 			r.PutPoly(ext)
 			return nil, nil, err
 		}
-		if err := r.Add(g0, tmp, g0); err != nil {
-			r.PutPoly(ext)
-			return nil, nil, err
-		}
-		if err := r.MulCoeffs(ext, aD, tmp); err != nil {
-			r.PutPoly(ext)
-			return nil, nil, err
-		}
-		err = r.Add(g1, tmp, g1)
+		err = acc1.MulAcc(ext, aD)
 		r.PutPoly(ext)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
+	g0 := r.GetPoly(union)
+	g1 := r.GetPoly(union)
+	defer r.PutPoly(g0)
+	defer r.PutPoly(g1)
+	acc0.ReduceInto(g0)
+	acc1.ReduceInto(g1)
 	if err := r.INTT(g0); err != nil {
 		return nil, nil, err
 	}

@@ -273,7 +273,7 @@ func (m *Machine) exec(c int, in limbir.Instr) error {
 		if err != nil {
 			return err
 		}
-		tb := m.Ring.Tables.Table(in.Mod)
+		tb := m.Ring.TableOf(in.Mod)
 		if tb == nil {
 			return fmt.Errorf("no NTT table for modulus %d", in.Mod)
 		}

@@ -70,15 +70,19 @@ func (e *Engine) RotateAndSum(ct *ckks.Ciphertext, ks []int, keys map[int]*ckks.
 		return nil, stats, err
 	}
 	// Accumulators: rotated c0 parts (limb-local) and per-chip evaluation
-	// key products over the union basis (before mod-down).
+	// key products over the union basis (before mod-down). The key products
+	// use fused 128-bit accumulation across the whole batch — one Barrett
+	// reduction per coefficient at the end instead of a reduce-and-add per
+	// rotation (LazyAcc folds early if the batch outgrows its lazy budget).
 	c0Sum := r.NewPoly(ct.C0.Basis)
 	c0Sum.IsNTT = true
-	chipF0 := make([]*ring.Poly, n)
-	chipF1 := make([]*ring.Poly, n)
+	chipAcc0 := make([]*ring.LazyAcc, n)
+	chipAcc1 := make([]*ring.LazyAcc, n)
 	for c := 0; c < n; c++ {
-		chipF0[c] = r.NewPoly(union)
-		chipF1[c] = r.NewPoly(union)
-		chipF0[c].IsNTT, chipF1[c].IsNTT = true, true
+		chipAcc0[c] = r.GetLazyAcc(union)
+		chipAcc1[c] = r.GetLazyAcc(union)
+		defer chipAcc0[c].Release()
+		defer chipAcc1[c].Release()
 	}
 	s0 := r.NewPoly(ct.C0.Basis)
 	s1 := r.NewPoly(ct.C0.Basis)
@@ -118,18 +122,35 @@ func (e *Engine) RotateAndSum(ct *ckks.Ciphertext, ks []int, keys map[int]*ckks.
 				return nil, stats, err
 			}
 			if err := r.NTT(ext); err != nil {
+				r.PutPoly(ext)
 				return nil, stats, err
 			}
-			if err := e.innerProduct(ext, key, chip, union, chipF0[chip], chipF1[chip]); err != nil {
+			bD, err := r.Restrict(key.B[chip], union)
+			if err == nil {
+				err = chipAcc0[chip].MulAcc(ext, bD)
+			}
+			var aD *ring.Poly
+			if err == nil {
+				aD, err = r.Restrict(key.A[chip], union)
+			}
+			if err == nil {
+				err = chipAcc1[chip].MulAcc(ext, aD)
+			}
+			r.PutPoly(ext)
+			if err != nil {
 				return nil, stats, err
 			}
 		}
 	}
-	// Per-chip mod-down of the batch accumulator, then one aggregation.
+	// Per-chip reduction and mod-down of the batch accumulator, then one
+	// aggregation.
 	f0Sum := r.NewPoly(ct.C0.Basis)
 	f1Sum := r.NewPoly(ct.C0.Basis)
+	f := r.GetPoly(union)
+	defer r.PutPoly(f)
 	for chip := 0; chip < n; chip++ {
-		for fi, f := range []*ring.Poly{chipF0[chip], chipF1[chip]} {
+		for fi, acc := range []*ring.LazyAcc{chipAcc0[chip], chipAcc1[chip]} {
+			acc.ReduceInto(f)
 			if err := r.INTT(f); err != nil {
 				return nil, stats, err
 			}

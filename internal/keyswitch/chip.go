@@ -18,6 +18,16 @@ package keyswitch
 // (internal/cluster) execute exactly these kernels, which is what makes a
 // distributed keyswitch bit-identical to the single-process one.
 //
+// The inner product is fused: each absorbed digit contributes unreduced
+// 128-bit multiply-accumulates (ring.LazyAcc) and a single Barrett
+// reduction per coefficient at Finish replaces the per-digit reduce-and-add
+// passes. Digit NTTs are hoisted two ways: one transform of the mod-upped
+// digit feeds both output components, and the extension-limb part of the
+// mod-up — identical on every chip, since all chip bases share the
+// duplicated P moduli — can be computed and transformed once per digit and
+// shared across chips (AbsorbDigitShared; the in-process engine does this,
+// a one-chip-per-process cluster worker computes it locally).
+//
 // Each kernel also meters communication in the paper's units: a limb is
 // "moved" when a chip absorbs a limb it does not own under the modular
 // partition. The in-process engine and the network transport therefore
@@ -32,18 +42,19 @@ import (
 )
 
 // ChipIB accumulates one chip's share of an input-broadcast keyswitch.
-// Feed every digit (in any order, each exactly once) with AbsorbDigit,
-// then call Finish. Release must be called when done with the results.
+// Feed every digit (in any order, each exactly once) with AbsorbDigit or
+// AbsorbDigitShared, then call Finish. Release must be called when done
+// with the results.
 type ChipIB struct {
 	e    *Engine
 	evk  *ckks.EvalKey
 	chip int
 	l    int
 
-	mine      []int // chain indices this chip owns at level l
-	chipBasis rns.Basis
-	f0, f1    *ring.Poly // running inner product, NTT domain
-	tmp       *ring.Poly
+	mine       []int // chain indices this chip owns at level l
+	ownBasis   rns.Basis
+	chipBasis  rns.Basis
+	acc0, acc1 *ring.LazyAcc // fused inner product over the chip basis
 
 	moved    int // limbs absorbed that the chip does not own
 	absorbed int // digits folded in so far
@@ -71,10 +82,12 @@ func (e *Engine) NewChipIB(evk *ckks.EvalKey, chip, l int) (*ChipIB, error) {
 	}
 	params, r := e.Params, e.Params.Ring
 	// Per-chip basis: owned chain limbs plus the (duplicated) extension.
-	chipMods := make([]uint64, 0, len(mine)+params.PBasis.Len())
+	ownMods := make([]uint64, 0, len(mine))
 	for _, j := range mine {
-		chipMods = append(chipMods, params.QBasis.Moduli[j])
+		ownMods = append(ownMods, params.QBasis.Moduli[j])
 	}
+	chipMods := make([]uint64, 0, len(mine)+params.PBasis.Len())
+	chipMods = append(chipMods, ownMods...)
 	chipMods = append(chipMods, params.PBasis.Moduli...)
 	c := &ChipIB{
 		e:         e,
@@ -82,12 +95,11 @@ func (e *Engine) NewChipIB(evk *ckks.EvalKey, chip, l int) (*ChipIB, error) {
 		chip:      chip,
 		l:         l,
 		mine:      mine,
+		ownBasis:  rns.Basis{Moduli: ownMods},
 		chipBasis: rns.Basis{Moduli: chipMods},
-		f0:        r.GetPoly(rns.Basis{Moduli: chipMods}),
-		f1:        r.GetPoly(rns.Basis{Moduli: chipMods}),
-		tmp:       r.GetPoly(rns.Basis{Moduli: chipMods}),
+		acc0:      r.GetLazyAcc(rns.Basis{Moduli: chipMods}),
+		acc1:      r.GetLazyAcc(rns.Basis{Moduli: chipMods}),
 	}
-	c.f0.IsNTT, c.f1.IsNTT = true, true
 	return c, nil
 }
 
@@ -113,10 +125,20 @@ func (c *ChipIB) DigitRange(d int) (lo, hi int, ok bool) {
 	return c.e.Params.DigitRange(d, c.l)
 }
 
-// AbsorbDigit folds digit d into the chip's inner product. digitLimbs are
-// the coefficient-domain limbs of the input polynomial at chain indices
-// [lo,hi) for this digit, in chain order.
+// AbsorbDigit folds digit d into the chip's inner product, computing the
+// extension-limb mod-up locally. digitLimbs are the coefficient-domain
+// limbs of the input polynomial at chain indices [lo,hi) for this digit,
+// in chain order.
 func (c *ChipIB) AbsorbDigit(d int, digitLimbs [][]uint64) error {
+	return c.AbsorbDigitShared(d, digitLimbs, nil)
+}
+
+// AbsorbDigitShared is AbsorbDigit with the digit's extension-limb mod-up
+// precomputed: extNTT, if non-nil, must be Engine.DigitExtNTT of the same
+// digit limbs — the NTT-domain P-basis extension, which is identical for
+// every chip and can therefore be computed once per digit and shared. The
+// chip only reads extNTT, so concurrent chips may share one copy.
+func (c *ChipIB) AbsorbDigitShared(d int, digitLimbs [][]uint64, extNTT *ring.Poly) error {
 	if c.finished {
 		return fmt.Errorf("keyswitch: AbsorbDigit after Finish")
 	}
@@ -135,14 +157,33 @@ func (c *ChipIB) AbsorbDigit(d int, digitLimbs [][]uint64) error {
 			c.moved++
 		}
 	}
-	ext, err := c.e.chipDigitModUp(digitLimbs, lo, hi, c.chipBasis)
+	if extNTT == nil {
+		local, err := c.e.DigitExtNTT(digitLimbs, lo, hi)
+		if err != nil {
+			return err
+		}
+		extNTT = local
+	}
+	if !extNTT.IsNTT || extNTT.Basis.Len() != c.e.Params.PBasis.Len() {
+		return fmt.Errorf("keyswitch: digit extension must be NTT-domain over the P basis")
+	}
+	// Mod-up restricted to the owned chain limbs (the extension part is
+	// supplied), transformed once, feeding both accumulators.
+	own, err := c.e.chipDigitModUpOwn(digitLimbs, lo, hi, c.mine, c.ownBasis)
 	if err != nil {
 		return err
 	}
-	defer r.PutPoly(ext)
-	if err := r.NTT(ext); err != nil {
+	defer r.PutPoly(own)
+	if err := r.NTT(own); err != nil {
 		return err
 	}
+	// Assemble the chip-basis view: owned limbs followed by the shared
+	// extension limbs. The view only borrows the limb slices, so it is
+	// never pooled — `own` is released here, extNTT by its producer.
+	ext := &ring.Poly{Basis: c.chipBasis, IsNTT: true}
+	ext.Limbs = make([][]uint64, 0, c.chipBasis.Len())
+	ext.Limbs = append(ext.Limbs, own.Limbs...)
+	ext.Limbs = append(ext.Limbs, extNTT.Limbs...)
 	bD, err := r.Restrict(c.evk.B[d], c.chipBasis)
 	if err != nil {
 		return err
@@ -151,26 +192,20 @@ func (c *ChipIB) AbsorbDigit(d int, digitLimbs [][]uint64) error {
 	if err != nil {
 		return err
 	}
-	if err := r.MulCoeffs(ext, bD, c.tmp); err != nil {
+	if err := c.acc0.MulAcc(ext, bD); err != nil {
 		return err
 	}
-	if err := r.Add(c.f0, c.tmp, c.f0); err != nil {
-		return err
-	}
-	if err := r.MulCoeffs(ext, aD, c.tmp); err != nil {
-		return err
-	}
-	if err := r.Add(c.f1, c.tmp, c.f1); err != nil {
+	if err := c.acc1.MulAcc(ext, aD); err != nil {
 		return err
 	}
 	c.absorbed++
 	return nil
 }
 
-// Finish mod-downs the accumulated products and returns the chip's owned
-// output limbs: down0/down1 are NTT-domain polynomials whose limb k holds
-// the output at chain index Mine()[k]. The polynomials are pooled and stay
-// valid until Release.
+// Finish reduces the fused accumulators, mod-downs the products and
+// returns the chip's owned output limbs: down0/down1 are NTT-domain
+// polynomials whose limb k holds the output at chain index Mine()[k]. The
+// polynomials are pooled and stay valid until Release.
 func (c *ChipIB) Finish() (down0, down1 *ring.Poly, err error) {
 	if c.finished {
 		return nil, nil, fmt.Errorf("keyswitch: Finish called twice")
@@ -182,11 +217,15 @@ func (c *ChipIB) Finish() (down0, down1 *ring.Poly, err error) {
 	params, r := c.e.Params, c.e.Params.Ring
 	// Local mod-down: the duplicated extension limbs are the trailing
 	// limbs of the chip basis, so no communication is needed.
-	for fi, f := range []*ring.Poly{c.f0, c.f1} {
+	for fi, acc := range []*ring.LazyAcc{c.acc0, c.acc1} {
+		f := r.GetPoly(c.chipBasis)
+		acc.ReduceInto(f)
 		if err := r.INTT(f); err != nil {
+			r.PutPoly(f)
 			return nil, nil, err
 		}
 		down, err := r.ModDown(f, params.PBasis)
+		r.PutPoly(f)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -211,42 +250,47 @@ func (c *ChipIB) Moved() int { return c.moved }
 // after errors; the Finish results are invalid afterwards.
 func (c *ChipIB) Release() {
 	r := c.e.Params.Ring
-	r.PutPoly(c.f0)
-	r.PutPoly(c.f1)
-	r.PutPoly(c.tmp)
+	c.acc0.Release()
+	c.acc1.Release()
 	r.PutPoly(c.down0)
 	r.PutPoly(c.down1)
-	c.f0, c.f1, c.tmp, c.down0, c.down1 = nil, nil, nil, nil, nil
+	c.acc0, c.acc1, c.down0, c.down1 = nil, nil, nil, nil
 }
 
-// chipDigitModUp mod-ups the digit limbs [lo,hi) (coefficient domain)
-// onto a chip basis (owned chain limbs + extension), computing exactly the
-// limbs the chip needs. Limbs inside the digit that the chip owns are
-// copied exactly.
-func (e *Engine) chipDigitModUp(digitLimbs [][]uint64, lo, hi int, chipBasis rns.Basis) (*ring.Poly, error) {
+// DigitExtNTT mod-ups digit limbs [lo,hi) (coefficient domain) to the
+// extension basis P and transforms the result to the NTT domain. This part
+// of the per-digit mod-up is chip-independent — every chip basis carries
+// the same duplicated P moduli — so the in-process engine computes it once
+// per digit and shares it across all chips via AbsorbDigitShared.
+func (e *Engine) DigitExtNTT(digitLimbs [][]uint64, lo, hi int) (*ring.Poly, error) {
 	params, r := e.Params, e.Params.Ring
 	digitBasis := rns.Basis{Moduli: params.QBasis.Moduli[lo:hi]}
-	// Conversion targets: chip basis moduli that are NOT inside the digit.
-	var convMods []uint64
-	type slot struct {
-		chipIdx int
-		conv    bool
-		srcIdx  int // digit-relative index when inside the digit, conv index otherwise
+	bc, err := ring.ConverterFor(digitBasis, params.PBasis)
+	if err != nil {
+		return nil, err
 	}
-	slots := make([]slot, chipBasis.Len())
-	for i, q := range chipBasis.Moduli {
-		inDigit := -1
-		for j := lo; j < hi; j++ {
-			if params.QBasis.Moduli[j] == q {
-				inDigit = j - lo
-				break
-			}
-		}
-		if inDigit >= 0 {
-			slots[i] = slot{chipIdx: i, conv: false, srcIdx: inDigit}
-		} else {
-			slots[i] = slot{chipIdx: i, conv: true, srcIdx: len(convMods)}
-			convMods = append(convMods, q)
+	conv, err := bc.Convert(digitLimbs)
+	if err != nil {
+		return nil, err
+	}
+	ext := &ring.Poly{Basis: params.PBasis, Limbs: conv}
+	if err := r.NTT(ext); err != nil {
+		return nil, err
+	}
+	return ext, nil
+}
+
+// chipDigitModUpOwn mod-ups the digit limbs [lo,hi) (coefficient domain)
+// onto the chip's owned chain moduli only: limbs inside the digit that the
+// chip owns are copied exactly, the rest are base-converted. The extension
+// part of the chip basis is handled separately (DigitExtNTT).
+func (e *Engine) chipDigitModUpOwn(digitLimbs [][]uint64, lo, hi int, mine []int, ownBasis rns.Basis) (*ring.Poly, error) {
+	params, r := e.Params, e.Params.Ring
+	digitBasis := rns.Basis{Moduli: params.QBasis.Moduli[lo:hi]}
+	var convMods []uint64
+	for _, j := range mine {
+		if j < lo || j >= hi {
+			convMods = append(convMods, params.QBasis.Moduli[j])
 		}
 	}
 	var conv [][]uint64
@@ -259,12 +303,14 @@ func (e *Engine) chipDigitModUp(digitLimbs [][]uint64, lo, hi int, chipBasis rns
 			return nil, err
 		}
 	}
-	out := r.GetPoly(chipBasis)
-	for _, s := range slots {
-		if s.conv {
-			copy(out.Limbs[s.chipIdx], conv[s.srcIdx])
+	out := r.GetPoly(ownBasis)
+	ci := 0
+	for k, j := range mine {
+		if j >= lo && j < hi {
+			copy(out.Limbs[k], digitLimbs[j-lo])
 		} else {
-			copy(out.Limbs[s.chipIdx], digitLimbs[s.srcIdx])
+			copy(out.Limbs[k], conv[ci])
+			ci++
 		}
 	}
 	return out, nil
@@ -302,15 +348,29 @@ func (e *Engine) ChipOA(evk *ckks.EvalKey, chip, l int, mineLimbs [][]uint64) (d
 		return nil, nil, err
 	}
 	defer r.PutPoly(ext)
+	// One transform of the mod-upped digit feeds both output components.
 	if err := r.NTT(ext); err != nil {
+		return nil, nil, err
+	}
+	bD, err := r.Restrict(evk.B[chip], union)
+	if err != nil {
+		return nil, nil, err
+	}
+	aD, err := r.Restrict(evk.A[chip], union)
+	if err != nil {
 		return nil, nil, err
 	}
 	f0 := r.GetPoly(union)
 	f1 := r.GetPoly(union)
 	defer r.PutPoly(f0)
 	defer r.PutPoly(f1)
-	f0.IsNTT, f1.IsNTT = true, true
-	if err := e.innerProduct(ext, evk, chip, union, f0, f1); err != nil {
+	// A chip has exactly one digit under output aggregation, so its inner
+	// product is a single pointwise multiply straight into the output — no
+	// temporary, no add pass.
+	if err := r.MulCoeffs(ext, bD, f0); err != nil {
+		return nil, nil, err
+	}
+	if err := r.MulCoeffs(ext, aD, f1); err != nil {
 		return nil, nil, err
 	}
 	// Local mod-down of the full product.

@@ -158,63 +158,3 @@ func (e *Engine) sequential(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *ring.
 func (e *Engine) unionBasis(c *ring.Poly) (rns.Basis, error) {
 	return c.Basis.Union(e.Params.PBasis)
 }
-
-// digitModUpFull mod-ups digit limbs [lo,hi) of cc (coefficient domain) to
-// the full union basis, exactly as the sequential reference does.
-func (e *Engine) digitModUpFull(cc *ring.Poly, lo, hi int, union rns.Basis) (*ring.Poly, error) {
-	r := e.Params.Ring
-	qlLen := cc.Basis.Len()
-	digitBasis := rns.Basis{Moduli: cc.Basis.Moduli[lo:hi]}
-	compMods := make([]uint64, 0, union.Len()-(hi-lo))
-	compMods = append(compMods, cc.Basis.Moduli[:lo]...)
-	compMods = append(compMods, cc.Basis.Moduli[hi:]...)
-	compMods = append(compMods, union.Moduli[qlLen:]...)
-	bc, err := ring.ConverterFor(digitBasis, rns.Basis{Moduli: compMods})
-	if err != nil {
-		return nil, err
-	}
-	conv, err := bc.Convert(cc.Limbs[lo:hi])
-	if err != nil {
-		return nil, err
-	}
-	out := r.GetPoly(union)
-	ci := 0
-	for j := 0; j < qlLen; j++ {
-		if j >= lo && j < hi {
-			copy(out.Limbs[j], cc.Limbs[j])
-		} else {
-			copy(out.Limbs[j], conv[ci])
-			ci++
-		}
-	}
-	for j := qlLen; j < union.Len(); j++ {
-		copy(out.Limbs[j], conv[ci])
-		ci++
-	}
-	return out, nil
-}
-
-// innerProduct accumulates ext ⊙ (B_d, A_d) into (f0, f1) in NTT domain.
-func (e *Engine) innerProduct(ext *ring.Poly, evk *ckks.EvalKey, d int, union rns.Basis, f0, f1 *ring.Poly) error {
-	r := e.Params.Ring
-	bD, err := r.Restrict(evk.B[d], union)
-	if err != nil {
-		return err
-	}
-	aD, err := r.Restrict(evk.A[d], union)
-	if err != nil {
-		return err
-	}
-	tmp := r.GetPoly(union)
-	defer r.PutPoly(tmp)
-	if err := r.MulCoeffs(ext, bD, tmp); err != nil {
-		return err
-	}
-	if err := r.Add(f0, tmp, f0); err != nil {
-		return err
-	}
-	if err := r.MulCoeffs(ext, aD, tmp); err != nil {
-		return err
-	}
-	return r.Add(f1, tmp, f1)
-}

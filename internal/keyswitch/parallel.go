@@ -53,22 +53,53 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 
 	// Each chip writes a disjoint set of out0/out1 limbs, so chips run
 	// concurrently on the worker pool (the software analogue of the paper's
-	// per-chip execution).
-	moved := make([]int, n)
+	// per-chip execution). The digit loop is hoisted outside the chip loop:
+	// the extension-limb part of each digit's mod-up is identical on every
+	// chip (all chip bases duplicate the same P moduli), so it is computed
+	// and NTT'd once per digit here and shared read-only across chips — a
+	// cluster worker hosting a single chip computes it locally instead.
+	chips := make([]*ChipIB, n)
 	err := forEachChip(n, func(chip int) error {
 		ck, err := e.NewChipIB(evk, chip, l)
-		if err != nil {
-			return err
+		if err == nil {
+			chips[chip] = ck // nil when the chip owns no limbs at this level
 		}
-		if ck == nil {
-			return nil // chip owns no limbs at this level
-		}
-		defer ck.Release()
-		for d := 0; d < ck.Digits(); d++ {
-			lo, hi, _ := ck.DigitRange(d)
-			if err := ck.AbsorbDigit(d, cc.Limbs[lo:hi]); err != nil {
-				return err
+		return err
+	})
+	defer func() {
+		for _, ck := range chips {
+			if ck != nil {
+				ck.Release()
 			}
+		}
+	}()
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	for d := 0; ; d++ {
+		lo, hi, ok := e.Params.DigitRange(d, l)
+		if !ok {
+			break
+		}
+		extNTT, err := e.DigitExtNTT(cc.Limbs[lo:hi], lo, hi)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		err = forEachChip(n, func(chip int) error {
+			if chips[chip] == nil {
+				return nil
+			}
+			return chips[chip].AbsorbDigitShared(d, cc.Limbs[lo:hi], extNTT)
+		})
+		if err != nil {
+			return nil, nil, stats, err
+		}
+	}
+	moved := make([]int, n)
+	err = forEachChip(n, func(chip int) error {
+		ck := chips[chip]
+		if ck == nil {
+			return nil
 		}
 		down0, down1, err := ck.Finish()
 		if err != nil {

@@ -2,6 +2,15 @@
 // prime fields — the analog of the FFT in the polynomial rings CKKS uses
 // (paper §2 "NTT"). Transforming a limb to the evaluation domain makes
 // polynomial multiplication a pointwise product.
+//
+// The butterflies use Harvey-style lazy reduction: intermediate values live
+// in [0, 4q) (forward) or [0, 2q) (inverse), each butterfly pays a single
+// conditional subtraction of 2q plus a lazy Shoup multiply returning values
+// in [0, 2q), and one correction folded into the last stage returns the
+// output to the canonical range [0, q). The inverse transform additionally
+// folds the N⁻¹ scaling into its last-stage twiddles, so no separate
+// scaling pass runs. This halves the reduction work per butterfly compared
+// to fully-reduced AddMod/SubMod/MulModShoup arithmetic.
 package ntt
 
 import (
@@ -18,20 +27,27 @@ type Table struct {
 	N    int
 	Q    uint64
 	logN int
+	twoQ uint64
 
 	psiFwd      []uint64 // ψ^brv(i): powers of the 2N-th root in bit-reversed order
 	psiFwdShoup []uint64
 	psiInv      []uint64 // ψ^{-brv(i)}
 	psiInvShoup []uint64
-	nInv        uint64
+	nInv        uint64 // N^{-1}, folded into the inverse last stage
 	nInvShoup   uint64
+	wLast       uint64 // ψ^{-brv(1)}·N^{-1}: last-stage inverse twiddle with N⁻¹ folded in
+	wLastShoup  uint64
 }
 
 // NewTable builds NTT tables for dimension n (a power of two) and prime q
-// with q ≡ 1 (mod 2n).
+// with q ≡ 1 (mod 2n). The lazy butterflies keep values in [0, 4q), so q
+// must be below 2^62 (every prime GenerateNTTPrimes produces is).
 func NewTable(n int, q uint64) (*Table, error) {
 	if n < 2 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("ntt: dimension %d is not a power of two ≥ 2", n)
+	}
+	if q >= 1<<62 {
+		return nil, fmt.Errorf("ntt: prime %d exceeds the 2^62 lazy-reduction bound", q)
 	}
 	if q%uint64(2*n) != 1 {
 		return nil, fmt.Errorf("ntt: prime %d is not ≡ 1 mod %d", q, 2*n)
@@ -44,6 +60,7 @@ func NewTable(n int, q uint64) (*Table, error) {
 		N:           n,
 		Q:           q,
 		logN:        bits.Len(uint(n)) - 1,
+		twoQ:        2 * q,
 		psiFwd:      make([]uint64, n),
 		psiFwdShoup: make([]uint64, n),
 		psiInv:      make([]uint64, n),
@@ -64,6 +81,8 @@ func NewTable(n int, q uint64) (*Table, error) {
 	}
 	t.nInv = rns.InvMod(uint64(n)%q, q)
 	t.nInvShoup = rns.ShoupPrecomp(t.nInv, q)
+	t.wLast = rns.MulMod(t.psiInv[1], t.nInv, q)
+	t.wLastShoup = rns.ShoupPrecomp(t.wLast, q)
 	return t, nil
 }
 
@@ -74,55 +93,106 @@ func reverseBits(x uint64, n int) uint64 {
 // Forward transforms a from the coefficient domain to the evaluation domain
 // in place (Cooley-Tukey decimation-in-time with the 2N-th root folded in,
 // so no separate pre-multiplication by ψ^i is needed). len(a) must be N and
-// all entries < Q.
+// all entries < Q; the output is canonical (< Q).
+//
+// Lazy invariant: stage inputs are < 4q. Each butterfly reduces its upper
+// operand once by 2q (→ < 2q), multiplies the lower lazily (→ < 2q), and
+// emits sum/difference < 4q. The last stage folds the final correction back
+// to [0, q).
 func (t *Table) Forward(a []uint64) {
 	if len(a) != t.N {
 		panic(fmt.Sprintf("ntt: Forward on slice of length %d, table dimension %d", len(a), t.N))
 	}
-	q := t.Q
-	step := t.N
-	for m := 1; m < t.N; m <<= 1 {
-		step >>= 1
-		for i := 0; i < m; i++ {
-			j1 := 2 * i * step
-			w := t.psiFwd[m+i]
-			ws := t.psiFwdShoup[m+i]
-			for j := j1; j < j1+step; j++ {
-				u := a[j]
-				v := rns.MulModShoup(a[j+step], w, ws, q)
-				a[j] = rns.AddMod(u, v, q)
-				a[j+step] = rns.SubMod(u, v, q)
+	q, twoQ := t.Q, t.twoQ
+	n := t.N
+	if n > 2 {
+		// First stage (m=1): one twiddle, inputs are canonical (< q), so
+		// the conditional subtract-by-2q is provably a no-op and skipped.
+		half := n >> 1
+		w, ws := t.psiFwd[1], t.psiFwdShoup[1]
+		x, y := a[:half:half], a[half:n:n]
+		for i := range x {
+			u := x[i]
+			v := rns.MulModShoupLazy(y[i], w, ws, q)
+			x[i] = u + v
+			y[i] = u + twoQ - v
+		}
+		// Middle stages (m = 2 .. N/4): full lazy butterflies over
+		// re-sliced sub-slices, keeping the inner loops bounds-check free.
+		step := half
+		for m := 2; m <= n>>2; m <<= 1 {
+			step >>= 1
+			for i := 0; i < m; i++ {
+				j1 := 2 * i * step
+				w, ws := t.psiFwd[m+i], t.psiFwdShoup[m+i]
+				x := a[j1 : j1+step : j1+step]
+				y := a[j1+step : j1+2*step : j1+2*step]
+				for k := range x {
+					u := rns.Reduce2Q(x[k], twoQ)
+					v := rns.MulModShoupLazy(y[k], w, ws, q)
+					x[k] = u + v
+					y[k] = u + twoQ - v
+				}
 			}
 		}
+	}
+	// Last stage (m = N/2, step = 1) with the correction to [0, q) folded
+	// into the butterfly, so no separate pass reruns over the array.
+	m := n >> 1
+	for i := 0; i < m; i++ {
+		j := 2 * i
+		w, ws := t.psiFwd[m+i], t.psiFwdShoup[m+i]
+		u := rns.Reduce2Q(a[j], twoQ)
+		v := rns.MulModShoupLazy(a[j+1], w, ws, q)
+		a[j] = rns.ReduceOnce(rns.Reduce2Q(u+v, twoQ), q)
+		a[j+1] = rns.ReduceOnce(rns.Reduce2Q(u+twoQ-v, twoQ), q)
 	}
 }
 
 // Inverse transforms a from the evaluation domain back to the coefficient
-// domain in place (Gentleman-Sande decimation-in-frequency, with the final
-// scaling by N^{-1} folded in).
+// domain in place (Gentleman-Sande decimation-in-frequency). The scaling by
+// N⁻¹ is folded into the last stage's twiddles, and the same stage folds
+// the correction back to the canonical range, so the whole transform is
+// log N butterfly passes and nothing else. Inputs must be < Q; the output
+// is canonical (< Q).
+//
+// Lazy invariant: every stage maps operands < 2q to results < 2q (one
+// conditional subtract-by-2q on the sum, a lazy Shoup multiply of the
+// 2q-shifted difference).
 func (t *Table) Inverse(a []uint64) {
 	if len(a) != t.N {
 		panic(fmt.Sprintf("ntt: Inverse on slice of length %d, table dimension %d", len(a), t.N))
 	}
-	q := t.Q
+	q, twoQ := t.Q, t.twoQ
+	n := t.N
 	step := 1
-	for m := t.N; m > 1; m >>= 1 {
+	for m := n; m > 2; m >>= 1 {
 		h := m >> 1
 		j1 := 0
 		for i := 0; i < h; i++ {
-			w := t.psiInv[h+i]
-			ws := t.psiInvShoup[h+i]
-			for j := j1; j < j1+step; j++ {
-				u, v := a[j], a[j+step]
-				a[j] = rns.AddMod(u, v, q)
-				a[j+step] = rns.MulModShoup(rns.SubMod(u, v, q), w, ws, q)
+			w, ws := t.psiInv[h+i], t.psiInvShoup[h+i]
+			x := a[j1 : j1+step : j1+step]
+			y := a[j1+step : j1+2*step : j1+2*step]
+			for k := range x {
+				u, v := x[k], y[k]
+				x[k] = rns.AddModLazy(u, v, twoQ)
+				y[k] = rns.MulModShoupLazy(u+twoQ-v, w, ws, q)
 			}
 			j1 += 2 * step
 		}
 		step <<= 1
 	}
-	for i := range a {
-		a[i] = rns.MulModShoup(a[i], t.nInv, t.nInvShoup, q)
+	// Last stage (m=2, step=N/2): both outputs pick up N⁻¹ — the sum via a
+	// lazy multiply by N⁻¹, the difference via the precomputed ψ^{-brv(1)}·N⁻¹
+	// twiddle — and one conditional subtraction returns them to [0, q).
+	half := n >> 1
+	ni, nis := t.nInv, t.nInvShoup
+	w, ws := t.wLast, t.wLastShoup
+	x, y := a[:half:half], a[half:n:n]
+	for k := range x {
+		u, v := x[k], y[k]
+		x[k] = rns.ReduceOnce(rns.MulModShoupLazy(u+v, ni, nis, q), q)
+		y[k] = rns.ReduceOnce(rns.MulModShoupLazy(u+twoQ-v, w, ws, q), q)
 	}
 }
 

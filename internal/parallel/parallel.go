@@ -35,6 +35,36 @@ import (
 // layers gate on this before calling For.
 const MinCoeffs = 2048
 
+// Cost classes: relative per-coefficient cost of a limb loop, in
+// add-equivalents. Fan-out decisions weigh the element count by the op's
+// class so that a cheap gather (automorphism) and an NTT are not gated by
+// the same element threshold.
+const (
+	// CostLight covers add/sub/neg, copies and pure gathers (~1 ns/elem).
+	CostLight = 1
+	// CostMul covers one modular multiply per coefficient (pointwise
+	// multiply, mod-down combine, rescale, scalar multiply).
+	CostMul = 4
+	// CostNTT covers the log N butterfly chain of a transform.
+	CostNTT = 16
+)
+
+// MinWork is the weighted per-limb work (elements × cost class) below which
+// fanning a limb out to a helper goroutine costs more than it saves. With
+// the classes above it admits an NTT limb at N ≥ 4096 and a pointwise
+// multiply at N ≥ 8192, while keeping small ops (automorphism, add) serial —
+// the small-op dispatch regression BENCH_core.json measured at workers=4.
+const MinWork = 32768
+
+// WorthFanout reports whether a limb loop of `limbs` limbs, n coefficients
+// each, at the given cost class, carries enough total work (limbs×n×cost)
+// and enough per-limb work (n×cost) to benefit from the pool. Per-limb N
+// alone is not the criterion: a one-limb op never fans out, and a cheap
+// op class needs proportionally more coefficients.
+func WorthFanout(limbs, n, cost int) bool {
+	return limbs > 1 && n*cost >= MinWork && limbs*n*cost >= 2*MinWork
+}
+
 // Pool is a bounded fork-join executor. The zero value is ready to use and
 // sizes itself to GOMAXPROCS. A Pool has no background goroutines: helpers
 // are spawned per call and bounded by a shared budget, so an idle pool costs

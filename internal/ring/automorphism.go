@@ -3,6 +3,7 @@ package ring
 import (
 	"fmt"
 
+	"cinnamon/internal/parallel"
 	"cinnamon/internal/rns"
 )
 
@@ -37,7 +38,7 @@ func (r *Ring) Automorphism(p *Poly, galEl uint64, out *Poly) error {
 	r.ensureShape(out, p.Basis.Len())
 	if p.IsNTT {
 		idx := r.autoIndexNTT(galEl)
-		r.limbFor(len(p.Limbs), func(j int) {
+		r.limbFor(len(p.Limbs), parallel.CostLight, func(j int) {
 			pj, oj := p.Limbs[j], out.Limbs[j]
 			for i := range oj {
 				oj[i] = pj[idx[i]]
@@ -46,7 +47,7 @@ func (r *Ring) Automorphism(p *Poly, galEl uint64, out *Poly) error {
 		return nil
 	}
 	m := uint64(2 * r.N)
-	r.limbFor(p.Basis.Len(), func(j int) {
+	r.limbFor(p.Basis.Len(), parallel.CostLight, func(j int) {
 		q := p.Basis.Moduli[j]
 		pj, oj := p.Limbs[j], out.Limbs[j]
 		for i := 0; i < r.N; i++ {

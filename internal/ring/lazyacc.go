@@ -1,0 +1,124 @@
+package ring
+
+import (
+	"fmt"
+
+	"cinnamon/internal/parallel"
+	"cinnamon/internal/rns"
+)
+
+// LazyAcc is a per-coefficient 128-bit accumulator over a basis: the fused
+// inner-product state of the hybrid keyswitch. Instead of one Barrett
+// reduction and one modular add per digit per coefficient (MulCoeffs into a
+// temporary, then Add), each digit contributes an unreduced 128-bit
+// multiply-accumulate and a single Barrett reduction per coefficient
+// finishes the whole sum.
+//
+// Overflow budget: with both factors canonical (< q) the accumulator after
+// d products is below d·q² — no 128-bit wraparound as long as d·q² < 2^128,
+// and the high word stays below q (the precondition of ReduceWide) as long
+// as d·q < 2^64 (rns.MaxLazyAdds). MulAcc tracks the latter, stronger
+// bound; for 61-bit moduli it still allows 8 products between reductions,
+// and for the ≤58-bit chain moduli CKKS parameter sets use, 64+ — above any
+// real digit count. When a long accumulation (e.g. a batched rotate-and-sum
+// over many keys) does exhaust the budget, MulAcc folds the accumulator in
+// place first: one early reduction brings the running value back below q,
+// which costs one Barrett pass but keeps correctness unconditional.
+type LazyAcc struct {
+	r       *Ring
+	basis   rns.Basis
+	hi, lo  [][]uint64
+	adds    int
+	maxAdds int
+}
+
+// GetLazyAcc returns a zeroed accumulator over basis b, drawing limb
+// storage from the ring's buffer pool. Release it with Release.
+func (r *Ring) GetLazyAcc(b rns.Basis) *LazyAcc {
+	maxAdds := 0
+	for _, q := range b.Moduli {
+		if d := rns.MaxLazyAdds(q); maxAdds == 0 || d < maxAdds {
+			maxAdds = d
+		}
+	}
+	a := &LazyAcc{r: r, basis: b, maxAdds: maxAdds}
+	a.hi = make([][]uint64, b.Len())
+	a.lo = make([][]uint64, b.Len())
+	for j := range a.hi {
+		a.hi[j] = r.getLimb()
+		a.lo[j] = r.getLimb()
+	}
+	return a
+}
+
+// MulAcc accumulates x ⊙ y (the pointwise product) into the accumulator.
+// Both polynomials must be in the NTT domain over the accumulator's basis,
+// with canonical (< q) coefficients.
+func (a *LazyAcc) MulAcc(x, y *Poly) error {
+	if !x.Basis.Equal(a.basis) || !y.Basis.Equal(a.basis) {
+		return fmt.Errorf("ring: MulAcc basis mismatch")
+	}
+	if !x.IsNTT || !y.IsNTT {
+		return fmt.Errorf("ring: MulAcc requires NTT domain")
+	}
+	if a.adds+1 > a.maxAdds {
+		a.fold()
+	}
+	a.adds++
+	a.r.limbFor(a.basis.Len(), parallel.CostMul, func(j int) {
+		xj, yj := x.Limbs[j], y.Limbs[j]
+		hij := a.hi[j][:len(xj)]
+		loj := a.lo[j][:len(xj)]
+		for i := range xj {
+			hij[i], loj[i] = rns.MulAccLazy(hij[i], loj[i], xj[i], yj[i])
+		}
+	})
+	return nil
+}
+
+// fold reduces the accumulator in place: each 128-bit cell collapses to its
+// canonical value (< q) in the low word. The folded value is smaller than
+// any single product, so the budget counter restarts at one.
+func (a *LazyAcc) fold() {
+	r := a.r
+	r.limbFor(a.basis.Len(), parallel.CostMul, func(j int) {
+		bp := r.Barrett(a.basis.Moduli[j])
+		hij, loj := a.hi[j], a.lo[j]
+		for i := range loj {
+			loj[i] = bp.ReduceWide(hij[i], loj[i])
+			hij[i] = 0
+		}
+	})
+	a.adds = 1
+}
+
+// ReduceInto Barrett-reduces the accumulator into out — one wide reduction
+// per coefficient, regardless of how many products were accumulated — and
+// marks out as NTT-domain over the accumulator's basis. The accumulator
+// remains valid (and keeps accumulating) afterwards.
+func (a *LazyAcc) ReduceInto(out *Poly) {
+	r := a.r
+	out.Basis, out.IsNTT = a.basis, true
+	r.ensureShape(out, a.basis.Len())
+	r.limbFor(a.basis.Len(), parallel.CostMul, func(j int) {
+		bp := r.Barrett(a.basis.Moduli[j])
+		hij, loj, oj := a.hi[j], a.lo[j], out.Limbs[j]
+		for i := range oj {
+			oj[i] = bp.ReduceWide(hij[i], loj[i])
+		}
+	})
+}
+
+// Release returns the accumulator's limb storage to the ring's pool. The
+// accumulator must not be used afterwards. Safe on nil.
+func (a *LazyAcc) Release() {
+	if a == nil {
+		return
+	}
+	for j := range a.hi {
+		a.r.putLimb(a.hi[j])
+		a.r.putLimb(a.lo[j])
+		a.hi[j], a.lo[j] = nil, nil
+	}
+	a.hi, a.lo = nil, nil
+}

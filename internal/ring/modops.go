@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"cinnamon/internal/parallel"
 	"cinnamon/internal/rns"
 )
 
@@ -77,7 +78,7 @@ func (r *Ring) ModUp(p *Poly, ext rns.Basis) (*Poly, error) {
 	} else {
 		out.Limbs = make([][]uint64, union.Len())
 	}
-	r.limbFor(sLen, func(j int) {
+	r.limbFor(sLen, parallel.CostLight, func(j int) {
 		l := r.getLimbNoZero()
 		copy(l, p.Limbs[j])
 		out.Limbs[j] = l
@@ -146,7 +147,7 @@ func (r *Ring) ModDown(p *Poly, ext rns.Basis) (*Poly, error) {
 		return nil, err
 	}
 	out := r.getPolyUninit(s)
-	r.limbFor(sLen, func(j int) {
+	r.limbFor(sLen, parallel.CostMul, func(j int) {
 		q := s.Moduli[j]
 		w, ws := consts[j].w, consts[j].ws
 		aj, cj, oj := p.Limbs[j], conv[j], out.Limbs[j]
@@ -187,7 +188,7 @@ func (r *Ring) Rescale(p *Poly) (*Poly, error) {
 	ql := p.Basis.Moduli[l]
 	out := r.getPolyUninit(p.Basis.Prefix(l))
 	last := p.Limbs[l]
-	r.limbFor(l, func(j int) {
+	r.limbFor(l, parallel.CostMul, func(j int) {
 		q := out.Basis.Moduli[j]
 		c := rescaleConstant(ql, q)
 		bp := r.Barrett(q)

@@ -1,6 +1,9 @@
 package ring
 
-import "cinnamon/internal/rns"
+import (
+	"cinnamon/internal/parallel"
+	"cinnamon/internal/rns"
+)
 
 // Poly buffer pooling. Steady-state FHE serving allocates the same limb
 // slices over and over — keyswitch temporaries alone churn through
@@ -37,11 +40,7 @@ func (r *Ring) PutPoly(p *Poly) {
 		return
 	}
 	for i, l := range p.Limbs {
-		if cap(l) >= r.N {
-			box := r.getBox()
-			*box = l[:r.N]
-			r.limbPool.Put(box)
-		}
+		r.putLimb(l)
 		p.Limbs[i] = nil
 	}
 	p.Limbs = p.Limbs[:0]
@@ -61,7 +60,7 @@ func (r *Ring) CopyPoly(p *Poly) *Poly {
 	} else {
 		out.Limbs = make([][]uint64, n)
 	}
-	r.limbFor(n, func(j int) {
+	r.limbFor(n, parallel.CostLight, func(j int) {
 		l := r.getLimbNoZero()
 		copy(l, p.Limbs[j])
 		out.Limbs[j] = l
@@ -92,6 +91,17 @@ func (r *Ring) getPolyHeader() *Poly {
 		return v.(*Poly)
 	}
 	return &Poly{}
+}
+
+// putLimb returns one limb's storage to the pool (undersized slices are
+// simply dropped for the collector).
+func (r *Ring) putLimb(l []uint64) {
+	if cap(l) < r.N {
+		return
+	}
+	box := r.getBox()
+	*box = l[:r.N]
+	r.limbPool.Put(box)
 }
 
 // getLimb returns a zeroed length-N limb from the pool.

@@ -29,8 +29,9 @@ type Ring struct {
 	Universe rns.Basis
 	Tables   *ntt.TableSet
 
-	modIndex map[uint64]int               // modulus -> universe position
-	barrett  map[uint64]rns.BarrettParams // per-modulus mulmod constants
+	modIndex   map[uint64]int               // modulus -> universe position
+	barrett    map[uint64]rns.BarrettParams // per-modulus mulmod constants
+	univTables []*ntt.Table                 // universe-position-indexed NTT tables (nil entries on lazy rings)
 
 	autoCache sync.Map  // galois element -> []int NTT-domain gather index
 	limbPool  sync.Pool // *[]uint64 scratch limbs of capacity N
@@ -70,11 +71,23 @@ func newRing(n int, universe rns.Basis, ts *ntt.TableSet) *Ring {
 		modIndex: make(map[uint64]int, universe.Len()),
 		barrett:  make(map[uint64]rns.BarrettParams, universe.Len()),
 	}
+	r.univTables = make([]*ntt.Table, universe.Len())
 	for i, q := range universe.Moduli {
 		r.modIndex[q] = i
 		r.barrett[q] = rns.NewBarrettParams(q)
+		r.univTables[i] = ts.Table(q) // nil on lazy rings
 	}
 	return r
+}
+
+// TableOf returns the NTT table for modulus q — a slice index when q is a
+// universe modulus (the per-limb hot path), falling back to the table-set
+// map for foreign moduli. Returns nil when no table exists.
+func (r *Ring) TableOf(q uint64) *ntt.Table {
+	if i, ok := r.modIndex[q]; ok {
+		return r.univTables[i]
+	}
+	return r.Tables.Table(q)
 }
 
 // UniverseIndex returns the position of modulus q in the ring's universe.
@@ -93,9 +106,12 @@ func (r *Ring) Barrett(q uint64) rns.BarrettParams {
 }
 
 // limbFor runs fn for every limb index in [0, limbs), in parallel when the
-// per-limb work (N coefficients) is large enough to amortize a goroutine.
-func (r *Ring) limbFor(limbs int, fn func(j int)) {
-	if limbs > 1 && r.N >= parallel.MinCoeffs {
+// total work — limbs × N coefficients weighted by the op's cost class —
+// is large enough to amortize the fork-join (parallel.WorthFanout). Cheap
+// per-limb kernels (automorphism gathers, adds) therefore stay serial at
+// sizes where an NTT already fans out.
+func (r *Ring) limbFor(limbs, cost int, fn func(j int)) {
+	if parallel.WorthFanout(limbs, r.N, cost) {
 		parallel.For(limbs, fn)
 		return
 	}
@@ -151,7 +167,7 @@ func (r *Ring) Add(a, b, out *Poly) error {
 	}
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	r.limbFor(a.Basis.Len(), func(j int) {
+	r.limbFor(a.Basis.Len(), parallel.CostLight, func(j int) {
 		q := a.Basis.Moduli[j]
 		aj, bj, oj := a.Limbs[j], b.Limbs[j], out.Limbs[j]
 		for i := range aj {
@@ -168,7 +184,7 @@ func (r *Ring) Sub(a, b, out *Poly) error {
 	}
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	r.limbFor(a.Basis.Len(), func(j int) {
+	r.limbFor(a.Basis.Len(), parallel.CostLight, func(j int) {
 		q := a.Basis.Moduli[j]
 		aj, bj, oj := a.Limbs[j], b.Limbs[j], out.Limbs[j]
 		for i := range aj {
@@ -182,7 +198,7 @@ func (r *Ring) Sub(a, b, out *Poly) error {
 func (r *Ring) Neg(a, out *Poly) {
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	r.limbFor(a.Basis.Len(), func(j int) {
+	r.limbFor(a.Basis.Len(), parallel.CostLight, func(j int) {
 		q := a.Basis.Moduli[j]
 		aj, oj := a.Limbs[j], out.Limbs[j]
 		for i := range aj {
@@ -204,7 +220,7 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) error {
 	}
 	out.Basis, out.IsNTT = a.Basis, true
 	r.ensureShape(out, a.Basis.Len())
-	r.limbFor(a.Basis.Len(), func(j int) {
+	r.limbFor(a.Basis.Len(), parallel.CostMul, func(j int) {
 		bp := r.Barrett(a.Basis.Moduli[j])
 		aj, bj, oj := a.Limbs[j], b.Limbs[j], out.Limbs[j]
 		for i := range aj {
@@ -219,7 +235,7 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) error {
 func (r *Ring) MulScalar(a *Poly, s uint64, out *Poly) {
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	r.limbFor(a.Basis.Len(), func(j int) {
+	r.limbFor(a.Basis.Len(), parallel.CostMul, func(j int) {
 		q := a.Basis.Moduli[j]
 		w := s % q
 		ws := rns.ShoupPrecomp(w, q)
@@ -239,7 +255,7 @@ func (r *Ring) MulScalarBigRNS(a *Poly, sRes []uint64, out *Poly) error {
 	}
 	out.Basis, out.IsNTT = a.Basis, a.IsNTT
 	r.ensureShape(out, a.Basis.Len())
-	r.limbFor(a.Basis.Len(), func(j int) {
+	r.limbFor(a.Basis.Len(), parallel.CostMul, func(j int) {
 		q := a.Basis.Moduli[j]
 		w := sRes[j] % q
 		ws := rns.ShoupPrecomp(w, q)
@@ -251,19 +267,45 @@ func (r *Ring) MulScalarBigRNS(a *Poly, sRes []uint64, out *Poly) error {
 	return nil
 }
 
+// tablesFor resolves the NTT table of every limb of p. When p's basis is
+// universe-aligned (limb j holds universe modulus j — true for every chain
+// prefix and the full Q∪P basis) the cached universe slice is returned
+// directly: no map lookups and no per-call allocation on the hot path.
+// Misaligned bases (chip bases, foreign moduli) fall back to the map.
+func (r *Ring) tablesFor(p *Poly) ([]*ntt.Table, error) {
+	l := p.Basis.Len()
+	aligned := l <= len(r.univTables)
+	for j := 0; aligned && j < l; j++ {
+		aligned = p.Basis.Moduli[j] == r.Universe.Moduli[j]
+	}
+	if aligned {
+		for j := 0; j < l; j++ {
+			if r.univTables[j] == nil {
+				return nil, fmt.Errorf("ring: no NTT table for modulus %d", p.Basis.Moduli[j])
+			}
+		}
+		return r.univTables[:l], nil
+	}
+	tables := make([]*ntt.Table, l)
+	for j, q := range p.Basis.Moduli {
+		if tables[j] = r.TableOf(q); tables[j] == nil {
+			return nil, fmt.Errorf("ring: no NTT table for modulus %d", q)
+		}
+	}
+	return tables, nil
+}
+
 // NTT transforms p to the evaluation domain in place (no-op if already
 // there). Limbs transform independently on the worker pool.
 func (r *Ring) NTT(p *Poly) error {
 	if p.IsNTT {
 		return nil
 	}
-	tables := make([]*ntt.Table, p.Basis.Len())
-	for j, q := range p.Basis.Moduli {
-		if tables[j] = r.Tables.Table(q); tables[j] == nil {
-			return fmt.Errorf("ring: no NTT table for modulus %d", q)
-		}
+	tables, err := r.tablesFor(p)
+	if err != nil {
+		return err
 	}
-	r.limbFor(len(tables), func(j int) {
+	r.limbFor(len(tables), parallel.CostNTT, func(j int) {
 		tables[j].Forward(p.Limbs[j])
 	})
 	p.IsNTT = true
@@ -276,13 +318,11 @@ func (r *Ring) INTT(p *Poly) error {
 	if !p.IsNTT {
 		return nil
 	}
-	tables := make([]*ntt.Table, p.Basis.Len())
-	for j, q := range p.Basis.Moduli {
-		if tables[j] = r.Tables.Table(q); tables[j] == nil {
-			return fmt.Errorf("ring: no NTT table for modulus %d", q)
-		}
+	tables, err := r.tablesFor(p)
+	if err != nil {
+		return err
 	}
-	r.limbFor(len(tables), func(j int) {
+	r.limbFor(len(tables), parallel.CostNTT, func(j int) {
 		tables[j].Inverse(p.Limbs[j])
 	})
 	p.IsNTT = false

@@ -85,6 +85,72 @@ func MulModShoup(x, w, wShoup, q uint64) uint64 {
 	return r
 }
 
+// MulModShoupLazy is MulModShoup without the final conditional subtraction:
+// the result is congruent to x·w mod q but lies in [0, 2q) rather than
+// [0, q). It requires q < 2^63 and w < q; x may be any uint64. Harvey-style
+// lazy NTT butterflies use it so that only one reduction per butterfly (the
+// conditional subtract-by-2q on the other operand) remains.
+func MulModShoupLazy(x, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(x, wShoup)
+	return x*w - hi*q
+}
+
+// AddModLazy returns a + b reduced into [0, 2q) given a, b < 2q and
+// twoQ = 2q < 2^63. It is the lazy-domain addition of the Harvey INTT
+// butterfly: one conditional subtraction of 2q instead of a full reduction.
+func AddModLazy(a, b, twoQ uint64) uint64 {
+	s := a + b
+	if s >= twoQ {
+		s -= twoQ
+	}
+	return s
+}
+
+// Reduce2Q conditionally subtracts 2q once, mapping [0, 4q) into [0, 2q).
+func Reduce2Q(a, twoQ uint64) uint64 {
+	if a >= twoQ {
+		a -= twoQ
+	}
+	return a
+}
+
+// ReduceOnce conditionally subtracts q once, mapping [0, 2q) into [0, q).
+// The lazy NTT kernels call it in their final correction to return values
+// to the canonical range.
+func ReduceOnce(a, q uint64) uint64 {
+	if a >= q {
+		a -= q
+	}
+	return a
+}
+
+// MulAccLazy adds the 128-bit product a·b into the accumulator (hi, lo) and
+// returns the updated pair. It is the kernel of the fused keyswitch inner
+// product: per-digit products accumulate without any modular reduction, and
+// a single Barrett reduction (BarrettParams.ReduceWide) finishes each
+// coefficient. The accumulator cannot overflow as long as the number of
+// accumulated products d satisfies d·a·b < 2^128; with both factors < q the
+// stronger condition d·q < 2^64 (see MaxLazyAdds) also keeps the high word
+// below q, which ReduceWide requires.
+func MulAccLazy(hi, lo, a, b uint64) (uint64, uint64) {
+	phi, plo := bits.Mul64(a, b)
+	nlo, carry := bits.Add64(lo, plo, 0)
+	return hi + phi + carry, nlo
+}
+
+// MaxLazyAdds returns the largest number of products a·b with a, b < q that
+// can be accumulated by MulAccLazy while keeping the accumulator's high
+// word below q (the ReduceWide precondition): d products sum below d·q²,
+// whose high word is below d·q²/2^64 < q whenever d·q < 2^64.
+func MaxLazyAdds(q uint64) int {
+	d := (^uint64(0)) / q
+	const limit = 1 << 20
+	if d > limit {
+		return limit
+	}
+	return int(d)
+}
+
 // BarrettConstant returns the two-word constant floor(2^128 / q) used by
 // BarrettReduce.
 func BarrettConstant(q uint64) (hi, lo uint64) {
@@ -122,6 +188,13 @@ func (bp BarrettParams) MulMod(a, b uint64) uint64 {
 // Reduce returns x mod Q for any uint64 x.
 func (bp BarrettParams) Reduce(x uint64) uint64 {
 	return BarrettReduce(0, x, bp.Hi, bp.Lo, bp.Q)
+}
+
+// ReduceWide reduces the 128-bit value (hi, lo) modulo Q. It requires
+// hi < Q; a MulAccLazy accumulator satisfies this as long as at most
+// MaxLazyAdds(Q) products were folded in.
+func (bp BarrettParams) ReduceWide(hi, lo uint64) uint64 {
+	return BarrettReduce(hi, lo, bp.Hi, bp.Lo, bp.Q)
 }
 
 // BarrettReduce reduces the 128-bit value (xhi, xlo) modulo q given the

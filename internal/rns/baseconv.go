@@ -92,7 +92,7 @@ func (bc *BaseConverter) Convert(in [][]uint64) ([][]uint64, error) {
 	}
 	// z_j = x_j * qHatInv_j mod q_j, computed once per source limb.
 	z := make([][]uint64, l)
-	bc.stripe(l, n, func(j int) {
+	bc.stripe(l, n, parallel.CostMul, func(j int) {
 		q := bc.src.Moduli[j]
 		w := bc.qHatInv[j]
 		ws := ShoupPrecomp(w, q)
@@ -103,16 +103,17 @@ func (bc *BaseConverter) Convert(in [][]uint64) ([][]uint64, error) {
 		z[j] = zj
 	})
 	out := make([][]uint64, m)
-	bc.stripe(m, n, func(k int) {
+	bc.stripe(m, n, parallel.CostMul*l, func(k int) {
 		out[k] = bc.accumulate(k, z, n, nil)
 	})
 	return out, nil
 }
 
-// stripe runs fn over [0, count) limbs, in parallel when each limb carries
-// enough coefficients to amortize a goroutine.
-func (bc *BaseConverter) stripe(count, n int, fn func(int)) {
-	if count > 1 && n >= parallel.MinCoeffs {
+// stripe runs fn over [0, count) limbs, in parallel when the weighted work
+// (coefficients × per-element cost class) is enough to amortize a goroutine
+// per limb; see parallel.WorthFanout.
+func (bc *BaseConverter) stripe(count, n, cost int, fn func(int)) {
+	if parallel.WorthFanout(count, n, cost) {
 		parallel.For(count, fn)
 		return
 	}
@@ -180,7 +181,7 @@ func (bc *BaseConverter) ConvertExact(in [][]uint64) ([][]uint64, error) {
 	}
 	z := make([][]uint64, l)
 	inv := make([]float64, l)
-	bc.stripe(l, n, func(j int) {
+	bc.stripe(l, n, parallel.CostMul, func(j int) {
 		q := bc.src.Moduli[j]
 		inv[j] = 1 / float64(q)
 		w := bc.qHatInv[j]
@@ -201,7 +202,7 @@ func (bc *BaseConverter) ConvertExact(in [][]uint64) ([][]uint64, error) {
 		u[i] = uint64(sum)
 	}
 	out := make([][]uint64, m)
-	bc.stripe(m, n, func(k int) {
+	bc.stripe(m, n, parallel.CostMul*l, func(k int) {
 		p := bc.dst.Moduli[k]
 		bp := bc.dstBar[k]
 		// Q mod p for the correction term.

@@ -1,0 +1,183 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+var lazyTestPrimes = []uint64{
+	97,
+	(1 << 30) + 3*(1<<12) + 1,
+	0x3fffffffffff0001, // near the 62-bit lazy bound
+}
+
+func testPrime61(t testing.TB) uint64 {
+	t.Helper()
+	primes, err := GenerateNTTPrimes(61, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return primes[0]
+}
+
+// TestMulModShoupLazyBounds: the lazy Shoup product stays below 2q for any
+// x (even far above q — the butterflies feed it values up to 4q) and is
+// congruent to the strict product.
+func TestMulModShoupLazyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, q := range append(lazyTestPrimes, testPrime61(t)) {
+		for trial := 0; trial < 2000; trial++ {
+			w := rng.Uint64() % q
+			ws := ShoupPrecomp(w, q)
+			var x uint64
+			switch trial % 4 {
+			case 0:
+				x = rng.Uint64() % q
+			case 1:
+				x = rng.Uint64() % (4 * q) // butterfly range
+			case 2:
+				x = 4*q - 1
+			default:
+				x = rng.Uint64() // arbitrary
+			}
+			got := MulModShoupLazy(x, w, ws, q)
+			if got >= 2*q {
+				t.Fatalf("q=%d x=%d w=%d: lazy product %d >= 2q", q, x, w, got)
+			}
+			want := new(big.Int).Mul(new(big.Int).SetUint64(x), new(big.Int).SetUint64(w))
+			want.Mod(want, new(big.Int).SetUint64(q))
+			if got%q != want.Uint64() {
+				t.Fatalf("q=%d x=%d w=%d: lazy %d !≡ %d", q, x, w, got, want.Uint64())
+			}
+			// Strict variant agrees after one conditional subtraction.
+			if x < q && ReduceOnce(got, q) != MulModShoup(x, w, ws, q) {
+				t.Fatalf("q=%d x=%d w=%d: reduced lazy != strict", q, x, w)
+			}
+		}
+	}
+}
+
+// TestAddModLazyReduceHelpers pins the conditional-subtract helpers the
+// butterflies are built from.
+func TestAddModLazyReduceHelpers(t *testing.T) {
+	q := uint64(97)
+	twoQ := 2 * q
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0},
+		{96, 96, 192},      // < 2q stays
+		{193, 96, 95},      // wraps by 2q
+		{twoQ - 1, 1, 0},   // exactly 2q
+		{twoQ, twoQ, twoQ}, // 4q-range sum reduced once
+	}
+	for _, c := range cases {
+		if got := AddModLazy(c.a, c.b, twoQ); got != c.want {
+			t.Fatalf("AddModLazy(%d,%d): got %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if Reduce2Q(twoQ+5, twoQ) != 5 || Reduce2Q(5, twoQ) != 5 {
+		t.Fatal("Reduce2Q misbehaves")
+	}
+	if ReduceOnce(q+5, q) != 5 || ReduceOnce(5, q) != 5 {
+		t.Fatal("ReduceOnce misbehaves")
+	}
+}
+
+// TestMulAccLazyAgainstBigInt: d-product accumulation chains match exact
+// 128-bit arithmetic and respect the MaxLazyAdds budget (high word < q, the
+// ReduceWide precondition).
+func TestMulAccLazyAgainstBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, q := range append(lazyTestPrimes, testPrime61(t)) {
+		d := MaxLazyAdds(q)
+		if d > 64 {
+			d = 64
+		}
+		var hi, lo uint64
+		exact := new(big.Int)
+		for i := 0; i < d; i++ {
+			a := q - 1 - rng.Uint64()%2 // near-worst-case factors
+			b := q - 1 - rng.Uint64()%2
+			hi, lo = MulAccLazy(hi, lo, a, b)
+			exact.Add(exact, new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b)))
+			if hi >= q {
+				t.Fatalf("q=%d: high word %d >= q after %d of %d products", q, hi, i+1, d)
+			}
+			got := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+			got.Add(got, new(big.Int).SetUint64(lo))
+			if got.Cmp(exact) != 0 {
+				t.Fatalf("q=%d: accumulator %v != exact %v after %d products", q, got, exact, i+1)
+			}
+		}
+		bp := NewBarrettParams(q)
+		want := new(big.Int).Mod(exact, new(big.Int).SetUint64(q)).Uint64()
+		if got := bp.ReduceWide(hi, lo); got != want {
+			t.Fatalf("q=%d: ReduceWide = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestMaxLazyAdds(t *testing.T) {
+	if d := MaxLazyAdds(1 << 61); d != 7 {
+		t.Fatalf("MaxLazyAdds(2^61) = %d, want 7", d)
+	}
+	if d := MaxLazyAdds(97); d != 1<<20 {
+		t.Fatalf("MaxLazyAdds(97) = %d, want the 2^20 cap", d)
+	}
+}
+
+// FuzzMulModShoupLazy: for arbitrary x and any in-range twiddle, the result
+// stays below 2q and congruent to x·w.
+func FuzzMulModShoupLazy(f *testing.F) {
+	q := uint64(0x3fffffffffff0001)
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(4*q-1), uint64(q-1))
+	f.Add(^uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, x, wSeed uint64) {
+		w := wSeed % q
+		ws := ShoupPrecomp(w, q)
+		got := MulModShoupLazy(x, w, ws, q)
+		if got >= 2*q {
+			t.Fatalf("x=%d w=%d: %d >= 2q", x, w, got)
+		}
+		want := new(big.Int).Mul(new(big.Int).SetUint64(x), new(big.Int).SetUint64(w))
+		want.Mod(want, new(big.Int).SetUint64(q))
+		if got%q != want.Uint64() {
+			t.Fatalf("x=%d w=%d: %d !≡ x·w mod q", x, w, got)
+		}
+	})
+}
+
+// FuzzMulAccLazy: any accumulator state within the documented budget plus
+// one more canonical product neither wraps 128 bits nor pushes the high
+// word to q.
+func FuzzMulAccLazy(f *testing.F) {
+	q := uint64(0x3fffffffffff0001)
+	f.Add(uint64(0), uint64(0), uint64(1), uint64(1))
+	f.Add(q-1, ^uint64(0), q-1, q-1)
+	f.Fuzz(func(t *testing.T, hiSeed, lo, aSeed, bSeed uint64) {
+		// Constrain to the reachable state space: after k ≤ MaxLazyAdds-1
+		// products the high word is below (MaxLazyAdds-1)·q / 2^64 · ... —
+		// conservatively, any hi < q-1 with arbitrary lo is within budget
+		// for one more product iff the total stays below MaxLazyAdds·q·2^64.
+		hi := hiSeed % (q - 1)
+		a, b := aSeed%q, bSeed%q
+		nhi, nlo := MulAccLazy(hi, lo, a, b)
+		exact := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+		exact.Add(exact, new(big.Int).SetUint64(lo))
+		exact.Add(exact, new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b)))
+		got := new(big.Int).Lsh(new(big.Int).SetUint64(nhi), 64)
+		got.Add(got, new(big.Int).SetUint64(nlo))
+		if got.Cmp(exact) != 0 {
+			t.Fatalf("hi=%d lo=%d a=%d b=%d: accumulator wrapped", hi, lo, a, b)
+		}
+		if nhi >= q {
+			// Only states below the budget are required to keep hi < q; a
+			// seeded hi near q-1 plus a near-q² product may reach exactly q.
+			limit := new(big.Int).Mul(new(big.Int).SetUint64(q), new(big.Int).Lsh(big.NewInt(1), 64))
+			if exact.Cmp(limit) < 0 {
+				t.Fatalf("hi=%d lo=%d a=%d b=%d: high word %d >= q within budget", hi, lo, a, b, nhi)
+			}
+		}
+	})
+}
