@@ -47,7 +47,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	logN := flag.Int("logn", 8, "ring degree log2 (2^logN coefficients)")
-	levels := flag.Int("levels", 3, "multiplicative levels")
+	levels := flag.Int("levels", 4, "multiplicative levels (4 fits the depth-4 tensor catalog)")
 	seed := flag.Int64("seed", 20260805, "parameter generation seed (clients must match)")
 	maxBatch := flag.Int("max-batch", 4, "largest compiled batch variant (power of two)")
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max time a request waits for batch-mates")
@@ -76,6 +76,9 @@ func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time
 	for _, name := range reg.ProgramNames() {
 		p, _ := reg.Program(name)
 		log.Printf("  program %-8s batches=%v keys=%v outLevel=%d", name, p.BatchSizes(), p.RequiredKeys, p.OutLevel)
+	}
+	for _, reason := range reg.Skipped {
+		log.Printf("  skipped %s (raise -levels/-logn to serve it)", reason)
 	}
 	log.Printf("catalog ready in %v", time.Since(start).Round(time.Millisecond))
 

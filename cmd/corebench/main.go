@@ -34,6 +34,7 @@ import (
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/parallel"
 	"cinnamon/internal/rns"
+	"cinnamon/internal/tensor"
 )
 
 type opTiming struct {
@@ -215,6 +216,31 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out, compare strin
 		}},
 	}
 
+	// tensor_matmul: the tensor frontend's 64×64 BSGS matvec end to end —
+	// diagonal encodes, 2√d rotation keyswitches, 64 plaintext multiplies
+	// and the closing rescale — through the same reference path the
+	// cluster serving backend executes.
+	{
+		mm := tensor.NewModel("corebench_mm", 64)
+		mm.Output(mm.MatVec(mm.Input(), "w", 64, 64, tensor.BSGS))
+		cmp, err := tensor.Compile(mm)
+		if err != nil {
+			return err
+		}
+		rtks, err := kg.GenRotationKeySet(sk, cmp.Rotations(), false)
+		if err != nil {
+			return err
+		}
+		evRot := ckks.NewEvaluator(params, rlk, rtks)
+		ops = append(ops, struct {
+			name string
+			fn   func() error
+		}{"tensor_matmul", func() error {
+			_, err := cmp.Reference(evRot, enc, ct)
+			return err
+		}})
+	}
+
 	rep := report{
 		GeneratedBy: "cmd/corebench",
 		HostCores:   runtime.NumCPU(),
@@ -231,7 +257,13 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out, compare strin
 		parallel.SetWorkers(w)
 		run := workerRun{Workers: w, Ops: map[string]opTiming{}}
 		for _, op := range ops {
-			t, err := timeOp(iters, op.fn)
+			n := iters
+			if op.name == "tensor_matmul" {
+				// A full matvec is ~20 keyswitches plus 64 encodes; a quarter
+				// of the iteration budget keeps the sweep's wall time bounded.
+				n = (iters + 3) / 4
+			}
+			t, err := timeOp(n, op.fn)
 			if err != nil {
 				return fmt.Errorf("%s @%dw: %w", op.name, w, err)
 			}

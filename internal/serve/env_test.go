@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/cmplx"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -34,7 +35,9 @@ var env struct {
 const testTenant = "tenant-a"
 
 func testEnvInit() {
-	env.lit = workloads.ServeParamsLiteral(8, 3, 20260805)
+	// Four levels: deep enough for the tensor catalog's depth-4 logistic
+	// regression (the depth-2 toy kernels leave the rest unused).
+	env.lit = workloads.ServeParamsLiteral(8, 4, 20260805)
 	env.reg, env.err = NewRegistry(RegistryConfig{Literal: env.lit, MaxBatch: 4})
 	if env.err != nil {
 		return
@@ -56,7 +59,20 @@ func testEnvInit() {
 		env.err = err
 		return
 	}
-	rots := []int{1, 2, 3, 4}
+	// One key set serving the whole catalog: the union of every compiled
+	// program's exact rotation set (plus rot:3 for wavg4's window).
+	rotSet := map[int]bool{}
+	for _, name := range env.reg.ProgramNames() {
+		p, _ := env.reg.Program(name)
+		for _, k := range p.Rotations {
+			rotSet[k] = true
+		}
+	}
+	rots := make([]int, 0, len(rotSet))
+	for k := range rotSet {
+		rots = append(rots, k)
+	}
+	sort.Ints(rots)
 	rtks, err := kg.GenRotationKeySet(sk, rots, false)
 	if err != nil {
 		env.err = err

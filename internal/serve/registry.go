@@ -20,6 +20,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -63,8 +64,13 @@ type Program struct {
 	OutLevel int
 	OutScale float64
 	// RequiredKeys lists the evaluation-key IDs a tenant must register
-	// before running this program ("rlk", "rot:<k>", "conj").
+	// before running this program ("rlk", "rot:<k>", "conj"), sorted
+	// rlk/conj first then rotations by offset.
 	RequiredKeys []string
+	// Rotations lists the slot-rotation offsets the compiled circuit
+	// performs, deduped and ascending — the exact rotation-key set, taken
+	// from the lowered IR rather than the catalog's declaration.
+	Rotations []int
 	// Plaintexts holds the server-side plaintext operands (model weights),
 	// encoded once at startup and shared read-only across workers.
 	Plaintexts map[string]*ckks.Plaintext
@@ -98,6 +104,9 @@ type Registry struct {
 
 	programs map[string]*Program
 	order    []string
+	// Skipped lists catalog programs the parameter set cannot host
+	// (MinLevels/MinSlots), with the reason.
+	Skipped []string
 
 	mu      sync.RWMutex
 	tenants map[string]map[string]*ckks.EvalKey
@@ -133,6 +142,16 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 	for _, spec := range progs {
 		if _, dup := r.programs[spec.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate program %q", spec.Name)
+		}
+		// A program deeper or wider than the parameter set is skipped, not
+		// fatal: shallow deployments keep serving the rest of the catalog.
+		if spec.MinLevels > params.MaxLevel() {
+			r.Skipped = append(r.Skipped, fmt.Sprintf("%s: needs %d levels, parameters have %d", spec.Name, spec.MinLevels, params.MaxLevel()))
+			continue
+		}
+		if spec.MinSlots > params.Slots() {
+			r.Skipped = append(r.Skipped, fmt.Sprintf("%s: needs %d slots, parameters have %d", spec.Name, spec.MinSlots, params.Slots()))
+			continue
 		}
 		p, err := compileProgram(params, enc, spec, maxBatch, regs)
 		if err != nil {
@@ -193,6 +212,28 @@ func (p *Program) MissingKeys(keys map[string]*ckks.EvalKey) []string {
 
 func compileProgram(params *ckks.Parameters, enc *ckks.Encoder, spec workloads.ServeWorkload, maxBatch, regs int) (*Program, error) {
 	p := &Program{Spec: spec, InLevel: params.MaxLevel()}
+	// Encode plaintext operands first: their (possibly non-default) scales
+	// feed the output-metadata inference below. Operands are encoded with
+	// every limb (MaxLevel); the emulator addresses limbs by modulus, so
+	// circuits consuming an operand at a lower level just use fewer limbs.
+	p.Plaintexts = map[string]*ckks.Plaintext{}
+	ptScales := map[string]float64{}
+	for _, ps := range spec.Plaintexts {
+		values := ps.Values
+		if values == nil {
+			values = func(slots int) []complex128 { return workloads.ServeWeightVector(ps.Name, slots) }
+		}
+		scale := params.DefaultScale()
+		if ps.Scale != nil {
+			scale = ps.Scale(params)
+		}
+		pt, err := enc.Encode(values(params.Slots()), params.MaxLevel(), scale)
+		if err != nil {
+			return nil, fmt.Errorf("encoding plaintext %q: %w", ps.Name, err)
+		}
+		p.Plaintexts[ps.Name] = pt
+		ptScales[ps.Name] = scale
+	}
 	for b := 1; b <= maxBatch; b *= 2 {
 		mod, g, err := compileVariant(params, spec, b, regs)
 		if err != nil {
@@ -200,22 +241,15 @@ func compileProgram(params *ckks.Parameters, enc *ckks.Encoder, spec workloads.S
 		}
 		p.variants = append(p.variants, &Variant{Batch: b, Module: mod})
 		if b == 1 {
-			level, scale, keys, err := inferOutputMeta(g, params)
+			meta, err := inferOutputMeta(g, params, ptScales)
 			if err != nil {
 				return nil, err
 			}
-			p.OutLevel, p.OutScale, p.RequiredKeys = level, scale, keys
+			p.OutLevel, p.OutScale = meta.level, meta.scale
+			p.RequiredKeys, p.Rotations = meta.keys, meta.rotations
 		}
 	}
 	sort.Slice(p.variants, func(i, j int) bool { return p.variants[i].Batch > p.variants[j].Batch })
-	p.Plaintexts = map[string]*ckks.Plaintext{}
-	for _, name := range spec.Plaintexts {
-		pt, err := enc.Encode(workloads.ServeWeightVector(name, params.Slots()), params.MaxLevel(), params.DefaultScale())
-		if err != nil {
-			return nil, fmt.Errorf("encoding plaintext %q: %w", name, err)
-		}
-		p.Plaintexts[name] = pt
-	}
 	return p, nil
 }
 
@@ -246,25 +280,62 @@ func compileVariant(params *ckks.Parameters, spec workloads.ServeWorkload, batch
 	return alloc, g, nil
 }
 
+// outputMeta is what inferOutputMeta learns from the IR graph.
+type outputMeta struct {
+	level     int
+	scale     float64
+	keys      []string // rlk/conj first, then rotations ascending
+	rotations []int    // deduped rotation offsets, ascending
+}
+
+// sameScale is the relative tolerance for scale agreement checks; it
+// matches the evaluator's own AddPlain/Add precondition.
+func sameScale(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
 // inferOutputMeta walks the (topologically ordered) IR graph tracking the
 // scale arithmetic the reference evaluator performs — inputs at the
 // default scale, Mul multiplies scales, Rescale divides by the dropped
 // modulus — and collects the evaluation keys the lowered code will load.
-// All streams are identical, so stream 0's output describes every slot.
-func inferOutputMeta(g *polyir.Graph, params *ckks.Parameters) (level int, scale float64, requiredKeys []string, err error) {
+// Plaintext operands multiply at their encoded scale (ptScales; operands
+// missing from the map use the default scale). Additions are validated to
+// mix equal scales, so a frontend scale-management bug fails compilation
+// here instead of corrupting served results. All streams are identical,
+// so stream 0's output describes every slot.
+func inferOutputMeta(g *polyir.Graph, params *ckks.Parameters, ptScales map[string]float64) (outputMeta, error) {
 	scales := map[int]float64{}
 	keySet := map[string]bool{}
-	outLevel, outScale, found := 0, 0.0, false
+	rotSet := map[int]bool{}
+	ptScale := func(name string) float64 {
+		if s, ok := ptScales[name]; ok {
+			return s
+		}
+		return params.DefaultScale()
+	}
+	var meta outputMeta
+	found := false
 	for _, n := range g.Nodes {
 		switch n.Kind {
 		case polyir.OpInput:
 			scales[n.ID] = params.DefaultScale()
-		case polyir.OpAdd, polyir.OpSub, polyir.OpAddPlain:
-			scales[n.ID] = scales[n.Args[0].ID]
+		case polyir.OpAdd, polyir.OpSub:
+			a, b := scales[n.Args[0].ID], scales[n.Args[1].ID]
+			if !sameScale(a, b) {
+				return meta, fmt.Errorf("serve: node %d (%v) adds scales %g and %g", n.ID, n.Kind, a, b)
+			}
+			scales[n.ID] = a
+		case polyir.OpAddPlain:
+			a := scales[n.Args[0].ID]
+			if s := ptScale(n.Name); !sameScale(a, s) {
+				return meta, fmt.Errorf("serve: node %d adds plaintext %q at scale %g to ciphertext at %g", n.ID, n.Name, s, a)
+			}
+			scales[n.ID] = a
 		case polyir.OpNeg, polyir.OpConjugate, polyir.OpRotate, polyir.OpDropLevel:
 			scales[n.ID] = scales[n.Args[0].ID]
 			if n.Kind == polyir.OpRotate {
 				keySet[fmt.Sprintf("rot:%d", n.Rot)] = true
+				rotSet[n.Rot] = true
 			}
 			if n.Kind == polyir.OpConjugate {
 				keySet["conj"] = true
@@ -273,27 +344,36 @@ func inferOutputMeta(g *polyir.Graph, params *ckks.Parameters) (level int, scale
 			scales[n.ID] = scales[n.Args[0].ID] * scales[n.Args[1].ID]
 			keySet["rlk"] = true
 		case polyir.OpMulPlain:
-			scales[n.ID] = scales[n.Args[0].ID] * params.DefaultScale()
+			scales[n.ID] = scales[n.Args[0].ID] * ptScale(n.Name)
 		case polyir.OpRescale:
 			argLevel := n.Args[0].Level
 			scales[n.ID] = scales[n.Args[0].ID] / float64(params.QBasis.Moduli[argLevel])
 		case polyir.OpOutput:
 			if n.Stream == 0 {
-				outLevel = n.Args[0].Level
-				outScale = scales[n.Args[0].ID]
+				meta.level = n.Args[0].Level
+				meta.scale = scales[n.Args[0].ID]
 				found = true
 			}
 		default:
-			return 0, 0, nil, fmt.Errorf("serve: cannot infer scale through %v (unsupported in serving programs)", n.Kind)
+			return meta, fmt.Errorf("serve: cannot infer scale through %v (unsupported in serving programs)", n.Kind)
 		}
 	}
 	if !found {
-		return 0, 0, nil, fmt.Errorf("serve: program has no stream-0 output")
+		return meta, fmt.Errorf("serve: program has no stream-0 output")
 	}
-	keys := make([]string, 0, len(keySet))
-	for k := range keySet {
-		keys = append(keys, k)
+	for k := range rotSet {
+		meta.rotations = append(meta.rotations, k)
 	}
-	sort.Strings(keys)
-	return outLevel, outScale, keys, nil
+	sort.Ints(meta.rotations)
+	// Key order: rlk, conj, then rotations by numeric offset — lexical
+	// sorting would interleave rot:16 before rot:2.
+	for _, id := range []string{"rlk", "conj"} {
+		if keySet[id] {
+			meta.keys = append(meta.keys, id)
+		}
+	}
+	for _, k := range meta.rotations {
+		meta.keys = append(meta.keys, fmt.Sprintf("rot:%d", k))
+	}
+	return meta, nil
 }

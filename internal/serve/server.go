@@ -48,8 +48,13 @@ type ProgramInfo struct {
 	OutputLevel  int      `json:"output_level"`
 	OutputScale  float64  `json:"output_scale"`
 	RequiredKeys []string `json:"required_keys"`
-	Rotations    []int    `json:"rotations,omitempty"`
-	BatchSizes   []int    `json:"batch_sizes"`
+	// Rotations is the exact rotation-key set the compiled circuit
+	// consumes (from the lowered IR, not the catalog declaration).
+	Rotations  []int `json:"rotations,omitempty"`
+	BatchSizes []int `json:"batch_sizes"`
+	// VerifyTolerance is the per-program decrypt-and-verify slot error
+	// bound the server suggests; 0 means the client default applies.
+	VerifyTolerance float64 `json:"verify_tolerance,omitempty"`
 }
 
 // NewHandler wires the serving core into a net/http handler.
@@ -126,14 +131,15 @@ func (s *server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 	for _, name := range reg.ProgramNames() {
 		p, _ := reg.Program(name)
 		infos = append(infos, ProgramInfo{
-			Name:         p.Spec.Name,
-			Description:  p.Spec.Description,
-			InputLevel:   p.InLevel,
-			OutputLevel:  p.OutLevel,
-			OutputScale:  p.OutScale,
-			RequiredKeys: p.RequiredKeys,
-			Rotations:    p.Spec.Rotations,
-			BatchSizes:   p.BatchSizes(),
+			Name:            p.Spec.Name,
+			Description:     p.Spec.Description,
+			InputLevel:      p.InLevel,
+			OutputLevel:     p.OutLevel,
+			OutputScale:     p.OutScale,
+			RequiredKeys:    p.RequiredKeys,
+			Rotations:       p.Rotations,
+			BatchSizes:      p.BatchSizes(),
+			VerifyTolerance: p.Spec.VerifyTol,
 		})
 	}
 	writeJSON(w, infos)

@@ -7,6 +7,7 @@ import (
 
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/dsl"
+	"cinnamon/internal/tensor"
 )
 
 // This file defines the online-serving workload catalog: small,
@@ -38,8 +39,28 @@ type ServeWorkload struct {
 	// NeedsRelin reports whether the circuit multiplies ciphertexts (needs
 	// the relinearization key).
 	NeedsRelin bool
-	// Plaintexts lists the plaintext operand names the circuit consumes.
-	Plaintexts []string
+	// Plaintexts lists the plaintext operands the circuit consumes. A spec
+	// with only a Name uses the catalog defaults (broadcast ServeWeight at
+	// the default scale); tensor programs attach exact values and scales.
+	Plaintexts []tensor.PlaintextSpec
+	// MinLevels is the minimum usable ciphertext level (multiplicative
+	// depth) the parameter set must provide; the registry skips programs
+	// that do not fit instead of failing the whole catalog.
+	MinLevels int
+	// MinSlots is the minimum slot count the program's packing needs.
+	MinSlots int
+	// VerifyTol is the per-program decrypt-and-verify tolerance advertised
+	// to clients (0 means the client's global default applies). Deep
+	// circuits accumulate more CKKS noise than one-multiply toys.
+	VerifyTol float64
+	// MakeInput draws a well-formed request vector for this program (nil
+	// means any full-slot vector works). Tensor programs need replicated
+	// block packing.
+	MakeInput func(rng *rand.Rand, slots int) []complex128
+	// EvalPlain computes the expected result on plain slot values, with no
+	// crypto in the loop — the loadgen decrypt-and-verify ground truth.
+	// nil means clients fall back to the homomorphic Reference.
+	EvalPlain func(in []complex128) []complex128
 }
 
 // ServeWeight derives the deterministic scalar weight for a named
@@ -86,9 +107,10 @@ func encodeWeight(enc *ckks.Encoder, params *ckks.Parameters, name string, level
 	return enc.Encode(ServeWeightVector(name, params.Slots()), level, params.DefaultScale())
 }
 
-// ServeWorkloads returns the serving catalog.
+// ServeWorkloads returns the serving catalog: the four toy kernels plus
+// the tensor-frontend models (TensorServeWorkloads).
 func ServeWorkloads() []ServeWorkload {
-	return []ServeWorkload{
+	return append([]ServeWorkload{
 		{
 			Name:        "square",
 			Description: "y = x^2 (one ct-ct multiply + rescale)",
@@ -154,7 +176,9 @@ func ServeWorkloads() []ServeWorkload {
 			Name:        "wavg4",
 			Description: "y = sum_k w_k*rot(x,k), k in {0..3} (plaintext-weighted sliding window)",
 			Rotations:   []int{1, 2, 3},
-			Plaintexts:  []string{"wavg4.w0", "wavg4.w1", "wavg4.w2", "wavg4.w3"},
+			Plaintexts: []tensor.PlaintextSpec{
+				{Name: "wavg4.w0"}, {Name: "wavg4.w1"}, {Name: "wavg4.w2"}, {Name: "wavg4.w3"},
+			},
 			Build: func(s *dsl.Stream, x *dsl.Ciphertext) *dsl.Ciphertext {
 				acc := x.MulPlain("wavg4.w0")
 				for k := 1; k < 4; k++ {
@@ -190,7 +214,7 @@ func ServeWorkloads() []ServeWorkload {
 				return ev.Rescale(acc)
 			},
 		},
-	}
+	}, TensorServeWorkloads()...)
 }
 
 // ServeWorkloadByName looks a catalog entry up.
