@@ -22,11 +22,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,7 +36,9 @@ import (
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/parallel"
 	"cinnamon/internal/rns"
+	"cinnamon/internal/serve"
 	"cinnamon/internal/tensor"
+	"cinnamon/internal/workloads"
 )
 
 type opTiming struct {
@@ -67,6 +71,11 @@ type report struct {
 	// Poly buffer pool: heap allocations per acquire/release cycle vs a
 	// fresh NewPoly.
 	PoolAllocs map[string]float64 `json:"poly_pool_allocs_per_op"`
+
+	// ServeRPS is end-to-end serving throughput: single `square` requests
+	// through the full batcher → worker → emulator pipeline of
+	// internal/serve, requests per second. Zero when -serve=false.
+	ServeRPS float64 `json:"serve_rps"`
 }
 
 func main() {
@@ -78,15 +87,16 @@ func main() {
 	out := flag.String("out", "BENCH_core.json", "output JSON path")
 	compare := flag.String("compare", "", "baseline report to regression-check against (exit 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.10, "relative slowdown allowed per op before -compare fails")
+	serveBench := flag.Bool("serve", true, "measure end-to-end serving throughput (serve_rps)")
 	flag.Parse()
 
-	if err := run(*logN, *limbs, *ext, *workersFlag, *iters, *out, *compare, *tolerance); err != nil {
+	if err := run(*logN, *limbs, *ext, *workersFlag, *iters, *out, *compare, *tolerance, *serveBench); err != nil {
 		fmt.Fprintln(os.Stderr, "corebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(logN, limbs, ext int, workersFlag string, iters int, out, compare string, tolerance float64) error {
+func run(logN, limbs, ext int, workersFlag string, iters int, out, compare string, tolerance float64, serveBench bool) error {
 	start := time.Now()
 	var workerCounts []int
 	for _, s := range strings.Split(workersFlag, ",") {
@@ -211,8 +221,13 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out, compare strin
 			return nil
 		}},
 		{"keyswitch", func() error {
-			_, _, err := ev.KeySwitch(ct.C1, rlk)
-			return err
+			f0, f1, err := ev.KeySwitch(ct.C1, rlk)
+			if err != nil {
+				return err
+			}
+			r.PutPoly(f0)
+			r.PutPoly(f1)
+			return nil
 		}},
 	}
 
@@ -322,6 +337,14 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out, compare strin
 		r.PutPoly(p)
 	})
 
+	if serveBench {
+		rps, err := serveRPS(2 * iters)
+		if err != nil {
+			return fmt.Errorf("serve benchmark: %w", err)
+		}
+		rep.ServeRPS = rps
+	}
+
 	rep.WallSeconds = time.Since(start).Seconds()
 	if compare != "" {
 		// Regression-check mode: nothing is written, the measured numbers are
@@ -339,6 +362,91 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out, compare strin
 	fmt.Printf("wrote %s (host cores %d, %d worker configs, %.1fs)\n",
 		out, rep.HostCores, len(rep.Runs), rep.WallSeconds)
 	return nil
+}
+
+// serveRPS measures end-to-end serving throughput: a catalog registry
+// (compiled keyswitch plans, pooled emulator machines) serving single
+// `square` requests back to back through the batcher → worker pipeline of
+// internal/serve. Small ring (logN=8, 4 levels) on purpose — this gate
+// watches the serving hot path's constant factors and allocation
+// discipline, not transform asymptotics, which the per-op rows cover.
+func serveRPS(reqs int) (float64, error) {
+	lit := workloads.ServeParamsLiteral(8, 4, 20260805)
+	reg, err := serve.NewRegistry(serve.RegistryConfig{Literal: lit, MaxBatch: 4})
+	if err != nil {
+		return 0, err
+	}
+	params := reg.Params
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		return 0, err
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		return 0, err
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		return 0, err
+	}
+	// One key set serving the whole catalog: the union of every compiled
+	// program's rotation set.
+	rotSet := map[int]bool{}
+	for _, name := range reg.ProgramNames() {
+		p, _ := reg.Program(name)
+		for _, k := range p.Rotations {
+			rotSet[k] = true
+		}
+	}
+	rots := make([]int, 0, len(rotSet))
+	for k := range rotSet {
+		rots = append(rots, k)
+	}
+	sort.Ints(rots)
+	rtks, err := kg.GenRotationKeySet(sk, rots, false)
+	if err != nil {
+		return 0, err
+	}
+	keys := map[string]*ckks.EvalKey{"rlk": rlk}
+	for k, key := range rtks.Keys {
+		keys[fmt.Sprintf("rot:%d", k)] = key
+	}
+	const tenant = "corebench"
+	if err := reg.RegisterTenant(tenant, keys); err != nil {
+		return 0, err
+	}
+	core := serve.NewCore(reg, serve.Config{
+		MaxBatch:  1,
+		BatchWait: time.Microsecond,
+		Workers:   2,
+	})
+	defer core.Close(context.Background())
+	enc := ckks.NewEncoder(params)
+	encr := ckks.NewEncryptor(params, pk)
+	v := make([]complex128, params.Slots())
+	for i := range v {
+		v[i] = complex(float64(i%7)/7-0.5, float64(i%5)/5-0.5)
+	}
+	pt, err := enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		return 0, err
+	}
+	ct, err := encr.Encrypt(pt)
+	if err != nil {
+		return 0, err
+	}
+	// Warm the machine pool, plan caches and frame buffers.
+	if _, err := core.Submit(context.Background(), "square", tenant, ct); err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	for i := 0; i < reqs; i++ {
+		if _, err := core.Submit(context.Background(), "square", tenant, ct); err != nil {
+			return 0, err
+		}
+	}
+	return float64(reqs) / time.Since(t0).Seconds(), nil
 }
 
 // compareReports checks every hot op of the fresh report against the
@@ -382,6 +490,41 @@ func compareReports(fresh report, baselinePath string, tolerance float64) error 
 			fmt.Printf("workers=%d %-14s %12d ns/op  baseline %12d  ratio %.3f  %s\n",
 				r.Workers, name, t.NsPerOp, bt.NsPerOp, ratio, status)
 		}
+	}
+	// Pool allocation counters are near-binary health signals (a warm
+	// get/put cycle allocates ~0 times); allow half an allocation of
+	// measurement slack over the baseline before calling regression.
+	for name, bv := range base.PoolAllocs {
+		fv, ok := fresh.PoolAllocs[name]
+		if !ok {
+			continue
+		}
+		status := "ok"
+		if fv > bv+0.5 {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("poly_pool_allocs_per_op[%s]: %.2f vs baseline %.2f", name, fv, bv))
+		}
+		fmt.Printf("pool_allocs    %-14s %8.2f  baseline %8.2f  %s\n", name, fv, bv, status)
+	}
+	// serve_rps is a throughput (higher is better): the fresh rate must
+	// stay within tolerance of the baseline rate.
+	switch {
+	case base.ServeRPS > 0 && fresh.ServeRPS > 0:
+		ratio := base.ServeRPS / fresh.ServeRPS
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("serve_rps: %.1f req/s vs baseline %.1f (%.2fx slower > %.2fx allowed)",
+					fresh.ServeRPS, base.ServeRPS, ratio, 1+tolerance))
+		}
+		fmt.Printf("serve_rps      %12.1f req/s   baseline %12.1f  ratio %.3f  %s\n",
+			fresh.ServeRPS, base.ServeRPS, ratio, status)
+	case base.ServeRPS > 0:
+		fmt.Println("serve_rps: baseline present, fresh run skipped (-serve=false)")
+	case fresh.ServeRPS > 0:
+		fmt.Println("serve_rps: new metric, no baseline")
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d op(s) regressed beyond %.0f%% tolerance:\n  %s",

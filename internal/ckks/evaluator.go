@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/big"
 
+	"cinnamon/internal/parallel"
 	"cinnamon/internal/ring"
 	"cinnamon/internal/rns"
 )
@@ -279,13 +280,107 @@ func (ev *Evaluator) automorphismKS(ct *Ciphertext, galEl uint64, key *EvalKey) 
 // polynomial c (NTT domain, level-l chain basis): digit-decompose, mod-up
 // each digit to Q_l ∪ P, inner-product with the evaluation key, and
 // mod-down back to Q_l. Returns the two output polynomials in NTT domain.
-// All temporaries cycle through the ring's buffer pool, so steady-state
-// keyswitching allocates no limb storage.
-func (ev *Evaluator) KeySwitch(c *ring.Poly, evk *EvalKey) (f0, f1 *ring.Poly, err error) {
-	params, r := ev.params, ev.params.Ring
+//
+// Ciphertexts over the standard chain prefix with a default-partition key
+// ride the precompiled per-level plan (ksplan.go): fused transform/absorb
+// kernels, batch NTT plans, zero setup work and zero heap allocations once
+// warm. Custom digit partitions and foreign bases fall back to the generic
+// kernel below; both paths are bit-identical.
+func (ev *Evaluator) KeySwitch(c *ring.Poly, evk *EvalKey) (*ring.Poly, *ring.Poly, error) {
 	if !c.IsNTT {
 		return nil, nil, fmt.Errorf("ckks: KeySwitch input must be NTT")
 	}
+	params := ev.params
+	l := c.Basis.Len() - 1
+	if evk.DigitSets == nil && l <= params.MaxLevel() &&
+		len(evk.B) > 0 && evk.B[0].Basis.Len() == params.Ring.Universe.Len() {
+		if pl, err := params.KSPlanAtLevel(l); err == nil && pl.sBasis.Equal(c.Basis) && len(evk.B) >= len(pl.digits) {
+			return ev.keySwitchPlanned(pl, c, evk)
+		}
+	}
+	return ev.keySwitchGeneric(c, evk)
+}
+
+// keySwitchPlanned is the steady-state keyswitch: every derived quantity
+// comes from the plan, every temporary from the ring pools, and the digit
+// loop runs the fused forward-transform-and-accumulate kernel. The digit's
+// own limbs skip their transforms entirely — the input is already their
+// NTT image (NTT∘INTT is bit-exact), so only the base-converted complement
+// limbs transform, fused into the accumulate.
+func (ev *Evaluator) keySwitchPlanned(pl *KSPlan, c *ring.Poly, evk *EvalKey) (*ring.Poly, *ring.Poly, error) {
+	r := ev.params.Ring
+	// Scaled decompose: limb j's out-of-place inverse transform emits its
+	// owning digit's z-value directly (copy, INTT and z-stage in one pass).
+	zAll := r.GetPolyUninit(pl.sBasis)
+	defer r.PutPoly(zAll)
+	sLen := pl.sBasis.Len()
+	if parallel.Workers() > 1 && parallel.WorthFanout(sLen, r.N, parallel.CostNTT) {
+		parallel.For(sLen, func(j int) {
+			zs := &pl.zscale[j]
+			pl.nttS.Table(j).InverseScaledFrom(c.Limbs[j], zAll.Limbs[j], zs[0], zs[1], zs[2], zs[3])
+		})
+	} else {
+		for j := 0; j < sLen; j++ {
+			zs := &pl.zscale[j]
+			pl.nttS.Table(j).InverseScaledFrom(c.Limbs[j], zAll.Limbs[j], zs[0], zs[1], zs[2], zs[3])
+		}
+	}
+	acc0 := r.GetLazyAcc(pl.union)
+	acc1 := r.GetLazyAcc(pl.union)
+	defer acc0.Release()
+	defer acc1.Release()
+	for d := range pl.digits {
+		dg := &pl.digits[d]
+		conv := r.GetPolyUninit(dg.comp)
+		if err := dg.bc.AccumulateInto(zAll.Limbs[dg.lo:dg.hi], conv.Limbs); err != nil {
+			r.PutPoly(conv)
+			return nil, nil, err
+		}
+		bD, err := r.ViewAt(evk.B[d], pl.union, pl.evkIdx)
+		if err != nil {
+			r.PutPoly(conv)
+			return nil, nil, err
+		}
+		aD, err := r.ViewAt(evk.A[d], pl.union, pl.evkIdx)
+		if err != nil {
+			r.PutView(bD)
+			r.PutPoly(conv)
+			return nil, nil, err
+		}
+		err = r.AbsorbDigitFused(pl.nttU, acc0, acc1, dg.own, c, conv.Limbs, bD, aD)
+		r.PutView(bD)
+		r.PutView(aD)
+		r.PutPoly(conv)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	g0 := r.GetPolyUninit(pl.union)
+	g1 := r.GetPolyUninit(pl.union)
+	defer r.PutPoly(g0)
+	defer r.PutPoly(g1)
+	acc0.ReduceInto(g0)
+	acc1.ReduceInto(g1)
+	// NTT-domain mod-down: only the extension limbs leave the NTT domain,
+	// and the converted limbs' forward transforms are fused with the
+	// combine — 2·|Q_l| fewer transforms than INTT → mod-down → NTT.
+	f0, err := r.ModDownNTTWith(pl.modDown, g0)
+	if err != nil {
+		return nil, nil, err
+	}
+	f1, err := r.ModDownNTTWith(pl.modDown, g1)
+	if err != nil {
+		r.PutPoly(f0)
+		return nil, nil, err
+	}
+	return f0, f1, nil
+}
+
+// keySwitchGeneric is the fallback keyswitch for custom digit partitions
+// and bases without a compiled plan. All temporaries still cycle through
+// the ring's buffer pool.
+func (ev *Evaluator) keySwitchGeneric(c *ring.Poly, evk *EvalKey) (f0, f1 *ring.Poly, err error) {
+	params, r := ev.params, ev.params.Ring
 	l := c.Basis.Len() - 1
 	qlBasis := c.Basis
 	extBasis := params.PBasis

@@ -1,0 +1,45 @@
+package ckks
+
+import "testing"
+
+func BenchmarkKeySwitchL8(b *testing.B) {
+	lit := ParametersLiteral{LogN: 12, LogQ: []int{55, 45, 45, 45, 45, 45, 45, 45, 45}, LogP: []int{58, 58}, LogScale: 45, Seed: 20260805}
+	params, err := NewParameters(lit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := NewEvaluator(params, rlk, nil)
+	enc := NewEncoder(params)
+	vals := make([]complex128, params.Slots())
+	pt, err := enc.Encode(vals, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := NewEncryptor(params, pk).Encrypt(pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := params.Ring
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f0, f1, err := ev.KeySwitch(ct.C1, rlk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.PutPoly(f0)
+		r.PutPoly(f1)
+	}
+}

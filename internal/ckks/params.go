@@ -8,6 +8,7 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"cinnamon/internal/ring"
 	"cinnamon/internal/rns"
@@ -45,6 +46,10 @@ type Parameters struct {
 	QBasis rns.Basis // ciphertext chain q_0..q_L
 	PBasis rns.Basis // special moduli
 	Ring   *ring.Ring
+
+	// ksPlans caches one compiled keyswitch plan per level (ksplan.go).
+	// Slots fill lazily via KSPlanAtLevel or eagerly via CompilePlans.
+	ksPlans []atomic.Pointer[KSPlan]
 }
 
 // NewParameters validates and compiles a parameter literal: it generates
@@ -136,6 +141,7 @@ func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 		QBasis:   qb,
 		PBasis:   pb,
 		Ring:     rg,
+		ksPlans:  make([]atomic.Pointer[KSPlan], qb.Len()),
 	}, nil
 }
 

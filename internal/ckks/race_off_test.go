@@ -1,0 +1,5 @@
+//go:build !race
+
+package ckks
+
+const raceEnabled = false

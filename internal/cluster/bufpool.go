@@ -1,0 +1,103 @@
+package cluster
+
+import "sync"
+
+// Size-classed frame buffer pool (DESIGN.md §12). Every RPC on the
+// coordinator↔worker wire used to materialize at least two fresh byte
+// slices — the encoded payload and, inside WriteFrame, header staging — so
+// a scale-out keyswitch allocated O(digits × chips) transient frames per
+// request. The pool recycles frame storage by power-of-two size class
+// instead: a warm serving steady state encodes and writes frames with zero
+// heap allocations, and the per-class cap bounds retained memory even
+// after a burst of large frames.
+//
+// Buffers are plain []byte with len 0; the class is derived from the
+// capacity, so a buffer that append grew past its class is simply filed
+// under the larger class when returned. The freelists are guarded by a
+// mutex rather than sync.Pool because sync.Pool boxes the slice header on
+// every Put — an allocation that would defeat the zero-alloc discipline
+// the pool exists to provide.
+
+const (
+	// bufMinBits..bufMaxBits span 512 B to maxFrame (64 MiB).
+	bufMinBits = 9
+	bufMaxBits = 26
+	bufClasses = bufMaxBits - bufMinBits + 1
+
+	// bufPerClass bounds each class's freelist. Steady-state traffic
+	// touches one or two classes (digit frames and result frames of the
+	// active parameter set), so a short list already captures the reuse.
+	bufPerClass = 4
+)
+
+type bufClass struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+var frameBufs [bufClasses]bufClass
+
+func init() {
+	for i := range frameBufs {
+		frameBufs[i].free = make([][]byte, 0, bufPerClass)
+	}
+}
+
+// bufClassFor returns the smallest class whose size covers n, or -1 when n
+// exceeds the largest class.
+func bufClassFor(n int) int {
+	size := 1 << bufMinBits
+	for i := 0; i < bufClasses; i++ {
+		if n <= size {
+			return i
+		}
+		size <<= 1
+	}
+	return -1
+}
+
+// getFrameBuf returns a zero-length buffer with capacity at least hint.
+// Requests beyond the largest class (which WriteFrame rejects anyway) fall
+// back to a plain allocation that putFrameBuf will drop.
+func getFrameBuf(hint int) []byte {
+	i := bufClassFor(hint)
+	if i < 0 {
+		return make([]byte, 0, hint)
+	}
+	c := &frameBufs[i]
+	c.mu.Lock()
+	if n := len(c.free); n > 0 {
+		b := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		c.mu.Unlock()
+		return b
+	}
+	c.mu.Unlock()
+	return make([]byte, 0, 1<<(bufMinBits+i))
+}
+
+// putFrameBuf files b back into the class its capacity fills. Buffers that
+// are smaller than the minimum class or whose class is full are dropped to
+// the garbage collector; nil is a no-op, so callers can release
+// unconditionally.
+func putFrameBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<bufMinBits {
+		return
+	}
+	// Largest class whose size is <= cap: getters only rely on the class
+	// size as a lower bound.
+	i := bufClassFor(c)
+	if i < 0 {
+		i = bufClasses - 1
+	} else if 1<<(bufMinBits+i) > c {
+		i--
+	}
+	cl := &frameBufs[i]
+	cl.mu.Lock()
+	if len(cl.free) < bufPerClass {
+		cl.free = append(cl.free, b[:0])
+	}
+	cl.mu.Unlock()
+}

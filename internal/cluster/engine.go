@@ -445,7 +445,10 @@ func (e *Engine) outputAggregation(ctx context.Context, c *ring.Poly, evk *ckks.
 				for k, j := range mine {
 					limbs[k] = cc.Limbs[j]
 				}
-				return WriteFrame(bw, msgLimbs, encodeLimbs(req, scatterDigit, mine, limbs))
+				p := encodeLimbs(req, scatterDigit, mine, limbs)
+				err := WriteFrame(bw, msgLimbs, p)
+				putFrameBuf(p)
+				return err
 			})
 			if err != nil {
 				errs[chip] = err
@@ -534,7 +537,10 @@ func streamDigits(bw *bufio.Writer, req uint64, digits [][2]int, cc *ring.Poly) 
 			return err
 		}
 		chain := rangeIndices(rng[0], rng[1])
-		if err := WriteFrame(bw, msgLimbs, encodeLimbs(req, uint32(d), chain, view.Limbs)); err != nil {
+		p := encodeLimbs(req, uint32(d), chain, view.Limbs)
+		err = WriteFrame(bw, msgLimbs, p)
+		putFrameBuf(p)
+		if err != nil {
 			return err
 		}
 		if err := bw.Flush(); err != nil {
@@ -751,7 +757,10 @@ func (lk *link) tryKeyswitch(ctx context.Context, e *Engine, begin ksBeginMsg, s
 	}
 	req := e.reqSeq.Add(1)
 	begin.req = req
-	if err := WriteFrame(lk.bw, msgKSBegin, encodeKSBegin(begin)); err != nil {
+	p := encodeKSBegin(begin)
+	err = WriteFrame(lk.bw, msgKSBegin, p)
+	putFrameBuf(p)
+	if err != nil {
 		return nil, err
 	}
 	if err := sendLimbs(lk.bw, req); err != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under it, since its instrumentation allocates.
+const raceEnabled = true

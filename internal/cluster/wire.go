@@ -98,24 +98,21 @@ const (
 // digit.
 const scatterDigit = ^uint32(0)
 
-// WriteFrame writes one frame to w, appending the CRC-32C trailer.
+// WriteFrame writes one frame to w, appending the CRC-32C trailer. The
+// frame is assembled in a pooled buffer and issued as a single Write — a
+// warm call allocates nothing and never splits a frame across writes.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload)+frameOverhead > maxFrame {
 		return fmt.Errorf("cluster: frame too large (%d bytes)", len(payload)+frameOverhead)
 	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+frameOverhead))
-	hdr[4] = typ
-	crc := crc32.Update(crc32.Checksum(hdr[4:5], crcTable), crcTable, payload)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	var trailer [crcLen]byte
-	binary.LittleEndian.PutUint32(trailer[:], crc)
-	_, err := w.Write(trailer[:])
+	b := getFrameBuf(4 + 1 + len(payload) + crcLen)
+	b = appendU32(b, uint32(len(payload)+frameOverhead))
+	b = append(b, typ)
+	b = append(b, payload...)
+	crc := crc32.Update(crc32.Checksum(b[4:5], crcTable), crcTable, payload)
+	b = appendU32(b, crc)
+	_, err := w.Write(b)
+	putFrameBuf(b)
 	return err
 }
 
@@ -456,8 +453,10 @@ type ksBeginMsg struct {
 	frames uint32 // msgLimbs frames that follow
 }
 
+// encodeKSBegin serializes a keyswitch kickoff into a pooled buffer; the
+// caller releases it with putFrameBuf after the frame is written.
 func encodeKSBegin(m ksBeginMsg) []byte {
-	b := make([]byte, 0, 32)
+	b := getFrameBuf(32)
 	b = appendU64(b, m.req)
 	b = append(b, m.alg)
 	b = appendU64(b, m.keyID)
@@ -487,12 +486,14 @@ type limbFrame struct {
 	limbs [][]uint64
 }
 
+// encodeLimbs serializes one digit's limb data into a pooled buffer; the
+// caller releases it with putFrameBuf after the frame is written.
 func encodeLimbs(req uint64, digit uint32, chain []int, limbs [][]uint64) []byte {
 	n := 0
 	if len(limbs) > 0 {
 		n = len(limbs[0])
 	}
-	b := make([]byte, 0, 16+len(limbs)*(4+8*n))
+	b := getFrameBuf(16 + len(limbs)*(4+8*n))
 	b = appendU64(b, req)
 	b = appendU32(b, digit)
 	b = appendU32(b, uint32(len(limbs)))
@@ -536,12 +537,14 @@ type ksResultMsg struct {
 	limbs0, limbs1 [][]uint64
 }
 
+// encodeKSResult serializes a chip's output limbs into a pooled buffer;
+// the caller releases it with putFrameBuf after the frame is written.
 func encodeKSResult(m ksResultMsg) []byte {
 	n := 0
 	if len(m.limbs0) > 0 {
 		n = len(m.limbs0[0])
 	}
-	b := make([]byte, 0, 24+(len(m.limbs0)+len(m.limbs1))*(4+8*n))
+	b := getFrameBuf(24 + (len(m.limbs0)+len(m.limbs1))*(4+8*n))
 	b = appendU64(b, m.req)
 	b = appendU32(b, m.moved)
 	for half := 0; half < 2; half++ {

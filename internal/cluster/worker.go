@@ -280,12 +280,15 @@ func (s *session) finish(p *pendingKS) error {
 				p.err = err
 				break
 			}
-			return s.send(msgKSResult, encodeKSResult(ksResultMsg{
+			res := encodeKSResult(ksResultMsg{
 				req:    p.req,
 				moved:  uint32(p.ib.Moved()),
 				chain0: p.ib.Mine(), limbs0: down0.Limbs,
 				chain1: p.ib.Mine(), limbs1: down1.Limbs,
-			}))
+			})
+			err = s.send(msgKSResult, res)
+			putFrameBuf(res)
+			return err
 		case algOA:
 			down0, down1, err := s.eng.ChipOA(p.key, s.chip, p.level, p.scatter)
 			if err != nil {
@@ -307,12 +310,14 @@ func (s *session) finish(p *pendingKS) error {
 			if s.chip != 0 {
 				moved = 2 * (p.level + 1)
 			}
-			err = s.send(msgKSResult, encodeKSResult(ksResultMsg{
+			res := encodeKSResult(ksResultMsg{
 				req:    p.req,
 				moved:  uint32(moved),
 				chain0: chain, limbs0: down0.Limbs,
 				chain1: chain, limbs1: down1.Limbs,
-			}))
+			})
+			err = s.send(msgKSResult, res)
+			putFrameBuf(res)
 			r.PutPoly(down0)
 			r.PutPoly(down1)
 			return err

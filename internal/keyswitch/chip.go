@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"cinnamon/internal/ckks"
+	"cinnamon/internal/ntt"
 	"cinnamon/internal/ring"
 	"cinnamon/internal/rns"
 )
@@ -51,9 +52,20 @@ type ChipIB struct {
 	chip int
 	l    int
 
-	mine       []int // chain indices this chip owns at level l
-	ownBasis   rns.Basis
-	chipBasis  rns.Basis
+	mine      []int // chain indices this chip owns at level l
+	ownBasis  rns.Basis
+	chipBasis rns.Basis
+	// Precompiled schedule (nil on table-free rings, where the legacy
+	// kernel path runs instead): the batch NTT plan over the chip basis,
+	// the own ← own ∪ P mod-down plan, the universe limb positions of the
+	// chip-basis moduli (for evaluation-key views), and the
+	// AbsorbDigitFused ownership map — owned chain limbs are always
+	// coefficient-domain mod-up rows (own[u] < 0), extension limbs index
+	// into the shared NTT-domain extension (own[u] ≥ 0).
+	plan       *ntt.BatchPlan
+	mdPlan     *ring.ModDownPlan
+	evkIdx     []int
+	fusedOwn   []int
 	acc0, acc1 *ring.LazyAcc // fused inner product over the chip basis
 
 	moved    int // limbs absorbed that the chip does not own
@@ -99,6 +111,34 @@ func (e *Engine) NewChipIB(evk *ckks.EvalKey, chip, l int) (*ChipIB, error) {
 		chipBasis: rns.Basis{Moduli: chipMods},
 		acc0:      r.GetLazyAcc(rns.Basis{Moduli: chipMods}),
 		acc1:      r.GetLazyAcc(rns.Basis{Moduli: chipMods}),
+	}
+	if r.Plan() != nil {
+		var err error
+		if c.plan, err = r.PlanForBasis(c.chipBasis); err != nil {
+			c.Release()
+			return nil, err
+		}
+		if c.mdPlan, err = r.NewModDownPlan(c.ownBasis, params.PBasis); err != nil {
+			c.Release()
+			return nil, err
+		}
+		c.evkIdx = make([]int, len(chipMods))
+		for u, q := range chipMods {
+			j, ok := r.UniverseIndex(q)
+			if !ok {
+				c.Release()
+				return nil, fmt.Errorf("keyswitch: chip modulus %d outside universe", q)
+			}
+			c.evkIdx[u] = j
+		}
+		c.fusedOwn = make([]int, len(chipMods))
+		for u := range c.fusedOwn {
+			if u < len(mine) {
+				c.fusedOwn[u] = -1
+			} else {
+				c.fusedOwn[u] = u - len(mine)
+			}
+		}
 	}
 	return c, nil
 }
@@ -162,24 +202,48 @@ func (c *ChipIB) AbsorbDigitShared(d int, digitLimbs [][]uint64, extNTT *ring.Po
 		if err != nil {
 			return err
 		}
+		defer r.PutPoly(local)
 		extNTT = local
 	}
 	if !extNTT.IsNTT || extNTT.Basis.Len() != c.e.Params.PBasis.Len() {
 		return fmt.Errorf("keyswitch: digit extension must be NTT-domain over the P basis")
 	}
 	// Mod-up restricted to the owned chain limbs (the extension part is
-	// supplied), transformed once, feeding both accumulators.
+	// supplied), coefficient domain.
 	own, err := c.e.chipDigitModUpOwn(digitLimbs, lo, hi, c.mine, c.ownBasis)
 	if err != nil {
 		return err
 	}
 	defer r.PutPoly(own)
+	if c.plan != nil {
+		// Fused path: the owned mod-up rows run the fused
+		// forward-transform-and-accumulate kernel (their NTT images never
+		// reach memory), the shared extension limbs multiply-accumulate in
+		// place, and the evaluation-key halves are borrowed views at the
+		// precompiled universe positions — no transform pass, no header
+		// churn.
+		bD, err := r.ViewAt(c.evk.B[d], c.chipBasis, c.evkIdx)
+		if err != nil {
+			return err
+		}
+		defer r.PutView(bD)
+		aD, err := r.ViewAt(c.evk.A[d], c.chipBasis, c.evkIdx)
+		if err != nil {
+			return err
+		}
+		defer r.PutView(aD)
+		if err := r.AbsorbDigitFused(c.plan, c.acc0, c.acc1, c.fusedOwn, extNTT, own.Limbs, bD, aD); err != nil {
+			return err
+		}
+		c.absorbed++
+		return nil
+	}
+	// Legacy path (table-free rings): transform the owned limbs, assemble
+	// the chip-basis view — borrowed limb slices, never pooled — and
+	// multiply-accumulate.
 	if err := r.NTT(own); err != nil {
 		return err
 	}
-	// Assemble the chip-basis view: owned limbs followed by the shared
-	// extension limbs. The view only borrows the limb slices, so it is
-	// never pooled — `own` is released here, extNTT by its producer.
 	ext := &ring.Poly{Basis: c.chipBasis, IsNTT: true}
 	ext.Limbs = make([][]uint64, 0, c.chipBasis.Len())
 	ext.Limbs = append(ext.Limbs, own.Limbs...)
@@ -218,20 +282,34 @@ func (c *ChipIB) Finish() (down0, down1 *ring.Poly, err error) {
 	// Local mod-down: the duplicated extension limbs are the trailing
 	// limbs of the chip basis, so no communication is needed.
 	for fi, acc := range []*ring.LazyAcc{c.acc0, c.acc1} {
-		f := r.GetPoly(c.chipBasis)
+		f := r.GetPolyUninit(c.chipBasis)
 		acc.ReduceInto(f)
-		if err := r.INTT(f); err != nil {
+		var down *ring.Poly
+		var err error
+		if c.mdPlan != nil {
+			// NTT-domain mod-down through the precompiled plan: only the
+			// extension limbs leave the NTT domain, and the combine is
+			// fused with the forward transform (ring.ModDownNTTWith) —
+			// bit-identical to the INTT → ModDown → NTT triple it replaces.
+			down, err = r.ModDownNTTWith(c.mdPlan, f)
 			r.PutPoly(f)
-			return nil, nil, err
-		}
-		down, err := r.ModDown(f, params.PBasis)
-		r.PutPoly(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := r.NTT(down); err != nil {
-			r.PutPoly(down)
-			return nil, nil, err
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			if err := r.INTT(f); err != nil {
+				r.PutPoly(f)
+				return nil, nil, err
+			}
+			down, err = r.ModDown(f, params.PBasis)
+			r.PutPoly(f)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := r.NTT(down); err != nil {
+				r.PutPoly(down)
+				return nil, nil, err
+			}
 		}
 		if fi == 0 {
 			c.down0 = down
@@ -261,7 +339,9 @@ func (c *ChipIB) Release() {
 // extension basis P and transforms the result to the NTT domain. This part
 // of the per-digit mod-up is chip-independent — every chip basis carries
 // the same duplicated P moduli — so the in-process engine computes it once
-// per digit and shares it across all chips via AbsorbDigitShared.
+// per digit and shares it across all chips via AbsorbDigitShared. The
+// returned polynomial and all scratch are pooled; the caller releases it
+// with PutPoly once every chip has absorbed the digit.
 func (e *Engine) DigitExtNTT(digitLimbs [][]uint64, lo, hi int) (*ring.Poly, error) {
 	params, r := e.Params, e.Params.Ring
 	digitBasis := rns.Basis{Moduli: params.QBasis.Moduli[lo:hi]}
@@ -269,12 +349,16 @@ func (e *Engine) DigitExtNTT(digitLimbs [][]uint64, lo, hi int) (*ring.Poly, err
 	if err != nil {
 		return nil, err
 	}
-	conv, err := bc.Convert(digitLimbs)
-	if err != nil {
+	z := r.GetPolyUninit(digitBasis)
+	ext := r.GetPolyUninit(params.PBasis)
+	if err := bc.ConvertInto(digitLimbs, z.Limbs, ext.Limbs); err != nil {
+		r.PutPoly(z)
+		r.PutPoly(ext)
 		return nil, err
 	}
-	ext := &ring.Poly{Basis: params.PBasis, Limbs: conv}
+	r.PutPoly(z)
 	if err := r.NTT(ext); err != nil {
+		r.PutPoly(ext)
 		return nil, err
 	}
 	return ext, nil
@@ -293,26 +377,33 @@ func (e *Engine) chipDigitModUpOwn(digitLimbs [][]uint64, lo, hi int, mine []int
 			convMods = append(convMods, params.QBasis.Moduli[j])
 		}
 	}
-	var conv [][]uint64
+	var conv *ring.Poly
 	if len(convMods) > 0 {
-		bc, err := ring.ConverterFor(digitBasis, rns.Basis{Moduli: convMods})
+		convBasis := rns.Basis{Moduli: convMods}
+		bc, err := ring.ConverterFor(digitBasis, convBasis)
 		if err != nil {
 			return nil, err
 		}
-		if conv, err = bc.Convert(digitLimbs); err != nil {
+		z := r.GetPolyUninit(digitBasis)
+		conv = r.GetPolyUninit(convBasis)
+		if err := bc.ConvertInto(digitLimbs, z.Limbs, conv.Limbs); err != nil {
+			r.PutPoly(z)
+			r.PutPoly(conv)
 			return nil, err
 		}
+		r.PutPoly(z)
 	}
-	out := r.GetPoly(ownBasis)
+	out := r.GetPolyUninit(ownBasis)
 	ci := 0
 	for k, j := range mine {
 		if j >= lo && j < hi {
 			copy(out.Limbs[k], digitLimbs[j-lo])
 		} else {
-			copy(out.Limbs[k], conv[ci])
+			copy(out.Limbs[k], conv.Limbs[ci])
 			ci++
 		}
 	}
+	r.PutPoly(conv)
 	return out, nil
 }
 

@@ -91,6 +91,7 @@ func (e *Engine) inputBroadcast(c *ring.Poly, evk *ckks.EvalKey) (*ring.Poly, *r
 			}
 			return chips[chip].AbsorbDigitShared(d, cc.Limbs[lo:hi], extNTT)
 		})
+		e.Params.Ring.PutPoly(extNTT)
 		if err != nil {
 			return nil, nil, stats, err
 		}

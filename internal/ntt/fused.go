@@ -1,0 +1,427 @@
+package ntt
+
+import "cinnamon/internal/rns"
+
+// Fused transform kernels. The NTT is never an end in itself: in the
+// keyswitch inner product every forward transform feeds a pointwise
+// multiply (often two, against both halves of an evaluation key), and
+// every inverse transform of a partial sum is preceded by an add or a
+// wide-accumulator reduction. Materializing the intermediate polynomial
+// between those steps costs one full write plus one full read of the limb
+// per fusion opportunity — pure memory traffic the GPU FHE literature
+// eliminates by kernel fusion, and which applies identically on CPU.
+//
+// The kernels here split the transform into a cache-blocked main body
+// (all stages but one) and interchangeable boundary stages:
+//
+//   - forwardMain runs Cooley-Tukey stages m = 1 .. N/4 with the
+//     interleaved twiddle layout, leaving last-stage inputs in [0, 4q);
+//   - fwdLast / fwdLastMul / fwdLastMulAccPair finish the transform with,
+//     respectively, a canonical store, a fused Barrett multiply against a
+//     second operand, or a fused multiply-accumulate into two 128-bit
+//     accumulators (the keyswitch digit absorb);
+//   - inverseMain runs Gentleman-Sande stages m = N .. 4, optionally
+//     fusing a pointwise add into its first-stage reads (the canonical
+//     inputs sum to < 2q, which is exactly the stage invariant, so the
+//     fusion is free);
+//   - invLast finishes with the N⁻¹ folding and canonical correction.
+//
+// The fused multiply needs no canonical correction at all: the lazy
+// butterfly outputs are < 4q and the Barrett kernel accepts any left
+// operand whose product keeps the high word below q, which 4q·q < q·2^64
+// guarantees for q < 2^62. The two conditional subtractions of the plain
+// last stage simply vanish.
+//
+// blockWords is the cache-block size of the main stages in coefficients:
+// once butterfly spans fit in a block, each block's remaining stages run
+// to completion while the data is L1-resident, instead of sweeping the
+// full limb once per stage. 4096 words = 32 KiB, sized to a common L1d.
+const blockWords = 4096
+
+// forwardMain runs all forward stages except the last (inputs canonical,
+// outputs < 4q). For N ≤ 2 there is nothing to do: the single stage is the
+// last stage.
+func (t *Table) forwardMain(a []uint64) {
+	q, twoQ := t.Q, t.twoQ
+	n := t.N
+	if n <= 2 {
+		return
+	}
+	tw := t.twF
+	half := n >> 1
+	// Stage m=1: inputs are canonical (< q), so the conditional
+	// subtract-by-2q is provably a no-op and skipped.
+	w, ws := tw[2], tw[3]
+	{
+		x, y := a[:half:half], a[half:n:n]
+		for i := range x {
+			u := x[i]
+			v := rns.MulModShoupLazy(y[i], w, ws, q)
+			x[i] = u + v
+			y[i] = u + twoQ - v
+		}
+	}
+	// Phase 1: full-array passes while a butterfly span still exceeds the
+	// cache block.
+	step := half
+	m := 2
+	for ; m <= n>>2 && step > blockWords; m <<= 1 {
+		step >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * step
+			w, ws := tw[2*(m+i)], tw[2*(m+i)+1]
+			x := a[j1 : j1+step : j1+step]
+			y := a[j1+step : j1+2*step : j1+2*step]
+			for k := range x {
+				u := rns.Reduce2Q(x[k], twoQ)
+				v := rns.MulModShoupLazy(y[k], w, ws, q)
+				x[k] = u + v
+				y[k] = u + twoQ - v
+			}
+		}
+	}
+	if m > n>>2 {
+		return
+	}
+	// Phase 2: the array now decomposes into mS contiguous blocks of
+	// L = N/mS ≤ blockWords coefficients; every remaining stage works
+	// within one block, so each block runs its stages back to back while
+	// L1-resident. Twiddle index of stage mm, block b, local butterfly ii
+	// is mm + b·(mm/mS) + ii.
+	mS := m
+	L := step
+	for b := 0; b < mS; b++ {
+		base := b * L
+		stepB := L >> 1
+		mPer := 1
+		for mm := mS; mm <= n>>2; mm <<= 1 {
+			for ii := 0; ii < mPer; ii++ {
+				i := b*mPer + ii
+				j1 := base + 2*ii*stepB
+				w, ws := tw[2*(mm+i)], tw[2*(mm+i)+1]
+				x := a[j1 : j1+stepB : j1+stepB]
+				y := a[j1+stepB : j1+2*stepB : j1+2*stepB]
+				for k := range x {
+					u := rns.Reduce2Q(x[k], twoQ)
+					v := rns.MulModShoupLazy(y[k], w, ws, q)
+					x[k] = u + v
+					y[k] = u + twoQ - v
+				}
+			}
+			stepB >>= 1
+			mPer <<= 1
+		}
+	}
+}
+
+// fwdLast finishes a forward transform with canonical (< q) outputs;
+// forwardMain + fwdLast is bit-identical to Forward.
+func (t *Table) fwdLast(a []uint64) {
+	q, twoQ := t.Q, t.twoQ
+	m := t.N >> 1
+	tw := t.twF
+	for i := 0; i < m; i++ {
+		j := 2 * i
+		w, ws := tw[2*(m+i)], tw[2*(m+i)+1]
+		u := rns.Reduce2Q(a[j], twoQ)
+		v := rns.MulModShoupLazy(a[j+1], w, ws, q)
+		a[j] = rns.ReduceOnce(rns.Reduce2Q(u+v, twoQ), q)
+		a[j+1] = rns.ReduceOnce(rns.Reduce2Q(u+twoQ-v, twoQ), q)
+	}
+}
+
+// fwdLastMul finishes a forward transform fused with a pointwise multiply:
+// out = NTT(a) ⊙ b, with b canonical NTT-domain. The lazy butterfly sums
+// (< 4q) feed the Barrett multiply directly — no canonical correction and
+// no intermediate store of the transform result.
+func (t *Table) fwdLastMul(a, b, out []uint64) {
+	q, twoQ := t.Q, t.twoQ
+	m := t.N >> 1
+	tw := t.twF
+	bar := t.bar
+	for i := 0; i < m; i++ {
+		j := 2 * i
+		w, ws := tw[2*(m+i)], tw[2*(m+i)+1]
+		u := rns.Reduce2Q(a[j], twoQ)
+		v := rns.MulModShoupLazy(a[j+1], w, ws, q)
+		out[j] = bar.MulMod(u+v, b[j])
+		out[j+1] = bar.MulMod(u+twoQ-v, b[j+1])
+	}
+}
+
+// fwdLastMulAccPair finishes a forward transform fused with the keyswitch
+// digit absorb: the transform value x (computed in-register) is
+// multiply-accumulated into two 128-bit accumulators, x·b0 into (h0, l0)
+// and x·b1 into (h1, l1). The NTT-domain polynomial is never written to
+// memory. x is deliberately left lazy (< 4q): the products stay congruent
+// mod q and the accumulator's final Barrett reduction canonicalizes, so the
+// two conditional subtractions per butterfly output simply vanish. The
+// caller must budget each product at LazyMulAccWeight canonical units.
+func (t *Table) fwdLastMulAccPair(a, b0, b1, h0, l0, h1, l1 []uint64) {
+	q, twoQ := t.Q, t.twoQ
+	m := t.N >> 1
+	tw := t.twF
+	for i := 0; i < m; i++ {
+		j := 2 * i
+		w, ws := tw[2*(m+i)], tw[2*(m+i)+1]
+		u := rns.Reduce2Q(a[j], twoQ)
+		v := rns.MulModShoupLazy(a[j+1], w, ws, q)
+		x0 := u + v
+		x1 := u + twoQ - v
+		h0[j], l0[j] = rns.MulAccLazy(h0[j], l0[j], x0, b0[j])
+		h1[j], l1[j] = rns.MulAccLazy(h1[j], l1[j], x0, b1[j])
+		h0[j+1], l0[j+1] = rns.MulAccLazy(h0[j+1], l0[j+1], x1, b0[j+1])
+		h1[j+1], l1[j+1] = rns.MulAccLazy(h1[j+1], l1[j+1], x1, b1[j+1])
+	}
+}
+
+// fwdLastSubMul finishes a forward transform fused with the mod-down
+// combine: out = (src − NTT(a)) · w mod q, pointwise, with src canonical
+// NTT-domain and (w, ws) a Shoup-prepared scalar (P⁻¹ mod q in the
+// keyswitch). The lazy butterfly value x < 4q enters the subtraction as
+// src + 4q − x ∈ (0, 5q), which the Shoup kernel (exact for any
+// representative) reduces canonically — no correction of x, no store of
+// the transform, no separate combine pass.
+func (t *Table) fwdLastSubMul(a, src, out []uint64, w, ws uint64) {
+	q, twoQ := t.Q, t.twoQ
+	fourQ := twoQ << 1
+	m := t.N >> 1
+	tw := t.twF
+	for i := 0; i < m; i++ {
+		j := 2 * i
+		tww, tws := tw[2*(m+i)], tw[2*(m+i)+1]
+		u := rns.Reduce2Q(a[j], twoQ)
+		v := rns.MulModShoupLazy(a[j+1], tww, tws, q)
+		out[j] = rns.MulModShoup(src[j]+fourQ-(u+v), w, ws, q)
+		out[j+1] = rns.MulModShoup(src[j+1]+fourQ-(u+twoQ-v), w, ws, q)
+	}
+}
+
+// ForwardSubMul computes out = (src − NTT(a)) · w mod q in one fused pass —
+// the per-limb mod-down combine run directly in the NTT domain. a
+// (coefficient domain) is consumed; src is canonical NTT-domain; out is
+// canonical and must not alias a. Bit-identical to Forward(a) followed by
+// MulModShoup(SubMod(src, a, q), w, ws, q) pointwise.
+func (t *Table) ForwardSubMul(a, src, out []uint64, w, ws uint64) {
+	t.forwardMain(a)
+	t.fwdLastSubMul(a, src, out, w, ws)
+}
+
+// inverseMain runs all inverse stages except the last (m=2). Inputs must
+// be < 2q; when add is non-nil, the first stage reads a[k]+add[k] instead
+// of a[k] — with both canonical the sum is < 2q, exactly the stage's input
+// invariant, so the preceding pointwise add costs nothing. Outputs are
+// < 2q. The stages are cache-blocked: each block of ≤ blockWords
+// coefficients runs its small-span stages to completion first.
+func (t *Table) inverseMain(a, add []uint64) {
+	t.inverseMainFrom(a, add, nil)
+}
+
+// inverseMainFrom is inverseMain with the first stage optionally reading
+// from src instead of a (writes still go to a): the input copy that
+// otherwise precedes an out-of-place inverse transform folds into the
+// first-stage loads for free. add and src compose; src == nil reads a.
+func (t *Table) inverseMainFrom(a, add, src []uint64) {
+	q, twoQ := t.Q, t.twoQ
+	n := t.N
+	tw := t.twI
+	L := blockWords
+	if L > n {
+		L = n
+	}
+	nB := n / L
+	for b := 0; b < nB; b++ {
+		base := b * L
+		step := 1
+		first := add != nil || src != nil
+		for m := n; m >= 2*nB && m > 2; m >>= 1 {
+			h := m >> 1
+			gPer := L * m / (2 * n)
+			j1 := base
+			for ii := 0; ii < gPer; ii++ {
+				i := b*gPer + ii
+				w, ws := tw[2*(h+i)], tw[2*(h+i)+1]
+				x := a[j1 : j1+step : j1+step]
+				y := a[j1+step : j1+2*step : j1+2*step]
+				if first {
+					rx, ry := x, y
+					if src != nil {
+						rx = src[j1 : j1+step : j1+step]
+						ry = src[j1+step : j1+2*step : j1+2*step]
+					}
+					if add != nil {
+						bx := add[j1 : j1+step : j1+step]
+						by := add[j1+step : j1+2*step : j1+2*step]
+						for k := range x {
+							u := rx[k] + bx[k]
+							v := ry[k] + by[k]
+							x[k] = rns.AddModLazy(u, v, twoQ)
+							y[k] = rns.MulModShoupLazy(u+twoQ-v, w, ws, q)
+						}
+					} else {
+						for k := range x {
+							u, v := rx[k], ry[k]
+							x[k] = rns.AddModLazy(u, v, twoQ)
+							y[k] = rns.MulModShoupLazy(u+twoQ-v, w, ws, q)
+						}
+					}
+				} else {
+					for k := range x {
+						u, v := x[k], y[k]
+						x[k] = rns.AddModLazy(u, v, twoQ)
+						y[k] = rns.MulModShoupLazy(u+twoQ-v, w, ws, q)
+					}
+				}
+				j1 += 2 * step
+			}
+			first = false
+			step <<= 1
+		}
+	}
+	// Full-array stages: spans larger than one block.
+	step := L
+	for m := nB; m > 2; m >>= 1 {
+		h := m >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			w, ws := tw[2*(h+i)], tw[2*(h+i)+1]
+			x := a[j1 : j1+step : j1+step]
+			y := a[j1+step : j1+2*step : j1+2*step]
+			for k := range x {
+				u, v := x[k], y[k]
+				x[k] = rns.AddModLazy(u, v, twoQ)
+				y[k] = rns.MulModShoupLazy(u+twoQ-v, w, ws, q)
+			}
+			j1 += 2 * step
+		}
+		step <<= 1
+	}
+}
+
+// invLastScaled finishes an inverse transform with caller-supplied
+// last-stage scalar pairs: the x half multiplies by wx, the y half by wy,
+// both Shoup-prepared. With (wx, wy) = (N⁻¹·s, w_last·s) — see
+// ScaledLastPair — the output is INTT(input)·s, folding a pointwise scalar
+// multiply into the transform for free. Inputs must be < 2q; outputs are
+// canonical.
+func (t *Table) invLastScaled(a []uint64, wx, wxs, wy, wys uint64) {
+	q, twoQ := t.Q, t.twoQ
+	half := t.N >> 1
+	x, y := a[:half:half], a[half:t.N:t.N]
+	for k := range x {
+		u, v := x[k], y[k]
+		x[k] = rns.ReduceOnce(rns.MulModShoupLazy(u+v, wx, wxs, q), q)
+		y[k] = rns.ReduceOnce(rns.MulModShoupLazy(u+twoQ-v, wy, wys, q), q)
+	}
+}
+
+// ScaledLastPair returns the Shoup-prepared last-stage scalar pair that
+// makes invLastScaled compute INTT(·)·s: (N⁻¹·s, w_last·s) and their Shoup
+// companions. Intended for plan compile time (keyswitch digit decompose:
+// s = (Q/q_j)⁻¹ mod q_j folds the base-conversion z-stage into the
+// transform).
+func (t *Table) ScaledLastPair(s uint64) (wx, wxs, wy, wys uint64) {
+	q := t.Q
+	wx = rns.MulMod(t.nInv, s, q)
+	wy = rns.MulMod(t.wLast, s, q)
+	return wx, rns.ShoupPrecomp(wx, q), wy, rns.ShoupPrecomp(wy, q)
+}
+
+// InverseScaledFrom computes dst = INTT(src)·s in one fused pass, with
+// (wx, wy) from ScaledLastPair(s): the input copy folds into the first
+// stage's loads and the scalar multiply into the last stage's twiddles.
+// src (canonical NTT-domain) is unchanged; dst is canonical and must not
+// alias src. Bit-identical to copy + Inverse + pointwise MulModShoup by s.
+func (t *Table) InverseScaledFrom(src, dst []uint64, wx, wxs, wy, wys uint64) {
+	if t.N < 4 {
+		copy(dst, src)
+	} else {
+		t.inverseMainFrom(dst, nil, src)
+	}
+	t.invLastScaled(dst, wx, wxs, wy, wys)
+}
+
+// invLast finishes an inverse transform: both outputs pick up N⁻¹ and one
+// conditional subtraction returns them to [0, q). Inputs must be < 2q.
+func (t *Table) invLast(a []uint64) {
+	q, twoQ := t.Q, t.twoQ
+	half := t.N >> 1
+	ni, nis := t.nInv, t.nInvShoup
+	w, ws := t.wLast, t.wLastShoup
+	x, y := a[:half:half], a[half:t.N:t.N]
+	for k := range x {
+		u, v := x[k], y[k]
+		x[k] = rns.ReduceOnce(rns.MulModShoupLazy(u+v, ni, nis, q), q)
+		y[k] = rns.ReduceOnce(rns.MulModShoupLazy(u+twoQ-v, w, ws, q), q)
+	}
+}
+
+// ForwardMul computes out = NTT(a) ⊙ b in one fused pass: the forward
+// transform's last stage multiplies against b (canonical, NTT domain)
+// instead of storing the transform result, so the NTT-domain intermediate
+// of a never reaches memory. a is consumed (left in an unspecified
+// pre-last-stage state); out must not alias a. Bit-identical to
+// Forward(a) followed by a canonical Barrett pointwise multiply.
+func (t *Table) ForwardMul(a, b, out []uint64) {
+	t.forwardMain(a)
+	t.fwdLastMul(a, b, out)
+}
+
+// ForwardMulPair computes out0 = NTT(a) ⊙ b0 and out1 = NTT(a) ⊙ b1,
+// transforming a once. a is consumed; out0/out1 must not alias a.
+func (t *Table) ForwardMulPair(a, b0, b1, out0, out1 []uint64) {
+	t.forwardMain(a)
+	t.fwdLastMul(a, b0, out0)
+	t.fwdLastMul(a, b1, out1)
+}
+
+// LazyMulAccWeight is the overflow-budget weight of one ForwardMulAccPair
+// product in canonical-product units (rns.MaxLazyAdds): the fused last
+// stage accumulates lazy (< 4q) transform values, so each product is at
+// most 4q·q instead of q².
+const LazyMulAccWeight = 4
+
+// ForwardMulAccPair accumulates NTT(a) ⊙ b0 into the 128-bit accumulator
+// (h0, l0) and NTT(a) ⊙ b1 into (h1, l1) in one fused pass — the per-digit
+// kernel of the hybrid keyswitch inner product. a is consumed. The left
+// factors are lazy (< 4q) transform values: the accumulated residues are
+// congruent to the canonical products mod q, and the caller's final wide
+// Barrett reduction yields bit-identical canonical results. The caller owns
+// the accumulator overflow budget at LazyMulAccWeight canonical-product
+// units per cell per call (see rns.MaxLazyAdds).
+func (t *Table) ForwardMulAccPair(a, b0, b1, h0, l0, h1, l1 []uint64) {
+	t.forwardMain(a)
+	t.fwdLastMulAccPair(a, b0, b1, h0, l0, h1, l1)
+}
+
+// AddInverse computes a = INTT(a + b) in one fused pass, folding the
+// pointwise add into the inverse transform's first-stage reads. Both
+// inputs must be canonical NTT-domain values; b is unchanged.
+// Bit-identical to AddMod followed by Inverse.
+func (t *Table) AddInverse(a, b []uint64) {
+	if t.N < 4 {
+		for i := range a {
+			a[i] += b[i] // < 2q: exactly invLast's input invariant
+		}
+		t.invLast(a)
+		return
+	}
+	t.inverseMain(a, b)
+	t.invLast(a)
+}
+
+// forwardB is the batched-plan forward transform: blocked main stages plus
+// the canonical last stage. Bit-identical to Forward.
+func (t *Table) forwardB(a []uint64) {
+	t.forwardMain(a)
+	t.fwdLast(a)
+}
+
+// inverseB is the batched-plan inverse transform. Bit-identical to
+// Inverse.
+func (t *Table) inverseB(a []uint64) {
+	if t.N >= 4 {
+		t.inverseMain(a, nil)
+	}
+	t.invLast(a)
+}

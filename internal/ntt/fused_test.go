@@ -1,0 +1,327 @@
+package ntt
+
+import (
+	mbits "math/bits"
+	"math/rand"
+	"testing"
+
+	"cinnamon/internal/parallel"
+	"cinnamon/internal/rns"
+)
+
+// testPrime returns an NTT-friendly prime for dimension n near 2^bits.
+func testPrime(t *testing.T, n int, bits int) uint64 {
+	t.Helper()
+	logN := mbits.Len(uint(n)) - 1
+	qs, err := rns.GenerateNTTPrimes(bits, logN, 1)
+	if err != nil {
+		t.Fatalf("generate prime: %v", err)
+	}
+	return qs[0]
+}
+
+func randPoly(rng *rand.Rand, n int, q uint64) []uint64 {
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % q
+	}
+	return a
+}
+
+// TestForwardMulMatchesUnfused proves the fused NTT+pointwise-multiply is
+// bit-identical to Forward followed by a canonical Barrett multiply,
+// across dimensions and random inputs.
+func TestForwardMulMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8, 64, 1024, 4096, 8192} {
+		for _, bits := range []int{30, 45, 58} {
+			q := testPrime(t, n, bits)
+			tb, err := NewTable(n, q)
+			if err != nil {
+				t.Fatalf("n=%d q=%d: %v", n, q, err)
+			}
+			bar := rns.NewBarrettParams(q)
+			for trial := 0; trial < 4; trial++ {
+				a := randPoly(rng, n, q)
+				b := randPoly(rng, n, q)
+				ref := append([]uint64(nil), a...)
+				tb.Forward(ref)
+				for i := range ref {
+					ref[i] = bar.MulMod(ref[i], b[i])
+				}
+				out := make([]uint64, n)
+				tb.ForwardMul(a, b, out)
+				for i := range out {
+					if out[i] != ref[i] {
+						t.Fatalf("n=%d bits=%d trial=%d: ForwardMul[%d] = %d, unfused %d", n, bits, trial, i, out[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardMulPairMatchesUnfused checks the two-output variant against
+// two independent unfused compositions.
+func TestForwardMulPairMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 4096
+	q := testPrime(t, n, 45)
+	tb, err := NewTable(n, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar := rns.NewBarrettParams(q)
+	a := randPoly(rng, n, q)
+	b0 := randPoly(rng, n, q)
+	b1 := randPoly(rng, n, q)
+	ref := append([]uint64(nil), a...)
+	tb.Forward(ref)
+	ref0 := make([]uint64, n)
+	ref1 := make([]uint64, n)
+	for i := range ref {
+		ref0[i] = bar.MulMod(ref[i], b0[i])
+		ref1[i] = bar.MulMod(ref[i], b1[i])
+	}
+	out0 := make([]uint64, n)
+	out1 := make([]uint64, n)
+	tb.ForwardMulPair(a, b0, b1, out0, out1)
+	for i := 0; i < n; i++ {
+		if out0[i] != ref0[i] || out1[i] != ref1[i] {
+			t.Fatalf("ForwardMulPair[%d] = (%d,%d), unfused (%d,%d)", i, out0[i], out1[i], ref0[i], ref1[i])
+		}
+	}
+}
+
+// TestForwardMulAccPairMatchesUnfused proves the fused digit-absorb kernel
+// (transform + double multiply-accumulate) matches Forward followed by
+// explicit MulAccLazy accumulation. The fused kernel accumulates lazy
+// (< 4q) transform values, so raw 128-bit accumulator words differ by
+// multiples of q·b; what must (and does) agree bit-for-bit is the
+// canonical residue after the wide Barrett reduction — the only value the
+// keyswitch ever reads out of an accumulator.
+func TestForwardMulAccPairMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{2, 8, 4096} {
+		q := testPrime(t, n, 45)
+		tb, err := NewTable(n, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bar := rns.NewBarrettParams(q)
+		a := randPoly(rng, n, q)
+		b0 := randPoly(rng, n, q)
+		b1 := randPoly(rng, n, q)
+		// Seed the accumulators with prior partial sums.
+		h0 := randPoly(rng, n, 1<<20)
+		l0 := randPoly(rng, n, q)
+		h1 := randPoly(rng, n, 1<<20)
+		l1 := randPoly(rng, n, q)
+		rh0 := append([]uint64(nil), h0...)
+		rl0 := append([]uint64(nil), l0...)
+		rh1 := append([]uint64(nil), h1...)
+		rl1 := append([]uint64(nil), l1...)
+		ref := append([]uint64(nil), a...)
+		tb.Forward(ref)
+		for i := range ref {
+			rh0[i], rl0[i] = rns.MulAccLazy(rh0[i], rl0[i], ref[i], b0[i])
+			rh1[i], rl1[i] = rns.MulAccLazy(rh1[i], rl1[i], ref[i], b1[i])
+		}
+		tb.ForwardMulAccPair(a, b0, b1, h0, l0, h1, l1)
+		for i := 0; i < n; i++ {
+			if bar.ReduceWide(h0[i], l0[i]) != bar.ReduceWide(rh0[i], rl0[i]) ||
+				bar.ReduceWide(h1[i], l1[i]) != bar.ReduceWide(rh1[i], rl1[i]) {
+				t.Fatalf("n=%d: ForwardMulAccPair[%d] residue diverges from unfused", n, i)
+			}
+		}
+	}
+}
+
+// TestForwardSubMulMatchesUnfused proves the fused NTT-domain mod-down
+// combine is bit-identical to Forward followed by a canonical pointwise
+// (src − x)·w mod q.
+func TestForwardSubMulMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, n := range []int{2, 4, 8, 64, 1024, 4096, 8192} {
+		for _, bits := range []int{30, 45, 58} {
+			q := testPrime(t, n, bits)
+			tb, err := NewTable(n, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := rng.Uint64() % q
+			ws := rns.ShoupPrecomp(w, q)
+			for trial := 0; trial < 4; trial++ {
+				a := randPoly(rng, n, q)
+				src := randPoly(rng, n, q)
+				ref := append([]uint64(nil), a...)
+				tb.Forward(ref)
+				for i := range ref {
+					ref[i] = rns.MulModShoup(rns.SubMod(src[i], ref[i], q), w, ws, q)
+				}
+				out := make([]uint64, n)
+				tb.ForwardSubMul(a, src, out, w, ws)
+				for i := range out {
+					if out[i] != ref[i] {
+						t.Fatalf("n=%d bits=%d trial=%d: ForwardSubMul[%d] = %d, unfused %d", n, bits, trial, i, out[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInverseScaledFromMatchesUnfused proves the fused out-of-place scaled
+// inverse transform is bit-identical to copy + Inverse + pointwise scalar
+// multiply.
+func TestInverseScaledFromMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{2, 4, 8, 64, 1024, 4096, 8192} {
+		for _, bits := range []int{30, 45, 58} {
+			q := testPrime(t, n, bits)
+			tb, err := NewTable(n, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := rng.Uint64() % q
+			ss := rns.ShoupPrecomp(s, q)
+			wx, wxs, wy, wys := tb.ScaledLastPair(s)
+			for trial := 0; trial < 4; trial++ {
+				src := randPoly(rng, n, q)
+				ref := append([]uint64(nil), src...)
+				tb.Inverse(ref)
+				for i := range ref {
+					ref[i] = rns.MulModShoup(ref[i], s, ss, q)
+				}
+				dst := make([]uint64, n)
+				tb.InverseScaledFrom(src, dst, wx, wxs, wy, wys)
+				for i := range dst {
+					if dst[i] != ref[i] {
+						t.Fatalf("n=%d bits=%d trial=%d: InverseScaledFrom[%d] = %d, unfused %d", n, bits, trial, i, dst[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAddInverseMatchesUnfused proves the fused add+INTT is bit-identical
+// to a canonical pointwise add followed by Inverse.
+func TestAddInverseMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{2, 4, 8, 64, 1024, 4096, 8192} {
+		for _, bits := range []int{30, 45, 58} {
+			q := testPrime(t, n, bits)
+			tb, err := NewTable(n, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 4; trial++ {
+				a := randPoly(rng, n, q)
+				b := randPoly(rng, n, q)
+				ref := make([]uint64, n)
+				for i := range ref {
+					ref[i] = rns.AddMod(a[i], b[i], q)
+				}
+				tb.Inverse(ref)
+				tb.AddInverse(a, b)
+				for i := range a {
+					if a[i] != ref[i] {
+						t.Fatalf("n=%d bits=%d trial=%d: AddInverse[%d] = %d, unfused %d", n, bits, trial, i, a[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPlanMatchesPerLimb proves the batched, cache-blocked transforms
+// are bit-identical to the limb-at-a-time Forward/Inverse across limb
+// counts and both worker settings (the serial path and the fork-join
+// path take different code routes).
+func TestBatchPlanMatchesPerLimb(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n := 4096
+	qs, err := rns.GenerateNTTPrimes(45, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := make([]*Table, len(qs))
+	for i, q := range qs {
+		if tables[i], err = NewTable(n, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl, err := NewBatchPlan(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parallel.SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		for limbs := 1; limbs <= len(qs); limbs++ {
+			batch := make([][]uint64, limbs)
+			ref := make([][]uint64, limbs)
+			for i := 0; i < limbs; i++ {
+				batch[i] = randPoly(rng, n, qs[i])
+				ref[i] = append([]uint64(nil), batch[i]...)
+			}
+			pl.Forward(batch)
+			for i := 0; i < limbs; i++ {
+				tables[i].Forward(ref[i])
+				for k := range ref[i] {
+					if batch[i][k] != ref[i][k] {
+						t.Fatalf("workers=%d limbs=%d: batch Forward limb %d diverges at %d", workers, limbs, i, k)
+					}
+				}
+			}
+			pl.Inverse(batch)
+			for i := 0; i < limbs; i++ {
+				tables[i].Inverse(ref[i])
+				for k := range ref[i] {
+					if batch[i][k] != ref[i][k] {
+						t.Fatalf("workers=%d limbs=%d: batch Inverse limb %d diverges at %d", workers, limbs, i, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPlanZeroAlloc asserts a warm batched transform performs zero
+// heap allocations on the serial path (ISSUE 7 satellite: warm batched
+// NTT plan allocates nothing).
+func TestBatchPlanZeroAlloc(t *testing.T) {
+	n := 4096
+	qs, err := rns.GenerateNTTPrimes(45, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := make([]*Table, len(qs))
+	for i, q := range qs {
+		if tables[i], err = NewTable(n, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl, err := NewBatchPlan(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]uint64, len(qs))
+	for i := range batch {
+		batch[i] = make([]uint64, n)
+		for k := range batch[i] {
+			batch[i][k] = uint64(i*1315423911+k) % qs[i]
+		}
+	}
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	pl.Forward(batch)
+	pl.Inverse(batch)
+	if avg := testing.AllocsPerRun(20, func() {
+		pl.Forward(batch)
+		pl.Inverse(batch)
+	}); avg != 0 {
+		t.Fatalf("warm batched transform allocated %.1f times per run, want 0", avg)
+	}
+}

@@ -37,6 +37,18 @@ type Table struct {
 	nInvShoup   uint64
 	wLast       uint64 // ψ^{-brv(1)}·N^{-1}: last-stage inverse twiddle with N⁻¹ folded in
 	wLastShoup  uint64
+
+	// Interleaved twiddle layout for the fused/batched kernels: twF[2i] =
+	// psiFwd[i], twF[2i+1] = psiFwdShoup[i] (same for twI with the inverse
+	// tables). A butterfly then touches one cache line per twiddle pair
+	// instead of two parallel streams.
+	twF []uint64
+	twI []uint64
+
+	// bar caches the Barrett constants of Q for the fused last-stage
+	// multiply (ForwardMul), whose left operand is a lazy (< 4q) butterfly
+	// output.
+	bar rns.BarrettParams
 }
 
 // NewTable builds NTT tables for dimension n (a power of two) and prime q
@@ -83,6 +95,13 @@ func NewTable(n int, q uint64) (*Table, error) {
 	t.nInvShoup = rns.ShoupPrecomp(t.nInv, q)
 	t.wLast = rns.MulMod(t.psiInv[1], t.nInv, q)
 	t.wLastShoup = rns.ShoupPrecomp(t.wLast, q)
+	t.twF = make([]uint64, 2*n)
+	t.twI = make([]uint64, 2*n)
+	for i := 0; i < n; i++ {
+		t.twF[2*i], t.twF[2*i+1] = t.psiFwd[i], t.psiFwdShoup[i]
+		t.twI[2*i], t.twI[2*i+1] = t.psiInv[i], t.psiInvShoup[i]
+	}
+	t.bar = rns.NewBarrettParams(q)
 	return t, nil
 }
 

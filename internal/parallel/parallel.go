@@ -65,6 +65,18 @@ func WorthFanout(limbs, n, cost int) bool {
 	return limbs > 1 && n*cost >= MinWork && limbs*n*cost >= 2*MinWork
 }
 
+// WorthFanoutWide is WorthFanout for loops whose per-task work is large
+// but whose task count may be tiny (e.g. the mod-up base conversion
+// accumulating into 2 extension limbs, each a CostMul×chain-limbs sweep).
+// WorthFanout admits such loops on total work alone, but with fewer tasks
+// than workers the fork-join barrier leaves most of the pool idle while
+// still paying spawn-and-wait overhead — BENCH_core.json measured the
+// result as a 0.94× *slowdown* at 4 workers. Wide gating additionally
+// requires at least one task per worker so the pool is actually filled.
+func WorthFanoutWide(tasks, n, cost int) bool {
+	return tasks >= Workers() && WorthFanout(tasks, n, cost)
+}
+
 // Pool is a bounded fork-join executor. The zero value is ready to use and
 // sizes itself to GOMAXPROCS. A Pool has no background goroutines: helpers
 // are spawned per call and bounded by a shared budget, so an idle pool costs

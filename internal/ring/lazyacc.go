@@ -32,8 +32,9 @@ type LazyAcc struct {
 	maxAdds int
 }
 
-// GetLazyAcc returns a zeroed accumulator over basis b, drawing limb
-// storage from the ring's buffer pool. Release it with Release.
+// GetLazyAcc returns a zeroed accumulator over basis b, drawing both limb
+// storage and the accumulator struct from the ring's buffer pools. Release
+// it with Release; a warm Get/Release cycle allocates nothing.
 func (r *Ring) GetLazyAcc(b rns.Basis) *LazyAcc {
 	maxAdds := 0
 	for _, q := range b.Moduli {
@@ -41,10 +42,21 @@ func (r *Ring) GetLazyAcc(b rns.Basis) *LazyAcc {
 			maxAdds = d
 		}
 	}
-	a := &LazyAcc{r: r, basis: b, maxAdds: maxAdds}
-	a.hi = make([][]uint64, b.Len())
-	a.lo = make([][]uint64, b.Len())
-	for j := range a.hi {
+	var a *LazyAcc
+	if v := r.accPool.Get(); v != nil {
+		a = v.(*LazyAcc)
+	} else {
+		a = &LazyAcc{}
+	}
+	a.r, a.basis, a.adds, a.maxAdds = r, b, 0, maxAdds
+	l := b.Len()
+	if cap(a.hi) >= l {
+		a.hi, a.lo = a.hi[:l], a.lo[:l]
+	} else {
+		a.hi = make([][]uint64, l)
+		a.lo = make([][]uint64, l)
+	}
+	for j := 0; j < l; j++ {
 		a.hi[j] = r.getLimb()
 		a.lo[j] = r.getLimb()
 	}
@@ -80,16 +92,47 @@ func (a *LazyAcc) MulAcc(x, y *Poly) error {
 // canonical value (< q) in the low word. The folded value is smaller than
 // any single product, so the budget counter restarts at one.
 func (a *LazyAcc) fold() {
-	r := a.r
-	r.limbFor(a.basis.Len(), parallel.CostMul, func(j int) {
-		bp := r.Barrett(a.basis.Moduli[j])
-		hij, loj := a.hi[j], a.lo[j]
-		for i := range loj {
-			loj[i] = bp.ReduceWide(hij[i], loj[i])
-			hij[i] = 0
+	l := a.basis.Len()
+	if parallel.Workers() > 1 && parallel.WorthFanout(l, a.r.N, parallel.CostMul) {
+		parallel.For(l, func(j int) { a.foldLimb(j) })
+	} else {
+		for j := 0; j < l; j++ {
+			a.foldLimb(j)
 		}
-	})
+	}
 	a.adds = 1
+}
+
+func (a *LazyAcc) foldLimb(j int) {
+	bp := a.r.Barrett(a.basis.Moduli[j])
+	hij, loj := a.hi[j], a.lo[j]
+	for i := range loj {
+		loj[i] = bp.ReduceWide(hij[i], loj[i])
+		hij[i] = 0
+	}
+}
+
+// chargeProduct books one canonical product per cell against the overflow
+// budget, folding first when the budget is exhausted. Internal fused
+// kernels (AbsorbDigitFused) call it instead of MulAcc.
+func (a *LazyAcc) chargeProduct() {
+	if a.adds+1 > a.maxAdds {
+		a.fold()
+		return
+	}
+	a.adds++
+}
+
+// chargeProducts books w canonical-product units. Kernels that accumulate
+// lazy left factors (ntt.ForwardMulAccPair: x < 4q) weigh each product at
+// ntt.LazyMulAccWeight units, since the product can reach 4q·q. Folds first
+// when the budget would be exceeded; the folded value (< q) plus the
+// incoming products stay within the restarted budget.
+func (a *LazyAcc) chargeProducts(w int) {
+	if a.adds+w > a.maxAdds {
+		a.fold()
+	}
+	a.adds += w
 }
 
 // ReduceInto Barrett-reduces the accumulator into out — one wide reduction
@@ -100,25 +143,38 @@ func (a *LazyAcc) ReduceInto(out *Poly) {
 	r := a.r
 	out.Basis, out.IsNTT = a.basis, true
 	r.ensureShape(out, a.basis.Len())
-	r.limbFor(a.basis.Len(), parallel.CostMul, func(j int) {
-		bp := r.Barrett(a.basis.Moduli[j])
-		hij, loj, oj := a.hi[j], a.lo[j], out.Limbs[j]
-		for i := range oj {
-			oj[i] = bp.ReduceWide(hij[i], loj[i])
-		}
-	})
+	l := a.basis.Len()
+	if parallel.Workers() > 1 && parallel.WorthFanout(l, r.N, parallel.CostMul) {
+		parallel.For(l, func(j int) { a.reduceLimb(j, out.Limbs[j]) })
+		return
+	}
+	for j := 0; j < l; j++ {
+		a.reduceLimb(j, out.Limbs[j])
+	}
 }
 
-// Release returns the accumulator's limb storage to the ring's pool. The
-// accumulator must not be used afterwards. Safe on nil.
+func (a *LazyAcc) reduceLimb(j int, oj []uint64) {
+	bp := a.r.Barrett(a.basis.Moduli[j])
+	hij, loj := a.hi[j], a.lo[j]
+	for i := range oj {
+		oj[i] = bp.ReduceWide(hij[i], loj[i])
+	}
+}
+
+// Release returns the accumulator's limb storage and the struct itself to
+// the ring's pools. The accumulator must not be used afterwards. Safe on
+// nil.
 func (a *LazyAcc) Release() {
 	if a == nil {
 		return
 	}
+	r := a.r
 	for j := range a.hi {
-		a.r.putLimb(a.hi[j])
-		a.r.putLimb(a.lo[j])
+		r.putLimb(a.hi[j])
+		r.putLimb(a.lo[j])
 		a.hi[j], a.lo[j] = nil, nil
 	}
-	a.hi, a.lo = nil, nil
+	a.hi, a.lo = a.hi[:0], a.lo[:0]
+	a.r, a.basis, a.adds, a.maxAdds = nil, rns.Basis{}, 0, 0
+	r.accPool.Put(a)
 }

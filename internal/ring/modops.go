@@ -187,17 +187,38 @@ func (r *Ring) Rescale(p *Poly) (*Poly, error) {
 	}
 	ql := p.Basis.Moduli[l]
 	out := r.getPolyUninit(p.Basis.Prefix(l))
-	last := p.Limbs[l]
-	r.limbFor(l, parallel.CostMul, func(j int) {
-		q := out.Basis.Moduli[j]
-		c := rescaleConstant(ql, q)
-		bp := r.Barrett(q)
-		aj, oj := p.Limbs[j], out.Limbs[j]
-		for i := range aj {
-			oj[i] = rns.MulModShoup(rns.SubMod(aj[i], bp.Reduce(last[i]), q), c.w, c.ws, q)
+	// Universe-aligned polys (every ciphertext) read the eagerly built
+	// constant row; foreign bases fall back to the sync.Map cache, whose
+	// boxed keys allocate per probe.
+	var row []shoupScalar
+	if r.alignedPrefix(p.Basis) {
+		row = r.rescaleTab[l]
+	}
+	if parallel.Workers() > 1 && parallel.WorthFanout(l, r.N, parallel.CostMul) {
+		parallel.For(l, func(j int) { r.rescaleLimb(p, out, row, ql, l, j) })
+	} else {
+		for j := 0; j < l; j++ {
+			r.rescaleLimb(p, out, row, ql, l, j)
 		}
-	})
+	}
 	return out, nil
+}
+
+// rescaleLimb computes out_j = (a_j - [a_l mod q_j]) · q_l^{-1} mod q_j.
+func (r *Ring) rescaleLimb(p, out *Poly, row []shoupScalar, ql uint64, l, j int) {
+	q := out.Basis.Moduli[j]
+	var c shoupScalar
+	if row != nil {
+		c = row[j]
+	} else {
+		c = rescaleConstant(ql, q)
+	}
+	bp := r.Barrett(q)
+	last := p.Limbs[l]
+	aj, oj := p.Limbs[j], out.Limbs[j]
+	for i := range aj {
+		oj[i] = rns.MulModShoup(rns.SubMod(aj[i], bp.Reduce(last[i]), q), c.w, c.ws, q)
+	}
 }
 
 // CoeffToBig reconstructs coefficient i of p (coefficient domain) as an

@@ -1,6 +1,8 @@
 package ring
 
 import (
+	"fmt"
+
 	"cinnamon/internal/parallel"
 	"cinnamon/internal/rns"
 )
@@ -50,6 +52,7 @@ func (r *Ring) PutPoly(p *Poly) {
 }
 
 // CopyPoly returns a pooled deep copy of p (contents, basis and domain).
+// The serial path is closure-free so a warm copy allocates nothing.
 func (r *Ring) CopyPoly(p *Poly) *Poly {
 	out := r.getPolyHeader()
 	out.Basis = p.Basis
@@ -60,12 +63,69 @@ func (r *Ring) CopyPoly(p *Poly) *Poly {
 	} else {
 		out.Limbs = make([][]uint64, n)
 	}
-	r.limbFor(n, parallel.CostLight, func(j int) {
+	if parallel.Workers() > 1 && parallel.WorthFanout(n, r.N, parallel.CostLight) {
+		parallel.For(n, func(j int) {
+			l := r.getLimbNoZero()
+			copy(l, p.Limbs[j])
+			out.Limbs[j] = l
+		})
+		return out
+	}
+	for j := 0; j < n; j++ {
 		l := r.getLimbNoZero()
 		copy(l, p.Limbs[j])
 		out.Limbs[j] = l
-	})
+	}
 	return out
+}
+
+// GetPolyUninit returns a pooled polynomial over b with unspecified limb
+// contents, for call sites that overwrite every coefficient (base-conversion
+// scratch, mod-down outputs). IsNTT is false.
+func (r *Ring) GetPolyUninit(b rns.Basis) *Poly { return r.getPolyUninit(b) }
+
+// ViewAt fills a pooled shallow view of p: limb k of the view is
+// p.Limbs[indices[k]], and the view carries basis b (which must list the
+// corresponding moduli). The limb storage is shared with p — release the
+// header with PutView, never PutPoly. The keyswitch plan path uses this to
+// restrict evaluation-key polys to the working basis without allocating a
+// header pair per digit.
+func (r *Ring) ViewAt(p *Poly, b rns.Basis, indices []int) (*Poly, error) {
+	if len(indices) != b.Len() {
+		return nil, fmt.Errorf("ring: view of %d limbs for basis of %d", len(indices), b.Len())
+	}
+	v := r.getPolyHeader()
+	v.Basis = b
+	v.IsNTT = p.IsNTT
+	if cap(v.Limbs) >= len(indices) {
+		v.Limbs = v.Limbs[:len(indices)]
+	} else {
+		v.Limbs = make([][]uint64, len(indices))
+	}
+	for k, j := range indices {
+		if j < 0 || j >= len(p.Limbs) {
+			v.Limbs = v.Limbs[:0]
+			r.polyPool.Put(v)
+			return nil, fmt.Errorf("ring: view index %d out of range [0,%d)", j, len(p.Limbs))
+		}
+		v.Limbs[k] = p.Limbs[j]
+	}
+	return v, nil
+}
+
+// PutView returns a view header (from ViewAt) to the pool without touching
+// the shared limb storage. Passing nil is a no-op.
+func (r *Ring) PutView(v *Poly) {
+	if v == nil {
+		return
+	}
+	for i := range v.Limbs {
+		v.Limbs[i] = nil
+	}
+	v.Limbs = v.Limbs[:0]
+	v.Basis = rns.Basis{}
+	v.IsNTT = false
+	r.polyPool.Put(v)
 }
 
 // getPolyUninit returns a pooled polynomial over b with unspecified limb

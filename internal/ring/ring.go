@@ -32,11 +32,14 @@ type Ring struct {
 	modIndex   map[uint64]int               // modulus -> universe position
 	barrett    map[uint64]rns.BarrettParams // per-modulus mulmod constants
 	univTables []*ntt.Table                 // universe-position-indexed NTT tables (nil entries on lazy rings)
+	univPlan   *ntt.BatchPlan               // batch plan over the universe tables (nil on lazy rings)
+	rescaleTab [][]shoupScalar              // [l][j]: q_l^{-1} mod q_j over universe positions, j < l
 
 	autoCache sync.Map  // galois element -> []int NTT-domain gather index
 	limbPool  sync.Pool // *[]uint64 scratch limbs of capacity N
 	boxPool   sync.Pool // empty *[]uint64 headers, recycled so Put never allocates
 	polyPool  sync.Pool // *Poly headers recycled by GetPoly/PutPoly
+	accPool   sync.Pool // *LazyAcc structs recycled by GetLazyAcc/Release
 }
 
 // NewRing builds a ring of dimension n over the given universe of moduli.
@@ -72,12 +75,91 @@ func newRing(n int, universe rns.Basis, ts *ntt.TableSet) *Ring {
 		barrett:  make(map[uint64]rns.BarrettParams, universe.Len()),
 	}
 	r.univTables = make([]*ntt.Table, universe.Len())
+	havePlan := universe.Len() > 0
 	for i, q := range universe.Moduli {
 		r.modIndex[q] = i
 		r.barrett[q] = rns.NewBarrettParams(q)
 		r.univTables[i] = ts.Table(q) // nil on lazy rings
+		havePlan = havePlan && r.univTables[i] != nil
+	}
+	if havePlan {
+		r.univPlan, _ = ntt.NewBatchPlan(r.univTables)
+	}
+	// Rescale constants q_l^{-1} mod q_j for every (dropped, kept) universe
+	// pair — O(L²) scalars computed once here so the rescale limb loop does
+	// no sync.Map lookups (whose interface-boxed keys allocate per probe).
+	r.rescaleTab = make([][]shoupScalar, universe.Len())
+	for l := 1; l < universe.Len(); l++ {
+		ql := universe.Moduli[l]
+		row := make([]shoupScalar, l)
+		for j := 0; j < l; j++ {
+			q := universe.Moduli[j]
+			w := rns.InvMod(ql%q, q)
+			row[j] = shoupScalar{w: w, ws: rns.ShoupPrecomp(w, q)}
+		}
+		r.rescaleTab[l] = row
 	}
 	return r
+}
+
+// alignedPrefix reports whether b's limb j holds universe modulus j for all
+// limbs — true for every chain prefix and the full Q∪P basis, the shapes
+// all steady-state polys have. Aligned bases ride the cached universe
+// tables, the batch plan and the precomputed rescale rows.
+func (r *Ring) alignedPrefix(b rns.Basis) bool {
+	l := b.Len()
+	if l > len(r.univTables) {
+		return false
+	}
+	for j := 0; j < l; j++ {
+		if b.Moduli[j] != r.Universe.Moduli[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Plan returns the ring's batch NTT plan over the universe moduli (nil on
+// lazy rings). Any universe-aligned prefix of limbs can be transformed
+// through it.
+func (r *Ring) Plan() *ntt.BatchPlan { return r.univPlan }
+
+// PlanForBasis builds (or reuses) a batch NTT plan for an arbitrary basis
+// whose moduli all have tables in this ring. Intended for compile-time plan
+// construction (serve.Registry, keyswitch plans); the returned plan is
+// immutable and shared freely.
+func (r *Ring) PlanForBasis(b rns.Basis) (*ntt.BatchPlan, error) {
+	if r.univPlan != nil && b.Len() == r.Universe.Len() && r.alignedPrefix(b) {
+		return r.univPlan, nil
+	}
+	tables := make([]*ntt.Table, b.Len())
+	for j, q := range b.Moduli {
+		if tables[j] = r.TableOf(q); tables[j] == nil {
+			return nil, fmt.Errorf("ring: no NTT table for modulus %d", q)
+		}
+	}
+	return ntt.NewBatchPlan(tables)
+}
+
+// NTTWith transforms p to the evaluation domain through a precompiled batch
+// plan (p's limbs must be a prefix of the plan's). The allocation-free
+// steady-state path: no table resolution, no per-call closures.
+func (r *Ring) NTTWith(pl *ntt.BatchPlan, p *Poly) {
+	if p.IsNTT {
+		return
+	}
+	pl.Forward(p.Limbs)
+	p.IsNTT = true
+}
+
+// INTTWith transforms p to the coefficient domain through a precompiled
+// batch plan.
+func (r *Ring) INTTWith(pl *ntt.BatchPlan, p *Poly) {
+	if !p.IsNTT {
+		return
+	}
+	pl.Inverse(p.Limbs)
+	p.IsNTT = false
 }
 
 // TableOf returns the NTT table for modulus q — a slice index when q is a
@@ -301,6 +383,11 @@ func (r *Ring) NTT(p *Poly) error {
 	if p.IsNTT {
 		return nil
 	}
+	if r.univPlan != nil && r.alignedPrefix(p.Basis) {
+		r.univPlan.Forward(p.Limbs)
+		p.IsNTT = true
+		return nil
+	}
 	tables, err := r.tablesFor(p)
 	if err != nil {
 		return err
@@ -316,6 +403,11 @@ func (r *Ring) NTT(p *Poly) error {
 // there).
 func (r *Ring) INTT(p *Poly) error {
 	if !p.IsNTT {
+		return nil
+	}
+	if r.univPlan != nil && r.alignedPrefix(p.Basis) {
+		r.univPlan.Inverse(p.Limbs)
+		p.IsNTT = false
 		return nil
 	}
 	tables, err := r.tablesFor(p)

@@ -20,11 +20,12 @@ import (
 // The scalar tables held by a BaseConverter are exactly the "base conversion
 // factors" the paper's BCU loads into its factor table (§4.7).
 type BaseConverter struct {
-	src, dst  Basis
-	qHatInv   []uint64        // (Q/q_j)^{-1} mod q_j
-	qHatModP  [][]uint64      // [j][k] = (Q/q_j) mod p_k (reduced)
-	qHatShoup [][]uint64      // Shoup companions of qHatModP, per p_k
-	dstBar    []BarrettParams // Barrett constants per target modulus
+	src, dst     Basis
+	qHatInv      []uint64        // (Q/q_j)^{-1} mod q_j
+	qHatInvShoup []uint64        // Shoup companions of qHatInv, per q_j
+	qHatModP     [][]uint64      // [j][k] = (Q/q_j) mod p_k (reduced)
+	qHatShoup    [][]uint64      // Shoup companions of qHatModP, per p_k
+	dstBar       []BarrettParams // Barrett constants per target modulus
 }
 
 // NewBaseConverter precomputes conversion factors from src to dst. The two
@@ -38,12 +39,13 @@ func NewBaseConverter(src, dst Basis) (*BaseConverter, error) {
 	Q := src.Product()
 	l, m := src.Len(), dst.Len()
 	bc := &BaseConverter{
-		src:       src,
-		dst:       dst,
-		qHatInv:   make([]uint64, l),
-		qHatModP:  make([][]uint64, l),
-		qHatShoup: make([][]uint64, l),
-		dstBar:    make([]BarrettParams, m),
+		src:          src,
+		dst:          dst,
+		qHatInv:      make([]uint64, l),
+		qHatInvShoup: make([]uint64, l),
+		qHatModP:     make([][]uint64, l),
+		qHatShoup:    make([][]uint64, l),
+		dstBar:       make([]BarrettParams, m),
 	}
 	for k, p := range dst.Moduli {
 		bc.dstBar[k] = NewBarrettParams(p)
@@ -57,6 +59,7 @@ func NewBaseConverter(src, dst Basis) (*BaseConverter, error) {
 			return nil, fmt.Errorf("rns: modulus %d not coprime with basis product", q)
 		}
 		bc.qHatInv[j] = inv.Uint64()
+		bc.qHatInvShoup[j] = ShoupPrecomp(bc.qHatInv[j], q)
 		bc.qHatModP[j] = make([]uint64, m)
 		bc.qHatShoup[j] = make([]uint64, m)
 		for k, p := range dst.Moduli {
@@ -85,28 +88,99 @@ func (bc *BaseConverter) Convert(in [][]uint64) ([][]uint64, error) {
 		return nil, fmt.Errorf("rns: got %d limbs, source basis has %d", len(in), l)
 	}
 	n := len(in[0])
-	for j := 1; j < l; j++ {
-		if len(in[j]) != n {
-			return nil, fmt.Errorf("rns: limb %d length %d != %d", j, len(in[j]), n)
+	z := make([][]uint64, l)
+	for j := range z {
+		z[j] = make([]uint64, n)
+	}
+	out := make([][]uint64, m)
+	for k := range out {
+		out[k] = make([]uint64, n)
+	}
+	if err := bc.ConvertInto(in, z, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ConvertInto is Convert with caller-provided scratch: z must hold src.Len()
+// limbs and out dst.Len() limbs, all of the input's coefficient count. No
+// heap allocation occurs, making this the serving-path entry point — the
+// evaluator passes pooled polynomials for both. Neither z nor out needs to
+// be zeroed; every cell is written before it is read.
+//
+// The z stage stripes over source limbs under the usual WorthFanout gate.
+// The accumulate stage has few tasks with heavy per-task work (one task per
+// target limb, each sweeping all source limbs), so it gates on
+// parallel.WorthFanoutWide: mod-up's two extension limbs at four workers
+// fanned out to a half-idle pool and measured as a 0.94× slowdown in
+// BENCH_core.json — wide gating keeps exactly that shape serial while
+// mod-down's many-limb conversions still fan out.
+func (bc *BaseConverter) ConvertInto(in, z, out [][]uint64) error {
+	l, m := bc.src.Len(), bc.dst.Len()
+	if len(in) != l || len(z) != l {
+		return fmt.Errorf("rns: got %d/%d limbs, source basis has %d", len(in), len(z), l)
+	}
+	if len(out) != m {
+		return fmt.Errorf("rns: got %d output limbs, target basis has %d", len(out), m)
+	}
+	n := len(in[0])
+	for j := 0; j < l; j++ {
+		if len(in[j]) != n || len(z[j]) != n {
+			return fmt.Errorf("rns: limb %d length %d/%d != %d", j, len(in[j]), len(z[j]), n)
 		}
 	}
-	// z_j = x_j * qHatInv_j mod q_j, computed once per source limb.
-	z := make([][]uint64, l)
-	bc.stripe(l, n, parallel.CostMul, func(j int) {
-		q := bc.src.Moduli[j]
-		w := bc.qHatInv[j]
-		ws := ShoupPrecomp(w, q)
-		zj := make([]uint64, n)
-		for i, x := range in[j] {
-			zj[i] = MulModShoup(x, w, ws, q)
+	for k := 0; k < m; k++ {
+		if len(out[k]) != n {
+			return fmt.Errorf("rns: output limb %d length %d != %d", k, len(out[k]), n)
 		}
-		z[j] = zj
-	})
-	out := make([][]uint64, m)
-	bc.stripe(m, n, parallel.CostMul*l, func(k int) {
-		out[k] = bc.accumulate(k, z, n, nil)
-	})
-	return out, nil
+	}
+	if parallel.Workers() > 1 && parallel.WorthFanout(l, n, parallel.CostMul) {
+		parallel.For(l, func(j int) { bc.zLimb(j, in[j], z[j]) })
+	} else {
+		for j := 0; j < l; j++ {
+			bc.zLimb(j, in[j], z[j])
+		}
+	}
+	return bc.AccumulateInto(z, out)
+}
+
+// AccumulateInto runs only the accumulate stage of ConvertInto: z must
+// already hold the canonical z-values z_j = [x_j·(Q/q_j)⁻¹]_{q_j}. Callers
+// that fold the z-stage into a neighboring kernel (the keyswitch digit
+// decompose folds it into the inverse transform's last stage via
+// ntt.InverseScaledFrom) enter here. The fast base conversion is exact in
+// the z representatives, so z must be canonical — a lazy residue would
+// change the result, not just its representative.
+func (bc *BaseConverter) AccumulateInto(z, out [][]uint64) error {
+	l, m := bc.src.Len(), bc.dst.Len()
+	if len(z) != l {
+		return fmt.Errorf("rns: got %d z limbs, source basis has %d", len(z), l)
+	}
+	if len(out) != m {
+		return fmt.Errorf("rns: got %d output limbs, target basis has %d", len(out), m)
+	}
+	n := len(z[0])
+	if parallel.Workers() > 1 && parallel.WorthFanoutWide(m, n, parallel.CostMul*l) {
+		parallel.For(m, func(k int) { bc.accInto(k, z, out[k]) })
+	} else {
+		for k := 0; k < m; k++ {
+			bc.accInto(k, z, out[k])
+		}
+	}
+	return nil
+}
+
+// QHatInv returns (Q/q_j)⁻¹ mod q_j for source limb j — the z-stage scalar,
+// exposed so transform kernels can fold it into their last stage.
+func (bc *BaseConverter) QHatInv(j int) uint64 { return bc.qHatInv[j] }
+
+// zLimb computes z = in · (Q/q_j)^{-1} mod q_j for source limb j.
+func (bc *BaseConverter) zLimb(j int, in, z []uint64) {
+	q := bc.src.Moduli[j]
+	w, ws := bc.qHatInv[j], bc.qHatInvShoup[j]
+	for i, x := range in {
+		z[i] = MulModShoup(x, w, ws, q)
+	}
 }
 
 // stripe runs fn over [0, count) limbs, in parallel when the weighted work
@@ -130,29 +204,74 @@ func (bc *BaseConverter) stripe(count, n, cost int, fn func(int)) {
 // GenerateNTTPrimes, but possible for hand-built bases) fall back to the
 // Barrett kernel. acc may be nil (allocated) or a zeroed scratch slice.
 func (bc *BaseConverter) accumulate(k int, z [][]uint64, n int, acc []uint64) []uint64 {
-	p := bc.dst.Moduli[k]
 	if acc == nil {
 		acc = make([]uint64, n)
+	}
+	bc.accInto(k, z, acc)
+	return acc
+}
+
+// accInto computes target limb k into acc, write-first: the first source
+// limb stores, later limbs accumulate, so acc needs no prior zeroing (and
+// no wasted zero-fill pass on pooled scratch).
+//
+// The one- and two-limb sources — every keyswitch digit at alpha ≤ 2, and
+// every mod-down whose extension is a special-modulus pair — run a fully
+// in-register path: lazy Shoup products (< 2p each, sum < 4p < 2^64 for the
+// ≤ 61-bit moduli GenerateNTTPrimes emits) and a single Barrett reduction,
+// with no canonical correction per term and no intermediate stores. The
+// Barrett result is the unique canonical residue, so the fast path is
+// bit-identical to the general accumulation.
+func (bc *BaseConverter) accInto(k int, z [][]uint64, acc []uint64) {
+	p := bc.dst.Moduli[k]
+	if len(z) <= 2 && p < 1<<62 {
+		bp := bc.dstBar[k]
+		f0, fs0 := bc.qHatModP[0][k], bc.qHatShoup[0][k]
+		z0 := z[0]
+		if len(z) == 1 {
+			for i := range acc {
+				acc[i] = bp.Reduce(MulModShoupLazy(z0[i], f0, fs0, p))
+			}
+			return
+		}
+		f1, fs1 := bc.qHatModP[1][k], bc.qHatShoup[1][k]
+		z1 := z[1]
+		for i := range acc {
+			acc[i] = bp.Reduce(MulModShoupLazy(z0[i], f0, fs0, p) +
+				MulModShoupLazy(z1[i], f1, fs1, p))
+		}
+		return
 	}
 	if p >= 1<<62 {
 		bp := bc.dstBar[k]
 		for j := range z {
 			f := bc.qHatModP[j][k]
 			zj := z[j]
-			for i := 0; i < n; i++ {
+			if j == 0 {
+				for i := range acc {
+					acc[i] = bp.MulMod(zj[i], f)
+				}
+				continue
+			}
+			for i := range acc {
 				acc[i] = AddMod(acc[i], bp.MulMod(zj[i], f), p)
 			}
 		}
-		return acc
+		return
 	}
 	for j := range z {
 		f, fs := bc.qHatModP[j][k], bc.qHatShoup[j][k]
 		zj := z[j]
-		for i := 0; i < n; i++ {
+		if j == 0 {
+			for i := range acc {
+				acc[i] = MulModShoup(zj[i], f, fs, p)
+			}
+			continue
+		}
+		for i := range acc {
 			acc[i] = AddMod(acc[i], MulModShoup(zj[i], f, fs, p), p)
 		}
 	}
-	return acc
 }
 
 // ConvertScalarCount returns the number of scalar multiply-accumulate
@@ -182,15 +301,9 @@ func (bc *BaseConverter) ConvertExact(in [][]uint64) ([][]uint64, error) {
 	z := make([][]uint64, l)
 	inv := make([]float64, l)
 	bc.stripe(l, n, parallel.CostMul, func(j int) {
-		q := bc.src.Moduli[j]
-		inv[j] = 1 / float64(q)
-		w := bc.qHatInv[j]
-		ws := ShoupPrecomp(w, q)
-		zj := make([]uint64, n)
-		for i, x := range in[j] {
-			zj[i] = MulModShoup(x, w, ws, q)
-		}
-		z[j] = zj
+		inv[j] = 1 / float64(bc.src.Moduli[j])
+		z[j] = make([]uint64, n)
+		bc.zLimb(j, in[j], z[j])
 	})
 	u := make([]uint64, n) // slack multiple per coefficient
 	for i := 0; i < n; i++ {

@@ -138,6 +138,13 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		programs: map[string]*Program{},
 		tenants:  map[string]map[string]*ckks.EvalKey{},
 	}
+	// Freeze the execution schedules alongside the catalog: keyswitch
+	// plans for every level (digit ranges, base converters, batch NTT
+	// plans, mod-down plans) compile here, once, so no serving request
+	// ever pays plan compilation or its allocations on the hot path.
+	if err := params.CompilePlans(); err != nil {
+		return nil, fmt.Errorf("serve: compiling keyswitch plans: %w", err)
+	}
 	enc := ckks.NewEncoder(params)
 	for _, spec := range progs {
 		if _, dup := r.programs[spec.Name]; dup {
