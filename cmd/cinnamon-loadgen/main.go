@@ -10,6 +10,13 @@
 //
 //	cinnamon-loadgen -url http://localhost:8080 -requests 200 -rate 50
 //	cinnamon-loadgen -url http://localhost:8080 -program square -rate 100 -seed 7
+//
+// Session mode (-sessions > 0) exercises the encrypted-session API
+// instead of the open loop: each session seeds the server with one
+// encrypted input and then iterates the program server-side, decrypting
+// and verifying every step against the iterated plaintext reference:
+//
+//	cinnamon-loadgen -url http://localhost:8080 -program logreg16-deep -sessions 2 -session-steps 3
 package main
 
 import (
@@ -43,9 +50,11 @@ func main() {
 	verify := flag.Bool("verify", true, "decrypt responses and compare to a local reference evaluation")
 	maxSlotErr := flag.Float64("max-slot-err", 0, "slot-error bound for programs without a server-advertised verify_tolerance (0 = report only for those); programs that advertise one are always checked against it")
 	maxErrorRate := flag.Float64("max-error-rate", -1, "exit 1 if the error fraction (transport failures + unexpected statuses, shed excluded) exceeds this (negative = report only)")
+	sessions := flag.Int("sessions", 0, "session mode: open this many encrypted sessions instead of the open loop")
+	sessionSteps := flag.Int("session-steps", 3, "steps per session (step 1 seeds the state, later steps iterate it server-side)")
 	flag.Parse()
 
-	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify, *maxSlotErr, *maxErrorRate); err != nil {
+	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify, *maxSlotErr, *maxErrorRate, *sessions, *sessionSteps); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -77,7 +86,7 @@ type result struct {
 	transport error
 }
 
-func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool, maxSlotErr, maxErrorRate float64) error {
+func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool, maxSlotErr, maxErrorRate float64, sessions, sessionSteps int) error {
 	c := &client{base: base, tenant: tenant, http: &http.Client{Timeout: timeout}}
 
 	// Discover parameters and rebuild an identical set locally.
@@ -108,6 +117,13 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 
 	if err := c.keygenAndRegister(targets); err != nil {
 		return err
+	}
+
+	if sessions > 0 {
+		if program == "all" || len(targets) != 1 {
+			return fmt.Errorf("session mode needs -program naming one program")
+		}
+		return c.runSessions(targets[0], sessions, sessionSteps, seed, maxSlotErr)
 	}
 
 	// Open loop: arrivals are scheduled by a Poisson process from the
@@ -168,6 +184,133 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 			return fmt.Errorf("error rate %.4f (%d/%d) exceeds -max-error-rate %.4f",
 				rate, rep.errors, len(results), maxErrorRate)
 		}
+	}
+	return nil
+}
+
+// runSessions drives the encrypted-session API: create, seed with one
+// encrypted input, iterate server-side, decrypt-and-verify every step
+// against the iterated plaintext reference, close. Any violation or
+// failed step exits nonzero.
+func (c *client) runSessions(info serve.ProgramInfo, sessions, steps int, seed int64, maxSlotErr float64) error {
+	spec, ok := workloads.ServeWorkloadByName(info.Name)
+	if !ok || spec.EvalPlain == nil {
+		return fmt.Errorf("session mode needs a plaintext reference for %q (EvalPlain)", info.Name)
+	}
+	tol := info.VerifyTolerance
+	if tol <= 0 {
+		tol = maxSlotErr
+	}
+	fmt.Printf("running %d session(s) of %q, %d steps each (tol %.1e)...\n", sessions, info.Name, steps, tol)
+	violations := 0
+	for s := 0; s < sessions; s++ {
+		rng := rand.New(rand.NewSource(seed + int64(s)))
+		var v []complex128
+		if spec.MakeInput != nil {
+			v = spec.MakeInput(rng, c.params.Slots())
+		} else {
+			v = make([]complex128, c.params.Slots())
+			for i := range v {
+				v[i] = complex(rng.Float64()*2-1, 0)
+			}
+		}
+
+		var created serve.SessionInfo
+		body, _ := json.Marshal(map[string]string{"tenant": c.tenant, "program": info.Name})
+		resp, err := c.http.Post(c.base+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("session create: %w", err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("session create: %s: %s", resp.Status, msg)
+		}
+		if err := json.Unmarshal(msg, &created); err != nil {
+			return fmt.Errorf("session create: %w", err)
+		}
+
+		c.mu.Lock()
+		var ct *ckks.Ciphertext
+		pt, err := c.enc.Encode(v, c.params.MaxLevel(), c.params.DefaultScale())
+		if err == nil {
+			ct, err = c.encr.Encrypt(pt)
+		}
+		c.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("session %d: encrypt: %w", s, err)
+		}
+
+		ref := v
+		for step := 1; step <= steps; step++ {
+			// Step 1 seeds the state; later steps send an empty body to
+			// iterate the ciphertext the server already holds.
+			var payload io.Reader
+			if step == 1 {
+				var buf bytes.Buffer
+				if err := ct.Write(&buf); err != nil {
+					return err
+				}
+				payload = &buf
+			}
+			t0 := time.Now()
+			req, err := http.NewRequest("POST", c.base+"/v1/sessions/"+created.ID+":step", payload)
+			if err != nil {
+				return err
+			}
+			resp, err := c.http.Do(req)
+			if err != nil {
+				return fmt.Errorf("session %d step %d: %w", s, step, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				return fmt.Errorf("session %d step %d: %s: %s", s, step, resp.Status, msg)
+			}
+			out, err := ckks.ReadCiphertext(resp.Body, c.params)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("session %d step %d: response ciphertext: %w", s, step, err)
+			}
+			ref = spec.EvalPlain(ref)
+			c.mu.Lock()
+			got, err := c.decode(out)
+			c.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("session %d step %d: decrypt: %w", s, step, err)
+			}
+			var worst float64
+			for i := range got {
+				if e := cmplx.Abs(got[i] - ref[i]); e > worst {
+					worst = e
+				}
+			}
+			status := "ok"
+			if tol > 0 && worst > tol {
+				status = "VIOLATION"
+				violations++
+			}
+			fmt.Printf("  session %d step %d: level %s, slot err %.2e (%s, %v)\n",
+				s, step, resp.Header.Get("X-Cinnamon-State-Level"), worst, status, time.Since(t0).Round(time.Millisecond))
+		}
+		req, _ := http.NewRequest("DELETE", c.base+"/v1/sessions/"+created.ID, nil)
+		if resp, err := c.http.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	var snap serve.Snapshot
+	if err := c.getJSON("/metrics", &snap); err != nil {
+		return fmt.Errorf("fetching metrics: %w", err)
+	}
+	fmt.Printf("\nserver metrics: %d session steps, %d bootstraps in %d ticks\n",
+		snap.SessionSteps, snap.Bootstraps, snap.BootstrapBatches)
+	if snap.BootstrapMs != nil {
+		fmt.Printf("  bootstrap tick: p50 %.0fms  p99 %.0fms, sizes %v\n", snap.BootstrapMs.P50Ms, snap.BootstrapMs.P99Ms, snap.BootstrapBatchSize)
+	}
+	if violations > 0 {
+		return fmt.Errorf("verification: %d session steps exceeded tolerance %.1e", violations, tol)
 	}
 	return nil
 }

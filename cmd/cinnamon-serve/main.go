@@ -8,6 +8,13 @@
 //	cinnamon-serve -addr :8080
 //	cinnamon-serve -addr :8080 -logn 9 -levels 4 -max-batch 8 -batch-wait 5ms
 //	cinnamon-serve -addr :8080 -cluster localhost:9101,localhost:9102,localhost:9103
+//	cinnamon-serve -addr :8080 -levels 16 -bootstrap
+//
+// With -bootstrap, the parameter set switches to a sparse secret (the
+// serve bootstrap literal), the registry precompiles the shared bootstrap
+// circuit, catalog programs deeper than the modulus chain compile as
+// scheduler-path entries with mid-program refreshes, and the encrypted
+// session endpoints (/v1/sessions) are live.
 //
 // With -cluster, requests execute over the scale-out worker cluster
 // (cinnamon-worker processes, one chip each): ciphertext limbs are
@@ -39,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"cinnamon/internal/bootstrap"
 	"cinnamon/internal/cluster"
 	"cinnamon/internal/serve"
 	"cinnamon/internal/workloads"
@@ -57,41 +65,85 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request execution timeout")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
 	clusterAddrs := flag.String("cluster", "", "comma-separated cinnamon-worker addresses (host:port,...); empty = local emulator only")
+	bootstrapOn := flag.Bool("bootstrap", false, "enable the bootstrapping service (sparse-secret parameters; serves deeper-than-chain programs and sessions)")
+	bsBatch := flag.Int("bootstrap-batch", 8, "max ciphertexts per shared bootstrap tick")
+	bsWait := flag.Duration("bootstrap-wait", 25*time.Millisecond, "max time a bootstrap tick waits for company")
+	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle encrypted-session eviction deadline")
 	flag.Parse()
 
-	if err := run(*addr, *logN, *levels, *seed, *maxBatch, *batchWait, *workers, *limbWorkers, *queue, *timeout, *drain, *clusterAddrs); err != nil {
+	o := options{
+		addr: *addr, logN: *logN, levels: *levels, seed: *seed,
+		maxBatch: *maxBatch, batchWait: *batchWait, workers: *workers,
+		limbWorkers: *limbWorkers, queue: *queue, timeout: *timeout,
+		drain: *drain, clusterAddrs: *clusterAddrs,
+		bootstrap: *bootstrapOn, bsBatch: *bsBatch, bsWait: *bsWait,
+		sessionTTL: *sessionTTL,
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time.Duration, workers, limbWorkers, queue int, timeout, drain time.Duration, clusterAddrs string) error {
-	lit := workloads.ServeParamsLiteral(logN, levels, seed)
-	log.Printf("compiling serve catalog (logN=%d levels=%d seed=%d maxBatch=%d)...", logN, levels, seed, maxBatch)
+type options struct {
+	addr                 string
+	logN, levels         int
+	seed                 int64
+	maxBatch             int
+	batchWait            time.Duration
+	workers, limbWorkers int
+	queue                int
+	timeout, drain       time.Duration
+	clusterAddrs         string
+	bootstrap            bool
+	bsBatch              int
+	bsWait               time.Duration
+	sessionTTL           time.Duration
+}
+
+func run(o options) error {
+	lit := workloads.ServeParamsLiteral(o.logN, o.levels, o.seed)
+	regCfg := serve.RegistryConfig{Literal: lit, MaxBatch: o.maxBatch}
+	if o.bootstrap {
+		// The sparse-secret literal: same chain, HammingWeight set so the
+		// bootstrap EvalMod interval bound holds. Clients rebuild it from
+		// GET /v1/params like any other parameter set.
+		regCfg.Literal = workloads.ServeBootstrapParamsLiteral(o.logN, o.levels, o.seed)
+		cfg := bootstrap.DefaultConfig()
+		regCfg.Bootstrap = &cfg
+	}
+	log.Printf("compiling serve catalog (logN=%d levels=%d seed=%d maxBatch=%d bootstrap=%v)...", o.logN, o.levels, o.seed, o.maxBatch, o.bootstrap)
 	start := time.Now()
-	reg, err := serve.NewRegistry(serve.RegistryConfig{Literal: lit, MaxBatch: maxBatch})
+	reg, err := serve.NewRegistry(regCfg)
 	if err != nil {
 		return err
 	}
 	for _, name := range reg.ProgramNames() {
 		p, _ := reg.Program(name)
+		if p.Bootstrapped {
+			log.Printf("  program %-8s scheduler path, %d bootstraps/run, keys=%d, outLevel=%d", name, p.BootstrapsRequired, len(p.RequiredKeys), p.OutLevel)
+			continue
+		}
 		log.Printf("  program %-8s batches=%v keys=%v outLevel=%d", name, p.BatchSizes(), p.RequiredKeys, p.OutLevel)
 	}
 	for _, reason := range reg.Skipped {
 		log.Printf("  skipped %s (raise -levels/-logn to serve it)", reason)
 	}
+	if reg.Pre != nil {
+		log.Printf("bootstrap service: circuit consumes %d levels, exit level %d", reg.Pre.Consumed(), reg.Pre.ExitLevel())
+	}
 	log.Printf("catalog ready in %v", time.Since(start).Round(time.Millisecond))
 
 	var clusterEng *cluster.Engine
-	if clusterAddrs != "" {
+	if o.clusterAddrs != "" {
 		var dialers []cluster.Dialer
-		for _, a := range strings.Split(clusterAddrs, ",") {
+		for _, a := range strings.Split(o.clusterAddrs, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				dialers = append(dialers, cluster.TCPDialer{Addr: a})
 			}
 		}
 		if len(dialers) == 0 {
-			return fmt.Errorf("-cluster given but no worker addresses parsed from %q", clusterAddrs)
+			return fmt.Errorf("-cluster given but no worker addresses parsed from %q", o.clusterAddrs)
 		}
 		log.Printf("connecting to %d cluster workers...", len(dialers))
 		var err error
@@ -104,19 +156,22 @@ func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time
 	}
 
 	core := serve.NewCore(reg, serve.Config{
-		MaxBatch:       maxBatch,
-		BatchWait:      batchWait,
-		Workers:        workers,
-		LimbWorkers:    limbWorkers,
-		QueueDepth:     queue,
-		RequestTimeout: timeout,
+		MaxBatch:       o.maxBatch,
+		BatchWait:      o.batchWait,
+		Workers:        o.workers,
+		LimbWorkers:    o.limbWorkers,
+		QueueDepth:     o.queue,
+		RequestTimeout: o.timeout,
 		Cluster:        clusterEng,
+		BootstrapBatch: o.bsBatch,
+		BootstrapWait:  o.bsWait,
+		SessionTTL:     o.sessionTTL,
 	})
 
-	srv := &http.Server{Addr: addr, Handler: serve.NewHandler(core, serve.HandlerConfig{})}
+	srv := &http.Server{Addr: o.addr, Handler: serve.NewHandler(core, serve.HandlerConfig{})}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", addr)
+		log.Printf("serving on %s", o.addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -126,10 +181,10 @@ func run(addr string, logN, levels int, seed int64, maxBatch int, batchWait time
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		log.Printf("%v: draining (deadline %v)...", sig, drain)
+		log.Printf("%v: draining (deadline %v)...", sig, o.drain)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
 	// Stop accepting new connections first, then drain queued requests.
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"cinnamon/internal/bootstrap"
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/parallel"
 	"cinnamon/internal/rns"
@@ -256,6 +257,68 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out, compare strin
 		}})
 	}
 
+	// bootstrap: one full CKKS refresh (ScaleUp → ModRaise → CoeffToSlot →
+	// EvalMod → SlotToCoeff) on its own sparse-secret parameter set — the
+	// pass the serving runtime's bootstrap batcher amortizes across
+	// tenants. Small ring (logN=8, 16 levels) for the same reason as the
+	// serve gate: this row watches the circuit's constant factors.
+	{
+		blit := workloads.ServeBootstrapParamsLiteral(8, 16, 20260805)
+		bparams, err := ckks.NewParameters(blit)
+		if err != nil {
+			return err
+		}
+		pre, err := bootstrap.NewPrecomp(bparams, bootstrap.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		bkg := ckks.NewKeyGenerator(bparams)
+		bsk, err := bkg.GenSecretKey()
+		if err != nil {
+			return err
+		}
+		bpk, err := bkg.GenPublicKey(bsk)
+		if err != nil {
+			return err
+		}
+		brlk, err := bkg.GenRelinKey(bsk)
+		if err != nil {
+			return err
+		}
+		brtks, err := bkg.GenRotationKeySet(bsk, pre.Rotations(), true)
+		if err != nil {
+			return err
+		}
+		bs, err := bootstrap.NewBootstrapperFromKeys(pre, brlk, brtks)
+		if err != nil {
+			return err
+		}
+		benc := ckks.NewEncoder(bparams)
+		bv := make([]complex128, bparams.Slots())
+		for i := range bv {
+			bv[i] = complex(float64(i%7)/7-0.5, float64(i%5)/5-0.5)
+		}
+		bpt, err := benc.Encode(bv, bparams.MaxLevel(), bparams.DefaultScale())
+		if err != nil {
+			return err
+		}
+		bct, err := ckks.NewEncryptor(bparams, bpk).Encrypt(bpt)
+		if err != nil {
+			return err
+		}
+		low, err := bs.Evaluator().DropLevel(bct, 0)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, struct {
+			name string
+			fn   func() error
+		}{"bootstrap", func() error {
+			_, err := bs.Bootstrap(low)
+			return err
+		}})
+	}
+
 	rep := report{
 		GeneratedBy: "cmd/corebench",
 		HostCores:   runtime.NumCPU(),
@@ -277,6 +340,11 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out, compare strin
 				// A full matvec is ~20 keyswitches plus 64 encodes; a quarter
 				// of the iteration budget keeps the sweep's wall time bounded.
 				n = (iters + 3) / 4
+			}
+			if op.name == "bootstrap" {
+				// A refresh is hundreds of keyswitches; a tenth of the budget
+				// is plenty for a stable ns/op.
+				n = (iters + 9) / 10
 			}
 			t, err := timeOp(n, op.fn)
 			if err != nil {

@@ -1,0 +1,170 @@
+package bootstrap
+
+import (
+	"fmt"
+	"math"
+
+	"cinnamon/internal/ckks"
+)
+
+// BatchItem is one ciphertext in a bootstrap batch. BS may differ per item
+// (different tenants own different keys); items whose Bootstrappers share a
+// Precomp additionally share the batched BSGS transform passes. After
+// BootstrapBatch returns, exactly one of Out/Err is set.
+type BatchItem struct {
+	BS  *Bootstrapper
+	CT  *ckks.Ciphertext
+	Out *ckks.Ciphertext
+	Err error
+}
+
+// BootstrapBatch refreshes a batch of level-0 ciphertexts together. The
+// pipeline is phased so that the two expensive BSGS linear transforms
+// (CoeffToSlot, SlotToCoeff) run as ONE shared pass per Precomp group —
+// every baby-step rotation across all items is hoisted into a single
+// fork-join batch — while the cheap per-item stages (ScaleUp, ModRaise,
+// conjugate split, EvalMod, recombine) run item-at-a-time with exactly the
+// operation order of a solo Bootstrap. Since every evaluator operation is
+// deterministic, batched outputs are bit-identical to sequential ones.
+// Failures poison only their own item.
+func BootstrapBatch(items []*BatchItem) {
+	groups := map[*Precomp][]*BatchItem{}
+	for _, it := range items {
+		if it.BS == nil {
+			it.Err = fmt.Errorf("bootstrap: batch item has nil Bootstrapper")
+			continue
+		}
+		groups[it.BS.pre] = append(groups[it.BS.pre], it)
+	}
+	for pre, group := range groups {
+		bootstrapGroup(pre, group)
+	}
+}
+
+func bootstrapGroup(pre *Precomp, items []*BatchItem) {
+	// Phase 1 (per item): validate, ScaleUp to ≈ q0/2^H, ModRaise into the
+	// full chain. Dec becomes S0·m + q0·I with small integer I.
+	live := items[:0:0]
+	raised := make([]*ckks.Ciphertext, 0, len(items))
+	evs := make([]*ckks.Evaluator, 0, len(items))
+	for _, it := range items {
+		if it.Err = it.BS.validate(it.CT); it.Err != nil {
+			continue
+		}
+		up := it.BS.ev.ScaleUp(it.CT, pre.scaleUp)
+		r, err := it.BS.modRaise(up)
+		if err != nil {
+			it.Err = err
+			continue
+		}
+		live = append(live, it)
+		raised = append(raised, r)
+		evs = append(evs, it.BS.ev)
+	}
+	if len(live) == 0 {
+		return
+	}
+	// Phase 2 (batched): CoeffToSlot + rescale. Slots now hold
+	// x_j = Δm_j/q0 + I_j (complex pairs).
+	ts, errs := pre.c2s.EvaluateBatch(evs, pre.enc, raised)
+	live, ts, evs = prune(live, ts, evs, errs)
+	for k, it := range live {
+		if ts[k], it.Err = it.BS.ev.Rescale(ts[k]); it.Err != nil {
+			continue
+		}
+	}
+	live, ts, evs = prune(live, ts, evs, nil)
+	// Phase 3 (per item): conjugate split into 2·Re and 2·Im, EvalMod on
+	// both halves (u = 2x ∈ [−2K, 2K] → sin(2πx)), recombine
+	// t' = re' + i·im'.
+	combs := make([]*ckks.Ciphertext, len(live))
+	for k, it := range live {
+		combs[k], it.Err = it.BS.evalModSplit(ts[k])
+	}
+	live, combs, evs = prune(live, combs, evs, nil)
+	if len(live) == 0 {
+		return
+	}
+	// Phase 4 (batched): SlotToCoeff + rescale restores the original slot
+	// values at the exit level.
+	outs, errs := pre.s2c.EvaluateBatch(evs, pre.enc, combs)
+	live, outs, _ = prune(live, outs, evs, errs)
+	delta := pre.params.DefaultScale()
+	for k, it := range live {
+		out, err := it.BS.ev.Rescale(outs[k])
+		if err != nil {
+			it.Err = err
+			continue
+		}
+		// The composed circuit scale lands near Δ but not on it (the exact
+		// value threads every prime and constant in the circuit); snap to
+		// the exact default so downstream multiply chains don't amplify
+		// the declaration drift past the evaluator's scale check. The
+		// relative value error this folds in (≲1e-4) is far below the
+		// circuit's own sine-approximation error.
+		if math.Abs(out.Scale-delta) > 1e-4*delta {
+			it.Err = fmt.Errorf("bootstrap: exit scale %g drifted beyond tolerance of the default %g", out.Scale, delta)
+			continue
+		}
+		out.Scale = delta
+		it.Out = out
+	}
+}
+
+// evalModSplit runs the per-item middle of the pipeline: conjugate split,
+// EvalMod on both halves, and recombination.
+func (bs *Bootstrapper) evalModSplit(t *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	tc, err := bs.ev.Conjugate(t)
+	if err != nil {
+		return nil, err
+	}
+	re2, err := bs.ev.Add(t, tc)
+	if err != nil {
+		return nil, err
+	}
+	imDiff, err := bs.ev.Sub(tc, t)
+	if err != nil {
+		return nil, err
+	}
+	im2, err := bs.ev.MulByI(imDiff) // (conj−t)·i = 2·Im(t)
+	if err != nil {
+		return nil, err
+	}
+	reMod, err := bs.evalMod(re2)
+	if err != nil {
+		return nil, err
+	}
+	imMod, err := bs.evalMod(im2)
+	if err != nil {
+		return nil, err
+	}
+	imI, err := bs.ev.MulByI(imMod)
+	if err != nil {
+		return nil, err
+	}
+	a, b, err := alignLevels(bs.ev, reMod, imI)
+	if err != nil {
+		return nil, err
+	}
+	return bs.ev.Add(a, b)
+}
+
+// prune drops items whose Err is set (or whose entry in errs is set),
+// keeping the item/ciphertext/evaluator slices aligned.
+func prune(items []*BatchItem, cts []*ckks.Ciphertext, evs []*ckks.Evaluator, errs []error) ([]*BatchItem, []*ckks.Ciphertext, []*ckks.Evaluator) {
+	outI := items[:0]
+	outC := cts[:0]
+	outE := evs[:0]
+	for k, it := range items {
+		if errs != nil && errs[k] != nil && it.Err == nil {
+			it.Err = errs[k]
+		}
+		if it.Err != nil {
+			continue
+		}
+		outI = append(outI, it)
+		outC = append(outC, cts[k])
+		outE = append(outE, evs[k])
+	}
+	return outI, outC, outE
+}

@@ -1,0 +1,161 @@
+package bootstrap
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/ring"
+)
+
+// TestConsumedExitLevel pins the exact level budget of the default
+// circuit: ScaleUp+ModRaise cost nothing, CoeffToSlot 1, EvalMod
+// ceil(log2(Degree+1)) + DoubleAngle + its own rescale structure (3 fixed
+// + chebDepth + r), SlotToCoeff 1 — totalling 3 + 6 + 3 = 12 for the
+// default Degree-39, r=3 configuration.
+func TestConsumedExitLevel(t *testing.T) {
+	params, _ := bootstrapParams(t)
+	pre, err := NewPrecomp(params, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pre.Consumed(); got != 12 {
+		t.Fatalf("Consumed() = %d, want 12 for the default config", got)
+	}
+	if got, want := pre.ExitLevel(), params.MaxLevel()-12; got != want {
+		t.Fatalf("ExitLevel() = %d, want %d", got, want)
+	}
+
+	cfg := DefaultConfig()
+	cfg.ArcsineCorrection = true
+	preA, err := NewPrecomp(params, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := preA.Consumed(); got != 15 {
+		t.Fatalf("Consumed() with arcsine = %d, want 15", got)
+	}
+}
+
+func polysEqual(a, b *ring.Poly) bool {
+	if a.Basis.Len() != b.Basis.Len() || a.IsNTT != b.IsNTT {
+		return false
+	}
+	for l := range a.Limbs {
+		for i := range a.Limbs[l] {
+			if a.Limbs[l][i] != b.Limbs[l][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBootstrapBatchBitIdentical is the batching contract: a ciphertext
+// refreshed inside a shared tick is limb-for-limb identical to the same
+// ciphertext bootstrapped alone. Two tenants (distinct key sets sharing
+// one Precomp) ride one batch to exercise the cross-tenant grouping.
+func TestBootstrapBatchBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrap end-to-end is expensive")
+	}
+	params, sk1 := bootstrapParams(t)
+	pre, err := NewPrecomp(params, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params)
+	sk2, err := kg.GenSecretKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkBS := func(sk *ckks.SecretKey) *Bootstrapper {
+		rlk, err := kg.GenRelinKey(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtks, err := kg.GenRotationKeySet(sk, pre.Rotations(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := NewBootstrapperFromKeys(pre, rlk, rtks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bs
+	}
+	bs1, bs2 := mkBS(sk1), mkBS(sk2)
+
+	mkCT := func(sk *ckks.SecretKey, seed int64) *ckks.Ciphertext {
+		pk, err := kg.GenPublicKey(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := ckks.NewEncoder(params)
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]complex128, params.Slots())
+		for i := range v {
+			v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		pt, err := enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := ckks.NewEncryptor(params, pk).Encrypt(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		low, err := bs1.Evaluator().DropLevel(ct, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return low
+	}
+	ct1, ct2, ct3 := mkCT(sk1, 7), mkCT(sk1, 8), mkCT(sk2, 9)
+
+	solo := make([]*ckks.Ciphertext, 3)
+	for i, c := range []struct {
+		bs *Bootstrapper
+		ct *ckks.Ciphertext
+	}{{bs1, ct1}, {bs1, ct2}, {bs2, ct3}} {
+		out, err := c.bs.Bootstrap(c.ct)
+		if err != nil {
+			t.Fatalf("solo bootstrap %d: %v", i, err)
+		}
+		solo[i] = out
+	}
+
+	items := []*BatchItem{
+		{BS: bs1, CT: ct1},
+		{BS: bs1, CT: ct2},
+		{BS: bs2, CT: ct3},
+	}
+	BootstrapBatch(items)
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("batched bootstrap %d: %v", i, it.Err)
+		}
+		if it.Out.Scale != solo[i].Scale || it.Out.Level() != solo[i].Level() {
+			t.Fatalf("item %d: batched (level %d, scale %g) vs solo (level %d, scale %g)",
+				i, it.Out.Level(), it.Out.Scale, solo[i].Level(), solo[i].Scale)
+		}
+		if !polysEqual(it.Out.C0, solo[i].C0) || !polysEqual(it.Out.C1, solo[i].C1) {
+			t.Fatalf("item %d: batched bootstrap is not bit-identical to solo", i)
+		}
+	}
+
+	// Per-item failures stay per-item: a bad input poisons only itself.
+	bad := &BatchItem{BS: bs1, CT: solo[0]} // wrong level (not 0)
+	good := &BatchItem{BS: bs1, CT: ct1}
+	BootstrapBatch([]*BatchItem{bad, good})
+	if bad.Err == nil {
+		t.Fatal("level-4 input accepted by a batch")
+	}
+	if good.Err != nil {
+		t.Fatalf("good item failed alongside a bad one: %v", good.Err)
+	}
+	if !polysEqual(good.Out.C0, solo[0].C0) || !polysEqual(good.Out.C1, solo[0].C1) {
+		t.Fatal("good item's result changed when batched with a failing item")
+	}
+}

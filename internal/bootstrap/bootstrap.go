@@ -3,6 +3,7 @@ package bootstrap
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/ring"
@@ -24,7 +25,7 @@ type Config struct {
 	HeadroomBits int
 	// ArcsineCorrection applies θ ≈ s + s³/6 to each EvalMod output,
 	// cancelling the cubic sine distortion sin(θ) ≈ θ − θ³/6 at the cost
-	// of two more levels. Worth enabling when messages run close to the
+	// of three more levels. Worth enabling when messages run close to the
 	// headroom bound (large |m|·2^-H), where the distortion dominates.
 	ArcsineCorrection bool
 }
@@ -34,12 +35,14 @@ func DefaultConfig() Config {
 	return Config{K: 16, DoubleAngle: 3, Degree: 39, HeadroomBits: 4}
 }
 
-// Bootstrapper holds the precomputed matrices, polynomial approximation and
-// keys for bootstrapping ciphertexts with a fixed slot count.
-type Bootstrapper struct {
+// Precomp holds everything about the bootstrap circuit that does not depend
+// on key material: the CoeffToSlot/SlotToCoeff transforms, the EvalMod
+// Chebyshev approximation and the scale bookkeeping. One Precomp is shared
+// by every tenant's Bootstrapper (the transforms dominate setup cost and
+// memory; keys are the only per-tenant part).
+type Precomp struct {
 	params *ckks.Parameters
 	enc    *ckks.Encoder
-	ev     *ckks.Evaluator
 	slots  int
 	cfg    Config
 
@@ -49,23 +52,29 @@ type Bootstrapper struct {
 	rho      float64 // (f·Δ)/q0, the exact scale-to-q0 ratio after ScaleUp
 }
 
-// NewBootstrapper precomputes the CoeffToSlot/SlotToCoeff transforms for
-// full-slot (N/2) bootstrapping and generates the rotation, conjugation and
-// relinearization keys it needs from sk.
-func NewBootstrapper(params *ckks.Parameters, sk *ckks.SecretKey, cfg Config) (*Bootstrapper, error) {
+// Bootstrapper binds a Precomp to one key set (relinearization + the
+// transform rotations + conjugation).
+type Bootstrapper struct {
+	pre *Precomp
+	ev  *ckks.Evaluator
+}
+
+// NewPrecomp builds the key-independent part of the bootstrap circuit for
+// full-slot (N/2) bootstrapping.
+func NewPrecomp(params *ckks.Parameters, cfg Config) (*Precomp, error) {
 	if params.HammingWeight() == 0 || params.HammingWeight() > 192 {
 		return nil, fmt.Errorf("bootstrap: requires a sparse secret (HammingWeight in [1,192]), got %d", params.HammingWeight())
 	}
 	if cfg.K < 2 || cfg.Degree < 7 || cfg.DoubleAngle < 0 || cfg.HeadroomBits < 1 {
 		return nil, fmt.Errorf("bootstrap: invalid config %+v", cfg)
 	}
-	bs := &Bootstrapper{
+	pre := &Precomp{
 		params: params,
 		enc:    ckks.NewEncoder(params),
 		slots:  params.Slots(),
 		cfg:    cfg,
 	}
-	n := bs.slots
+	n := pre.slots
 	// Build the special-FFT matrix V (decode direction) and its inverse
 	// numerically from the encoder's own transform, so the homomorphic DFT
 	// matches the encoder exactly.
@@ -81,7 +90,7 @@ func NewBootstrapper(params *ckks.Parameters, sk *ckks.SecretKey, cfg Config) (*
 			col[i] = 0
 		}
 		col[k] = 1
-		bs.enc.SpecialFFT(col)
+		pre.enc.SpecialFFT(col)
 		for i := 0; i < n; i++ {
 			V[i][k] = col[i]
 		}
@@ -89,7 +98,7 @@ func NewBootstrapper(params *ckks.Parameters, sk *ckks.SecretKey, cfg Config) (*
 			col[i] = 0
 		}
 		col[k] = 1
-		bs.enc.SpecialFFTInv(col)
+		pre.enc.SpecialFFTInv(col)
 		for i := 0; i < n; i++ {
 			Vinv[i][k] = col[i]
 		}
@@ -100,41 +109,106 @@ func NewBootstrapper(params *ckks.Parameters, sk *ckks.SecretKey, cfg Config) (*
 	// f = round(q0/(2^H·Δ)), bringing its scale to S0 = f·Δ ≈ q0/2^H.
 	// Matrix entries then stay O(1) (no tiny factors that would be crushed
 	// by plaintext quantization).
-	bs.scaleUp = uint64(math.Round(q0 / (math.Exp2(float64(cfg.HeadroomBits)) * delta)))
-	if bs.scaleUp < 2 {
+	pre.scaleUp = uint64(math.Round(q0 / (math.Exp2(float64(cfg.HeadroomBits)) * delta)))
+	if pre.scaleUp < 2 {
 		return nil, fmt.Errorf("bootstrap: q0/Δ ratio too small for %d headroom bits", cfg.HeadroomBits)
 	}
-	bs.rho = float64(bs.scaleUp) * delta / q0
+	pre.rho = float64(pre.scaleUp) * delta / q0
 	// SlotToCoeff folds the EvalMod output normalization: the sine output
 	// is ≈ 2π·ρ·τ(v), so v = V·(1/(2πρ))·t'.
-	s2cFac := complex(1/(2*math.Pi*bs.rho), 0)
+	s2cFac := complex(1/(2*math.Pi*pre.rho), 0)
 	for i := 0; i < n; i++ {
 		for k := 0; k < n; k++ {
 			V[i][k] *= s2cFac
 		}
 	}
 	var err error
-	if bs.c2s, err = NewLinearTransform(Vinv); err != nil {
+	if pre.c2s, err = NewLinearTransform(Vinv); err != nil {
 		return nil, err
 	}
-	if bs.s2c, err = NewLinearTransform(V); err != nil {
+	if pre.s2c, err = NewLinearTransform(V); err != nil {
 		return nil, err
 	}
 	// EvalMod polynomial: CoeffToSlot leaves slot values u = 2x/ρ where
 	// x = coefficient/q0, so we fit h(u) = cos(π(ρ·u − 0.5)/2^r) over
 	// u ∈ ±(2K+1)/ρ; r double-angle steps then give
 	// cos(π·ρ·u − π/2) = sin(2π·x).
-	bound := float64(2*cfg.K+1) / bs.rho
+	bound := float64(2*cfg.K+1) / pre.rho
 	r := cfg.DoubleAngle
-	rho := bs.rho
-	bs.cheb = FitChebyshev(func(u float64) float64 {
+	rho := pre.rho
+	pre.cheb = FitChebyshev(func(u float64) float64 {
 		return math.Cos(math.Pi * (rho*u - 0.5) / math.Exp2(float64(r)))
 	}, -bound, bound, cfg.Degree)
-	// Keys: all rotations both transforms need, plus conjugation and
-	// relinearization.
+	return pre, nil
+}
+
+// Config returns the circuit configuration.
+func (pre *Precomp) Config() Config { return pre.cfg }
+
+// Params returns the parameters the circuit was built for.
+func (pre *Precomp) Params() *ckks.Parameters { return pre.params }
+
+// Rotations returns the deduplicated, sorted slot offsets whose rotation
+// keys the bootstrap circuit needs (union of both transforms).
+func (pre *Precomp) Rotations() []int {
+	set := map[int]bool{}
+	for _, k := range pre.c2s.Rotations() {
+		set[k] = true
+	}
+	for _, k := range pre.s2c.Rotations() {
+		set[k] = true
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Consumed returns the exact number of levels one bootstrap burns below
+// MaxLevel: CoeffToSlot rescale (1), Chebyshev normalization (1), the
+// Paterson–Stockmeyer tree (⌈log2(Degree+1)⌉), the double-angle foldings
+// (r), the SlotToCoeff rescale (1), plus three for the optional arcsine
+// correction. The end-to-end test pins this against evaluator reality.
+func (pre *Precomp) Consumed() int {
+	chebDepth := 0
+	for d := 1; d < pre.cfg.Degree+1; d <<= 1 {
+		chebDepth++
+	}
+	consumed := 3 + chebDepth + pre.cfg.DoubleAngle
+	if pre.cfg.ArcsineCorrection {
+		consumed += 3
+	}
+	return consumed
+}
+
+// ExitLevel returns the level a freshly bootstrapped ciphertext lands on.
+func (pre *Precomp) ExitLevel() int { return pre.params.MaxLevel() - pre.Consumed() }
+
+// NewBootstrapperFromKeys binds a shared Precomp to one tenant's keys.
+// rtks must contain keys for every offset in pre.Rotations() plus the
+// conjugation key; rlk is the relinearization key.
+func NewBootstrapperFromKeys(pre *Precomp, rlk *ckks.EvalKey, rtks *ckks.RotationKeySet) (*Bootstrapper, error) {
+	if pre == nil {
+		return nil, fmt.Errorf("bootstrap: nil precomp")
+	}
+	if rlk == nil {
+		return nil, fmt.Errorf("bootstrap: nil relinearization key")
+	}
+	return &Bootstrapper{pre: pre, ev: ckks.NewEvaluator(pre.params, rlk, rtks)}, nil
+}
+
+// NewBootstrapper precomputes the CoeffToSlot/SlotToCoeff transforms for
+// full-slot (N/2) bootstrapping and generates the rotation, conjugation and
+// relinearization keys it needs from sk.
+func NewBootstrapper(params *ckks.Parameters, sk *ckks.SecretKey, cfg Config) (*Bootstrapper, error) {
+	pre, err := NewPrecomp(params, cfg)
+	if err != nil {
+		return nil, err
+	}
 	kg := ckks.NewKeyGenerator(params)
-	rots := append(bs.c2s.Rotations(), bs.s2c.Rotations()...)
-	rtks, err := kg.GenRotationKeySet(sk, rots, true)
+	rtks, err := kg.GenRotationKeySet(sk, pre.Rotations(), true)
 	if err != nil {
 		return nil, err
 	}
@@ -142,23 +216,25 @@ func NewBootstrapper(params *ckks.Parameters, sk *ckks.SecretKey, cfg Config) (*
 	if err != nil {
 		return nil, err
 	}
-	bs.ev = ckks.NewEvaluator(params, rlk, rtks)
-	return bs, nil
+	return NewBootstrapperFromKeys(pre, rlk, rtks)
 }
 
 // Evaluator exposes the internal evaluator (it holds every key the
 // bootstrap circuit needs, which examples often reuse).
 func (bs *Bootstrapper) Evaluator() *ckks.Evaluator { return bs.ev }
 
+// Precomp exposes the shared key-independent circuit.
+func (bs *Bootstrapper) Precomp() *Precomp { return bs.pre }
+
 // MinLevelBudget returns a safe lower bound on the number of levels the
 // bootstrap circuit consumes (C2S + EvalMod + S2C + normalization).
 func (bs *Bootstrapper) MinLevelBudget() int {
 	chebDepth := 1 // normalization
-	for d := 1; d < bs.cfg.Degree+1; d <<= 1 {
+	for d := 1; d < bs.pre.cfg.Degree+1; d <<= 1 {
 		chebDepth++
 	}
-	budget := 1 + chebDepth + bs.cfg.DoubleAngle + 1 + 2
-	if bs.cfg.ArcsineCorrection {
+	budget := 1 + chebDepth + bs.pre.cfg.DoubleAngle + 1 + 2
+	if bs.pre.cfg.ArcsineCorrection {
 		budget += 2
 	}
 	return budget
@@ -166,79 +242,24 @@ func (bs *Bootstrapper) MinLevelBudget() int {
 
 // Bootstrap refreshes ct (which must be at level 0) back to a high level:
 // the returned ciphertext encrypts the same slot values with
-// params.MaxLevel() − consumed levels remaining.
+// pre.ExitLevel() levels remaining. It is exactly a batch of one, so its
+// results are bit-identical to the batched path.
 func (bs *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	item := BatchItem{BS: bs, CT: ct}
+	BootstrapBatch([]*BatchItem{&item})
+	return item.Out, item.Err
+}
+
+// validate checks the bootstrap input contract: level 0, default scale.
+func (bs *Bootstrapper) validate(ct *ckks.Ciphertext) error {
 	if ct.Level() != 0 {
-		return nil, fmt.Errorf("bootstrap: input must be at level 0, got %d", ct.Level())
+		return fmt.Errorf("bootstrap: input must be at level 0, got %d", ct.Level())
 	}
-	delta := bs.params.DefaultScale()
+	delta := bs.pre.params.DefaultScale()
 	if !closeTo(ct.Scale, delta) {
-		return nil, fmt.Errorf("bootstrap: input scale %g must be the default scale %g", ct.Scale, delta)
+		return fmt.Errorf("bootstrap: input scale %g must be the default scale %g", ct.Scale, delta)
 	}
-	// 1. ScaleUp to S0 = f·Δ ≈ q0/2^H (exact integer multiplication), then
-	// ModRaise: reinterpret the level-0 residues as integers in the full
-	// chain. Dec becomes S0·m + q0·I with small integer I.
-	up := bs.ev.ScaleUp(ct, bs.scaleUp)
-	raised, err := bs.modRaise(up)
-	if err != nil {
-		return nil, err
-	}
-	// 2. CoeffToSlot: slots now hold x_j = Δm_j/q0 + I_j (complex pairs).
-	t, err := bs.c2s.Evaluate(bs.ev, bs.enc, raised)
-	if err != nil {
-		return nil, err
-	}
-	if t, err = bs.ev.Rescale(t); err != nil {
-		return nil, err
-	}
-	// 3. Split into 2·Re(t) and 2·Im(t) with one conjugation.
-	tc, err := bs.ev.Conjugate(t)
-	if err != nil {
-		return nil, err
-	}
-	re2, err := bs.ev.Add(t, tc)
-	if err != nil {
-		return nil, err
-	}
-	imDiff, err := bs.ev.Sub(tc, t)
-	if err != nil {
-		return nil, err
-	}
-	im2, err := bs.ev.MulByI(imDiff) // (conj−t)·i = 2·Im(t)
-	if err != nil {
-		return nil, err
-	}
-	// 4. EvalMod on both halves: u = 2x ∈ [−2K, 2K] → sin(2πx).
-	reMod, err := bs.evalMod(re2)
-	if err != nil {
-		return nil, err
-	}
-	imMod, err := bs.evalMod(im2)
-	if err != nil {
-		return nil, err
-	}
-	// 5. Recombine t' = re' + i·im'.
-	imI, err := bs.ev.MulByI(imMod)
-	if err != nil {
-		return nil, err
-	}
-	a, b, err := alignLevels(bs.ev, reMod, imI)
-	if err != nil {
-		return nil, err
-	}
-	comb, err := bs.ev.Add(a, b)
-	if err != nil {
-		return nil, err
-	}
-	// 6. SlotToCoeff restores the original slot values.
-	out, err := bs.s2c.Evaluate(bs.ev, bs.enc, comb)
-	if err != nil {
-		return nil, err
-	}
-	if out, err = bs.ev.Rescale(out); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return nil
 }
 
 // closeTo reports approximate equality within 1e-6 relative tolerance.
@@ -249,11 +270,11 @@ func closeTo(a, b float64) bool {
 // evalMod evaluates the Chebyshev cosine and applies the double-angle
 // foldings c ← 2c² − 1 (r times), then optionally the arcsine correction.
 func (bs *Bootstrapper) evalMod(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
-	c, err := EvalChebyshev(bs.ev, ct, bs.cheb)
+	c, err := EvalChebyshev(bs.ev, ct, bs.pre.cheb)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < bs.cfg.DoubleAngle; i++ {
+	for i := 0; i < bs.pre.cfg.DoubleAngle; i++ {
 		sq, err := bs.ev.MulRelin(c, c)
 		if err != nil {
 			return nil, err
@@ -268,11 +289,11 @@ func (bs *Bootstrapper) evalMod(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
 			return nil, err
 		}
 	}
-	if !bs.cfg.ArcsineCorrection {
+	if !bs.pre.cfg.ArcsineCorrection {
 		return c, nil
 	}
-	// θ = asin(s) ≈ s + s³/6: evaluate s·(1 + s²/6) in two levels so the
-	// downstream linear extraction sees θ = 2π·x instead of sin(2π·x).
+	// θ = asin(s) ≈ s + s³/6: evaluate s·(1 + s²/6) so the downstream
+	// linear extraction sees θ = 2π·x instead of sin(2π·x).
 	s2, err := bs.ev.MulRelin(c, c)
 	if err != nil {
 		return nil, err
@@ -304,12 +325,12 @@ func (bs *Bootstrapper) evalMod(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
 // modRaise lifts a level-0 ciphertext to the full chain by re-expressing
 // each centered coefficient residue in every chain modulus.
 func (bs *Bootstrapper) modRaise(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
-	r := bs.params.Ring
-	topBasis, err := bs.params.BasisAtLevel(bs.params.MaxLevel())
+	r := bs.pre.params.Ring
+	topBasis, err := bs.pre.params.BasisAtLevel(bs.pre.params.MaxLevel())
 	if err != nil {
 		return nil, err
 	}
-	q0 := bs.params.QBasis.Moduli[0]
+	q0 := bs.pre.params.QBasis.Moduli[0]
 	raise := func(p *ring.Poly) (*ring.Poly, error) {
 		cp := p.Copy()
 		if err := r.INTT(cp); err != nil {

@@ -43,7 +43,7 @@ func TestBootstrapStages(t *testing.T) {
 
 	// Stage 1: ModRaise. Decrypt, read raw coefficients, and verify they
 	// are Δ·τ(v) + q0·I with small integer I.
-	up := bs.ev.ScaleUp(low, bs.scaleUp)
+	up := bs.ev.ScaleUp(low, bs.pre.scaleUp)
 	raised, err := bs.modRaise(up)
 	if err != nil {
 		t.Fatal(err)
@@ -80,21 +80,21 @@ func TestBootstrapStages(t *testing.T) {
 			}
 		}
 	}
-	t.Logf("stage1 modraise: max |I| = %.1f (K=%d), max |frac| = %g", maxI, bs.cfg.K, maxFrac)
-	if maxI > float64(bs.cfg.K) {
+	t.Logf("stage1 modraise: max |I| = %.1f (K=%d), max |frac| = %g", maxI, bs.pre.cfg.K, maxFrac)
+	if maxI > float64(bs.pre.cfg.K) {
 		t.Fatalf("stage1: wrap count %f exceeds K", maxI)
 	}
 	// Fractional part should be Δ·τ(v)/q0-sized.
 	for j := 0; j < slots; j++ {
 		fr := real(xWant[j]) - math.Round(real(xWant[j]))
-		want := real(tau[j]) * bs.rho
+		want := real(tau[j]) * bs.pre.rho
 		if math.Abs(fr-want) > 1e-3 {
 			t.Fatalf("stage1: coeff %d frac %g, want %g", j, fr, want)
 		}
 	}
 
 	// Stage 2: CoeffToSlot. Slots must now hold xWant.
-	ts, err := bs.c2s.Evaluate(bs.ev, bs.enc, raised)
+	ts, err := bs.pre.c2s.Evaluate(bs.ev, bs.pre.enc, raised)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestBootstrapStages(t *testing.T) {
 	worst := 0.0
 	for j := range gotT {
 		// CoeffToSlot leaves u = x/ρ in the slots.
-		if e := cmplx.Abs(gotT[j]*complex(bs.rho, 0) - xWant[j]); e > worst {
+		if e := cmplx.Abs(gotT[j]*complex(bs.pre.rho, 0) - xWant[j]); e > worst {
 			worst = e
 		}
 	}
@@ -191,7 +191,7 @@ func TestBootstrapStages(t *testing.T) {
 	}
 
 	// Stage 5: SlotToCoeff must reproduce the original v.
-	out, err := bs.s2c.Evaluate(bs.ev, bs.enc, comb)
+	out, err := bs.pre.s2c.Evaluate(bs.ev, bs.pre.enc, comb)
 	if err != nil {
 		t.Fatal(err)
 	}

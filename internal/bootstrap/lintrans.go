@@ -9,6 +9,7 @@ package bootstrap
 
 import (
 	"fmt"
+	"sync"
 
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/parallel"
@@ -24,6 +25,13 @@ type LinearTransform struct {
 	Slots int
 	Diags map[int][]complex128
 	N1    int // baby-step width (power of two)
+
+	// Encoded diagonals are deterministic per (level, d), so they are
+	// computed once and reused across every evaluation — single or batched,
+	// any tenant. The mutex also serializes the (stateless but not
+	// concurrency-safe) encoder during warm-up.
+	ptMu    sync.Mutex
+	ptCache map[uint64]*ckks.Plaintext
 }
 
 // NewLinearTransform builds the diagonal representation of the dense
@@ -38,7 +46,7 @@ func NewLinearTransform(m [][]complex128) (*LinearTransform, error) {
 			return nil, fmt.Errorf("bootstrap: matrix is not square")
 		}
 	}
-	lt := &LinearTransform{Slots: n, Diags: map[int][]complex128{}}
+	lt := &LinearTransform{Slots: n, Diags: map[int][]complex128{}, ptCache: map[uint64]*ckks.Plaintext{}}
 	for d := 0; d < n; d++ {
 		diag := make([]complex128, n)
 		zero := true
@@ -82,40 +90,52 @@ func (lt *LinearTransform) Rotations() []int {
 	return out
 }
 
-// Evaluate applies the transform to ct. The output scale is
-// ct.Scale · Δ; the caller rescales. enc must share the evaluator's
-// parameters.
-func (lt *LinearTransform) Evaluate(ev *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
-	level := ct.Level()
-	// Encode diagonals at exactly the modulus the following rescale will
-	// consume, so the caller's rescale preserves ct.Scale exactly.
-	scale := ev.TopModulus(level)
-	// Hoist the baby-step rotations: each rot_j(ct) is computed once and
-	// reused across all giant steps. The hoisted rotations are mutually
-	// independent keyswitches, so they run concurrently on the limb worker
-	// pool (the paper's "multiple rotations on a single ciphertext" batch).
-	var babySteps []int
+// diagPlaintext returns the encoded diagonal d at the given level,
+// pre-rotated by −(d/N1)·N1 so the giant-step rotation realigns it. The
+// encode scale is exactly the top modulus at that level, so the caller's
+// rescale preserves ct.Scale. Encodes are deterministic, so a cache hit is
+// bit-identical to a fresh encode.
+func (lt *LinearTransform) diagPlaintext(enc *ckks.Encoder, level int, d int, scale float64) (*ckks.Plaintext, error) {
+	key := uint64(level)<<32 | uint64(uint32(d))
+	lt.ptMu.Lock()
+	defer lt.ptMu.Unlock()
+	if pt, ok := lt.ptCache[key]; ok {
+		return pt, nil
+	}
+	diag := lt.Diags[d]
+	shift := (d / lt.N1) * lt.N1
+	w := make([]complex128, lt.Slots)
+	for k := range w {
+		w[k] = diag[((k-shift)%lt.Slots+lt.Slots)%lt.Slots]
+	}
+	pt, err := enc.Encode(w, level, scale)
+	if err != nil {
+		return nil, err
+	}
+	lt.ptCache[key] = pt
+	return pt, nil
+}
+
+// babySteps returns the distinct nonzero baby-step offsets the transform's
+// diagonals need, in stable (ascending d) discovery order is not required —
+// hoisted rotations are order-independent.
+func (lt *LinearTransform) babySteps() []int {
+	var steps []int
 	seen := map[int]bool{}
 	for d := range lt.Diags {
 		if j := d % lt.N1; j != 0 && !seen[j] {
 			seen[j] = true
-			babySteps = append(babySteps, j)
+			steps = append(steps, j)
 		}
 	}
-	rotCache := map[int]*ckks.Ciphertext{0: ct}
-	if len(babySteps) > 0 {
-		rots := make([]*ckks.Ciphertext, len(babySteps))
-		errs := make([]error, len(babySteps))
-		parallel.For(len(babySteps), func(k int) {
-			rots[k], errs[k] = ev.Rotate(ct, babySteps[k])
-		})
-		for k, j := range babySteps {
-			if errs[k] != nil {
-				return nil, errs[k]
-			}
-			rotCache[j] = rots[k]
-		}
-	}
+	return steps
+}
+
+// accumulate runs the giant-step loop for one ciphertext given its hoisted
+// baby rotations. Both the single and batched entry points funnel through
+// this, so per-ciphertext operation order — and therefore the result bits —
+// cannot differ between them.
+func (lt *LinearTransform) accumulate(ev *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext, rotCache map[int]*ckks.Ciphertext, level int, scale float64) (*ckks.Ciphertext, error) {
 	rotated := func(j int) (*ckks.Ciphertext, error) {
 		if r, ok := rotCache[j]; ok {
 			return r, nil
@@ -131,17 +151,10 @@ func (lt *LinearTransform) Evaluate(ev *ckks.Evaluator, enc *ckks.Encoder, ct *c
 	for i := 0; i*lt.N1 < lt.Slots; i++ {
 		var inner *ckks.Ciphertext
 		for j := 0; j < lt.N1; j++ {
-			diag, ok := lt.Diags[i*lt.N1+j]
-			if !ok {
+			if _, ok := lt.Diags[i*lt.N1+j]; !ok {
 				continue
 			}
-			// Pre-rotate the diagonal by −i·n1 so the outer rotation
-			// realigns it.
-			w := make([]complex128, lt.Slots)
-			for k := range w {
-				w[k] = diag[((k-i*lt.N1)%lt.Slots+lt.Slots)%lt.Slots]
-			}
-			pt, err := enc.Encode(w, level, scale)
+			pt, err := lt.diagPlaintext(enc, level, i*lt.N1+j, scale)
 			if err != nil {
 				return nil, err
 			}
@@ -181,6 +194,88 @@ func (lt *LinearTransform) Evaluate(ev *ckks.Evaluator, enc *ckks.Encoder, ct *c
 		return nil, fmt.Errorf("bootstrap: linear transform has no nonzero diagonal")
 	}
 	return acc, nil
+}
+
+// Evaluate applies the transform to ct. The output scale is
+// ct.Scale · Δ; the caller rescales. enc must share the evaluator's
+// parameters.
+func (lt *LinearTransform) Evaluate(ev *ckks.Evaluator, enc *ckks.Encoder, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	outs, errs := lt.EvaluateBatch([]*ckks.Evaluator{ev}, enc, []*ckks.Ciphertext{ct})
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	return outs[0], nil
+}
+
+// EvaluateBatch applies the transform to several ciphertexts — possibly
+// from different tenants, hence the per-item evaluators — sharing one pass
+// of setup: diagonal plaintexts are encoded once, and ALL baby-step
+// rotations across every item are hoisted into a single fork-join batch
+// (the paper's batched keyswitch collective, amortized across requests).
+// All inputs must sit at the same level. Failures are per-item.
+func (lt *LinearTransform) EvaluateBatch(evs []*ckks.Evaluator, enc *ckks.Encoder, cts []*ckks.Ciphertext) ([]*ckks.Ciphertext, []error) {
+	n := len(cts)
+	outs := make([]*ckks.Ciphertext, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return outs, errs
+	}
+	if len(evs) != n {
+		for i := range errs {
+			errs[i] = fmt.Errorf("bootstrap: %d evaluators for %d ciphertexts", len(evs), n)
+		}
+		return outs, errs
+	}
+	level := cts[0].Level()
+	for i, ct := range cts {
+		if ct.Level() != level {
+			errs[i] = fmt.Errorf("bootstrap: batch level mismatch: item %d at level %d, batch at %d", i, ct.Level(), level)
+		}
+	}
+	// Encode diagonals at exactly the modulus the following rescale will
+	// consume, so the caller's rescale preserves ct.Scale exactly.
+	scale := evs[0].TopModulus(level)
+	steps := lt.babySteps()
+	// Hoist every (item, baby-step) rotation into one flat batch: the
+	// rotations are mutually independent keyswitches and run concurrently
+	// on the limb worker pool.
+	caches := make([]map[int]*ckks.Ciphertext, n)
+	for i := range caches {
+		caches[i] = map[int]*ckks.Ciphertext{0: cts[i]}
+	}
+	if len(steps) > 0 {
+		type job struct{ item, step int }
+		var jobs []job
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				continue
+			}
+			for _, j := range steps {
+				jobs = append(jobs, job{i, j})
+			}
+		}
+		rots := make([]*ckks.Ciphertext, len(jobs))
+		rerrs := make([]error, len(jobs))
+		parallel.For(len(jobs), func(k int) {
+			rots[k], rerrs[k] = evs[jobs[k].item].Rotate(cts[jobs[k].item], jobs[k].step)
+		})
+		for k, jb := range jobs {
+			if rerrs[k] != nil {
+				if errs[jb.item] == nil {
+					errs[jb.item] = rerrs[k]
+				}
+				continue
+			}
+			caches[jb.item][jb.step] = rots[k]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			continue
+		}
+		outs[i], errs[i] = lt.accumulate(evs[i], enc, cts[i], caches[i], level, scale)
+	}
+	return outs, errs
 }
 
 // Apply evaluates the transform on a plaintext vector (reference path for

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cinnamon/internal/bootstrap"
+	"cinnamon/internal/ckks"
+)
+
+// ErrBatcherClosed is returned by Refresh after Close.
+var ErrBatcherClosed = fmt.Errorf("sched: bootstrap batcher closed")
+
+// Batcher coalesces bootstrap requests from concurrent program executions —
+// across programs, sessions and tenants — into shared ticks: the first
+// arrival opens a tick, which fires when it reaches MaxBatch or when
+// MaxWait passes. Each tick is one bootstrap.BootstrapBatch call, so every
+// ciphertext in it shares the tick's hoisted BSGS rotation batches (the
+// per-tenant keys differ; the transform plaintexts and fork-join rotation
+// collective are shared). Results are bit-identical to solo bootstraps.
+type Batcher struct {
+	maxBatch int
+	maxWait  time.Duration
+	in       chan *refreshJob
+	quit     chan struct{}
+	done     chan struct{}
+
+	// OnBatch, if set, observes every tick (size, wall time). The serve
+	// metrics hook in here.
+	OnBatch func(size int, d time.Duration)
+}
+
+type refreshJob struct {
+	ctx  context.Context
+	item *bootstrap.BatchItem
+	done chan struct{}
+}
+
+// NewBatcher starts the tick loop. maxBatch ≥ 1; maxWait > 0.
+func NewBatcher(maxBatch int, maxWait time.Duration) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxWait <= 0 {
+		maxWait = 20 * time.Millisecond
+	}
+	b := &Batcher{
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		in:       make(chan *refreshJob, 4*maxBatch),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Refresh bootstraps ct through the shared tick loop, blocking until the
+// tick containing it completes (or ctx/Close aborts the wait).
+func (b *Batcher) Refresh(ctx context.Context, bs *bootstrap.Bootstrapper, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	job := &refreshJob{ctx: ctx, item: &bootstrap.BatchItem{BS: bs, CT: ct}, done: make(chan struct{})}
+	select {
+	case b.in <- job:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-b.quit:
+		return nil, ErrBatcherClosed
+	}
+	select {
+	case <-job.done:
+		return job.item.Out, job.item.Err
+	case <-ctx.Done():
+		// The tick loop may still process the job; the result is simply
+		// discarded (bootstrapping is deterministic and side-effect free).
+		return nil, ctx.Err()
+	case <-b.quit:
+		// The enqueue select may have won the race against a concurrent
+		// Close (both cases ready). Wait for the loop to finish failing
+		// the queue, then settle: a closed done carries the job's real
+		// outcome (possibly a completed tick), otherwise nobody will ever
+		// process it.
+		<-b.done
+		select {
+		case <-job.done:
+			return job.item.Out, job.item.Err
+		default:
+			return nil, ErrBatcherClosed
+		}
+	}
+}
+
+// Close stops the tick loop after failing whatever is still queued. The
+// serve runtime only calls this once in-flight executions have drained, so
+// in the normal path the queue is already empty.
+func (b *Batcher) Close() {
+	close(b.quit)
+	<-b.done
+}
+
+func (b *Batcher) run() {
+	defer close(b.done)
+	for {
+		var first *refreshJob
+		select {
+		case first = <-b.in:
+		case <-b.quit:
+			b.failRemaining()
+			return
+		}
+		b.fire(b.collect(first))
+	}
+}
+
+// collect grows a tick from its first job until full, deadline, or
+// shutdown.
+func (b *Batcher) collect(first *refreshJob) []*refreshJob {
+	jobs := []*refreshJob{first}
+	timer := time.NewTimer(b.maxWait)
+	defer timer.Stop()
+	for len(jobs) < b.maxBatch {
+		select {
+		case j := <-b.in:
+			jobs = append(jobs, j)
+		case <-timer.C:
+			return jobs
+		case <-b.quit:
+			return jobs
+		}
+	}
+	return jobs
+}
+
+// fire runs one tick: dead jobs (context already expired) are dropped
+// before paying for the batch, the rest bootstrap together.
+func (b *Batcher) fire(jobs []*refreshJob) {
+	items := make([]*bootstrap.BatchItem, 0, len(jobs))
+	live := make([]*refreshJob, 0, len(jobs))
+	for _, j := range jobs {
+		if err := j.ctx.Err(); err != nil {
+			j.item.Err = err
+			close(j.done)
+			continue
+		}
+		items = append(items, j.item)
+		live = append(live, j)
+	}
+	if len(items) == 0 {
+		return
+	}
+	start := time.Now()
+	bootstrap.BootstrapBatch(items)
+	if b.OnBatch != nil {
+		b.OnBatch(len(items), time.Since(start))
+	}
+	for _, j := range live {
+		close(j.done)
+	}
+}
+
+// failRemaining rejects everything still queued at shutdown.
+func (b *Batcher) failRemaining() {
+	for {
+		select {
+		case j := <-b.in:
+			j.item.Err = ErrBatcherClosed
+			close(j.done)
+		default:
+			return
+		}
+	}
+}

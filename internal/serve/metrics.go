@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"fmt"
 	"sync/atomic"
+	"time"
 
 	"cinnamon/internal/cluster"
 	"cinnamon/internal/telemetry"
@@ -44,6 +46,20 @@ type Metrics struct {
 	// Panics counts recovered execution panics (each fails its requests
 	// typed with ErrInternal; the worker pool survives).
 	Panics atomic.Int64
+
+	// Bootstrap service counters: total ciphertexts refreshed, ticks run,
+	// tick wall time, and a batch-size histogram (index = tick size,
+	// clamped to the last bucket).
+	Bootstraps       atomic.Int64
+	BootstrapBatches atomic.Int64
+	BootstrapMs      Histogram
+	batchSizes       [17]atomic.Int64
+
+	// Session counters.
+	SessionsActive  atomic.Int64
+	SessionsCreated atomic.Int64
+	SessionsEvicted atomic.Int64
+	SessionSteps    atomic.Int64
 
 	programs map[string]*ProgramMetrics // fixed at startup, values atomic
 
@@ -91,6 +107,31 @@ type Snapshot struct {
 	Panics       int64  `json:"panics"`
 	CircuitState string `json:"circuit_state,omitempty"`
 	CircuitOpens int64  `json:"circuit_opens,omitempty"`
+
+	// Bootstrap service: BootstrapBatchSize maps tick size → tick count
+	// (the "bootstrap_batch_size" histogram; sizes ≥ 16 share the last
+	// bucket), BootstrapMs the per-tick wall-time quantiles.
+	Bootstraps         int64            `json:"bootstraps_total"`
+	BootstrapBatches   int64            `json:"bootstrap_batches"`
+	BootstrapBatchSize map[string]int64 `json:"bootstrap_batch_size,omitempty"`
+	BootstrapMs        *LatencySummary  `json:"bootstrap_ms,omitempty"`
+
+	SessionsActive  int64 `json:"sessions_active"`
+	SessionsCreated int64 `json:"sessions_created"`
+	SessionsEvicted int64 `json:"sessions_evicted"`
+	SessionSteps    int64 `json:"session_steps"`
+}
+
+// ObserveBootstrapBatch records one batcher tick.
+func (m *Metrics) ObserveBootstrapBatch(size int, d time.Duration) {
+	m.Bootstraps.Add(int64(size))
+	m.BootstrapBatches.Add(1)
+	m.BootstrapMs.Observe(d)
+	idx := size
+	if idx >= len(m.batchSizes) {
+		idx = len(m.batchSizes) - 1
+	}
+	m.batchSizes[idx].Add(1)
 }
 
 // Snapshot captures the current metric values.
@@ -125,5 +166,25 @@ func (m *Metrics) Snapshot() Snapshot {
 			Latency:   pm.Latency.Summary(),
 		}
 	}
+	s.Bootstraps = m.Bootstraps.Load()
+	s.BootstrapBatches = m.BootstrapBatches.Load()
+	if s.BootstrapBatches > 0 {
+		sum := m.BootstrapMs.Summary()
+		s.BootstrapMs = &sum
+		s.BootstrapBatchSize = map[string]int64{}
+		for i := range m.batchSizes {
+			if n := m.batchSizes[i].Load(); n > 0 {
+				key := fmt.Sprintf("%d", i)
+				if i == len(m.batchSizes)-1 {
+					key = fmt.Sprintf("%d+", i)
+				}
+				s.BootstrapBatchSize[key] = n
+			}
+		}
+	}
+	s.SessionsActive = m.SessionsActive.Load()
+	s.SessionsCreated = m.SessionsCreated.Load()
+	s.SessionsEvicted = m.SessionsEvicted.Load()
+	s.SessionSteps = m.SessionSteps.Load()
 	return s
 }

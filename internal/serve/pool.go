@@ -17,6 +17,7 @@ import (
 	"cinnamon/internal/cluster"
 	"cinnamon/internal/emulator"
 	"cinnamon/internal/parallel"
+	"cinnamon/internal/sched"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -87,6 +88,22 @@ type Config struct {
 	// probe chunk. Default 5s.
 	CircuitCooldown time.Duration
 
+	// BootstrapBatch caps how many refresh-pending ciphertexts one
+	// bootstrap tick serves (they share the BSGS transform pass across
+	// programs, sessions and tenants). Default 8.
+	BootstrapBatch int
+	// BootstrapWait is how long a non-full bootstrap tick waits for
+	// company. Default 25ms (a tick costs hundreds of ms; waiting a few
+	// tens buys cross-request amortization nearly free).
+	BootstrapWait time.Duration
+
+	// SessionTTL evicts encrypted sessions idle longer than this.
+	// Default 5m.
+	SessionTTL time.Duration
+	// MaxSessions bounds live sessions; creation beyond it sheds with
+	// ErrOverloaded. Default 1024.
+	MaxSessions int
+
 	// testHoldWorkers, when non-nil, parks workers until the channel is
 	// closed — a deterministic backpressure lever for tests.
 	testHoldWorkers chan struct{}
@@ -102,11 +119,16 @@ func (c Config) withDefaults(reg *Registry) Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = math.MaxInt
 	}
-	if len(reg.order) > 0 {
-		largest := reg.programs[reg.order[0]].variants[0].Batch
-		if c.MaxBatch > largest {
-			c.MaxBatch = largest
+	largest := 0
+	for _, name := range reg.order {
+		if vs := reg.programs[name].variants; len(vs) > 0 && vs[0].Batch > largest {
+			largest = vs[0].Batch
 		}
+	}
+	if largest > 0 && c.MaxBatch > largest {
+		c.MaxBatch = largest
+	} else if largest == 0 && c.MaxBatch == math.MaxInt {
+		c.MaxBatch = 1
 	}
 	if c.BatchWait <= 0 {
 		c.BatchWait = 2 * time.Millisecond
@@ -125,6 +147,18 @@ func (c Config) withDefaults(reg *Registry) Config {
 	}
 	if c.AdmissionLimit <= 0 {
 		c.AdmissionLimit = 1024
+	}
+	if c.BootstrapBatch <= 0 {
+		c.BootstrapBatch = 8
+	}
+	if c.BootstrapWait <= 0 {
+		c.BootstrapWait = 25 * time.Millisecond
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
 	}
 	return c
 }
@@ -189,6 +223,14 @@ type Core struct {
 
 	machMu   sync.Mutex // guards machines
 	machines map[*Variant][]*emulator.Machine
+
+	// boot is the cross-tenant bootstrap batcher (nil unless the registry
+	// has a bootstrap Precomp); deepWG tracks in-flight scheduler-path
+	// executions (deep one-shots and session steps) so Close can drain
+	// them before stopping the batcher they depend on.
+	boot     *sched.Batcher
+	deepWG   sync.WaitGroup
+	sessions *sessionStore
 }
 
 // NewCore starts the worker pool over an already-compiled registry.
@@ -212,6 +254,11 @@ func NewCore(reg *Registry, cfg Config) *Core {
 		c.met.clusterSource = cfg.Cluster.Snapshot
 		c.met.circuitSource = func() (string, int64) { return c.breaker.State(), c.breaker.Opens() }
 	}
+	if reg.Pre != nil {
+		c.boot = sched.NewBatcher(cfg.BootstrapBatch, cfg.BootstrapWait)
+		c.boot.OnBatch = c.met.ObserveBootstrapBatch
+	}
+	c.sessions = newSessionStore(c, cfg.SessionTTL, cfg.MaxSessions)
 	c.workersWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go c.worker()
@@ -236,6 +283,12 @@ type Health struct {
 	Workers  int    `json:"workers,omitempty"`
 	Healthy  int    `json:"workers_healthy,omitempty"`
 	Circuit  string `json:"circuit_state,omitempty"`
+
+	// Bootstrap reports the refresh service: enabled, the level circuits
+	// resume at after a refresh, and the live encrypted-session count.
+	Bootstrap          bool `json:"bootstrap"`
+	BootstrapExitLevel int  `json:"bootstrap_exit_level,omitempty"`
+	SessionsActive     int  `json:"sessions_active"`
 }
 
 // Health reports whether the core can serve right now. With a cluster
@@ -256,6 +309,11 @@ func (c *Core) Health() Health {
 			h.OK = false
 		}
 	}
+	if c.reg.Pre != nil {
+		h.Bootstrap = true
+		h.BootstrapExitLevel = c.reg.Pre.ExitLevel()
+	}
+	h.SessionsActive = c.SessionCount()
 	if h.Draining {
 		h.OK = false
 	}
@@ -298,6 +356,22 @@ func (c *Core) Submit(ctx context.Context, program, tenant string, ct *ckks.Ciph
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
 		defer cancel()
+	}
+	if prog.Bootstrapped {
+		// Deeper-than-the-chain programs run on the scheduler path, one
+		// request per call (the caller's goroutine is the executor; the
+		// admission bound already caps concurrency). deepWG.Add happens
+		// under stateMu so Close's drain cannot miss an in-flight run.
+		c.stateMu.RLock()
+		if c.draining {
+			c.stateMu.RUnlock()
+			c.met.Rejected.Add(1)
+			return nil, ErrShuttingDown
+		}
+		c.deepWG.Add(1)
+		c.stateMu.RUnlock()
+		defer c.deepWG.Done()
+		return c.runDeep(ctx, prog, tenant, keys, ct)
 	}
 	r := &request{ctx: ctx, ct: ct, resp: make(chan result, 1), enq: time.Now()}
 
@@ -357,6 +431,13 @@ func (c *Core) Close(ctx context.Context) error {
 		c.batchersWG.Wait()
 		close(c.dispatch)
 		c.workersWG.Wait()
+		// Scheduler-path executions (deep one-shots, session steps) drain
+		// before the bootstrap batcher they refresh through goes away.
+		c.deepWG.Wait()
+		if c.boot != nil {
+			c.boot.Close()
+		}
+		c.sessions.close()
 		close(done)
 	}()
 	select {
@@ -499,6 +580,100 @@ func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[
 	}
 }
 
+// runDeep executes one request of a Bootstrapped program on the scheduler
+// path: op-by-op replay over a real evaluator, with every level-exhausted
+// multiplication argument refreshed through the shared bootstrap batcher
+// (so concurrent deep runs and session steps amortize one BSGS pass).
+func (c *Core) runDeep(ctx context.Context, prog *Program, tenant string, keys map[string]*ckks.EvalKey, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	pm := c.met.programs[prog.Spec.Name]
+	start := time.Now()
+	out, err := c.execScheduled(ctx, prog, tenant, keys, ct)
+	if err != nil {
+		c.met.Errors.Add(1)
+		pm.Errors.Add(1)
+		return nil, fmt.Errorf("serve: executing %q: %w", prog.Spec.Name, err)
+	}
+	lat := time.Since(start)
+	c.met.Completed.Add(1)
+	c.met.Latency.Observe(lat)
+	pm.Completed.Add(1)
+	pm.Latency.Observe(lat)
+	return out, nil
+}
+
+// execScheduled replays prog's graph on ct with the tenant's keys. In
+// cluster mode keyswitches ride the distributed engine while it is
+// healthy; bootstraps always run coordinator-local (the batcher and the
+// bootstrap key material live here). A distributed failure falls back to
+// a fully local run — counted in EmulatorFallbacks — unless
+// RequireCluster turns fallback off.
+func (c *Core) execScheduled(ctx context.Context, prog *Program, tenant string, keys map[string]*ckks.EvalKey, ct *ckks.Ciphertext) (out *ckks.Ciphertext, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.met.Panics.Add(1)
+			out, err = nil, fmt.Errorf("%w: recovered panic in scheduled run of %q: %v\n%s", ErrInternal, prog.Spec.Name, p, debug.Stack())
+		}
+	}()
+	var refresh sched.RefreshFunc
+	if c.reg.Pre != nil {
+		bs, berr := c.reg.BootstrapperFor(tenant)
+		if berr != nil {
+			return nil, berr
+		}
+		refresh = func(ctx context.Context, in *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+			return c.boot.Refresh(ctx, bs, in)
+		}
+	}
+	ev, err := tenantEvaluator(c.reg.Params, keys)
+	if err != nil {
+		return nil, err
+	}
+	if cl := c.cfg.Cluster; cl != nil {
+		if cl.Healthy() && c.breaker.Allow() {
+			ev.SetKeySwitcher(cl.Bound(ctx))
+			out, err = prog.exec.Run(ctx, ev, ct, sched.RunOpts{Refresh: refresh})
+			if err == nil {
+				c.breaker.Success()
+				return out, nil
+			}
+			c.breaker.Failure()
+			if ctx.Err() != nil {
+				return nil, err
+			}
+		}
+		if c.cfg.RequireCluster {
+			return nil, fmt.Errorf("serve: cluster unavailable (circuit %s): %w", c.breaker.State(), cluster.ErrDegraded)
+		}
+		// Degraded cluster or a distributed error: rebuild a local evaluator
+		// and replay from the original input (results are bit-identical —
+		// same kernels, only locality changes).
+		c.met.EmulatorFallbacks.Add(1)
+		if ev, err = tenantEvaluator(c.reg.Params, keys); err != nil {
+			return nil, err
+		}
+	}
+	return prog.exec.Run(ctx, ev, ct, sched.RunOpts{Refresh: refresh})
+}
+
+// tenantEvaluator builds an evaluator over a tenant's registered key set,
+// parsing the "rlk"/"conj"/"rot:<k>" id convention into a RotationKeySet.
+func tenantEvaluator(params *ckks.Parameters, keys map[string]*ckks.EvalKey) (*ckks.Evaluator, error) {
+	rtks := &ckks.RotationKeySet{Keys: map[int]*ckks.EvalKey{}}
+	for id, k := range keys {
+		switch {
+		case id == "conj":
+			rtks.Conj = k
+		case strings.HasPrefix(id, "rot:"):
+			off, err := strconv.Atoi(strings.TrimPrefix(id, "rot:"))
+			if err != nil {
+				return nil, fmt.Errorf("serve: malformed rotation key id %q", id)
+			}
+			rtks.Keys[off] = k
+		}
+	}
+	return ckks.NewEvaluator(params, keys["rlk"], rtks), nil
+}
+
 // runChunkCluster executes every request in the chunk through the
 // program's reference closure with keyswitching delegated to the cluster
 // engine: each relinearization/rotation runs the paper's distributed
@@ -515,20 +690,10 @@ func (c *Core) runChunkCluster(prog *Program, keys map[string]*ckks.EvalKey, req
 			outs, err = nil, fmt.Errorf("%w: recovered panic in cluster run of %q: %v", ErrInternal, prog.Spec.Name, p)
 		}
 	}()
-	rtks := &ckks.RotationKeySet{Keys: map[int]*ckks.EvalKey{}}
-	for id, k := range keys {
-		switch {
-		case id == "conj":
-			rtks.Conj = k
-		case strings.HasPrefix(id, "rot:"):
-			off, err := strconv.Atoi(strings.TrimPrefix(id, "rot:"))
-			if err != nil {
-				return nil, fmt.Errorf("serve: malformed rotation key id %q", id)
-			}
-			rtks.Keys[off] = k
-		}
+	ev, err := tenantEvaluator(c.reg.Params, keys)
+	if err != nil {
+		return nil, err
 	}
-	ev := ckks.NewEvaluator(c.reg.Params, keys["rlk"], rtks)
 	enc := ckks.NewEncoder(c.reg.Params)
 	outs = make([]*ckks.Ciphertext, len(reqs))
 	for i, r := range reqs {

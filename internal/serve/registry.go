@@ -20,15 +20,16 @@ package serve
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 
+	"cinnamon/internal/bootstrap"
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/compiler"
 	"cinnamon/internal/dsl"
 	"cinnamon/internal/limbir"
 	"cinnamon/internal/polyir"
+	"cinnamon/internal/sched"
 	"cinnamon/internal/workloads"
 )
 
@@ -46,6 +47,14 @@ type RegistryConfig struct {
 	// Registers sizes the per-chip register file for allocation.
 	// Default 96.
 	Registers int
+	// Bootstrap, when set, enables the bootstrapping service: the registry
+	// precomputes the (key-independent) bootstrap circuit once, catalog
+	// programs too deep for the modulus chain compile as Bootstrapped
+	// entries (executed op-by-op with mid-program refreshes) instead of
+	// being skipped, and sessions may run indefinitely. Requires a sparse
+	// secret (Literal.HammingWeight) and a chain deeper than the bootstrap
+	// circuit itself.
+	Bootstrap *bootstrap.Config
 }
 
 // Variant is one compiled batch size of a program: Batch independent
@@ -74,7 +83,18 @@ type Program struct {
 	// Plaintexts holds the server-side plaintext operands (model weights),
 	// encoded once at startup and shared read-only across workers.
 	Plaintexts map[string]*ckks.Plaintext
+	// Bootstrapped marks a program whose depth exceeds the modulus chain:
+	// it executes on the scheduler's replay path with BootstrapsRequired
+	// mid-program refreshes (per request arriving at InLevel) instead of
+	// the compiled emulator variants.
+	Bootstrapped       bool
+	BootstrapsRequired int
+	// plan is the level/scale schedule; exec replays the batch-1 graph on
+	// a real evaluator (deep one-shots and all session steps run here).
+	plan *sched.Plan
+	exec *sched.Executor
 	// variants are sorted by descending batch size; the last is batch 1.
+	// Bootstrapped programs have none.
 	variants []*Variant
 }
 
@@ -88,14 +108,24 @@ func (p *Program) VariantFor(n int) *Variant {
 	return p.variants[len(p.variants)-1]
 }
 
-// BatchSizes lists the compiled variant sizes, descending.
+// BatchSizes lists the compiled variant sizes, descending. Bootstrapped
+// programs execute one request at a time on the scheduler path.
 func (p *Program) BatchSizes() []int {
+	if p.Bootstrapped {
+		return []int{1}
+	}
 	out := make([]int, len(p.variants))
 	for i, v := range p.variants {
 		out[i] = v.Batch
 	}
 	return out
 }
+
+// Plan exposes the level/scale schedule (tests and tooling).
+func (p *Program) Plan() *sched.Plan { return p.plan }
+
+// Executor exposes the replay executor (tests and tooling).
+func (p *Program) Executor() *sched.Executor { return p.exec }
 
 // Registry holds compiled programs and per-tenant key material.
 type Registry struct {
@@ -104,12 +134,20 @@ type Registry struct {
 
 	programs map[string]*Program
 	order    []string
-	// Skipped lists catalog programs the parameter set cannot host
-	// (MinLevels/MinSlots), with the reason.
+	// Skipped lists catalog programs the parameter set cannot host, with
+	// the reason. With bootstrapping enabled only MinSlots (and key/setup)
+	// reasons remain — depth alone no longer skips a program.
 	Skipped []string
+
+	// Pre is the shared key-independent bootstrap circuit (nil when
+	// bootstrapping is disabled).
+	Pre *bootstrap.Precomp
 
 	mu      sync.RWMutex
 	tenants map[string]map[string]*ckks.EvalKey
+
+	bsMu    sync.Mutex
+	bsCache map[string]*bootstrap.Bootstrapper
 }
 
 // NewRegistry compiles the catalog: for every program, one module per
@@ -137,6 +175,7 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		Literal:  cfg.Literal,
 		programs: map[string]*Program{},
 		tenants:  map[string]map[string]*ckks.EvalKey{},
+		bsCache:  map[string]*bootstrap.Bootstrapper{},
 	}
 	// Freeze the execution schedules alongside the catalog: keyswitch
 	// plans for every level (digit ranges, base converters, batch NTT
@@ -145,22 +184,45 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 	if err := params.CompilePlans(); err != nil {
 		return nil, fmt.Errorf("serve: compiling keyswitch plans: %w", err)
 	}
+	exitLevel := 0
+	if cfg.Bootstrap != nil {
+		pre, err := bootstrap.NewPrecomp(params, *cfg.Bootstrap)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bootstrap precomp: %w", err)
+		}
+		exitLevel = pre.ExitLevel()
+		if exitLevel < 1 {
+			return nil, fmt.Errorf("serve: bootstrap circuit consumes %d levels but the chain has %d — no exit budget (need at least %d levels)", pre.Consumed(), params.MaxLevel(), pre.Consumed()+1)
+		}
+		r.Pre = pre
+	}
 	enc := ckks.NewEncoder(params)
 	for _, spec := range progs {
 		if _, dup := r.programs[spec.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate program %q", spec.Name)
 		}
-		// A program deeper or wider than the parameter set is skipped, not
-		// fatal: shallow deployments keep serving the rest of the catalog.
-		if spec.MinLevels > params.MaxLevel() {
-			r.Skipped = append(r.Skipped, fmt.Sprintf("%s: needs %d levels, parameters have %d", spec.Name, spec.MinLevels, params.MaxLevel()))
-			continue
-		}
+		// A program wider than the parameter set is skipped, not fatal:
+		// narrow deployments keep serving the rest of the catalog.
 		if spec.MinSlots > params.Slots() {
 			r.Skipped = append(r.Skipped, fmt.Sprintf("%s: needs %d slots, parameters have %d", spec.Name, spec.MinSlots, params.Slots()))
 			continue
 		}
-		p, err := compileProgram(params, enc, spec, maxBatch, regs)
+		// A program deeper than the chain is a bootstrapping customer; it
+		// only skips when the registry has no bootstrap service to offer.
+		if spec.MinLevels > params.MaxLevel() {
+			if r.Pre == nil {
+				r.Skipped = append(r.Skipped, fmt.Sprintf("%s: needs %d levels, parameters have %d (enable bootstrapping to serve it)", spec.Name, spec.MinLevels, params.MaxLevel()))
+				continue
+			}
+			p, err := compileDeepProgram(params, enc, spec, r.Pre)
+			if err != nil {
+				return nil, fmt.Errorf("serve: compiling %q: %w", spec.Name, err)
+			}
+			r.programs[spec.Name] = p
+			r.order = append(r.order, spec.Name)
+			continue
+		}
+		p, err := compileProgram(params, enc, spec, maxBatch, regs, exitLevel)
 		if err != nil {
 			return nil, fmt.Errorf("serve: compiling %q: %w", spec.Name, err)
 		}
@@ -194,7 +256,54 @@ func (r *Registry) RegisterTenant(id string, keys map[string]*ckks.EvalKey) erro
 	r.mu.Lock()
 	r.tenants[id] = cp
 	r.mu.Unlock()
+	// New key material invalidates the tenant's cached bootstrapper.
+	r.bsMu.Lock()
+	delete(r.bsCache, id)
+	r.bsMu.Unlock()
 	return nil
+}
+
+// BootstrapperFor returns the tenant's bootstrapper — the shared Precomp
+// bound to the tenant's own rlk/conj/rotation keys — building it on first
+// use and caching until the tenant re-registers keys.
+func (r *Registry) BootstrapperFor(id string) (*bootstrap.Bootstrapper, error) {
+	if r.Pre == nil {
+		return nil, fmt.Errorf("serve: bootstrapping disabled")
+	}
+	r.bsMu.Lock()
+	defer r.bsMu.Unlock()
+	if bs, ok := r.bsCache[id]; ok {
+		return bs, nil
+	}
+	keys, ok := r.TenantKeys(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	rtks := &ckks.RotationKeySet{Keys: map[int]*ckks.EvalKey{}, Conj: keys["conj"]}
+	if rtks.Conj == nil {
+		return nil, fmt.Errorf("%w: conj", ErrMissingKeys)
+	}
+	var missing []string
+	for _, k := range r.Pre.Rotations() {
+		id := fmt.Sprintf("rot:%d", k)
+		if keys[id] == nil {
+			missing = append(missing, id)
+			continue
+		}
+		rtks.Keys[k] = keys[id]
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMissingKeys, missing)
+	}
+	if keys["rlk"] == nil {
+		return nil, fmt.Errorf("%w: rlk", ErrMissingKeys)
+	}
+	bs, err := bootstrap.NewBootstrapperFromKeys(r.Pre, keys["rlk"], rtks)
+	if err != nil {
+		return nil, err
+	}
+	r.bsCache[id] = bs
+	return bs, nil
 }
 
 // TenantKeys returns the tenant's key map (read-only — do not mutate).
@@ -217,13 +326,12 @@ func (p *Program) MissingKeys(keys map[string]*ckks.EvalKey) []string {
 	return missing
 }
 
-func compileProgram(params *ckks.Parameters, enc *ckks.Encoder, spec workloads.ServeWorkload, maxBatch, regs int) (*Program, error) {
-	p := &Program{Spec: spec, InLevel: params.MaxLevel()}
-	// Encode plaintext operands first: their (possibly non-default) scales
-	// feed the output-metadata inference below. Operands are encoded with
-	// every limb (MaxLevel); the emulator addresses limbs by modulus, so
-	// circuits consuming an operand at a lower level just use fewer limbs.
-	p.Plaintexts = map[string]*ckks.Plaintext{}
+// encodePlaintexts encodes the catalog operands with every limb
+// (MaxLevel); the emulator addresses limbs by modulus and the scheduler
+// restricts on demand, so circuits consuming an operand at a lower level
+// just use fewer limbs.
+func encodePlaintexts(params *ckks.Parameters, enc *ckks.Encoder, spec workloads.ServeWorkload) (map[string]*ckks.Plaintext, map[string]float64, error) {
+	pts := map[string]*ckks.Plaintext{}
 	ptScales := map[string]float64{}
 	for _, ps := range spec.Plaintexts {
 		values := ps.Values
@@ -236,10 +344,22 @@ func compileProgram(params *ckks.Parameters, enc *ckks.Encoder, spec workloads.S
 		}
 		pt, err := enc.Encode(values(params.Slots()), params.MaxLevel(), scale)
 		if err != nil {
-			return nil, fmt.Errorf("encoding plaintext %q: %w", ps.Name, err)
+			return nil, nil, fmt.Errorf("encoding plaintext %q: %w", ps.Name, err)
 		}
-		p.Plaintexts[ps.Name] = pt
+		pts[ps.Name] = pt
 		ptScales[ps.Name] = scale
+	}
+	return pts, ptScales, nil
+}
+
+func compileProgram(params *ckks.Parameters, enc *ckks.Encoder, spec workloads.ServeWorkload, maxBatch, regs, exitLevel int) (*Program, error) {
+	p := &Program{Spec: spec, InLevel: params.MaxLevel()}
+	// Encode plaintext operands first: their (possibly non-default) scales
+	// feed the level/scale plan below.
+	var ptScales map[string]float64
+	var err error
+	if p.Plaintexts, ptScales, err = encodePlaintexts(params, enc, spec); err != nil {
+		return nil, err
 	}
 	for b := 1; b <= maxBatch; b *= 2 {
 		mod, g, err := compileVariant(params, spec, b, regs)
@@ -248,15 +368,75 @@ func compileProgram(params *ckks.Parameters, enc *ckks.Encoder, spec workloads.S
 		}
 		p.variants = append(p.variants, &Variant{Batch: b, Module: mod})
 		if b == 1 {
-			meta, err := inferOutputMeta(g, params, ptScales)
+			plan, err := sched.BuildPlan(g, params, ptScales, exitLevel)
 			if err != nil {
 				return nil, err
 			}
-			p.OutLevel, p.OutScale = meta.level, meta.scale
-			p.RequiredKeys, p.Rotations = meta.keys, meta.rotations
+			if plan.Bootstraps > 0 {
+				// The emulator cannot refresh mid-run; a program that fits
+				// MaxLevel must not need to (its MinLevels declaration lied).
+				return nil, fmt.Errorf("declares MinLevels %d but plans %d bootstraps at level %d", spec.MinLevels, plan.Bootstraps, params.MaxLevel())
+			}
+			p.plan = plan
+			p.exec = sched.NewExecutor(g, params, p.Plaintexts)
+			p.OutLevel, p.OutScale = plan.OutLevel, plan.OutScale
+			p.RequiredKeys, p.Rotations = plan.Keys, plan.Rotations
 		}
 	}
 	sort.Slice(p.variants, func(i, j int) bool { return p.variants[i].Batch > p.variants[j].Batch })
+	return p, nil
+}
+
+// compileDeepProgram builds a Bootstrapped catalog entry: the program is
+// too deep for the chain, so instead of lowering emulator variants (which
+// cannot host more virtual than physical levels) it keeps the batch-1 IR
+// graph and replays it on a real evaluator with scheduler-inserted
+// refreshes. Requests arrive at MaxLevel like any other program; the
+// tenant's key set must additionally cover the bootstrap circuit (conj +
+// its rotation offsets), which RequiredKeys advertises.
+func compileDeepProgram(params *ckks.Parameters, enc *ckks.Encoder, spec workloads.ServeWorkload, pre *bootstrap.Precomp) (*Program, error) {
+	p := &Program{Spec: spec, InLevel: params.MaxLevel(), Bootstrapped: true}
+	var ptScales map[string]float64
+	var err error
+	if p.Plaintexts, ptScales, err = encodePlaintexts(params, enc, spec); err != nil {
+		return nil, err
+	}
+	// The DSL tracks virtual levels eagerly, so the graph is built at the
+	// program's own depth; physical levels are the plan's business.
+	prog := dsl.NewProgram(dsl.Config{MaxLevel: spec.MinLevels})
+	dsl.StreamPool(prog, 1, func(i int, s *dsl.Stream) {
+		x := s.Input(fmt.Sprintf("x%d", i), spec.MinLevels)
+		s.Output(fmt.Sprintf("y%d", i), spec.Build(s, x))
+	})
+	g, err := prog.Finish()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sched.BuildPlan(g, params, ptScales, pre.ExitLevel())
+	if err != nil {
+		return nil, err
+	}
+	p.plan = plan
+	p.exec = sched.NewExecutor(g, params, p.Plaintexts)
+	p.OutLevel, p.OutScale = plan.OutLevel, plan.OutScale
+	p.BootstrapsRequired = plan.Bootstraps
+	// The tenant must hold the program's own keys plus the bootstrap
+	// circuit's: rlk, conj, and the union of rotation offsets.
+	rotSet := map[int]bool{}
+	for _, k := range plan.Rotations {
+		rotSet[k] = true
+	}
+	for _, k := range pre.Rotations() {
+		rotSet[k] = true
+	}
+	for k := range rotSet {
+		p.Rotations = append(p.Rotations, k)
+	}
+	sort.Ints(p.Rotations)
+	p.RequiredKeys = []string{"rlk", "conj"}
+	for _, k := range p.Rotations {
+		p.RequiredKeys = append(p.RequiredKeys, fmt.Sprintf("rot:%d", k))
+	}
 	return p, nil
 }
 
@@ -287,100 +467,8 @@ func compileVariant(params *ckks.Parameters, spec workloads.ServeWorkload, batch
 	return alloc, g, nil
 }
 
-// outputMeta is what inferOutputMeta learns from the IR graph.
-type outputMeta struct {
-	level     int
-	scale     float64
-	keys      []string // rlk/conj first, then rotations ascending
-	rotations []int    // deduped rotation offsets, ascending
-}
-
-// sameScale is the relative tolerance for scale agreement checks; it
-// matches the evaluator's own AddPlain/Add precondition.
-func sameScale(a, b float64) bool {
-	return math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
-}
-
-// inferOutputMeta walks the (topologically ordered) IR graph tracking the
-// scale arithmetic the reference evaluator performs — inputs at the
-// default scale, Mul multiplies scales, Rescale divides by the dropped
-// modulus — and collects the evaluation keys the lowered code will load.
-// Plaintext operands multiply at their encoded scale (ptScales; operands
-// missing from the map use the default scale). Additions are validated to
-// mix equal scales, so a frontend scale-management bug fails compilation
-// here instead of corrupting served results. All streams are identical,
-// so stream 0's output describes every slot.
-func inferOutputMeta(g *polyir.Graph, params *ckks.Parameters, ptScales map[string]float64) (outputMeta, error) {
-	scales := map[int]float64{}
-	keySet := map[string]bool{}
-	rotSet := map[int]bool{}
-	ptScale := func(name string) float64 {
-		if s, ok := ptScales[name]; ok {
-			return s
-		}
-		return params.DefaultScale()
-	}
-	var meta outputMeta
-	found := false
-	for _, n := range g.Nodes {
-		switch n.Kind {
-		case polyir.OpInput:
-			scales[n.ID] = params.DefaultScale()
-		case polyir.OpAdd, polyir.OpSub:
-			a, b := scales[n.Args[0].ID], scales[n.Args[1].ID]
-			if !sameScale(a, b) {
-				return meta, fmt.Errorf("serve: node %d (%v) adds scales %g and %g", n.ID, n.Kind, a, b)
-			}
-			scales[n.ID] = a
-		case polyir.OpAddPlain:
-			a := scales[n.Args[0].ID]
-			if s := ptScale(n.Name); !sameScale(a, s) {
-				return meta, fmt.Errorf("serve: node %d adds plaintext %q at scale %g to ciphertext at %g", n.ID, n.Name, s, a)
-			}
-			scales[n.ID] = a
-		case polyir.OpNeg, polyir.OpConjugate, polyir.OpRotate, polyir.OpDropLevel:
-			scales[n.ID] = scales[n.Args[0].ID]
-			if n.Kind == polyir.OpRotate {
-				keySet[fmt.Sprintf("rot:%d", n.Rot)] = true
-				rotSet[n.Rot] = true
-			}
-			if n.Kind == polyir.OpConjugate {
-				keySet["conj"] = true
-			}
-		case polyir.OpMulCt:
-			scales[n.ID] = scales[n.Args[0].ID] * scales[n.Args[1].ID]
-			keySet["rlk"] = true
-		case polyir.OpMulPlain:
-			scales[n.ID] = scales[n.Args[0].ID] * ptScale(n.Name)
-		case polyir.OpRescale:
-			argLevel := n.Args[0].Level
-			scales[n.ID] = scales[n.Args[0].ID] / float64(params.QBasis.Moduli[argLevel])
-		case polyir.OpOutput:
-			if n.Stream == 0 {
-				meta.level = n.Args[0].Level
-				meta.scale = scales[n.Args[0].ID]
-				found = true
-			}
-		default:
-			return meta, fmt.Errorf("serve: cannot infer scale through %v (unsupported in serving programs)", n.Kind)
-		}
-	}
-	if !found {
-		return meta, fmt.Errorf("serve: program has no stream-0 output")
-	}
-	for k := range rotSet {
-		meta.rotations = append(meta.rotations, k)
-	}
-	sort.Ints(meta.rotations)
-	// Key order: rlk, conj, then rotations by numeric offset — lexical
-	// sorting would interleave rot:16 before rot:2.
-	for _, id := range []string{"rlk", "conj"} {
-		if keySet[id] {
-			meta.keys = append(meta.keys, id)
-		}
-	}
-	for _, k := range meta.rotations {
-		meta.keys = append(meta.keys, fmt.Sprintf("rot:%d", k))
-	}
-	return meta, nil
-}
+// Output metadata (level, scale, required keys) is inferred by
+// sched.BuildPlan: it walks the IR graph tracking the scale arithmetic the
+// reference evaluator performs and validates that additions mix equal
+// scales, so a frontend scale-management bug fails compilation instead of
+// corrupting served results.

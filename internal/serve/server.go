@@ -26,6 +26,15 @@ import (
 //	POST /v1/programs/{name}:run      → request ciphertext body,
 //	                                    X-Cinnamon-Tenant header,
 //	                                    response ciphertext body
+//	POST   /v1/sessions               → JSON {"tenant","program"},
+//	                                    JSON SessionInfo (201)
+//	POST   /v1/sessions/{id}:step     → optional ciphertext body (empty
+//	                                    body iterates the held state),
+//	                                    response ciphertext body +
+//	                                    X-Cinnamon-Session-Steps /
+//	                                    X-Cinnamon-State-Level headers
+//	GET    /v1/sessions/{id}          → JSON SessionInfo
+//	DELETE /v1/sessions/{id}          → 204
 //
 // A key bundle is: uint32 magic "CINK", uint32 count, then per key a
 // uint16 name length, the name bytes, and a marshaled ckks.EvalKey.
@@ -55,6 +64,10 @@ type ProgramInfo struct {
 	// VerifyTolerance is the per-program decrypt-and-verify slot error
 	// bound the server suggests; 0 means the client default applies.
 	VerifyTolerance float64 `json:"verify_tolerance,omitempty"`
+	// Bootstrapped marks a program served on the scheduler path with
+	// BootstrapsRequired mid-program refreshes per one-shot request.
+	Bootstrapped       bool `json:"bootstrapped,omitempty"`
+	BootstrapsRequired int  `json:"bootstraps_required,omitempty"`
 }
 
 // NewHandler wires the serving core into a net/http handler.
@@ -73,6 +86,10 @@ func NewHandler(core *Core, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("GET /v1/programs", s.handlePrograms)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/keys", s.handleKeys)
 	mux.HandleFunc("POST /v1/programs/{op}", s.handleRun)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/sessions/{op}", s.handleSessionStep)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 	return recoverMiddleware(s.core.Metrics(), mux)
 }
 
@@ -131,15 +148,17 @@ func (s *server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 	for _, name := range reg.ProgramNames() {
 		p, _ := reg.Program(name)
 		infos = append(infos, ProgramInfo{
-			Name:            p.Spec.Name,
-			Description:     p.Spec.Description,
-			InputLevel:      p.InLevel,
-			OutputLevel:     p.OutLevel,
-			OutputScale:     p.OutScale,
-			RequiredKeys:    p.RequiredKeys,
-			Rotations:       p.Rotations,
-			BatchSizes:      p.BatchSizes(),
-			VerifyTolerance: p.Spec.VerifyTol,
+			Name:               p.Spec.Name,
+			Description:        p.Spec.Description,
+			InputLevel:         p.InLevel,
+			OutputLevel:        p.OutLevel,
+			OutputScale:        p.OutScale,
+			RequiredKeys:       p.RequiredKeys,
+			Rotations:          p.Rotations,
+			BatchSizes:         p.BatchSizes(),
+			VerifyTolerance:    p.Spec.VerifyTol,
+			Bootstrapped:       p.Bootstrapped,
+			BootstrapsRequired: p.BootstrapsRequired,
 		})
 	}
 	writeJSON(w, infos)
@@ -203,9 +222,83 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	out.Write(w)
 }
 
+func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Tenant  string `json:"tenant"`
+		Program string `json:"program"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad session request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Tenant == "" || req.Program == "" {
+		http.Error(w, "session request needs both tenant and program", http.StatusBadRequest)
+		return
+	}
+	info, err := s.core.CreateSession(req.Tenant, req.Program)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(info)
+}
+
+func (s *server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	op := r.PathValue("op")
+	id, ok := strings.CutSuffix(op, ":step")
+	if !ok {
+		http.Error(w, "unknown session action (want {id}:step)", http.StatusNotFound)
+		return
+	}
+	// An empty body iterates the held state; a ciphertext body (re)seeds it.
+	var ct *ckks.Ciphertext
+	if r.ContentLength != 0 {
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxCiphertextBytes)
+		var err error
+		if ct, err = ckks.ReadCiphertext(body, s.core.Registry().Params); err != nil {
+			http.Error(w, fmt.Sprintf("bad ciphertext: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	out, info, err := s.core.SessionStep(r.Context(), id, ct)
+	if err != nil {
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Cinnamon-Session-Steps", fmt.Sprint(info.Steps))
+	w.Header().Set("X-Cinnamon-State-Level", fmt.Sprint(info.StateLevel))
+	out.Write(w)
+}
+
+func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.core.Session(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	if err := s.core.CloseSession(r.PathValue("id")); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownProgram):
+	case errors.Is(err, ErrUnknownProgram), errors.Is(err, ErrUnknownSession):
 		return http.StatusNotFound
 	case errors.Is(err, ErrUnknownTenant), errors.Is(err, ErrMissingKeys):
 		return http.StatusForbidden

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cinnamon/internal/ckks"
+)
+
+// ErrUnknownSession marks a session id that does not exist (never created,
+// closed, or TTL-evicted). The HTTP layer maps it to 404.
+var ErrUnknownSession = errors.New("serve: unknown session")
+
+// session is one encrypted conversation: the server holds the ciphertext
+// state between steps so a client can iterate a program indefinitely
+// without shipping intermediate results back and forth. mu serializes
+// steps (state transitions are inherently sequential); last is the
+// touch-time in unix nanos, written atomically so the TTL sweeper never
+// races a step.
+type session struct {
+	id      string
+	tenant  string
+	program string
+
+	mu    sync.Mutex
+	state *ckks.Ciphertext
+	steps int
+
+	last atomic.Int64
+}
+
+func (s *session) touch(now time.Time) { s.last.Store(now.UnixNano()) }
+
+// SessionInfo is the JSON view of one session.
+type SessionInfo struct {
+	ID      string `json:"id"`
+	Program string `json:"program"`
+	Tenant  string `json:"tenant"`
+	Steps   int    `json:"steps"`
+	// StateLevel is the held ciphertext's level, -1 before the first step.
+	StateLevel int `json:"state_level"`
+}
+
+func (s *session) info() SessionInfo {
+	in := SessionInfo{ID: s.id, Program: s.program, Tenant: s.tenant, Steps: s.steps, StateLevel: -1}
+	if s.state != nil {
+		in.StateLevel = s.state.Level()
+	}
+	return in
+}
+
+// sessionStore owns the live sessions: bounded count, TTL eviction by a
+// background sweeper, random URL-safe ids.
+type sessionStore struct {
+	core *Core
+	ttl  time.Duration
+	max  int
+
+	mu sync.Mutex
+	m  map[string]*session
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+func newSessionStore(core *Core, ttl time.Duration, max int) *sessionStore {
+	s := &sessionStore{
+		core: core,
+		ttl:  ttl,
+		max:  max,
+		m:    map[string]*session{},
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.sweeper()
+	return s
+}
+
+func (s *sessionStore) close() {
+	close(s.quit)
+	<-s.done
+}
+
+func (s *sessionStore) sweeper() {
+	defer close(s.done)
+	ival := s.ttl / 4
+	if ival > 30*time.Second {
+		ival = 30 * time.Second
+	}
+	if ival < 10*time.Millisecond {
+		ival = 10 * time.Millisecond
+	}
+	t := time.NewTicker(ival)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			s.sweep(now)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// sweep evicts sessions idle past the TTL, returning how many went. An
+// in-flight step holding the session pointer finishes normally — eviction
+// only forgets the id, it does not interrupt work.
+func (s *sessionStore) sweep(now time.Time) int {
+	s.mu.Lock()
+	var evicted int
+	for id, sess := range s.m {
+		if now.Sub(time.Unix(0, sess.last.Load())) > s.ttl {
+			delete(s.m, id)
+			evicted++
+		}
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.core.met.SessionsActive.Add(int64(-evicted))
+		s.core.met.SessionsEvicted.Add(int64(evicted))
+	}
+	return evicted
+}
+
+func (s *sessionStore) get(id string) (*session, bool) {
+	s.mu.Lock()
+	sess, ok := s.m[id]
+	s.mu.Unlock()
+	return sess, ok
+}
+
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// CreateSession opens an encrypted session binding a tenant to a program.
+// Any compiled program works (the scheduler path replays its batch-1
+// graph); programs that exhaust levels across steps additionally need the
+// bootstrap service enabled, which step reports when it happens.
+func (c *Core) CreateSession(tenant, program string) (SessionInfo, error) {
+	c.stateMu.RLock()
+	draining := c.draining
+	c.stateMu.RUnlock()
+	if draining {
+		return SessionInfo{}, ErrShuttingDown
+	}
+	prog, ok := c.reg.Program(program)
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("%w: %q", ErrUnknownProgram, program)
+	}
+	keys, ok := c.reg.TenantKeys(tenant)
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	if missing := prog.MissingKeys(keys); len(missing) > 0 {
+		return SessionInfo{}, fmt.Errorf("%w: %v", ErrMissingKeys, missing)
+	}
+	id, err := newSessionID()
+	if err != nil {
+		return SessionInfo{}, fmt.Errorf("%w: session id: %v", ErrInternal, err)
+	}
+	sess := &session{id: id, tenant: tenant, program: program}
+	sess.touch(time.Now())
+	c.sessions.mu.Lock()
+	if len(c.sessions.m) >= c.sessions.max {
+		c.sessions.mu.Unlock()
+		return SessionInfo{}, fmt.Errorf("%w: session limit %d reached", ErrOverloaded, c.sessions.max)
+	}
+	c.sessions.m[id] = sess
+	c.sessions.mu.Unlock()
+	c.met.SessionsCreated.Add(1)
+	c.met.SessionsActive.Add(1)
+	return sess.info(), nil
+}
+
+// SessionStep advances a session one program application. A non-nil ct
+// (re)seeds the state — required on the first step; a nil ct iterates the
+// program on the held state, with the scheduler bootstrapping whenever the
+// remaining levels run out. The post-step state is both stored and
+// returned, so clients can decrypt-and-verify every step.
+func (c *Core) SessionStep(ctx context.Context, id string, ct *ckks.Ciphertext) (*ckks.Ciphertext, SessionInfo, error) {
+	c.met.Received.Add(1)
+	sess, ok := c.sessions.get(id)
+	if !ok {
+		return nil, SessionInfo{}, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	select {
+	case c.admission <- struct{}{}:
+		defer func() { <-c.admission }()
+	default:
+		c.met.Rejected.Add(1)
+		return nil, SessionInfo{}, fmt.Errorf("%w: admission queue full", ErrOverloaded)
+	}
+	c.stateMu.RLock()
+	if c.draining {
+		c.stateMu.RUnlock()
+		c.met.Rejected.Add(1)
+		return nil, SessionInfo{}, ErrShuttingDown
+	}
+	c.deepWG.Add(1)
+	c.stateMu.RUnlock()
+	defer c.deepWG.Done()
+
+	prog, ok := c.reg.Program(sess.program)
+	if !ok {
+		return nil, SessionInfo{}, fmt.Errorf("%w: %q", ErrUnknownProgram, sess.program)
+	}
+	keys, ok := c.reg.TenantKeys(sess.tenant)
+	if !ok {
+		return nil, SessionInfo{}, fmt.Errorf("%w: %q", ErrUnknownTenant, sess.tenant)
+	}
+	if ct != nil {
+		def := c.reg.Params.DefaultScale()
+		if math.Abs(ct.Scale-def) > 1e-6*def {
+			return nil, SessionInfo{}, fmt.Errorf("%w: ciphertext scale %g, sessions expect %g", ErrBadRequest, ct.Scale, def)
+		}
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// Steps of one session are inherently sequential — each consumes the
+	// previous state — so the session mutex is held across the execution.
+	// Other sessions proceed in parallel; their refreshes share batcher
+	// ticks with this one.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	in := ct
+	if in == nil {
+		in = sess.state
+	}
+	if in == nil {
+		c.met.Errors.Add(1)
+		return nil, SessionInfo{}, fmt.Errorf("%w: first session step needs a ciphertext", ErrBadRequest)
+	}
+	pm := c.met.programs[sess.program]
+	start := time.Now()
+	out, err := c.execScheduled(ctx, prog, sess.tenant, keys, in)
+	if err != nil {
+		c.met.Errors.Add(1)
+		pm.Errors.Add(1)
+		return nil, SessionInfo{}, fmt.Errorf("serve: session %s step: %w", id, err)
+	}
+	sess.state = out
+	sess.steps++
+	sess.touch(time.Now())
+	lat := time.Since(start)
+	c.met.Completed.Add(1)
+	c.met.Latency.Observe(lat)
+	c.met.SessionSteps.Add(1)
+	pm.Completed.Add(1)
+	pm.Latency.Observe(lat)
+	return out, sess.info(), nil
+}
+
+// Session returns a session's current view.
+func (c *Core) Session(id string) (SessionInfo, error) {
+	sess, ok := c.sessions.get(id)
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	sess.mu.Lock()
+	info := sess.info()
+	sess.mu.Unlock()
+	return info, nil
+}
+
+// CloseSession forgets a session and frees its state.
+func (c *Core) CloseSession(id string) error {
+	c.sessions.mu.Lock()
+	_, ok := c.sessions.m[id]
+	if ok {
+		delete(c.sessions.m, id)
+	}
+	c.sessions.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	c.met.SessionsActive.Add(-1)
+	return nil
+}
+
+// SessionCount reports the live session count (tests, healthz).
+func (c *Core) SessionCount() int {
+	c.sessions.mu.Lock()
+	n := len(c.sessions.m)
+	c.sessions.mu.Unlock()
+	return n
+}

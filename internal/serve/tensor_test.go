@@ -80,8 +80,11 @@ func TestRegistrySkipsDeepPrograms(t *testing.T) {
 	if _, ok := reg.Program("logreg16"); ok {
 		t.Fatal("depth-4 logreg16 compiled into a 3-level registry")
 	}
-	if len(reg.Skipped) != 1 {
-		t.Fatalf("skipped %v, want exactly the logreg entry", reg.Skipped)
+	if _, ok := reg.Program("logreg16-deep"); ok {
+		t.Fatal("depth-20 logreg16-deep compiled into a 3-level registry without bootstrapping")
+	}
+	if len(reg.Skipped) != 2 {
+		t.Fatalf("skipped %v, want exactly the two logreg entries", reg.Skipped)
 	}
 	for _, name := range []string{"square", "quartic", "rotsum", "wavg4", "xform64"} {
 		if _, ok := reg.Program(name); !ok {

@@ -107,8 +107,9 @@ func encodeWeight(enc *ckks.Encoder, params *ckks.Parameters, name string, level
 	return enc.Encode(ServeWeightVector(name, params.Slots()), level, params.DefaultScale())
 }
 
-// ServeWorkloads returns the serving catalog: the four toy kernels plus
-// the tensor-frontend models (TensorServeWorkloads).
+// ServeWorkloads returns the serving catalog: the four toy kernels, the
+// tensor-frontend models (TensorServeWorkloads), and the deep
+// bootstrap-requiring programs (DeepServeWorkloads).
 func ServeWorkloads() []ServeWorkload {
 	return append([]ServeWorkload{
 		{
@@ -214,7 +215,7 @@ func ServeWorkloads() []ServeWorkload {
 				return ev.Rescale(acc)
 			},
 		},
-	}, TensorServeWorkloads()...)
+	}, append(TensorServeWorkloads(), DeepServeWorkloads()...)...)
 }
 
 // ServeWorkloadByName looks a catalog entry up.
