@@ -52,9 +52,12 @@ func main() {
 	maxErrorRate := flag.Float64("max-error-rate", -1, "exit 1 if the error fraction (transport failures + unexpected statuses, shed excluded) exceeds this (negative = report only)")
 	sessions := flag.Int("sessions", 0, "session mode: open this many encrypted sessions instead of the open loop")
 	sessionSteps := flag.Int("session-steps", 3, "steps per session (step 1 seeds the state, later steps iterate it server-side)")
+	stepRetries := flag.Int("step-retries", 8, "session mode: retries per step on 5xx/429/connection reset (0 disables)")
+	stepBackoff := flag.Duration("step-backoff", 100*time.Millisecond, "session mode: initial retry backoff (doubles, capped at 2s)")
+	stepInterval := flag.Duration("step-interval", 0, "session mode: client-side pause between steps (models an iterative client; gives chaos scripts a window to restart the server mid-session)")
 	flag.Parse()
 
-	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify, *maxSlotErr, *maxErrorRate, *sessions, *sessionSteps); err != nil {
+	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify, *maxSlotErr, *maxErrorRate, *sessions, *sessionSteps, *stepRetries, *stepBackoff, *stepInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -74,6 +77,12 @@ type client struct {
 	encr *ckks.Encryptor
 	decr *ckks.Decryptor
 	ev   *ckks.Evaluator
+
+	// bundle is the serialized key bundle as uploaded, kept so a 403 after
+	// a server restart (in-memory tenant registry gone, durable sessions
+	// kept) can re-register the SAME keys — regenerating would orphan
+	// every ciphertext the server still holds.
+	bundle []byte
 }
 
 type result struct {
@@ -86,7 +95,7 @@ type result struct {
 	transport error
 }
 
-func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool, maxSlotErr, maxErrorRate float64, sessions, sessionSteps int) error {
+func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool, maxSlotErr, maxErrorRate float64, sessions, sessionSteps, stepRetries int, stepBackoff, stepInterval time.Duration) error {
 	c := &client{base: base, tenant: tenant, http: &http.Client{Timeout: timeout}}
 
 	// Discover parameters and rebuild an identical set locally.
@@ -123,7 +132,7 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 		if program == "all" || len(targets) != 1 {
 			return fmt.Errorf("session mode needs -program naming one program")
 		}
-		return c.runSessions(targets[0], sessions, sessionSteps, seed, maxSlotErr)
+		return c.runSessions(targets[0], sessions, sessionSteps, seed, maxSlotErr, stepRetries, stepBackoff, stepInterval)
 	}
 
 	// Open loop: arrivals are scheduled by a Poisson process from the
@@ -188,11 +197,101 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 	return nil
 }
 
+// stepOutcome is one :step exchange after retries settled.
+type stepOutcome struct {
+	out     *ckks.Ciphertext
+	steps   int // server-reported cumulative step counter
+	level   string
+	retries int // attempts beyond the first (0 = clean)
+}
+
+// retryableStatus: backpressure and server-side failures worth retrying —
+// the session survives a 5xx (the step failed or the coordinator
+// restarted over its durable log), so a bounded retry rides out failover
+// windows and restarts.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// stepWithRetry posts one :step with bounded exponential backoff.
+// Connection resets and retryable statuses back off and retry; a 403
+// (server restarted: in-memory tenant registry gone, durable session
+// kept) re-uploads the original key bundle first. body is replayed
+// verbatim on every attempt; nil means iterate the held state.
+func (c *client) stepWithRetry(id string, body []byte, maxRetries int, backoff time.Duration) (stepOutcome, error) {
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var oc stepOutcome
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > maxRetries {
+				return oc, fmt.Errorf("step gave up after %d retries: %w", maxRetries, lastErr)
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			oc.retries++
+		}
+		var payload io.Reader
+		if body != nil {
+			payload = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest("POST", c.base+"/v1/sessions/"+id+":step", payload)
+		if err != nil {
+			return oc, err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = err // connection reset / refused mid-restart
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			out, err := ckks.ReadCiphertext(resp.Body, c.params)
+			resp.Body.Close()
+			if err != nil {
+				lastErr = fmt.Errorf("response ciphertext: %w", err)
+				continue
+			}
+			oc.out = out
+			oc.level = resp.Header.Get("X-Cinnamon-State-Level")
+			fmt.Sscanf(resp.Header.Get("X-Cinnamon-Session-Steps"), "%d", &oc.steps)
+			return oc, nil
+		case resp.StatusCode == http.StatusForbidden:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s (re-registering keys)", resp.Status)
+			if err := c.registerKeys(); err != nil {
+				lastErr = fmt.Errorf("re-registering keys: %w", err)
+			}
+		case retryableStatus(resp.StatusCode):
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+		default:
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return oc, fmt.Errorf("%s: %s", resp.Status, msg)
+		}
+	}
+}
+
 // runSessions drives the encrypted-session API: create, seed with one
 // encrypted input, iterate server-side, decrypt-and-verify every step
-// against the iterated plaintext reference, close. Any violation or
-// failed step exits nonzero.
-func (c *client) runSessions(info serve.ProgramInfo, sessions, steps int, seed int64, maxSlotErr float64) error {
+// against the iterated plaintext reference, close. Steps that hit a
+// failover window or a coordinator restart are retried with bounded
+// backoff and their verification is reported separately (a resumed
+// session must verify exactly like an uninterrupted one). Any violation
+// or exhausted step exits nonzero.
+func (c *client) runSessions(info serve.ProgramInfo, sessions, steps int, seed int64, maxSlotErr float64, stepRetries int, stepBackoff, stepInterval time.Duration) error {
 	spec, ok := workloads.ServeWorkloadByName(info.Name)
 	if !ok || spec.EvalPlain == nil {
 		return fmt.Errorf("session mode needs a plaintext reference for %q (EvalPlain)", info.Name)
@@ -201,8 +300,9 @@ func (c *client) runSessions(info serve.ProgramInfo, sessions, steps int, seed i
 	if tol <= 0 {
 		tol = maxSlotErr
 	}
-	fmt.Printf("running %d session(s) of %q, %d steps each (tol %.1e)...\n", sessions, info.Name, steps, tol)
+	fmt.Printf("running %d session(s) of %q, %d steps each (tol %.1e, %d retries/step)...\n", sessions, info.Name, steps, tol, stepRetries)
 	violations := 0
+	resumedSteps, resumedViolations := 0, 0
 	for s := 0; s < sessions; s++ {
 		rng := rand.New(rand.NewSource(seed + int64(s)))
 		var v []complex128
@@ -241,40 +341,44 @@ func (c *client) runSessions(info serve.ProgramInfo, sessions, steps int, seed i
 			return fmt.Errorf("session %d: encrypt: %w", s, err)
 		}
 
+		var seedBody bytes.Buffer
+		if err := ct.Write(&seedBody); err != nil {
+			return err
+		}
 		ref := v
+		refSteps := 0
 		for step := 1; step <= steps; step++ {
+			if step > 1 && stepInterval > 0 {
+				time.Sleep(stepInterval)
+			}
 			// Step 1 seeds the state; later steps send an empty body to
 			// iterate the ciphertext the server already holds.
-			var payload io.Reader
+			var body []byte
 			if step == 1 {
-				var buf bytes.Buffer
-				if err := ct.Write(&buf); err != nil {
-					return err
-				}
-				payload = &buf
+				body = seedBody.Bytes()
 			}
 			t0 := time.Now()
-			req, err := http.NewRequest("POST", c.base+"/v1/sessions/"+created.ID+":step", payload)
-			if err != nil {
-				return err
-			}
-			resp, err := c.http.Do(req)
+			oc, err := c.stepWithRetry(created.ID, body, stepRetries, stepBackoff)
 			if err != nil {
 				return fmt.Errorf("session %d step %d: %w", s, step, err)
 			}
-			if resp.StatusCode != http.StatusOK {
-				msg, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				return fmt.Errorf("session %d step %d: %s: %s", s, step, resp.Status, msg)
+			// Reconcile the reference with the server's cumulative step
+			// counter: a retried step may have executed server-side before
+			// its response was lost, so the held state can be ahead of the
+			// client's loop index. A seeded step (re)sets the state to one
+			// application of the input regardless of how often it retried;
+			// an empty-body step applies the program once per server-side
+			// execution.
+			if body != nil {
+				ref = spec.EvalPlain(v)
+				refSteps = oc.steps
+			} else {
+				for ; refSteps < oc.steps; refSteps++ {
+					ref = spec.EvalPlain(ref)
+				}
 			}
-			out, err := ckks.ReadCiphertext(resp.Body, c.params)
-			resp.Body.Close()
-			if err != nil {
-				return fmt.Errorf("session %d step %d: response ciphertext: %w", s, step, err)
-			}
-			ref = spec.EvalPlain(ref)
 			c.mu.Lock()
-			got, err := c.decode(out)
+			got, err := c.decode(oc.out)
 			c.mu.Unlock()
 			if err != nil {
 				return fmt.Errorf("session %d step %d: decrypt: %w", s, step, err)
@@ -290,8 +394,15 @@ func (c *client) runSessions(info serve.ProgramInfo, sessions, steps int, seed i
 				status = "VIOLATION"
 				violations++
 			}
+			if oc.retries > 0 {
+				resumedSteps++
+				if status == "VIOLATION" {
+					resumedViolations++
+				}
+				status += fmt.Sprintf(", resumed after %d retries", oc.retries)
+			}
 			fmt.Printf("  session %d step %d: level %s, slot err %.2e (%s, %v)\n",
-				s, step, resp.Header.Get("X-Cinnamon-State-Level"), worst, status, time.Since(t0).Round(time.Millisecond))
+				s, step, oc.level, worst, status, time.Since(t0).Round(time.Millisecond))
 		}
 		req, _ := http.NewRequest("DELETE", c.base+"/v1/sessions/"+created.ID, nil)
 		if resp, err := c.http.Do(req); err == nil {
@@ -309,8 +420,16 @@ func (c *client) runSessions(info serve.ProgramInfo, sessions, steps int, seed i
 	if snap.BootstrapMs != nil {
 		fmt.Printf("  bootstrap tick: p50 %.0fms  p99 %.0fms, sizes %v\n", snap.BootstrapMs.P50Ms, snap.BootstrapMs.P99Ms, snap.BootstrapBatchSize)
 	}
+	if snap.Failovers > 0 || snap.SessionRestores > 0 {
+		fmt.Printf("  failure domains: %d failovers, %d sessions restored from checkpoint log\n", snap.Failovers, snap.SessionRestores)
+	}
+	// Resumed-step verification is the durability headline: steps that
+	// rode out a failover or restart must decrypt exactly as clean ones.
+	if resumedSteps > 0 {
+		fmt.Printf("resumed-step verification: %d steps recovered after retries, %d violations\n", resumedSteps, resumedViolations)
+	}
 	if violations > 0 {
-		return fmt.Errorf("verification: %d session steps exceeded tolerance %.1e", violations, tol)
+		return fmt.Errorf("verification: %d session steps exceeded tolerance %.1e (%d on resumed steps)", violations, tol, resumedViolations)
 	}
 	return nil
 }
@@ -370,7 +489,20 @@ func (c *client) keygenAndRegister(targets []serve.ProgramInfo) error {
 	if err := serve.WriteKeyBundle(&bundle, keys); err != nil {
 		return err
 	}
-	resp, err := c.http.Post(c.base+"/v1/tenants/"+c.tenant+"/keys", "application/octet-stream", &bundle)
+	c.bundle = bundle.Bytes()
+	if err := c.registerKeys(); err != nil {
+		return err
+	}
+	fmt.Printf("registered tenant %q with %d evaluation keys (%.1f MB)\n",
+		c.tenant, len(keys), float64(len(c.bundle))/1e6)
+	return nil
+}
+
+// registerKeys uploads the stored key bundle (idempotent: the registry is
+// content-addressed downstream, and re-uploading after a server restart
+// restores the tenant without changing key material).
+func (c *client) registerKeys() error {
+	resp, err := c.http.Post(c.base+"/v1/tenants/"+c.tenant+"/keys", "application/octet-stream", bytes.NewReader(c.bundle))
 	if err != nil {
 		return fmt.Errorf("registering keys: %w", err)
 	}
@@ -379,8 +511,6 @@ func (c *client) keygenAndRegister(targets []serve.ProgramInfo) error {
 		msg, _ := io.ReadAll(resp.Body)
 		return fmt.Errorf("registering keys: %s: %s", resp.Status, msg)
 	}
-	fmt.Printf("registered tenant %q with %d evaluation keys (%.1f MB)\n",
-		c.tenant, len(keys), float64(bundle.Cap())/1e6)
 	return nil
 }
 

@@ -20,7 +20,18 @@
 // (cinnamon-worker processes, one chip each): ciphertext limbs are
 // partitioned across the workers and every keyswitch runs the paper's
 // network collectives. The local emulator stays as the fallback path when
-// workers are lost.
+// workers are lost (unless -require-cluster).
+//
+// Semicolons split -cluster into independent backends (failure domains),
+// each its own fully-dialed cluster behind its own circuit breaker;
+// requests fail over between them and /healthz enumerates each:
+//
+//	cinnamon-serve -cluster "host1:9101,host1:9102;host2:9101,host2:9102" -require-cluster
+//
+// With -session-log, encrypted sessions checkpoint to an append-only
+// CRC-framed log after every step and are replayed at boot, so a server
+// restart resumes in-flight sessions bit-exactly (clients re-upload their
+// key bundle — key material is not persisted — and retry the step).
 //
 // Endpoints (see internal/serve for the wire protocol):
 //
@@ -64,7 +75,10 @@ func main() {
 	queue := flag.Int("queue", 64, "per-(program,tenant) queue depth before shedding")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request execution timeout")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
-	clusterAddrs := flag.String("cluster", "", "comma-separated cinnamon-worker addresses (host:port,...); empty = local emulator only")
+	clusterAddrs := flag.String("cluster", "", "cinnamon-worker addresses: comma-separated within a backend, semicolon-separated between backends (host:port,...;host:port,...); empty = local emulator only")
+	requireCluster := flag.Bool("require-cluster", false, "fail typed (503) instead of falling back to the local emulator when no cluster backend can serve")
+	heartbeat := flag.Duration("heartbeat", 1*time.Second, "cluster worker heartbeat interval (0 disables; redials back off with jitter)")
+	sessionLog := flag.String("session-log", "", "durable session checkpoint log path; replayed at boot (empty = sessions are memory-only)")
 	bootstrapOn := flag.Bool("bootstrap", false, "enable the bootstrapping service (sparse-secret parameters; serves deeper-than-chain programs and sessions)")
 	bsBatch := flag.Int("bootstrap-batch", 8, "max ciphertexts per shared bootstrap tick")
 	bsWait := flag.Duration("bootstrap-wait", 25*time.Millisecond, "max time a bootstrap tick waits for company")
@@ -76,7 +90,9 @@ func main() {
 		maxBatch: *maxBatch, batchWait: *batchWait, workers: *workers,
 		limbWorkers: *limbWorkers, queue: *queue, timeout: *timeout,
 		drain: *drain, clusterAddrs: *clusterAddrs,
-		bootstrap: *bootstrapOn, bsBatch: *bsBatch, bsWait: *bsWait,
+		requireCluster: *requireCluster, heartbeat: *heartbeat,
+		sessionLog: *sessionLog,
+		bootstrap:  *bootstrapOn, bsBatch: *bsBatch, bsWait: *bsWait,
 		sessionTTL: *sessionTTL,
 	}
 	if err := run(o); err != nil {
@@ -95,6 +111,9 @@ type options struct {
 	queue                int
 	timeout, drain       time.Duration
 	clusterAddrs         string
+	requireCluster       bool
+	heartbeat            time.Duration
+	sessionLog           string
 	bootstrap            bool
 	bsBatch              int
 	bsWait               time.Duration
@@ -134,39 +153,64 @@ func run(o options) error {
 	}
 	log.Printf("catalog ready in %v", time.Since(start).Round(time.Millisecond))
 
-	var clusterEng *cluster.Engine
+	var backends []serve.BackendSpec
 	if o.clusterAddrs != "" {
-		var dialers []cluster.Dialer
-		for _, a := range strings.Split(o.clusterAddrs, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				dialers = append(dialers, cluster.TCPDialer{Addr: a})
+		groups := strings.Split(o.clusterAddrs, ";")
+		engOpts := cluster.Options{HeartbeatInterval: o.heartbeat}
+		if len(groups) > 1 {
+			// Multiple failure domains: each must fail typed so the serving
+			// layer can move the request to a survivor, and a restart must
+			// come up even while one domain is entirely dead (its links stay
+			// down until the heartbeat loop redials them).
+			engOpts.DisableFallback = true
+			engOpts.AllowDegradedStart = true
+		}
+		for gi, group := range groups {
+			var dialers []cluster.Dialer
+			for _, a := range strings.Split(group, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					dialers = append(dialers, cluster.TCPDialer{Addr: a})
+				}
 			}
+			if len(dialers) == 0 {
+				return fmt.Errorf("-cluster backend %d has no worker addresses in %q", gi, group)
+			}
+			name := fmt.Sprintf("c%d", gi)
+			log.Printf("connecting backend %s: %d cluster workers...", name, len(dialers))
+			eng, err := cluster.NewEngine(reg.Params, dialers, engOpts)
+			if err != nil {
+				return fmt.Errorf("cluster backend %s startup: %w", name, err)
+			}
+			defer eng.Close()
+			log.Printf("backend %s up: %d workers, limb partition chip=j%%%d", name, eng.NChips(), eng.NChips())
+			backends = append(backends, serve.BackendSpec{Name: name, Engine: eng})
 		}
-		if len(dialers) == 0 {
-			return fmt.Errorf("-cluster given but no worker addresses parsed from %q", o.clusterAddrs)
-		}
-		log.Printf("connecting to %d cluster workers...", len(dialers))
-		var err error
-		clusterEng, err = cluster.NewEngine(reg.Params, dialers, cluster.Options{})
-		if err != nil {
-			return fmt.Errorf("cluster startup: %w", err)
-		}
-		defer clusterEng.Close()
-		log.Printf("cluster up: %d workers, limb partition chip=j%%%d", clusterEng.NChips(), clusterEng.NChips())
 	}
 
-	core := serve.NewCore(reg, serve.Config{
+	core, err := serve.NewDurableCore(reg, serve.Config{
 		MaxBatch:       o.maxBatch,
 		BatchWait:      o.batchWait,
 		Workers:        o.workers,
 		LimbWorkers:    o.limbWorkers,
 		QueueDepth:     o.queue,
 		RequestTimeout: o.timeout,
-		Cluster:        clusterEng,
+		Backends:       backends,
+		RequireCluster: o.requireCluster,
+		SessionLog:     o.sessionLog,
 		BootstrapBatch: o.bsBatch,
 		BootstrapWait:  o.bsWait,
 		SessionTTL:     o.sessionTTL,
 	})
+	if err != nil {
+		return err
+	}
+	if o.sessionLog != "" {
+		if n := core.Metrics().Snapshot().SessionRestores; n > 0 {
+			log.Printf("session log %s: restored %d session(s)", o.sessionLog, n)
+		} else {
+			log.Printf("session log %s: no sessions to restore", o.sessionLog)
+		}
+	}
 
 	srv := &http.Server{Addr: o.addr, Handler: serve.NewHandler(core, serve.HandlerConfig{})}
 	errCh := make(chan error, 1)

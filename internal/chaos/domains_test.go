@@ -1,0 +1,30 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDomainSoak runs a compressed failure-domain soak: two 2-worker
+// clusters behind one durable serving core, kill the primary whole, fail
+// back, restart the coordinator mid-session. The long-form run lives in
+// cmd/cinnamon-chaos -mode domains; this is the regression gate.
+func TestDomainSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("domain soak skipped in -short mode")
+	}
+	rep, err := RunDomainSoak(DomainConfig{
+		Seed:      1,
+		PhaseLoad: 1 * time.Second,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("domain soak harness: %v", err)
+	}
+	for _, v := range rep.Violations() {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if rep.OK == 0 {
+		t.Error("no request succeeded during the soak")
+	}
+}

@@ -356,6 +356,81 @@ func TestHeartbeatRedialsLostWorker(t *testing.T) {
 	}
 }
 
+// TestDegradedStartRecovers: with AllowDegradedStart a coordinator boots
+// while a worker is unreachable (the exact shape of a restart during a
+// failure-domain outage) and the heartbeat loop folds the worker back in
+// once it returns; without the option the same boot must still fail hard.
+func TestDegradedStartRecovers(t *testing.T) {
+	params := testParams(t)
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialers := []*PipeDialer{NewPipeDialer(NewWorker(params)), NewPipeDialer(NewWorker(params))}
+	dialers[0].Kill()
+
+	if _, err := NewEngine(params, []Dialer{dialers[0], dialers[1]}, Options{}); err == nil {
+		t.Fatal("strict startup should fail with a dead worker")
+	}
+
+	opts := Options{
+		RPCTimeout:         2 * time.Second,
+		RetryBackoff:       time.Millisecond,
+		HeartbeatInterval:  5 * time.Millisecond,
+		AllowDegradedStart: true,
+	}
+	eng, err := NewEngine(params, []Dialer{dialers[0], dialers[1]}, opts)
+	if err != nil {
+		t.Fatalf("degraded start should succeed: %v", err)
+	}
+	defer eng.Close()
+	if got := eng.HealthyWorkers(); got != 1 {
+		t.Fatalf("expected 1 healthy worker after degraded boot, got %d", got)
+	}
+
+	dialers[0].Revive()
+	deadline := time.Now().Add(5 * time.Second)
+	for !eng.Healthy() {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never recovered the degraded-start worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The recovered cluster must still be bit-exact against the
+	// sequential path.
+	enc := ckks.NewEncoder(params)
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := enc.Encode(make([]complex128, params.Slots()), params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ckks.NewEncryptor(params, pk).Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ckks.NewEvaluator(params, nil, nil)
+	s0, s1, err := seq.KeySwitch(ct.C1, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1, err := eng.KeySwitch(ct.C1, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d0.Equal(s0) || !d1.Equal(s1) {
+		t.Fatal("post-recovery keyswitch differs from sequential")
+	}
+}
+
 // TestHandshakeDigestMismatch: a worker on different parameters must be
 // refused at construction.
 func TestHandshakeDigestMismatch(t *testing.T) {

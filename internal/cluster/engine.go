@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -35,10 +36,24 @@ type Options struct {
 	// HeartbeatInterval enables a background ping loop that detects dead
 	// workers early and redials lost ones. 0 disables.
 	HeartbeatInterval time.Duration
+	// RedialBackoffMax caps the jittered exponential backoff between
+	// redial attempts of a dead worker. Consecutive failed connects double
+	// the per-link delay from RetryBackoff up to this cap, so a dead
+	// backend is probed at a decaying rate instead of being hammered in
+	// lockstep by every heartbeat tick and RPC retry. Default:
+	// max(1s, 4×HeartbeatInterval) with the heartbeat enabled, else 5s.
+	RedialBackoffMax time.Duration
 	// DisableFallback turns off graceful degradation: a lost worker then
 	// fails the collective with ErrDegraded instead of completing it
 	// single-process.
 	DisableFallback bool
+	// AllowDegradedStart lets NewEngine succeed even when some (or all)
+	// workers are unreachable at boot: a failed initial handshake leaves
+	// that link down — to be redialed with backoff by the heartbeat loop
+	// and RPC retries — instead of failing construction. Meant for
+	// coordinators fronting several failure domains, where a restart must
+	// not be held hostage by one dead backend.
+	AllowDegradedStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +70,16 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if o.RedialBackoffMax <= 0 {
+		if o.HeartbeatInterval > 0 {
+			o.RedialBackoffMax = 4 * o.HeartbeatInterval
+			if o.RedialBackoffMax < time.Second {
+				o.RedialBackoffMax = time.Second
+			}
+		} else {
+			o.RedialBackoffMax = 5 * time.Second
+		}
 	}
 	return o
 }
@@ -79,6 +104,10 @@ type Engine struct {
 	reqSeq   atomic.Uint64
 	nonceSeq atomic.Uint64
 
+	// lastHandshake is the unix-nano time of the most recent successful
+	// worker handshake across all links (0 before the first).
+	lastHandshake atomic.Int64
+
 	hbStop    chan struct{}
 	hbDone    chan struct{}
 	closeOnce sync.Once
@@ -102,12 +131,24 @@ type link struct {
 	pushed  map[uint64]bool // keys live on the CURRENT session
 	dialed  bool            // a session existed before (reconnects count)
 	healthy atomic.Bool
+
+	// Redial backoff state (guarded by mu): consecutive failed connects
+	// grow the delay exponentially with jitter; a success resets it.
+	redialDelay time.Duration
+	nextRedial  time.Time
+	rng         *rand.Rand
+
+	// lastHS points at the engine's shared last-successful-handshake
+	// timestamp (unix nanos), exported per backend through /healthz.
+	lastHS *atomic.Int64
 }
 
 // NewEngine dials and handshakes every worker. Worker i is chip i; the
 // chip count is len(dialers). Startup is strict — a worker that cannot be
 // reached or negotiates a different parameter digest fails construction —
-// while runtime losses degrade per Options.
+// while runtime losses degrade per Options. With
+// Options.AllowDegradedStart, unreachable workers leave their links down
+// for the heartbeat loop to recover instead of failing construction.
 func NewEngine(params *ckks.Parameters, dialers []Dialer, opts Options) (*Engine, error) {
 	if len(dialers) == 0 {
 		return nil, fmt.Errorf("cluster: need at least one worker")
@@ -129,10 +170,16 @@ func NewEngine(params *ckks.Parameters, dialers []Dialer, opts Options) (*Engine
 			dialer: d, chip: i, nChips: len(dialers),
 			params: params, opts: opts, stats: &e.stats,
 			pushed: map[uint64]bool{},
+			rng:    rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(i)<<32)),
+			lastHS: &e.lastHandshake,
 		}
-		if err := lk.connect(); err != nil {
-			e.Close()
-			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		// connectBackoff (not bare connect) so a boot-time failure seeds
+		// the link's jittered redial state in the degraded-start case.
+		if err := lk.connectBackoff(); err != nil {
+			if !opts.AllowDegradedStart {
+				e.Close()
+				return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+			}
 		}
 		e.links = append(e.links, lk)
 	}
@@ -170,6 +217,18 @@ func (e *Engine) HealthyWorkers() int {
 		}
 	}
 	return n
+}
+
+// LastHandshake reports when any worker last completed a successful
+// handshake (zero time before the first). /healthz surfaces its age per
+// backend: a recovered backend shows a fresh handshake, a dead one an
+// ever-growing age.
+func (e *Engine) LastHandshake() time.Time {
+	ns := e.lastHandshake.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // FallbackDisabled reports whether graceful degradation to the local
@@ -640,7 +699,42 @@ func (lk *link) connect() error {
 	lk.conn, lk.br, lk.bw = conn, br, bw
 	lk.pushed = map[uint64]bool{} // fresh session: worker's key store is empty
 	lk.healthy.Store(true)
+	lk.redialDelay, lk.nextRedial = 0, time.Time{}
+	if lk.lastHS != nil {
+		lk.lastHS.Store(time.Now().UnixNano())
+	}
 	return nil
+}
+
+// errRedialBackoff is the fast-path failure while a link's redial window
+// has not elapsed: callers fail over (or fall back) immediately instead of
+// stacking dial attempts on a worker that just refused one.
+var errRedialBackoff = errors.New("cluster: worker redial backed off")
+
+// connectBackoff is connect() behind the jittered exponential redial gate
+// (lk.mu held by caller). Every failed attempt doubles the link's delay
+// from RetryBackoff up to RedialBackoffMax; the next window is jittered
+// into [0.5, 1.0]× so coordinators sharing a revived worker don't redial
+// in lockstep. A successful connect resets the state.
+func (lk *link) connectBackoff() error {
+	if !lk.nextRedial.IsZero() && time.Now().Before(lk.nextRedial) {
+		return errRedialBackoff
+	}
+	err := lk.connect()
+	if err == nil {
+		return nil
+	}
+	if lk.redialDelay == 0 {
+		lk.redialDelay = lk.opts.RetryBackoff
+	} else {
+		lk.redialDelay *= 2
+	}
+	if lk.redialDelay > lk.opts.RedialBackoffMax {
+		lk.redialDelay = lk.opts.RedialBackoffMax
+	}
+	jittered := lk.redialDelay/2 + time.Duration(lk.rng.Int63n(int64(lk.redialDelay/2)+1))
+	lk.nextRedial = time.Now().Add(jittered)
+	return err
 }
 
 // drop closes the session (under lk.mu) and marks the link unhealthy.
@@ -733,7 +827,7 @@ func (lk *link) tryKeyswitch(ctx context.Context, e *Engine, begin ksBeginMsg, s
 	lk.mu.Lock()
 	defer lk.mu.Unlock()
 	if lk.conn == nil {
-		if err := lk.connect(); err != nil {
+		if err := lk.connectBackoff(); err != nil {
 			return nil, err
 		}
 	}
@@ -834,8 +928,12 @@ func (lk *link) ping(e *Engine) error {
 }
 
 // heartbeatLoop periodically pings healthy workers (detecting silent
-// deaths) and redials lost ones with the configured backoff, restoring the
-// cluster to full strength without operator action.
+// deaths) and redials lost ones, restoring the cluster to full strength
+// without operator action. Redials go through the per-link jittered
+// exponential backoff: the first loss is retried on the next tick, a
+// worker that stays dead is probed at a decaying rate up to
+// RedialBackoffMax apart, and the first successful connect resets the
+// schedule — so reviving a worker never triggers a lockstep dial storm.
 func (e *Engine) heartbeatLoop() {
 	defer close(e.hbDone)
 	t := time.NewTicker(e.opts.HeartbeatInterval)
@@ -851,7 +949,7 @@ func (e *Engine) heartbeatLoop() {
 				continue // an RPC is in flight: the link is demonstrably alive
 			}
 			if lk.conn == nil {
-				if err := lk.connect(); err == nil {
+				if err := lk.connectBackoff(); err == nil {
 					e.stats.Heartbeats.Add(1)
 				}
 			} else if err := lk.ping(e); err != nil {
@@ -859,7 +957,7 @@ func (e *Engine) heartbeatLoop() {
 				// mid-collective disconnect) costs at most one heartbeat
 				// interval of degraded capacity, not two.
 				lk.drop()
-				if err := lk.connect(); err == nil {
+				if err := lk.connectBackoff(); err == nil {
 					e.stats.Heartbeats.Add(1)
 				}
 			} else {

@@ -61,13 +61,24 @@ type Metrics struct {
 	SessionsEvicted atomic.Int64
 	SessionSteps    atomic.Int64
 
+	// Failure-domain counters: Failovers counts primary-backend switches
+	// (a chunk completing on a different failure domain than the last),
+	// SessionRestores sessions replayed from the checkpoint log at boot,
+	// SessionLogErrors failed checkpoint appends (the step still succeeds;
+	// durability of that step is lost until the next one).
+	Failovers        atomic.Int64
+	SessionRestores  atomic.Int64
+	SessionLogErrors atomic.Int64
+
 	programs map[string]*ProgramMetrics // fixed at startup, values atomic
 
 	// clusterSource, when set, supplies the cluster transport counters for
 	// Snapshot (set by NewCore when cluster mode is on); circuitSource
-	// supplies the breaker's state and open count.
-	clusterSource func() *cluster.Snapshot
-	circuitSource func() (state string, opens int64)
+	// supplies the primary breaker's state and open count; backendsSource
+	// enumerates every backend with its own circuit and transport view.
+	clusterSource  func() *cluster.Snapshot
+	circuitSource  func() (state string, opens int64)
+	backendsSource func() []BackendSnapshot
 }
 
 func newMetrics(programNames []string) *Metrics {
@@ -101,8 +112,13 @@ type Snapshot struct {
 
 	// Cluster holds the scale-out transport counters when the core runs in
 	// cluster mode (bytes, collectives, latency quantiles, reconnects).
+	// With multiple backends it reports the current primary; Backends
+	// enumerates every failure domain with its own circuit state, opens
+	// count, last-handshake age and transport counters.
 	Cluster           *cluster.Snapshot `json:"cluster,omitempty"`
+	Backends          []BackendSnapshot `json:"backends,omitempty"`
 	EmulatorFallbacks int64             `json:"emulator_fallbacks,omitempty"`
+	Failovers         int64             `json:"failovers_total"`
 
 	Panics       int64  `json:"panics"`
 	CircuitState string `json:"circuit_state,omitempty"`
@@ -120,6 +136,11 @@ type Snapshot struct {
 	SessionsCreated int64 `json:"sessions_created"`
 	SessionsEvicted int64 `json:"sessions_evicted"`
 	SessionSteps    int64 `json:"session_steps"`
+
+	// Durable-session counters: restores replayed from the checkpoint log
+	// at boot, and failed checkpoint appends since.
+	SessionRestores  int64 `json:"session_restores_total"`
+	SessionLogErrors int64 `json:"session_log_errors,omitempty"`
 }
 
 // ObserveBootstrapBatch records one batcher tick.
@@ -159,6 +180,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m.circuitSource != nil {
 		s.CircuitState, s.CircuitOpens = m.circuitSource()
 	}
+	if m.backendsSource != nil {
+		s.Backends = m.backendsSource()
+	}
+	s.Failovers = m.Failovers.Load()
+	s.SessionRestores = m.SessionRestores.Load()
+	s.SessionLogErrors = m.SessionLogErrors.Load()
 	for name, pm := range m.programs {
 		s.Programs[name] = ProgramSnapshot{
 			Completed: pm.Completed.Load(),

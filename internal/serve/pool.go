@@ -71,7 +71,28 @@ type Config struct {
 	// instead of the local emulator. The emulator stays as the fallback
 	// path: chunks run locally — counted in Metrics.EmulatorFallbacks —
 	// whenever the cluster is degraded or a distributed run errors.
+	// Cluster is single-backend sugar: it joins Backends as the first
+	// entry ("c0").
 	Cluster *cluster.Engine
+
+	// Backends executes requests over a set of independently-dialed
+	// cluster engines — separate failure domains. Each backend gets its
+	// own circuit breaker (CircuitThreshold/CircuitCooldown); chunks try
+	// backends in health-ranked order and fail over on error, ErrDegraded
+	// or an open circuit, counted in Metrics.Failovers. A background
+	// recovery loop re-runs worker handshakes and re-pushes every
+	// registered tenant's keys before a recovered backend is eligible
+	// again.
+	Backends []BackendSpec
+
+	// SessionLog, when non-empty, is the path of the durable session
+	// checkpoint log: an append-only CRC-framed record stream (the wire v2
+	// codec discipline) snapshotting each session's serialized ciphertext
+	// state and step counter after every step. On boot the log is replayed
+	// — tolerating a truncated or corrupt tail and skipping TTL-expired
+	// sessions — so a coordinator restart resumes in-flight sessions
+	// bit-exactly. Use NewDurableCore to surface open/replay errors.
+	SessionLog string
 
 	// RequireCluster turns off the emulator fallback at the serving layer:
 	// when the cluster is degraded (or its circuit is open) requests fail
@@ -201,9 +222,11 @@ type Core struct {
 	reg *Registry
 	met *Metrics
 
-	// breaker guards the cluster backend; admission bounds the requests
-	// concurrently inside the core (see Config.AdmissionLimit).
-	breaker   *breaker
+	// backends is the failure-domain layer over the configured cluster
+	// engines (nil in emulator-only mode): per-backend circuit breakers,
+	// health-ranked failover, background recovery. admission bounds the
+	// requests concurrently inside the core (see Config.AdmissionLimit).
+	backends  *backendSet
 	admission chan struct{}
 
 	mu       sync.Mutex // guards batchers
@@ -233,8 +256,20 @@ type Core struct {
 	sessions *sessionStore
 }
 
-// NewCore starts the worker pool over an already-compiled registry.
+// NewCore starts the worker pool over an already-compiled registry. It
+// panics if Config.SessionLog is set but cannot be opened or replayed —
+// use NewDurableCore to handle that error.
 func NewCore(reg *Registry, cfg Config) *Core {
+	c, err := NewDurableCore(reg, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("serve: %v", err))
+	}
+	return c
+}
+
+// NewDurableCore is NewCore returning the session-log open/replay error
+// instead of panicking. With Config.SessionLog unset it never fails.
+func NewDurableCore(reg *Registry, cfg Config) (*Core, error) {
 	cfg = cfg.withDefaults(reg)
 	if cfg.LimbWorkers > 0 {
 		parallel.SetWorkers(cfg.LimbWorkers)
@@ -243,27 +278,44 @@ func NewCore(reg *Registry, cfg Config) *Core {
 		cfg:       cfg,
 		reg:       reg,
 		met:       newMetrics(reg.ProgramNames()),
-		breaker:   newBreaker(cfg.CircuitThreshold, cfg.CircuitCooldown),
 		admission: make(chan struct{}, cfg.AdmissionLimit),
 		batchers:  map[string]*batcher{},
 		dispatch:  make(chan *batch, cfg.DispatchDepth),
 		quit:      make(chan struct{}),
 		machines:  map[*Variant][]*emulator.Machine{},
 	}
+	specs := append([]BackendSpec(nil), cfg.Backends...)
 	if cfg.Cluster != nil {
-		c.met.clusterSource = cfg.Cluster.Snapshot
-		c.met.circuitSource = func() (string, int64) { return c.breaker.State(), c.breaker.Opens() }
+		specs = append([]BackendSpec{{Engine: cfg.Cluster}}, specs...)
+	}
+	if len(specs) > 0 {
+		c.backends = newBackendSet(specs, reg, c.met, cfg.CircuitThreshold, cfg.CircuitCooldown)
+		c.met.clusterSource = func() *cluster.Snapshot { return c.backends.primaryBackend().eng.Snapshot() }
+		c.met.circuitSource = func() (string, int64) {
+			p := c.backends.primaryBackend()
+			return p.brk.State(), p.brk.Opens()
+		}
+		c.met.backendsSource = c.backends.snapshots
 	}
 	if reg.Pre != nil {
 		c.boot = sched.NewBatcher(cfg.BootstrapBatch, cfg.BootstrapWait)
 		c.boot.OnBatch = c.met.ObserveBootstrapBatch
 	}
 	c.sessions = newSessionStore(c, cfg.SessionTTL, cfg.MaxSessions)
+	if cfg.SessionLog != "" {
+		if err := c.sessions.enableLog(cfg.SessionLog); err != nil {
+			if c.backends != nil {
+				c.backends.close()
+			}
+			c.sessions.close()
+			return nil, fmt.Errorf("session log %s: %w", cfg.SessionLog, err)
+		}
+	}
 	c.workersWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go c.worker()
 	}
-	return c
+	return c, nil
 }
 
 // Registry exposes the compiled program registry.
@@ -284,31 +336,57 @@ type Health struct {
 	Healthy  int    `json:"workers_healthy,omitempty"`
 	Circuit  string `json:"circuit_state,omitempty"`
 
+	// Backends enumerates every cluster backend: circuit state, opens
+	// count, worker health and last-handshake age per failure domain. The
+	// single-valued Workers/Healthy/Circuit fields above keep reporting
+	// the current primary. Failovers counts primary switches.
+	Backends  []BackendHealth `json:"backends,omitempty"`
+	Failovers int64           `json:"failovers_total,omitempty"`
+
 	// Bootstrap reports the refresh service: enabled, the level circuits
 	// resume at after a refresh, and the live encrypted-session count.
 	Bootstrap          bool `json:"bootstrap"`
 	BootstrapExitLevel int  `json:"bootstrap_exit_level,omitempty"`
 	SessionsActive     int  `json:"sessions_active"`
+	// SessionsRestored counts sessions replayed from the checkpoint log at
+	// boot (nonzero only after a coordinator restart with durable sessions).
+	SessionsRestored int64 `json:"session_restores_total,omitempty"`
 }
 
-// Health reports whether the core can serve right now. With a cluster
-// backend and fallback unavailable (RequireCluster, or the engine's own
-// DisableFallback), zero healthy workers means requests cannot succeed —
-// /healthz then turns 503 so load balancers stop routing here.
+// Health reports whether the core can serve right now. With cluster
+// backends and fallback unavailable (RequireCluster, or every engine's own
+// DisableFallback), zero healthy workers across ALL failure domains means
+// requests cannot succeed — /healthz then turns 503 so load balancers stop
+// routing here. One backend down with another healthy stays OK: that is
+// what failover is for.
 func (c *Core) Health() Health {
 	h := Health{OK: true, Programs: len(c.reg.ProgramNames())}
 	c.stateMu.RLock()
 	h.Draining = c.draining
 	c.stateMu.RUnlock()
-	if cl := c.cfg.Cluster; cl != nil {
+	if c.backends != nil {
 		h.Cluster = true
-		h.Workers = cl.NChips()
-		h.Healthy = cl.HealthyWorkers()
-		h.Circuit = c.breaker.State()
-		if h.Healthy == 0 && (c.cfg.RequireCluster || cl.FallbackDisabled()) {
+		p := c.backends.primaryBackend()
+		h.Workers = p.eng.NChips()
+		h.Healthy = p.eng.HealthyWorkers()
+		h.Circuit = p.brk.State()
+		h.Backends = c.backends.healthList()
+		h.Failovers = c.met.Failovers.Load()
+		totalHealthy := 0
+		for _, bh := range h.Backends {
+			totalHealthy += bh.Healthy
+		}
+		allFallbackOff := true
+		for _, b := range c.backends.all {
+			if !b.eng.FallbackDisabled() {
+				allFallbackOff = false
+			}
+		}
+		if totalHealthy == 0 && (c.cfg.RequireCluster || allFallbackOff) {
 			h.OK = false
 		}
 	}
+	h.SessionsRestored = c.met.SessionRestores.Load()
 	if c.reg.Pre != nil {
 		h.Bootstrap = true
 		h.BootstrapExitLevel = c.reg.Pre.ExitLevel()
@@ -438,6 +516,9 @@ func (c *Core) Close(ctx context.Context) error {
 			c.boot.Close()
 		}
 		c.sessions.close()
+		if c.backends != nil {
+			c.backends.close()
+		}
 		close(done)
 	}()
 	select {
@@ -507,34 +588,27 @@ func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[
 	if c.cfg.testBatchDelay > 0 {
 		time.Sleep(c.cfg.testBatchDelay)
 	}
-	if cl := c.cfg.Cluster; cl != nil {
-		// Healthy() is the cheap gate, the breaker the stateful one: after
-		// CircuitThreshold consecutive chunk failures the cluster isn't
-		// even attempted until a cooldown-spaced probe succeeds, so a
-		// flapping cluster can't tax every chunk with RPC deadlines.
-		if cl.Healthy() && c.breaker.Allow() {
-			outs, err := c.runChunkCluster(prog, keys, reqs)
-			if err == nil {
-				c.breaker.Success()
-				c.met.Batches.Add(1)
-				c.met.BatchedRequests.Add(int64(len(reqs)))
-				for i, r := range reqs {
-					lat := time.Since(r.enq)
-					c.met.Completed.Add(1)
-					c.met.Latency.Observe(lat)
-					pm.Completed.Add(1)
-					pm.Latency.Observe(lat)
-					r.deliver(result{ct: outs[i]})
-				}
-				return
+	if c.backends != nil {
+		outs, err := c.runChunkBackends(prog, keys, reqs)
+		if err == nil {
+			c.met.Batches.Add(1)
+			c.met.BatchedRequests.Add(int64(len(reqs)))
+			for i, r := range reqs {
+				lat := time.Since(r.enq)
+				c.met.Completed.Add(1)
+				c.met.Latency.Observe(lat)
+				pm.Completed.Add(1)
+				pm.Latency.Observe(lat)
+				r.deliver(result{ct: outs[i]})
 			}
-			c.breaker.Failure()
+			return
 		}
 		if c.cfg.RequireCluster {
 			// Fallback disabled at the serving layer: fail the chunk typed
 			// (503 + Retry-After at the HTTP layer) instead of burning
 			// emulator CPU on every request of an outage.
-			err := fmt.Errorf("serve: cluster unavailable (circuit %s): %w", c.breaker.State(), cluster.ErrDegraded)
+			err := fmt.Errorf("serve: no cluster backend available (primary circuit %s): %w",
+				c.backends.primaryBackend().brk.State(), cluster.ErrDegraded)
 			for _, r := range reqs {
 				if r.deliver(result{err: err}) {
 					c.met.Errors.Add(1)
@@ -543,10 +617,9 @@ func (c *Core) runChunk(prog *Program, pm *ProgramMetrics, v *Variant, keys map[
 			}
 			return
 		}
-		// Degraded cluster or a distributed run error: re-execute the whole
-		// chunk on the local emulator path below. Results stay bit-identical
-		// (the emulator runs the same compiled program), only locality
-		// changes.
+		// Every backend degraded or erroring: re-execute the whole chunk on
+		// the local emulator path below. Results stay bit-identical (the
+		// emulator runs the same compiled program), only locality changes.
 		c.met.EmulatorFallbacks.Add(1)
 	}
 	prov := emulator.NewCKKSProvider(c.reg.Params)
@@ -628,29 +701,40 @@ func (c *Core) execScheduled(ctx context.Context, prog *Program, tenant string, 
 	if err != nil {
 		return nil, err
 	}
-	if cl := c.cfg.Cluster; cl != nil {
-		if cl.Healthy() && c.breaker.Allow() {
-			ev.SetKeySwitcher(cl.Bound(ctx))
+	if c.backends != nil {
+		for _, b := range c.backends.ranked() {
+			// Healthy() is the cheap gate, the breaker the stateful one:
+			// after CircuitThreshold consecutive failures a backend isn't
+			// even attempted until a cooldown-spaced probe succeeds, so a
+			// flapping backend can't tax every run with RPC deadlines —
+			// execution fails over to the next-ranked failure domain.
+			if !b.eng.Healthy() || !b.brk.Allow() {
+				continue
+			}
+			ev.SetKeySwitcher(b.eng.Bound(ctx))
 			out, err = prog.exec.Run(ctx, ev, ct, sched.RunOpts{Refresh: refresh})
 			if err == nil {
-				c.breaker.Success()
+				c.backends.noteSuccess(b)
 				return out, nil
 			}
-			c.breaker.Failure()
+			b.brk.Failure()
 			if ctx.Err() != nil {
+				return nil, err
+			}
+			// A failed distributed run left the evaluator mid-graph; rebuild
+			// it before the next backend (or the local replay) starts clean.
+			if ev, err = tenantEvaluator(c.reg.Params, keys); err != nil {
 				return nil, err
 			}
 		}
 		if c.cfg.RequireCluster {
-			return nil, fmt.Errorf("serve: cluster unavailable (circuit %s): %w", c.breaker.State(), cluster.ErrDegraded)
+			return nil, fmt.Errorf("serve: no cluster backend available (primary circuit %s): %w",
+				c.backends.primaryBackend().brk.State(), cluster.ErrDegraded)
 		}
-		// Degraded cluster or a distributed error: rebuild a local evaluator
-		// and replay from the original input (results are bit-identical —
-		// same kernels, only locality changes).
+		// Every backend degraded or erroring: replay locally from the
+		// original input (results are bit-identical — same kernels, only
+		// locality changes).
 		c.met.EmulatorFallbacks.Add(1)
-		if ev, err = tenantEvaluator(c.reg.Params, keys); err != nil {
-			return nil, err
-		}
 	}
 	return prog.exec.Run(ctx, ev, ct, sched.RunOpts{Refresh: refresh})
 }
@@ -674,13 +758,40 @@ func tenantEvaluator(params *ckks.Parameters, keys map[string]*ckks.EvalKey) (*c
 	return ckks.NewEvaluator(params, keys["rlk"], rtks), nil
 }
 
+// runChunkBackends tries the chunk on each eligible backend in
+// health-ranked order; the first success wins and becomes the primary.
+// Failed attempts feed the backend's own breaker — this loop IS the
+// failover: a chunk that errors on the primary completes on the next
+// failure domain within the same request. An exhausted ranking (no
+// eligible backend, or all attempts failed) reports the last error.
+func (c *Core) runChunkBackends(prog *Program, keys map[string]*ckks.EvalKey, reqs []*request) ([]*ckks.Ciphertext, error) {
+	var lastErr error
+	for _, b := range c.backends.ranked() {
+		if !b.eng.Healthy() || !b.brk.Allow() {
+			continue
+		}
+		outs, err := c.runChunkCluster(b.eng, prog, keys, reqs)
+		if err != nil {
+			b.brk.Failure()
+			lastErr = err
+			continue
+		}
+		c.backends.noteSuccess(b)
+		return outs, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("serve: no eligible cluster backend")
+	}
+	return nil, lastErr
+}
+
 // runChunkCluster executes every request in the chunk through the
-// program's reference closure with keyswitching delegated to the cluster
+// program's reference closure with keyswitching delegated to one cluster
 // engine: each relinearization/rotation runs the paper's distributed
-// collectives (input broadcast / aggregate-and-scatter) across the worker
-// processes. The per-chip kernels are the same ones the local engine
-// runs, so outputs are bit-identical to the emulator path.
-func (c *Core) runChunkCluster(prog *Program, keys map[string]*ckks.EvalKey, reqs []*request) (outs []*ckks.Ciphertext, err error) {
+// collectives (input broadcast / aggregate-and-scatter) across that
+// backend's worker processes. The per-chip kernels are the same ones the
+// local engine runs, so outputs are bit-identical to the emulator path.
+func (c *Core) runChunkCluster(eng *cluster.Engine, prog *Program, keys map[string]*ckks.EvalKey, reqs []*request) (outs []*ckks.Ciphertext, err error) {
 	// A panic inside the distributed path must resolve as a chunk failure
 	// (so a half-open breaker probe is never left dangling), not escape to
 	// runBatch's recovery.
@@ -700,7 +811,7 @@ func (c *Core) runChunkCluster(prog *Program, keys map[string]*ckks.EvalKey, req
 		// Bind each request's context to its collectives: the HTTP
 		// deadline clamps every per-worker RPC deadline and cancels
 		// retries, all the way down the stack.
-		ev.SetKeySwitcher(c.cfg.Cluster.Bound(r.ctx))
+		ev.SetKeySwitcher(eng.Bound(r.ctx))
 		y, err := prog.Spec.Reference(ev, enc, r.ct)
 		if err != nil {
 			return nil, fmt.Errorf("serve: cluster run of %q: %w", prog.Spec.Name, err)

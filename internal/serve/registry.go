@@ -306,6 +306,27 @@ func (r *Registry) BootstrapperFor(id string) (*bootstrap.Bootstrapper, error) {
 	return bs, nil
 }
 
+// AllTenantKeys returns every registered tenant's evaluation keys, deduped
+// by identity. Backend recovery uses it to re-push the full key population
+// to a rejoining cluster before the first request lands there (the push is
+// content-addressed and lazy, so keys a worker session already holds cost
+// nothing).
+func (r *Registry) AllTenantKeys() []*ckks.EvalKey {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := map[*ckks.EvalKey]bool{}
+	var out []*ckks.EvalKey
+	for _, keys := range r.tenants {
+		for _, k := range keys {
+			if k != nil && !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
 // TenantKeys returns the tenant's key map (read-only — do not mutate).
 func (r *Registry) TenantKeys(id string) (map[string]*ckks.EvalKey, bool) {
 	r.mu.RLock()

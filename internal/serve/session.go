@@ -38,6 +38,20 @@ type session struct {
 
 func (s *session) touch(now time.Time) { s.last.Store(now.UnixNano()) }
 
+// checkpoint captures the loggable view of the session. Callers hold s.mu
+// (steps and state are guarded by it); the returned state pointer remains
+// valid after unlock because steps install fresh ciphertexts.
+func (s *session) checkpoint() sessionCheckpoint {
+	return sessionCheckpoint{
+		id:      s.id,
+		tenant:  s.tenant,
+		program: s.program,
+		steps:   s.steps,
+		touch:   s.last.Load(),
+		state:   s.state,
+	}
+}
+
 // SessionInfo is the JSON view of one session.
 type SessionInfo struct {
 	ID      string `json:"id"`
@@ -66,6 +80,12 @@ type sessionStore struct {
 	mu sync.Mutex
 	m  map[string]*session
 
+	// log, when non-nil, is the durable checkpoint log: every create, step
+	// and close is appended (fsynced), so a coordinator restart replays the
+	// sessions bit-exactly. Append failures are counted, not fatal — the
+	// step itself still succeeds.
+	log *sessionLog
+
 	quit chan struct{}
 	done chan struct{}
 }
@@ -86,6 +106,51 @@ func newSessionStore(core *Core, ttl time.Duration, max int) *sessionStore {
 func (s *sessionStore) close() {
 	close(s.quit)
 	<-s.done
+	if s.log != nil {
+		s.log.close()
+	}
+}
+
+// enableLog opens (and replays) the checkpoint log at path, installing
+// every surviving session into the store. Called from NewDurableCore
+// before the store takes traffic, so there is no contention with live
+// sessions; the max bound still applies to replayed sessions.
+func (s *sessionStore) enableLog(path string) error {
+	log, restored, stats, err := openSessionLog(path, s.core.reg.Params, s.ttl, time.Now())
+	if err != nil {
+		return err
+	}
+	var installed int64
+	s.mu.Lock()
+	for id, sess := range restored {
+		if len(s.m) >= s.max {
+			break
+		}
+		if _, exists := s.m[id]; !exists {
+			s.m[id] = sess
+			installed++
+		}
+	}
+	s.mu.Unlock()
+	s.log = log
+	s.core.met.SessionRestores.Add(installed)
+	s.core.met.SessionsActive.Add(installed)
+	if stats.expired > 0 {
+		s.core.met.SessionsEvicted.Add(int64(stats.expired))
+	}
+	return nil
+}
+
+// logAppend runs one checkpoint append, counting (not propagating)
+// failures: losing one checkpoint degrades durability until the next
+// append, which is strictly better than failing the client's step.
+func (s *sessionStore) logAppend(fn func(*sessionLog) error) {
+	if s.log == nil {
+		return
+	}
+	if err := fn(s.log); err != nil {
+		s.core.met.SessionLogErrors.Add(1)
+	}
 }
 
 func (s *sessionStore) sweeper() {
@@ -103,9 +168,37 @@ func (s *sessionStore) sweeper() {
 		select {
 		case now := <-t.C:
 			s.sweep(now)
+			s.maybeCompact()
 		case <-s.quit:
 			return
 		}
+	}
+}
+
+// maybeCompact rewrites the checkpoint log down to the live sessions once
+// superseded records dominate it (old step checkpoints, closed sessions'
+// tombstones, TTL-expired entries).
+func (s *sessionStore) maybeCompact() {
+	if s.log == nil {
+		return
+	}
+	s.mu.Lock()
+	live := make([]*session, 0, len(s.m))
+	for _, sess := range s.m {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	if !s.log.shouldCompact(len(live)) {
+		return
+	}
+	cps := make([]sessionCheckpoint, 0, len(live))
+	for _, sess := range live {
+		sess.mu.Lock()
+		cps = append(cps, sess.checkpoint())
+		sess.mu.Unlock()
+	}
+	if err := s.log.compact(cps); err != nil {
+		s.core.met.SessionLogErrors.Add(1)
 	}
 }
 
@@ -114,19 +207,23 @@ func (s *sessionStore) sweeper() {
 // only forgets the id, it does not interrupt work.
 func (s *sessionStore) sweep(now time.Time) int {
 	s.mu.Lock()
-	var evicted int
+	var gone []string
 	for id, sess := range s.m {
 		if now.Sub(time.Unix(0, sess.last.Load())) > s.ttl {
 			delete(s.m, id)
-			evicted++
+			gone = append(gone, id)
 		}
 	}
 	s.mu.Unlock()
-	if evicted > 0 {
-		s.core.met.SessionsActive.Add(int64(-evicted))
-		s.core.met.SessionsEvicted.Add(int64(evicted))
+	if len(gone) > 0 {
+		s.core.met.SessionsActive.Add(int64(-len(gone)))
+		s.core.met.SessionsEvicted.Add(int64(len(gone)))
+		for _, id := range gone {
+			id := id
+			s.logAppend(func(l *sessionLog) error { return l.appendClose(id) })
+		}
 	}
-	return evicted
+	return len(gone)
 }
 
 func (s *sessionStore) get(id string) (*session, bool) {
@@ -181,6 +278,8 @@ func (c *Core) CreateSession(tenant, program string) (SessionInfo, error) {
 	c.sessions.mu.Unlock()
 	c.met.SessionsCreated.Add(1)
 	c.met.SessionsActive.Add(1)
+	cp := sess.checkpoint() // no steps yet, no lock needed
+	c.sessions.logAppend(func(l *sessionLog) error { return l.appendCreate(cp) })
 	return sess.info(), nil
 }
 
@@ -257,6 +356,8 @@ func (c *Core) SessionStep(ctx context.Context, id string, ct *ckks.Ciphertext) 
 	sess.state = out
 	sess.steps++
 	sess.touch(time.Now())
+	cp := sess.checkpoint()
+	c.sessions.logAppend(func(l *sessionLog) error { return l.appendStep(cp) })
 	lat := time.Since(start)
 	c.met.Completed.Add(1)
 	c.met.Latency.Observe(lat)
@@ -290,6 +391,7 @@ func (c *Core) CloseSession(id string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
 	c.met.SessionsActive.Add(-1)
+	c.sessions.logAppend(func(l *sessionLog) error { return l.appendClose(id) })
 	return nil
 }
 

@@ -116,6 +116,13 @@ func ServeWorkloads() []ServeWorkload {
 			Name:        "square",
 			Description: "y = x^2 (one ct-ct multiply + rescale)",
 			NeedsRelin:  true,
+			EvalPlain: func(in []complex128) []complex128 {
+				out := make([]complex128, len(in))
+				for i, x := range in {
+					out[i] = x * x
+				}
+				return out
+			},
 			Build: func(s *dsl.Stream, x *dsl.Ciphertext) *dsl.Ciphertext {
 				return x.Mul(x).Rescale()
 			},
@@ -131,6 +138,13 @@ func ServeWorkloads() []ServeWorkload {
 			Name:        "quartic",
 			Description: "y = x^4 (depth-2 multiply chain)",
 			NeedsRelin:  true,
+			EvalPlain: func(in []complex128) []complex128 {
+				out := make([]complex128, len(in))
+				for i, x := range in {
+					out[i] = x * x * x * x
+				}
+				return out
+			},
 			Build: func(s *dsl.Stream, x *dsl.Ciphertext) *dsl.Ciphertext {
 				sq := x.Mul(x).Rescale()
 				return sq.Mul(sq).Rescale()
