@@ -34,6 +34,12 @@ var (
 	ErrInternal = errors.New("serve: internal error")
 )
 
+// errClientGone marks a chunk failure caused by the failing request's own
+// context (client deadline or disconnect), not by the backend: it must
+// feed neither the circuit breaker nor the failover loop, or a burst of
+// client-side expiries could open a healthy backend's circuit.
+var errClientGone = errors.New("serve: request context expired mid-run")
+
 // Config tunes the serving core.
 type Config struct {
 	// MaxBatch caps how many requests one machine run serves. Default:
@@ -717,10 +723,14 @@ func (c *Core) execScheduled(ctx context.Context, prog *Program, tenant string, 
 				c.backends.noteSuccess(b)
 				return out, nil
 			}
-			b.brk.Failure()
 			if ctx.Err() != nil {
+				// The request's own deadline expired mid-run: that is client
+				// evidence, not backend evidence — feeding it to the breaker
+				// would let a burst of impatient clients open a healthy
+				// backend's circuit. No point trying another backend either.
 				return nil, err
 			}
+			b.brk.Failure()
 			// A failed distributed run left the evaluator mid-graph; rebuild
 			// it before the next backend (or the local replay) starts clean.
 			if ev, err = tenantEvaluator(c.reg.Params, keys); err != nil {
@@ -772,6 +782,12 @@ func (c *Core) runChunkBackends(prog *Program, keys map[string]*ckks.EvalKey, re
 		}
 		outs, err := c.runChunkCluster(b.eng, prog, keys, reqs)
 		if err != nil {
+			if errors.Is(err, errClientGone) {
+				// The failing request's own context expired: client
+				// evidence, not backend evidence. Don't feed the breaker,
+				// don't fail the whole chunk over to the next domain.
+				return nil, err
+			}
 			b.brk.Failure()
 			lastErr = err
 			continue
@@ -814,6 +830,9 @@ func (c *Core) runChunkCluster(eng *cluster.Engine, prog *Program, keys map[stri
 		ev.SetKeySwitcher(eng.Bound(r.ctx))
 		y, err := prog.Spec.Reference(ev, enc, r.ct)
 		if err != nil {
+			if r.ctx.Err() != nil {
+				return nil, fmt.Errorf("%w: cluster run of %q: %v", errClientGone, prog.Spec.Name, err)
+			}
 			return nil, fmt.Errorf("serve: cluster run of %q: %w", prog.Spec.Name, err)
 		}
 		outs[i] = y

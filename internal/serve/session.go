@@ -34,6 +34,12 @@ type session struct {
 	steps int
 
 	last atomic.Int64
+
+	// lastCP is the most recent checkpoint handed to the log (create,
+	// step, or replay). Compaction snapshots it instead of taking mu —
+	// a step holds mu while it waits for the append lock, so compaction
+	// must never hold the append lock while waiting for mu.
+	lastCP atomic.Pointer[sessionCheckpoint]
 }
 
 func (s *session) touch(now time.Time) { s.last.Store(now.UnixNano()) }
@@ -83,8 +89,17 @@ type sessionStore struct {
 	// log, when non-nil, is the durable checkpoint log: every create, step
 	// and close is appended (fsynced), so a coordinator restart replays the
 	// sessions bit-exactly. Append failures are counted, not fatal — the
-	// step itself still succeeds.
+	// step itself still succeeds. Guarded by mu (the sweeper starts before
+	// enableLog installs it).
 	log *sessionLog
+
+	// compactMu orders appends against log compaction: appends hold it
+	// shared, compaction exclusively across snapshot+rewrite. Without it a
+	// record appended between the snapshot and the rename lands in the old
+	// file and is silently discarded — a lost create orphans every later
+	// step record, and a lost step breaks the "restart resumes every
+	// acknowledged step" guarantee.
+	compactMu sync.RWMutex
 
 	quit chan struct{}
 	done chan struct{}
@@ -106,8 +121,11 @@ func newSessionStore(core *Core, ttl time.Duration, max int) *sessionStore {
 func (s *sessionStore) close() {
 	close(s.quit)
 	<-s.done
-	if s.log != nil {
-		s.log.close()
+	s.mu.Lock()
+	log := s.log
+	s.mu.Unlock()
+	if log != nil {
+		log.close()
 	}
 }
 
@@ -127,12 +145,16 @@ func (s *sessionStore) enableLog(path string) error {
 			break
 		}
 		if _, exists := s.m[id]; !exists {
+			// Seed the compaction snapshot: a restored session must survive
+			// a compaction even if it never steps again.
+			cp := sess.checkpoint()
+			sess.lastCP.Store(&cp)
 			s.m[id] = sess
 			installed++
 		}
 	}
-	s.mu.Unlock()
 	s.log = log
+	s.mu.Unlock()
 	s.core.met.SessionRestores.Add(installed)
 	s.core.met.SessionsActive.Add(installed)
 	if stats.expired > 0 {
@@ -144,11 +166,20 @@ func (s *sessionStore) enableLog(path string) error {
 // logAppend runs one checkpoint append, counting (not propagating)
 // failures: losing one checkpoint degrades durability until the next
 // append, which is strictly better than failing the client's step.
+// compactMu held shared for the duration pins the append to one log file
+// generation: it either completes before a compaction snapshot (and is
+// superseded by it) or lands in the rewritten log — never in a file about
+// to be renamed over.
 func (s *sessionStore) logAppend(fn func(*sessionLog) error) {
-	if s.log == nil {
+	s.compactMu.RLock()
+	defer s.compactMu.RUnlock()
+	s.mu.Lock()
+	log := s.log
+	s.mu.Unlock()
+	if log == nil {
 		return
 	}
-	if err := fn(s.log); err != nil {
+	if err := fn(log); err != nil {
 		s.core.met.SessionLogErrors.Add(1)
 	}
 }
@@ -177,27 +208,32 @@ func (s *sessionStore) sweeper() {
 
 // maybeCompact rewrites the checkpoint log down to the live sessions once
 // superseded records dominate it (old step checkpoints, closed sessions'
-// tombstones, TTL-expired entries).
+// tombstones, TTL-expired entries). The snapshot and the rewrite happen
+// under compactMu held exclusively, so no append can slip a record into
+// the file being replaced: an append that completed before the lock is in
+// the snapshot (its checkpoint is the session's lastCP), one that is
+// still waiting lands in the rewritten log afterwards. Sessions whose
+// create append hasn't finished yet (nil lastCP) are skipped — the
+// pending append itself carries them into the new log.
 func (s *sessionStore) maybeCompact() {
-	if s.log == nil {
+	s.mu.Lock()
+	log := s.log
+	nlive := len(s.m)
+	s.mu.Unlock()
+	if log == nil || !log.shouldCompact(nlive) {
 		return
 	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	s.mu.Lock()
-	live := make([]*session, 0, len(s.m))
+	cps := make([]sessionCheckpoint, 0, len(s.m))
 	for _, sess := range s.m {
-		live = append(live, sess)
+		if cp := sess.lastCP.Load(); cp != nil {
+			cps = append(cps, *cp)
+		}
 	}
 	s.mu.Unlock()
-	if !s.log.shouldCompact(len(live)) {
-		return
-	}
-	cps := make([]sessionCheckpoint, 0, len(live))
-	for _, sess := range live {
-		sess.mu.Lock()
-		cps = append(cps, sess.checkpoint())
-		sess.mu.Unlock()
-	}
-	if err := s.log.compact(cps); err != nil {
+	if err := log.compact(cps); err != nil {
 		s.core.met.SessionLogErrors.Add(1)
 	}
 }
@@ -279,6 +315,7 @@ func (c *Core) CreateSession(tenant, program string) (SessionInfo, error) {
 	c.met.SessionsCreated.Add(1)
 	c.met.SessionsActive.Add(1)
 	cp := sess.checkpoint() // no steps yet, no lock needed
+	sess.lastCP.Store(&cp)
 	c.sessions.logAppend(func(l *sessionLog) error { return l.appendCreate(cp) })
 	return sess.info(), nil
 }
@@ -357,6 +394,7 @@ func (c *Core) SessionStep(ctx context.Context, id string, ct *ckks.Ciphertext) 
 	sess.steps++
 	sess.touch(time.Now())
 	cp := sess.checkpoint()
+	sess.lastCP.Store(&cp)
 	c.sessions.logAppend(func(l *sessionLog) error { return l.appendStep(cp) })
 	lat := time.Since(start)
 	c.met.Completed.Add(1)

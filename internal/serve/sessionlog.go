@@ -81,6 +81,7 @@ type sessionLog struct {
 type sessionLogStats struct {
 	restored  int   // sessions alive after replay and TTL filtering
 	expired   int   // sessions dropped as already TTL-expired
+	orphaned  int   // step records skipped for ids never seen created
 	truncated bool  // the tail was damaged and cut off
 	goodSize  int64 // file offset of the end of the last intact record
 }
@@ -143,7 +144,7 @@ func replaySessions(r io.Reader, params *ckks.Parameters, ttl time.Duration, now
 			stats.truncated = !errors.Is(err, io.EOF)
 			break
 		}
-		if !applySessionRecord(sessions, typ, payload, params) {
+		if !applySessionRecord(sessions, typ, payload, params, &stats) {
 			stats.truncated = true
 			break
 		}
@@ -162,7 +163,12 @@ func replaySessions(r io.Reader, params *ckks.Parameters, ttl time.Duration, now
 // applySessionRecord folds one CRC-verified record into the session map,
 // reporting false when the payload does not decode (version skew or a
 // checksum collision — either way the log is untrusted from here on).
-func applySessionRecord(sessions map[string]*session, typ byte, payload []byte, params *ckks.Parameters) bool {
+// A step record for an unknown id is NOT corruption: a lost create append
+// (log error, crash between fsyncs) orphans that session's later steps,
+// and truncating here would destroy every intact session recorded after
+// it. Orphans are skipped and counted instead; truncation is reserved for
+// framing, CRC and decode failures.
+func applySessionRecord(sessions map[string]*session, typ byte, payload []byte, params *ckks.Parameters, stats *sessionLogStats) bool {
 	r := bytes.NewReader(payload)
 	switch typ {
 	case recSessionCreate:
@@ -190,11 +196,10 @@ func applySessionRecord(sessions map[string]*session, typ byte, payload []byte, 
 		if err != nil {
 			return false
 		}
-		// A step for an id we never saw created means the log's prefix was
-		// compacted around it inconsistently — untrusted, stop.
 		sess, ok := sessions[id]
 		if !ok {
-			return false
+			stats.orphaned++
+			return true
 		}
 		sess.state = ct
 		sess.steps = int(steps)
@@ -297,8 +302,12 @@ func (l *sessionLog) shouldCompact(live int) bool {
 // compact rewrites the log as one create(+step) snapshot per live session
 // — TTL pruning for the file: expired and closed sessions' records
 // disappear — then atomically replaces the old log and continues
-// appending to the new one. Appends are held out for the duration; a
-// failure leaves the original log untouched.
+// appending to the new one. Appends are held out for the duration (the
+// store additionally holds them out across snapshot+rename via its
+// compactMu, so the snapshot can never miss a record appended to the old
+// file). A failure before the rename leaves the original log untouched; a
+// reopen failure after it marks the log broken (all appends fail counted)
+// rather than appending to the renamed-over inode.
 func (l *sessionLog) compact(live []sessionCheckpoint) (err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -317,10 +326,12 @@ func (l *sessionLog) compact(live []sessionCheckpoint) (err error) {
 		}
 	}()
 	bw := bufio.NewWriterSize(tmp, 1<<16)
+	written := 0
 	for _, cp := range live {
 		if err = cluster.WriteFrame(bw, recSessionCreate, encodeCreateRecord(cp)); err != nil {
 			return err
 		}
+		written++
 		if cp.state == nil {
 			continue // created but never stepped: no state to checkpoint
 		}
@@ -331,6 +342,7 @@ func (l *sessionLog) compact(live []sessionCheckpoint) (err error) {
 		if err = cluster.WriteFrame(bw, recSessionStep, payload); err != nil {
 			return err
 		}
+		written++
 	}
 	if err = bw.Flush(); err != nil {
 		return err
@@ -345,13 +357,19 @@ func (l *sessionLog) compact(live []sessionCheckpoint) (err error) {
 		return err
 	}
 	old := l.f
-	if l.f, err = os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
-		l.f = old // keep appending to the (renamed-over) handle rather than dying
-		return err
-	}
+	f, rerr := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	old.Close()
+	if rerr != nil {
+		// The old handle's inode was just renamed over: appending to it
+		// would fsync into an unlinked file — durable-looking, durable-not.
+		// Mark the log broken instead, so every subsequent append fails and
+		// is counted, rather than one error hiding silent non-durability.
+		l.f = nil
+		return fmt.Errorf("reopening compacted log: %w", rerr)
+	}
+	l.f = f
 	l.bw = bufio.NewWriterSize(l.f, 1<<16)
-	l.records = 2 * len(live)
+	l.records = written
 	return nil
 }
 

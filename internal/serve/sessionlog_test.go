@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -298,6 +299,151 @@ func TestSessionLogCompaction(t *testing.T) {
 	}
 	if !bytes.Equal(got.Bytes(), want.Bytes()) {
 		t.Fatal("compacted state not bit-identical")
+	}
+}
+
+// TestSessionLogOrphanStepSkipped: a step record for an id never seen
+// created (e.g. its create append was lost to a log error) is skipped and
+// counted — it must NOT be treated as corruption, which would truncate
+// away every intact session recorded after it.
+func TestSessionLogOrphanStepSkipped(t *testing.T) {
+	reg := testEnv(t)
+	now := time.Now()
+	ct, _ := encryptRandom(t, 4)
+	var buf bytes.Buffer
+	write := func(typ byte, payload []byte) {
+		t.Helper()
+		if err := cluster.WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := sessionCheckpoint{id: "a", tenant: testTenant, program: "square", steps: 1, touch: now.UnixNano(), state: ct}
+	ghost := sessionCheckpoint{id: "ghost", tenant: testTenant, program: "square", steps: 2, touch: now.UnixNano(), state: ct}
+	b := sessionCheckpoint{id: "b", tenant: testTenant, program: "square", steps: 3, touch: now.UnixNano(), state: ct}
+	write(recSessionCreate, encodeCreateRecord(a))
+	stepA, err := encodeStepRecord(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(recSessionStep, stepA)
+	stepGhost, err := encodeStepRecord(ghost) // no create record for "ghost"
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(recSessionStep, stepGhost)
+	write(recSessionCreate, encodeCreateRecord(b))
+	stepB, err := encodeStepRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(recSessionStep, stepB)
+
+	size := int64(buf.Len())
+	replayed, stats := replaySessions(bytes.NewReader(buf.Bytes()), reg.Params, time.Hour, now)
+	if stats.truncated {
+		t.Fatal("orphaned step record treated as a damaged tail")
+	}
+	if stats.goodSize != size {
+		t.Fatalf("goodSize = %d, want %d (the whole log is intact)", stats.goodSize, size)
+	}
+	if stats.orphaned != 1 {
+		t.Fatalf("orphaned = %d, want 1", stats.orphaned)
+	}
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d sessions, want 2 (a and b)", len(replayed))
+	}
+	if sess := replayed["a"]; sess == nil || sess.steps != 1 {
+		t.Fatalf("session a mangled: %+v", sess)
+	}
+	if sess := replayed["b"]; sess == nil || sess.steps != 3 {
+		t.Fatalf("session b lost after the orphan record: %+v", sess)
+	}
+	if _, ok := replayed["ghost"]; ok {
+		t.Fatal("orphaned session resurrected without a create record")
+	}
+}
+
+// TestSessionLogCompactionRace: compaction running concurrently with live
+// creates and steps must never drop an acknowledged record — the snapshot
+// and rename are exclusive against appends, so every session replays with
+// its full acknowledged step count after a restart.
+func TestSessionLogCompactionRace(t *testing.T) {
+	reg := testEnv(t)
+	logPath := filepath.Join(t.TempDir(), "sessions.log")
+	core := NewCore(reg, Config{Workers: 2, SessionLog: logPath})
+	ct, _ := encryptRandom(t, 3)
+	ctx := context.Background()
+
+	// The sweeper's compaction cadence is seconds; hammer it directly so
+	// compactions genuinely interleave with the appends below.
+	stop := make(chan struct{})
+	var compactor sync.WaitGroup
+	compactor.Add(1)
+	go func() {
+		defer compactor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				core.sessions.maybeCompact()
+			}
+		}
+	}()
+
+	const nSessions, nSteps = 6, 14
+	ids := make([]string, nSessions)
+	var wg sync.WaitGroup
+	errCh := make(chan error, nSessions)
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			info, err := core.CreateSession(testTenant, "square")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			ids[i] = info.ID
+			for s := 0; s < nSteps; s++ {
+				// Re-seed every step: chained steps would exhaust levels
+				// without the bootstrap service, and this test is about the
+				// log, not depth.
+				if _, _, err := core.SessionStep(ctx, info.ID, ct); err != nil {
+					errCh <- fmt.Errorf("session %d step %d: %w", i, s, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	compactor.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := core.met.SessionLogErrors.Load(); got != 0 {
+		t.Fatalf("session_log_errors = %d during compaction race, want 0", got)
+	}
+	closeCoreT(t, core)
+
+	core2, err := NewDurableCore(reg, Config{Workers: 2, SessionLog: logPath})
+	if err != nil {
+		t.Fatalf("NewDurableCore after compaction race: %v", err)
+	}
+	defer closeCoreT(t, core2)
+	if got := core2.met.SessionRestores.Load(); got != nSessions {
+		t.Fatalf("session_restores_total = %d, want %d", got, nSessions)
+	}
+	for i, id := range ids {
+		si, err := core2.Session(id)
+		if err != nil {
+			t.Fatalf("session %d (%s) lost across restart: %v", i, id, err)
+		}
+		if si.Steps != nSteps {
+			t.Fatalf("session %d replayed %d steps, want %d (acknowledged step dropped by compaction)", i, si.Steps, nSteps)
+		}
 	}
 }
 
