@@ -17,6 +17,13 @@
 // and verifying every step against the iterated plaintext reference:
 //
 //	cinnamon-loadgen -url http://localhost:8080 -program logreg16-deep -sessions 2 -session-steps 3
+//
+// Many-tenant churn mode (-tenants > 1) registers N tenants, each with
+// its own key bundle, and draws the sending tenant per request — Zipf by
+// default, so a hot head stays warm while the tail churns through the
+// server's budgeted key cache:
+//
+//	cinnamon-loadgen -url http://localhost:8080 -tenants 8 -tenant-skew zipf -requests 200
 package main
 
 import (
@@ -41,7 +48,9 @@ import (
 
 func main() {
 	url := flag.String("url", "http://localhost:8080", "server base URL")
-	tenant := flag.String("tenant", "loadgen", "tenant id to register and send as")
+	tenant := flag.String("tenant", "loadgen", "tenant id to register and send as (many-tenant mode appends -0..N-1)")
+	tenants := flag.Int("tenants", 1, "many-tenant churn mode: register this many tenants, each with its own key bundle, and spread the open loop across them")
+	tenantSkew := flag.String("tenant-skew", "zipf", "tenant draw distribution in many-tenant mode: zipf (hot head, long cold tail) or uniform")
 	program := flag.String("program", "all", "program name, or \"all\" to round-robin the catalog")
 	requests := flag.Int("requests", 200, "total requests to send")
 	rate := flag.Float64("rate", 50, "offered load, requests/sec (Poisson arrivals)")
@@ -57,7 +66,7 @@ func main() {
 	stepInterval := flag.Duration("step-interval", 0, "session mode: client-side pause between steps (models an iterative client; gives chaos scripts a window to restart the server mid-session)")
 	flag.Parse()
 
-	if err := run(*url, *tenant, *program, *requests, *rate, *seed, *timeout, *verify, *maxSlotErr, *maxErrorRate, *sessions, *sessionSteps, *stepRetries, *stepBackoff, *stepInterval); err != nil {
+	if err := run(*url, *tenant, *program, *tenants, *tenantSkew, *requests, *rate, *seed, *timeout, *verify, *maxSlotErr, *maxErrorRate, *sessions, *sessionSteps, *stepRetries, *stepBackoff, *stepInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -95,7 +104,7 @@ type result struct {
 	transport error
 }
 
-func run(base, tenant, program string, requests int, rate float64, seed int64, timeout time.Duration, verify bool, maxSlotErr, maxErrorRate float64, sessions, sessionSteps, stepRetries int, stepBackoff, stepInterval time.Duration) error {
+func run(base, tenant, program string, tenants int, tenantSkew string, requests int, rate float64, seed int64, timeout time.Duration, verify bool, maxSlotErr, maxErrorRate float64, sessions, sessionSteps, stepRetries int, stepBackoff, stepInterval time.Duration) error {
 	c := &client{base: base, tenant: tenant, http: &http.Client{Timeout: timeout}}
 
 	// Discover parameters and rebuild an identical set locally.
@@ -124,7 +133,28 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 		return fmt.Errorf("no program %q on the server (have %d programs)", program, len(infos))
 	}
 
-	if err := c.keygenAndRegister(targets); err != nil {
+	// Many-tenant churn mode: N tenants, each with its own independently
+	// generated key bundle, with the open loop drawing the sending tenant
+	// per request. A Zipf draw gives a hot head and a long cold tail — the
+	// shape that exercises a budgeted server-side key cache (hot tenants
+	// stay resident, tail tenants churn through spill and prefetch).
+	clients := []*client{c}
+	if tenants > 1 {
+		if sessions > 0 {
+			return fmt.Errorf("many-tenant mode (-tenants %d) is open-loop only; use -sessions with a single tenant", tenants)
+		}
+		if tenantSkew != "zipf" && tenantSkew != "uniform" {
+			return fmt.Errorf("unknown -tenant-skew %q (want zipf or uniform)", tenantSkew)
+		}
+		clients = make([]*client, tenants)
+		for i := range clients {
+			cl := &client{base: base, tenant: fmt.Sprintf("%s-%d", tenant, i), http: c.http, params: params}
+			if err := cl.keygenAndRegister(targets); err != nil {
+				return fmt.Errorf("tenant %s: %w", cl.tenant, err)
+			}
+			clients[i] = cl
+		}
+	} else if err := c.keygenAndRegister(targets); err != nil {
 		return err
 	}
 
@@ -140,14 +170,31 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 	// cannot slow the arrival process down.
 	arrivals := rand.New(rand.NewSource(seed))
 	payloads := rand.New(rand.NewSource(seed + 1))
+	tenantRng := rand.New(rand.NewSource(seed + 2))
+	var zipf *rand.Zipf
+	if len(clients) > 1 && tenantSkew == "zipf" {
+		// Exponent 1.2 over ranks 0..N-1: tenant 0 dominates, the tail is
+		// touched rarely enough to go cold under a tight key budget.
+		zipf = rand.NewZipf(tenantRng, 1.2, 1, uint64(len(clients)-1))
+	}
+	perTenant := make([]int, len(clients))
 	results := make([]result, requests)
 	var wg sync.WaitGroup
-	fmt.Printf("sending %d requests at %.0f req/s across %d program(s)...\n", requests, rate, len(targets))
+	fmt.Printf("sending %d requests at %.0f req/s across %d program(s), %d tenant(s)...\n", requests, rate, len(targets), len(clients))
 	start := time.Now()
 	for i := 0; i < requests; i++ {
 		if rate > 0 {
 			time.Sleep(time.Duration(arrivals.ExpFloat64() / rate * float64(time.Second)))
 		}
+		ti := 0
+		if len(clients) > 1 {
+			if zipf != nil {
+				ti = int(zipf.Uint64())
+			} else {
+				ti = tenantRng.Intn(len(clients))
+			}
+		}
+		cl := clients[ti]
 		info := targets[i%len(targets)]
 		payloadSeed := payloads.Int63()
 		// Per-program verification tolerance: the server-advertised bound
@@ -157,11 +204,12 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 		if tol <= 0 {
 			tol = maxSlotErr
 		}
+		perTenant[ti]++
 		wg.Add(1)
-		go func(i int, info serve.ProgramInfo, tol float64) {
+		go func(i int, cl *client, info serve.ProgramInfo, tol float64) {
 			defer wg.Done()
-			results[i] = c.fire(info, payloadSeed, verify, tol)
-		}(i, info, tol)
+			results[i] = cl.fire(info, payloadSeed, verify, tol)
+		}(i, cl, info, tol)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -180,6 +228,18 @@ func run(base, tenant, program string, requests int, rate float64, seed int64, t
 	if cl := snap.Cluster; cl != nil {
 		fmt.Printf("  cluster: %d/%d workers healthy, %d broadcasts, %d aggregations, %.1f MB sent, %d emulator fallbacks\n",
 			cl.Healthy, cl.Workers, cl.Broadcasts, cl.Aggregations, float64(cl.BytesSent)/1e6, snap.EmulatorFallbacks)
+	}
+	if kc := snap.KeyCache; kc != nil {
+		fmt.Printf("  key cache: %d resident + %d spilled tenants, %.1f MB resident (budget %.1f MB), %d hits, %d misses, %d evictions, %d prefetches, %d cold-miss stalls\n",
+			kc.ResidentTenants, kc.SpilledTenants, float64(kc.ResidentBytes)/1e6, float64(kc.BudgetBytes)/1e6,
+			kc.Hits, kc.Misses, kc.Evictions, kc.PrefetchFires, kc.ColdMissStalls)
+	}
+	if len(clients) > 1 {
+		fmt.Printf("tenant draws (%s):", tenantSkew)
+		for i, n := range perTenant {
+			fmt.Printf(" %s=%d", clients[i].tenant, n)
+		}
+		fmt.Println()
 	}
 	if maxSlotErr > 0 && rep.errors > 0 {
 		return fmt.Errorf("verification: %d requests failed outright", rep.errors)

@@ -33,6 +33,13 @@
 // restart resumes in-flight sessions bit-exactly (clients re-upload their
 // key bundle — key material is not persisted — and retry the step).
 //
+// With -key-budget-mb, resident tenant evaluation keys are capped: a
+// hard-budget LRU keeps the hot tenants decoded in RAM while colder
+// bundles spill to a content-addressed CRC-framed key store
+// (-key-spill-dir) and reload transparently — prefetched at batch
+// admission so warm-tenant latency is untouched. /metrics reports the
+// tier under "key_cache".
+//
 // Endpoints (see internal/serve for the wire protocol):
 //
 //	GET  /healthz
@@ -83,6 +90,8 @@ func main() {
 	bsBatch := flag.Int("bootstrap-batch", 8, "max ciphertexts per shared bootstrap tick")
 	bsWait := flag.Duration("bootstrap-wait", 25*time.Millisecond, "max time a bootstrap tick waits for company")
 	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle encrypted-session eviction deadline")
+	keyBudgetMB := flag.Int64("key-budget-mb", 0, "resident tenant eval-key budget in MiB (0 = unbounded); over budget, LRU tenants spill to the key store and reload on demand")
+	keySpillDir := flag.String("key-spill-dir", "", "directory for spilled key bundles (empty = a fresh temp dir; only used with -key-budget-mb)")
 	flag.Parse()
 
 	o := options{
@@ -93,7 +102,8 @@ func main() {
 		requireCluster: *requireCluster, heartbeat: *heartbeat,
 		sessionLog: *sessionLog,
 		bootstrap:  *bootstrapOn, bsBatch: *bsBatch, bsWait: *bsWait,
-		sessionTTL: *sessionTTL,
+		sessionTTL:  *sessionTTL,
+		keyBudgetMB: *keyBudgetMB, keySpillDir: *keySpillDir,
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -118,11 +128,28 @@ type options struct {
 	bsBatch              int
 	bsWait               time.Duration
 	sessionTTL           time.Duration
+	keyBudgetMB          int64
+	keySpillDir          string
+}
+
+func spillDirLabel(dir string) string {
+	if dir == "" {
+		return "a temp dir"
+	}
+	return dir
 }
 
 func run(o options) error {
 	lit := workloads.ServeParamsLiteral(o.logN, o.levels, o.seed)
-	regCfg := serve.RegistryConfig{Literal: lit, MaxBatch: o.maxBatch}
+	regCfg := serve.RegistryConfig{
+		Literal:        lit,
+		MaxBatch:       o.maxBatch,
+		KeyBudgetBytes: o.keyBudgetMB << 20,
+		KeySpillDir:    o.keySpillDir,
+	}
+	if o.keyBudgetMB > 0 {
+		log.Printf("tenant key budget: %d MiB resident, spilling to %s", o.keyBudgetMB, spillDirLabel(o.keySpillDir))
+	}
 	if o.bootstrap {
 		// The sparse-secret literal: same chain, HammingWeight set so the
 		// bootstrap EvalMod interval bound holds. Clients rebuild it from

@@ -37,20 +37,22 @@ func main() {
 	logN := flag.Int("logn", 8, "ring degree log2 (must match coordinator)")
 	levels := flag.Int("levels", 3, "multiplicative levels (must match coordinator)")
 	seed := flag.Int64("seed", 20260805, "parameter generation seed (must match coordinator)")
+	keyBudgetMB := flag.Int64("key-budget-mb", 0, "resident pushed-key budget per session in MiB (0 = unbounded); LRU keys drop and are re-pushed by the coordinator on next use")
 	flag.Parse()
 
-	if err := run(*addr, *logN, *levels, *seed); err != nil {
+	if err := run(*addr, *logN, *levels, *seed, *keyBudgetMB); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, logN, levels int, seed int64) error {
+func run(addr string, logN, levels int, seed, keyBudgetMB int64) error {
 	params, err := ckks.NewParameters(workloads.ServeParamsLiteral(logN, levels, seed))
 	if err != nil {
 		return err
 	}
 	w := cluster.NewWorker(params)
+	w.KeyBudgetBytes = keyBudgetMB << 20
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

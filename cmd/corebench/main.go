@@ -22,10 +22,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -77,6 +79,13 @@ type report struct {
 	// through the full batcher → worker → emulator pipeline of
 	// internal/serve, requests per second. Zero when -serve=false.
 	ServeRPS float64 `json:"serve_rps"`
+
+	// ServeManyTenantRPS is the same pipeline under many-tenant key-cache
+	// churn: 8 tenants with independent key bundles, a key budget admitting
+	// only 2 of them, and Zipf-skewed tenant draws — so hot tenants ride
+	// the resident cache while the tail churns through spill reloads and
+	// admission-time prefetch. Zero when -serve=false.
+	ServeManyTenantRPS float64 `json:"serve_manytenant_rps"`
 }
 
 func main() {
@@ -411,6 +420,11 @@ func run(logN, limbs, ext int, workersFlag string, iters int, out, compare strin
 			return fmt.Errorf("serve benchmark: %w", err)
 		}
 		rep.ServeRPS = rps
+		mrps, err := serveManyTenantRPS(2 * iters)
+		if err != nil {
+			return fmt.Errorf("many-tenant serve benchmark: %w", err)
+		}
+		rep.ServeManyTenantRPS = mrps
 	}
 
 	rep.WallSeconds = time.Since(start).Seconds()
@@ -517,6 +531,101 @@ func serveRPS(reqs int) (float64, error) {
 	return float64(reqs) / time.Since(t0).Seconds(), nil
 }
 
+// serveManyTenantRPS measures serving throughput under key-cache churn:
+// 8 tenants, each with its own independently generated key bundle, a key
+// budget sized to keep only 2 bundles resident, and a Zipf tenant draw
+// per request. Hot tenants should be cache hits; tail tenants force
+// evictions, spill reloads and admission-time prefetches — the number
+// this row guards is how little that churn costs end to end.
+func serveManyTenantRPS(reqs int) (float64, error) {
+	lit := workloads.ServeParamsLiteral(8, 4, 20260805)
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		return 0, err
+	}
+	kg := ckks.NewKeyGenerator(params)
+	const tenants = 8
+	type tenantCrypto struct {
+		keys map[string]*ckks.EvalKey
+		ct   *ckks.Ciphertext
+	}
+	enc := ckks.NewEncoder(params)
+	v := make([]complex128, params.Slots())
+	for i := range v {
+		v[i] = complex(float64(i%7)/7-0.5, float64(i%5)/5-0.5)
+	}
+	tcs := make([]tenantCrypto, tenants)
+	var bundleSize int64
+	for i := range tcs {
+		sk, err := kg.GenSecretKey()
+		if err != nil {
+			return 0, err
+		}
+		pk, err := kg.GenPublicKey(sk)
+		if err != nil {
+			return 0, err
+		}
+		rlk, err := kg.GenRelinKey(sk)
+		if err != nil {
+			return 0, err
+		}
+		tcs[i].keys = map[string]*ckks.EvalKey{"rlk": rlk}
+		pt, err := enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+		if err != nil {
+			return 0, err
+		}
+		if tcs[i].ct, err = ckks.NewEncryptor(params, pk).Encrypt(pt); err != nil {
+			return 0, err
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			if err := serve.WriteKeyBundle(&buf, tcs[i].keys); err != nil {
+				return 0, err
+			}
+			bundleSize = int64(buf.Len())
+		}
+	}
+	spillDir, err := os.MkdirTemp("", "corebench-keyspill-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(spillDir)
+	// Budget of 2.5 bundles: exactly 2 tenants resident, 6 spilled.
+	reg, err := serve.NewRegistry(serve.RegistryConfig{
+		Literal:        lit,
+		MaxBatch:       4,
+		KeyBudgetBytes: bundleSize*2 + bundleSize/2,
+		KeySpillDir:    spillDir,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i := range tcs {
+		if err := reg.RegisterTenant(fmt.Sprintf("corebench-%d", i), tcs[i].keys); err != nil {
+			return 0, err
+		}
+	}
+	core := serve.NewCore(reg, serve.Config{
+		MaxBatch:  1,
+		BatchWait: time.Microsecond,
+		Workers:   2,
+	})
+	defer core.Close(context.Background())
+	// Warm the machine pool and plan caches with the hottest tenant.
+	if _, err := core.Submit(context.Background(), "square", "corebench-0", tcs[0].ct); err != nil {
+		return 0, err
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(20260805)), 1.2, 1, tenants-1)
+	t0 := time.Now()
+	for i := 0; i < reqs; i++ {
+		ti := int(zipf.Uint64())
+		if _, err := core.Submit(context.Background(), "square", fmt.Sprintf("corebench-%d", ti), tcs[ti].ct); err != nil {
+			return 0, err
+		}
+	}
+	return float64(reqs) / time.Since(t0).Seconds(), nil
+}
+
 // compareReports checks every hot op of the fresh report against the
 // baseline file: a measured ns/op more than tolerance above the baseline
 // (per matching worker count) is a regression and fails the run. Ops the
@@ -593,6 +702,24 @@ func compareReports(fresh report, baselinePath string, tolerance float64) error 
 		fmt.Println("serve_rps: baseline present, fresh run skipped (-serve=false)")
 	case fresh.ServeRPS > 0:
 		fmt.Println("serve_rps: new metric, no baseline")
+	}
+	// serve_manytenant_rps guards the cost of key-cache churn the same way.
+	switch {
+	case base.ServeManyTenantRPS > 0 && fresh.ServeManyTenantRPS > 0:
+		ratio := base.ServeManyTenantRPS / fresh.ServeManyTenantRPS
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("serve_manytenant_rps: %.1f req/s vs baseline %.1f (%.2fx slower > %.2fx allowed)",
+					fresh.ServeManyTenantRPS, base.ServeManyTenantRPS, ratio, 1+tolerance))
+		}
+		fmt.Printf("serve_manytenant_rps %6.1f req/s   baseline %12.1f  ratio %.3f  %s\n",
+			fresh.ServeManyTenantRPS, base.ServeManyTenantRPS, ratio, status)
+	case base.ServeManyTenantRPS > 0:
+		fmt.Println("serve_manytenant_rps: baseline present, fresh run skipped (-serve=false)")
+	case fresh.ServeManyTenantRPS > 0:
+		fmt.Println("serve_manytenant_rps: new metric, no baseline")
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d op(s) regressed beyond %.0f%% tolerance:\n  %s",

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -528,5 +529,197 @@ func TestLoopbackTCP(t *testing.T) {
 	}
 	if snap := eng.Snapshot(); snap.BytesSent == 0 {
 		t.Fatal("TCP transport counted no bytes")
+	}
+}
+
+// TestEvictKeysInvalidatesWorkers: a coordinator-side eviction (the serve
+// registry's budgeted key cache dropping a tenant) must invalidate worker
+// residency — the next keyswitch re-pushes fresh key material and still
+// matches the sequential reference bit for bit.
+func TestEvictKeysInvalidatesWorkers(t *testing.T) {
+	tc := newClusterContext(t, 2, Options{
+		RPCTimeout:   2 * time.Second,
+		RetryBackoff: time.Millisecond,
+	})
+	ct := tc.encryptRandom(t, 70)
+	if _, _, err := tc.eng.KeySwitch(ct.C1, tc.rlk); err != nil {
+		t.Fatal(err)
+	}
+	pushesBefore := tc.eng.Snapshot().KeyPushes
+
+	tc.eng.EvictKeys(tc.rlk)
+	snap := tc.eng.Snapshot()
+	if snap.KeyEvicts < 1 {
+		t.Fatalf("EvictKeys counted %d evicts, want >= 1", snap.KeyEvicts)
+	}
+
+	seq := ckks.NewEvaluator(tc.params, nil, nil)
+	s0, s1, err := seq.KeySwitch(ct.C1, tc.rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1, err := tc.eng.KeySwitch(ct.C1, tc.rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d0.Equal(s0) || !d1.Equal(s1) {
+		t.Fatal("post-evict keyswitch differs from sequential")
+	}
+	snap = tc.eng.Snapshot()
+	if snap.KeyPushes <= pushesBefore {
+		t.Fatalf("expected a key re-push after eviction (%d before, %d after)", pushesBefore, snap.KeyPushes)
+	}
+	if !tc.eng.Healthy() {
+		t.Fatal("engine not healthy after evict + re-push")
+	}
+	// Evicting a key the engine no longer tracks is a no-op, not an error.
+	tc.eng.EvictKeys(tc.rlk)
+}
+
+// TestWorkerKeyBudgetForcesRepush: a worker under its own key budget drops
+// LRU keys on its side; the coordinator still believes them pushed, so the
+// next keyswitch using a dropped key gets an in-band key-gone answer and
+// must transparently re-push on the same session — no reconnect, same bits.
+func TestWorkerKeyBudgetForcesRepush(t *testing.T) {
+	params := testParams(t)
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := kg.GenPublicKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := kg.GenRelinKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := kg.GenRelinKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-byte budget means any second key exceeds it: the worker always
+	// holds exactly the most recently pushed key (the livelock guard keeps
+	// that one resident no matter how small the budget is).
+	dialers := make([]Dialer, 2)
+	for i := range dialers {
+		w := NewWorker(params)
+		w.KeyBudgetBytes = 1
+		dialers[i] = NewPipeDialer(w)
+	}
+	eng, err := NewEngine(params, dialers, Options{
+		RPCTimeout:   2 * time.Second,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	enc := ckks.NewEncoder(params)
+	v := make([]complex128, params.Slots())
+	for i := range v {
+		v[i] = complex(float64(i%5)/5-0.4, float64(i%3)/3-0.3)
+	}
+	pt, err := enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ckks.NewEncryptor(params, pk).Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := ckks.NewEvaluator(params, nil, nil)
+	check := func(step string, key *ckks.EvalKey) {
+		t.Helper()
+		s0, s1, err := seq.KeySwitch(ct.C1, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d0, d1, err := eng.KeySwitch(ct.C1, key)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		if !d0.Equal(s0) || !d1.Equal(s1) {
+			t.Fatalf("%s: distributed keyswitch differs from sequential", step)
+		}
+	}
+	check("first key", k1)
+	check("second key (worker drops first)", k2)
+	// k1 is gone worker-side but the coordinator's session still marks it
+	// pushed: this call must ride the key-gone -> re-push path.
+	check("first key again (re-push)", k1)
+
+	snap := eng.Snapshot()
+	if snap.KeyRepushes < 1 {
+		t.Fatalf("budgeted worker never forced a re-push: %+v", snap)
+	}
+	if snap.Reconnects != 0 {
+		t.Fatalf("re-push should ride the live session, counted %d reconnects", snap.Reconnects)
+	}
+	if !eng.Healthy() {
+		t.Fatal("engine not healthy after budget-forced re-push")
+	}
+}
+
+// TestConcurrentEvictKeySwitchStress hammers EvictKeys against a stream of
+// keyswitches. The eviction race (encoding erased between a collective's
+// id resolution and the lazy push) must be absorbed by re-resolving a
+// fresh id — never by dropping a clean session: any reconnect or local
+// fallback here is a regression.
+func TestConcurrentEvictKeySwitchStress(t *testing.T) {
+	tc := newClusterContext(t, 2, Options{
+		RPCTimeout:   5 * time.Second,
+		RetryBackoff: time.Millisecond,
+	})
+	ct := tc.encryptRandom(t, 99)
+	seq := ckks.NewEvaluator(tc.params, nil, nil)
+	s0, s1, err := seq.KeySwitch(ct.C1, tc.rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tc.eng.EvictKeys(tc.rlk)
+			}
+		}
+	}()
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	for i := 0; i < iters; i++ {
+		d0, d1, err := tc.eng.KeySwitch(ct.C1, tc.rlk)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if !d0.Equal(s0) || !d1.Equal(s1) {
+			t.Fatalf("iter %d: result differs from sequential under eviction churn", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	snap := tc.eng.Snapshot()
+	if snap.Reconnects != 0 {
+		t.Fatalf("eviction churn dropped sessions: %d reconnects (stress snapshot %+v)", snap.Reconnects, snap)
+	}
+	if snap.LocalFallbacks != 0 {
+		t.Fatalf("eviction churn degraded collectives: %d local fallbacks", snap.LocalFallbacks)
+	}
+	if snap.KeyEvicts < 1 {
+		t.Fatal("stress loop never actually evicted")
+	}
+	if !tc.eng.Healthy() {
+		t.Fatal("engine unhealthy after eviction churn")
 	}
 }

@@ -289,6 +289,11 @@ func (e *Engine) EnsureKeys(keys ...*ckks.EvalKey) error {
 					}
 				}()
 				if err := lk.ensureKey(id, e); err != nil {
+					if errors.Is(err, errKeyEvicted) {
+						// Evicted concurrently: the pre-push is moot, and the
+						// stream is untouched — skip the key, keep the session.
+						return nil
+					}
 					lk.drop()
 					return err
 				}
@@ -301,6 +306,86 @@ func (e *Engine) EnsureKeys(keys ...*ckks.EvalKey) error {
 		}
 	}
 	return nil
+}
+
+// EvictKeys invalidates evaluation keys end to end after a coordinator-
+// side cache eviction: the engine forgets the pointers' ids and encodings
+// (a later push of the same material gets a fresh id), and every live
+// worker session is told to drop its copy so worker memory shrinks with
+// the coordinator's budget instead of only growing. Best-effort: a link
+// that fails the exchange is dropped, and its reconnect starts from an
+// empty worker key store anyway.
+func (e *Engine) EvictKeys(keys ...*ckks.EvalKey) {
+	var ids []uint64
+	e.keyMu.Lock()
+	for _, k := range keys {
+		if k == nil {
+			continue
+		}
+		if id, ok := e.keyIDs[k]; ok {
+			ids = append(ids, id)
+			delete(e.keyIDs, k)
+			delete(e.keyEnc, id)
+		}
+	}
+	e.keyMu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	e.stats.KeyEvicts.Add(int64(len(ids)))
+	for _, lk := range e.links {
+		lk.mu.Lock()
+		if lk.conn == nil {
+			lk.mu.Unlock()
+			continue // nothing resident on a dead session
+		}
+		lk.conn.SetDeadline(time.Now().Add(lk.opts.RPCTimeout))
+		for _, id := range ids {
+			if !lk.pushed[id] {
+				continue
+			}
+			delete(lk.pushed, id)
+			if err := lk.evictKey(id); err != nil {
+				lk.drop()
+				break
+			}
+		}
+		if lk.conn != nil {
+			lk.conn.SetDeadline(time.Time{})
+		}
+		lk.mu.Unlock()
+	}
+}
+
+// evictKey runs one evict round trip (lk.mu held, conn non-nil).
+func (lk *link) evictKey(id uint64) error {
+	if err := WriteFrame(lk.bw, msgKeyEvict, encodeKeyEvict(id)); err != nil {
+		return err
+	}
+	if err := lk.bw.Flush(); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := ReadFrame(lk.br)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case msgKeyGone:
+			_, got, err := decodeKeyGone(payload)
+			if err != nil {
+				return err
+			}
+			if got != id {
+				return fmt.Errorf("cluster: evict ack for key %d, sent %d", got, id)
+			}
+			return nil
+		case msgPong:
+			continue // stale heartbeat reply; ignore
+		default:
+			return fmt.Errorf("cluster: expected evict ack, got frame %#x", typ)
+		}
+	}
 }
 
 // KeySwitch implements ckks.KeySwitcher: the algorithm follows the key's
@@ -415,7 +500,7 @@ func (e *Engine) inputBroadcast(ctx context.Context, c *ring.Poly, evk *ckks.Eva
 		wg.Add(1)
 		go func(chip int, mine []int) {
 			defer wg.Done()
-			res, err := e.links[chip].keyswitchRPC(ctx, e, ksBeginMsg{
+			res, err := e.links[chip].keyswitchRPC(ctx, e, evk, ksBeginMsg{
 				alg: algIB, keyID: keyID, level: uint32(l), frames: uint32(len(digits)),
 			}, func(bw *bufio.Writer, req uint64) error {
 				return streamDigits(bw, req, digits, cc)
@@ -497,7 +582,7 @@ func (e *Engine) outputAggregation(ctx context.Context, c *ring.Poly, evk *ckks.
 		wg.Add(1)
 		go func(chip int, mine []int) {
 			defer wg.Done()
-			res, err := e.links[chip].keyswitchRPC(ctx, e, ksBeginMsg{
+			res, err := e.links[chip].keyswitchRPC(ctx, e, evk, ksBeginMsg{
 				alg: algOA, keyID: keyID, level: uint32(l), frames: 1,
 			}, func(bw *bufio.Writer, req uint64) error {
 				limbs := make([][]uint64, len(mine))
@@ -746,6 +831,12 @@ func (lk *link) drop() {
 	lk.healthy.Store(false)
 }
 
+// errKeyEvicted: the key's encoding vanished between id resolution and the
+// push — a concurrent EvictKeys won the race. Nothing was written, so the
+// session stream is still clean: callers must NOT drop the link, just
+// re-resolve the key (which assigns a fresh id and encoding) and retry.
+var errKeyEvicted = errors.New("cluster: key evicted before push")
+
 // ensureKey pushes the key if this session hasn't seen it (lazy, keyed by
 // pointer identity on the coordinator; a reconnect clears the set).
 func (lk *link) ensureKey(id uint64, e *Engine) error {
@@ -756,7 +847,7 @@ func (lk *link) ensureKey(id uint64, e *Engine) error {
 	enc := e.keyEnc[id]
 	e.keyMu.Unlock()
 	if enc == nil {
-		return fmt.Errorf("cluster: key %d has no encoding", id)
+		return fmt.Errorf("key %d: %w", id, errKeyEvicted)
 	}
 	if err := WriteFrame(lk.bw, msgSetKey, enc); err != nil {
 		return err
@@ -787,7 +878,7 @@ func (lk *link) ensureKey(id uint64, e *Engine) error {
 // caller-provided limb stream, then the result — under a per-RPC deadline,
 // with bounded redial-and-retry on transport failure. Semantic worker
 // errors are not retried.
-func (lk *link) keyswitchRPC(ctx context.Context, e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (*ksResultMsg, error) {
+func (lk *link) keyswitchRPC(ctx context.Context, e *Engine, evk *ckks.EvalKey, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (*ksResultMsg, error) {
 	var lastErr error
 	for attempt := 0; attempt <= lk.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -797,7 +888,7 @@ func (lk *link) keyswitchRPC(ctx context.Context, e *Engine, begin ksBeginMsg, s
 			case <-time.After(lk.opts.RetryBackoff):
 			}
 		}
-		res, err := lk.tryKeyswitch(ctx, e, begin, sendLimbs)
+		res, err := lk.tryKeyswitch(ctx, e, evk, begin, sendLimbs)
 		if err == nil {
 			return res, nil
 		}
@@ -820,7 +911,7 @@ func (lk *link) rpcDeadline(ctx context.Context) time.Time {
 	return d
 }
 
-func (lk *link) tryKeyswitch(ctx context.Context, e *Engine, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (res *ksResultMsg, err error) {
+func (lk *link) tryKeyswitch(ctx context.Context, e *Engine, evk *ckks.EvalKey, begin ksBeginMsg, sendLimbs func(*bufio.Writer, uint64) error) (res *ksResultMsg, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -833,8 +924,11 @@ func (lk *link) tryKeyswitch(ctx context.Context, e *Engine, begin ksBeginMsg, s
 	}
 	// Any failure past this point poisons the session (the stream position
 	// is unknown), so drop it; the retry or the heartbeat loop redials.
+	// Exception: errKeyEvicted happens strictly before the first write of
+	// an attempt, so the stream is still at a frame boundary — dropping
+	// would turn a benign eviction race into a reconnect storm.
 	defer func() {
-		if err != nil {
+		if err != nil && !errors.Is(err, errKeyEvicted) {
 			if _, ok := err.(*remoteError); !ok {
 				lk.drop()
 			}
@@ -846,51 +940,92 @@ func (lk *link) tryKeyswitch(ctx context.Context, e *Engine, begin ksBeginMsg, s
 			lk.conn.SetDeadline(time.Time{})
 		}
 	}()
-	if err := lk.ensureKey(begin.keyID, e); err != nil {
-		return nil, err
-	}
-	req := e.reqSeq.Add(1)
-	begin.req = req
-	p := encodeKSBegin(begin)
-	err = WriteFrame(lk.bw, msgKSBegin, p)
-	putFrameBuf(p)
-	if err != nil {
-		return nil, err
-	}
-	if err := sendLimbs(lk.bw, req); err != nil {
-		return nil, err
-	}
-	if err := lk.bw.Flush(); err != nil {
-		return nil, err
-	}
-	for {
-		typ, payload, err := ReadFrame(lk.br)
+	// The retry loop covers exactly two cases, each bounded:
+	//   - A concurrent EvictKeys erased the key's encoding between the
+	//     caller's id resolution and our push: re-resolving assigns a fresh
+	//     id and encoding, and nothing touched the wire.
+	//   - A worker that dropped the key under its own budget answers
+	//     keyGone (after consuming the announced limb stream — a clean
+	//     frame boundary): the coordinator re-pushes and replays on the
+	//     same session. One re-push per RPC; a worker that immediately
+	//     forgets a key it just acked is broken.
+	repushed := false
+	for resolves := 0; ; {
+		id, err := e.keyID(evk)
 		if err != nil {
 			return nil, err
 		}
-		switch typ {
-		case msgKSResult:
-			m, err := decodeKSResult(payload, lk.params.N())
+		begin.keyID = id
+		if err := lk.ensureKey(id, e); err != nil {
+			if errors.Is(err, errKeyEvicted) {
+				if resolves++; resolves <= 3 {
+					continue
+				}
+			}
+			return nil, err
+		}
+		req := e.reqSeq.Add(1)
+		begin.req = req
+		p := encodeKSBegin(begin)
+		err = WriteFrame(lk.bw, msgKSBegin, p)
+		putFrameBuf(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := sendLimbs(lk.bw, req); err != nil {
+			return nil, err
+		}
+		if err := lk.bw.Flush(); err != nil {
+			return nil, err
+		}
+	await:
+		for {
+			typ, payload, err := ReadFrame(lk.br)
 			if err != nil {
 				return nil, err
 			}
-			if m.req != req {
-				return nil, fmt.Errorf("cluster: result for request %d, expected %d", m.req, req)
+			switch typ {
+			case msgKSResult:
+				m, err := decodeKSResult(payload, lk.params.N())
+				if err != nil {
+					return nil, err
+				}
+				if m.req != req {
+					return nil, fmt.Errorf("cluster: result for request %d, expected %d", m.req, req)
+				}
+				return &m, nil
+			case msgKeyGone:
+				r, id, err := decodeKeyGone(payload)
+				if err != nil {
+					return nil, err
+				}
+				if r != req {
+					return nil, fmt.Errorf("cluster: keyGone frame for request %d, expected %d", r, req)
+				}
+				if id != begin.keyID {
+					return nil, fmt.Errorf("cluster: keyGone for key %d, keyswitch uses %d", id, begin.keyID)
+				}
+				if repushed {
+					return nil, &remoteError{msg: fmt.Sprintf("worker dropped key %d immediately after re-push (budget too small for one key?)", id)}
+				}
+				repushed = true
+				delete(lk.pushed, id)
+				lk.stats.KeyRepushes.Add(1)
+				break await
+			case msgError:
+				r, msg, err := decodeError(payload)
+				if err != nil {
+					return nil, err
+				}
+				if r != req {
+					return nil, fmt.Errorf("cluster: error frame for request %d, expected %d", r, req)
+				}
+				return nil, &remoteError{msg: msg}
+			case msgPong:
+				continue // stale heartbeat reply; ignore
+			default:
+				return nil, fmt.Errorf("cluster: unexpected frame %#x awaiting result", typ)
 			}
-			return &m, nil
-		case msgError:
-			r, msg, err := decodeError(payload)
-			if err != nil {
-				return nil, err
-			}
-			if r != req {
-				return nil, fmt.Errorf("cluster: error frame for request %d, expected %d", r, req)
-			}
-			return nil, &remoteError{msg: msg}
-		case msgPong:
-			continue // stale heartbeat reply; ignore
-		default:
-			return nil, fmt.Errorf("cluster: unexpected frame %#x awaiting result", typ)
 		}
 	}
 }

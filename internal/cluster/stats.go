@@ -19,6 +19,8 @@ type Stats struct {
 	LimbsMoved   atomic.Int64 // limbs that crossed a chip boundary (paper units)
 
 	KeyPushes      atomic.Int64 // evaluation keys shipped to workers
+	KeyEvicts      atomic.Int64 // keys invalidated on workers after a coordinator eviction
+	KeyRepushes    atomic.Int64 // keys re-pushed after a worker reported it no longer held one
 	Reconnects     atomic.Int64 // worker sessions re-established after loss
 	LocalFallbacks atomic.Int64 // collectives degraded to single-process execution
 	Heartbeats     atomic.Int64 // ping/pong round trips
@@ -40,6 +42,8 @@ type Snapshot struct {
 	LimbsMoved   int64 `json:"limbs_moved"`
 
 	KeyPushes      int64 `json:"key_pushes"`
+	KeyEvicts      int64 `json:"key_evicts"`
+	KeyRepushes    int64 `json:"key_repushes"`
 	Reconnects     int64 `json:"reconnects"`
 	LocalFallbacks int64 `json:"local_fallbacks"`
 	Heartbeats     int64 `json:"heartbeats"`
@@ -60,6 +64,8 @@ func (s *Stats) snapshot() Snapshot {
 		Aggregations:      s.Aggregations.Load(),
 		LimbsMoved:        s.LimbsMoved.Load(),
 		KeyPushes:         s.KeyPushes.Load(),
+		KeyEvicts:         s.KeyEvicts.Load(),
+		KeyRepushes:       s.KeyRepushes.Load(),
 		Reconnects:        s.Reconnects.Load(),
 		LocalFallbacks:    s.LocalFallbacks.Load(),
 		Heartbeats:        s.Heartbeats.Load(),

@@ -85,6 +85,8 @@ const (
 	msgPing     byte = 0x08 // heartbeat
 	msgPong     byte = 0x09
 	msgError    byte = 0x0a // worker → coordinator: request-scoped failure
+	msgKeyEvict byte = 0x0b // coordinator → worker: drop a pushed key
+	msgKeyGone  byte = 0x0c // worker → coordinator: key not resident (evict ack, or re-push request mid-keyswitch)
 )
 
 // Keyswitch algorithms on the wire.
@@ -421,6 +423,33 @@ func decodeKeyAck(p []byte) (uint64, error) {
 	c := cursor{b: p}
 	id := c.u64()
 	return id, c.done()
+}
+
+// --- keyEvict / keyGone ---
+
+// A key eviction is a round trip: the coordinator announces the id, the
+// worker drops the key and acknowledges with keyGone (req 0). The same
+// keyGone frame, carrying a request id, is the worker's in-band answer to
+// a keyswitch whose key it no longer holds — a budget eviction on the
+// worker side, which the coordinator heals by re-pushing on the same
+// session, unlike msgError which is deterministic and never retried.
+func encodeKeyEvict(id uint64) []byte { return appendU64(nil, id) }
+
+func decodeKeyEvict(p []byte) (uint64, error) {
+	c := cursor{b: p}
+	id := c.u64()
+	return id, c.done()
+}
+
+func encodeKeyGone(req, id uint64) []byte {
+	return appendU64(appendU64(nil, req), id)
+}
+
+func decodeKeyGone(p []byte) (req, id uint64, err error) {
+	c := cursor{b: p}
+	req = c.u64()
+	id = c.u64()
+	return req, id, c.done()
 }
 
 // writerBuf/readerBuf adapt the ckks marshal API (io.Writer/io.Reader) to

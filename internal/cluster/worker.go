@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"container/list"
 	"errors"
 	"fmt"
 	"io"
@@ -30,6 +31,15 @@ type Worker struct {
 	// defaultPartialFrameTimeout; sessions may still idle indefinitely
 	// between frames.
 	PartialFrameTimeout time.Duration
+
+	// KeyBudgetBytes caps the bytes of pushed evaluation keys a session
+	// keeps resident (wire-encoding length as the cost proxy; 0 =
+	// unbounded, the historical always-grow behavior). Over budget, the
+	// least-recently-used keys are dropped silently; a keyswitch naming a
+	// dropped key gets a keyGone answer and the coordinator re-pushes on
+	// the same session. The most recent key never drops, so a single key
+	// larger than the whole budget still serves.
+	KeyBudgetBytes int64
 }
 
 const defaultPartialFrameTimeout = 30 * time.Second
@@ -45,8 +55,56 @@ type session struct {
 	w    *Worker
 	eng  *keyswitch.Engine
 	chip int
-	keys map[uint64]*ckks.EvalKey
 	bw   *bufio.Writer
+
+	// The key store is an LRU over the session's pushed keys, budgeted by
+	// Worker.KeyBudgetBytes (unbounded when 0).
+	keys     map[uint64]*workerKey
+	keyLRU   *list.List // *workerKey, most recently used first
+	keyBytes int64
+}
+
+// workerKey is one resident evaluation key with its LRU bookkeeping.
+type workerKey struct {
+	id   uint64
+	key  *ckks.EvalKey
+	size int64 // wire-encoding bytes, the residency cost proxy
+	elem *list.Element
+}
+
+// key returns a resident key, refreshing its LRU position.
+func (s *session) key(id uint64) (*ckks.EvalKey, bool) {
+	wk, ok := s.keys[id]
+	if !ok {
+		return nil, false
+	}
+	s.keyLRU.MoveToFront(wk.elem)
+	return wk.key, true
+}
+
+// setKey installs a pushed key and evicts least-recently-used others until
+// the store fits the budget. The just-pushed key is exempt — evicting it
+// would make the coordinator's push/keyswitch sequence livelock.
+func (s *session) setKey(id uint64, key *ckks.EvalKey, size int64) {
+	if old, ok := s.keys[id]; ok {
+		s.keyLRU.Remove(old.elem)
+		s.keyBytes -= old.size
+	}
+	wk := &workerKey{id: id, key: key, size: size}
+	wk.elem = s.keyLRU.PushFront(wk)
+	s.keys[id] = wk
+	s.keyBytes += size
+	if budget := s.w.KeyBudgetBytes; budget > 0 {
+		for s.keyBytes > budget && s.keyLRU.Len() > 1 {
+			s.dropKey(s.keyLRU.Back().Value.(*workerKey))
+		}
+	}
+}
+
+func (s *session) dropKey(wk *workerKey) {
+	s.keyLRU.Remove(wk.elem)
+	delete(s.keys, wk.id)
+	s.keyBytes -= wk.size
 }
 
 // pendingKS is one in-flight keyswitch request. Limb frames absorb into it
@@ -57,6 +115,7 @@ type session struct {
 type pendingKS struct {
 	req    uint64
 	alg    byte
+	keyID  uint64
 	key    *ckks.EvalKey
 	level  int
 	frames int
@@ -65,6 +124,10 @@ type pendingKS struct {
 	ib      *keyswitch.ChipIB
 	scatter [][]uint64 // OA: the chip's digit-set limbs, in OAMine order
 	err     error
+	// keyGone marks the one recoverable rejection — the key was evicted
+	// under the session budget — answered with msgKeyGone instead of
+	// msgError so the coordinator re-pushes rather than failing the RPC.
+	keyGone bool
 }
 
 // Serve runs one coordinator session until the peer disconnects. A clean
@@ -78,7 +141,7 @@ func (w *Worker) Serve(conn net.Conn) error {
 		partial = defaultPartialFrameTimeout
 	}
 	br := bufio.NewReaderSize(conn, 1<<16)
-	s := &session{w: w, keys: map[uint64]*ckks.EvalKey{}, bw: bufio.NewWriterSize(conn, 1<<16)}
+	s := &session{w: w, keys: map[uint64]*workerKey{}, keyLRU: list.New(), bw: bufio.NewWriterSize(conn, 1<<16)}
 
 	typ, payload, err := ReadFrameTimeout(conn, br, partial)
 	if err != nil {
@@ -128,8 +191,19 @@ func (w *Worker) Serve(conn net.Conn) error {
 			if err != nil {
 				return fmt.Errorf("cluster: decoding key push: %w", err)
 			}
-			s.keys[id] = key
+			s.setKey(id, key, int64(len(payload)))
 			if err := s.send(msgKeyAck, encodeKeyAck(id)); err != nil {
+				return err
+			}
+		case msgKeyEvict:
+			id, err := decodeKeyEvict(payload)
+			if err != nil {
+				return fmt.Errorf("cluster: decoding key evict: %w", err)
+			}
+			if wk, ok := s.keys[id]; ok {
+				s.dropKey(wk)
+			}
+			if err := s.send(msgKeyGone, encodeKeyGone(0, id)); err != nil {
 				return err
 			}
 		case msgKSBegin:
@@ -180,10 +254,11 @@ func (s *session) send(typ byte, payload []byte) error {
 // frames are still consumed (the coordinator has announced them) before
 // the error goes back.
 func (s *session) begin(m ksBeginMsg) *pendingKS {
-	p := &pendingKS{req: m.req, alg: m.alg, level: int(m.level), frames: int(m.frames)}
-	key, ok := s.keys[m.keyID]
+	p := &pendingKS{req: m.req, alg: m.alg, keyID: m.keyID, level: int(m.level), frames: int(m.frames)}
+	key, ok := s.key(m.keyID)
 	if !ok {
 		p.err = fmt.Errorf("unknown key id %d (coordinator must push it first)", m.keyID)
+		p.keyGone = true
 		return p
 	}
 	p.key = key
@@ -322,6 +397,9 @@ func (s *session) finish(p *pendingKS) error {
 			r.PutPoly(down1)
 			return err
 		}
+	}
+	if p.keyGone {
+		return s.send(msgKeyGone, encodeKeyGone(p.req, p.keyID))
 	}
 	return s.send(msgError, encodeError(p.req, p.err.Error()))
 }

@@ -151,11 +151,13 @@ func (s *backendSet) noteSuccess(b *backend) {
 
 // recoveryLoop is the background path back to eligibility for a backend
 // that failed: it re-runs the worker handshakes (EnsureKeys dials dropped
-// links) and re-pushes every registered tenant's evaluation keys — the
-// content-addressed push skips keys the current sessions already hold —
-// then closes the breaker, so the first request after recovery pays
-// neither handshake nor key-transfer latency. Probes back off
-// exponentially with jitter while a backend stays dead.
+// links) and re-pushes the *resident* tenants' evaluation keys — the
+// cache's working set, not the whole key population; spilled tenants
+// re-push lazily on next use and the content-addressed push skips keys
+// the current sessions already hold — then closes the breaker, so the
+// first request after recovery pays neither handshake nor key-transfer
+// latency for the hot set. Probes back off exponentially with jitter
+// while a backend stays dead.
 func (s *backendSet) recoveryLoop() {
 	defer close(s.done)
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
@@ -183,7 +185,7 @@ func (s *backendSet) recoveryLoop() {
 			if !next[i].IsZero() && time.Now().Before(next[i]) {
 				continue
 			}
-			err := b.eng.EnsureKeys(s.reg.AllTenantKeys()...)
+			err := b.eng.EnsureKeys(s.reg.ResidentKeys()...)
 			if err == nil && b.eng.Healthy() {
 				b.warmedReconnects.Store(reconnects)
 				b.brk.Success()

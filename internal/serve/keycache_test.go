@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/cmplx"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"cinnamon/internal/ckks"
+	"cinnamon/internal/workloads"
+)
+
+// TestKeyStoreRoundtrip exercises the content-addressed spill store on raw
+// bundle bytes: save/load identity, dedup on re-save, and corruption
+// detection through both the frame CRC and the content hash.
+func TestKeyStoreRoundtrip(t *testing.T) {
+	store, err := newKeyStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := make([]byte, 1<<16)
+	for i := range bundle {
+		bundle[i] = byte(i * 31)
+	}
+	hash := bundleHash(bundle)
+	if err := store.Save(hash, bundle); err != nil {
+		t.Fatal(err)
+	}
+	// Re-saving the same content is a stat, not a write: mutate the file's
+	// mtime marker by re-saving and confirm the content is untouched.
+	if err := store.Save(hash, bundle); err != nil {
+		t.Fatalf("idempotent save: %v", err)
+	}
+	got, err := store.Load(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bundle) {
+		t.Fatalf("roundtrip mismatch: %d bytes in, %d out", len(bundle), len(got))
+	}
+
+	// An empty bundle still roundtrips (one empty chunk).
+	empty := bundleHash(nil)
+	if err := store.Save(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.Load(empty); err != nil || len(got) != 0 {
+		t.Fatalf("empty bundle: %d bytes, %v", len(got), err)
+	}
+
+	// Flip one byte mid-file: the frame CRC (or, if the flip lands in
+	// framing, the parser) must reject the load.
+	raw, err := os.ReadFile(store.path(hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(store.path(hash), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(hash); err == nil {
+		t.Fatal("corrupted spill file loaded without error")
+	}
+
+	// Loading an address that was never saved fails cleanly.
+	if _, err := store.Load(bundleHash([]byte("absent"))); err == nil {
+		t.Fatal("load of unknown hash succeeded")
+	}
+}
+
+// genTenantKeys makes an independent single-key bundle (its own secret key,
+// so its serialized image — and content address — differs per call).
+func genTenantKeys(t testing.TB, params *ckks.Parameters) map[string]*ckks.EvalKey {
+	t.Helper()
+	kg := ckks.NewKeyGenerator(params)
+	sk, err := kg.GenSecretKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlk, err := kg.GenRelinKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*ckks.EvalKey{"rlk": rlk}
+}
+
+func bundleSize(t testing.TB, keys map[string]*ckks.EvalKey) int64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteKeyBundle(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	return int64(buf.Len())
+}
+
+// TestKeyCacheEvictionAndReload drives the LRU directly: with a budget
+// admitting one bundle, registration of a second tenant evicts the first,
+// a blocking get reloads it from spill, metadata stays resident for
+// spilled tenants, and prefetch warms a cold tenant asynchronously.
+func TestKeyCacheEvictionAndReload(t *testing.T) {
+	reg := testEnv(t)
+	params := reg.Params
+	store, err := newKeyStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA := genTenantKeys(t, params)
+	kB := genTenantKeys(t, params)
+	size := bundleSize(t, kA)
+	c := newKeyCache(params, size+size/2, store)
+
+	var evictedIDs []string
+	c.onEvict = func(id string, keys map[string]*ckks.EvalKey) {
+		evictedIDs = append(evictedIDs, id)
+		if keys["rlk"] == nil {
+			t.Errorf("evict hook for %s got nil key map", id)
+		}
+	}
+
+	if err := c.register("a", kA); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.register("b", kB); err != nil {
+		t.Fatal(err)
+	}
+	if len(evictedIDs) != 1 || evictedIDs[0] != "a" {
+		t.Fatalf("evicted %v, want [a]", evictedIDs)
+	}
+	s := c.stats()
+	if s.ResidentTenants != 1 || s.SpilledTenants != 1 {
+		t.Fatalf("resident/spilled = %d/%d, want 1/1", s.ResidentTenants, s.SpilledTenants)
+	}
+	if s.ResidentBytes > s.BudgetBytes {
+		t.Fatalf("resident %d bytes exceeds budget %d", s.ResidentBytes, s.BudgetBytes)
+	}
+
+	// Spilled tenants keep their key-name metadata (admission validates
+	// against this without touching disk).
+	names, ok := c.keyNames("a")
+	if !ok || !names["rlk"] {
+		t.Fatalf("keyNames(a) = %v, %v", names, ok)
+	}
+
+	// Blocking reload: get on the evicted tenant comes back from spill and
+	// decodes to a usable key; tenant b rotates out.
+	keys, ok := c.get("a")
+	if !ok || keys["rlk"] == nil {
+		t.Fatal("get(a) after eviction failed")
+	}
+	s = c.stats()
+	if s.Misses == 0 || s.ColdMissStalls == 0 {
+		t.Fatalf("cold reload not counted: misses=%d stalls=%d", s.Misses, s.ColdMissStalls)
+	}
+	if s.ResidentBytes > s.BudgetBytes {
+		t.Fatalf("resident %d bytes exceeds budget %d after reload", s.ResidentBytes, s.BudgetBytes)
+	}
+
+	// Prefetch warms tenant b off the calling goroutine; once it lands, the
+	// next get is a hit (no new stall).
+	c.prefetch("b")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s = c.stats(); s.PrefetchFires > 0 {
+			if _, busy := func() (chan struct{}, bool) {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				ch, b := c.inflight["b"]
+				return ch, b
+			}(); !busy {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prefetch never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stallsBefore := c.stats().ColdMissStalls
+	if keys, ok := c.get("b"); !ok || keys["rlk"] == nil {
+		t.Fatal("get(b) after prefetch failed")
+	}
+	if got := c.stats().ColdMissStalls; got != stallsBefore {
+		t.Fatalf("prefetched get stalled anyway (%d -> %d)", stallsBefore, got)
+	}
+
+	// get on a never-registered tenant is the only false return.
+	if _, ok := c.get("nobody"); ok {
+		t.Fatal("get of unregistered tenant succeeded")
+	}
+}
+
+// TestKeyCacheEvictionConcurrentSubmit is the -race workhorse: more
+// tenants than the budget admits, all submitting concurrently, so every
+// request races registration-order evictions and spill reloads. An
+// in-flight batch whose tenant was evicted mid-flight must complete from
+// the spill store — ErrUnknownTenant (or any error) is a failure. Outputs
+// are verified against each tenant's own homomorphic reference afterwards.
+func TestKeyCacheEvictionConcurrentSubmit(t *testing.T) {
+	testEnv(t) // reuse the fixture's compiled literal
+	lit := env.lit
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nTenants = 3
+	type tenantCrypto struct {
+		keys map[string]*ckks.EvalKey
+		enc  *ckks.Encoder
+		encr *ckks.Encryptor
+		decr *ckks.Decryptor
+		ev   *ckks.Evaluator
+	}
+	tcs := make([]*tenantCrypto, nTenants)
+	kg := ckks.NewKeyGenerator(params)
+	for i := range tcs {
+		sk, err := kg.GenSecretKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk, err := kg.GenPublicKey(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rlk, err := kg.GenRelinKey(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcs[i] = &tenantCrypto{
+			keys: map[string]*ckks.EvalKey{"rlk": rlk},
+			enc:  ckks.NewEncoder(params),
+			encr: ckks.NewEncryptor(params, pk),
+			decr: ckks.NewDecryptor(params, sk),
+			ev:   ckks.NewEvaluator(params, rlk, nil),
+		}
+	}
+
+	// Budget for 1.5 bundles: exactly one tenant resident at a time, so
+	// every cross-tenant batch transition is an eviction + reload.
+	size := bundleSize(t, tcs[0].keys)
+	reg, err := NewRegistry(RegistryConfig{
+		Literal:        lit,
+		MaxBatch:       4,
+		KeyBudgetBytes: size + size/2,
+		KeySpillDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tc := range tcs {
+		if err := reg.RegisterTenant(fmt.Sprintf("kc-%d", i), tc.keys); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	core := NewCore(reg, Config{MaxBatch: 2, BatchWait: time.Millisecond, Workers: 2})
+	defer core.Close(context.Background())
+
+	const perTenant = 6
+	type outcome struct {
+		tenant int
+		in     *ckks.Ciphertext
+		out    *ckks.Ciphertext
+	}
+	outs := make([]outcome, nTenants*perTenant)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(outs))
+	for ti := range tcs {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			tc := tcs[ti]
+			for r := 0; r < perTenant; r++ {
+				v := make([]complex128, params.Slots())
+				for i := range v {
+					v[i] = complex(float64((i+r+ti)%5)/5-0.4, 0)
+				}
+				pt, err := tc.enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+				if err != nil {
+					errs <- err
+					return
+				}
+				ct, err := tc.encr.Encrypt(pt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				out, err := core.Submit(context.Background(), "square", fmt.Sprintf("kc-%d", ti), ct)
+				if err != nil {
+					if errors.Is(err, ErrUnknownTenant) {
+						errs <- fmt.Errorf("tenant kc-%d became unknown mid-run (eviction leaked into correctness): %w", ti, err)
+					} else {
+						errs <- fmt.Errorf("tenant kc-%d: %w", ti, err)
+					}
+					return
+				}
+				outs[ti*perTenant+r] = outcome{tenant: ti, in: ct, out: out}
+			}
+		}(ti)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Serial verification pass (encoders/evaluators are stateful): every
+	// response must match the tenant's own homomorphic reference — a batch
+	// served with the wrong tenant's reloaded keys decrypts to noise.
+	spec, ok := workloads.ServeWorkloadByName("square")
+	if !ok {
+		t.Fatal("no square workload")
+	}
+	for _, oc := range outs {
+		if oc.out == nil {
+			continue
+		}
+		tc := tcs[oc.tenant]
+		ref, err := spec.Reference(tc.ev, tc.enc, oc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := decodeTenant(t, params, tc.decr, tc.enc, ref)
+		got := decodeTenant(t, params, tc.decr, tc.enc, oc.out)
+		worst := 0.0
+		for i := range got {
+			if e := cmplx.Abs(got[i] - want[i]); e > worst {
+				worst = e
+			}
+		}
+		if worst > 1e-2 {
+			t.Fatalf("tenant kc-%d: slot error %.2e vs own reference — served with wrong keys?", oc.tenant, worst)
+		}
+	}
+
+	s := reg.KeyCacheStats()
+	if s.Evictions == 0 {
+		t.Fatalf("no evictions with %d tenants over a 1.5-bundle budget: %+v", nTenants, s)
+	}
+	if s.ResidentBytes > s.BudgetBytes {
+		t.Fatalf("resident %d bytes exceeds budget %d", s.ResidentBytes, s.BudgetBytes)
+	}
+	if s.Misses == 0 && s.PrefetchFires == 0 {
+		t.Fatalf("churn run recorded neither misses nor prefetches: %+v", s)
+	}
+}
+
+// decodeTenant decrypts and decodes with one tenant's own key material.
+func decodeTenant(t testing.TB, params *ckks.Parameters, decr *ckks.Decryptor, enc *ckks.Encoder, ct *ckks.Ciphertext) []complex128 {
+	t.Helper()
+	pt, err := decr.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := enc.Decode(pt, params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cinnamon/internal/cluster"
+)
+
+// The spill store holds evicted tenant key bundles on disk, content-
+// addressed by the SHA-256 of their serialized bundle image (WriteKeyBundle
+// sorts key names, so the image — and therefore the address — is a pure
+// function of the key material). Two tenants registering identical bundles
+// share one file.
+//
+// A spill file is a sequence of wire-v2 CRC-framed records (the cluster
+// codec: [u32 length][u8 type][payload][u32 crc32c]), so torn writes and
+// bit rot are detected on load exactly like corruption on the cluster
+// wire. Record types are disjoint from both the cluster's 0x01–0x0c range
+// and the session log's 0x81–0x83:
+//
+//	spillHeader (0x91): u64 total bundle length, u32 chunk count
+//	spillChunk  (0x92): raw bundle bytes, ≤ spillChunkSize per frame
+//
+// Bundles are chunked because a frame caps at 64 MiB while a wide rotation
+// key set can exceed it.
+const (
+	spillHeader byte = 0x91
+	spillChunk  byte = 0x92
+
+	// spillChunkSize keeps each chunk frame well under the codec's 64 MiB
+	// maxFrame.
+	spillChunkSize = 32 << 20
+)
+
+// keyStore is the content-addressed on-disk spill store.
+type keyStore struct {
+	dir string
+}
+
+func newKeyStore(dir string) (*keyStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: key spill dir: %w", err)
+	}
+	return &keyStore{dir: dir}, nil
+}
+
+// bundleHash is the content address of a serialized key bundle.
+func bundleHash(bundle []byte) string {
+	sum := sha256.Sum256(bundle)
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *keyStore) path(hash string) string {
+	return filepath.Join(s.dir, hash+".keys")
+}
+
+// Save writes the bundle under its content hash, once: a bundle already on
+// disk (same tenant re-registering, or another tenant with identical keys)
+// costs a stat, not a write. The file lands via rename from a temp file in
+// the same directory so a crash mid-write never leaves a partial file at
+// the content address.
+func (s *keyStore) Save(hash string, bundle []byte) error {
+	dst := s.path(hash)
+	if _, err := os.Stat(dst); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "spill-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	nChunks := (len(bundle) + spillChunkSize - 1) / spillChunkSize
+	if nChunks == 0 {
+		nChunks = 1 // an empty bundle still writes one (empty) chunk
+	}
+	var hdr []byte
+	hdr = appendU64le(hdr, uint64(len(bundle)))
+	hdr = appendU32le(hdr, uint32(nChunks))
+	if err := cluster.WriteFrame(tmp, spillHeader, hdr); err != nil {
+		tmp.Close()
+		return err
+	}
+	for i := 0; i < nChunks; i++ {
+		lo := i * spillChunkSize
+		hi := lo + spillChunkSize
+		if hi > len(bundle) {
+			hi = len(bundle)
+		}
+		if err := cluster.WriteFrame(tmp, spillChunk, bundle[lo:hi]); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), dst)
+}
+
+// Load reads a spilled bundle back, verifying every frame CRC and the
+// announced total length. The returned bytes are the exact WriteKeyBundle
+// image that was saved.
+func (s *keyStore) Load(hash string) ([]byte, error) {
+	f, err := os.Open(s.path(hash))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	typ, payload, err := cluster.ReadFrame(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: spill %s: header: %w", hash[:12], err)
+	}
+	if typ != spillHeader || len(payload) != 12 {
+		return nil, fmt.Errorf("serve: spill %s: bad header frame (type %#x, %d bytes)", hash[:12], typ, len(payload))
+	}
+	total := int(u64le(payload))
+	nChunks := int(u32le(payload[8:]))
+	if total < 0 || nChunks < 1 || nChunks > (total/spillChunkSize)+1 {
+		return nil, fmt.Errorf("serve: spill %s: implausible header (%d bytes, %d chunks)", hash[:12], total, nChunks)
+	}
+	bundle := make([]byte, 0, total)
+	for i := 0; i < nChunks; i++ {
+		typ, payload, err = cluster.ReadFrame(f)
+		if err != nil {
+			return nil, fmt.Errorf("serve: spill %s: chunk %d: %w", hash[:12], i, err)
+		}
+		if typ != spillChunk {
+			return nil, fmt.Errorf("serve: spill %s: chunk %d has type %#x", hash[:12], i, typ)
+		}
+		bundle = append(bundle, payload...)
+	}
+	if len(bundle) != total {
+		return nil, fmt.Errorf("serve: spill %s: %d bytes reassembled, header says %d", hash[:12], len(bundle), total)
+	}
+	// The address is the proof: a store that returns bytes not hashing to
+	// the requested address has been corrupted in a way the per-frame CRCs
+	// missed (or tampered with), and must not be deserialized.
+	if got := bundleHash(bundle); got != hash {
+		return nil, fmt.Errorf("serve: spill %s: content hash mismatch (%s)", hash[:12], got[:12])
+	}
+	return bundle, nil
+}
+
+func appendU32le(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64le(b []byte, v uint64) []byte {
+	return appendU32le(appendU32le(b, uint32(v)), uint32(v>>32))
+}
+
+func u32le(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func u64le(b []byte) uint64 {
+	return uint64(u32le(b)) | uint64(u32le(b[4:]))<<32
+}

@@ -75,10 +75,12 @@ type Metrics struct {
 	// clusterSource, when set, supplies the cluster transport counters for
 	// Snapshot (set by NewCore when cluster mode is on); circuitSource
 	// supplies the primary breaker's state and open count; backendsSource
-	// enumerates every backend with its own circuit and transport view.
+	// enumerates every backend with its own circuit and transport view;
+	// keyCacheSource snapshots the budgeted tenant-key tier.
 	clusterSource  func() *cluster.Snapshot
 	circuitSource  func() (state string, opens int64)
 	backendsSource func() []BackendSnapshot
+	keyCacheSource func() KeyCacheStats
 }
 
 func newMetrics(programNames []string) *Metrics {
@@ -141,6 +143,13 @@ type Snapshot struct {
 	// at boot, and failed checkpoint appends since.
 	SessionRestores  int64 `json:"session_restores_total"`
 	SessionLogErrors int64 `json:"session_log_errors,omitempty"`
+
+	// KeyCache reports the budgeted tenant-key tier: resident/spilled
+	// tenant counts, resident bytes vs budget, hit/miss/eviction counters,
+	// prefetch fires and cold-miss stalls with their latency quantiles.
+	// Worker-side re-pushes after an eviction appear in the cluster
+	// transport counters (key_evicts / key_repushes).
+	KeyCache *KeyCacheStats `json:"key_cache,omitempty"`
 }
 
 // ObserveBootstrapBatch records one batcher tick.
@@ -182,6 +191,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if m.backendsSource != nil {
 		s.Backends = m.backendsSource()
+	}
+	if m.keyCacheSource != nil {
+		kc := m.keyCacheSource()
+		s.KeyCache = &kc
 	}
 	s.Failovers = m.Failovers.Load()
 	s.SessionRestores = m.SessionRestores.Load()

@@ -302,7 +302,24 @@ func NewDurableCore(reg *Registry, cfg Config) (*Core, error) {
 			return p.brk.State(), p.brk.Opens()
 		}
 		c.met.backendsSource = c.backends.snapshots
+		// A coordinator-side eviction invalidates worker residency on every
+		// backend (best-effort, off the serving path): workers then drop
+		// the key and the next keyswitch lazily re-pushes it.
+		reg.evictHook = func(keys map[string]*ckks.EvalKey) {
+			evs := make([]*ckks.EvalKey, 0, len(keys))
+			for _, k := range keys {
+				if k != nil {
+					evs = append(evs, k)
+				}
+			}
+			go func() {
+				for _, b := range c.backends.all {
+					b.eng.EvictKeys(evs...)
+				}
+			}()
+		}
 	}
+	c.met.keyCacheSource = reg.KeyCacheStats
 	if reg.Pre != nil {
 		c.boot = sched.NewBatcher(cfg.BootstrapBatch, cfg.BootstrapWait)
 		c.boot.OnBatch = c.met.ObserveBootstrapBatch
@@ -349,6 +366,11 @@ type Health struct {
 	Backends  []BackendHealth `json:"backends,omitempty"`
 	Failovers int64           `json:"failovers_total,omitempty"`
 
+	// KeyCache summarizes the budgeted tenant-key tier: resident vs
+	// spilled tenants, resident bytes against the budget, and the
+	// hit/miss/eviction/prefetch counters.
+	KeyCache *KeyCacheStats `json:"key_cache,omitempty"`
+
 	// Bootstrap reports the refresh service: enabled, the level circuits
 	// resume at after a refresh, and the live encrypted-session count.
 	Bootstrap          bool `json:"bootstrap"`
@@ -393,6 +415,8 @@ func (c *Core) Health() Health {
 		}
 	}
 	h.SessionsRestored = c.met.SessionRestores.Load()
+	kc := c.reg.KeyCacheStats()
+	h.KeyCache = &kc
 	if c.reg.Pre != nil {
 		h.Bootstrap = true
 		h.BootstrapExitLevel = c.reg.Pre.ExitLevel()
@@ -422,11 +446,15 @@ func (c *Core) Submit(ctx context.Context, program, tenant string, ct *ckks.Ciph
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownProgram, program)
 	}
-	keys, ok := c.reg.TenantKeys(tenant)
+	// Admission validates against the tenant's always-resident key-name
+	// metadata — never the decoded keys — so a spilled tenant does not
+	// block Submit; the async prefetch below warms the decoded map so it
+	// is resident by the time the batch reaches the worker pool.
+	names, ok := c.reg.TenantKeyNames(tenant)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
 	}
-	if missing := prog.MissingKeys(keys); len(missing) > 0 {
+	if missing := prog.MissingKeyNames(names); len(missing) > 0 {
 		return nil, fmt.Errorf("%w: %v", ErrMissingKeys, missing)
 	}
 	if ct.Level() != prog.InLevel {
@@ -436,6 +464,7 @@ func (c *Core) Submit(ctx context.Context, program, tenant string, ct *ckks.Ciph
 	if math.Abs(ct.Scale-def) > 1e-6*def {
 		return nil, fmt.Errorf("%w: ciphertext scale %g, program expects %g", ErrBadRequest, ct.Scale, def)
 	}
+	c.reg.PrefetchTenant(tenant)
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
@@ -455,6 +484,12 @@ func (c *Core) Submit(ctx context.Context, program, tenant string, ct *ckks.Ciph
 		c.deepWG.Add(1)
 		c.stateMu.RUnlock()
 		defer c.deepWG.Done()
+		// The deep path executes on this goroutine, so a cold tenant's
+		// reload stalls only this request.
+		keys, ok := c.reg.TenantKeys(tenant)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+		}
 		return c.runDeep(ctx, prog, tenant, keys, ct)
 	}
 	r := &request{ctx: ctx, ct: ct, resp: make(chan result, 1), enq: time.Now()}

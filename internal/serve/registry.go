@@ -20,6 +20,7 @@ package serve
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
@@ -55,6 +56,17 @@ type RegistryConfig struct {
 	// secret (Literal.HammingWeight) and a chain deeper than the bootstrap
 	// circuit itself.
 	Bootstrap *bootstrap.Config
+	// KeyBudgetBytes caps the bytes of decoded tenant eval keys held
+	// resident (serialized-bundle length as the cost proxy). 0 means
+	// unbounded — every registered tenant stays resident forever, the
+	// pre-budget behavior. With a budget, registrations write through to a
+	// content-addressed spill store and least-recently-used tenants are
+	// evicted to it; accesses reload transparently.
+	KeyBudgetBytes int64
+	// KeySpillDir is where evicted key bundles live. Empty with a budget
+	// set means a fresh temp directory (keys are then lost on restart,
+	// like the in-memory registry before it — clients re-register).
+	KeySpillDir string
 }
 
 // Variant is one compiled batch size of a program: Batch independent
@@ -143,8 +155,15 @@ type Registry struct {
 	// bootstrapping is disabled).
 	Pre *bootstrap.Precomp
 
-	mu      sync.RWMutex
-	tenants map[string]map[string]*ckks.EvalKey
+	// keys is the budgeted tenant-key tier (keycache.go): always-resident
+	// per-tenant metadata over an LRU of decoded key maps, spilling to a
+	// content-addressed disk store when KeyBudgetBytes is set.
+	keys *keyCache
+
+	// evictHook, when set (NewDurableCore), is told about every decoded
+	// key map dropped by the cache so cluster backends can invalidate the
+	// corresponding worker-resident keys.
+	evictHook func(keys map[string]*ckks.EvalKey)
 
 	bsMu    sync.Mutex
 	bsCache map[string]*bootstrap.Bootstrapper
@@ -174,8 +193,30 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		Params:   params,
 		Literal:  cfg.Literal,
 		programs: map[string]*Program{},
-		tenants:  map[string]map[string]*ckks.EvalKey{},
 		bsCache:  map[string]*bootstrap.Bootstrapper{},
+	}
+	var store *keyStore
+	if cfg.KeyBudgetBytes > 0 {
+		dir := cfg.KeySpillDir
+		if dir == "" {
+			if dir, err = os.MkdirTemp("", "cinnamon-keyspill-"); err != nil {
+				return nil, fmt.Errorf("serve: key spill dir: %w", err)
+			}
+		}
+		if store, err = newKeyStore(dir); err != nil {
+			return nil, err
+		}
+	}
+	r.keys = newKeyCache(params, cfg.KeyBudgetBytes, store)
+	r.keys.onEvict = func(id string, keys map[string]*ckks.EvalKey) {
+		// An evicted tenant's bootstrapper would otherwise pin the decoded
+		// keys in memory behind the cache's back.
+		r.bsMu.Lock()
+		delete(r.bsCache, id)
+		r.bsMu.Unlock()
+		if r.evictHook != nil {
+			r.evictHook(keys)
+		}
 	}
 	// Freeze the execution schedules alongside the catalog: keyswitch
 	// plans for every level (digit ranges, base converters, batch NTT
@@ -244,7 +285,9 @@ func (r *Registry) ProgramNames() []string {
 }
 
 // RegisterTenant installs (or replaces) a tenant's evaluation keys. The
-// map is copied; callers keep ownership of theirs.
+// map is copied; callers keep ownership of theirs. With a key budget
+// configured the bundle also writes through to the spill store, and the
+// registration may evict colder tenants to fit.
 func (r *Registry) RegisterTenant(id string, keys map[string]*ckks.EvalKey) error {
 	if id == "" {
 		return fmt.Errorf("serve: empty tenant id")
@@ -253,9 +296,9 @@ func (r *Registry) RegisterTenant(id string, keys map[string]*ckks.EvalKey) erro
 	for k, v := range keys {
 		cp[k] = v
 	}
-	r.mu.Lock()
-	r.tenants[id] = cp
-	r.mu.Unlock()
+	if err := r.keys.register(id, cp); err != nil {
+		return err
+	}
 	// New key material invalidates the tenant's cached bootstrapper.
 	r.bsMu.Lock()
 	delete(r.bsCache, id)
@@ -306,33 +349,41 @@ func (r *Registry) BootstrapperFor(id string) (*bootstrap.Bootstrapper, error) {
 	return bs, nil
 }
 
-// AllTenantKeys returns every registered tenant's evaluation keys, deduped
-// by identity. Backend recovery uses it to re-push the full key population
-// to a rejoining cluster before the first request lands there (the push is
+// ResidentKeys returns the deduped evaluation keys of *resident* tenants.
+// Backend recovery re-pushes exactly this working set to a rejoining
+// cluster before the first request lands there (the push is
 // content-addressed and lazy, so keys a worker session already holds cost
-// nothing).
-func (r *Registry) AllTenantKeys() []*ckks.EvalKey {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	seen := map[*ckks.EvalKey]bool{}
-	var out []*ckks.EvalKey
-	for _, keys := range r.tenants {
-		for _, k := range keys {
-			if k != nil && !seen[k] {
-				seen[k] = true
-				out = append(out, k)
-			}
-		}
-	}
-	return out
+// nothing); spilled tenants re-push lazily on their next use instead of
+// materializing the whole key population.
+func (r *Registry) ResidentKeys() []*ckks.EvalKey {
+	return r.keys.residentKeys()
 }
 
 // TenantKeys returns the tenant's key map (read-only — do not mutate).
+// An evicted tenant reloads from the spill store here — a blocking cold
+// miss on the caller's goroutine, metered as a cold-miss stall — so ok is
+// false only for tenants that never registered.
 func (r *Registry) TenantKeys(id string) (map[string]*ckks.EvalKey, bool) {
-	r.mu.RLock()
-	keys, ok := r.tenants[id]
-	r.mu.RUnlock()
-	return keys, ok
+	return r.keys.get(id)
+}
+
+// TenantKeyNames returns the tenant's key-id set without loading or
+// touching the LRU: the admission path validates required keys against it
+// so cold tenants never block Submit itself.
+func (r *Registry) TenantKeyNames(id string) (map[string]bool, bool) {
+	return r.keys.keyNames(id)
+}
+
+// PrefetchTenant starts an async reload of an evicted tenant's keys; it is
+// fired at batch admission (Submit / session-step enqueue) so the keys are
+// warm by the time the batch reaches the worker pool.
+func (r *Registry) PrefetchTenant(id string) {
+	r.keys.prefetch(id)
+}
+
+// KeyCacheStats snapshots the key tier for /metrics and /healthz.
+func (r *Registry) KeyCacheStats() KeyCacheStats {
+	return r.keys.stats()
 }
 
 // MissingKeys reports which of the program's required keys the key set
@@ -341,6 +392,18 @@ func (p *Program) MissingKeys(keys map[string]*ckks.EvalKey) []string {
 	var missing []string
 	for _, id := range p.RequiredKeys {
 		if keys[id] == nil {
+			missing = append(missing, id)
+		}
+	}
+	return missing
+}
+
+// MissingKeyNames is MissingKeys against a key-id set — what admission
+// uses, so validating a spilled tenant needs no bundle load.
+func (p *Program) MissingKeyNames(names map[string]bool) []string {
+	var missing []string
+	for _, id := range p.RequiredKeys {
+		if !names[id] {
 			missing = append(missing, id)
 		}
 	}

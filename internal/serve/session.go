@@ -292,13 +292,16 @@ func (c *Core) CreateSession(tenant, program string) (SessionInfo, error) {
 	if !ok {
 		return SessionInfo{}, fmt.Errorf("%w: %q", ErrUnknownProgram, program)
 	}
-	keys, ok := c.reg.TenantKeys(tenant)
+	// Validate against the resident key-name metadata and warm the decoded
+	// keys asynchronously — the first step is imminent.
+	names, ok := c.reg.TenantKeyNames(tenant)
 	if !ok {
 		return SessionInfo{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
 	}
-	if missing := prog.MissingKeys(keys); len(missing) > 0 {
+	if missing := prog.MissingKeyNames(names); len(missing) > 0 {
 		return SessionInfo{}, fmt.Errorf("%w: %v", ErrMissingKeys, missing)
 	}
+	c.reg.PrefetchTenant(tenant)
 	id, err := newSessionID()
 	if err != nil {
 		return SessionInfo{}, fmt.Errorf("%w: session id: %v", ErrInternal, err)
@@ -338,6 +341,9 @@ func (c *Core) SessionStep(ctx context.Context, id string, ct *ckks.Ciphertext) 
 		c.met.Rejected.Add(1)
 		return nil, SessionInfo{}, fmt.Errorf("%w: admission queue full", ErrOverloaded)
 	}
+	// Step enqueue is a batch admission: start the key reload now so the
+	// blocking TenantKeys below finds the tenant resident.
+	c.reg.PrefetchTenant(sess.tenant)
 	c.stateMu.RLock()
 	if c.draining {
 		c.stateMu.RUnlock()
