@@ -339,12 +339,16 @@ func (e *Engine) EvictKeys(keys ...*ckks.EvalKey) {
 			lk.mu.Unlock()
 			continue // nothing resident on a dead session
 		}
-		lk.conn.SetDeadline(time.Now().Add(lk.opts.RPCTimeout))
 		for _, id := range ids {
 			if !lk.pushed[id] {
 				continue
 			}
 			delete(lk.pushed, id)
+			// One RPCTimeout per round trip, not one for the whole batch:
+			// a wide key set over a slow link must not turn a routine
+			// cache eviction into a dropped (healthy) worker session when
+			// a single shared deadline expires partway through.
+			lk.conn.SetDeadline(time.Now().Add(lk.opts.RPCTimeout))
 			if err := lk.evictKey(id); err != nil {
 				lk.drop()
 				break

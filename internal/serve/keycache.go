@@ -37,6 +37,12 @@ type keyCache struct {
 	lru      *list.List // resident entries, most-recent first; values are *tenantEntry
 	resident int64      // sum of resident entries' size
 
+	// hashRefs counts tenants (and in-flight registrations) referencing
+	// each spilled bundle hash; the file is deleted when the count drops
+	// to zero, so key rotation and tenant churn cannot grow the spill dir
+	// without bound. Only populated when store != nil.
+	hashRefs map[string]int
+
 	inflight map[string]chan struct{} // closed when a spill load completes
 
 	// onEvict fires (off-lock) for every evicted tenant with the decoded
@@ -49,7 +55,8 @@ type keyCache struct {
 	misses     atomic.Int64
 	evictions  atomic.Int64
 	prefetches atomic.Int64
-	stalls     atomic.Int64 // cold misses that blocked a caller
+	stalls     atomic.Int64 // cold misses that blocked a caller (successfully)
+	loadFails  atomic.Int64 // spill reloads that failed; the tenant is dropped
 	stallHist  Histogram
 }
 
@@ -60,6 +67,11 @@ type tenantEntry struct {
 	names map[string]bool // key-id set, for admission-time validation
 	keys  map[string]*ckks.EvalKey
 	elem  *list.Element // LRU position when resident, nil when spilled
+	// gen is the registration generation: bumped each time register
+	// replaces this tenant's entry, stable across spill/reload. Callers
+	// caching artifacts derived from the key material (the bootstrapper
+	// cache) compare generations to detect a concurrent re-register.
+	gen uint64
 }
 
 type evictedTenant struct {
@@ -74,6 +86,7 @@ func newKeyCache(params *ckks.Parameters, budget int64, store *keyStore) *keyCac
 		budget:   budget,
 		tenants:  map[string]*tenantEntry{},
 		lru:      list.New(),
+		hashRefs: map[string]int{},
 		inflight: map[string]chan struct{}{},
 	}
 }
@@ -92,17 +105,33 @@ func (c *keyCache) register(id string, keys map[string]*ckks.EvalKey) error {
 		}
 		e.size = int64(buf.Len())
 		e.hash = bundleHash(buf.Bytes())
+		// Reserve the content address before Save's existence check: a
+		// concurrent replace of the hash's last other referent could
+		// otherwise sweep the file between that check and the install
+		// below.
+		c.mu.Lock()
+		c.hashRefs[e.hash]++
+		c.mu.Unlock()
 		// Registration fails rather than admit a tenant whose keys could
 		// not spill: eviction would otherwise lose the only copy.
 		if err := c.store.Save(e.hash, buf.Bytes()); err != nil {
+			c.mu.Lock()
+			c.releaseHashLocked(e.hash)
+			c.mu.Unlock()
 			return fmt.Errorf("serve: spilling key bundle: %w", err)
 		}
 	}
 	c.mu.Lock()
-	if old, ok := c.tenants[id]; ok && old.elem != nil {
-		c.lru.Remove(old.elem)
-		old.elem = nil
-		c.resident -= old.size
+	if old, ok := c.tenants[id]; ok {
+		if old.elem != nil {
+			c.lru.Remove(old.elem)
+			old.elem = nil
+			c.resident -= old.size
+		}
+		// The superseded bundle's spill file is garbage once no other
+		// tenant references its hash.
+		c.releaseHashLocked(old.hash)
+		e.gen = old.gen + 1
 	}
 	c.tenants[id] = e
 	e.elem = c.lru.PushFront(e)
@@ -113,10 +142,25 @@ func (c *keyCache) register(id string, keys map[string]*ckks.EvalKey) error {
 	return nil
 }
 
+// releaseHashLocked drops one reference to a spilled bundle and deletes
+// the file when it was the last. The unlink happens under c.mu so it
+// cannot interleave with a concurrent register's reserve-then-Save of the
+// same content (the reservation would keep the count above zero).
+func (c *keyCache) releaseHashLocked(hash string) {
+	if c.store == nil || hash == "" {
+		return
+	}
+	if c.hashRefs[hash]--; c.hashRefs[hash] <= 0 {
+		delete(c.hashRefs, hash)
+		c.store.Remove(hash)
+	}
+}
+
 // get returns the tenant's decoded key map, blocking on a spill reload
 // when the tenant is registered but not resident. The bool is false only
-// for tenants that were never registered (or whose spill file is
-// unreadable — operationally the same answer: re-register).
+// for unknown tenants — never registered, or dropped because their spill
+// bundle could not be read back (completeLoad); either way the remedy is
+// the same: re-register.
 func (c *keyCache) get(id string) (map[string]*ckks.EvalKey, bool) {
 	c.mu.Lock()
 	e, ok := c.tenants[id]
@@ -134,9 +178,25 @@ func (c *keyCache) get(id string) (map[string]*ckks.EvalKey, bool) {
 	c.misses.Add(1)
 	start := time.Now()
 	keys, ok := c.loadLocked(id)
-	c.stalls.Add(1)
-	c.stallHist.Observe(time.Since(start))
+	// Failed loads are metered as loadFails, not stalls: a disk error is
+	// not a cold-miss latency sample and would skew the histogram.
+	if ok {
+		c.stalls.Add(1)
+		c.stallHist.Observe(time.Since(start))
+	}
 	return keys, ok
+}
+
+// generation reports the tenant's registration generation (see
+// tenantEntry.gen).
+func (c *keyCache) generation(id string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.tenants[id]
+	if !ok {
+		return 0, false
+	}
+	return e.gen, true
 }
 
 // names returns the tenant's key-id set without touching the LRU or
@@ -216,6 +276,17 @@ func (c *keyCache) completeLoad(id string, e *tenantEntry, ch chan struct{}, has
 	delete(c.inflight, id)
 	close(ch)
 	if err != nil {
+		// A tenant whose spill bundle cannot be read back is dropped
+		// outright: leaving its metadata behind would keep admission
+		// (keyNames) accepting requests that can never execute, failing
+		// each batch with a misleading "unknown tenant". Dropping makes
+		// admission and execution agree — the tenant is unknown,
+		// re-register — and releases the broken bundle's spill file.
+		if cur, ok := c.tenants[id]; ok && cur == e && cur.keys == nil {
+			delete(c.tenants, id)
+			c.releaseHashLocked(cur.hash)
+		}
+		c.loadFails.Add(1)
 		c.mu.Unlock()
 		return nil, false
 	}
@@ -299,6 +370,9 @@ type KeyCacheStats struct {
 	PrefetchFires   int64           `json:"prefetch_fires"`
 	ColdMissStalls  int64           `json:"cold_miss_stalls"`
 	ColdMissStallMs *LatencySummary `json:"cold_miss_stall_ms,omitempty"`
+	// SpillLoadFails counts spill reloads that failed (disk error,
+	// corruption); each one drops its tenant, who must re-register.
+	SpillLoadFails int64 `json:"spill_load_failures"`
 }
 
 func (c *keyCache) stats() KeyCacheStats {
@@ -315,6 +389,7 @@ func (c *keyCache) stats() KeyCacheStats {
 	s.Evictions = c.evictions.Load()
 	s.PrefetchFires = c.prefetches.Load()
 	s.ColdMissStalls = c.stalls.Load()
+	s.SpillLoadFails = c.loadFails.Load()
 	if s.ColdMissStalls > 0 {
 		sum := c.stallHist.Summary()
 		s.ColdMissStallMs = &sum

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"cinnamon/internal/bootstrap"
 	"cinnamon/internal/ckks"
 	"cinnamon/internal/workloads"
 )
@@ -73,8 +74,10 @@ func TestKeyStoreRoundtrip(t *testing.T) {
 	}
 }
 
-// genTenantKeys makes an independent single-key bundle (its own secret key,
-// so its serialized image — and content address — differs per call).
+// genTenantKeys makes an independent single-key bundle. Key generation is
+// deterministic per NewKeyGenerator, so two calls yield byte-identical
+// bundles (same content address); draw sequentially from one generator
+// when a test needs distinct material.
 func genTenantKeys(t testing.TB, params *ckks.Parameters) map[string]*ckks.EvalKey {
 	t.Helper()
 	kg := ckks.NewKeyGenerator(params)
@@ -350,6 +353,213 @@ func TestKeyCacheEvictionConcurrentSubmit(t *testing.T) {
 	}
 	if s.Misses == 0 && s.PrefetchFires == 0 {
 		t.Fatalf("churn run recorded neither misses nor prefetches: %+v", s)
+	}
+}
+
+// TestKeyCacheLoadFailureDropsTenant: a spilled tenant whose bundle cannot
+// be read back (disk error, corruption) must be dropped outright — not
+// left half-alive with admission (keyNames) accepting requests that every
+// batch then fails with a misleading ErrUnknownTenant. Failed loads must
+// not pollute the cold-miss stall telemetry either.
+func TestKeyCacheLoadFailureDropsTenant(t *testing.T) {
+	reg := testEnv(t)
+	params := reg.Params
+	store, err := newKeyStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA := genTenantKeys(t, params)
+	kB := genTenantKeys(t, params)
+	size := bundleSize(t, kA)
+	c := newKeyCache(params, size+size/2, store)
+	if err := c.register("a", kA); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.register("b", kB); err != nil { // evicts a
+		t.Fatal(err)
+	}
+
+	// Destroy a's spill bundle behind the cache's back.
+	c.mu.Lock()
+	hashA := c.tenants["a"].hash
+	c.mu.Unlock()
+	if err := os.Remove(store.path(hashA)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("get(a) succeeded with its spill bundle destroyed")
+	}
+	// The tenant is gone for admission too: keyNames and get now agree
+	// that re-registering is the remedy.
+	if _, ok := c.keyNames("a"); ok {
+		t.Fatal("keyNames(a) still answers after the spill load failed")
+	}
+	s := c.stats()
+	if s.SpillLoadFails != 1 {
+		t.Fatalf("spill_load_failures = %d, want 1", s.SpillLoadFails)
+	}
+	if s.ColdMissStalls != 0 {
+		t.Fatalf("failed load was metered as a cold-miss stall (%d)", s.ColdMissStalls)
+	}
+	// An unaffected tenant keeps serving, and re-registering revives a.
+	if keys, ok := c.get("b"); !ok || keys["rlk"] == nil {
+		t.Fatal("get(b) failed after a's load failure")
+	}
+	if err := c.register("a", kA); err != nil {
+		t.Fatal(err)
+	}
+	if keys, ok := c.get("a"); !ok || keys["rlk"] == nil {
+		t.Fatal("get(a) failed after re-registration")
+	}
+}
+
+// TestKeySpillSweepOnRotation: replacing a tenant's keys must delete the
+// superseded bundle's spill file once no tenant references its hash —
+// otherwise key rotation grows the spill dir without bound — while a
+// content-shared bundle survives until its last referent rotates away.
+func TestKeySpillSweepOnRotation(t *testing.T) {
+	reg := testEnv(t)
+	params := reg.Params
+	store, err := newKeyStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One generator for both bundles: key generation is deterministic per
+	// NewKeyGenerator, so sequential draws (not fresh generators) are what
+	// produce distinct material — and distinct content addresses.
+	kg := ckks.NewKeyGenerator(params)
+	genKeys := func() map[string]*ckks.EvalKey {
+		sk, err := kg.GenSecretKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rlk, err := kg.GenRelinKey(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return map[string]*ckks.EvalKey{"rlk": rlk}
+	}
+	k1 := genKeys()
+	k2 := genKeys()
+	c := newKeyCache(params, bundleSize(t, k1)*10, store)
+
+	// Two tenants share one content-addressed file (identical material).
+	if err := c.register("a", k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.register("shared", k1); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	h1 := c.tenants["a"].hash
+	c.mu.Unlock()
+
+	// a rotates to new material: h1 must survive (shared still uses it).
+	if err := c.register("a", k2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(store.path(h1)); err != nil {
+		t.Fatalf("shared bundle swept while still referenced: %v", err)
+	}
+	c.mu.Lock()
+	h2 := c.tenants["a"].hash
+	c.mu.Unlock()
+	if h1 == h2 {
+		t.Fatal("distinct key material hashed identically")
+	}
+
+	// The last referent rotates away: h1 is garbage and must be deleted.
+	if err := c.register("shared", k2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(store.path(h1)); !os.IsNotExist(err) {
+		t.Fatalf("superseded bundle not swept (stat err %v)", err)
+	}
+	if _, err := os.Stat(store.path(h2)); err != nil {
+		t.Fatalf("live bundle missing: %v", err)
+	}
+
+	// Both tenants still serve from the surviving bundle after eviction.
+	c.mu.Lock()
+	c.budget = 1 // force everything out on the next enforcement
+	evicted := c.enforceBudgetLocked()
+	c.mu.Unlock()
+	if len(evicted) == 0 {
+		t.Fatal("nothing evicted under a 1-byte budget")
+	}
+	c.mu.Lock()
+	c.budget = bundleSize(t, k2) * 10
+	c.mu.Unlock()
+	for _, id := range []string{"a", "shared"} {
+		if keys, ok := c.get(id); !ok || keys["rlk"] == nil {
+			t.Fatalf("get(%s) failed after sweep + eviction", id)
+		}
+	}
+}
+
+// TestBootstrapperForColdReloadEviction is the self-deadlock regression:
+// BootstrapperFor on a spilled tenant triggers a blocking spill reload,
+// and installing the reloaded keys pushes resident bytes over budget, so
+// the cache evicts another tenant — whose eviction hook takes bsMu to
+// invalidate its cached bootstrapper. BootstrapperFor must not be holding
+// bsMu across that reload (non-reentrant mutex → permanent deadlock of
+// every bootstrapper lookup and tenant registration).
+func TestBootstrapperForColdReloadEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrap precomp is expensive")
+	}
+	lit := workloads.ServeBootstrapParamsLiteral(8, 16, 20260808)
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rlk-only bundles: BootstrapperFor will end in ErrMissingKeys (no
+	// conj), but the deadlock fired earlier, inside the key load itself —
+	// cheap bundles keep the test fast.
+	kA := genTenantKeys(t, params)
+	kB := genTenantKeys(t, params)
+	size := bundleSize(t, kA)
+	bcfg := bootstrap.DefaultConfig()
+	sq, ok := workloads.ServeWorkloadByName("square")
+	if !ok {
+		t.Fatal("no square workload")
+	}
+	reg, err := NewRegistry(RegistryConfig{
+		Literal:        lit,
+		Programs:       []workloads.ServeWorkload{sq},
+		MaxBatch:       1,
+		Bootstrap:      &bcfg,
+		KeyBudgetBytes: size + size/2, // one tenant resident at a time
+		KeySpillDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterTenant("a", kA); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterTenant("b", kB); err != nil { // evicts a
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := reg.BootstrapperFor("a") // reload of a evicts b mid-call
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrMissingKeys) {
+			t.Fatalf("BootstrapperFor(a) = %v, want ErrMissingKeys", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("BootstrapperFor deadlocked on a cold-tenant reload eviction")
+	}
+	// The scenario must actually have exercised an eviction inside the
+	// reload: register(b) evicted a, and reloading a evicted b.
+	if s := reg.KeyCacheStats(); s.Evictions < 2 {
+		t.Fatalf("evictions = %d, want ≥ 2 (reload did not evict)", s.Evictions)
 	}
 }
 

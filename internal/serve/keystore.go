@@ -105,6 +105,13 @@ func (s *keyStore) Save(hash string, bundle []byte) error {
 	return os.Rename(tmp.Name(), dst)
 }
 
+// Remove deletes a spilled bundle. Best-effort: the caller (keyCache
+// refcounting) has determined no tenant references the hash, and a file
+// that survives removal only costs disk until the address is reused.
+func (s *keyStore) Remove(hash string) {
+	os.Remove(s.path(hash))
+}
+
 // Load reads a spilled bundle back, verifying every frame CRC and the
 // announced total length. The returned bytes are the exact WriteKeyBundle
 // image that was saved.

@@ -314,10 +314,18 @@ func (r *Registry) BootstrapperFor(id string) (*bootstrap.Bootstrapper, error) {
 		return nil, fmt.Errorf("serve: bootstrapping disabled")
 	}
 	r.bsMu.Lock()
-	defer r.bsMu.Unlock()
-	if bs, ok := r.bsCache[id]; ok {
-		return bs, nil
+	cached, ok := r.bsCache[id]
+	r.bsMu.Unlock()
+	if ok {
+		return cached, nil
 	}
+	// Load the keys WITHOUT bsMu held. A cold tenant's spill reload can
+	// push resident bytes over budget, and the cache's eviction hook takes
+	// bsMu to invalidate evicted tenants' bootstrappers — holding it
+	// across TenantKeys would self-deadlock on this goroutine. It also
+	// keeps one tenant's blocking disk reload from serializing every other
+	// tenant's bootstrapper lookup (and RegisterTenant) behind it.
+	gen, _ := r.keys.generation(id)
 	keys, ok := r.TenantKeys(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
@@ -345,7 +353,20 @@ func (r *Registry) BootstrapperFor(id string) (*bootstrap.Bootstrapper, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.bsCache[id] = bs
+	r.bsMu.Lock()
+	defer r.bsMu.Unlock()
+	if cur, ok := r.bsCache[id]; ok {
+		// A concurrent caller built it first; one copy wins.
+		return cur, nil
+	}
+	// Cache only if the tenant hasn't re-registered since the keys were
+	// read: a racing RegisterTenant already invalidated this id, and
+	// caching a bootstrapper built from the superseded keys would undo
+	// that. Returning the just-built bootstrapper is still correct for
+	// this call — the keys were current when it started.
+	if g, ok := r.keys.generation(id); ok && g == gen {
+		r.bsCache[id] = bs
+	}
 	return bs, nil
 }
 
@@ -362,7 +383,8 @@ func (r *Registry) ResidentKeys() []*ckks.EvalKey {
 // TenantKeys returns the tenant's key map (read-only — do not mutate).
 // An evicted tenant reloads from the spill store here — a blocking cold
 // miss on the caller's goroutine, metered as a cold-miss stall — so ok is
-// false only for tenants that never registered.
+// false only for unknown tenants: never registered, or dropped because
+// their spill bundle failed to read back (they must re-register).
 func (r *Registry) TenantKeys(id string) (map[string]*ckks.EvalKey, bool) {
 	return r.keys.get(id)
 }
